@@ -1,0 +1,154 @@
+// Micro-benchmarks of the substrates RCGP is built on: truth-table ops,
+// SAT solving, AIG rewriting, RQFP simulation, mutation, and fitness.
+
+#include <benchmark/benchmark.h>
+
+#include "aig/resyn.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "cec/sat_cec.hpp"
+#include "cec/sim_cec.hpp"
+#include "core/flow.hpp"
+#include "core/mutation.hpp"
+#include "rqfp/simulate.hpp"
+#include "sat/cnf.hpp"
+#include "tt/isop.hpp"
+#include "tt/npn.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rcgp;
+
+tt::TruthTable random_table(unsigned vars, util::Rng& rng) {
+  tt::TruthTable t(vars);
+  for (std::size_t w = 0; w < t.num_words(); ++w) {
+    t.set_word(w, rng.next());
+  }
+  return t;
+}
+
+void BM_TruthTableAnd(benchmark::State& state) {
+  util::Rng rng(1);
+  const auto a = random_table(static_cast<unsigned>(state.range(0)), rng);
+  const auto b = random_table(static_cast<unsigned>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a & b);
+  }
+}
+BENCHMARK(BM_TruthTableAnd)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_TruthTableMajority(benchmark::State& state) {
+  util::Rng rng(2);
+  const auto a = random_table(static_cast<unsigned>(state.range(0)), rng);
+  const auto b = random_table(static_cast<unsigned>(state.range(0)), rng);
+  const auto c = random_table(static_cast<unsigned>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tt::TruthTable::majority(a, b, c));
+  }
+}
+BENCHMARK(BM_TruthTableMajority)->Arg(6)->Arg(10);
+
+void BM_NpnCanonize4(benchmark::State& state) {
+  util::Rng rng(3);
+  const auto f = random_table(4, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tt::npn_canonize(f));
+  }
+}
+BENCHMARK(BM_NpnCanonize4);
+
+void BM_Isop(benchmark::State& state) {
+  util::Rng rng(4);
+  const auto f = random_table(static_cast<unsigned>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tt::isop(f));
+  }
+}
+BENCHMARK(BM_Isop)->Arg(4)->Arg(8);
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    const int pigeons = holes + 1;
+    std::vector<std::vector<sat::Lit>> x(pigeons,
+                                         std::vector<sat::Lit>(holes));
+    for (auto& row : x) {
+      for (auto& l : row) {
+        l = sat::Lit(s.new_var(), false);
+      }
+    }
+    for (int p = 0; p < pigeons; ++p) {
+      s.add_clause(std::span<const sat::Lit>(x[p]));
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < pigeons; ++p1) {
+        for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+          s.add_clause({~x[p1][h], ~x[p2][h]});
+        }
+      }
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(7);
+
+void BM_Resyn2(benchmark::State& state) {
+  const auto b = benchmarks::get("intdiv6");
+  const auto net = core::aig_from_tables(b.spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aig::resyn2(net));
+  }
+}
+BENCHMARK(BM_Resyn2);
+
+void BM_RqfpSimulateLive(benchmark::State& state) {
+  const auto b = benchmarks::get("intdiv6");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto init = core::synthesize(b.spec, opt).initial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rqfp::simulate_live(init));
+  }
+}
+BENCHMARK(BM_RqfpSimulateLive);
+
+void BM_MutateOffspring(benchmark::State& state) {
+  const auto b = benchmarks::get("intdiv6");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto init = core::synthesize(b.spec, opt).initial;
+  util::Rng rng(5);
+  for (auto _ : state) {
+    auto child = init;
+    core::mutate(child, rng, {});
+    benchmark::DoNotOptimize(child);
+  }
+}
+BENCHMARK(BM_MutateOffspring);
+
+void BM_FitnessEvaluation(benchmark::State& state) {
+  const auto b = benchmarks::get("intdiv6");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto init = core::synthesize(b.spec, opt).initial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::evaluate(init, b.spec));
+  }
+}
+BENCHMARK(BM_FitnessEvaluation);
+
+void BM_SatCecProof(benchmark::State& state) {
+  const auto b = benchmarks::get("graycode4");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto init = core::synthesize(b.spec, opt).initial;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cec::sat_check(init, b.spec));
+  }
+}
+BENCHMARK(BM_SatCecProof);
+
+} // namespace
+
+BENCHMARK_MAIN();

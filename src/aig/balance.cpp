@@ -1,0 +1,91 @@
+#include "aig/balance.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rcgp::aig {
+
+namespace {
+
+/// Collect the operand signals of the maximal single-fanout AND tree rooted
+/// at `s` (in the old network). A fanin is a tree operand (not expanded)
+/// when it is complemented, not an AND, or referenced more than once.
+void collect_operands(const Aig& aig, Signal s,
+                      const std::vector<std::uint32_t>& refs,
+                      std::vector<Signal>& out) {
+  const std::uint32_t n = s.node();
+  if (s.complemented() || !aig.is_and(n) || refs[n] > 1) {
+    out.push_back(s);
+    return;
+  }
+  collect_operands(aig, aig.fanin0(n), refs, out);
+  collect_operands(aig, aig.fanin1(n), refs, out);
+}
+
+} // namespace
+
+Aig balance(const Aig& input) {
+  const Aig aig = input.cleanup(); // resolve replacements, drop dead nodes
+  const auto refs = aig.compute_refs();
+
+  Aig out;
+  std::vector<Signal> map(aig.num_nodes(), Signal());
+  std::vector<std::uint32_t> out_level; // level per new node id
+  out_level.resize(1, 0);               // constant node
+  map[0] = out.const0();
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    map[aig.pi_at(i)] = out.create_pi(aig.pi_name(i));
+    out_level.resize(out.num_nodes(), 0);
+  }
+
+  auto level_of = [&](Signal s) {
+    return s.node() < out_level.size() ? out_level[s.node()] : 0u;
+  };
+  auto record_level = [&](Signal s, std::uint32_t lv) {
+    if (s.node() >= out_level.size()) {
+      out_level.resize(s.node() + 1, 0);
+    }
+    out_level[s.node()] = std::max(out_level[s.node()], lv);
+  };
+
+  // Nodes are processed in topological (creation) order; tree roots are
+  // nodes referenced >1 time, feeding a complemented edge, or driving a PO.
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (!aig.is_and(n)) {
+      continue;
+    }
+    // Build each AND node; single-fanout pure-AND fanins are inlined into
+    // the operand list, so intermediate tree nodes get rebuilt only when
+    // they are themselves roots — harmless extra work otherwise.
+    std::vector<Signal> ops;
+    collect_operands(aig, aig.fanin0(n), refs, ops);
+    collect_operands(aig, aig.fanin1(n), refs, ops);
+    std::vector<Signal> mapped;
+    mapped.reserve(ops.size());
+    for (const Signal op : ops) {
+      mapped.push_back(map[op.node()] ^ op.complemented());
+    }
+    // Huffman-style pairing: repeatedly AND the two lowest-level operands.
+    while (mapped.size() > 1) {
+      std::sort(mapped.begin(), mapped.end(), [&](Signal a, Signal b) {
+        return level_of(a) > level_of(b); // descending; take from the back
+      });
+      const Signal a = mapped.back();
+      mapped.pop_back();
+      const Signal b = mapped.back();
+      mapped.pop_back();
+      const Signal c = out.create_and(a, b);
+      record_level(c, 1 + std::max(level_of(a), level_of(b)));
+      mapped.push_back(c);
+    }
+    map[n] = mapped.empty() ? out.const1() : mapped[0];
+  }
+
+  for (std::uint32_t i = 0; i < aig.num_pos(); ++i) {
+    const Signal po = aig.po_at(i);
+    out.add_po(map[po.node()] ^ po.complemented(), aig.po_name(i));
+  }
+  return out.cleanup();
+}
+
+} // namespace rcgp::aig

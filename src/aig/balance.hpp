@@ -1,0 +1,13 @@
+#pragma once
+
+#include "aig/aig.hpp"
+
+namespace rcgp::aig {
+
+/// Algebraic tree balancing (ABC `balance`-style): rebuilds the AIG with
+/// every maximal AND-tree re-associated into a minimum-depth tree (operands
+/// combined lowest-level first). Structural hashing in the rebuilt network
+/// also removes duplicated structure. Returns the balanced network.
+Aig balance(const Aig& input);
+
+} // namespace rcgp::aig

@@ -1,0 +1,195 @@
+#include "aig/cuts.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rcgp::aig {
+
+bool Cut::dominates(const Cut& other) const {
+  // `this` dominates `other` if this->leaves ⊆ other.leaves.
+  return std::includes(other.leaves.begin(), other.leaves.end(),
+                       leaves.begin(), leaves.end());
+}
+
+namespace {
+
+/// Merge two sorted leaf sets; returns false if the union exceeds `limit`.
+bool merge_leaves(const std::vector<std::uint32_t>& a,
+                  const std::vector<std::uint32_t>& b, unsigned limit,
+                  std::vector<std::uint32_t>& out) {
+  out.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    std::uint32_t next;
+    if (j >= b.size() || (i < a.size() && a[i] <= b[j])) {
+      next = a[i];
+      if (j < b.size() && b[j] == next) {
+        ++j;
+      }
+      ++i;
+    } else {
+      next = b[j];
+      ++j;
+    }
+    if (out.size() == limit) {
+      return false;
+    }
+    out.push_back(next);
+  }
+  return true;
+}
+
+void add_cut_filtered(std::vector<Cut>& cuts, Cut cut, unsigned max_cuts) {
+  // Drop if dominated by an existing cut; remove cuts it dominates.
+  for (const auto& c : cuts) {
+    if (c.dominates(cut)) {
+      return;
+    }
+  }
+  cuts.erase(std::remove_if(cuts.begin(), cuts.end(),
+                            [&](const Cut& c) { return cut.dominates(c); }),
+             cuts.end());
+  if (cuts.size() < max_cuts) {
+    cuts.push_back(std::move(cut));
+  }
+}
+
+} // namespace
+
+std::vector<std::vector<Cut>> enumerate_cuts(const Aig& aig,
+                                             const CutParams& params) {
+  std::vector<std::vector<Cut>> cuts(aig.num_nodes());
+  cuts[0].push_back(Cut{{0}});
+  for (std::uint32_t i = 0; i < aig.num_pis(); ++i) {
+    cuts[aig.pi_at(i)].push_back(Cut{{aig.pi_at(i)}});
+  }
+  std::vector<std::uint32_t> merged;
+  for (std::uint32_t n = 0; n < aig.num_nodes(); ++n) {
+    if (!aig.is_and(n) || aig.is_replaced(n)) {
+      continue;
+    }
+    const std::uint32_t a = aig.fanin0(n).node();
+    const std::uint32_t b = aig.fanin1(n).node();
+    auto& mine = cuts[n];
+    for (const auto& ca : cuts[a]) {
+      for (const auto& cb : cuts[b]) {
+        if (!merge_leaves(ca.leaves, cb.leaves, params.max_leaves, merged)) {
+          continue;
+        }
+        add_cut_filtered(mine, Cut{merged}, params.max_cuts_per_node);
+      }
+    }
+    // Trivial cut last, always present.
+    mine.push_back(Cut{{n}});
+  }
+  return cuts;
+}
+
+tt::TruthTable cut_function(const Aig& aig, std::uint32_t root,
+                            const Cut& cut) {
+  const auto k = static_cast<unsigned>(cut.leaves.size());
+  std::unordered_map<std::uint32_t, tt::TruthTable> memo;
+  for (unsigned i = 0; i < k; ++i) {
+    memo[cut.leaves[i]] = tt::TruthTable::projection(k, i);
+  }
+  // The constant node may appear as a leaf only in degenerate cones; give
+  // it its semantics if not already a leaf.
+  if (!memo.count(0)) {
+    memo[0] = tt::TruthTable::constant(k, false);
+  }
+
+  // Iterative post-order evaluation.
+  std::vector<std::uint32_t> stack{root};
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    if (memo.count(n)) {
+      stack.pop_back();
+      continue;
+    }
+    if (!aig.is_and(n)) {
+      throw std::invalid_argument("cut_function: cone escapes the cut");
+    }
+    const std::uint32_t a = aig.fanin0(n).node();
+    const std::uint32_t b = aig.fanin1(n).node();
+    bool ready = true;
+    if (!memo.count(a)) {
+      stack.push_back(a);
+      ready = false;
+    }
+    if (!memo.count(b)) {
+      stack.push_back(b);
+      ready = false;
+    }
+    if (!ready) {
+      continue;
+    }
+    stack.pop_back();
+    const Signal sa = aig.fanin0(n);
+    const Signal sb = aig.fanin1(n);
+    const tt::TruthTable ta =
+        sa.complemented() ? ~memo[sa.node()] : memo[sa.node()];
+    const tt::TruthTable tb =
+        sb.complemented() ? ~memo[sb.node()] : memo[sb.node()];
+    memo[n] = ta & tb;
+  }
+  return memo[root];
+}
+
+Cut reconvergent_cut(const Aig& aig, std::uint32_t root, unsigned max_leaves) {
+  // Start with the fanins of root, repeatedly expand the leaf whose
+  // expansion adds the fewest new leaves (cost = #fanins not already
+  // leaves, minus one for the leaf removed).
+  std::vector<std::uint32_t> leaves;
+  auto add_leaf = [&](std::uint32_t n) {
+    if (std::find(leaves.begin(), leaves.end(), n) == leaves.end()) {
+      leaves.push_back(n);
+    }
+  };
+  if (!aig.is_and(root)) {
+    return Cut{{root}};
+  }
+  add_leaf(aig.fanin0(root).node());
+  add_leaf(aig.fanin1(root).node());
+
+  for (;;) {
+    int best_cost = 1000;
+    int best_index = -1;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const std::uint32_t n = leaves[i];
+      if (!aig.is_and(n)) {
+        continue;
+      }
+      const std::uint32_t a = aig.fanin0(n).node();
+      const std::uint32_t b = aig.fanin1(n).node();
+      int cost = -1; // removing n
+      if (std::find(leaves.begin(), leaves.end(), a) == leaves.end()) {
+        ++cost;
+      }
+      if (a != b &&
+          std::find(leaves.begin(), leaves.end(), b) == leaves.end()) {
+        ++cost;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_index = static_cast<int>(i);
+      }
+    }
+    if (best_index < 0) {
+      break; // all leaves are PIs/constants
+    }
+    if (leaves.size() + static_cast<std::size_t>(std::max(0, best_cost)) >
+        max_leaves) {
+      break;
+    }
+    const std::uint32_t n = leaves[static_cast<std::size_t>(best_index)];
+    leaves.erase(leaves.begin() + best_index);
+    add_leaf(aig.fanin0(n).node());
+    add_leaf(aig.fanin1(n).node());
+  }
+  std::sort(leaves.begin(), leaves.end());
+  return Cut{std::move(leaves)};
+}
+
+} // namespace rcgp::aig

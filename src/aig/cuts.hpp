@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::aig {
+
+/// A k-feasible cut: sorted leaf node ids. The cut's cone is the set of
+/// nodes between the root and the leaves.
+struct Cut {
+  std::vector<std::uint32_t> leaves; // sorted, unique node ids
+
+  bool operator==(const Cut&) const = default;
+  /// True if `other`'s leaves are a subset of ours (we are dominated).
+  bool dominates(const Cut& other) const;
+};
+
+struct CutParams {
+  unsigned max_leaves = 4;
+  unsigned max_cuts_per_node = 12; // priority cuts
+};
+
+/// Bottom-up k-cut enumeration over the resolved live graph. Result is
+/// indexed by node id; PIs/constants get their trivial cut only. The
+/// trivial cut {n} is always the last entry of each node's list.
+std::vector<std::vector<Cut>> enumerate_cuts(const Aig& aig,
+                                             const CutParams& params);
+
+/// Truth table of `root`'s function over the leaves of `cut` (leaf i maps
+/// to variable i). Cut cone must be a legal cut of root.
+tt::TruthTable cut_function(const Aig& aig, std::uint32_t root,
+                            const Cut& cut);
+
+/// Reconvergence-driven cut: greedily expands from `root` keeping at most
+/// `max_leaves` leaves; used by refactoring.
+Cut reconvergent_cut(const Aig& aig, std::uint32_t root, unsigned max_leaves);
+
+} // namespace rcgp::aig

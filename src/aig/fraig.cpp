@@ -1,0 +1,160 @@
+#include "aig/fraig.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+#include "aig/aig_simulate.hpp"
+#include "sat/cnf.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::aig {
+
+namespace {
+
+/// Tseitin-encodes every live AND node of `net`; returns one literal per
+/// node (PIs get fresh variables, constant folds to false).
+std::vector<sat::Lit> encode_aig(sat::CnfBuilder& builder, const Aig& net) {
+  std::vector<sat::Lit> lit(net.num_nodes(), builder.false_lit());
+  for (std::uint32_t i = 0; i < net.num_pis(); ++i) {
+    lit[net.pi_at(i)] = builder.new_lit();
+  }
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_and(n)) {
+      continue;
+    }
+    const Signal a = net.fanin0(n);
+    const Signal b = net.fanin1(n);
+    const sat::Lit fa =
+        a.complemented() ? ~lit[a.node()] : lit[a.node()];
+    const sat::Lit fb =
+        b.complemented() ? ~lit[b.node()] : lit[b.node()];
+    lit[n] = builder.make_and(fa, fb);
+  }
+  return lit;
+}
+
+} // namespace
+
+Aig fraig(const Aig& input, const FraigParams& params, FraigStats* stats) {
+  Aig net = input.cleanup();
+  FraigStats local;
+  local.ands_before = net.count_live_ands();
+
+  // 1. Random simulation signatures.
+  util::Rng rng(params.seed);
+  std::vector<std::vector<std::uint64_t>> patterns(net.num_pis());
+  for (auto& row : patterns) {
+    row.resize(params.sim_words);
+    for (auto& w : row) {
+      w = rng.next();
+    }
+  }
+  // Per-node signatures (not just POs): run the word simulation inline.
+  std::vector<std::vector<std::uint64_t>> sig(
+      net.num_nodes(), std::vector<std::uint64_t>(params.sim_words, 0));
+  for (std::uint32_t i = 0; i < net.num_pis(); ++i) {
+    sig[net.pi_at(i)] = patterns[i];
+  }
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_and(n)) {
+      continue;
+    }
+    const Signal a = net.fanin0(n);
+    const Signal b = net.fanin1(n);
+    const std::uint64_t ca = a.complemented() ? ~0ull : 0;
+    const std::uint64_t cb = b.complemented() ? ~0ull : 0;
+    for (std::size_t w = 0; w < params.sim_words; ++w) {
+      sig[n][w] = (sig[a.node()][w] ^ ca) & (sig[b.node()][w] ^ cb);
+    }
+  }
+
+  // 2. Candidate classes keyed by phase-normalized signature hash.
+  auto signature_hash = [&](std::uint32_t n, bool& phase) {
+    phase = (sig[n][0] & 1) != 0; // normalize so bit 0 is 0
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    const std::uint64_t flip = phase ? ~0ull : 0;
+    for (const auto w : sig[n]) {
+      h ^= (w ^ flip) + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  };
+
+  // 3. One shared solver over the whole (original) network.
+  sat::Solver solver;
+  sat::CnfBuilder builder(solver);
+  const auto lits = encode_aig(builder, net);
+
+  std::unordered_map<std::uint64_t, std::uint32_t> leader_of;
+  std::vector<std::pair<std::uint32_t, Signal>> merges;
+  const auto refs = net.compute_refs();
+
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_and(n) || refs[n] == 0) {
+      continue;
+    }
+    bool phase_n = false;
+    const std::uint64_t key = signature_hash(n, phase_n);
+    const auto it = leader_of.find(key);
+    if (it == leader_of.end()) {
+      leader_of[key] = n;
+      continue;
+    }
+    const std::uint32_t leader = it->second;
+    // Verify exact signature match (hash collisions possible).
+    bool phase_l = false;
+    signature_hash(leader, phase_l);
+    const std::uint64_t flip = (phase_n != phase_l) ? ~0ull : 0;
+    bool same = true;
+    for (std::size_t w = 0; w < params.sim_words; ++w) {
+      if (sig[n][w] != (sig[leader][w] ^ flip)) {
+        same = false;
+        break;
+      }
+    }
+    if (!same) {
+      continue;
+    }
+    ++local.candidate_pairs;
+    // SAT proof: n == leader ^ complement?
+    const bool complemented = phase_n != phase_l;
+    const sat::Lit ln = lits[n];
+    const sat::Lit ll = complemented ? ~lits[leader] : lits[leader];
+    sat::SolveLimits limits;
+    limits.max_conflicts = params.max_conflicts_per_pair;
+    // Two queries: (n & !l) and (!n & l) must both be UNSAT.
+    std::vector<sat::Lit> q1{ln, ~ll};
+    const auto r1 = solver.solve(q1, limits);
+    if (r1 == sat::SolveResult::kSat) {
+      ++local.disproved;
+      continue;
+    }
+    if (r1 == sat::SolveResult::kUnknown) {
+      ++local.undecided;
+      continue;
+    }
+    std::vector<sat::Lit> q2{~ln, ll};
+    const auto r2 = solver.solve(q2, limits);
+    if (r2 == sat::SolveResult::kSat) {
+      ++local.disproved;
+      continue;
+    }
+    if (r2 == sat::SolveResult::kUnknown) {
+      ++local.undecided;
+      continue;
+    }
+    ++local.proved_equivalent;
+    merges.emplace_back(n, Signal(leader, complemented));
+  }
+
+  for (const auto& [node, target] : merges) {
+    net.replace(node, net.resolve(target));
+  }
+  Aig out = net.cleanup();
+  local.ands_after = out.count_live_ands();
+  if (stats) {
+    *stats = local;
+  }
+  return out;
+}
+
+} // namespace rcgp::aig

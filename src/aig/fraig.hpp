@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "aig/aig.hpp"
+
+namespace rcgp::aig {
+
+struct FraigParams {
+  /// 64-bit words of random simulation per PI used to form candidate
+  /// equivalence classes (more words = fewer spurious SAT calls).
+  std::size_t sim_words = 16;
+  std::uint64_t seed = 1;
+  /// Conflict budget per pairwise SAT proof (0 = unlimited).
+  std::uint64_t max_conflicts_per_pair = 10000;
+};
+
+struct FraigStats {
+  std::uint32_t candidate_pairs = 0;
+  std::uint32_t proved_equivalent = 0;
+  std::uint32_t disproved = 0;
+  std::uint32_t undecided = 0;
+  std::uint32_t ands_before = 0;
+  std::uint32_t ands_after = 0;
+};
+
+/// SAT sweeping (FRAIG-style redundancy removal): random simulation
+/// partitions nodes into candidate equivalence classes (up to
+/// complementation); a CDCL miter proof confirms each candidate, and
+/// proven-equivalent nodes are merged. The result is functionally
+/// equivalent to the input with structural redundancy beyond strashing
+/// removed.
+Aig fraig(const Aig& input, const FraigParams& params = {},
+          FraigStats* stats = nullptr);
+
+} // namespace rcgp::aig

@@ -1,0 +1,19 @@
+#pragma once
+
+#include "aig/rewrite.hpp"
+
+namespace rcgp::aig {
+
+struct RefactorParams {
+  unsigned max_leaves = 10;
+  bool allow_zero_gain = false;
+};
+
+/// Cone refactoring (ABC `refactor`-style): for every live AND node,
+/// computes a reconvergence-driven cut, re-synthesizes the cone as an
+/// ISOP-factored form, and commits when the net live-node count drops.
+/// Cuts are recomputed on the current structure, so the pass is robust to
+/// its own replacements.
+PassStats refactor_pass(Aig& aig, const RefactorParams& params = {});
+
+} // namespace rcgp::aig

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rqfp/buffer.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::aqfp {
+
+/// AQFP cell-level view of an RQFP circuit (Fig. 1(a) of the paper).
+///
+/// A normal RQFP logic gate is physically three 3-output AQFP splitters
+/// feeding three 3-input AQFP majority gates; inverters are realized by
+/// negative mutual inductance on the receiving coil and cost no JJs.
+/// Clock phases are modeled in *half-stages*: an RQFP clock stage L
+/// occupies AQFP phases 2L-1 (splitter bank, excitation I_x1) and 2L
+/// (majority bank, excitation I_x2); an RQFP buffer is two cascaded AQFP
+/// buffers occupying one full stage.
+enum class CellKind : std::uint8_t {
+  kInput,    // primary input driver (phase 0)
+  kConst,    // constant-1 excitation source (phase-exempt)
+  kBuffer,   // AQFP buffer, 2 JJs
+  kSplitter, // 3-output AQFP splitter, 2 JJs
+  kMajority, // 3-input AQFP majority, 6 JJs
+};
+
+struct Cell {
+  CellKind kind = CellKind::kBuffer;
+  /// Fanin cell ids (kInput/kConst: none; kBuffer/kSplitter: one;
+  /// kMajority: three).
+  std::vector<std::uint32_t> fanins;
+  /// Inductive-coupling inversion per fanin (no JJ cost).
+  std::vector<bool> inverted;
+  /// AQFP clock phase (half-stage); kConst cells are phase-exempt.
+  std::uint32_t phase = 0;
+};
+
+/// JJ cost per cell kind (paper §4: buffer/splitter 2 JJ, majority 6 JJ).
+unsigned jj_cost(CellKind kind);
+
+class Netlist {
+public:
+  std::uint32_t add_cell(Cell cell);
+  const Cell& cell(std::uint32_t id) const { return cells_[id]; }
+  std::uint32_t num_cells() const {
+    return static_cast<std::uint32_t>(cells_.size());
+  }
+
+  void add_output(std::uint32_t cell_id, const std::string& name = "");
+  std::uint32_t num_outputs() const {
+    return static_cast<std::uint32_t>(outputs_.size());
+  }
+  std::uint32_t output_at(std::uint32_t i) const { return outputs_[i]; }
+
+  void register_input(std::uint32_t cell_id);
+  std::uint32_t num_inputs() const {
+    return static_cast<std::uint32_t>(inputs_.size());
+  }
+
+  /// Total JJ count over all cells.
+  unsigned total_jjs() const;
+  unsigned count(CellKind kind) const;
+  /// Latest phase over all cells.
+  std::uint32_t max_phase() const;
+
+  /// Checks AQFP discipline: every fanin is exactly one phase earlier
+  /// (constants exempt), splitters have single-cell fanin, majorities have
+  /// three fanins, and fanout of every non-const cell is at most the
+  /// capacity of its kind (1 for buffer/majority/input, 3 for splitter).
+  /// Returns an empty string when valid.
+  std::string validate() const;
+
+  /// Exhaustive simulation over the registered inputs.
+  std::vector<tt::TruthTable> simulate() const;
+
+private:
+  std::vector<Cell> cells_;
+  std::vector<std::uint32_t> inputs_;
+  std::vector<std::uint32_t> outputs_;
+  std::vector<std::string> output_names_;
+};
+
+/// Writes the cell netlist in a line-per-cell text form:
+///   cell <id> <kind> phase=<p> fanins=[!]<id>,...
+void write_cells(const Netlist& net, std::ostream& out);
+std::string write_cells_string(const Netlist& net);
+
+/// Graphviz DOT of the cell netlist, ranked by clock phase; inverting
+/// couplings are drawn as dashed edges.
+void write_cells_dot(const Netlist& net, std::ostream& out);
+std::string write_cells_dot_string(const Netlist& net);
+
+/// Expands an RQFP netlist plus its ASAP buffer plan into the AQFP cell
+/// netlist. Dead gates are removed first. The result satisfies
+/// Netlist::validate() and computes the same PO functions; its JJ count
+/// equals the paper's formula 24*n_r + 4*n_b by construction (asserted in
+/// tests, not assumed).
+Netlist expand(const rqfp::Netlist& circuit);
+
+} // namespace rcgp::aqfp

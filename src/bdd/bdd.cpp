@@ -1,0 +1,216 @@
+#include "bdd/bdd.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace rcgp::bdd {
+
+namespace {
+
+std::uint64_t unique_key(unsigned var, NodeRef low, NodeRef high) {
+  return (static_cast<std::uint64_t>(var) << 48) |
+         (static_cast<std::uint64_t>(low) << 24) | high;
+}
+
+std::uint64_t ite_key(NodeRef f, NodeRef g, NodeRef h) {
+  // 21 bits per operand is ample for the circuit sizes here.
+  return (static_cast<std::uint64_t>(f) << 42) |
+         (static_cast<std::uint64_t>(g) << 21) | h;
+}
+
+} // namespace
+
+Manager::Manager(unsigned num_vars) : num_vars_(num_vars) {
+  if (num_vars >= (1u << 16)) {
+    throw std::invalid_argument("bdd::Manager: too many variables");
+  }
+  // Terminals occupy slots 0 and 1 with a sentinel variable index so that
+  // var(terminal) sorts below every real variable during traversal.
+  nodes_.push_back(Node{num_vars_, kFalse, kFalse}); // 0
+  nodes_.push_back(Node{num_vars_, kTrue, kTrue});   // 1
+}
+
+NodeRef Manager::var(unsigned v) {
+  if (v >= num_vars_) {
+    throw std::invalid_argument("bdd::Manager::var: out of range");
+  }
+  return make_node(v, kFalse, kTrue);
+}
+
+NodeRef Manager::make_node(unsigned var, NodeRef low, NodeRef high) {
+  if (low == high) {
+    return low;
+  }
+  const std::uint64_t key = unique_key(var, low, high);
+  const auto it = unique_.find(key);
+  if (it != unique_.end()) {
+    return it->second;
+  }
+  const auto ref = static_cast<NodeRef>(nodes_.size());
+  nodes_.push_back(Node{var, low, high});
+  unique_[key] = ref;
+  return ref;
+}
+
+NodeRef Manager::ite(NodeRef f, NodeRef g, NodeRef h) {
+  // Terminal cases.
+  if (f == kTrue) {
+    return g;
+  }
+  if (f == kFalse) {
+    return h;
+  }
+  if (g == h) {
+    return g;
+  }
+  if (g == kTrue && h == kFalse) {
+    return f;
+  }
+  const std::uint64_t key = ite_key(f, g, h);
+  const auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) {
+    return it->second;
+  }
+  // Split on the top variable among the three operands.
+  unsigned top = nodes_[f].var;
+  if (g > kTrue) {
+    top = std::min(top, nodes_[g].var);
+  }
+  if (h > kTrue) {
+    top = std::min(top, nodes_[h].var);
+  }
+  auto cofactor = [&](NodeRef x, bool positive) {
+    if (x <= kTrue || nodes_[x].var != top) {
+      return x;
+    }
+    return positive ? nodes_[x].high : nodes_[x].low;
+  };
+  const NodeRef hi = ite(cofactor(f, true), cofactor(g, true),
+                         cofactor(h, true));
+  const NodeRef lo = ite(cofactor(f, false), cofactor(g, false),
+                         cofactor(h, false));
+  const NodeRef result = make_node(top, lo, hi);
+  ite_cache_[key] = result;
+  return result;
+}
+
+NodeRef Manager::apply_maj(NodeRef a, NodeRef b, NodeRef c) {
+  return apply_or(apply_and(a, b),
+                  apply_or(apply_and(a, c), apply_and(b, c)));
+}
+
+bool Manager::evaluate(NodeRef f, std::uint64_t assignment) const {
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    f = ((assignment >> n.var) & 1) ? n.high : n.low;
+  }
+  return f == kTrue;
+}
+
+std::uint64_t Manager::count_sat(NodeRef f) {
+  // count over remaining variables below each node; memoized per node.
+  // count(f at level var(f)) * 2^{var(f)} gives the total.
+  struct Rec {
+    Manager& m;
+    std::uint64_t run(NodeRef f) {
+      if (f == kFalse) {
+        return 0;
+      }
+      if (f == kTrue) {
+        return 1;
+      }
+      const auto it = m.count_cache_.find(f);
+      if (it != m.count_cache_.end()) {
+        return it->second;
+      }
+      const Node& n = m.nodes_[f];
+      const unsigned lv = n.low <= kTrue ? m.num_vars_ : m.nodes_[n.low].var;
+      const unsigned hv =
+          n.high <= kTrue ? m.num_vars_ : m.nodes_[n.high].var;
+      const std::uint64_t low = run(n.low) << (lv - n.var - 1);
+      const std::uint64_t high = run(n.high) << (hv - n.var - 1);
+      const std::uint64_t total = low + high;
+      m.count_cache_[f] = total;
+      return total;
+    }
+  } rec{*this};
+  if (f == kFalse) {
+    return 0;
+  }
+  if (f == kTrue) {
+    return std::uint64_t{1} << num_vars_;
+  }
+  return rec.run(f) << nodes_[f].var;
+}
+
+bool Manager::find_sat(NodeRef f, std::uint64_t& assignment) const {
+  if (f == kFalse) {
+    return false;
+  }
+  assignment = 0;
+  while (f > kTrue) {
+    const Node& n = nodes_[f];
+    if (n.high != kFalse) {
+      assignment |= std::uint64_t{1} << n.var;
+      f = n.high;
+    } else {
+      f = n.low;
+    }
+  }
+  return true;
+}
+
+tt::TruthTable Manager::to_truth_table(NodeRef f) const {
+  if (num_vars_ > tt::TruthTable::kMaxVars) {
+    throw std::invalid_argument("bdd: too many variables to tabulate");
+  }
+  tt::TruthTable t(num_vars_);
+  for (std::uint64_t x = 0; x < t.num_bits(); ++x) {
+    if (evaluate(f, x)) {
+      t.set_bit(x, true);
+    }
+  }
+  return t;
+}
+
+NodeRef Manager::from_truth_table(const tt::TruthTable& t) {
+  if (t.num_vars() != num_vars_) {
+    throw std::invalid_argument("bdd: truth-table arity mismatch");
+  }
+  return from_tt_rec(t, 0);
+}
+
+NodeRef Manager::from_tt_rec(const tt::TruthTable& t, unsigned v) {
+  if (t.is_constant0()) {
+    return kFalse;
+  }
+  if (t.is_constant1()) {
+    return kTrue;
+  }
+  // Shannon-expand from variable v downward; the manager's order puts
+  // lower variable indices closer to the root, matching ite().
+  const NodeRef low = from_tt_rec(t.cofactor0(v), v + 1);
+  const NodeRef high = from_tt_rec(t.cofactor1(v), v + 1);
+  return make_node(v, low, high);
+}
+
+std::size_t Manager::size(NodeRef f) const {
+  if (f <= kTrue) {
+    return 0;
+  }
+  std::set<NodeRef> seen;
+  std::vector<NodeRef> stack{f};
+  while (!stack.empty()) {
+    const NodeRef n = stack.back();
+    stack.pop_back();
+    if (n <= kTrue || seen.count(n)) {
+      continue;
+    }
+    seen.insert(n);
+    stack.push_back(nodes_[n].low);
+    stack.push_back(nodes_[n].high);
+  }
+  return seen.size();
+}
+
+} // namespace rcgp::bdd

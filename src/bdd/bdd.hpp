@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace rcgp::bdd {
+
+/// Reference to a BDD node (index into the manager's node table).
+/// 0 and 1 are the terminal constants.
+using NodeRef = std::uint32_t;
+
+inline constexpr NodeRef kFalse = 0;
+inline constexpr NodeRef kTrue = 1;
+
+/// Reduced ordered binary decision diagram manager with unique and
+/// computed tables. Variable order is the creation order of variables
+/// (index 0 at the top). Canonical: two functions are equal iff their
+/// NodeRefs are equal — which is what makes the BDD-based fitness check
+/// cited by the paper (§2.2, [22]) a constant-time comparison.
+class Manager {
+public:
+  explicit Manager(unsigned num_vars);
+
+  unsigned num_vars() const { return num_vars_; }
+
+  /// The projection function of variable v.
+  NodeRef var(unsigned v);
+
+  NodeRef ite(NodeRef f, NodeRef g, NodeRef h);
+  NodeRef apply_not(NodeRef f) { return ite(f, kFalse, kTrue); }
+  NodeRef apply_and(NodeRef f, NodeRef g) { return ite(f, g, kFalse); }
+  NodeRef apply_or(NodeRef f, NodeRef g) { return ite(f, kTrue, g); }
+  NodeRef apply_xor(NodeRef f, NodeRef g) {
+    return ite(f, apply_not(g), g);
+  }
+  NodeRef apply_maj(NodeRef a, NodeRef b, NodeRef c);
+
+  /// Evaluate under a complete assignment (bit v = variable v).
+  bool evaluate(NodeRef f, std::uint64_t assignment) const;
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  std::uint64_t count_sat(NodeRef f);
+
+  /// Any satisfying assignment; false if f == kFalse.
+  bool find_sat(NodeRef f, std::uint64_t& assignment) const;
+
+  /// Expand to an explicit truth table (num_vars() <= kMaxVars).
+  tt::TruthTable to_truth_table(NodeRef f) const;
+
+  /// Build a BDD from a truth table over this manager's variables.
+  NodeRef from_truth_table(const tt::TruthTable& t);
+
+  /// Nodes in the DAG rooted at f (terminals excluded).
+  std::size_t size(NodeRef f) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+private:
+  struct Node {
+    unsigned var;
+    NodeRef low;
+    NodeRef high;
+  };
+
+  NodeRef make_node(unsigned var, NodeRef low, NodeRef high);
+  NodeRef from_tt_rec(const tt::TruthTable& t, unsigned var);
+
+  unsigned num_vars_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, NodeRef> unique_;
+  std::unordered_map<std::uint64_t, NodeRef> ite_cache_;
+  std::unordered_map<std::uint64_t, std::uint64_t> count_cache_;
+};
+
+} // namespace rcgp::bdd

@@ -1,0 +1,236 @@
+#include "benchmarks/benchmarks.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "benchmarks/reciprocal.hpp"
+
+namespace rcgp::benchmarks {
+
+Benchmark from_function(const std::string& name, unsigned num_pis,
+                        unsigned num_pos,
+                        std::uint64_t (*outputs)(std::uint64_t)) {
+  Benchmark b;
+  b.name = name;
+  b.num_pis = num_pis;
+  b.num_pos = num_pos;
+  b.spec.assign(num_pos, tt::TruthTable(num_pis));
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << num_pis); ++x) {
+    const std::uint64_t y = outputs(x);
+    for (unsigned o = 0; o < num_pos; ++o) {
+      if ((y >> o) & 1) {
+        b.spec[o].set_bit(x, true);
+      }
+    }
+  }
+  b.po_names.reserve(num_pos);
+  for (unsigned o = 0; o < num_pos; ++o) {
+    b.po_names.push_back("y" + std::to_string(o));
+  }
+  return b;
+}
+
+Benchmark full_adder() {
+  return from_function("full_adder", 3, 2, [](std::uint64_t x) {
+    const unsigned a = x & 1;
+    const unsigned b = (x >> 1) & 1;
+    const unsigned cin = (x >> 2) & 1;
+    const unsigned sum = a ^ b ^ cin;
+    const unsigned cout = (a & b) | (a & cin) | (b & cin);
+    return static_cast<std::uint64_t>(sum | (cout << 1));
+  });
+}
+
+Benchmark gt10_4() {
+  // RevLib 4gt10: single output, true iff the 4-bit input value exceeds 10.
+  return from_function("4gt10", 4, 1, [](std::uint64_t x) {
+    return static_cast<std::uint64_t>(x > 10 ? 1 : 0);
+  });
+}
+
+Benchmark alu() {
+  // 1-bit ALU slice (documented substitution for RevLib's 5-input/1-output
+  // "alu"): inputs (s1, s0, a, b, cin); output selected by (s1,s0):
+  //   00 -> full-adder sum a^b^cin   01 -> a & b
+  //   10 -> a | b                    11 -> a ^ b
+  return from_function("alu", 5, 1, [](std::uint64_t x) {
+    const unsigned s1 = x & 1;
+    const unsigned s0 = (x >> 1) & 1;
+    const unsigned a = (x >> 2) & 1;
+    const unsigned b = (x >> 3) & 1;
+    const unsigned cin = (x >> 4) & 1;
+    unsigned out = 0;
+    switch ((s1 << 1) | s0) {
+      case 0: out = a ^ b ^ cin; break;
+      case 1: out = a & b; break;
+      case 2: out = a | b; break;
+      case 3: out = a ^ b; break;
+    }
+    return static_cast<std::uint64_t>(out);
+  });
+}
+
+Benchmark c17() {
+  // ISCAS-85 c17: six NAND2 gates, exact netlist.
+  return from_function("c17", 5, 2, [](std::uint64_t x) {
+    const unsigned i1 = x & 1;
+    const unsigned i2 = (x >> 1) & 1;
+    const unsigned i3 = (x >> 2) & 1;
+    const unsigned i6 = (x >> 3) & 1;
+    const unsigned i7 = (x >> 4) & 1;
+    const unsigned n10 = 1 ^ (i1 & i3);
+    const unsigned n11 = 1 ^ (i3 & i6);
+    const unsigned n16 = 1 ^ (i2 & n11);
+    const unsigned n19 = 1 ^ (n11 & i7);
+    const unsigned o22 = 1 ^ (n10 & n16);
+    const unsigned o23 = 1 ^ (n16 & n19);
+    return static_cast<std::uint64_t>(o22 | (o23 << 1));
+  });
+}
+
+Benchmark decoder(unsigned select_bits) {
+  Benchmark b;
+  const unsigned outs = 1u << select_bits;
+  b.name = "decoder_" + std::to_string(select_bits) + "_" +
+           std::to_string(outs);
+  b.num_pis = select_bits;
+  b.num_pos = outs;
+  b.spec.assign(outs, tt::TruthTable(select_bits));
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << select_bits); ++x) {
+    b.spec[x].set_bit(x, true);
+  }
+  for (unsigned o = 0; o < outs; ++o) {
+    b.po_names.push_back("y" + std::to_string(o));
+  }
+  return b;
+}
+
+Benchmark graycode(unsigned bits) {
+  Benchmark b;
+  b.name = "graycode" + std::to_string(bits);
+  b.num_pis = bits;
+  b.num_pos = bits;
+  b.spec.assign(bits, tt::TruthTable(bits));
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << bits); ++x) {
+    const std::uint64_t g = x ^ (x >> 1);
+    for (unsigned o = 0; o < bits; ++o) {
+      if ((g >> o) & 1) {
+        b.spec[o].set_bit(x, true);
+      }
+    }
+  }
+  for (unsigned o = 0; o < bits; ++o) {
+    b.po_names.push_back("g" + std::to_string(o));
+  }
+  return b;
+}
+
+Benchmark ham3() {
+  // 3-bit reversible permutation (documented substitution for RevLib ham3):
+  // x -> (3x + 1) mod 8, a fixed bijection on {0..7}.
+  return from_function("ham3", 3, 3, [](std::uint64_t x) {
+    return (3 * x + 1) & 7;
+  });
+}
+
+Benchmark mux4() {
+  // 4:1 multiplexer: data d0..d3 on PIs 0..3, select s0,s1 on PIs 4,5.
+  return from_function("mux4", 6, 1, [](std::uint64_t x) {
+    const unsigned sel =
+        static_cast<unsigned>(((x >> 4) & 1) | (((x >> 5) & 1) << 1));
+    return (x >> sel) & 1;
+  });
+}
+
+Benchmark perm_4_49() {
+  // 4-bit reversible permutation standing in for RevLib benchmark 4_49
+  // (the exact RevLib table is not redistributable offline; this fixed
+  // bijection has comparable mixing).
+  static const unsigned table[16] = {15, 1, 12, 3, 5,  6, 8,  7,
+                                     0,  10, 13, 9, 2, 4, 14, 11};
+  return from_function("4_49", 4, 4, [](std::uint64_t x) {
+    return static_cast<std::uint64_t>(table[x & 15]);
+  });
+}
+
+Benchmark mod5adder() {
+  // Adder modulo 5 (documented RevLib-style semantics): inputs a (PIs
+  // 0..2) and b (PIs 3..5); outputs pass a through and produce
+  // (a + b) mod 5 when both operands are in range, else b unchanged.
+  return from_function("mod5adder", 6, 6, [](std::uint64_t x) {
+    const std::uint64_t a = x & 7;
+    const std::uint64_t b = (x >> 3) & 7;
+    const std::uint64_t lo = (a < 5 && b < 5) ? (a + b) % 5 : b;
+    return lo | (a << 3);
+  });
+}
+
+Benchmark hwb(unsigned bits) {
+  // Hidden weighted bit: rotate the input left by its Hamming weight.
+  Benchmark b;
+  b.name = "hwb" + std::to_string(bits);
+  b.num_pis = bits;
+  b.num_pos = bits;
+  b.spec.assign(bits, tt::TruthTable(bits));
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << bits); ++x) {
+    const unsigned w =
+        static_cast<unsigned>(std::popcount(x)) % bits;
+    const std::uint64_t mask = (std::uint64_t{1} << bits) - 1;
+    const std::uint64_t y = ((x << w) | (x >> (bits - w))) & mask;
+    for (unsigned o = 0; o < bits; ++o) {
+      if ((y >> o) & 1) {
+        b.spec[o].set_bit(x, true);
+      }
+    }
+  }
+  for (unsigned o = 0; o < bits; ++o) {
+    b.po_names.push_back("y" + std::to_string(o));
+  }
+  return b;
+}
+
+Benchmark get(const std::string& name) {
+  if (name == "full_adder") return full_adder();
+  if (name == "4gt10") return gt10_4();
+  if (name == "alu") return alu();
+  if (name == "c17") return c17();
+  if (name == "decoder_2_4") return decoder(2);
+  if (name == "decoder_3_8") return decoder(3);
+  if (name == "graycode4") return graycode(4);
+  if (name == "graycode6") return graycode(6);
+  if (name == "ham3") return ham3();
+  if (name == "mux4") return mux4();
+  if (name == "4_49") return perm_4_49();
+  if (name == "mod5adder") return mod5adder();
+  if (name == "hwb8") return hwb(8);
+  if (name.rfind("intdiv", 0) == 0) {
+    const unsigned bits = static_cast<unsigned>(std::stoul(name.substr(6)));
+    return reciprocal(bits);
+  }
+  if (name.rfind("hwb", 0) == 0) {
+    const unsigned bits = static_cast<unsigned>(std::stoul(name.substr(3)));
+    return hwb(bits);
+  }
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+std::vector<std::string> table1_names() {
+  return {"full_adder", "4gt10",     "alu",       "c17",  "decoder_2_4",
+          "decoder_3_8", "graycode4", "ham3",      "mux4"};
+}
+
+std::vector<std::string> table2_names() {
+  return {"4_49",    "graycode6", "mod5adder", "hwb8",    "intdiv4",
+          "intdiv5", "intdiv6",   "intdiv7",   "intdiv8", "intdiv9",
+          "intdiv10"};
+}
+
+std::vector<std::string> all_names() {
+  auto names = table1_names();
+  for (auto& n : table2_names()) {
+    names.push_back(n);
+  }
+  return names;
+}
+
+} // namespace rcgp::benchmarks

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace rcgp::benchmarks {
+
+/// A named combinational specification: one truth table per output over
+/// `num_pis` inputs (input bit i of an assignment is PI i).
+struct Benchmark {
+  std::string name;
+  unsigned num_pis = 0;
+  unsigned num_pos = 0;
+  std::vector<tt::TruthTable> spec;
+  std::vector<std::string> po_names;
+};
+
+/// Look up a benchmark by name; throws std::invalid_argument if unknown.
+/// Available names: Table 1 — full_adder, 4gt10, alu, c17, decoder_2_4,
+/// decoder_3_8, graycode4, ham3, mux4; Table 2 — 4_49, graycode6,
+/// mod5adder, hwb8, intdiv4..intdiv10.
+Benchmark get(const std::string& name);
+
+std::vector<std::string> all_names();
+/// The small circuits of the paper's Table 1, in table order.
+std::vector<std::string> table1_names();
+/// The large circuits of the paper's Table 2, in table order.
+std::vector<std::string> table2_names();
+
+/// Builds a benchmark from an arbitrary output-value function:
+/// outputs(x) returns the PO word for input assignment x.
+Benchmark from_function(const std::string& name, unsigned num_pis,
+                        unsigned num_pos,
+                        std::uint64_t (*outputs)(std::uint64_t));
+
+// ---- individual generators (also used directly in tests) ----
+Benchmark full_adder();
+Benchmark gt10_4();        // "4gt10"
+Benchmark alu();
+Benchmark c17();
+Benchmark decoder(unsigned select_bits); // decoder_2_4, decoder_3_8
+Benchmark graycode(unsigned bits);       // graycode4, graycode6
+Benchmark ham3();
+Benchmark mux4();
+Benchmark perm_4_49();     // "4_49"
+Benchmark mod5adder();
+Benchmark hwb(unsigned bits); // hwb8
+
+} // namespace rcgp::benchmarks

@@ -1,0 +1,31 @@
+#include "benchmarks/reciprocal.hpp"
+
+#include <stdexcept>
+
+namespace rcgp::benchmarks {
+
+Benchmark reciprocal(unsigned bits) {
+  if (bits < 2 || bits > 16) {
+    throw std::invalid_argument("reciprocal: bits out of range [2,16]");
+  }
+  Benchmark b;
+  b.name = "intdiv" + std::to_string(bits);
+  b.num_pis = bits;
+  b.num_pos = bits;
+  b.spec.assign(bits, tt::TruthTable(bits));
+  const std::uint64_t top = (std::uint64_t{1} << bits) - 1;
+  for (std::uint64_t x = 0; x <= top; ++x) {
+    const std::uint64_t y = x == 0 ? 0 : top / x;
+    for (unsigned o = 0; o < bits; ++o) {
+      if ((y >> o) & 1) {
+        b.spec[o].set_bit(x, true);
+      }
+    }
+  }
+  for (unsigned o = 0; o < bits; ++o) {
+    b.po_names.push_back("q" + std::to_string(o));
+  }
+  return b;
+}
+
+} // namespace rcgp::benchmarks

@@ -1,0 +1,14 @@
+#pragma once
+
+#include "benchmarks/benchmarks.hpp"
+
+namespace rcgp::benchmarks {
+
+/// Reversible reciprocal / integer-division circuits ("intdivN" rows of the
+/// paper's Table 2, after Soeken et al., DATE'17). The paper's circuits
+/// compute a fixed-point reciprocal; this generator uses the documented
+/// substitution f(x) = floor((2^bits - 1) / x) for x > 0 and f(0) = 0,
+/// which exercises the same wide, deep arithmetic structure.
+Benchmark reciprocal(unsigned bits);
+
+} // namespace rcgp::benchmarks

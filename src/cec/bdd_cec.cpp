@@ -1,0 +1,89 @@
+#include "cec/bdd_cec.hpp"
+
+#include <stdexcept>
+
+namespace rcgp::cec {
+
+std::vector<bdd::NodeRef> build_bdds(bdd::Manager& manager,
+                                     const rqfp::Netlist& net) {
+  if (manager.num_vars() != net.num_pis()) {
+    throw std::invalid_argument("build_bdds: variable count mismatch");
+  }
+  const auto live = net.live_gates();
+  std::vector<bdd::NodeRef> port(net.first_free_port(), bdd::kFalse);
+  port[rqfp::kConstPort] = bdd::kTrue;
+  for (unsigned i = 0; i < net.num_pis(); ++i) {
+    port[1 + i] = manager.var(i);
+  }
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    if (!live[g]) {
+      continue;
+    }
+    const auto& gate = net.gate(g);
+    for (unsigned k = 0; k < 3; ++k) {
+      bdd::NodeRef in[3];
+      for (unsigned i = 0; i < 3; ++i) {
+        in[i] = port[gate.in[i]];
+        if (gate.config.inverts(k, i)) {
+          in[i] = manager.apply_not(in[i]);
+        }
+      }
+      port[net.port_of(g, k)] = manager.apply_maj(in[0], in[1], in[2]);
+    }
+  }
+  std::vector<bdd::NodeRef> pos;
+  pos.reserve(net.num_pos());
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    pos.push_back(port[net.po_at(i)]);
+  }
+  return pos;
+}
+
+BddCecResult bdd_check(const rqfp::Netlist& net,
+                       std::span<const tt::TruthTable> spec) {
+  if (spec.size() != net.num_pos()) {
+    throw std::invalid_argument("bdd_check: PO count mismatch");
+  }
+  bdd::Manager manager(net.num_pis());
+  const auto lhs = build_bdds(manager, net);
+  BddCecResult result;
+  result.equivalent = true;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const auto rhs = manager.from_truth_table(spec[i]);
+    if (lhs[i] != rhs) { // canonical: equality is pointer equality
+      result.equivalent = false;
+      const auto diff = manager.apply_xor(lhs[i], rhs);
+      std::uint64_t cex = 0;
+      manager.find_sat(diff, cex);
+      result.counterexample = cex;
+      break;
+    }
+  }
+  result.bdd_nodes = manager.num_nodes();
+  return result;
+}
+
+BddCecResult bdd_check(const rqfp::Netlist& a, const rqfp::Netlist& b) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    throw std::invalid_argument("bdd_check: interface mismatch");
+  }
+  bdd::Manager manager(a.num_pis());
+  const auto lhs = build_bdds(manager, a);
+  const auto rhs = build_bdds(manager, b);
+  BddCecResult result;
+  result.equivalent = true;
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    if (lhs[i] != rhs[i]) {
+      result.equivalent = false;
+      const auto diff = manager.apply_xor(lhs[i], rhs[i]);
+      std::uint64_t cex = 0;
+      manager.find_sat(diff, cex);
+      result.counterexample = cex;
+      break;
+    }
+  }
+  result.bdd_nodes = manager.num_nodes();
+  return result;
+}
+
+} // namespace rcgp::cec

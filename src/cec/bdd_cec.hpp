@@ -1,0 +1,35 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::cec {
+
+struct BddCecResult {
+  bool equivalent = false;
+  /// Input assignment on which the circuits differ.
+  std::optional<std::uint64_t> counterexample;
+  /// Peak node count of the manager — the cost driver of this method.
+  std::size_t bdd_nodes = 0;
+};
+
+/// Builds one BDD per port of the netlist (live cone only) and returns the
+/// PO roots; shared manager across calls enables constant-time comparison.
+std::vector<bdd::NodeRef> build_bdds(bdd::Manager& manager,
+                                     const rqfp::Netlist& net);
+
+/// BDD-based equivalence check of a netlist against truth tables — the
+/// canonical-form alternative to SAT CEC referenced by the paper's related
+/// work (Vasicek & Sekanina's BDD fitness, §2.2).
+BddCecResult bdd_check(const rqfp::Netlist& net,
+                       std::span<const tt::TruthTable> spec);
+
+/// BDD CEC between two netlists with identical interfaces.
+BddCecResult bdd_check(const rqfp::Netlist& a, const rqfp::Netlist& b);
+
+} // namespace rcgp::cec

@@ -1,0 +1,151 @@
+#include "cec/sat_cec.hpp"
+
+#include <stdexcept>
+
+#include "tt/isop.hpp"
+
+namespace rcgp::cec {
+
+std::vector<sat::Lit> encode_netlist(sat::CnfBuilder& builder,
+                                     const rqfp::Netlist& net,
+                                     std::span<const sat::Lit> pi_lits) {
+  if (pi_lits.size() != net.num_pis()) {
+    throw std::invalid_argument("encode_netlist: PI literal count mismatch");
+  }
+  std::vector<sat::Lit> port(net.first_free_port(), builder.true_lit());
+  port[rqfp::kConstPort] = builder.true_lit();
+  for (unsigned i = 0; i < net.num_pis(); ++i) {
+    port[1 + i] = pi_lits[i];
+  }
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    const auto& gate = net.gate(g);
+    for (unsigned k = 0; k < 3; ++k) {
+      sat::Lit in[3];
+      for (unsigned i = 0; i < 3; ++i) {
+        in[i] = port[gate.in[i]];
+        if (gate.config.inverts(k, i)) {
+          in[i] = ~in[i];
+        }
+      }
+      port[net.port_of(g, k)] = builder.make_maj(in[0], in[1], in[2]);
+    }
+  }
+  std::vector<sat::Lit> pos;
+  pos.reserve(net.num_pos());
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    pos.push_back(port[net.po_at(i)]);
+  }
+  return pos;
+}
+
+sat::Lit encode_table(sat::CnfBuilder& builder, const tt::TruthTable& table,
+                      std::span<const sat::Lit> pi_lits) {
+  if (table.num_vars() != pi_lits.size()) {
+    throw std::invalid_argument("encode_table: arity mismatch");
+  }
+  if (table.is_constant0()) {
+    return builder.false_lit();
+  }
+  if (table.is_constant1()) {
+    return builder.true_lit();
+  }
+  const auto cubes = tt::isop(table);
+  std::vector<sat::Lit> terms;
+  terms.reserve(cubes.size());
+  for (const auto& cube : cubes) {
+    std::vector<sat::Lit> lits;
+    for (unsigned v = 0; v < pi_lits.size(); ++v) {
+      if (cube.mask & (1u << v)) {
+        lits.push_back((cube.polarity & (1u << v)) ? pi_lits[v]
+                                                   : ~pi_lits[v]);
+      }
+    }
+    terms.push_back(builder.make_and(std::span<const sat::Lit>(lits)));
+  }
+  return builder.make_or(std::span<const sat::Lit>(terms));
+}
+
+namespace {
+
+SatCecResult solve_miter(sat::Solver& solver, sat::CnfBuilder& builder,
+                         std::span<const sat::Lit> lhs,
+                         std::span<const sat::Lit> rhs,
+                         std::span<const sat::Lit> pi_lits,
+                         std::uint64_t max_conflicts) {
+  std::vector<sat::Lit> diffs;
+  diffs.reserve(lhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    diffs.push_back(builder.make_xor(lhs[i], rhs[i]));
+  }
+  builder.assert_true(builder.make_or(std::span<const sat::Lit>(diffs)));
+
+  sat::SolveLimits limits;
+  limits.max_conflicts = max_conflicts;
+  const auto before = solver.num_conflicts();
+  const auto res = solver.solve({}, limits);
+  SatCecResult out;
+  out.conflicts = solver.num_conflicts() - before;
+  switch (res) {
+    case sat::SolveResult::kUnsat:
+      out.verdict = CecVerdict::kEquivalent;
+      break;
+    case sat::SolveResult::kSat: {
+      out.verdict = CecVerdict::kNotEquivalent;
+      std::uint64_t cex = 0;
+      for (std::size_t i = 0; i < pi_lits.size(); ++i) {
+        if (solver.model_value(pi_lits[i])) {
+          cex |= std::uint64_t{1} << i;
+        }
+      }
+      out.counterexample = cex;
+      break;
+    }
+    case sat::SolveResult::kUnknown:
+      out.verdict = CecVerdict::kUndecided;
+      break;
+  }
+  return out;
+}
+
+} // namespace
+
+SatCecResult sat_check(const rqfp::Netlist& net,
+                       std::span<const tt::TruthTable> spec,
+                       std::uint64_t max_conflicts) {
+  if (spec.size() != net.num_pos()) {
+    throw std::invalid_argument("sat_check: PO count mismatch");
+  }
+  sat::Solver solver;
+  sat::CnfBuilder builder(solver);
+  std::vector<sat::Lit> pis;
+  pis.reserve(net.num_pis());
+  for (unsigned i = 0; i < net.num_pis(); ++i) {
+    pis.push_back(builder.new_lit());
+  }
+  const auto lhs = encode_netlist(builder, net, pis);
+  std::vector<sat::Lit> rhs;
+  rhs.reserve(spec.size());
+  for (const auto& t : spec) {
+    rhs.push_back(encode_table(builder, t, pis));
+  }
+  return solve_miter(solver, builder, lhs, rhs, pis, max_conflicts);
+}
+
+SatCecResult sat_check(const rqfp::Netlist& a, const rqfp::Netlist& b,
+                       std::uint64_t max_conflicts) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    throw std::invalid_argument("sat_check: interface mismatch");
+  }
+  sat::Solver solver;
+  sat::CnfBuilder builder(solver);
+  std::vector<sat::Lit> pis;
+  pis.reserve(a.num_pis());
+  for (unsigned i = 0; i < a.num_pis(); ++i) {
+    pis.push_back(builder.new_lit());
+  }
+  const auto lhs = encode_netlist(builder, a, pis);
+  const auto rhs = encode_netlist(builder, b, pis);
+  return solve_miter(solver, builder, lhs, rhs, pis, max_conflicts);
+}
+
+} // namespace rcgp::cec

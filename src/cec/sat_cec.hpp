@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rqfp/netlist.hpp"
+#include "sat/cnf.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::cec {
+
+enum class CecVerdict { kEquivalent, kNotEquivalent, kUndecided };
+
+struct SatCecResult {
+  CecVerdict verdict = CecVerdict::kUndecided;
+  /// PI assignment witnessing non-equivalence (bit i = PI i).
+  std::optional<std::uint64_t> counterexample;
+  std::uint64_t conflicts = 0;
+};
+
+/// Tseitin-encodes a netlist into `builder`; returns one literal per PO.
+/// `pi_lits` supplies the PI literals (size must equal num_pis()).
+std::vector<sat::Lit> encode_netlist(sat::CnfBuilder& builder,
+                                     const rqfp::Netlist& net,
+                                     std::span<const sat::Lit> pi_lits);
+
+/// Encodes a truth table over the given PI literals (ISOP cover).
+sat::Lit encode_table(sat::CnfBuilder& builder, const tt::TruthTable& table,
+                      std::span<const sat::Lit> pi_lits);
+
+/// SAT-based combinational equivalence check of a netlist against a truth
+/// table specification — the formal-verification phase the paper pairs
+/// with circuit simulation (§3.2.1). `max_conflicts` of 0 means no budget.
+SatCecResult sat_check(const rqfp::Netlist& net,
+                       std::span<const tt::TruthTable> spec,
+                       std::uint64_t max_conflicts = 0);
+
+/// SAT CEC between two netlists with identical interfaces (e.g. parent and
+/// offspring in the CGP loop).
+SatCecResult sat_check(const rqfp::Netlist& a, const rqfp::Netlist& b,
+                       std::uint64_t max_conflicts = 0);
+
+} // namespace rcgp::cec

@@ -1,0 +1,61 @@
+#include "cec/sim_cec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "rqfp/simulate.hpp"
+
+namespace rcgp::cec {
+
+SimResult sim_check(const rqfp::Netlist& net,
+                    std::span<const tt::TruthTable> spec) {
+  if (spec.size() != net.num_pos()) {
+    throw std::invalid_argument("sim_check: PO count mismatch");
+  }
+  const auto out = rqfp::simulate_live(net);
+  SimResult r;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    r.total_bits += spec[i].num_bits();
+    r.mismatching_bits += out[i].hamming_distance(spec[i]);
+  }
+  r.success_rate =
+      r.total_bits == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(r.mismatching_bits) /
+                      static_cast<double>(r.total_bits);
+  r.all_match = r.mismatching_bits == 0;
+  return r;
+}
+
+SimResult sim_check_random(const rqfp::Netlist& a, const rqfp::Netlist& b,
+                           std::size_t num_words, util::Rng& rng) {
+  if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
+    throw std::invalid_argument("sim_check_random: interface mismatch");
+  }
+  std::vector<std::vector<std::uint64_t>> patterns(a.num_pis());
+  for (auto& row : patterns) {
+    row.resize(num_words);
+    for (auto& w : row) {
+      w = rng.next();
+    }
+  }
+  const auto va = rqfp::simulate_patterns(a, patterns);
+  const auto vb = rqfp::simulate_patterns(b, patterns);
+  SimResult r;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    for (std::size_t w = 0; w < num_words; ++w) {
+      r.total_bits += 64;
+      r.mismatching_bits +=
+          static_cast<std::uint64_t>(std::popcount(va[i][w] ^ vb[i][w]));
+    }
+  }
+  r.success_rate =
+      r.total_bits == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(r.mismatching_bits) /
+                      static_cast<double>(r.total_bits);
+  r.all_match = r.mismatching_bits == 0;
+  return r;
+}
+
+} // namespace rcgp::cec

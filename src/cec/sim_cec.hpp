@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::cec {
+
+/// Outcome of simulation-based equivalence checking — the first phase of
+/// the paper's fitness evaluation (§3.2.1). `success_rate` is the fraction
+/// of simulated output bits matching the specification; the performance
+/// part of the fitness is only evaluated at success_rate == 1.
+struct SimResult {
+  std::uint64_t mismatching_bits = 0;
+  std::uint64_t total_bits = 0;
+  double success_rate = 0.0;
+  bool all_match = false;
+};
+
+/// Exhaustive check of a netlist against per-output truth tables over the
+/// netlist's PIs. Requires spec.size() == net.num_pos().
+SimResult sim_check(const rqfp::Netlist& net,
+                    std::span<const tt::TruthTable> spec);
+
+/// Random-pattern check of two netlists with identical PI/PO counts; used
+/// when the PI count makes exhaustive tables impractical.
+SimResult sim_check_random(const rqfp::Netlist& a, const rqfp::Netlist& b,
+                           std::size_t num_words, util::Rng& rng);
+
+} // namespace rcgp::cec

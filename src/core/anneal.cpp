@@ -1,0 +1,81 @@
+#include "core/anneal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cec/sim_cec.hpp"
+#include "core/shrink.hpp"
+#include "rqfp/cost.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rcgp::core {
+
+double anneal_energy(const rqfp::Netlist& net,
+                     std::span<const tt::TruthTable> spec,
+                     const FitnessOptions& options) {
+  const auto sim = cec::sim_check(net, spec);
+  const auto cost = rqfp::cost_of(net, options.schedule);
+  // Mismatched output bits dominate everything; then the paper's
+  // lexicographic order flattened with well-separated weights.
+  return 1e9 * static_cast<double>(sim.mismatching_bits) +
+         1e6 * cost.n_r + 1e3 * cost.n_g + cost.n_b;
+}
+
+AnnealResult anneal(const rqfp::Netlist& initial,
+                    std::span<const tt::TruthTable> spec,
+                    const AnnealParams& params) {
+  if (spec.size() != initial.num_pos()) {
+    throw std::invalid_argument("anneal: spec/PO count mismatch");
+  }
+  util::Stopwatch watch;
+  util::Rng rng(params.seed);
+
+  AnnealResult result;
+  rqfp::Netlist current = shrink(initial);
+  double current_energy = anneal_energy(current, spec, params.fitness);
+  Fitness init_fit = evaluate(current, spec, params.fitness);
+  if (!init_fit.functionally_correct()) {
+    throw std::invalid_argument("anneal: initial netlist incorrect");
+  }
+  result.best = current;
+  result.best_fitness = init_fit;
+
+  const double t0 = params.initial_temperature;
+  const double t1 = params.final_temperature;
+  for (std::uint64_t step = 0; step < params.steps; ++step) {
+    ++result.steps_run;
+    const double progress =
+        params.steps > 1
+            ? static_cast<double>(step) / static_cast<double>(params.steps - 1)
+            : 1.0;
+    const double temperature = t0 * std::pow(t1 / t0, progress);
+
+    rqfp::Netlist candidate = current;
+    mutate(candidate, rng, params.mutation);
+    const double candidate_energy =
+        anneal_energy(candidate, spec, params.fitness);
+    const double delta = candidate_energy - current_energy;
+    const bool accept =
+        delta <= 0 || rng.uniform01() < std::exp(-delta / (1e3 * temperature));
+    if (!accept) {
+      continue;
+    }
+    ++result.accepted;
+    if (delta > 0) {
+      ++result.uphill_accepted;
+    }
+    current = std::move(candidate);
+    current_energy = candidate_energy;
+
+    const Fitness fit = evaluate(current, spec, params.fitness);
+    if (fit.functionally_correct() &&
+        fit.strictly_better(result.best_fitness)) {
+      result.best = shrink(current);
+      result.best_fitness = fit;
+    }
+  }
+  result.seconds = watch.seconds();
+  return result;
+}
+
+} // namespace rcgp::core

@@ -1,0 +1,138 @@
+#include "core/evolve.hpp"
+
+#include <stdexcept>
+
+#include "cec/sat_cec.hpp"
+#include "core/shrink.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rcgp::core {
+
+EvolveResult evolve(const rqfp::Netlist& initial,
+                    std::span<const tt::TruthTable> spec,
+                    const EvolveParams& params) {
+  if (spec.size() != initial.num_pos()) {
+    throw std::invalid_argument("evolve: spec/PO count mismatch");
+  }
+  util::Stopwatch watch;
+  util::Rng rng(params.seed);
+
+  EvolveResult result;
+  rqfp::Netlist parent =
+      params.disable_shrink ? initial : shrink(initial);
+  Fitness parent_fit = evaluate(parent, spec, params.fitness);
+  ++result.evaluations;
+  if (!parent_fit.functionally_correct()) {
+    throw std::invalid_argument(
+        "evolve: initial netlist does not implement the specification");
+  }
+
+  std::uint64_t since_improvement = 0;
+  for (std::uint64_t gen = 0; gen < params.generations; ++gen) {
+    ++result.generations_run;
+
+    rqfp::Netlist best_child;
+    Fitness best_child_fit;
+    bool have_child = false;
+    for (unsigned k = 0; k < params.lambda; ++k) {
+      rqfp::Netlist child = parent;
+      mutate(child, rng, params.mutation);
+      const Fitness fit = evaluate(child, spec, params.fitness);
+      ++result.evaluations;
+      if (!have_child || fit.better_or_equal(best_child_fit)) {
+        best_child = std::move(child);
+        best_child_fit = fit;
+        have_child = true;
+      }
+    }
+
+    if (have_child && best_child_fit.better_or_equal(parent_fit)) {
+      const bool improved = best_child_fit.strictly_better(parent_fit);
+      bool accept = true;
+      if (improved && params.sat_verify_improvements) {
+        // Formal confirmation (paper §3.2.1 pairs simulation with formal
+        // verification before trusting a candidate).
+        const auto cec =
+            cec::sat_check(best_child, spec, params.sat_conflict_budget);
+        ++result.sat_confirmations;
+        accept = cec.verdict != cec::CecVerdict::kNotEquivalent;
+      }
+      if (accept) {
+        parent = params.disable_shrink ? std::move(best_child)
+                                       : shrink(best_child);
+        parent_fit = best_child_fit;
+        if (improved) {
+          ++result.improvements;
+          since_improvement = 0;
+          if (params.on_improvement) {
+            params.on_improvement(gen, parent_fit);
+          }
+        } else {
+          ++since_improvement;
+        }
+      } else {
+        ++since_improvement;
+      }
+    } else {
+      ++since_improvement;
+    }
+
+    if (params.stagnation_limit && since_improvement >= params.stagnation_limit) {
+      break;
+    }
+    if (params.time_limit_seconds > 0.0 && (gen & 63) == 0 &&
+        watch.seconds() > params.time_limit_seconds) {
+      break;
+    }
+  }
+
+  result.best = std::move(parent);
+  result.best_fitness = parent_fit;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+EvolveResult evolve_multistart(const rqfp::Netlist& initial,
+                               std::span<const tt::TruthTable> spec,
+                               const EvolveParams& params,
+                               unsigned restarts) {
+  if (restarts == 0) {
+    restarts = 1;
+  }
+  util::Stopwatch watch;
+  EvolveParams per_run = params;
+  per_run.generations = std::max<std::uint64_t>(1, params.generations / restarts);
+  if (params.time_limit_seconds > 0.0) {
+    per_run.time_limit_seconds = params.time_limit_seconds / restarts;
+  }
+
+  EvolveResult best;
+  bool have_best = false;
+  for (unsigned r = 0; r < restarts; ++r) {
+    per_run.seed = params.seed + r;
+    EvolveResult run = evolve(initial, spec, per_run);
+    const bool better =
+        !have_best || run.best_fitness.strictly_better(best.best_fitness);
+    // Accumulate bookkeeping across runs.
+    const auto generations = (have_best ? best.generations_run : 0) +
+                             run.generations_run;
+    const auto evaluations =
+        (have_best ? best.evaluations : 0) + run.evaluations;
+    const auto improvements =
+        (have_best ? best.improvements : 0) + run.improvements;
+    const auto confirmations =
+        (have_best ? best.sat_confirmations : 0) + run.sat_confirmations;
+    if (better) {
+      best = std::move(run);
+      have_best = true;
+    }
+    best.generations_run = generations;
+    best.evaluations = evaluations;
+    best.improvements = improvements;
+    best.sat_confirmations = confirmations;
+  }
+  best.seconds = watch.seconds();
+  return best;
+}
+
+} // namespace rcgp::core

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/fitness.hpp"
+#include "core/mutation.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::core {
+
+struct EvolveParams {
+  /// Number N of generations (the paper runs 5*10^7; laptop-scale budgets
+  /// of 10^3..10^5 already show the paper's qualitative behaviour).
+  std::uint64_t generations = 100000;
+  /// λ offspring per generation in the (1+λ) evolutionary strategy.
+  unsigned lambda = 4;
+  MutationParams mutation;
+  std::uint64_t seed = 1;
+
+  /// Confirm every accepted strict improvement with SAT-based formal
+  /// verification (the paper combines circuit simulation with formal
+  /// verification). Simulation here is exhaustive, so this is a
+  /// belt-and-braces check; it also exercises the CEC engine.
+  bool sat_verify_improvements = false;
+  std::uint64_t sat_conflict_budget = 100000;
+
+  /// Disable the shrink step on acceptance (ablation only — the paper's
+  /// §3.2.3 argues shrink reduces the search space).
+  bool disable_shrink = false;
+
+  /// Stop early after this many seconds (0 = no limit).
+  double time_limit_seconds = 0.0;
+  /// Stop early after this many generations without improvement (0 = off).
+  std::uint64_t stagnation_limit = 0;
+
+  FitnessOptions fitness;
+
+  /// Optional per-improvement callback (generation, fitness).
+  std::function<void(std::uint64_t, const Fitness&)> on_improvement;
+};
+
+struct EvolveResult {
+  rqfp::Netlist best;
+  Fitness best_fitness;
+  std::uint64_t generations_run = 0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t improvements = 0;
+  std::uint64_t sat_confirmations = 0;
+  double seconds = 0.0;
+};
+
+/// (1+λ) CGP optimization of an RQFP netlist against a truth-table
+/// specification (Algorithm 1 of the paper). The initial netlist must be
+/// functionally correct w.r.t. `spec`; the result always is (improvements
+/// are only accepted at 100% simulation success, optionally SAT-confirmed).
+EvolveResult evolve(const rqfp::Netlist& initial,
+                    std::span<const tt::TruthTable> spec,
+                    const EvolveParams& params = {});
+
+/// Restart extension: runs `restarts` independent (1+λ) searches from the
+/// same initial netlist with decorrelated seeds (params.seed, +1, ...),
+/// each with params.generations / restarts generations, and returns the
+/// fittest result. Escapes the local optima a single neutral walk can get
+/// stuck on; total evaluation budget matches a single evolve() call.
+EvolveResult evolve_multistart(const rqfp::Netlist& initial,
+                               std::span<const tt::TruthTable> spec,
+                               const EvolveParams& params = {},
+                               unsigned restarts = 4);
+
+} // namespace rcgp::core

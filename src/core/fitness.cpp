@@ -1,0 +1,54 @@
+#include "core/fitness.hpp"
+
+#include "cec/sim_cec.hpp"
+#include "rqfp/cost.hpp"
+
+namespace rcgp::core {
+
+bool Fitness::better_or_equal(const Fitness& other) const {
+  if (success_rate != other.success_rate) {
+    return success_rate > other.success_rate;
+  }
+  if (!functionally_correct()) {
+    return true; // equally wrong: allow drift
+  }
+  if (objective == Objective::kJjCount) {
+    if (jjs() != other.jjs()) {
+      return jjs() < other.jjs();
+    }
+    return n_g <= other.n_g;
+  }
+  if (n_r != other.n_r) {
+    return n_r < other.n_r;
+  }
+  if (n_g != other.n_g) {
+    return n_g < other.n_g;
+  }
+  return n_b <= other.n_b;
+}
+
+std::string Fitness::to_string() const {
+  return "rate=" + std::to_string(success_rate) +
+         " n_r=" + std::to_string(n_r) + " n_g=" + std::to_string(n_g) +
+         " n_b=" + std::to_string(n_b);
+}
+
+Fitness evaluate(const rqfp::Netlist& net,
+                 std::span<const tt::TruthTable> spec,
+                 const FitnessOptions& options) {
+  Fitness f;
+  f.objective = options.objective;
+  const auto sim = cec::sim_check(net, spec);
+  f.success_rate = sim.success_rate;
+  if (!sim.all_match) {
+    return f;
+  }
+  f.success_rate = 1.0;
+  const auto cost = rqfp::cost_of(net, options.schedule);
+  f.n_r = cost.n_r;
+  f.n_g = cost.n_g;
+  f.n_b = cost.n_b;
+  return f;
+}
+
+} // namespace rcgp::core

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "rqfp/buffer.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::core {
+
+/// Performance objective once functional correctness holds.
+enum class Objective {
+  /// The paper's §3.2.1 order: gates, then garbage, then buffers.
+  kPaperLexicographic,
+  /// Extension: minimize Josephson junctions (24*n_r + 4*n_b) directly,
+  /// tie-breaking on garbage — useful when buffer overhead dominates.
+  kJjCount,
+};
+
+/// Lexicographic CGP fitness per §3.2.1 of the paper:
+///  1. functional success rate (simulation-based equivalence) must be 1.0
+///     before any performance term is considered;
+///  2. then fewer RQFP gates is better;
+///  3. then fewer garbage outputs;
+///  4. then fewer path-balancing buffers.
+struct Fitness {
+  double success_rate = 0.0;
+  std::uint32_t n_r = 0;
+  std::uint32_t n_g = 0;
+  std::uint32_t n_b = 0;
+  Objective objective = Objective::kPaperLexicographic;
+
+  std::uint32_t jjs() const { return 24 * n_r + 4 * n_b; }
+
+  bool functionally_correct() const { return success_rate >= 1.0; }
+
+  /// True when `this` is at least as fit as `other` ((1+λ) acceptance uses
+  /// better-or-equal so neutral drift is possible).
+  bool better_or_equal(const Fitness& other) const;
+  bool strictly_better(const Fitness& other) const {
+    return better_or_equal(other) && !other.better_or_equal(*this);
+  }
+
+  std::string to_string() const;
+};
+
+struct FitnessOptions {
+  rqfp::BufferSchedule schedule = rqfp::BufferSchedule::kAsap;
+  Objective objective = Objective::kPaperLexicographic;
+};
+
+/// Evaluates a genotype against the specification (one table per PO over
+/// the netlist's PIs). Cost terms are measured on the live subnetwork, so
+/// not-yet-shrunk offspring are judged by their phenotype.
+Fitness evaluate(const rqfp::Netlist& net,
+                 std::span<const tt::TruthTable> spec,
+                 const FitnessOptions& options = {});
+
+} // namespace rcgp::core

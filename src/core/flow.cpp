@@ -1,0 +1,98 @@
+#include "core/flow.hpp"
+
+#include <stdexcept>
+
+#include "core/window.hpp"
+
+#include "aig/aig_simulate.hpp"
+#include "aig/fraig.hpp"
+#include "aig/resyn.hpp"
+#include "aig/rewrite.hpp"
+#include "mig/mig_from_aig.hpp"
+#include "mig/mig_rewrite.hpp"
+#include "rqfp/map_from_mig.hpp"
+#include "rqfp/splitter.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rcgp::core {
+
+aig::Aig aig_from_tables(std::span<const tt::TruthTable> spec,
+                         std::span<const std::string> po_names) {
+  if (spec.empty()) {
+    throw std::invalid_argument("aig_from_tables: empty specification");
+  }
+  const unsigned nv = spec[0].num_vars();
+  for (const auto& t : spec) {
+    if (t.num_vars() != nv) {
+      throw std::invalid_argument("aig_from_tables: mixed arities");
+    }
+  }
+  aig::Aig net;
+  std::vector<aig::Signal> pis;
+  pis.reserve(nv);
+  for (unsigned i = 0; i < nv; ++i) {
+    pis.push_back(net.create_pi());
+  }
+  for (std::size_t o = 0; o < spec.size(); ++o) {
+    const aig::Signal s = aig::build_factored(net, spec[o], pis);
+    net.add_po(s, o < po_names.size() ? po_names[o] : "");
+  }
+  return net.cleanup();
+}
+
+FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
+  util::Stopwatch watch;
+  FlowResult result;
+
+  // Phase 1: conventional logic synthesis (ABC resyn2 stand-in).
+  aig::Aig net = input.cleanup();
+  if (options.run_aig_optimization) {
+    net = aig::resyn2(net);
+  }
+  if (options.run_fraig) {
+    net = aig::fraig(net);
+  }
+
+  // Phase 2: AQFP-oriented majority logic (aqfp_resynthesis stand-in).
+  mig::Mig m = mig::mig_from_aig(net);
+  if (options.run_mig_optimization) {
+    m = mig::optimize_mig(m);
+  }
+
+  // Phase 3: direct RQFP conversion + splitter insertion → the
+  // initialization baseline.
+  rqfp::MapOptions map_options;
+  map_options.pack_shared_fanins = options.pack_shared_fanins;
+  rqfp::Netlist raw = rqfp::map_from_mig(m, nullptr, map_options);
+  result.initial = rqfp::insert_splitters(raw);
+  const std::string problem = result.initial.validate();
+  if (!problem.empty()) {
+    throw std::logic_error("flow: initialization produced illegal netlist: " +
+                           problem);
+  }
+  result.initial_cost = rqfp::cost_of(result.initial, options.schedule);
+
+  // Phase 4: CGP-based optimization against the exact specification.
+  const auto spec = aig::simulate(net);
+  if (options.run_cgp) {
+    EvolveParams ep = options.evolve;
+    ep.fitness.schedule = options.schedule;
+    result.evolution = evolve(result.initial, spec, ep);
+    result.optimized = result.evolution.best;
+  } else {
+    result.optimized = result.initial;
+  }
+  if (options.run_exact_polish) {
+    result.optimized = exact_polish(result.optimized);
+  }
+  result.optimized_cost = rqfp::cost_of(result.optimized, options.schedule);
+  result.seconds_total = watch.seconds();
+  return result;
+}
+
+FlowResult synthesize(std::span<const tt::TruthTable> spec,
+                      const FlowOptions& options) {
+  return synthesize(aig_from_tables(spec), options);
+}
+
+} // namespace rcgp::core

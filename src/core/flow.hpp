@@ -1,0 +1,63 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "core/evolve.hpp"
+#include "rqfp/cost.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::core {
+
+/// Options for the end-to-end RCGP synthesis flow (Fig. 2 of the paper):
+/// RTL/AIG input → logic synthesis (resyn2) → AQFP-oriented MIG →
+/// RQFP netlist conversion → splitter insertion → CGP optimization →
+/// buffer insertion.
+struct FlowOptions {
+  bool run_aig_optimization = true; // ABC resyn2 equivalent
+  bool run_fraig = false;           // SAT sweeping after resyn2
+  bool run_mig_optimization = true; // mockturtle aqfp_resynthesis equivalent
+  /// Extension: pack MIG nodes with shared fanins into one RQFP gate
+  /// (one majority row each). Off by default — the paper's baseline maps
+  /// one node per gate.
+  bool pack_shared_fanins = false;
+  bool run_cgp = true;              // the paper's contribution
+  /// Extension: after CGP, replace small windows with SAT-proven optimal
+  /// sub-circuits (closes the gap to the exact optima at laptop budgets).
+  bool run_exact_polish = false;
+  EvolveParams evolve;
+  rqfp::BufferSchedule schedule = rqfp::BufferSchedule::kAsap;
+};
+
+struct FlowResult {
+  /// The initialization baseline: RQFP netlist right after conversion and
+  /// splitter insertion (first baseline in Tables 1-2).
+  rqfp::Netlist initial;
+  rqfp::Cost initial_cost;
+
+  /// After CGP optimization (equals `initial` when run_cgp is false).
+  rqfp::Netlist optimized;
+  rqfp::Cost optimized_cost;
+
+  EvolveResult evolution;
+  double seconds_total = 0.0;
+};
+
+/// Builds an AIG computing the given per-output truth tables (ISOP-factored
+/// forms over fresh PIs) — the entry point for truth-table-specified
+/// benchmarks.
+aig::Aig aig_from_tables(std::span<const tt::TruthTable> spec,
+                         std::span<const std::string> po_names = {});
+
+/// Full flow from an AIG (parsed from Verilog/BLIF/AIGER or built
+/// programmatically). PIs must number at most tt::TruthTable::kMaxVars.
+FlowResult synthesize(const aig::Aig& input, const FlowOptions& options = {});
+
+/// Full flow from a truth-table specification.
+FlowResult synthesize(std::span<const tt::TruthTable> spec,
+                      const FlowOptions& options = {});
+
+} // namespace rcgp::core

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "rqfp/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::core {
+
+struct MutationParams {
+  /// Mutation rate μ ∈ [0,1]: up to μ * n_L genes are modified per
+  /// mutation (the paper's experiments use μ = 1).
+  double mu = 1.0;
+  /// Apply the fan-out-preserving swap rule to primary-output genes too.
+  /// The paper updates PO genes directly (tolerating transient fan-out
+  /// violations resolved by shrink); RCGP keeps the invariant strict by
+  /// default. Set false to mirror the paper's permissive behaviour — the
+  /// mutated netlist may then fail validate() until shrink runs.
+  bool strict_po_swap = true;
+};
+
+struct MutationStats {
+  std::uint32_t genes_changed = 0;
+  std::uint32_t swaps = 0;
+  std::uint32_t direct_assigns = 0;
+  std::uint32_t config_flips = 0;
+  std::uint32_t po_moves = 0;
+  std::uint32_t skipped_infeasible = 0;
+};
+
+/// Point mutation per §3.2.2 of the paper: each modified gene is either a
+/// node-input reconnection (with the value-swap rule that preserves the
+/// single fan-out invariant), a primary-output reconnection, or a one-bit
+/// inverter-configuration flip. The netlist is mutated in place.
+MutationStats mutate(rqfp::Netlist& net, util::Rng& rng,
+                     const MutationParams& params = {});
+
+/// Outcome of a single deterministic gene reconnection.
+enum class ReconnectOutcome {
+  kNoChange,   // target equals the current value (or self-swap)
+  kDirect,     // situation (2): constant or unconsumed port, assigned
+  kSwapped,    // situation (1): values swapped with the target's consumer
+  kInfeasible  // swap partner cannot legally read the old value
+};
+
+/// Reconnects input `slot` of gate `g` to `target`, applying the paper's
+/// swap rule. The single fan-out invariant is preserved. `target` must be
+/// readable by gate g (i.e. < net.port_of(g, 0)).
+ReconnectOutcome reconnect_input(rqfp::Netlist& net, std::uint32_t g,
+                                 unsigned slot, rqfp::Port target);
+
+/// Reconnects primary output `po` to `target` with the same swap rule.
+ReconnectOutcome reconnect_po(rqfp::Netlist& net, std::uint32_t po,
+                              rqfp::Port target);
+
+} // namespace rcgp::core

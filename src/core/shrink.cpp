@@ -1,0 +1,17 @@
+#include "core/shrink.hpp"
+
+#include <algorithm>
+
+namespace rcgp::core {
+
+rqfp::Netlist shrink(const rqfp::Netlist& net) {
+  return net.remove_dead_gates();
+}
+
+std::uint32_t count_useless_gates(const rqfp::Netlist& net) {
+  const auto live = net.live_gates();
+  return static_cast<std::uint32_t>(
+      std::count(live.begin(), live.end(), false));
+}
+
+} // namespace rcgp::core

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::core {
+
+/// The paper's shrink step (§3.2.3): removes useless gates — gates none of
+/// whose outputs transitively reach a primary output — and renumbers
+/// ports, reducing the chromosome length and hence the search space.
+rqfp::Netlist shrink(const rqfp::Netlist& net);
+
+/// Number of useless gates that shrink would remove.
+std::uint32_t count_useless_gates(const rqfp::Netlist& net);
+
+} // namespace rcgp::core

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/evolve.hpp"
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::core {
+
+/// Windowed CGP optimization: the scalability technique the paper points
+/// to for real-world instances (§2.2, Kocnova & Vasicek's EA-based
+/// resynthesis). Contiguous gate ranges are extracted as sub-netlists,
+/// their exact local function is computed by simulation, a (1+λ) run
+/// optimizes each window against that local specification, and improved
+/// windows are spliced back. Global PO functions are preserved by
+/// construction, so arbitrarily large netlists can be optimized without
+/// ever simulating the whole circuit.
+struct WindowParams {
+  /// Gates per window (contiguous in topological order).
+  std::uint32_t window_gates = 24;
+  /// Windows whose boundary-input count exceeds this are shrunk or
+  /// skipped (exhaustive local simulation must stay cheap).
+  unsigned max_window_inputs = 10;
+  /// Sliding step between window starts (defaults to window_gates).
+  std::uint32_t stride = 0;
+  /// Number of full sweeps over the netlist.
+  unsigned passes = 1;
+  /// Per-window evolution budget.
+  EvolveParams evolve;
+};
+
+struct WindowStats {
+  std::uint32_t windows_tried = 0;
+  std::uint32_t windows_skipped = 0;
+  std::uint32_t windows_improved = 0;
+  std::uint32_t gates_before = 0;
+  std::uint32_t gates_after = 0;
+};
+
+/// A window extracted from a netlist, with the port maps needed to splice
+/// an optimized replacement back in. Exposed for testing.
+struct Window {
+  rqfp::Netlist sub;
+  /// sub PI index -> outer port feeding it.
+  std::vector<rqfp::Port> boundary_inputs;
+  /// sub PO index -> outer window port it replaces.
+  std::vector<rqfp::Port> boundary_outputs;
+  std::uint32_t first_gate = 0;
+  std::uint32_t num_gates = 0;
+};
+
+/// Extracts gates [first, first+count) as a window; returns false when the
+/// boundary-input limit is exceeded.
+bool extract_window(const rqfp::Netlist& net, std::uint32_t first,
+                    std::uint32_t count, unsigned max_inputs, Window& out);
+
+/// Replaces the window's gate range with `replacement` (a netlist over the
+/// window's boundary inputs implementing the same boundary functions) and
+/// renumbers all ports.
+rqfp::Netlist splice_window(const rqfp::Netlist& net, const Window& window,
+                            const rqfp::Netlist& replacement);
+
+/// Full windowed optimization sweep.
+rqfp::Netlist window_optimize(const rqfp::Netlist& input,
+                              const WindowParams& params = {},
+                              WindowStats* stats = nullptr);
+
+struct ExactPolishParams {
+  /// Windows of at most this many gates and boundary inputs are handed to
+  /// the SAT-based exact synthesizer. Both bounds keep the encoding tiny.
+  std::uint32_t window_gates = 6;
+  unsigned max_window_inputs = 4;
+  /// Per-window exact budget.
+  double seconds_per_window = 5.0;
+  std::uint64_t conflicts_per_call = 200000;
+  unsigned passes = 1;
+};
+
+/// Hybrid CGP+exact refinement: sweeps small windows and replaces each
+/// with a SAT-proven optimal sub-circuit when that is strictly smaller.
+/// Combines the paper's two methods — CGP for global scale, exact
+/// synthesis where it is tractable.
+rqfp::Netlist exact_polish(const rqfp::Netlist& input,
+                           const ExactPolishParams& params = {},
+                           WindowStats* stats = nullptr);
+
+} // namespace rcgp::core

@@ -1,0 +1,343 @@
+#include "io/aiger.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rcgp::io {
+
+aig::Aig parse_aiger(std::istream& in) {
+  std::string magic;
+  std::size_t m = 0;
+  std::size_t i = 0;
+  std::size_t l = 0;
+  std::size_t o = 0;
+  std::size_t a = 0;
+  if (!(in >> magic >> m >> i >> l >> o >> a) || magic != "aag") {
+    throw std::runtime_error("aiger: expected ASCII header 'aag M I L O A'");
+  }
+  if (l != 0) {
+    throw std::runtime_error("aiger: latches unsupported (combinational only)");
+  }
+  if (m < i + a) {
+    throw std::runtime_error("aiger: inconsistent header counts");
+  }
+
+  aig::Aig net;
+  // AIGER literal -> our signal. Variable v occupies literals 2v, 2v+1;
+  // variable 0 is constant false.
+  std::vector<aig::Signal> var_sig(m + 1, net.const0());
+
+  std::vector<std::size_t> input_lits(i);
+  for (std::size_t k = 0; k < i; ++k) {
+    if (!(in >> input_lits[k])) {
+      throw std::runtime_error("aiger: truncated input section");
+    }
+    if (input_lits[k] == 0 || input_lits[k] & 1 || input_lits[k] / 2 > m) {
+      throw std::runtime_error("aiger: invalid input literal");
+    }
+    var_sig[input_lits[k] / 2] = net.create_pi();
+  }
+  std::vector<std::size_t> output_lits(o);
+  for (std::size_t k = 0; k < o; ++k) {
+    if (!(in >> output_lits[k]) || output_lits[k] / 2 > m) {
+      throw std::runtime_error("aiger: truncated/invalid output section");
+    }
+  }
+  for (std::size_t k = 0; k < a; ++k) {
+    std::size_t lhs = 0;
+    std::size_t rhs0 = 0;
+    std::size_t rhs1 = 0;
+    if (!(in >> lhs >> rhs0 >> rhs1)) {
+      throw std::runtime_error("aiger: truncated AND section");
+    }
+    if (lhs & 1 || lhs / 2 > m || rhs0 >= lhs || rhs1 >= lhs) {
+      throw std::runtime_error("aiger: AND literals not in DAG order");
+    }
+    const aig::Signal s0 = var_sig[rhs0 / 2] ^ ((rhs0 & 1) != 0);
+    const aig::Signal s1 = var_sig[rhs1 / 2] ^ ((rhs1 & 1) != 0);
+    var_sig[lhs / 2] = net.create_and(s0, s1);
+  }
+  for (std::size_t k = 0; k < o; ++k) {
+    const aig::Signal s =
+        var_sig[output_lits[k] / 2] ^ ((output_lits[k] & 1) != 0);
+    net.add_po(s);
+  }
+
+  // Symbol table (optional): iK name / oK name; stop at 'c' or EOF.
+  std::string line;
+  std::getline(in, line); // rest of the last AND line
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == 'c') {
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    std::string name;
+    ls >> tag >> name;
+    if (tag.size() < 2 || name.empty()) {
+      continue;
+    }
+    const std::size_t index = std::stoul(tag.substr(1));
+    if (tag[0] == 'i' && index < i) {
+      net.set_pi_name(static_cast<std::uint32_t>(index), name);
+    } else if (tag[0] == 'o' && index < o) {
+      net.set_po_name(static_cast<std::uint32_t>(index), name);
+    }
+  }
+  return net;
+}
+
+aig::Aig parse_aiger_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_aiger(in);
+}
+
+aig::Aig parse_aiger_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("aiger: cannot open " + path);
+  }
+  return parse_aiger(in);
+}
+
+void write_aiger(const aig::Aig& input, std::ostream& out) {
+  const aig::Aig net = input.cleanup();
+  // Assign AIGER variables: inputs first, then AND nodes in topo order.
+  std::vector<std::size_t> var_of(net.num_nodes(), 0);
+  std::size_t next_var = 1;
+  for (std::uint32_t k = 0; k < net.num_pis(); ++k) {
+    var_of[net.pi_at(k)] = next_var++;
+  }
+  std::size_t num_ands = 0;
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (net.is_and(n)) {
+      var_of[n] = next_var++;
+      ++num_ands;
+    }
+  }
+  auto lit_of = [&](aig::Signal s) {
+    return 2 * var_of[s.node()] + (s.complemented() ? 1 : 0);
+  };
+
+  out << "aag " << (next_var - 1) << ' ' << net.num_pis() << " 0 "
+      << net.num_pos() << ' ' << num_ands << '\n';
+  for (std::uint32_t k = 0; k < net.num_pis(); ++k) {
+    out << 2 * var_of[net.pi_at(k)] << '\n';
+  }
+  for (std::uint32_t k = 0; k < net.num_pos(); ++k) {
+    out << lit_of(net.po_at(k)) << '\n';
+  }
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_and(n)) {
+      continue;
+    }
+    out << 2 * var_of[n] << ' ' << lit_of(net.fanin0(n)) << ' '
+        << lit_of(net.fanin1(n)) << '\n';
+  }
+  for (std::uint32_t k = 0; k < net.num_pis(); ++k) {
+    out << 'i' << k << ' ' << net.pi_name(k) << '\n';
+  }
+  for (std::uint32_t k = 0; k < net.num_pos(); ++k) {
+    out << 'o' << k << ' ' << net.po_name(k) << '\n';
+  }
+}
+
+std::string write_aiger_string(const aig::Aig& net) {
+  std::ostringstream out;
+  write_aiger(net, out);
+  return out.str();
+}
+
+namespace {
+
+/// AIGER binary delta coding: non-negative integers in 7-bit groups,
+/// continuation bit 0x80, least significant group first.
+void put_delta(std::ostream& out, std::size_t delta) {
+  while (delta >= 0x80) {
+    out.put(static_cast<char>((delta & 0x7F) | 0x80));
+    delta >>= 7;
+  }
+  out.put(static_cast<char>(delta));
+}
+
+std::size_t get_delta(std::istream& in) {
+  std::size_t value = 0;
+  unsigned shift = 0;
+  for (;;) {
+    const int byte = in.get();
+    if (byte == EOF) {
+      throw std::runtime_error("aiger: truncated binary delta");
+    }
+    value |= static_cast<std::size_t>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) {
+      return value;
+    }
+    shift += 7;
+    if (shift > 63) {
+      throw std::runtime_error("aiger: oversized binary delta");
+    }
+  }
+}
+
+} // namespace
+
+aig::Aig parse_aiger_binary(std::istream& in) {
+  std::string magic;
+  std::size_t m = 0;
+  std::size_t i = 0;
+  std::size_t l = 0;
+  std::size_t o = 0;
+  std::size_t a = 0;
+  if (!(in >> magic >> m >> i >> l >> o >> a) || magic != "aig") {
+    throw std::runtime_error("aiger: expected binary header 'aig M I L O A'");
+  }
+  if (l != 0) {
+    throw std::runtime_error("aiger: latches unsupported (combinational only)");
+  }
+  if (m != i + a) {
+    throw std::runtime_error("aiger: binary header requires M = I + A");
+  }
+  // Outputs follow as ASCII lines; then the binary AND section.
+  std::vector<std::size_t> output_lits(o);
+  for (std::size_t k = 0; k < o; ++k) {
+    if (!(in >> output_lits[k]) || output_lits[k] > 2 * m + 1) {
+      throw std::runtime_error("aiger: invalid output literal");
+    }
+  }
+  // Consume exactly one newline before the binary section.
+  if (in.get() != '\n') {
+    throw std::runtime_error("aiger: malformed separator before AND section");
+  }
+
+  aig::Aig net;
+  std::vector<aig::Signal> var_sig(m + 1, net.const0());
+  for (std::size_t k = 1; k <= i; ++k) {
+    var_sig[k] = net.create_pi(); // binary format: input k has literal 2k
+  }
+  auto signal_of = [&](std::size_t lit) {
+    return var_sig[lit >> 1] ^ ((lit & 1) != 0);
+  };
+  for (std::size_t k = 0; k < a; ++k) {
+    const std::size_t lhs = 2 * (i + 1 + k);
+    const std::size_t delta0 = get_delta(in);
+    if (delta0 >= lhs) {
+      throw std::runtime_error("aiger: AND delta out of range");
+    }
+    const std::size_t rhs0 = lhs - delta0;
+    const std::size_t delta1 = get_delta(in);
+    if (delta1 > rhs0) {
+      throw std::runtime_error("aiger: second AND delta out of range");
+    }
+    const std::size_t rhs1 = rhs0 - delta1;
+    var_sig[lhs >> 1] = net.create_and(signal_of(rhs0), signal_of(rhs1));
+  }
+  for (std::size_t k = 0; k < o; ++k) {
+    net.add_po(signal_of(output_lits[k]));
+  }
+  // Optional symbol table.
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == 'c') {
+      break;
+    }
+    std::istringstream ls(line);
+    std::string tag;
+    std::string name;
+    ls >> tag >> name;
+    if (tag.size() < 2 || name.empty()) {
+      continue;
+    }
+    const std::size_t index = std::stoul(tag.substr(1));
+    if (tag[0] == 'i' && index < i) {
+      net.set_pi_name(static_cast<std::uint32_t>(index), name);
+    } else if (tag[0] == 'o' && index < o) {
+      net.set_po_name(static_cast<std::uint32_t>(index), name);
+    }
+  }
+  return net;
+}
+
+aig::Aig parse_aiger_auto(std::istream& in) {
+  // Peek at the magic word without consuming it.
+  const auto start = in.tellg();
+  std::string magic;
+  in >> magic;
+  in.seekg(start);
+  if (magic == "aig") {
+    return parse_aiger_binary(in);
+  }
+  return parse_aiger(in);
+}
+
+aig::Aig parse_aiger_auto_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("aiger: cannot open " + path);
+  }
+  return parse_aiger_auto(in);
+}
+
+void write_aiger_binary(const aig::Aig& input, std::ostream& out) {
+  const aig::Aig net = input.cleanup();
+  // Binary format fixes input literals to 2..2I and requires each AND's
+  // lhs > rhs0 >= rhs1; our creation order is topological, so renumbering
+  // nodes in (PIs, ANDs-in-order) sequence satisfies it after sorting the
+  // two fanins.
+  std::vector<std::size_t> var_of(net.num_nodes(), 0);
+  std::size_t next = 1;
+  for (std::uint32_t k = 0; k < net.num_pis(); ++k) {
+    var_of[net.pi_at(k)] = next++;
+  }
+  std::size_t num_ands = 0;
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (net.is_and(n)) {
+      var_of[n] = next++;
+      ++num_ands;
+    }
+  }
+  auto lit_of = [&](aig::Signal s) {
+    return 2 * var_of[s.node()] + (s.complemented() ? 1 : 0);
+  };
+  out << "aig " << (next - 1) << ' ' << net.num_pis() << " 0 "
+      << net.num_pos() << ' ' << num_ands << '\n';
+  for (std::uint32_t k = 0; k < net.num_pos(); ++k) {
+    out << lit_of(net.po_at(k)) << '\n';
+  }
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_and(n)) {
+      continue;
+    }
+    const std::size_t lhs = 2 * var_of[n];
+    std::size_t rhs0 = lit_of(net.fanin0(n));
+    std::size_t rhs1 = lit_of(net.fanin1(n));
+    if (rhs0 < rhs1) {
+      std::swap(rhs0, rhs1);
+    }
+    put_delta(out, lhs - rhs0);
+    put_delta(out, rhs0 - rhs1);
+  }
+  for (std::uint32_t k = 0; k < net.num_pis(); ++k) {
+    out << 'i' << k << ' ' << net.pi_name(k) << '\n';
+  }
+  for (std::uint32_t k = 0; k < net.num_pos(); ++k) {
+    out << 'o' << k << ' ' << net.po_name(k) << '\n';
+  }
+}
+
+std::string write_aiger_binary_string(const aig::Aig& net) {
+  std::ostringstream out;
+  write_aiger_binary(net, out);
+  return out.str();
+}
+
+} // namespace rcgp::io

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace rcgp::io {
+
+/// Parses the ASCII AIGER format ("aag M I L O A", combinational only:
+/// L must be 0). Symbol-table entries (iN/oN) are honored.
+/// Throws std::runtime_error on malformed input.
+aig::Aig parse_aiger(std::istream& in);
+aig::Aig parse_aiger_string(const std::string& text);
+aig::Aig parse_aiger_file(const std::string& path);
+
+/// Writes an AIG in ASCII AIGER format with a symbol table.
+void write_aiger(const aig::Aig& net, std::ostream& out);
+std::string write_aiger_string(const aig::Aig& net);
+
+/// Parses the binary AIGER format ("aig M I L O A": implicit input
+/// literals, delta-encoded AND gates in LEB128-style 7-bit groups).
+/// Combinational only. Auto-detection: parse_aiger_auto dispatches on the
+/// magic word, accepting both "aag" and "aig" files.
+aig::Aig parse_aiger_binary(std::istream& in);
+aig::Aig parse_aiger_auto(std::istream& in);
+aig::Aig parse_aiger_auto_file(const std::string& path);
+
+/// Writes the binary AIGER format (inputs renumbered to 2,4,6,... as the
+/// format requires; ANDs re-indexed topologically).
+void write_aiger_binary(const aig::Aig& net, std::ostream& out);
+std::string write_aiger_binary_string(const aig::Aig& net);
+
+} // namespace rcgp::io

@@ -1,0 +1,267 @@
+#include "io/blif.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rcgp::io {
+
+namespace {
+
+/// Reads logical lines, gluing '\' continuations and skipping comments.
+std::vector<std::vector<std::string>> tokenize(std::istream& in) {
+  std::vector<std::vector<std::string>> lines;
+  std::string line;
+  std::string pending;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    if (!line.empty() && line.back() == '\\') {
+      pending += line.substr(0, line.size() - 1) + " ";
+      continue;
+    }
+    pending += line;
+    std::istringstream ls(pending);
+    pending.clear();
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (ls >> tok) {
+      tokens.push_back(tok);
+    }
+    if (!tokens.empty()) {
+      lines.push_back(std::move(tokens));
+    }
+  }
+  return lines;
+}
+
+struct NamesTable {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> cubes; // "01-" style rows
+  char out_value = '1';
+};
+
+} // namespace
+
+aig::Aig parse_blif(std::istream& in) {
+  const auto lines = tokenize(in);
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<NamesTable> tables;
+  bool in_names = false;
+
+  for (const auto& tokens : lines) {
+    const std::string& head = tokens[0];
+    if (head == ".model") {
+      in_names = false;
+      continue;
+    }
+    if (head == ".inputs") {
+      in_names = false;
+      input_names.insert(input_names.end(), tokens.begin() + 1, tokens.end());
+      continue;
+    }
+    if (head == ".outputs") {
+      in_names = false;
+      output_names.insert(output_names.end(), tokens.begin() + 1,
+                          tokens.end());
+      continue;
+    }
+    if (head == ".names") {
+      if (tokens.size() < 2) {
+        throw std::runtime_error("blif: .names needs at least an output");
+      }
+      NamesTable t;
+      t.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
+      t.output = tokens.back();
+      tables.push_back(std::move(t));
+      in_names = true;
+      continue;
+    }
+    if (head == ".end") {
+      break;
+    }
+    if (head[0] == '.') {
+      throw std::runtime_error("blif: unsupported directive " + head);
+    }
+    // Cube row of the current .names table.
+    if (!in_names || tables.empty()) {
+      throw std::runtime_error("blif: stray table row");
+    }
+    NamesTable& t = tables.back();
+    if (t.inputs.empty()) {
+      if (tokens.size() != 1 || (tokens[0] != "0" && tokens[0] != "1")) {
+        throw std::runtime_error("blif: constant table row malformed");
+      }
+      t.out_value = tokens[0][0];
+      t.cubes.push_back("");
+      continue;
+    }
+    if (tokens.size() != 2 || tokens[0].size() != t.inputs.size()) {
+      throw std::runtime_error("blif: cube row arity mismatch");
+    }
+    if (tokens[1] != "0" && tokens[1] != "1") {
+      throw std::runtime_error("blif: cube output must be 0 or 1");
+    }
+    if (!t.cubes.empty() && t.out_value != tokens[1][0]) {
+      throw std::runtime_error("blif: mixed-polarity tables unsupported");
+    }
+    t.out_value = tokens[1][0];
+    t.cubes.push_back(tokens[0]);
+  }
+
+  aig::Aig net;
+  std::map<std::string, aig::Signal> signals;
+  for (const auto& name : input_names) {
+    signals[name] = net.create_pi(name);
+  }
+
+  // Tables may be listed out of order; resolve iteratively.
+  std::vector<bool> done(tables.size(), false);
+  std::size_t remaining = tables.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      if (done[i]) {
+        continue;
+      }
+      const NamesTable& t = tables[i];
+      bool ready = true;
+      for (const auto& in_name : t.inputs) {
+        if (!signals.count(in_name)) {
+          ready = false;
+          break;
+        }
+      }
+      if (!ready) {
+        continue;
+      }
+      aig::Signal sum = net.const0();
+      for (const auto& cube : t.cubes) {
+        aig::Signal prod = net.const1();
+        for (std::size_t v = 0; v < cube.size(); ++v) {
+          if (cube[v] == '1') {
+            prod = net.create_and(prod, signals[t.inputs[v]]);
+          } else if (cube[v] == '0') {
+            prod = net.create_and(prod, !signals[t.inputs[v]]);
+          } else if (cube[v] != '-') {
+            throw std::runtime_error("blif: invalid cube character");
+          }
+        }
+        sum = net.create_or(sum, prod);
+      }
+      if (t.cubes.empty()) {
+        sum = net.const0(); // .names with no rows is constant 0
+      }
+      if (t.out_value == '0') {
+        sum = !sum;
+      }
+      signals[t.output] = sum;
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    throw std::runtime_error("blif: undefined or cyclic signal dependency");
+  }
+  for (const auto& name : output_names) {
+    const auto it = signals.find(name);
+    if (it == signals.end()) {
+      throw std::runtime_error("blif: undriven output " + name);
+    }
+    net.add_po(it->second, name);
+  }
+  return net;
+}
+
+aig::Aig parse_blif_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_blif(in);
+}
+
+aig::Aig parse_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("blif: cannot open " + path);
+  }
+  return parse_blif(in);
+}
+
+void write_blif(const aig::Aig& input, std::ostream& out,
+                const std::string& model_name) {
+  const aig::Aig net = input.cleanup();
+  out << ".model " << model_name << "\n.inputs";
+  for (std::uint32_t i = 0; i < net.num_pis(); ++i) {
+    out << ' ' << net.pi_name(i);
+  }
+  out << "\n.outputs";
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    out << ' ' << net.po_name(i);
+  }
+  out << '\n';
+
+  auto signal_name = [&](aig::Signal s) -> std::string {
+    if (s.node() == 0) {
+      return "const"; // complemented handled by caller
+    }
+    if (net.is_pi(s.node())) {
+      return net.pi_name(net.pi_index(s.node()));
+    }
+    return "n" + std::to_string(s.node());
+  };
+
+  bool const_used = false;
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (net.is_and(n)) {
+      const aig::Signal a = net.fanin0(n);
+      const aig::Signal b = net.fanin1(n);
+      if (a.node() == 0 || b.node() == 0) {
+        const_used = true;
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    if (net.po_at(i).node() == 0) {
+      const_used = true;
+    }
+  }
+  if (const_used) {
+    out << ".names const\n0\n"; // constant 0 signal
+  }
+
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_and(n)) {
+      continue;
+    }
+    const aig::Signal a = net.fanin0(n);
+    const aig::Signal b = net.fanin1(n);
+    out << ".names " << signal_name(a) << ' ' << signal_name(b) << " n" << n
+        << '\n';
+    out << (a.complemented() ? '0' : '1') << (b.complemented() ? '0' : '1')
+        << " 1\n";
+  }
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    const aig::Signal po = net.po_at(i);
+    out << ".names " << signal_name(po) << ' ' << net.po_name(i) << '\n';
+    out << (po.complemented() ? '0' : '1') << " 1\n";
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const aig::Aig& net,
+                              const std::string& model_name) {
+  std::ostringstream out;
+  write_blif(net, out, model_name);
+  return out.str();
+}
+
+} // namespace rcgp::io

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace rcgp::io {
+
+/// Parses a combinational BLIF model (.model/.inputs/.outputs/.names/.end;
+/// single-output SOP tables with '0'/'1'/'-' input columns and a '0' or
+/// '1' output column) into an AIG. Latches and subcircuits are rejected.
+/// Throws std::runtime_error on malformed input.
+aig::Aig parse_blif(std::istream& in);
+aig::Aig parse_blif_string(const std::string& text);
+aig::Aig parse_blif_file(const std::string& path);
+
+/// Writes an AIG as BLIF (each AND node becomes a two-input .names table).
+void write_blif(const aig::Aig& net, std::ostream& out,
+                const std::string& model_name = "rcgp");
+std::string write_blif_string(const aig::Aig& net,
+                              const std::string& model_name = "rcgp");
+
+} // namespace rcgp::io

@@ -1,0 +1,142 @@
+#include "io/pla.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rcgp::io {
+
+PlaFile parse_pla(std::istream& in) {
+  PlaFile pla;
+  bool sized = false;
+  std::string line;
+  std::vector<std::pair<std::string, std::string>> cubes;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) {
+      continue;
+    }
+    if (head == ".i") {
+      ls >> pla.num_inputs;
+    } else if (head == ".o") {
+      ls >> pla.num_outputs;
+    } else if (head == ".ilb") {
+      std::string n;
+      while (ls >> n) {
+        pla.input_names.push_back(n);
+      }
+    } else if (head == ".ob") {
+      std::string n;
+      while (ls >> n) {
+        pla.output_names.push_back(n);
+      }
+    } else if (head == ".p" || head == ".type") {
+      // row count / type hints are informational
+    } else if (head == ".e" || head == ".end") {
+      break;
+    } else if (head[0] == '.') {
+      throw std::runtime_error("pla: unsupported directive " + head);
+    } else {
+      std::string outs;
+      if (!(ls >> outs)) {
+        throw std::runtime_error("pla: cube row missing output part");
+      }
+      cubes.emplace_back(head, outs);
+    }
+    if (!sized && pla.num_inputs > 0 && pla.num_outputs > 0) {
+      if (pla.num_inputs > tt::TruthTable::kMaxVars) {
+        throw std::runtime_error("pla: too many inputs");
+      }
+      pla.tables.assign(pla.num_outputs, tt::TruthTable(pla.num_inputs));
+      sized = true;
+    }
+  }
+  if (!sized) {
+    throw std::runtime_error("pla: missing .i/.o header");
+  }
+  for (const auto& [ins, outs] : cubes) {
+    if (ins.size() != pla.num_inputs || outs.size() != pla.num_outputs) {
+      throw std::runtime_error("pla: cube width mismatch");
+    }
+    // Expand the input cube over its don't-cares.
+    std::vector<std::uint64_t> assignments{0};
+    std::uint64_t fixed = 0;
+    for (unsigned v = 0; v < pla.num_inputs; ++v) {
+      if (ins[v] == '1') {
+        fixed |= std::uint64_t{1} << v;
+      } else if (ins[v] == '-' || ins[v] == '2') {
+        const std::size_t count = assignments.size();
+        for (std::size_t k = 0; k < count; ++k) {
+          assignments.push_back(assignments[k] | (std::uint64_t{1} << v));
+        }
+      } else if (ins[v] != '0') {
+        throw std::runtime_error("pla: invalid cube character");
+      }
+    }
+    for (auto& a : assignments) {
+      a |= fixed;
+    }
+    for (unsigned o = 0; o < pla.num_outputs; ++o) {
+      if (outs[o] == '1' || outs[o] == '4') {
+        for (const auto a : assignments) {
+          pla.tables[o].set_bit(a, true);
+        }
+      } else if (outs[o] != '0' && outs[o] != '-' && outs[o] != '~' &&
+                 outs[o] != '2') {
+        throw std::runtime_error("pla: invalid output character");
+      }
+    }
+  }
+  return pla;
+}
+
+PlaFile parse_pla_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_pla(in);
+}
+
+PlaFile parse_pla_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("pla: cannot open " + path);
+  }
+  return parse_pla(in);
+}
+
+void write_pla(const std::vector<tt::TruthTable>& tables, std::ostream& out) {
+  if (tables.empty()) {
+    throw std::invalid_argument("write_pla: no outputs");
+  }
+  const unsigned ni = tables[0].num_vars();
+  out << ".i " << ni << "\n.o " << tables.size() << '\n';
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << ni); ++x) {
+    bool any = false;
+    for (const auto& t : tables) {
+      if (t.bit(x)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      continue;
+    }
+    for (unsigned v = 0; v < ni; ++v) {
+      out << (((x >> v) & 1) ? '1' : '0');
+    }
+    out << ' ';
+    for (const auto& t : tables) {
+      out << (t.bit(x) ? '1' : '0');
+    }
+    out << '\n';
+  }
+  out << ".e\n";
+}
+
+} // namespace rcgp::io

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace rcgp::io {
+
+struct PlaFile {
+  unsigned num_inputs = 0;
+  unsigned num_outputs = 0;
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  /// One exact truth table per output (don't-care outputs resolved to 0).
+  std::vector<tt::TruthTable> tables;
+};
+
+/// Parses Berkeley PLA (.i/.o/.ilb/.ob/.p/.e, cube rows "01-0 1-"),
+/// type F (on-set) semantics. Throws std::runtime_error on malformed
+/// input or more inputs than tt::TruthTable::kMaxVars.
+PlaFile parse_pla(std::istream& in);
+PlaFile parse_pla_string(const std::string& text);
+PlaFile parse_pla_file(const std::string& path);
+
+/// Writes tables as a minterm-per-row PLA.
+void write_pla(const std::vector<tt::TruthTable>& tables, std::ostream& out);
+
+} // namespace rcgp::io

@@ -1,0 +1,384 @@
+#include "io/real.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace rcgp::io {
+
+unsigned RealCircuit::num_real_inputs() const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < num_lines; ++i) {
+    if (constants.empty() || constants[i] == '-') {
+      ++n;
+    }
+  }
+  return n;
+}
+
+unsigned RealCircuit::num_real_outputs() const {
+  unsigned n = 0;
+  for (unsigned i = 0; i < num_lines; ++i) {
+    if (garbage.empty() || garbage[i] == '-') {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t RealCircuit::apply(std::uint64_t lines) const {
+  for (const auto& gate : gates) {
+    bool active = true;
+    for (std::size_t c = 0; c < gate.controls.size(); ++c) {
+      const bool v = (lines >> gate.controls[c]) & 1;
+      if (v == gate.negated[c]) {
+        active = false;
+        break;
+      }
+    }
+    switch (gate.kind) {
+      case RealGate::Kind::kToffoli:
+        if (active) {
+          lines ^= std::uint64_t{1} << gate.targets[0];
+        }
+        break;
+      case RealGate::Kind::kFredkin:
+        if (active) {
+          const bool a = (lines >> gate.targets[0]) & 1;
+          const bool b = (lines >> gate.targets[1]) & 1;
+          if (a != b) {
+            lines ^= (std::uint64_t{1} << gate.targets[0]) |
+                     (std::uint64_t{1} << gate.targets[1]);
+          }
+        }
+        break;
+      case RealGate::Kind::kPeres:
+      case RealGate::Kind::kInversePeres: {
+        // Peres(a,b,c): a'=a, b'=a^b, c'=ab^c. In .real, p3 a b c lists
+        // the two "targets" last; we store (a) in controls, (b,c) in
+        // targets. The inverse applies the operations in reverse.
+        const unsigned a = gate.controls.empty() ? gate.targets[0]
+                                                 : gate.controls[0];
+        const unsigned b = gate.targets[gate.targets.size() - 2];
+        const unsigned c = gate.targets.back();
+        const bool va = (lines >> a) & 1;
+        const bool vb = (lines >> b) & 1;
+        if (gate.kind == RealGate::Kind::kPeres) {
+          if (va && vb) {
+            lines ^= std::uint64_t{1} << c;
+          }
+          if (va) {
+            lines ^= std::uint64_t{1} << b;
+          }
+        } else {
+          if (va) {
+            lines ^= std::uint64_t{1} << b;
+          }
+          const bool vb2 = (lines >> b) & 1;
+          if (va && vb2) {
+            lines ^= std::uint64_t{1} << c;
+          }
+        }
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+std::vector<tt::TruthTable> RealCircuit::to_tables() const {
+  const unsigned ni = num_real_inputs();
+  if (ni > tt::TruthTable::kMaxVars) {
+    throw std::runtime_error("real: too many inputs to tabulate");
+  }
+  std::vector<unsigned> input_lines;
+  for (unsigned i = 0; i < num_lines; ++i) {
+    if (constants.empty() || constants[i] == '-') {
+      input_lines.push_back(i);
+    }
+  }
+  std::vector<unsigned> output_lines;
+  for (unsigned i = 0; i < num_lines; ++i) {
+    if (garbage.empty() || garbage[i] == '-') {
+      output_lines.push_back(i);
+    }
+  }
+  std::vector<tt::TruthTable> tables(output_lines.size(),
+                                     tt::TruthTable(ni));
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << ni); ++x) {
+    std::uint64_t lines = 0;
+    for (unsigned i = 0; i < num_lines; ++i) {
+      if (!constants.empty() && constants[i] == '1') {
+        lines |= std::uint64_t{1} << i;
+      }
+    }
+    for (unsigned k = 0; k < ni; ++k) {
+      if ((x >> k) & 1) {
+        lines |= std::uint64_t{1} << input_lines[k];
+      }
+    }
+    const std::uint64_t result = apply(lines);
+    for (std::size_t o = 0; o < output_lines.size(); ++o) {
+      if ((result >> output_lines[o]) & 1) {
+        tables[o].set_bit(x, true);
+      }
+    }
+  }
+  return tables;
+}
+
+RealCircuit parse_real(std::istream& in) {
+  RealCircuit circuit;
+  std::map<std::string, unsigned> line_of;
+  std::string line;
+  bool in_body = false;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string head;
+    if (!(ls >> head)) {
+      continue;
+    }
+    if (head == ".version") {
+      continue;
+    }
+    if (head == ".numvars") {
+      ls >> circuit.num_lines;
+      continue;
+    }
+    if (head == ".variables") {
+      std::string name;
+      while (ls >> name) {
+        line_of[name] = static_cast<unsigned>(circuit.variable_names.size());
+        circuit.variable_names.push_back(name);
+      }
+      continue;
+    }
+    if (head == ".inputs" || head == ".outputs") {
+      continue; // display names only
+    }
+    if (head == ".constants") {
+      ls >> circuit.constants;
+      continue;
+    }
+    if (head == ".garbage") {
+      ls >> circuit.garbage;
+      continue;
+    }
+    if (head == ".begin") {
+      in_body = true;
+      continue;
+    }
+    if (head == ".end") {
+      break;
+    }
+    if (head[0] == '.') {
+      throw std::runtime_error("real: unsupported directive " + head);
+    }
+    if (!in_body) {
+      throw std::runtime_error("real: gate before .begin");
+    }
+    // Gate line: kind = letter + line count, e.g. "t3 a b c", "f3 a b c".
+    RealGate gate;
+    const char kind_char = head[0];
+    std::vector<unsigned> lines_used;
+    std::vector<bool> neg;
+    std::string tok;
+    while (ls >> tok) {
+      bool negative = false;
+      if (tok[0] == '-') {
+        negative = true;
+        tok = tok.substr(1);
+      }
+      const auto it = line_of.find(tok);
+      if (it == line_of.end()) {
+        throw std::runtime_error("real: unknown line " + tok);
+      }
+      lines_used.push_back(it->second);
+      neg.push_back(negative);
+    }
+    if (lines_used.empty()) {
+      throw std::runtime_error("real: gate with no lines");
+    }
+    switch (kind_char) {
+      case 't': { // multiple-control Toffoli: last line is the target
+        gate.kind = RealGate::Kind::kToffoli;
+        gate.targets = {lines_used.back()};
+        gate.controls.assign(lines_used.begin(), lines_used.end() - 1);
+        gate.negated.assign(neg.begin(), neg.end() - 1);
+        break;
+      }
+      case 'f': { // multiple-control Fredkin: last two lines swap
+        if (lines_used.size() < 2) {
+          throw std::runtime_error("real: fredkin needs two targets");
+        }
+        gate.kind = RealGate::Kind::kFredkin;
+        gate.targets = {lines_used[lines_used.size() - 2],
+                        lines_used.back()};
+        gate.controls.assign(lines_used.begin(), lines_used.end() - 2);
+        gate.negated.assign(neg.begin(), neg.end() - 2);
+        break;
+      }
+      case 'p':
+      case 'q': { // Peres / inverse Peres on three lines
+        if (lines_used.size() != 3) {
+          throw std::runtime_error("real: peres needs three lines");
+        }
+        gate.kind = kind_char == 'p' ? RealGate::Kind::kPeres
+                                     : RealGate::Kind::kInversePeres;
+        gate.controls = {lines_used[0]};
+        gate.negated = {false};
+        gate.targets = {lines_used[1], lines_used[2]};
+        break;
+      }
+      default:
+        throw std::runtime_error("real: unsupported gate kind " + head);
+    }
+    circuit.gates.push_back(std::move(gate));
+  }
+  if (circuit.num_lines == 0) {
+    circuit.num_lines = static_cast<unsigned>(circuit.variable_names.size());
+  }
+  if (circuit.variable_names.size() != circuit.num_lines) {
+    throw std::runtime_error("real: .numvars/.variables mismatch");
+  }
+  if (!circuit.constants.empty() &&
+      circuit.constants.size() != circuit.num_lines) {
+    throw std::runtime_error("real: .constants width mismatch");
+  }
+  if (!circuit.garbage.empty() &&
+      circuit.garbage.size() != circuit.num_lines) {
+    throw std::runtime_error("real: .garbage width mismatch");
+  }
+  return circuit;
+}
+
+void write_real(const RealCircuit& circuit, std::ostream& out) {
+  out << ".version 2.0\n.numvars " << circuit.num_lines << "\n.variables";
+  for (const auto& name : circuit.variable_names) {
+    out << ' ' << name;
+  }
+  out << '\n';
+  if (!circuit.constants.empty()) {
+    out << ".constants " << circuit.constants << '\n';
+  }
+  if (!circuit.garbage.empty()) {
+    out << ".garbage " << circuit.garbage << '\n';
+  }
+  out << ".begin\n";
+  for (const auto& gate : circuit.gates) {
+    std::size_t lines = gate.controls.size() + gate.targets.size();
+    switch (gate.kind) {
+      case RealGate::Kind::kToffoli: out << 't' << lines; break;
+      case RealGate::Kind::kFredkin: out << 'f' << lines; break;
+      case RealGate::Kind::kPeres: out << "p3"; break;
+      case RealGate::Kind::kInversePeres: out << "q3"; break;
+    }
+    for (std::size_t c = 0; c < gate.controls.size(); ++c) {
+      out << ' ' << (gate.negated[c] ? "-" : "")
+          << circuit.variable_names[gate.controls[c]];
+    }
+    for (const unsigned t : gate.targets) {
+      out << ' ' << circuit.variable_names[t];
+    }
+    out << '\n';
+  }
+  out << ".end\n";
+}
+
+std::string write_real_string(const RealCircuit& circuit) {
+  std::ostringstream out;
+  write_real(circuit, out);
+  return out.str();
+}
+
+aig::Aig real_to_aig(const RealCircuit& circuit) {
+  aig::Aig net;
+  // Current signal on every line, in cascade order.
+  std::vector<aig::Signal> line(circuit.num_lines, net.const0());
+  for (unsigned i = 0; i < circuit.num_lines; ++i) {
+    if (!circuit.constants.empty() && circuit.constants[i] != '-') {
+      line[i] = circuit.constants[i] == '1' ? net.const1() : net.const0();
+    } else {
+      const std::string name = i < circuit.variable_names.size()
+                                   ? circuit.variable_names[i]
+                                   : "l" + std::to_string(i);
+      line[i] = net.create_pi(name);
+    }
+  }
+  auto control_product = [&](const RealGate& gate) {
+    aig::Signal active = net.const1();
+    for (std::size_t c = 0; c < gate.controls.size(); ++c) {
+      const aig::Signal v = line[gate.controls[c]];
+      active = net.create_and(active, gate.negated[c] ? !v : v);
+    }
+    return active;
+  };
+  for (const auto& gate : circuit.gates) {
+    switch (gate.kind) {
+      case RealGate::Kind::kToffoli: {
+        const aig::Signal active = control_product(gate);
+        line[gate.targets[0]] =
+            net.create_xor(line[gate.targets[0]], active);
+        break;
+      }
+      case RealGate::Kind::kFredkin: {
+        const aig::Signal active = control_product(gate);
+        const unsigned x = gate.targets[0];
+        const unsigned y = gate.targets[1];
+        const aig::Signal nx = net.create_mux(active, line[y], line[x]);
+        const aig::Signal ny = net.create_mux(active, line[x], line[y]);
+        line[x] = nx;
+        line[y] = ny;
+        break;
+      }
+      case RealGate::Kind::kPeres:
+      case RealGate::Kind::kInversePeres: {
+        const unsigned a = gate.controls.empty() ? gate.targets[0]
+                                                 : gate.controls[0];
+        const unsigned b = gate.targets[gate.targets.size() - 2];
+        const unsigned c = gate.targets.back();
+        if (gate.kind == RealGate::Kind::kPeres) {
+          // c' = ab ^ c computed from the *pre-gate* b, then b' = a ^ b.
+          line[c] = net.create_xor(line[c],
+                                   net.create_and(line[a], line[b]));
+          line[b] = net.create_xor(line[a], line[b]);
+        } else {
+          line[b] = net.create_xor(line[a], line[b]);
+          line[c] = net.create_xor(line[c],
+                                   net.create_and(line[a], line[b]));
+        }
+        break;
+      }
+    }
+  }
+  for (unsigned i = 0; i < circuit.num_lines; ++i) {
+    if (circuit.garbage.empty() || circuit.garbage[i] == '-') {
+      const std::string name = i < circuit.variable_names.size()
+                                   ? circuit.variable_names[i]
+                                   : "l" + std::to_string(i);
+      net.add_po(line[i], name);
+    }
+  }
+  return net.cleanup();
+}
+
+RealCircuit parse_real_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_real(in);
+}
+
+RealCircuit parse_real_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("real: cannot open " + path);
+  }
+  return parse_real(in);
+}
+
+} // namespace rcgp::io

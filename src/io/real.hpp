@@ -1,0 +1,72 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace rcgp::io {
+
+/// A gate of a RevLib .real reversible circuit.
+struct RealGate {
+  enum class Kind { kToffoli, kFredkin, kPeres, kInversePeres };
+  Kind kind = Kind::kToffoli;
+  /// Control lines; a negative control is marked by `negated[i]`.
+  std::vector<unsigned> controls;
+  std::vector<bool> negated;
+  /// Target lines (1 for Toffoli/NOT/CNOT, 2 for Fredkin/Peres).
+  std::vector<unsigned> targets;
+};
+
+/// A parsed RevLib .real file (the benchmark format of the paper's
+/// RevLib suite): a cascade of reversible gates over `num_lines` lines,
+/// with optional constant-input and garbage-output annotations.
+struct RealCircuit {
+  unsigned num_lines = 0;
+  std::vector<std::string> variable_names;
+  /// '-' = real input; '0'/'1' = constant line (from .constants).
+  std::string constants;
+  /// '1' = garbage output (from .garbage), '-' = real output.
+  std::string garbage;
+  std::vector<RealGate> gates;
+
+  /// Number of non-constant input lines.
+  unsigned num_real_inputs() const;
+  /// Number of non-garbage output lines.
+  unsigned num_real_outputs() const;
+
+  /// Applies the cascade to a line assignment (bit i = line i).
+  std::uint64_t apply(std::uint64_t lines) const;
+
+  /// Truth tables of the non-garbage outputs over the non-constant inputs
+  /// (constant lines fixed per `constants`).
+  std::vector<tt::TruthTable> to_tables() const;
+};
+
+/// Parses RevLib .real (version 1.0/2.0 subsets: .version .numvars
+/// .variables .inputs .outputs .constants .garbage .begin t*/f*/p* gates
+/// .end). Throws std::runtime_error on malformed input.
+RealCircuit parse_real(std::istream& in);
+RealCircuit parse_real_string(const std::string& text);
+RealCircuit parse_real_file(const std::string& path);
+
+/// Writes a circuit back in .real format (version 2.0 header, t/f/p/q
+/// gates, negative controls as "-name"). Round-trip safe with parse_real.
+void write_real(const RealCircuit& circuit, std::ostream& out);
+std::string write_real_string(const RealCircuit& circuit);
+
+} // namespace rcgp::io
+
+#include "aig/aig.hpp"
+
+namespace rcgp::io {
+
+/// Structural conversion of a reversible cascade into an AIG: one PI per
+/// non-constant line, one PO per non-garbage line, gates expanded as
+/// XOR-of-ANDs (Toffoli), controlled swaps (Fredkin), and Peres pairs.
+/// Unlike RealCircuit::to_tables() this never enumerates assignments, so
+/// it scales to arbitrarily wide RevLib circuits.
+aig::Aig real_to_aig(const RealCircuit& circuit);
+
+} // namespace rcgp::io

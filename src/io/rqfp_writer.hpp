@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::io {
+
+/// Writes an RQFP netlist in the textual `.rqfp` interchange format:
+///
+///   .rqfp 1
+///   .pis <n> [names...]
+///   .pos <n> [names...]
+///   gate <in0> <in1> <in2> <xxx-xxx-xxx>    # one line per gate
+///   po <port> [name]
+///   .end
+///
+/// Port numbering is the paper's CGP encoding (0 = constant 1, 1..n_pi =
+/// PIs, then 3 ports per gate).
+void write_rqfp(const rqfp::Netlist& net, std::ostream& out);
+std::string write_rqfp_string(const rqfp::Netlist& net);
+
+/// Parses the `.rqfp` format back into a netlist (round-trip safe).
+rqfp::Netlist parse_rqfp(std::istream& in);
+rqfp::Netlist parse_rqfp_string(const std::string& text);
+rqfp::Netlist parse_rqfp_file(const std::string& path);
+void write_rqfp_file(const rqfp::Netlist& net, const std::string& path);
+
+/// Graphviz DOT rendering (gates as records with three output ports,
+/// buffers implied by levels are not drawn).
+void write_dot(const rqfp::Netlist& net, std::ostream& out);
+std::string write_dot_string(const rqfp::Netlist& net);
+
+/// Structural Verilog netlist of RQFP cells: each gate becomes an
+/// `rqfp_gate` instance with a CONFIG parameter (the 9 inverter bits),
+/// plus a behavioural definition of the cell so the file simulates
+/// standalone in any Verilog simulator.
+void write_structural_verilog(const rqfp::Netlist& net, std::ostream& out,
+                              const std::string& module_name = "rqfp_top");
+std::string write_structural_verilog_string(
+    const rqfp::Netlist& net, const std::string& module_name = "rqfp_top");
+
+} // namespace rcgp::io

@@ -1,0 +1,491 @@
+#include "io/verilog.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace rcgp::io {
+
+namespace {
+
+struct Token {
+  enum class Kind { kIdent, kSymbol, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+};
+
+class Lexer {
+public:
+  explicit Lexer(std::string text) : text_(std::move(text)) { advance(); }
+
+  const Token& peek() const { return current_; }
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+  bool accept(const std::string& symbol) {
+    if (current_.text == symbol) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect(const std::string& symbol) {
+    if (!accept(symbol)) {
+      throw std::runtime_error("verilog: expected '" + symbol + "' near '" +
+                               current_.text + "'");
+    }
+  }
+
+private:
+  void advance() {
+    skip_space_and_comments();
+    if (pos_ >= text_.size()) {
+      current_ = {Token::Kind::kEnd, ""};
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '\\') {
+      std::size_t start = pos_;
+      if (c == '\\') { // escaped identifier: up to whitespace
+        ++pos_;
+        while (pos_ < text_.size() &&
+               !std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+          ++pos_;
+        }
+        current_ = {Token::Kind::kIdent,
+                    text_.substr(start + 1, pos_ - start - 1)};
+        return;
+      }
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_' || text_[pos_] == '$')) {
+        ++pos_;
+      }
+      current_ = {Token::Kind::kIdent, text_.substr(start, pos_ - start)};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Sized constants like 1'b0; lex the whole blob.
+      std::size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '\'')) {
+        ++pos_;
+      }
+      current_ = {Token::Kind::kIdent, text_.substr(start, pos_ - start)};
+      return;
+    }
+    ++pos_;
+    current_ = {Token::Kind::kSymbol, std::string(1, c)};
+  }
+
+  void skip_space_and_comments() {
+    for (;;) {
+      while (pos_ < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          ++pos_;
+        }
+        continue;
+      }
+      if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+          text_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < text_.size() &&
+               !(text_[pos_] == '*' && text_[pos_ + 1] == '/')) {
+          ++pos_;
+        }
+        pos_ = pos_ + 2 <= text_.size() ? pos_ + 2 : text_.size();
+        continue;
+      }
+      break;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+  Token current_;
+};
+
+/// Expression AST kept as a flat string re-parse per assignment would be
+/// wasteful; instead parse directly to a deferred form: a tree of ops over
+/// names, evaluated once all names resolve.
+struct Expr {
+  enum class Op { kName, kConst0, kConst1, kNot, kAnd, kOr, kXor, kMux };
+  Op op = Op::kName;
+  std::string name;
+  std::vector<Expr> kids;
+};
+
+class ExprParser {
+public:
+  explicit ExprParser(Lexer& lex) : lex_(lex) {}
+
+  // Grammar (precedence low→high): mux := or ('?' or ':' or)?
+  //   or := xor ('|' xor)* ; xor := and ('^' and)* ;
+  //   and := unary ('&' unary)* ; unary := '~' unary | primary
+  Expr parse() { return parse_mux(); }
+
+private:
+  Expr parse_mux() {
+    Expr cond = parse_or();
+    if (lex_.accept("?")) {
+      Expr t = parse_or();
+      lex_.expect(":");
+      Expr e = parse_mux();
+      Expr m;
+      m.op = Expr::Op::kMux;
+      m.kids = {std::move(cond), std::move(t), std::move(e)};
+      return m;
+    }
+    return cond;
+  }
+  Expr parse_or() { return parse_binary(Expr::Op::kOr, "|"); }
+  Expr parse_binary(Expr::Op op, const std::string& sym) {
+    Expr lhs = op == Expr::Op::kOr ? parse_xor()
+               : op == Expr::Op::kXor ? parse_and()
+                                      : parse_unary();
+    while (lex_.accept(sym)) {
+      Expr rhs = op == Expr::Op::kOr ? parse_xor()
+                 : op == Expr::Op::kXor ? parse_and()
+                                        : parse_unary();
+      Expr node;
+      node.op = op;
+      node.kids = {std::move(lhs), std::move(rhs)};
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+  Expr parse_xor() { return parse_binary(Expr::Op::kXor, "^"); }
+  Expr parse_and() { return parse_binary(Expr::Op::kAnd, "&"); }
+  Expr parse_unary() {
+    if (lex_.accept("~") || lex_.accept("!")) {
+      Expr node;
+      node.op = Expr::Op::kNot;
+      node.kids = {parse_unary()};
+      return node;
+    }
+    return parse_primary();
+  }
+  Expr parse_primary() {
+    if (lex_.accept("(")) {
+      Expr e = parse();
+      lex_.expect(")");
+      return e;
+    }
+    const Token t = lex_.take();
+    if (t.kind != Token::Kind::kIdent) {
+      throw std::runtime_error("verilog: unexpected token '" + t.text + "'");
+    }
+    Expr e;
+    if (t.text == "1'b0" || t.text == "0") {
+      e.op = Expr::Op::kConst0;
+    } else if (t.text == "1'b1" || t.text == "1") {
+      e.op = Expr::Op::kConst1;
+    } else {
+      e.op = Expr::Op::kName;
+      e.name = t.text;
+    }
+    return e;
+  }
+
+  Lexer& lex_;
+};
+
+bool expr_ready(const Expr& e,
+                const std::map<std::string, aig::Signal>& signals) {
+  if (e.op == Expr::Op::kName) {
+    return signals.count(e.name) != 0;
+  }
+  for (const auto& k : e.kids) {
+    if (!expr_ready(k, signals)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+aig::Signal expr_build(const Expr& e, aig::Aig& net,
+                       const std::map<std::string, aig::Signal>& signals) {
+  switch (e.op) {
+    case Expr::Op::kName: return signals.at(e.name);
+    case Expr::Op::kConst0: return net.const0();
+    case Expr::Op::kConst1: return net.const1();
+    case Expr::Op::kNot: return !expr_build(e.kids[0], net, signals);
+    case Expr::Op::kAnd:
+      return net.create_and(expr_build(e.kids[0], net, signals),
+                            expr_build(e.kids[1], net, signals));
+    case Expr::Op::kOr:
+      return net.create_or(expr_build(e.kids[0], net, signals),
+                           expr_build(e.kids[1], net, signals));
+    case Expr::Op::kXor:
+      return net.create_xor(expr_build(e.kids[0], net, signals),
+                            expr_build(e.kids[1], net, signals));
+    case Expr::Op::kMux:
+      return net.create_mux(expr_build(e.kids[0], net, signals),
+                            expr_build(e.kids[1], net, signals),
+                            expr_build(e.kids[2], net, signals));
+  }
+  throw std::logic_error("verilog: unreachable expression op");
+}
+
+} // namespace
+
+aig::Aig parse_verilog(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  Lexer lex(buf.str());
+
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  struct Assign {
+    std::string lhs;
+    Expr rhs;
+  };
+  std::vector<Assign> assigns;
+
+  auto parse_name_list = [&](std::vector<std::string>* sink) {
+    do {
+      const Token t = lex.take();
+      if (t.kind != Token::Kind::kIdent) {
+        throw std::runtime_error("verilog: expected identifier");
+      }
+      if (sink) {
+        sink->push_back(t.text);
+      }
+    } while (lex.accept(","));
+    lex.expect(";");
+  };
+
+  lex.expect("module");
+  lex.take(); // module name
+  if (lex.accept("(")) {
+    while (!lex.accept(")")) {
+      if (lex.peek().kind == Token::Kind::kEnd) {
+        throw std::runtime_error("verilog: unterminated port list");
+      }
+      lex.take(); // port names / commas / direction keywords
+    }
+  }
+  lex.expect(";");
+
+  for (;;) {
+    const Token t = lex.peek();
+    if (t.kind == Token::Kind::kEnd) {
+      throw std::runtime_error("verilog: missing endmodule");
+    }
+    if (t.text == "endmodule") {
+      lex.take();
+      break;
+    }
+    if (t.text == "input") {
+      lex.take();
+      parse_name_list(&inputs);
+      continue;
+    }
+    if (t.text == "output") {
+      lex.take();
+      parse_name_list(&outputs);
+      continue;
+    }
+    if (t.text == "wire") {
+      lex.take();
+      parse_name_list(nullptr);
+      continue;
+    }
+    if (t.text == "assign") {
+      lex.take();
+      const Token lhs = lex.take();
+      if (lhs.kind != Token::Kind::kIdent) {
+        throw std::runtime_error("verilog: assign needs an identifier lhs");
+      }
+      lex.expect("=");
+      ExprParser ep(lex);
+      Expr rhs = ep.parse();
+      lex.expect(";");
+      assigns.push_back({lhs.text, std::move(rhs)});
+      continue;
+    }
+    // Gate primitive: kind [name] ( out, in... );
+    static const std::map<std::string, std::string> kGates = {
+        {"and", "&"},  {"or", "|"},   {"xor", "^"},  {"nand", "&!"},
+        {"nor", "|!"}, {"xnor", "^!"}, {"not", "~"},  {"buf", "="}};
+    const auto git = kGates.find(t.text);
+    if (git == kGates.end()) {
+      throw std::runtime_error("verilog: unsupported construct '" + t.text +
+                               "'");
+    }
+    lex.take();
+    if (lex.peek().kind == Token::Kind::kIdent) {
+      lex.take(); // optional instance name
+    }
+    lex.expect("(");
+    std::vector<std::string> conns;
+    do {
+      const Token c = lex.take();
+      if (c.kind != Token::Kind::kIdent) {
+        throw std::runtime_error("verilog: gate connection must be a name");
+      }
+      conns.push_back(c.text);
+    } while (lex.accept(","));
+    lex.expect(")");
+    lex.expect(";");
+    if (conns.size() < 2) {
+      throw std::runtime_error("verilog: gate needs output and input(s)");
+    }
+    // Desugar the primitive to an expression tree.
+    Expr rhs;
+    const std::string& op = git->second;
+    auto name_expr = [](const std::string& n) {
+      Expr e;
+      e.op = Expr::Op::kName;
+      e.name = n;
+      return e;
+    };
+    if (op == "~" || op == "=") {
+      if (conns.size() != 2) {
+        throw std::runtime_error("verilog: not/buf take one input");
+      }
+      rhs = name_expr(conns[1]);
+      if (op == "~") {
+        Expr n;
+        n.op = Expr::Op::kNot;
+        n.kids = {std::move(rhs)};
+        rhs = std::move(n);
+      }
+    } else {
+      const Expr::Op base = op[0] == '&'   ? Expr::Op::kAnd
+                            : op[0] == '|' ? Expr::Op::kOr
+                                           : Expr::Op::kXor;
+      rhs = name_expr(conns[1]);
+      for (std::size_t k = 2; k < conns.size(); ++k) {
+        Expr n;
+        n.op = base;
+        n.kids = {std::move(rhs), name_expr(conns[k])};
+        rhs = std::move(n);
+      }
+      if (op.size() > 1) { // negated variants
+        Expr n;
+        n.op = Expr::Op::kNot;
+        n.kids = {std::move(rhs)};
+        rhs = std::move(n);
+      }
+    }
+    assigns.push_back({conns[0], std::move(rhs)});
+  }
+
+  aig::Aig net;
+  std::map<std::string, aig::Signal> signals;
+  for (const auto& name : inputs) {
+    signals[name] = net.create_pi(name);
+  }
+  std::vector<bool> done(assigns.size(), false);
+  std::size_t remaining = assigns.size();
+  bool progress = true;
+  while (remaining > 0 && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < assigns.size(); ++i) {
+      if (done[i] || !expr_ready(assigns[i].rhs, signals)) {
+        continue;
+      }
+      signals[assigns[i].lhs] = expr_build(assigns[i].rhs, net, signals);
+      done[i] = true;
+      --remaining;
+      progress = true;
+    }
+  }
+  if (remaining > 0) {
+    throw std::runtime_error("verilog: unresolved or cyclic assignments");
+  }
+  for (const auto& name : outputs) {
+    const auto it = signals.find(name);
+    if (it == signals.end()) {
+      throw std::runtime_error("verilog: undriven output " + name);
+    }
+    net.add_po(it->second, name);
+  }
+  return net;
+}
+
+aig::Aig parse_verilog_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_verilog(in);
+}
+
+aig::Aig parse_verilog_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("verilog: cannot open " + path);
+  }
+  return parse_verilog(in);
+}
+
+void write_verilog(const aig::Aig& input, std::ostream& out,
+                   const std::string& module_name) {
+  const aig::Aig net = input.cleanup();
+  out << "module " << module_name << " (";
+  for (std::uint32_t i = 0; i < net.num_pis(); ++i) {
+    out << net.pi_name(i) << ", ";
+  }
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    if (i) {
+      out << ", ";
+    }
+    out << net.po_name(i);
+  }
+  out << ");\n";
+  for (std::uint32_t i = 0; i < net.num_pis(); ++i) {
+    out << "  input " << net.pi_name(i) << ";\n";
+  }
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    out << "  output " << net.po_name(i) << ";\n";
+  }
+  auto ref = [&](aig::Signal s) -> std::string {
+    std::string base;
+    if (s.node() == 0) {
+      base = "1'b0";
+      return s.complemented() ? "1'b1" : base;
+    }
+    base = net.is_pi(s.node()) ? net.pi_name(net.pi_index(s.node()))
+                               : "n" + std::to_string(s.node());
+    return s.complemented() ? "~" + base : base;
+  };
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (net.is_and(n)) {
+      out << "  wire n" << n << ";\n";
+    }
+  }
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_and(n)) {
+      continue;
+    }
+    out << "  assign n" << n << " = " << ref(net.fanin0(n)) << " & "
+        << ref(net.fanin1(n)) << ";\n";
+  }
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    out << "  assign " << net.po_name(i) << " = " << ref(net.po_at(i))
+        << ";\n";
+  }
+  out << "endmodule\n";
+}
+
+std::string write_verilog_string(const aig::Aig& net,
+                                 const std::string& module_name) {
+  std::ostringstream out;
+  write_verilog(net, out, module_name);
+  return out.str();
+}
+
+} // namespace rcgp::io

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "aig/aig.hpp"
+
+namespace rcgp::io {
+
+/// Parses a small structural/dataflow Verilog subset into an AIG — the
+/// "RTL description" entry point of the paper's Fig. 2 flow:
+///  * one module, scalar ports: `input a, b;` / `output y;` / `wire w;`
+///  * continuous assignments with operators ~ & ^ | ?: and parentheses,
+///    plus the constants 1'b0 / 1'b1
+///  * gate primitives: and/or/xor/nand/nor/xnor (2+ inputs), not/buf
+/// Assignments may appear in any order. Throws std::runtime_error on
+/// anything outside the subset.
+aig::Aig parse_verilog(std::istream& in);
+aig::Aig parse_verilog_string(const std::string& text);
+aig::Aig parse_verilog_file(const std::string& path);
+
+/// Writes an AIG as a flat Verilog module of assign statements.
+void write_verilog(const aig::Aig& net, std::ostream& out,
+                   const std::string& module_name = "rcgp");
+std::string write_verilog_string(const aig::Aig& net,
+                                 const std::string& module_name = "rcgp");
+
+} // namespace rcgp::io

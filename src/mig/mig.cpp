@@ -1,0 +1,288 @@
+#include "mig/mig.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcgp::mig {
+
+namespace {
+std::uint64_t strash_key(Signal a, Signal b, Signal c) {
+  // Fanins are pre-sorted by caller; 21 bits each is ample.
+  return (static_cast<std::uint64_t>(a.code()) << 42) |
+         (static_cast<std::uint64_t>(b.code()) << 21) | c.code();
+}
+} // namespace
+
+Mig::Mig() { nodes_.push_back(Node{{}, kConst}); }
+
+Signal Mig::create_pi(const std::string& name) {
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{{}, kPi});
+  pi_index_[n] = static_cast<std::uint32_t>(pis_.size());
+  pis_.push_back(n);
+  pi_names_.push_back(name.empty() ? "x" + std::to_string(pis_.size() - 1)
+                                   : name);
+  return Signal(n, false);
+}
+
+Signal Mig::create_maj(Signal a, Signal b, Signal c) {
+  a = resolve(a);
+  b = resolve(b);
+  c = resolve(c);
+  // Order fanins canonically.
+  if (b < a) {
+    std::swap(a, b);
+  }
+  if (c < b) {
+    std::swap(b, c);
+  }
+  if (b < a) {
+    std::swap(a, b);
+  }
+  // Majority axioms.
+  if (a == b) {
+    return a; // M(x,x,y) = x
+  }
+  if (b == c) {
+    return b;
+  }
+  if (a == !b) {
+    return c; // M(x,!x,y) = y
+  }
+  if (b == !c) {
+    return a;
+  }
+  if (a == !c) {
+    return b;
+  }
+  // Constant-fanin pairs were handled above; a single constant stays as an
+  // AND/OR-like node. Normalize inverters: if two or more fanins are
+  // complemented, complement all fanins and the output
+  // (M(!x,!y,!z) = !M(x,y,z)).
+  const int num_compl = static_cast<int>(a.complemented()) +
+                        static_cast<int>(b.complemented()) +
+                        static_cast<int>(c.complemented());
+  bool out_compl = false;
+  if (num_compl >= 2) {
+    a = !a;
+    b = !b;
+    c = !c;
+    out_compl = true;
+    // Re-sort: complementing flips the LSB of codes, order can change only
+    // between equal-node signals, which the axioms already removed.
+    if (b < a) {
+      std::swap(a, b);
+    }
+    if (c < b) {
+      std::swap(b, c);
+    }
+    if (b < a) {
+      std::swap(a, b);
+    }
+  }
+  const std::uint64_t key = strash_key(a, b, c);
+  const auto it = strash_.find(key);
+  if (it != strash_.end() && !is_replaced(it->second)) {
+    return Signal(it->second, out_compl);
+  }
+  const auto n = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.push_back(Node{{a, b, c}, kMaj});
+  strash_[key] = n;
+  return Signal(n, out_compl);
+}
+
+Signal Mig::create_xor(Signal a, Signal b) {
+  // XOR(a,b) = AND(OR(a,b), NAND(a,b)) — three majority nodes.
+  const Signal o = create_or(a, b);
+  const Signal na = create_and(a, b);
+  return create_and(o, !na);
+}
+
+Signal Mig::create_mux(Signal sel, Signal t, Signal e) {
+  // ite(s,t,e) = M(M(s,t,0), M(!s,e,0), 1) = OR(s&t, !s&e).
+  return create_or(create_and(sel, t), create_and(!sel, e));
+}
+
+std::uint32_t Mig::add_po(Signal s, const std::string& name) {
+  const auto idx = static_cast<std::uint32_t>(pos_.size());
+  pos_.push_back(s);
+  po_names_.push_back(name.empty() ? "y" + std::to_string(idx) : name);
+  return idx;
+}
+
+Signal Mig::resolve(Signal s) const {
+  for (;;) {
+    const auto it = repl_.find(s.node());
+    if (it == repl_.end()) {
+      return s;
+    }
+    s = it->second ^ s.complemented();
+  }
+}
+
+void Mig::replace(std::uint32_t n, Signal s) {
+  if (!is_maj(n)) {
+    throw std::invalid_argument("Mig::replace: only MAJ nodes replaceable");
+  }
+  s = resolve(s);
+  if (s.node() == n) {
+    return;
+  }
+  repl_[n] = s;
+}
+
+std::uint32_t Mig::count_live_majs() const {
+  std::vector<bool> mark(nodes_.size(), false);
+  std::vector<std::uint32_t> stack;
+  std::uint32_t count = 0;
+  for (const auto& po : pos_) {
+    stack.push_back(resolve(po).node());
+  }
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (mark[n]) {
+      continue;
+    }
+    mark[n] = true;
+    if (is_maj(n)) {
+      ++count;
+      for (unsigned i = 0; i < 3; ++i) {
+        stack.push_back(fanin(n, i).node());
+      }
+    }
+  }
+  return count;
+}
+
+Mig Mig::cleanup() const {
+  Mig out;
+  std::vector<Signal> map(nodes_.size(), Signal());
+  std::vector<bool> done(nodes_.size(), false);
+  map[0] = out.const0();
+  done[0] = true;
+  for (std::uint32_t i = 0; i < pis_.size(); ++i) {
+    map[pis_[i]] = out.create_pi(pi_names_[i]);
+    done[pis_[i]] = true;
+  }
+  std::vector<std::uint32_t> stack;
+  for (const auto& po_raw : pos_) {
+    stack.push_back(resolve(po_raw).node());
+    while (!stack.empty()) {
+      const std::uint32_t n = stack.back();
+      if (done[n]) {
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      for (unsigned i = 0; i < 3; ++i) {
+        const Signal f = fanin(n, i);
+        if (!done[f.node()]) {
+          stack.push_back(f.node());
+          ready = false;
+        }
+      }
+      if (!ready) {
+        continue;
+      }
+      stack.pop_back();
+      const Signal a = fanin(n, 0);
+      const Signal b = fanin(n, 1);
+      const Signal c = fanin(n, 2);
+      map[n] = out.create_maj(map[a.node()] ^ a.complemented(),
+                              map[b.node()] ^ b.complemented(),
+                              map[c.node()] ^ c.complemented());
+      done[n] = true;
+    }
+  }
+  for (std::uint32_t i = 0; i < pos_.size(); ++i) {
+    const Signal po = resolve(pos_[i]);
+    out.add_po(map[po.node()] ^ po.complemented(), po_names_[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Mig::compute_levels() const {
+  std::vector<std::uint32_t> level(nodes_.size(), 0);
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (is_maj(n) && !is_replaced(n)) {
+      std::uint32_t m = 0;
+      for (unsigned i = 0; i < 3; ++i) {
+        m = std::max(m, level[fanin(n, i).node()]);
+      }
+      level[n] = m + 1;
+    }
+  }
+  return level;
+}
+
+std::uint32_t Mig::depth() const {
+  const auto level = compute_levels();
+  std::uint32_t d = 0;
+  for (const auto& po : pos_) {
+    d = std::max(d, level[resolve(po).node()]);
+  }
+  return d;
+}
+
+std::vector<std::uint32_t> Mig::compute_refs() const {
+  std::vector<std::uint32_t> refs(nodes_.size(), 0);
+  std::vector<bool> mark(nodes_.size(), false);
+  std::vector<std::uint32_t> stack;
+  for (const auto& po : pos_) {
+    const Signal s = resolve(po);
+    ++refs[s.node()];
+    stack.push_back(s.node());
+  }
+  while (!stack.empty()) {
+    const std::uint32_t n = stack.back();
+    stack.pop_back();
+    if (mark[n] || !is_maj(n)) {
+      continue;
+    }
+    mark[n] = true;
+    for (unsigned i = 0; i < 3; ++i) {
+      const Signal f = fanin(n, i);
+      ++refs[f.node()];
+      stack.push_back(f.node());
+    }
+  }
+  return refs;
+}
+
+std::vector<tt::TruthTable> Mig::simulate() const {
+  if (!repl_.empty()) {
+    // Replacements can forward-reference later-created nodes; simulate a
+    // compacted copy whose creation order is strictly topological.
+    return cleanup().simulate();
+  }
+  const unsigned nv = num_pis();
+  if (nv > tt::TruthTable::kMaxVars) {
+    throw std::invalid_argument("Mig::simulate: too many PIs");
+  }
+  std::vector<tt::TruthTable> table(nodes_.size(),
+                                    tt::TruthTable::constant(nv, false));
+  for (std::uint32_t i = 0; i < num_pis(); ++i) {
+    table[pis_[i]] = tt::TruthTable::projection(nv, i);
+  }
+  for (std::uint32_t n = 0; n < nodes_.size(); ++n) {
+    if (!is_maj(n) || is_replaced(n)) {
+      continue;
+    }
+    tt::TruthTable in[3];
+    for (unsigned i = 0; i < 3; ++i) {
+      const Signal f = fanin(n, i);
+      in[i] = f.complemented() ? ~table[f.node()] : table[f.node()];
+    }
+    table[n] = tt::TruthTable::majority(in[0], in[1], in[2]);
+  }
+  std::vector<tt::TruthTable> out;
+  out.reserve(num_pos());
+  for (std::uint32_t i = 0; i < num_pos(); ++i) {
+    const Signal po = po_at(i);
+    out.push_back(po.complemented() ? ~table[po.node()] : table[po.node()]);
+  }
+  return out;
+}
+
+} // namespace rcgp::mig

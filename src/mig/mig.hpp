@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace rcgp::mig {
+
+/// An edge in the MIG: node index plus complement flag, packed.
+class Signal {
+public:
+  Signal() = default;
+  Signal(std::uint32_t node, bool complemented)
+      : code_((node << 1) | (complemented ? 1u : 0u)) {}
+
+  static Signal from_code(std::uint32_t code) {
+    Signal s;
+    s.code_ = code;
+    return s;
+  }
+
+  std::uint32_t node() const { return code_ >> 1; }
+  bool complemented() const { return code_ & 1; }
+  std::uint32_t code() const { return code_; }
+
+  Signal operator!() const { return from_code(code_ ^ 1); }
+  Signal operator^(bool c) const { return from_code(code_ ^ (c ? 1u : 0u)); }
+  bool operator==(const Signal&) const = default;
+  bool operator<(const Signal& o) const { return code_ < o.code_; }
+
+private:
+  std::uint32_t code_ = 0;
+};
+
+/// Majority-inverter graph: every internal node is a 3-input majority.
+/// Node 0 is constant false. Creation applies the majority simplification
+/// axioms (M(x,x,y)=x, M(x,!x,y)=y) and canonical structural hashing
+/// (fanins sorted; at most one complemented fanin by pushing complements to
+/// the output).
+class Mig {
+public:
+  struct Node {
+    Signal fanin[3];
+    std::uint8_t kind; // 0 const, 1 PI, 2 MAJ
+  };
+
+  enum : std::uint8_t { kConst = 0, kPi = 1, kMaj = 2 };
+
+  Mig();
+
+  Signal const0() const { return Signal(0, false); }
+  Signal const1() const { return Signal(0, true); }
+
+  Signal create_pi(const std::string& name = "");
+  Signal create_maj(Signal a, Signal b, Signal c);
+  Signal create_and(Signal a, Signal b) {
+    return create_maj(a, b, const0());
+  }
+  Signal create_or(Signal a, Signal b) { return create_maj(a, b, const1()); }
+  Signal create_xor(Signal a, Signal b);
+  Signal create_mux(Signal sel, Signal t, Signal e);
+
+  std::uint32_t add_po(Signal s, const std::string& name = "");
+  void set_po(std::uint32_t index, Signal s) { pos_[index] = s; }
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(nodes_.size());
+  }
+  std::uint32_t num_pis() const {
+    return static_cast<std::uint32_t>(pis_.size());
+  }
+  std::uint32_t num_pos() const {
+    return static_cast<std::uint32_t>(pos_.size());
+  }
+  std::uint32_t count_live_majs() const;
+
+  bool is_const(std::uint32_t n) const { return nodes_[n].kind == kConst; }
+  bool is_pi(std::uint32_t n) const { return nodes_[n].kind == kPi; }
+  bool is_maj(std::uint32_t n) const { return nodes_[n].kind == kMaj; }
+
+  const Node& node(std::uint32_t n) const { return nodes_[n]; }
+  Signal fanin(std::uint32_t n, unsigned i) const {
+    return resolve(nodes_[n].fanin[i]);
+  }
+
+  std::uint32_t pi_at(std::uint32_t i) const { return pis_[i]; }
+  std::uint32_t pi_index(std::uint32_t n) const { return pi_index_.at(n); }
+  Signal po_at(std::uint32_t i) const { return resolve(pos_[i]); }
+  const std::string& pi_name(std::uint32_t i) const { return pi_names_[i]; }
+  const std::string& po_name(std::uint32_t i) const { return po_names_[i]; }
+
+  Signal resolve(Signal s) const;
+  void replace(std::uint32_t n, Signal s);
+  bool is_replaced(std::uint32_t n) const { return repl_.count(n) != 0; }
+
+  Mig cleanup() const;
+
+  std::vector<std::uint32_t> compute_levels() const;
+  std::uint32_t depth() const;
+  std::vector<std::uint32_t> compute_refs() const;
+
+  /// Exhaustive simulation of all POs over the PIs.
+  std::vector<tt::TruthTable> simulate() const;
+
+private:
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> pis_;
+  std::vector<Signal> pos_;
+  std::vector<std::string> pi_names_;
+  std::vector<std::string> po_names_;
+  std::unordered_map<std::uint32_t, std::uint32_t> pi_index_;
+  std::unordered_map<std::uint64_t, std::uint32_t> strash_;
+  std::unordered_map<std::uint32_t, Signal> repl_;
+};
+
+} // namespace rcgp::mig

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "aig/aig.hpp"
+#include "mig/mig.hpp"
+
+namespace rcgp::mig {
+
+struct FromAigStats {
+  std::uint32_t detected_majorities = 0;
+  std::uint32_t detected_parities = 0;
+  std::uint32_t plain_ands = 0;
+};
+
+/// Converts an AIG into a MIG. Plain AND nodes map to M(a,b,0); in
+/// addition, 3-input cuts whose function is a (possibly input/output
+/// complemented) majority collapse into a single MAJ node, which is what
+/// makes the result AQFP/RQFP-friendly (mirrors the role of mockturtle's
+/// aqfp_resynthesis in the paper's flow).
+Mig mig_from_aig(const aig::Aig& input, FromAigStats* stats = nullptr);
+
+} // namespace rcgp::mig

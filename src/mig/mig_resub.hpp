@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mig/mig.hpp"
+
+namespace rcgp::mig {
+
+struct ResubParams {
+  /// Random simulation words per PI for signature-based filtering when the
+  /// network is too wide for exhaustive tables.
+  std::size_t sim_words = 16;
+  std::uint64_t seed = 1;
+};
+
+struct ResubStats {
+  std::uint32_t candidates = 0;
+  std::uint32_t resubstituted = 0;
+  std::uint32_t nodes_before = 0;
+  std::uint32_t nodes_after = 0;
+};
+
+/// Zero-cost resubstitution: replaces a node with an already-existing
+/// signal (possibly complemented) that computes the same function —
+/// the MIG counterpart of AIG SAT sweeping, proven here by exhaustive
+/// simulation (<= TruthTable::kMaxVars PIs) or accepted from matching
+/// random signatures plus exhaustive confirmation on narrow networks.
+/// Wide networks (> kMaxVars PIs) use signatures only for candidate
+/// pairing and skip unconfirmable merges, so the result is always exact.
+Mig mig_resubstitute(const Mig& input, const ResubParams& params = {},
+                     ResubStats* stats = nullptr);
+
+} // namespace rcgp::mig

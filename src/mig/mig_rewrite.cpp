@@ -1,0 +1,246 @@
+#include "mig/mig_rewrite.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "mig/mig_resub.hpp"
+
+namespace rcgp::mig {
+
+namespace {
+
+/// Effective fanins of a signal pointing at a MAJ node: complementation of
+/// the edge is pushed onto the fanins (M(!x,!y,!z) = !M(x,y,z)).
+std::array<Signal, 3> effective_fanins(const Mig& net, Signal s) {
+  std::array<Signal, 3> f{};
+  for (unsigned i = 0; i < 3; ++i) {
+    f[i] = net.fanin(s.node(), i) ^ s.complemented();
+  }
+  return f;
+}
+
+/// Shared-signal count between two effective fanin triples.
+unsigned count_shared(const std::array<Signal, 3>& a,
+                      const std::array<Signal, 3>& b) {
+  unsigned n = 0;
+  for (const Signal x : a) {
+    for (const Signal y : b) {
+      if (x == y) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+} // namespace
+
+MigRewriteStats mig_algebraic_rewrite(Mig& net, unsigned max_rounds) {
+  MigRewriteStats stats;
+  net = net.cleanup();
+  stats.nodes_before = net.count_live_majs();
+  stats.depth_before = net.depth();
+
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    const std::uint32_t before = net.count_live_majs();
+    const auto refs = net.compute_refs();
+    const auto levels = net.compute_levels();
+    const std::uint32_t original_count = net.num_nodes();
+
+    for (std::uint32_t n = 0; n < original_count; ++n) {
+      if (!net.is_maj(n) || net.is_replaced(n)) {
+        continue;
+      }
+      std::array<Signal, 3> fi{net.fanin(n, 0), net.fanin(n, 1),
+                               net.fanin(n, 2)};
+
+      // --- Distributivity (right to left): M(M(p,q,u), M(p,q,v), z)
+      //     = M(p, q, M(u,v,z)). Saves a node when both inner majorities
+      //     are single-fanout.
+      bool applied = false;
+      for (unsigned i = 0; i < 3 && !applied; ++i) {
+        for (unsigned j = 0; j < 3 && !applied; ++j) {
+          if (i == j) {
+            continue;
+          }
+          const Signal f = fi[i];
+          const Signal g = fi[j];
+          if (!net.is_maj(f.node()) || !net.is_maj(g.node()) ||
+              f.node() == n || g.node() == n || f.node() == g.node()) {
+            continue;
+          }
+          if (refs[f.node()] != 1 || refs[g.node()] != 1) {
+            continue;
+          }
+          const auto ef = effective_fanins(net, f);
+          const auto eg = effective_fanins(net, g);
+          if (count_shared(ef, eg) < 2) {
+            continue;
+          }
+          // Identify the two shared signals and the two residues.
+          std::array<bool, 3> f_shared{};
+          std::array<bool, 3> g_shared{};
+          std::vector<Signal> shared;
+          for (unsigned a = 0; a < 3; ++a) {
+            for (unsigned b = 0; b < 3; ++b) {
+              if (!g_shared[b] && ef[a] == eg[b] && shared.size() < 2) {
+                f_shared[a] = true;
+                g_shared[b] = true;
+                shared.push_back(ef[a]);
+                break;
+              }
+            }
+          }
+          if (shared.size() != 2) {
+            continue;
+          }
+          Signal u;
+          Signal v;
+          for (unsigned a = 0; a < 3; ++a) {
+            if (!f_shared[a]) {
+              u = ef[a];
+            }
+            if (!g_shared[a]) {
+              v = eg[a];
+            }
+          }
+          const unsigned k = 3 - i - j; // remaining fanin index
+          const Signal z = fi[k];
+          const Signal inner = net.create_maj(u, v, z);
+          const Signal outer = net.create_maj(shared[0], shared[1], inner);
+          if (outer.node() != n) {
+            net.replace(n, outer);
+            ++stats.distributivity_hits;
+            applied = true;
+          }
+        }
+      }
+      if (applied) {
+        continue;
+      }
+
+      // --- Associativity for depth: M(x, u, M(y, u, z)) = M(z, u, M(y,u,x))
+      //     applied when it strictly lowers this node's level.
+      for (unsigned si = 0; si < 3 && !applied; ++si) {
+        const Signal s = fi[si];
+        if (!net.is_maj(s.node()) || s.node() == n ||
+            refs[s.node()] != 1) {
+          continue;
+        }
+        const auto inner = effective_fanins(net, s);
+        for (unsigned ui = 0; ui < 3 && !applied; ++ui) {
+          if (ui == si) {
+            continue;
+          }
+          const Signal u = fi[ui];
+          // Find u among inner fanins.
+          for (unsigned w = 0; w < 3 && !applied; ++w) {
+            if (inner[w] != u) {
+              continue;
+            }
+            const unsigned xi = 3 - si - ui;
+            const Signal x = fi[xi];
+            // Pick z = the deeper of the two non-u inner fanins.
+            for (unsigned zi = 0; zi < 3 && !applied; ++zi) {
+              if (zi == w) {
+                continue;
+              }
+              const Signal z = inner[zi];
+              const unsigned yi = 3 - w - zi;
+              const Signal y = inner[yi];
+              auto lvl = [&](Signal t) {
+                return t.node() < levels.size() ? levels[t.node()] : 0u;
+              };
+              const std::uint32_t old_inner = 1 + std::max({lvl(y), lvl(u), lvl(z)});
+              const std::uint32_t old_outer =
+                  1 + std::max({lvl(x), lvl(u), old_inner});
+              const std::uint32_t new_inner = 1 + std::max({lvl(y), lvl(u), lvl(x)});
+              const std::uint32_t new_outer =
+                  1 + std::max({lvl(z), lvl(u), new_inner});
+              if (new_outer >= old_outer) {
+                continue;
+              }
+              const Signal ni = net.create_maj(y, u, x);
+              const Signal no = net.create_maj(z, u, ni);
+              if (no.node() != n) {
+                net.replace(n, no);
+                ++stats.associativity_hits;
+                applied = true;
+              }
+            }
+          }
+        }
+      }
+      if (applied) {
+        continue;
+      }
+
+      // --- Complementary associativity: M(x, u, M(y, !u, z)) =
+      //     M(x, u, M(y, x, z)); applied only when the new inner node
+      //     already exists (pure sharing, never grows the network).
+      for (unsigned si = 0; si < 3 && !applied; ++si) {
+        const Signal s = fi[si];
+        if (!net.is_maj(s.node()) || s.node() == n || refs[s.node()] != 1) {
+          continue;
+        }
+        const auto inner = effective_fanins(net, s);
+        for (unsigned ui = 0; ui < 3 && !applied; ++ui) {
+          if (ui == si) {
+            continue;
+          }
+          const Signal u = fi[ui];
+          for (unsigned w = 0; w < 3 && !applied; ++w) {
+            if (inner[w] != !u) {
+              continue;
+            }
+            const unsigned xi = 3 - si - ui;
+            const Signal x = fi[xi];
+            const unsigned ai = w == 0 ? 1 : 0;
+            const unsigned bi = 3 - w - ai;
+            const std::uint32_t count_before = net.num_nodes();
+            const Signal ni = net.create_maj(inner[ai], x, inner[bi]);
+            if (net.num_nodes() != count_before) {
+              continue; // created a node: not pure sharing, skip
+            }
+            std::array<Signal, 3> nf = fi;
+            nf[si] = ni;
+            const Signal no = net.create_maj(nf[0], nf[1], nf[2]);
+            if (no.node() != n) {
+              net.replace(n, no);
+              ++stats.compl_associativity_hits;
+              applied = true;
+            }
+          }
+        }
+      }
+    }
+
+    net = net.cleanup();
+    if (net.count_live_majs() >= before && round > 0) {
+      break;
+    }
+    if (net.count_live_majs() == before) {
+      break;
+    }
+  }
+
+  stats.nodes_after = net.count_live_majs();
+  stats.depth_after = net.depth();
+  return stats;
+}
+
+Mig optimize_mig(const Mig& input, MigRewriteStats* stats) {
+  Mig net = input.cleanup();
+  MigRewriteStats s = mig_algebraic_rewrite(net);
+  // Functional resubstitution removes duplicates the algebraic rules
+  // cannot see (exact; narrow networks only — see mig_resub.hpp).
+  net = mig_resubstitute(net);
+  s.nodes_after = net.count_live_majs();
+  if (stats) {
+    *stats = s;
+  }
+  return net;
+}
+
+} // namespace rcgp::mig

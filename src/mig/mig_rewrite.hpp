@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "mig/mig.hpp"
+
+namespace rcgp::mig {
+
+struct MigRewriteStats {
+  std::uint32_t associativity_hits = 0;
+  std::uint32_t compl_associativity_hits = 0;
+  std::uint32_t distributivity_hits = 0;
+  std::uint32_t nodes_before = 0;
+  std::uint32_t nodes_after = 0;
+  std::uint32_t depth_before = 0;
+  std::uint32_t depth_after = 0;
+};
+
+/// Algebraic MIG rewriting using the majority axioms (Ω system):
+///   associativity          M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))
+///   compl. associativity   M(x, u, M(y, !u, z)) = M(x, u, M(y, x, z))
+///   distributivity (R→L)   M(M(x,y,u), M(x,y,v), z) = M(x, y, M(u,v,z))
+/// Each rule is applied when it strictly reduces live node count (via
+/// structural-hash sharing) or, for associativity variants, reduces the
+/// node's level. Iterates to a fixed point with a bounded round count.
+MigRewriteStats mig_algebraic_rewrite(Mig& net, unsigned max_rounds = 4);
+
+/// Convenience: cleanup + algebraic rewriting, mirroring the paper's
+/// "aqfp_resynthesis"-optimized MIG stage.
+Mig optimize_mig(const Mig& input, MigRewriteStats* stats = nullptr);
+
+} // namespace rcgp::mig

@@ -1,0 +1,208 @@
+#include "rqfp/buffer.hpp"
+
+#include <algorithm>
+
+namespace rcgp::rqfp {
+
+namespace {
+
+/// Buffer total for an explicit level assignment (must satisfy the
+/// one-stage-ahead constraints).
+BufferPlan plan_for_levels(const Netlist& net,
+                           const std::vector<std::uint32_t>& level,
+                           std::uint32_t depth) {
+  BufferPlan plan;
+  plan.depth = depth;
+  plan.gate_edges.assign(net.num_gates(), {0, 0, 0});
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    for (unsigned i = 0; i < 3; ++i) {
+      const Port p = net.gate(g).in[i];
+      if (net.is_const_port(p)) {
+        continue;
+      }
+      const std::uint32_t src =
+          net.is_gate_port(p) ? level[net.gate_of_port(p)] : 0;
+      plan.gate_edges[g][i] = level[g] - 1 - src;
+      plan.total += plan.gate_edges[g][i];
+    }
+  }
+  plan.po_edges.assign(net.num_pos(), 0);
+  for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
+    const Port p = net.po_at(o);
+    if (net.is_const_port(p)) {
+      continue;
+    }
+    const std::uint32_t src =
+        net.is_gate_port(p) ? level[net.gate_of_port(p)] : 0;
+    plan.po_edges[o] = depth - src;
+    plan.total += plan.po_edges[o];
+  }
+  return plan;
+}
+
+BufferPlan plan_optimized(const Netlist& net) {
+  const std::uint32_t n = net.num_gates();
+  std::vector<std::uint32_t> level = net.gate_levels(); // ASAP start
+  const std::uint32_t depth = net.depth();
+  if (n == 0) {
+    return plan_for_levels(net, level, depth);
+  }
+
+  // Consumers of each gate: (consumer gate, fixed PO flag).
+  std::vector<std::vector<std::uint32_t>> gate_consumers(n);
+  std::vector<bool> drives_po(n, false);
+  for (std::uint32_t g = 0; g < n; ++g) {
+    for (const Port p : net.gate(g).in) {
+      if (net.is_gate_port(p)) {
+        gate_consumers[net.gate_of_port(p)].push_back(g);
+      }
+    }
+  }
+  for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
+    const Port p = net.po_at(o);
+    if (net.is_gate_port(p)) {
+      drives_po[net.gate_of_port(p)] = true;
+    }
+  }
+
+  // Coordinate descent: each gate moves within [earliest, latest] given
+  // its neighbours' current levels; the incident-buffer cost is linear in
+  // the gate's level, so the optimum is at one of the two bounds.
+  for (unsigned round = 0; round < 16; ++round) {
+    bool changed = false;
+    for (std::uint32_t g = 0; g < n; ++g) {
+      std::uint32_t earliest = 1;
+      int non_const_inputs = 0;
+      for (const Port p : net.gate(g).in) {
+        if (net.is_const_port(p)) {
+          continue;
+        }
+        ++non_const_inputs;
+        const std::uint32_t src =
+            net.is_gate_port(p) ? level[net.gate_of_port(p)] : 0;
+        earliest = std::max(earliest, src + 1);
+      }
+      std::uint32_t latest = drives_po[g] || gate_consumers[g].empty()
+                                 ? depth
+                                 : 0xFFFFFFFFu;
+      for (const auto c : gate_consumers[g]) {
+        latest = std::min(latest, level[c] - 1);
+      }
+      // Cost slope: +non_const_inputs per stage later on input edges,
+      // -consumer count per stage later on output edges (PO edges count
+      // once each as well, folded into drives_po handling below).
+      int slope = non_const_inputs;
+      slope -= static_cast<int>(gate_consumers[g].size());
+      if (drives_po[g]) {
+        // Each PO bound to this gate saves one buffer per stage later.
+        for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
+          if (net.is_gate_port(net.po_at(o)) &&
+              net.gate_of_port(net.po_at(o)) == g) {
+            --slope;
+          }
+        }
+      }
+      const std::uint32_t target = slope > 0 ? earliest
+                                   : slope < 0 ? latest
+                                               : level[g];
+      if (target != level[g] && target >= earliest && target <= latest) {
+        level[g] = target;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  return plan_for_levels(net, level, depth);
+}
+
+} // namespace
+
+BufferPlan plan_buffers(const Netlist& net, BufferSchedule schedule) {
+  if (schedule == BufferSchedule::kBest) {
+    BufferPlan asap = plan_buffers(net, BufferSchedule::kAsap);
+    BufferPlan alap = plan_buffers(net, BufferSchedule::kAlap);
+    return alap.total < asap.total ? alap : asap;
+  }
+  if (schedule == BufferSchedule::kOptimized) {
+    BufferPlan best = plan_buffers(net, BufferSchedule::kBest);
+    BufferPlan optimized = plan_optimized(net);
+    return optimized.total < best.total ? optimized : best;
+  }
+  BufferPlan plan;
+  const std::uint32_t n = net.num_gates();
+  std::vector<std::uint32_t> level = net.gate_levels();
+  plan.depth = net.depth();
+
+  if (schedule == BufferSchedule::kAlap && n > 0) {
+    // Latest stage each gate may occupy: one before its earliest consumer;
+    // PO drivers may sit at the final stage.
+    std::vector<std::uint32_t> latest(n, 0);
+    std::vector<bool> constrained(n, false);
+    for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+      const Port p = net.po_at(i);
+      if (net.is_gate_port(p)) {
+        const std::uint32_t g = net.gate_of_port(p);
+        latest[g] = constrained[g] ? std::min(latest[g], plan.depth)
+                                   : plan.depth;
+        constrained[g] = true;
+      }
+    }
+    for (std::uint32_t g = n; g-- > 0;) {
+      const std::uint32_t self =
+          constrained[g] ? latest[g] : level[g]; // dead gates keep ASAP
+      for (const Port p : net.gate(g).in) {
+        if (!net.is_gate_port(p)) {
+          continue;
+        }
+        const std::uint32_t src = net.gate_of_port(p);
+        const std::uint32_t bound = self - 1;
+        latest[src] =
+            constrained[src] ? std::min(latest[src], bound) : bound;
+        constrained[src] = true;
+      }
+    }
+    for (std::uint32_t g = 0; g < n; ++g) {
+      // Slack is non-negative for live gates, so the latest stage is never
+      // earlier than ASAP; dead gates keep their ASAP level.
+      if (constrained[g]) {
+        level[g] = std::max(level[g], latest[g]);
+      }
+    }
+  }
+
+  plan.gate_edges.assign(n, {0, 0, 0});
+  for (std::uint32_t g = 0; g < n; ++g) {
+    for (unsigned i = 0; i < 3; ++i) {
+      const Port p = net.gate(g).in[i];
+      if (net.is_const_port(p)) {
+        continue;
+      }
+      const std::uint32_t src_level =
+          net.is_gate_port(p) ? level[net.gate_of_port(p)] : 0;
+      const std::uint32_t need = level[g] - 1;
+      plan.gate_edges[g][i] = need - src_level;
+      plan.total += plan.gate_edges[g][i];
+    }
+  }
+
+  plan.po_edges.assign(net.num_pos(), 0);
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    const Port p = net.po_at(i);
+    if (net.is_const_port(p)) {
+      continue;
+    }
+    const std::uint32_t src_level =
+        net.is_gate_port(p) ? level[net.gate_of_port(p)] : 0;
+    plan.po_edges[i] = plan.depth - src_level;
+    plan.total += plan.po_edges[i];
+  }
+  return plan;
+}
+
+std::uint32_t count_buffers(const Netlist& net, BufferSchedule schedule) {
+  return plan_buffers(net, schedule).total;
+}
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::rqfp {
+
+enum class BufferSchedule {
+  kAsap, // every gate fires as early as possible
+  kAlap, // gates slide as late as their consumers allow; trades output-edge
+         // buffers for input-edge buffers (not universally cheaper)
+  kBest, // the cheaper of ASAP and ALAP
+  /// Coordinate-descent slack distribution: every gate slides within its
+  /// feasible stage window to the position minimizing the buffers on its
+  /// incident edges, iterated to a fixed point — the per-edge-linear
+  /// relaxation of the buffer/splitter insertion optimizations the paper
+  /// cites ([13], [14]). Never worse than ASAP or ALAP.
+  kOptimized
+};
+
+struct BufferPlan {
+  /// Buffers on each gate-input edge, indexed [gate][input 0..2].
+  std::vector<std::array<std::uint32_t, 3>> gate_edges;
+  /// Buffers aligning each PO to the final clock stage.
+  std::vector<std::uint32_t> po_edges;
+  std::uint32_t total = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Path-balancing buffer computation (paper §3.3): every input of a gate
+/// at clock stage L must be produced at stage L-1; the difference is made
+/// up with RQFP buffers (2 cascaded AQFP buffers, 4 JJs each). Primary
+/// inputs sit at stage 0 and all primary outputs are aligned to the final
+/// stage. Constant inputs are supplied by the excitation current and need
+/// no buffers.
+BufferPlan plan_buffers(const Netlist& net,
+                        BufferSchedule schedule = BufferSchedule::kAsap);
+
+/// Total buffers only.
+std::uint32_t count_buffers(const Netlist& net,
+                            BufferSchedule schedule = BufferSchedule::kAsap);
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,64 @@
+#include "rqfp/catalog.hpp"
+
+#include <set>
+#include <string>
+
+#include "rqfp/reversibility.hpp"
+
+namespace rcgp::rqfp {
+
+tt::TruthTable ConfigCatalog::row_function(unsigned row_bits) {
+  auto in = [&](unsigned i) {
+    const auto p = tt::TruthTable::projection(3, i);
+    return (row_bits >> i) & 1 ? ~p : p;
+  };
+  return tt::TruthTable::majority(in(0), in(1), in(2));
+}
+
+ConfigCatalog::ConfigCatalog() {
+  std::set<tt::TruthTable> rows;
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    rows.insert(row_function(bits));
+  }
+  row_functions_.assign(rows.begin(), rows.end());
+
+  std::set<std::string> triples;
+  for (unsigned bits = 0; bits < 512; ++bits) {
+    const InvConfig cfg(static_cast<std::uint16_t>(bits));
+    std::string key;
+    for (unsigned k = 0; k < 3; ++k) {
+      key += row_function(cfg.row(k)).to_hex();
+    }
+    triples.insert(key);
+    if (gate_is_bijective(cfg)) {
+      ++num_bijective_;
+    }
+  }
+  num_triples_ = triples.size();
+}
+
+std::optional<unsigned> ConfigCatalog::row_for(const tt::TruthTable& f) {
+  if (f.num_vars() != 3) {
+    return std::nullopt;
+  }
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    if (row_function(bits) == f) {
+      return bits;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<InvConfig> ConfigCatalog::config_for(const tt::TruthTable& y0,
+                                                   const tt::TruthTable& y1,
+                                                   const tt::TruthTable& y2) {
+  const auto r0 = row_for(y0);
+  const auto r1 = row_for(y1);
+  const auto r2 = row_for(y2);
+  if (!r0 || !r1 || !r2) {
+    return std::nullopt;
+  }
+  return InvConfig::from_rows(*r0, *r1, *r2);
+}
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rqfp/gate.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::rqfp {
+
+/// Census of the 512 inverter configurations of an RQFP gate: which
+/// single-output functions a row can realize, which triples exist, and a
+/// reverse lookup from desired row functions to a configuration. Powers
+/// tests, documentation, and the shared-fanin packing analysis.
+class ConfigCatalog {
+public:
+  /// Builds the full catalog (512 evaluations over 3-variable tables).
+  ConfigCatalog();
+
+  /// The 3-variable function computed by `row_bits` (a phased majority).
+  static tt::TruthTable row_function(unsigned row_bits);
+
+  /// All 8 distinct single-row functions (one per inverter pattern).
+  const std::vector<tt::TruthTable>& row_functions() const {
+    return row_functions_;
+  }
+
+  /// Configuration whose rows realize the three given functions (each must
+  /// be a phased majority of the inputs); nullopt when any is not.
+  static std::optional<InvConfig> config_for(const tt::TruthTable& y0,
+                                             const tt::TruthTable& y1,
+                                             const tt::TruthTable& y2);
+
+  /// Row bits realizing `f`, if f is a phased majority. Exposed for the
+  /// packing logic.
+  static std::optional<unsigned> row_for(const tt::TruthTable& f);
+
+  /// Number of configurations whose input->output map is a bijection.
+  unsigned num_bijective() const { return num_bijective_; }
+
+  /// Number of distinct (y0,y1,y2) function triples across all configs.
+  std::size_t num_distinct_triples() const { return num_triples_; }
+
+private:
+  std::vector<tt::TruthTable> row_functions_;
+  unsigned num_bijective_ = 0;
+  std::size_t num_triples_ = 0;
+};
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,27 @@
+#include "rqfp/cost.hpp"
+
+namespace rcgp::rqfp {
+
+std::string Cost::to_string() const {
+  return "n_r=" + std::to_string(n_r) + " n_b=" + std::to_string(n_b) +
+         " JJs=" + std::to_string(jjs) + " n_d=" + std::to_string(n_d) +
+         " n_g=" + std::to_string(n_g);
+}
+
+Cost cost_of(const Netlist& net, BufferSchedule schedule) {
+  const Netlist live = net.remove_dead_gates();
+  Cost c;
+  c.n_r = live.num_gates();
+  c.n_g = live.count_garbage_outputs();
+  const BufferPlan plan = plan_buffers(live, schedule);
+  c.n_b = plan.total;
+  c.n_d = plan.depth;
+  c.jjs = kJjsPerGate * c.n_r + kJjsPerBuffer * c.n_b;
+  return c;
+}
+
+std::uint32_t garbage_lower_bound(unsigned num_pis, unsigned num_pos) {
+  return num_pis > num_pos ? num_pis - num_pos : 0;
+}
+
+} // namespace rcgp::rqfp

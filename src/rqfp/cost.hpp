@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rqfp/buffer.hpp"
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::rqfp {
+
+/// The cost columns reported in the paper's Tables 1 and 2.
+struct Cost {
+  std::uint32_t n_r = 0;  // RQFP logic gates (splitters included)
+  std::uint32_t n_b = 0;  // path-balancing RQFP buffers
+  std::uint32_t jjs = 0;  // Josephson junctions: 24*n_r + 4*n_b
+  std::uint32_t n_d = 0;  // circuit depth in clock stages
+  std::uint32_t n_g = 0;  // garbage outputs
+
+  std::string to_string() const;
+};
+
+/// Cost of a netlist. Dead gates are removed before measuring (the CGP
+/// shrink step guarantees none remain in reported circuits, but callers
+/// may pass raw netlists).
+Cost cost_of(const Netlist& net,
+             BufferSchedule schedule = BufferSchedule::kAsap);
+
+/// Lower bound on garbage outputs from the paper: g_lb = max(0, n_pi-n_po).
+std::uint32_t garbage_lower_bound(unsigned num_pis, unsigned num_pos);
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,25 @@
+#include "rqfp/energy.hpp"
+
+#include <cmath>
+
+namespace rcgp::rqfp {
+
+double landauer_limit(double temperature_kelvin) {
+  return kBoltzmann * temperature_kelvin * std::log(2.0);
+}
+
+EnergyEstimate estimate_energy(const Netlist& net, double temperature_kelvin,
+                               double per_jj_fraction) {
+  EnergyEstimate e;
+  e.temperature_kelvin = temperature_kelvin;
+  e.landauer_per_bit = landauer_limit(temperature_kelvin);
+  const auto report = analyze_reversibility(net);
+  e.erased_bits = report.erased_bits;
+  e.landauer_floor = e.erased_bits * e.landauer_per_bit;
+  const auto cost = cost_of(net);
+  e.jjs = cost.jjs;
+  e.switching_estimate = cost.jjs * per_jj_fraction * kIcPhi0;
+  return e;
+}
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "rqfp/cost.hpp"
+#include "rqfp/netlist.hpp"
+#include "rqfp/reversibility.hpp"
+
+namespace rcgp::rqfp {
+
+/// Energy model tying the paper's motivation (§1, Landauer 1961) to the
+/// JJ-count cost metric. All energies in joules.
+struct EnergyEstimate {
+  double temperature_kelvin = 4.2; // liquid-helium operation
+  /// Landauer bound k_B * T * ln2 per erased bit.
+  double landauer_per_bit = 0.0;
+  /// Information erased at the circuit boundary, in bits per computation.
+  double erased_bits = 0.0;
+  /// Thermodynamic minimum per computation for this circuit.
+  double landauer_floor = 0.0;
+  /// Switching-energy estimate from the JJ count (adiabatic QFP devices
+  /// dissipate orders of magnitude below I_c*Phi_0 per JJ; the scale
+  /// factor is configurable).
+  double switching_estimate = 0.0;
+  unsigned jjs = 0;
+};
+
+inline constexpr double kBoltzmann = 1.380649e-23; // J/K
+/// Single-flux-quantum energy scale I_c * Phi_0 for a typical 50 uA
+/// junction (Phi_0 = 2.067833848e-15 Wb).
+inline constexpr double kIcPhi0 = 50e-6 * 2.067833848e-15;
+
+/// Landauer limit k_B T ln 2 for one bit at temperature T.
+double landauer_limit(double temperature_kelvin);
+
+/// Estimates the energy picture of a netlist: the Landauer floor follows
+/// from the reversibility analysis (erased bits at the boundary), the
+/// switching estimate from the JJ count scaled by `per_jj_fraction` of
+/// I_c*Phi_0 (adiabatic operation reaches ~1e-4 and below).
+EnergyEstimate estimate_energy(const Netlist& net,
+                               double temperature_kelvin = 4.2,
+                               double per_jj_fraction = 1e-4);
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,71 @@
+#include "rqfp/gate.hpp"
+
+#include <stdexcept>
+
+namespace rcgp::rqfp {
+
+std::string InvConfig::to_string() const {
+  std::string s;
+  for (unsigned k = 0; k < 3; ++k) {
+    if (k) {
+      s.push_back('-');
+    }
+    for (unsigned i = 0; i < 3; ++i) {
+      s.push_back(inverts(k, i) ? '1' : '0');
+    }
+  }
+  return s;
+}
+
+InvConfig InvConfig::parse(const std::string& text) {
+  if (text.size() != 11 || text[3] != '-' || text[7] != '-') {
+    throw std::invalid_argument("InvConfig::parse: expect \"xxx-xxx-xxx\"");
+  }
+  std::uint16_t bits = 0;
+  unsigned slot = 0;
+  for (const char c : text) {
+    if (c == '-') {
+      continue;
+    }
+    if (c == '1') {
+      bits |= 1u << slot;
+    } else if (c != '0') {
+      throw std::invalid_argument("InvConfig::parse: invalid character");
+    }
+    ++slot;
+  }
+  return InvConfig(bits);
+}
+
+std::array<std::uint64_t, 3> eval_gate_words(InvConfig config,
+                                             std::uint64_t a, std::uint64_t b,
+                                             std::uint64_t c) {
+  std::array<std::uint64_t, 3> out{};
+  const std::uint64_t in[3] = {a, b, c};
+  for (unsigned k = 0; k < 3; ++k) {
+    std::uint64_t v[3];
+    for (unsigned i = 0; i < 3; ++i) {
+      v[i] = config.inverts(k, i) ? ~in[i] : in[i];
+    }
+    out[k] = (v[0] & v[1]) | (v[0] & v[2]) | (v[1] & v[2]);
+  }
+  return out;
+}
+
+std::array<tt::TruthTable, 3> eval_gate_tables(InvConfig config,
+                                               const tt::TruthTable& a,
+                                               const tt::TruthTable& b,
+                                               const tt::TruthTable& c) {
+  std::array<tt::TruthTable, 3> out;
+  const tt::TruthTable* in[3] = {&a, &b, &c};
+  for (unsigned k = 0; k < 3; ++k) {
+    tt::TruthTable v[3];
+    for (unsigned i = 0; i < 3; ++i) {
+      v[i] = config.inverts(k, i) ? ~*in[i] : *in[i];
+    }
+    out[k] = tt::TruthTable::majority(v[0], v[1], v[2]);
+  }
+  return out;
+}
+
+} // namespace rcgp::rqfp

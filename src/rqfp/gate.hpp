@@ -1,0 +1,82 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "tt/truth_table.hpp"
+
+namespace rcgp::rqfp {
+
+/// Inverter configuration of one RQFP logic gate.
+///
+/// An RQFP gate (Fig. 1(a) of the paper) has three inputs (a,b,c), three
+/// internal 3-input AQFP majority gates, and an inverter slot in front of
+/// every majority input: 9 slots = 512 configurations. Bit (3*k + i) of
+/// `bits` complements input i of majority k, so output k is
+///   y_k = MAJ(a ^ inv(k,0), b ^ inv(k,1), c ^ inv(k,2)).
+class InvConfig {
+public:
+  constexpr InvConfig() = default;
+  constexpr explicit InvConfig(std::uint16_t bits) : bits_(bits & 0x1FF) {}
+
+  constexpr std::uint16_t bits() const { return bits_; }
+
+  constexpr bool inverts(unsigned maj, unsigned input) const {
+    return (bits_ >> (3 * maj + input)) & 1;
+  }
+  constexpr InvConfig with_flip(unsigned slot) const {
+    return InvConfig(static_cast<std::uint16_t>(bits_ ^ (1u << slot)));
+  }
+
+  /// 3-bit row for majority `maj` (bit i complements input i).
+  constexpr unsigned row(unsigned maj) const {
+    return (bits_ >> (3 * maj)) & 7;
+  }
+  static constexpr InvConfig from_rows(unsigned r0, unsigned r1, unsigned r2) {
+    return InvConfig(
+        static_cast<std::uint16_t>((r0 & 7) | ((r1 & 7) << 3) | ((r2 & 7) << 6)));
+  }
+
+  /// "101-100-000"-style string as used in the paper's Fig. 3 (each group
+  /// lists the three inverter bits of one majority, input 0 first).
+  std::string to_string() const;
+  static InvConfig parse(const std::string& text);
+
+  bool operator==(const InvConfig&) const = default;
+
+  /// The normal (logically reversible) RQFP gate of Fig. 1(a):
+  /// R(a,b,c) = {M(!a,b,c), M(a,!b,c), M(a,b,!c)}.
+  static constexpr InvConfig reversible() { return from_rows(1, 2, 4); }
+
+  /// 1-to-3 splitter rows for R(1, a, 0): every majority computes
+  /// M(1, a, 0) = a (input 0 = constant 1, input 2 = constant 1 inverted).
+  static constexpr InvConfig splitter() { return from_rows(4, 4, 4); }
+
+  /// All three outputs equal to MAJ(a^c0, b^c1, c^c2): identical rows.
+  static constexpr InvConfig triple(unsigned row_bits) {
+    return from_rows(row_bits, row_bits, row_bits);
+  }
+
+private:
+  std::uint16_t bits_ = 0;
+};
+
+/// Evaluates one RQFP gate bit-parallel on 64-bit words.
+std::array<std::uint64_t, 3> eval_gate_words(InvConfig config,
+                                             std::uint64_t a, std::uint64_t b,
+                                             std::uint64_t c);
+
+/// Evaluates one RQFP gate on truth tables.
+std::array<tt::TruthTable, 3> eval_gate_tables(InvConfig config,
+                                               const tt::TruthTable& a,
+                                               const tt::TruthTable& b,
+                                               const tt::TruthTable& c);
+
+/// Per-gate JJ costs of the AQFP realization (paper §4): an RQFP gate is
+/// 3 splitters + 3 majorities = 3*2 + 3*6 = 24 JJs; an RQFP buffer is two
+/// cascaded AQFP buffers = 4 JJs.
+inline constexpr unsigned kJjsPerGate = 24;
+inline constexpr unsigned kJjsPerBuffer = 4;
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,180 @@
+#include "rqfp/map_from_mig.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace rcgp::rqfp {
+
+namespace {
+
+/// Where a MIG signal lives in the RQFP port space, plus whether the
+/// consumer must invert it (absorbed into the consumer's config row).
+struct Driver {
+  Port port = kConstPort;
+  bool invert = false;
+};
+
+} // namespace
+
+Netlist map_from_mig(const mig::Mig& input, MapStats* stats,
+                     const MapOptions& options) {
+  const mig::Mig net = input.cleanup();
+  MapStats local;
+
+  Netlist out(net.num_pis());
+  {
+    std::vector<std::string> names;
+    names.reserve(net.num_pis());
+    for (std::uint32_t i = 0; i < net.num_pis(); ++i) {
+      names.push_back(net.pi_name(i));
+    }
+    out.set_pi_names(std::move(names));
+  }
+
+  // MIG node -> functional RQFP port (output 2 of its gate).
+  std::vector<Port> node_port(net.num_nodes(), kConstPort);
+
+  auto driver_of = [&](mig::Signal s) -> Driver {
+    if (net.is_const(s.node())) {
+      // MIG constant node is FALSE; RQFP constant port is 1: feeding the
+      // value of the signal requires an inverter exactly when the signal
+      // is the un-complemented constant (value 0).
+      return Driver{kConstPort, !s.complemented()};
+    }
+    if (net.is_pi(s.node())) {
+      return Driver{static_cast<Port>(1 + net.pi_index(s.node())),
+                    s.complemented()};
+    }
+    return Driver{node_port[s.node()], s.complemented()};
+  };
+
+  // Packing state: sorted fanin-port triple -> (gate, rows already used).
+  struct PackSlot {
+    std::uint32_t gate;
+    unsigned rows_used;
+  };
+  std::map<std::array<Port, 3>, PackSlot> packs;
+
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_maj(n)) {
+      continue;
+    }
+    Driver d[3];
+    for (unsigned i = 0; i < 3; ++i) {
+      d[i] = driver_of(net.fanin(n, i));
+    }
+
+    if (options.pack_shared_fanins) {
+      std::array<Port, 3> key{d[0].port, d[1].port, d[2].port};
+      std::sort(key.begin(), key.end());
+      const auto it = packs.find(key);
+      // The creating node occupies row 2; rows 0 and 1 are packable.
+      if (it != packs.end() && it->second.rows_used < 2) {
+        // Reuse the existing gate: align our inverter bits with its input
+        // order (duplicate ports — only the constant can repeat — are
+        // order-insensitive because their inversion bits are per-slot).
+        auto& gate = out.gate(it->second.gate);
+        unsigned row_bits = 0;
+        std::array<bool, 3> used{};
+        for (unsigned i = 0; i < 3; ++i) {
+          for (unsigned s = 0; s < 3; ++s) {
+            if (!used[s] && gate.in[s] == d[i].port) {
+              used[s] = true;
+              if (d[i].invert) {
+                row_bits |= 1u << s;
+              }
+              break;
+            }
+          }
+        }
+        const unsigned row = it->second.rows_used++;
+        unsigned rows[3] = {gate.config.row(0), gate.config.row(1),
+                            gate.config.row(2)};
+        rows[row] = row_bits;
+        gate.config = InvConfig::from_rows(rows[0], rows[1], rows[2]);
+        node_port[n] = out.port_of(it->second.gate, row);
+        ++local.packed_nodes;
+        continue;
+      }
+    }
+
+    const unsigned inv_bits = (d[0].invert ? 1u : 0u) |
+                              (d[1].invert ? 2u : 0u) |
+                              (d[2].invert ? 4u : 0u);
+    // Output 2 carries the function; rows 0 and 1 add the normal-gate
+    // inverter pattern on top so the gate stays input-inverter-extended
+    // reversible in structure.
+    const InvConfig cfg =
+        InvConfig::from_rows(inv_bits ^ 1u, inv_bits ^ 2u, inv_bits);
+    const std::uint32_t g =
+        out.add_gate({d[0].port, d[1].port, d[2].port}, cfg);
+    node_port[n] = out.port_of(g, 2);
+    ++local.logic_gates;
+    if (options.pack_shared_fanins) {
+      std::array<Port, 3> key{d[0].port, d[1].port, d[2].port};
+      std::sort(key.begin(), key.end());
+      // Row 2 is taken by this node; packed nodes fill rows 0 and 1.
+      packs[key] = PackSlot{g, 0};
+    }
+  }
+
+  // Primary outputs: absorb complement into the producer row when sole
+  // consumer; otherwise synthesize an inverter gate.
+  std::vector<std::uint32_t> extra_consumers(out.first_free_port() + 0, 0);
+  {
+    // Count gate-input consumption so PO-absorption checks are exact.
+    for (std::uint32_t g = 0; g < out.num_gates(); ++g) {
+      for (const Port p : out.gate(g).in) {
+        if (p < extra_consumers.size()) {
+          ++extra_consumers[p];
+        }
+      }
+    }
+  }
+  // Count how many POs share each driver as well.
+  std::vector<std::uint32_t> po_share(out.first_free_port(), 0);
+  std::vector<Driver> po_drivers(net.num_pos());
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    po_drivers[i] = driver_of(net.po_at(i));
+    if (po_drivers[i].port < po_share.size()) {
+      ++po_share[po_drivers[i].port];
+    }
+  }
+
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    Driver d = po_drivers[i];
+    if (!d.invert) {
+      out.add_po(d.port, net.po_name(i));
+      continue;
+    }
+    const bool sole_consumer = out.is_gate_port(d.port) &&
+                               extra_consumers[d.port] == 0 &&
+                               po_share[d.port] == 1;
+    if (sole_consumer) {
+      // Flip all three inverter bits of the producing row: M(!x,!y,!z) =
+      // !M(x,y,z).
+      const std::uint32_t g = out.gate_of_port(d.port);
+      const unsigned slot = out.slot_of_port(d.port);
+      auto& gate = out.gate(g);
+      unsigned rows[3] = {gate.config.row(0), gate.config.row(1),
+                          gate.config.row(2)};
+      rows[slot] ^= 7u;
+      gate.config = InvConfig::from_rows(rows[0], rows[1], rows[2]);
+      out.add_po(d.port, net.po_name(i));
+      continue;
+    }
+    // Dedicated inverter: splitter gate with inverting middle input.
+    const std::uint32_t g = out.add_gate({kConstPort, d.port, kConstPort},
+                                         InvConfig::from_rows(6, 6, 6));
+    ++local.inverter_gates;
+    out.add_po(out.port_of(g, 0), net.po_name(i));
+  }
+
+  if (stats) {
+    *stats = local;
+  }
+  return out;
+}
+
+} // namespace rcgp::rqfp

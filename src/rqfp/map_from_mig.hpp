@@ -1,0 +1,39 @@
+#pragma once
+
+#include "mig/mig.hpp"
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::rqfp {
+
+struct MapStats {
+  std::uint32_t logic_gates = 0;
+  std::uint32_t inverter_gates = 0; // extra gates for complemented POs
+  std::uint32_t packed_nodes = 0;   // nodes sharing another node's gate
+};
+
+struct MapOptions {
+  /// Extension beyond the paper's direct conversion: MIG nodes with the
+  /// same three fanins can share one RQFP gate, each taking one majority
+  /// row (an RQFP gate computes three independent phased majorities of
+  /// the same inputs). Off by default to match the paper's
+  /// initialization baseline.
+  bool pack_shared_fanins = false;
+};
+
+/// Direct conversion of a MIG into an RQFP netlist (the paper's
+/// "RQFP logic netlist conversion" box in Fig. 2).
+///
+/// Every majority node becomes one RQFP gate whose output 2 carries the
+/// node function M(a^c0, b^c1, c^c2) (fanin complements absorbed into the
+/// inverter configuration); outputs 0 and 1 follow the normal reversible
+/// gate pattern and are typically garbage until the CGP stage learns to
+/// use them. The result may violate the single fan-out limitation — run
+/// insert_splitters() on it to legalize (paper: "RQFP splitter insertion").
+///
+/// Complemented PO drivers are absorbed into the producing gate's row when
+/// the PO is that port's only consumer; otherwise a dedicated inverter
+/// gate (a splitter with an inverting row) is appended.
+Netlist map_from_mig(const mig::Mig& input, MapStats* stats = nullptr,
+                     const MapOptions& options = {});
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,162 @@
+#include "rqfp/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcgp::rqfp {
+
+std::uint32_t Netlist::add_gate(const std::array<Port, 3>& inputs,
+                                InvConfig config) {
+  const Port limit = first_free_port();
+  for (const Port p : inputs) {
+    if (p >= limit) {
+      throw std::invalid_argument("Netlist::add_gate: forward reference");
+    }
+  }
+  gates_.push_back(Gate{inputs, config});
+  return static_cast<std::uint32_t>(gates_.size() - 1);
+}
+
+std::uint32_t Netlist::add_po(Port p, const std::string& name) {
+  if (p >= first_free_port()) {
+    throw std::invalid_argument("Netlist::add_po: port out of range");
+  }
+  pos_.push_back(p);
+  po_names_.push_back(name.empty() ? "y" + std::to_string(pos_.size() - 1)
+                                   : name);
+  return static_cast<std::uint32_t>(pos_.size() - 1);
+}
+
+std::vector<std::uint32_t> Netlist::port_fanout() const {
+  std::vector<std::uint32_t> fanout(first_free_port(), 0);
+  for (const auto& g : gates_) {
+    for (const Port p : g.in) {
+      ++fanout[p];
+    }
+  }
+  for (const Port p : pos_) {
+    ++fanout[p];
+  }
+  return fanout;
+}
+
+std::string Netlist::validate() const {
+  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
+    const Port limit = port_of(g, 0);
+    for (const Port p : gates_[g].in) {
+      if (p >= limit) {
+        return "gate " + std::to_string(g) + " reads port " +
+               std::to_string(p) + " not yet produced";
+      }
+    }
+  }
+  for (const Port p : pos_) {
+    if (p >= first_free_port()) {
+      return "PO reads port " + std::to_string(p) + " out of range";
+    }
+  }
+  const auto fanout = port_fanout();
+  for (Port p = 1; p < fanout.size(); ++p) {
+    if (fanout[p] > 1) {
+      return "port " + std::to_string(p) + " has fan-out " +
+             std::to_string(fanout[p]) + " (limit 1)";
+    }
+  }
+  return "";
+}
+
+std::uint32_t Netlist::count_garbage_outputs() const {
+  const auto fanout = port_fanout();
+  std::uint32_t garbage = 0;
+  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
+    for (unsigned k = 0; k < 3; ++k) {
+      if (fanout[port_of(g, k)] == 0) {
+        ++garbage;
+      }
+    }
+  }
+  return garbage;
+}
+
+std::vector<bool> Netlist::live_gates() const {
+  std::vector<bool> live(gates_.size(), false);
+  std::vector<std::uint32_t> stack;
+  for (const Port p : pos_) {
+    if (is_gate_port(p)) {
+      const std::uint32_t g = gate_of_port(p);
+      if (!live[g]) {
+        live[g] = true;
+        stack.push_back(g);
+      }
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t g = stack.back();
+    stack.pop_back();
+    for (const Port p : gates_[g].in) {
+      if (is_gate_port(p)) {
+        const std::uint32_t src = gate_of_port(p);
+        if (!live[src]) {
+          live[src] = true;
+          stack.push_back(src);
+        }
+      }
+    }
+  }
+  return live;
+}
+
+Netlist Netlist::remove_dead_gates() const {
+  const auto live = live_gates();
+  Netlist out(num_pis_);
+  out.pi_names_ = pi_names_;
+  // old gate index -> new gate index
+  std::vector<std::uint32_t> remap(gates_.size(), 0);
+  auto remap_port = [&](Port p) -> Port {
+    if (!is_gate_port(p)) {
+      return p;
+    }
+    return out.port_of(remap[gate_of_port(p)], slot_of_port(p));
+  };
+  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
+    if (!live[g]) {
+      continue;
+    }
+    std::array<Port, 3> in{};
+    for (unsigned i = 0; i < 3; ++i) {
+      in[i] = remap_port(gates_[g].in[i]);
+    }
+    remap[g] = out.add_gate(in, gates_[g].config);
+  }
+  for (std::uint32_t i = 0; i < pos_.size(); ++i) {
+    out.add_po(remap_port(pos_[i]), po_names_[i]);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> Netlist::gate_levels() const {
+  std::vector<std::uint32_t> level(gates_.size(), 1);
+  for (std::uint32_t g = 0; g < gates_.size(); ++g) {
+    std::uint32_t m = 0;
+    for (const Port p : gates_[g].in) {
+      if (is_gate_port(p)) {
+        m = std::max(m, level[gate_of_port(p)]);
+      }
+    }
+    level[g] = m + 1;
+  }
+  return level;
+}
+
+std::uint32_t Netlist::depth() const {
+  const auto level = gate_levels();
+  std::uint32_t d = 0;
+  for (const Port p : pos_) {
+    if (is_gate_port(p)) {
+      d = std::max(d, level[gate_of_port(p)]);
+    }
+  }
+  return d;
+}
+
+} // namespace rcgp::rqfp

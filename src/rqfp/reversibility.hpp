@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::rqfp {
+
+/// Information-preservation analysis — the paper's motivation (§1): energy
+/// dissipation follows from erased information, and garbage outputs exist
+/// precisely to keep circuits logically reversible.
+struct ReversibilityReport {
+  /// True iff the map PI assignment -> (PO values, garbage-output values)
+  /// is injective, i.e. the circuit erases no information at its boundary.
+  bool information_preserving = false;
+  /// A pair of distinct inputs with identical boundary outputs (when not
+  /// information preserving).
+  std::optional<std::pair<std::uint64_t, std::uint64_t>> collision;
+  /// Number of distinct boundary-output images.
+  std::uint64_t image_size = 0;
+  /// Bits of information erased: n_pi - log2(image_size), >= 0.
+  double erased_bits = 0.0;
+  std::uint32_t boundary_outputs = 0; // POs + garbage ports
+};
+
+/// Analyzes the live subnetwork of `net` exhaustively over its PIs
+/// (requires num_pis() <= tt::TruthTable::kMaxVars).
+ReversibilityReport analyze_reversibility(const Netlist& net);
+
+/// True iff the single gate (inputs -> three outputs) with the given
+/// inverter configuration is a bijection on 3 bits. The normal reversible
+/// configuration of Fig. 1(a) satisfies this; most of the 512 extended
+/// configurations do not.
+bool gate_is_bijective(InvConfig config);
+
+/// Number of the 512 configurations that are bijective.
+unsigned count_bijective_configs();
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,129 @@
+#include "rqfp/simulate.hpp"
+
+#include <stdexcept>
+
+namespace rcgp::rqfp {
+
+std::vector<tt::TruthTable> simulate_ports(const Netlist& net) {
+  const unsigned nv = net.num_pis();
+  if (nv > tt::TruthTable::kMaxVars) {
+    throw std::invalid_argument("rqfp::simulate: too many PIs");
+  }
+  std::vector<tt::TruthTable> port(net.first_free_port(),
+                                   tt::TruthTable::constant(nv, false));
+  port[kConstPort] = tt::TruthTable::constant(nv, true);
+  for (unsigned i = 0; i < nv; ++i) {
+    port[1 + i] = tt::TruthTable::projection(nv, i);
+  }
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    const auto& gate = net.gate(g);
+    const auto out = eval_gate_tables(gate.config, port[gate.in[0]],
+                                      port[gate.in[1]], port[gate.in[2]]);
+    for (unsigned k = 0; k < 3; ++k) {
+      port[net.port_of(g, k)] = out[k];
+    }
+  }
+  return port;
+}
+
+std::vector<tt::TruthTable> simulate(const Netlist& net) {
+  const auto port = simulate_ports(net);
+  std::vector<tt::TruthTable> out;
+  out.reserve(net.num_pos());
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    out.push_back(port[net.po_at(i)]);
+  }
+  return out;
+}
+
+std::vector<tt::TruthTable> simulate_live(const Netlist& net) {
+  const unsigned nv = net.num_pis();
+  if (nv > tt::TruthTable::kMaxVars) {
+    throw std::invalid_argument("rqfp::simulate_live: too many PIs");
+  }
+  const auto live = net.live_gates();
+  std::vector<tt::TruthTable> port(net.first_free_port(),
+                                   tt::TruthTable::constant(nv, false));
+  port[kConstPort] = tt::TruthTable::constant(nv, true);
+  for (unsigned i = 0; i < nv; ++i) {
+    port[1 + i] = tt::TruthTable::projection(nv, i);
+  }
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    if (!live[g]) {
+      continue;
+    }
+    const auto& gate = net.gate(g);
+    const auto out = eval_gate_tables(gate.config, port[gate.in[0]],
+                                      port[gate.in[1]], port[gate.in[2]]);
+    for (unsigned k = 0; k < 3; ++k) {
+      port[net.port_of(g, k)] = out[k];
+    }
+  }
+  std::vector<tt::TruthTable> out;
+  out.reserve(net.num_pos());
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    out.push_back(port[net.po_at(i)]);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> simulate_patterns(
+    const Netlist& net,
+    const std::vector<std::vector<std::uint64_t>>& pi_patterns) {
+  if (pi_patterns.size() != net.num_pis()) {
+    throw std::invalid_argument("rqfp::simulate_patterns: PI count mismatch");
+  }
+  const std::size_t words = pi_patterns.empty() ? 1 : pi_patterns[0].size();
+  std::vector<std::vector<std::uint64_t>> port(
+      net.first_free_port(), std::vector<std::uint64_t>(words, 0));
+  port[kConstPort].assign(words, ~std::uint64_t{0});
+  for (unsigned i = 0; i < net.num_pis(); ++i) {
+    if (pi_patterns[i].size() != words) {
+      throw std::invalid_argument("rqfp::simulate_patterns: ragged patterns");
+    }
+    port[1 + i] = pi_patterns[i];
+  }
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    const auto& gate = net.gate(g);
+    for (std::size_t w = 0; w < words; ++w) {
+      const auto out =
+          eval_gate_words(gate.config, port[gate.in[0]][w],
+                          port[gate.in[1]][w], port[gate.in[2]][w]);
+      for (unsigned k = 0; k < 3; ++k) {
+        port[net.port_of(g, k)][w] = out[k];
+      }
+    }
+  }
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(net.num_pos());
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    out.push_back(port[net.po_at(i)]);
+  }
+  return out;
+}
+
+std::vector<bool> evaluate(const Netlist& net, std::uint64_t assignment) {
+  std::vector<std::uint64_t> port(net.first_free_port(), 0);
+  port[kConstPort] = 1;
+  for (unsigned i = 0; i < net.num_pis(); ++i) {
+    port[1 + i] = (assignment >> i) & 1;
+  }
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    const auto& gate = net.gate(g);
+    const auto out =
+        eval_gate_words(gate.config, port[gate.in[0]] ? ~std::uint64_t{0} : 0,
+                        port[gate.in[1]] ? ~std::uint64_t{0} : 0,
+                        port[gate.in[2]] ? ~std::uint64_t{0} : 0);
+    for (unsigned k = 0; k < 3; ++k) {
+      port[net.port_of(g, k)] = out[k] & 1;
+    }
+  }
+  std::vector<bool> result;
+  result.reserve(net.num_pos());
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    result.push_back(port[net.po_at(i)] != 0);
+  }
+  return result;
+}
+
+} // namespace rcgp::rqfp

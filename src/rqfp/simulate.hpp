@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::rqfp {
+
+/// Exhaustive simulation: truth table of every port over the PIs.
+/// Index = port number. Requires num_pis() <= TruthTable::kMaxVars.
+std::vector<tt::TruthTable> simulate_ports(const Netlist& net);
+
+/// Exhaustive simulation of the primary outputs only.
+std::vector<tt::TruthTable> simulate(const Netlist& net);
+
+/// Simulation restricted to the live cone feeding the POs — the fast path
+/// used inside the CGP fitness loop (dead gates do not affect POs).
+std::vector<tt::TruthTable> simulate_live(const Netlist& net);
+
+/// Word-parallel pattern simulation for wide circuits: one word vector per
+/// PI, returns one per PO.
+std::vector<std::vector<std::uint64_t>> simulate_patterns(
+    const Netlist& net,
+    const std::vector<std::vector<std::uint64_t>>& pi_patterns);
+
+/// Evaluate on a single input assignment (bit i = PI i); returns PO bits.
+std::vector<bool> evaluate(const Netlist& net, std::uint64_t assignment);
+
+} // namespace rcgp::rqfp

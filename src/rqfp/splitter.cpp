@@ -1,0 +1,96 @@
+#include "rqfp/splitter.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+namespace rcgp::rqfp {
+
+namespace {
+
+/// Copies of an original port available in the rebuilt netlist.
+struct CopyPool {
+  std::deque<Port> available;
+};
+
+/// Emits a splitter chain in `out` until `pool` holds at least `needed`
+/// copies. Consumes copies FIFO so the tree stays shallow.
+void grow_pool(Netlist& out, CopyPool& pool, std::uint32_t needed,
+               std::uint32_t& splitters_added) {
+  while (pool.available.size() < needed) {
+    const Port src = pool.available.front();
+    pool.available.pop_front();
+    const std::uint32_t g =
+        out.add_gate({kConstPort, src, kConstPort}, InvConfig::splitter());
+    ++splitters_added;
+    for (unsigned k = 0; k < 3; ++k) {
+      pool.available.push_back(out.port_of(g, k));
+    }
+  }
+}
+
+} // namespace
+
+Netlist insert_splitters(const Netlist& input, SplitterStats* stats) {
+  SplitterStats local;
+  const auto fanout = input.port_fanout();
+  for (Port p = 1; p < fanout.size(); ++p) {
+    local.max_fanout_before = std::max(local.max_fanout_before, fanout[p]);
+  }
+
+  Netlist out(input.num_pis());
+  if (input.has_pi_names()) {
+    std::vector<std::string> names;
+    names.reserve(input.num_pis());
+    for (std::uint32_t i = 0; i < input.num_pis(); ++i) {
+      names.push_back(input.pi_name(i));
+    }
+    out.set_pi_names(std::move(names));
+  }
+
+  // Pool per original port. Constant port maps to itself with no limit.
+  std::vector<CopyPool> pools(input.first_free_port());
+  for (Port p = 1; p <= input.num_pis(); ++p) {
+    pools[p].available.push_back(p);
+    if (fanout[p] > 1) {
+      grow_pool(out, pools[p], fanout[p], local.splitters_added);
+    }
+  }
+
+  auto take_copy = [&](Port p) -> Port {
+    if (p == kConstPort) {
+      return kConstPort;
+    }
+    CopyPool& pool = pools[p];
+    const Port copy = pool.available.front();
+    pool.available.pop_front();
+    return copy;
+  };
+
+  for (std::uint32_t g = 0; g < input.num_gates(); ++g) {
+    const auto& gate = input.gate(g);
+    std::array<Port, 3> in{};
+    for (unsigned i = 0; i < 3; ++i) {
+      in[i] = take_copy(gate.in[i]);
+    }
+    const std::uint32_t ng = out.add_gate(in, gate.config);
+    for (unsigned k = 0; k < 3; ++k) {
+      const Port orig = input.port_of(g, k);
+      pools[orig].available.push_back(out.port_of(ng, k));
+      if (fanout[orig] > 1) {
+        grow_pool(out, pools[orig], fanout[orig], local.splitters_added);
+      }
+    }
+  }
+
+  for (std::uint32_t i = 0; i < input.num_pos(); ++i) {
+    out.add_po(take_copy(input.po_at(i)), input.po_name(i));
+  }
+
+  if (stats) {
+    *stats = local;
+  }
+  return out;
+}
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::rqfp {
+
+struct SplitterStats {
+  std::uint32_t splitters_added = 0;
+  std::uint32_t max_fanout_before = 0;
+};
+
+/// Enforces the single fan-out limitation by inserting RQFP splitter gates
+/// (R(1, a, 0) = {a, a, a}, paper §2.1).
+///
+/// The input netlist may consume any port multiple times; the result
+/// consumes every non-constant port at most once: each over-subscribed
+/// port gets a balanced splitter tree (one splitter turns one copy into
+/// three, a net +2) placed immediately after its producer, and consumers
+/// are redirected to distinct copies in order of appearance. The constant
+/// port is exempt (it is supplied by the excitation current).
+Netlist insert_splitters(const Netlist& input, SplitterStats* stats = nullptr);
+
+} // namespace rcgp::rqfp

@@ -1,0 +1,100 @@
+#include "sat/cnf.hpp"
+
+namespace rcgp::sat {
+
+Lit CnfBuilder::true_lit() {
+  if (true_var_ < 0) {
+    true_var_ = solver_.new_var();
+    solver_.add_clause({Lit(true_var_, false)});
+  }
+  return Lit(true_var_, false);
+}
+
+Lit CnfBuilder::make_and(Lit a, Lit b) {
+  const Lit y = new_lit();
+  solver_.add_clause({~y, a});
+  solver_.add_clause({~y, b});
+  solver_.add_clause({y, ~a, ~b});
+  return y;
+}
+
+Lit CnfBuilder::make_or(Lit a, Lit b) { return ~make_and(~a, ~b); }
+
+Lit CnfBuilder::make_xor(Lit a, Lit b) {
+  const Lit y = new_lit();
+  solver_.add_clause({~y, a, b});
+  solver_.add_clause({~y, ~a, ~b});
+  solver_.add_clause({y, ~a, b});
+  solver_.add_clause({y, a, ~b});
+  return y;
+}
+
+Lit CnfBuilder::make_maj(Lit a, Lit b, Lit c) {
+  const Lit y = new_lit();
+  // y <-> at least two of {a,b,c}.
+  solver_.add_clause({~y, a, b});
+  solver_.add_clause({~y, a, c});
+  solver_.add_clause({~y, b, c});
+  solver_.add_clause({y, ~a, ~b});
+  solver_.add_clause({y, ~a, ~c});
+  solver_.add_clause({y, ~b, ~c});
+  return y;
+}
+
+Lit CnfBuilder::make_mux(Lit sel, Lit t, Lit e) {
+  const Lit y = new_lit();
+  solver_.add_clause({~y, ~sel, t});
+  solver_.add_clause({~y, sel, e});
+  solver_.add_clause({y, ~sel, ~t});
+  solver_.add_clause({y, sel, ~e});
+  return y;
+}
+
+Lit CnfBuilder::make_and(std::span<const Lit> lits) {
+  if (lits.empty()) {
+    return true_lit();
+  }
+  if (lits.size() == 1) {
+    return lits[0];
+  }
+  const Lit y = new_lit();
+  std::vector<Lit> big;
+  big.reserve(lits.size() + 1);
+  big.push_back(y);
+  for (const Lit l : lits) {
+    solver_.add_clause({~y, l});
+    big.push_back(~l);
+  }
+  solver_.add_clause(std::span<const Lit>(big));
+  return y;
+}
+
+Lit CnfBuilder::make_or(std::span<const Lit> lits) {
+  std::vector<Lit> negs;
+  negs.reserve(lits.size());
+  for (const Lit l : lits) {
+    negs.push_back(~l);
+  }
+  return ~make_and(std::span<const Lit>(negs));
+}
+
+void CnfBuilder::assert_equal(Lit a, Lit b) {
+  solver_.add_clause({~a, b});
+  solver_.add_clause({a, ~b});
+}
+
+void CnfBuilder::at_most_one(std::span<const Lit> lits) {
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    for (std::size_t j = i + 1; j < lits.size(); ++j) {
+      solver_.add_clause({~lits[i], ~lits[j]});
+    }
+  }
+}
+
+void CnfBuilder::exactly_one(std::span<const Lit> lits) {
+  std::vector<Lit> all(lits.begin(), lits.end());
+  solver_.add_clause(std::span<const Lit>(all));
+  at_most_one(lits);
+}
+
+} // namespace rcgp::sat

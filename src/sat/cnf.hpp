@@ -1,0 +1,51 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace rcgp::sat {
+
+/// Tseitin-style gate encoder layered over a Solver. Each make_* call
+/// allocates a fresh output variable and adds the clauses equisatisfiably
+/// defining it, returning the positive literal of that variable.
+class CnfBuilder {
+public:
+  explicit CnfBuilder(Solver& solver) : solver_(solver) {}
+
+  Solver& solver() { return solver_; }
+
+  /// Fresh free variable (positive literal).
+  Lit new_lit() { return Lit(solver_.new_var(), false); }
+
+  /// Literal constants: a variable fixed true at root, created lazily.
+  Lit true_lit();
+  Lit false_lit() { return ~true_lit(); }
+
+  Lit make_and(Lit a, Lit b);
+  Lit make_or(Lit a, Lit b);
+  Lit make_xor(Lit a, Lit b);
+  /// 3-input majority — the RQFP/AQFP primitive.
+  Lit make_maj(Lit a, Lit b, Lit c);
+  /// Multiplexer: sel ? t : e.
+  Lit make_mux(Lit sel, Lit t, Lit e);
+
+  Lit make_and(std::span<const Lit> lits);
+  Lit make_or(std::span<const Lit> lits);
+
+  /// Adds clauses forcing a == b.
+  void assert_equal(Lit a, Lit b);
+  /// Adds a unit clause.
+  void assert_true(Lit a) { solver_.add_clause({a}); }
+
+  /// Pairwise at-most-one over the given literals.
+  void at_most_one(std::span<const Lit> lits);
+  void exactly_one(std::span<const Lit> lits);
+
+private:
+  Solver& solver_;
+  int true_var_ = -1;
+};
+
+} // namespace rcgp::sat

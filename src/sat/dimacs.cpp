@@ -1,0 +1,93 @@
+#include "sat/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rcgp::sat {
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::string line;
+  bool header_seen = false;
+  std::size_t declared_clauses = 0;
+  std::vector<int> current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') {
+      continue;
+    }
+    if (line[0] == 'p') {
+      std::istringstream hs(line);
+      std::string p, fmt;
+      hs >> p >> fmt >> cnf.num_vars >> declared_clauses;
+      if (!hs || fmt != "cnf" || cnf.num_vars < 0) {
+        throw std::runtime_error("dimacs: malformed problem line");
+      }
+      header_seen = true;
+      continue;
+    }
+    if (!header_seen) {
+      throw std::runtime_error("dimacs: clause before problem line");
+    }
+    std::istringstream ls(line);
+    int lit = 0;
+    while (ls >> lit) {
+      if (lit == 0) {
+        cnf.clauses.push_back(current);
+        current.clear();
+      } else {
+        if (std::abs(lit) > cnf.num_vars) {
+          throw std::runtime_error("dimacs: literal out of declared range");
+        }
+        current.push_back(lit);
+      }
+    }
+  }
+  if (!current.empty()) {
+    cnf.clauses.push_back(current); // tolerate missing trailing 0
+  }
+  if (!header_seen) {
+    throw std::runtime_error("dimacs: missing problem line");
+  }
+  if (declared_clauses != 0 && cnf.clauses.size() != declared_clauses) {
+    // Tolerated by most tools; keep lenient but consistent.
+  }
+  return cnf;
+}
+
+Cnf parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(const Cnf& cnf, std::ostream& out) {
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (const int lit : clause) {
+      out << lit << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+bool load_into_solver(const Cnf& cnf, Solver& solver) {
+  const int base = solver.num_vars();
+  for (int i = 0; i < cnf.num_vars; ++i) {
+    solver.new_var();
+  }
+  std::vector<Lit> lits;
+  for (const auto& clause : cnf.clauses) {
+    lits.clear();
+    for (const int d : clause) {
+      const Lit l = Lit::from_dimacs(d);
+      lits.push_back(Lit(base + l.var(), l.negated()));
+    }
+    if (!solver.add_clause(std::span<const Lit>(lits))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace rcgp::sat

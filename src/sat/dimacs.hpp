@@ -1,0 +1,28 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace rcgp::sat {
+
+/// A CNF formula in portable form, for DIMACS interchange and testing.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses; // DIMACS literals, no trailing 0
+};
+
+/// Parses DIMACS CNF from a stream. Throws std::runtime_error on syntax
+/// errors or literal/variable-count inconsistencies.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs_string(const std::string& text);
+
+void write_dimacs(const Cnf& cnf, std::ostream& out);
+
+/// Loads a Cnf into a fresh area of `solver` (allocating vars as needed)
+/// and returns true unless the formula is trivially inconsistent.
+bool load_into_solver(const Cnf& cnf, Solver& solver);
+
+} // namespace rcgp::sat

@@ -1,0 +1,283 @@
+// rcgp — command-line front-end to the RCGP synthesis framework.
+//
+//   rcgp synth <input> [options]   synthesize an RQFP circuit
+//   rcgp exact <input> [options]   SAT-based exact synthesis (baseline)
+//   rcgp cec <a.rqfp> <b.rqfp>     equivalence check two RQFP netlists
+//   rcgp stats <x.rqfp>            cost metrics of an RQFP netlist
+//   rcgp list                      list built-in benchmark names
+//
+// <input> is a file (.v .blif .aag .pla .real .rqfp by extension) or the
+// name of a built-in benchmark (see `rcgp list`).
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "aig/aig_simulate.hpp"
+#include "aqfp/aqfp.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "cec/bdd_cec.hpp"
+#include "cec/sat_cec.hpp"
+#include "cec/sim_cec.hpp"
+#include "core/flow.hpp"
+#include "exact/exact_rqfp.hpp"
+#include "io/aiger.hpp"
+#include "io/blif.hpp"
+#include "io/pla.hpp"
+#include "io/real.hpp"
+#include "io/rqfp_writer.hpp"
+#include "io/verilog.hpp"
+#include "rqfp/cost.hpp"
+#include "rqfp/energy.hpp"
+#include "rqfp/reversibility.hpp"
+#include "rqfp/simulate.hpp"
+
+namespace {
+
+using namespace rcgp;
+
+std::string extension(const std::string& path) {
+  const auto dot = path.rfind('.');
+  return dot == std::string::npos ? "" : path.substr(dot);
+}
+
+/// Loads an input as truth tables (works for every supported source).
+std::vector<tt::TruthTable> load_spec(const std::string& input) {
+  const std::string ext = extension(input);
+  if (ext == ".v") {
+    return aig::simulate(io::parse_verilog_file(input));
+  }
+  if (ext == ".blif") {
+    return aig::simulate(io::parse_blif_file(input));
+  }
+  if (ext == ".aag") {
+    return aig::simulate(io::parse_aiger_file(input));
+  }
+  if (ext == ".pla") {
+    return io::parse_pla_file(input).tables;
+  }
+  if (ext == ".real") {
+    return io::parse_real_file(input).to_tables();
+  }
+  if (ext == ".rqfp") {
+    return rqfp::simulate(io::parse_rqfp_file(input));
+  }
+  return benchmarks::get(input).spec; // throws with a clear message
+}
+
+int cmd_list() {
+  std::printf("Table 1 (small):");
+  for (const auto& n : benchmarks::table1_names()) {
+    std::printf(" %s", n.c_str());
+  }
+  std::printf("\nTable 2 (large):");
+  for (const auto& n : benchmarks::table2_names()) {
+    std::printf(" %s", n.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_synth(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "usage: rcgp synth <input> [-g N] [-s seed] "
+                         "[-o out.rqfp] [--dot out.dot] [--no-cgp]\n");
+    return 2;
+  }
+  const std::string input = args[0];
+  core::FlowOptions opt;
+  opt.evolve.generations = 50000;
+  std::string out_path;
+  std::string dot_path;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-g" && i + 1 < args.size()) {
+      opt.evolve.generations = std::stoull(args[++i]);
+    } else if (args[i] == "-s" && i + 1 < args.size()) {
+      opt.evolve.seed = std::stoull(args[++i]);
+    } else if (args[i] == "-o" && i + 1 < args.size()) {
+      out_path = args[++i];
+    } else if (args[i] == "--dot" && i + 1 < args.size()) {
+      dot_path = args[++i];
+    } else if (args[i] == "--no-cgp") {
+      opt.run_cgp = false;
+    } else if (args[i] == "--polish") {
+      opt.run_exact_polish = true;
+    } else if (args[i] == "--pack") {
+      opt.pack_shared_fanins = true;
+    } else {
+      std::fprintf(stderr, "synth: unknown option %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  const auto spec = load_spec(input);
+  const auto r = core::synthesize(spec, opt);
+  std::printf("init: %s\n", r.initial_cost.to_string().c_str());
+  std::printf("rcgp: %s (%.2fs)\n", r.optimized_cost.to_string().c_str(),
+              r.seconds_total);
+  const auto check = cec::sim_check(r.optimized, spec);
+  std::printf("equivalent: %s\n", check.all_match ? "yes" : "NO");
+  if (!out_path.empty()) {
+    io::write_rqfp_file(r.optimized, out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  if (!dot_path.empty()) {
+    std::FILE* f = std::fopen(dot_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", dot_path.c_str());
+      return 1;
+    }
+    const auto dot = io::write_dot_string(r.optimized);
+    std::fwrite(dot.data(), 1, dot.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", dot_path.c_str());
+  }
+  return check.all_match ? 0 : 1;
+}
+
+int cmd_exact(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: rcgp exact <input> [-m max_gates] [-t seconds]\n");
+    return 2;
+  }
+  exact::ExactParams params;
+  params.max_gates = 5;
+  params.time_limit_seconds = 60;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "-m" && i + 1 < args.size()) {
+      params.max_gates = static_cast<std::uint32_t>(std::stoul(args[++i]));
+    } else if (args[i] == "-t" && i + 1 < args.size()) {
+      params.time_limit_seconds = std::stod(args[++i]);
+    } else {
+      std::fprintf(stderr, "exact: unknown option %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  const auto spec = load_spec(args[0]);
+  const auto r = exact::exact_synthesize(spec, params);
+  switch (r.status) {
+    case exact::ExactStatus::kSolved:
+      std::printf("optimal: %u gates, %u garbage (%.2fs, %llu SAT calls)\n",
+                  r.gates, r.garbage, r.seconds,
+                  static_cast<unsigned long long>(r.sat_calls));
+      std::printf("%s", io::write_rqfp_string(*r.netlist).c_str());
+      return 0;
+    case exact::ExactStatus::kUnsat:
+      std::printf("no realization within %u gates\n", params.max_gates);
+      return 1;
+    case exact::ExactStatus::kTimeout:
+      std::printf("timeout after %.2fs\n", r.seconds);
+      return 1;
+  }
+  return 1;
+}
+
+int cmd_cec(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::fprintf(stderr, "usage: rcgp cec <a.rqfp> <b.rqfp>\n");
+    return 2;
+  }
+  const auto a = io::parse_rqfp_file(args[0]);
+  const auto b = io::parse_rqfp_file(args[1]);
+  const auto sat = cec::sat_check(a, b);
+  const auto bdd = cec::bdd_check(a, b);
+  const bool equal = sat.verdict == cec::CecVerdict::kEquivalent;
+  std::printf("SAT: %s, BDD: %s\n",
+              equal ? "equivalent" : "NOT equivalent",
+              bdd.equivalent ? "equivalent" : "NOT equivalent");
+  if (!equal && sat.counterexample) {
+    std::printf("counterexample: input %llu\n",
+                static_cast<unsigned long long>(*sat.counterexample));
+  }
+  return equal ? 0 : 1;
+}
+
+int cmd_report(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "usage: rcgp report <x.rqfp|benchmark>\n");
+    return 2;
+  }
+  rqfp::Netlist net;
+  if (extension(args[0]) == ".rqfp") {
+    net = io::parse_rqfp_file(args[0]);
+  } else {
+    // Synthesize the benchmark's initialization baseline for reporting.
+    core::FlowOptions opt;
+    opt.run_cgp = false;
+    net = core::synthesize(load_spec(args[0]), opt).initial;
+  }
+  const auto cost = rqfp::cost_of(net);
+  std::printf("%s\n", cost.to_string().c_str());
+  const auto cells = aqfp::expand(net);
+  std::printf("AQFP cells: %u splitters, %u majorities, %u buffers "
+              "(%u JJs, %u half-phases, %s)\n",
+              cells.count(aqfp::CellKind::kSplitter),
+              cells.count(aqfp::CellKind::kMajority),
+              cells.count(aqfp::CellKind::kBuffer), cells.total_jjs(),
+              cells.max_phase(),
+              cells.validate().empty() ? "valid" : "INVALID");
+  const auto rev = rqfp::analyze_reversibility(net);
+  std::printf("reversibility: %s (%.3f bits erased, %u boundary outputs)\n",
+              rev.information_preserving ? "information preserving"
+                                         : "lossy",
+              rev.erased_bits, rev.boundary_outputs);
+  const auto energy = rqfp::estimate_energy(net);
+  std::printf("energy @%.1fK: Landauer floor %.3e J, switching %.3e J\n",
+              energy.temperature_kelvin, energy.landauer_floor,
+              energy.switching_estimate);
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    std::fprintf(stderr, "usage: rcgp stats <x.rqfp>\n");
+    return 2;
+  }
+  const auto net = io::parse_rqfp_file(args[0]);
+  const auto problem = net.validate();
+  std::printf("pis=%u pos=%u gates=%u\n", net.num_pis(), net.num_pos(),
+              net.num_gates());
+  std::printf("%s\n", rqfp::cost_of(net).to_string().c_str());
+  std::printf("legal: %s%s\n", problem.empty() ? "yes" : "NO — ",
+              problem.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: rcgp <synth|exact|cec|stats|report|list> [args...]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "list") {
+      return cmd_list();
+    }
+    if (cmd == "synth") {
+      return cmd_synth(args);
+    }
+    if (cmd == "exact") {
+      return cmd_exact(args);
+    }
+    if (cmd == "cec") {
+      return cmd_cec(args);
+    }
+    if (cmd == "stats") {
+      return cmd_stats(args);
+    }
+    if (cmd == "report") {
+      return cmd_report(args);
+    }
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

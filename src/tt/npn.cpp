@@ -1,0 +1,105 @@
+#include "tt/npn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rcgp::tt {
+
+namespace {
+
+// All 24 permutations of {0,1,2,3}; permutations fixing unused variables
+// are still correct for smaller arities because canonization pads to the
+// declared arity of the input table.
+const std::array<std::array<unsigned, 4>, 24> kPerms = [] {
+  std::array<std::array<unsigned, 4>, 24> ps{};
+  std::array<unsigned, 4> p{0, 1, 2, 3};
+  for (auto& slot : ps) {
+    slot = p;
+    std::next_permutation(p.begin(), p.end());
+  }
+  return ps;
+}();
+
+} // namespace
+
+TruthTable npn_apply(const TruthTable& t, const NpnTransform& tr) {
+  const unsigned n = t.num_vars();
+  // Build the permuted/phased table directly by re-indexing assignments.
+  TruthTable r(n);
+  for (std::uint64_t idx = 0; idx < r.num_bits(); ++idx) {
+    // idx is an assignment in canonical space; map it back to original.
+    std::uint64_t src = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const bool bit_i = ((idx >> i) & 1) != 0;
+      const bool phased = bit_i ^ (((tr.input_phase >> i) & 1) != 0);
+      if (phased) {
+        src |= std::uint64_t{1} << tr.perm[i];
+      }
+    }
+    const bool v = t.bit(src) ^ tr.output_phase;
+    if (v) {
+      r.set_bit(idx, true);
+    }
+  }
+  return r;
+}
+
+TruthTable npn_unapply(const TruthTable& t, const NpnTransform& tr) {
+  const unsigned n = t.num_vars();
+  TruthTable r(n);
+  for (std::uint64_t idx = 0; idx < r.num_bits(); ++idx) {
+    std::uint64_t src = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const bool bit_i = ((idx >> i) & 1) != 0;
+      const bool phased = bit_i ^ (((tr.input_phase >> i) & 1) != 0);
+      if (phased) {
+        src |= std::uint64_t{1} << tr.perm[i];
+      }
+    }
+    if (t.bit(idx) ^ tr.output_phase) {
+      r.set_bit(src, true);
+    }
+  }
+  return r;
+}
+
+NpnCanonization npn_canonize(const TruthTable& t) {
+  const unsigned n = t.num_vars();
+  if (n > 4) {
+    throw std::invalid_argument("npn_canonize: supports up to 4 variables");
+  }
+  NpnCanonization best{t, {}};
+  bool first = true;
+  for (const auto& perm : kPerms) {
+    // Skip permutations that move variables beyond the table's arity in a
+    // way that is redundant (identical restriction); correctness is kept by
+    // simply evaluating all — tables are tiny (<= 16 bits).
+    bool valid = true;
+    for (unsigned i = 0; i < n; ++i) {
+      if (perm[i] >= n) {
+        valid = false;
+        break;
+      }
+    }
+    if (!valid) {
+      continue;
+    }
+    for (unsigned phase = 0; phase < (1u << n); ++phase) {
+      for (unsigned out = 0; out < 2; ++out) {
+        NpnTransform tr;
+        tr.perm = perm;
+        tr.input_phase = phase;
+        tr.output_phase = out != 0;
+        TruthTable cand = npn_apply(t, tr);
+        if (first || cand < best.canon) {
+          best.canon = std::move(cand);
+          best.transform = tr;
+          first = false;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+} // namespace rcgp::tt

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "tt/truth_table.hpp"
+
+namespace rcgp::tt {
+
+/// Record of an NPN transformation: canon = transform(original).
+///
+/// `perm[i]` gives the original variable placed at canonical position i;
+/// bit i of `input_phase` says the variable feeding canonical position i is
+/// complemented; `output_phase` complements the function output.
+struct NpnTransform {
+  std::array<unsigned, 4> perm{0, 1, 2, 3};
+  unsigned input_phase = 0;
+  bool output_phase = false;
+};
+
+/// Result of exact NPN canonization for functions of up to 4 variables.
+struct NpnCanonization {
+  TruthTable canon;
+  NpnTransform transform;
+};
+
+/// Exhaustive NPN canonization (minimum table under <) for <= 4 variables.
+/// Throws std::invalid_argument for larger arities.
+NpnCanonization npn_canonize(const TruthTable& t);
+
+/// Applies `transform` to `t` (same operation canonization performed).
+TruthTable npn_apply(const TruthTable& t, const NpnTransform& transform);
+
+/// Undoes a canonization: given a table in canonical space, returns the
+/// table in original space, i.e. npn_unapply(npn_apply(t, x), x) == t.
+TruthTable npn_unapply(const TruthTable& t, const NpnTransform& transform);
+
+} // namespace rcgp::tt

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace rcgp::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+} // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& message) {
+  if (level < g_level || g_level == LogLevel::kOff) {
+    return;
+  }
+  std::fprintf(stderr, "[rcgp %s] %s\n", tag(level), message.c_str());
+}
+
+} // namespace rcgp::util

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+namespace rcgp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Minimal leveled logger writing to stderr. Global threshold defaults to
+/// kWarn so library code stays quiet unless a tool opts in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+} // namespace rcgp::util

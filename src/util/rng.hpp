@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rcgp::util {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**).
+///
+/// Used everywhere randomness is needed (CGP mutation, random simulation
+/// patterns) so that runs are reproducible given a seed. Satisfies the
+/// UniformRandomBitGenerator requirements so it can also feed <random>
+/// distributions when convenient.
+class Rng {
+public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a single 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform01() < p; }
+
+private:
+  std::uint64_t state_[4]{};
+};
+
+} // namespace rcgp::util

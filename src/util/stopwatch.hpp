@@ -1,0 +1,26 @@
+#pragma once
+
+#include <chrono>
+
+namespace rcgp::util {
+
+/// Wall-clock stopwatch for reporting synthesis runtimes.
+class Stopwatch {
+public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace rcgp::util

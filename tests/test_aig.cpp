@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "aig/aig_simulate.hpp"
+#include "aig/balance.hpp"
+#include "aig/cuts.hpp"
+#include "aig/refactor.hpp"
+#include "aig/resyn.hpp"
+#include "aig/rewrite.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::aig {
+namespace {
+
+/// Builds a pseudo-random AIG for property tests.
+Aig random_aig(unsigned num_pis, unsigned num_nodes, unsigned num_pos,
+               std::uint64_t seed) {
+  util::Rng rng(seed);
+  Aig net;
+  std::vector<Signal> pool{net.const0()};
+  for (unsigned i = 0; i < num_pis; ++i) {
+    pool.push_back(net.create_pi());
+  }
+  for (unsigned i = 0; i < num_nodes; ++i) {
+    const Signal a =
+        pool[rng.below(pool.size())] ^ rng.chance(0.5);
+    const Signal b =
+        pool[rng.below(pool.size())] ^ rng.chance(0.5);
+    pool.push_back(net.create_and(a, b));
+  }
+  for (unsigned i = 0; i < num_pos; ++i) {
+    net.add_po(pool[rng.below(pool.size())] ^ rng.chance(0.5));
+  }
+  return net;
+}
+
+TEST(Aig, TrivialSimplifications) {
+  Aig net;
+  const Signal a = net.create_pi();
+  EXPECT_EQ(net.create_and(a, net.const0()), net.const0());
+  EXPECT_EQ(net.create_and(net.const1(), a), a);
+  EXPECT_EQ(net.create_and(a, a), a);
+  EXPECT_EQ(net.create_and(a, !a), net.const0());
+  EXPECT_EQ(net.num_nodes(), 2u); // const + PI only
+}
+
+TEST(Aig, StructuralHashing) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal x = net.create_and(a, b);
+  const Signal y = net.create_and(b, a); // commuted
+  EXPECT_EQ(x, y);
+  const Signal z = net.create_and(!a, b);
+  EXPECT_NE(x, z);
+  EXPECT_EQ(net.count_live_ands(), 0u); // no POs yet
+  net.add_po(x);
+  net.add_po(z);
+  EXPECT_EQ(net.count_live_ands(), 2u);
+}
+
+TEST(Aig, DerivedGatesSimulateCorrectly) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  net.add_po(net.create_xor(a, b));
+  net.add_po(net.create_or(a, b));
+  net.add_po(net.create_mux(a, b, c));
+  net.add_po(net.create_maj(a, b, c));
+  const auto tts = simulate(net);
+  const auto ta = tt::TruthTable::projection(3, 0);
+  const auto tb = tt::TruthTable::projection(3, 1);
+  const auto tc = tt::TruthTable::projection(3, 2);
+  EXPECT_EQ(tts[0], ta ^ tb);
+  EXPECT_EQ(tts[1], ta | tb);
+  EXPECT_EQ(tts[2], tt::TruthTable::ite(ta, tb, tc));
+  EXPECT_EQ(tts[3], tt::TruthTable::majority(ta, tb, tc));
+}
+
+TEST(Aig, ReplaceRedirectsAndCleanupDropsDead) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal x = net.create_and(a, b);
+  const Signal y = net.create_and(x, a); // equals a&b
+  net.add_po(y);
+  net.replace(y.node(), x);
+  EXPECT_EQ(net.po_at(0), x);
+  const Aig clean = net.cleanup();
+  EXPECT_EQ(clean.count_live_ands(), 1u);
+  const auto tts = simulate(clean);
+  EXPECT_EQ(tts[0], tt::TruthTable::projection(2, 0) &
+                        tt::TruthTable::projection(2, 1));
+}
+
+TEST(Aig, ReplaceWithComplementPropagates) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal x = net.create_and(a, b);
+  net.add_po(!x);
+  net.replace(x.node(), !a); // pretend optimization proved x == !a
+  EXPECT_EQ(net.po_at(0), a);
+}
+
+TEST(Aig, CleanupPreservesNamesAndInterface) {
+  Aig net;
+  net.create_pi("alpha");
+  const Signal b = net.create_pi("beta");
+  net.add_po(b, "out");
+  const Aig clean = net.cleanup();
+  EXPECT_EQ(clean.num_pis(), 2u);
+  EXPECT_EQ(clean.pi_name(0), "alpha");
+  EXPECT_EQ(clean.po_name(0), "out");
+}
+
+TEST(Aig, LevelsAndDepth) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal ab = net.create_and(a, b);
+  const Signal abc = net.create_and(ab, c);
+  net.add_po(abc);
+  EXPECT_EQ(net.depth(), 2u);
+  const auto levels = net.compute_levels();
+  EXPECT_EQ(levels[ab.node()], 1u);
+  EXPECT_EQ(levels[abc.node()], 2u);
+}
+
+TEST(Aig, ComputeRefsCountsFanouts) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal x = net.create_and(a, b);
+  net.add_po(x);
+  net.add_po(x);
+  const auto refs = net.compute_refs();
+  EXPECT_EQ(refs[x.node()], 2u);
+  EXPECT_EQ(refs[a.node()], 1u);
+}
+
+TEST(Aig, PopNodesToRollsBackStrash) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const std::uint32_t mark = net.num_nodes();
+  const Signal x = net.create_and(a, b);
+  net.pop_nodes_to(mark);
+  EXPECT_EQ(net.num_nodes(), mark);
+  const Signal y = net.create_and(a, b);
+  EXPECT_EQ(y.node(), x.node()); // id reused after rollback
+}
+
+TEST(AigSimulate, PatternsMatchExhaustive) {
+  const Aig net = random_aig(6, 40, 4, 7);
+  const auto tts = simulate(net);
+  // Exhaustive 6-var table equals one 64-bit word; feed the identity
+  // patterns and compare.
+  std::vector<std::vector<std::uint64_t>> patterns(6);
+  for (unsigned i = 0; i < 6; ++i) {
+    patterns[i] = {tt::TruthTable::projection(6, i).word(0)};
+  }
+  const auto out = simulate_patterns(net, patterns);
+  for (unsigned o = 0; o < 4; ++o) {
+    EXPECT_EQ(out[o][0], tts[o].word(0));
+  }
+}
+
+TEST(AigSimulate, RandomPatternHelpers) {
+  util::Rng rng(3);
+  const auto patterns = random_patterns(5, 4, rng);
+  EXPECT_EQ(patterns.size(), 5u);
+  EXPECT_EQ(patterns[0].size(), 4u);
+  const Aig net = random_aig(5, 20, 2, 9);
+  const auto out = simulate_patterns(net, patterns);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+// ---------- cuts ----------
+
+TEST(Cuts, TrivialAndMergedCuts) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal ab = net.create_and(a, b);
+  const Signal abc = net.create_and(ab, c);
+  net.add_po(abc);
+  const auto cuts = enumerate_cuts(net, {});
+  // The root must have a cut {a,b,c} and the trivial cut {abc}.
+  bool found_leaves = false;
+  bool found_trivial = false;
+  for (const auto& cut : cuts[abc.node()]) {
+    if (cut.leaves == std::vector<std::uint32_t>{a.node(), b.node(),
+                                                 c.node()}) {
+      found_leaves = true;
+    }
+    if (cut.leaves == std::vector<std::uint32_t>{abc.node()}) {
+      found_trivial = true;
+    }
+  }
+  EXPECT_TRUE(found_leaves);
+  EXPECT_TRUE(found_trivial);
+}
+
+TEST(Cuts, CutFunctionComputesConeSemantics) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal x = net.create_and(a, !b);
+  const Signal y = net.create_and(x, c);
+  net.add_po(y);
+  Cut cut{{a.node(), b.node(), c.node()}};
+  const auto f = cut_function(net, y.node(), cut);
+  const auto expect = tt::TruthTable::projection(3, 0) &
+                      ~tt::TruthTable::projection(3, 1) &
+                      tt::TruthTable::projection(3, 2);
+  EXPECT_EQ(f, expect);
+}
+
+TEST(Cuts, LeafCountRespected) {
+  const Aig net = random_aig(8, 60, 3, 5);
+  CutParams params;
+  params.max_leaves = 4;
+  const auto cuts = enumerate_cuts(net, params);
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    for (const auto& cut : cuts[n]) {
+      EXPECT_LE(cut.leaves.size(), 4u);
+      EXPECT_TRUE(std::is_sorted(cut.leaves.begin(), cut.leaves.end()));
+    }
+  }
+}
+
+TEST(Cuts, DominatedCutsFiltered) {
+  Cut small{{1, 2}};
+  Cut big{{1, 2, 3}};
+  EXPECT_TRUE(small.dominates(big));
+  EXPECT_FALSE(big.dominates(small));
+}
+
+TEST(Cuts, ReconvergentCutStaysBounded) {
+  const Aig net = random_aig(6, 50, 2, 13);
+  for (std::uint32_t n = 0; n < net.num_nodes(); ++n) {
+    if (!net.is_and(n)) {
+      continue;
+    }
+    const Cut cut = reconvergent_cut(net, n, 6);
+    EXPECT_LE(cut.leaves.size(), 6u);
+    EXPECT_GE(cut.leaves.size(), 1u);
+    // Cut function over its own cut must be computable (no escape).
+    const auto f = try_cut_function(net, n, cut);
+    EXPECT_TRUE(f.has_value());
+  }
+}
+
+// ---------- optimization passes ----------
+
+class PassEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PassEquivalence, RewritePreservesFunction) {
+  Aig net = random_aig(6, 80, 4, GetParam());
+  const auto before = simulate(net);
+  rewrite_pass(net);
+  const auto after = simulate(net);
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(PassEquivalence, RefactorPreservesFunction) {
+  Aig net = random_aig(6, 80, 4, GetParam() + 1000);
+  const auto before = simulate(net);
+  refactor_pass(net);
+  const auto after = simulate(net);
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(PassEquivalence, BalancePreservesFunction) {
+  Aig net = random_aig(6, 80, 4, GetParam() + 2000);
+  const auto before = simulate(net);
+  const Aig balanced = balance(net);
+  const auto after = simulate(balanced);
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(PassEquivalence, Resyn2PreservesFunctionAndNeverGrows) {
+  Aig net = random_aig(7, 120, 5, GetParam() + 3000);
+  const auto before = simulate(net);
+  ResynStats stats;
+  const Aig optimized = resyn2(net, &stats);
+  EXPECT_EQ(before, simulate(optimized));
+  EXPECT_LE(stats.ands_after, stats.ands_before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PassEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(Balance, ReducesChainDepth) {
+  Aig net;
+  std::vector<Signal> pis;
+  for (int i = 0; i < 8; ++i) {
+    pis.push_back(net.create_pi());
+  }
+  Signal acc = pis[0];
+  for (int i = 1; i < 8; ++i) {
+    acc = net.create_and(acc, pis[i]); // depth-7 chain
+  }
+  net.add_po(acc);
+  EXPECT_EQ(net.depth(), 7u);
+  const Aig balanced = balance(net);
+  EXPECT_EQ(balanced.depth(), 3u); // ceil(log2(8))
+  EXPECT_EQ(simulate(net), simulate(balanced));
+}
+
+TEST(Rewrite, RemovesRedundantLogic) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  // (a&b) | (a&c) -> a & (b|c): 3 ANDs to 2.
+  const Signal ab = net.create_and(a, b);
+  const Signal ac = net.create_and(a, c);
+  net.add_po(net.create_or(ab, ac));
+  const std::uint32_t before = net.count_live_ands();
+  RewriteParams params;
+  const auto stats = rewrite_pass(net, params);
+  const Aig clean = net.cleanup();
+  EXPECT_LE(clean.count_live_ands(), before);
+  EXPECT_GT(stats.attempts, 0u);
+  const auto tts = simulate(clean);
+  const auto expect = tt::TruthTable::projection(3, 0) &
+                      (tt::TruthTable::projection(3, 1) |
+                       tt::TruthTable::projection(3, 2));
+  EXPECT_EQ(tts[0], expect);
+}
+
+TEST(BuildFactored, ReconstructsFunctions) {
+  util::Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    tt::TruthTable f(4);
+    f.set_word(0, rng.next());
+    Aig net;
+    std::vector<Signal> pis;
+    for (int i = 0; i < 4; ++i) {
+      pis.push_back(net.create_pi());
+    }
+    const Signal s = build_factored(net, f, pis);
+    net.add_po(s);
+    EXPECT_EQ(simulate(net)[0], f) << round;
+  }
+}
+
+TEST(GainManager, MeasuresMffc) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal ab = net.create_and(a, b);
+  const Signal abc = net.create_and(ab, c);
+  net.add_po(abc);
+  GainManager gm(net);
+  // abc's MFFC contains both AND nodes (ab has no other fanout).
+  EXPECT_EQ(gm.deref_mffc(abc.node()), 2u);
+  gm.ref_mffc(abc.node());
+  EXPECT_EQ(gm.refs(ab.node()), 1u);
+}
+
+TEST(GainManager, SharedNodesNotInMffc) {
+  Aig net;
+  const Signal a = net.create_pi();
+  const Signal b = net.create_pi();
+  const Signal c = net.create_pi();
+  const Signal ab = net.create_and(a, b);
+  const Signal x = net.create_and(ab, c);
+  net.add_po(x);
+  net.add_po(ab); // ab now shared
+  GainManager gm(net);
+  EXPECT_EQ(gm.deref_mffc(x.node()), 1u); // only x itself
+  gm.ref_mffc(x.node());
+}
+
+} // namespace
+} // namespace rcgp::aig

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "aqfp/aqfp.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "rqfp/cost.hpp"
+#include "rqfp/energy.hpp"
+#include "rqfp/reversibility.hpp"
+#include "rqfp/simulate.hpp"
+
+namespace rcgp::aqfp {
+namespace {
+
+rqfp::Netlist init_netlist(const std::string& name) {
+  const auto b = benchmarks::get(name);
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  return core::synthesize(b.spec, opt).initial;
+}
+
+TEST(AqfpCells, JjCosts) {
+  EXPECT_EQ(jj_cost(CellKind::kBuffer), 2u);
+  EXPECT_EQ(jj_cost(CellKind::kSplitter), 2u);
+  EXPECT_EQ(jj_cost(CellKind::kMajority), 6u);
+  EXPECT_EQ(jj_cost(CellKind::kInput), 0u);
+  EXPECT_EQ(jj_cost(CellKind::kConst), 0u);
+}
+
+TEST(AqfpNetlist, RejectsForwardReferences) {
+  Netlist net;
+  Cell bad;
+  bad.kind = CellKind::kBuffer;
+  bad.fanins = {5};
+  EXPECT_THROW(net.add_cell(bad), std::invalid_argument);
+}
+
+TEST(AqfpNetlist, ValidateChecksPhasesAndFanout) {
+  Netlist net;
+  const auto in = net.add_cell(Cell{CellKind::kInput, {}, {}, 0});
+  net.register_input(in);
+  // Buffer jumping two phases is illegal.
+  net.add_cell(Cell{CellKind::kBuffer, {in}, {false}, 2});
+  EXPECT_NE(net.validate(), "");
+}
+
+TEST(AqfpNetlist, SplitterFanoutCapacity) {
+  Netlist net;
+  const auto in = net.add_cell(Cell{CellKind::kInput, {}, {}, 0});
+  net.register_input(in);
+  const auto split =
+      net.add_cell(Cell{CellKind::kSplitter, {in}, {false}, 1});
+  for (int i = 0; i < 3; ++i) {
+    net.add_cell(Cell{CellKind::kBuffer, {split}, {false}, 2});
+  }
+  EXPECT_EQ(net.validate(), "");
+  net.add_cell(Cell{CellKind::kBuffer, {split}, {false}, 2}); // 4th load
+  EXPECT_NE(net.validate(), "");
+}
+
+class AqfpExpansion : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AqfpExpansion, StructureFunctionAndJjFormulaAgree) {
+  const auto b = benchmarks::get(GetParam());
+  const auto circuit = init_netlist(GetParam());
+  const Netlist cells = expand(circuit);
+
+  // 1. AQFP discipline holds (phases, fanout capacities).
+  EXPECT_EQ(cells.validate(), "") << GetParam();
+
+  // 2. Fig. 1(a) structure: 3 splitters and 3 majorities per RQFP gate.
+  const auto cost = rqfp::cost_of(circuit);
+  EXPECT_EQ(cells.count(CellKind::kSplitter), 3 * cost.n_r);
+  EXPECT_EQ(cells.count(CellKind::kMajority), 3 * cost.n_r);
+  // 2 AQFP buffers per RQFP buffer.
+  EXPECT_EQ(cells.count(CellKind::kBuffer), 2 * cost.n_b);
+
+  // 3. The paper's JJ formula emerges from cell-level accounting.
+  EXPECT_EQ(cells.total_jjs(), cost.jjs) << GetParam();
+
+  // 4. Same functions as the gate-level netlist (and hence the spec).
+  EXPECT_EQ(cells.simulate(), rqfp::simulate(circuit)) << GetParam();
+
+  // 5. Depth in half-stages.
+  EXPECT_EQ(cells.max_phase(), 2 * cost.n_d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, AqfpExpansion,
+                         ::testing::Values("full_adder", "decoder_2_4",
+                                           "graycode4", "c17", "ham3",
+                                           "intdiv4"));
+
+TEST(AqfpNetlist, TextAndDotWriters) {
+  const auto circuit = init_netlist("decoder_2_4");
+  const Netlist cells = expand(circuit);
+  const auto text = write_cells_string(cells);
+  EXPECT_NE(text.find("majority"), std::string::npos);
+  EXPECT_NE(text.find("splitter"), std::string::npos);
+  EXPECT_NE(text.find("output"), std::string::npos);
+  // One "cell" line per cell.
+  std::size_t lines = 0;
+  for (const char c : text) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_GE(lines, cells.num_cells());
+  const auto dot = write_cells_dot_string(cells);
+  EXPECT_NE(dot.find("digraph aqfp"), std::string::npos);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+}
+
+TEST(AqfpExpansion, OptimizedCircuitsStayConsistent) {
+  const auto b = benchmarks::get("decoder_2_4");
+  core::FlowOptions opt;
+  opt.evolve.generations = 5000;
+  const auto flow = core::synthesize(b.spec, opt);
+  const Netlist cells = expand(flow.optimized);
+  EXPECT_EQ(cells.validate(), "");
+  EXPECT_EQ(cells.total_jjs(), flow.optimized_cost.jjs);
+  EXPECT_EQ(cells.simulate(), rqfp::simulate(flow.optimized));
+}
+
+} // namespace
+} // namespace rcgp::aqfp
+
+namespace rcgp::rqfp {
+namespace {
+
+TEST(Reversibility, NormalGateIsBijective) {
+  EXPECT_TRUE(gate_is_bijective(InvConfig::reversible()));
+  // All-identical rows collapse the three outputs: not bijective.
+  EXPECT_FALSE(gate_is_bijective(InvConfig::triple(0)));
+}
+
+TEST(Reversibility, BijectiveConfigCountIsStable) {
+  const unsigned count = count_bijective_configs();
+  // The normal gate and its relabelings are bijective; identical-row
+  // configurations are not. The exact census is a regression anchor.
+  EXPECT_GT(count, 0u);
+  EXPECT_LT(count, 512u);
+  EXPECT_EQ(count, count_bijective_configs()); // deterministic
+}
+
+TEST(Reversibility, SingleReversibleGateCircuitPreservesInformation) {
+  Netlist net(3);
+  const auto g = net.add_gate({1, 2, 3}, InvConfig::reversible());
+  net.add_po(net.port_of(g, 0));
+  net.add_po(net.port_of(g, 1));
+  net.add_po(net.port_of(g, 2));
+  const auto report = analyze_reversibility(net);
+  EXPECT_TRUE(report.information_preserving);
+  EXPECT_EQ(report.image_size, 8u);
+  EXPECT_DOUBLE_EQ(report.erased_bits, 0.0);
+}
+
+TEST(Reversibility, AndGateAloneErasesInformation) {
+  // AND with only the function output bound and outputs 0/1 garbage is
+  // still information-preserving (the garbage carries the inputs);
+  // dropping the garbage from the boundary is impossible here, so build a
+  // genuinely lossy circuit: feed both PIs into one AND and bind one PO,
+  // where outputs 0/1 are configured identically (no added information).
+  Netlist net(2);
+  const auto g = net.add_gate({1, 2, kConstPort}, InvConfig::triple(4));
+  net.add_po(net.port_of(g, 0));
+  // Outputs 1 and 2 are identical copies of a&b: boundary = {ab, ab, ab}.
+  const auto report = analyze_reversibility(net);
+  EXPECT_FALSE(report.information_preserving);
+  ASSERT_TRUE(report.collision.has_value());
+  EXPECT_GT(report.erased_bits, 0.0);
+  EXPECT_EQ(report.image_size, 2u);
+}
+
+TEST(Reversibility, PaperAndRealizationKeepsInputsRecoverable) {
+  // The paper's AND gate R(a,b,1) = {!a+b, a+!b, ab}: the three outputs
+  // together determine (a, b), so nothing is erased.
+  Netlist net(2);
+  const auto g =
+      net.add_gate({1, 2, kConstPort}, InvConfig::reversible());
+  net.add_po(net.port_of(g, 2), "and");
+  const auto report = analyze_reversibility(net);
+  EXPECT_TRUE(report.information_preserving);
+  EXPECT_EQ(report.image_size, 4u);
+}
+
+TEST(Energy, LandauerLimitValues) {
+  // k_B * T * ln2 at 300 K is ~2.87e-21 J (the classic figure).
+  EXPECT_NEAR(landauer_limit(300.0), 2.87e-21, 0.05e-21);
+  EXPECT_GT(landauer_limit(300.0), landauer_limit(4.2));
+  EXPECT_DOUBLE_EQ(landauer_limit(0.0), 0.0);
+}
+
+TEST(Energy, EstimateCombinesFloorAndSwitching) {
+  Netlist net(2);
+  const auto g = net.add_gate({1, 2, kConstPort}, InvConfig::triple(4));
+  net.add_po(net.port_of(g, 0));
+  const auto e = estimate_energy(net, 4.2);
+  EXPECT_GT(e.erased_bits, 0.0);
+  EXPECT_GT(e.landauer_floor, 0.0);
+  EXPECT_EQ(e.jjs, 24u);
+  EXPECT_GT(e.switching_estimate, 0.0);
+  // Information-preserving circuit has a zero Landauer floor.
+  Netlist rev(3);
+  const auto rg = rev.add_gate({1, 2, 3}, InvConfig::reversible());
+  rev.add_po(rev.port_of(rg, 0));
+  rev.add_po(rev.port_of(rg, 1));
+  rev.add_po(rev.port_of(rg, 2));
+  const auto er = estimate_energy(rev, 4.2);
+  EXPECT_DOUBLE_EQ(er.landauer_floor, 0.0);
+}
+
+} // namespace
+} // namespace rcgp::rqfp

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "cec/bdd_cec.hpp"
+#include "core/flow.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::bdd {
+namespace {
+
+TEST(Bdd, TerminalsAndVariables) {
+  Manager m(3);
+  EXPECT_EQ(m.ite(kTrue, kTrue, kFalse), kTrue);
+  EXPECT_EQ(m.ite(kFalse, kTrue, kFalse), kFalse);
+  const auto x = m.var(0);
+  EXPECT_NE(x, kTrue);
+  EXPECT_NE(x, kFalse);
+  EXPECT_EQ(m.var(0), x); // unique table: same node
+  EXPECT_THROW(m.var(3), std::invalid_argument);
+}
+
+TEST(Bdd, Canonicity) {
+  Manager m(3);
+  const auto a = m.var(0);
+  const auto b = m.var(1);
+  const auto c = m.var(2);
+  // (a & b) | c  ==  (b & a) | c  as the same node.
+  const auto f = m.apply_or(m.apply_and(a, b), c);
+  const auto g = m.apply_or(c, m.apply_and(b, a));
+  EXPECT_EQ(f, g);
+  // De Morgan as node identity.
+  EXPECT_EQ(m.apply_not(m.apply_and(a, b)),
+            m.apply_or(m.apply_not(a), m.apply_not(b)));
+  // Double negation.
+  EXPECT_EQ(m.apply_not(m.apply_not(f)), f);
+}
+
+TEST(Bdd, EvaluateMatchesSemantics) {
+  Manager m(3);
+  const auto a = m.var(0);
+  const auto b = m.var(1);
+  const auto c = m.var(2);
+  const auto f = m.apply_xor(m.apply_and(a, b), c);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const bool va = x & 1;
+    const bool vb = (x >> 1) & 1;
+    const bool vc = (x >> 2) & 1;
+    EXPECT_EQ(m.evaluate(f, x), (va && vb) != vc) << x;
+  }
+}
+
+TEST(Bdd, MajorityMatchesTruthTable) {
+  Manager m(3);
+  const auto f = m.apply_maj(m.var(0), m.var(1), m.var(2));
+  const auto expect = tt::TruthTable::majority(
+      tt::TruthTable::projection(3, 0), tt::TruthTable::projection(3, 1),
+      tt::TruthTable::projection(3, 2));
+  EXPECT_EQ(m.to_truth_table(f), expect);
+}
+
+TEST(Bdd, TruthTableRoundTrip) {
+  util::Rng rng(11);
+  for (unsigned nv : {1u, 3u, 5u, 7u}) {
+    Manager m(nv);
+    for (int round = 0; round < 10; ++round) {
+      tt::TruthTable t(nv);
+      for (std::size_t w = 0; w < t.num_words(); ++w) {
+        t.set_word(w, rng.next());
+      }
+      const auto f = m.from_truth_table(t);
+      EXPECT_EQ(m.to_truth_table(f), t) << "nv=" << nv;
+      // Rebuilding yields the identical node (canonicity).
+      EXPECT_EQ(m.from_truth_table(t), f);
+    }
+  }
+}
+
+TEST(Bdd, CountSat) {
+  Manager m(4);
+  EXPECT_EQ(m.count_sat(kFalse), 0u);
+  EXPECT_EQ(m.count_sat(kTrue), 16u);
+  EXPECT_EQ(m.count_sat(m.var(0)), 8u);
+  EXPECT_EQ(m.count_sat(m.apply_and(m.var(0), m.var(3))), 4u);
+  const auto x = m.apply_xor(m.var(1), m.var(2));
+  EXPECT_EQ(m.count_sat(x), 8u);
+  util::Rng rng(5);
+  for (int round = 0; round < 10; ++round) {
+    tt::TruthTable t(4);
+    t.set_word(0, rng.next());
+    EXPECT_EQ(m.count_sat(m.from_truth_table(t)), t.count_ones());
+  }
+}
+
+TEST(Bdd, FindSat) {
+  Manager m(3);
+  std::uint64_t assignment = 99;
+  EXPECT_FALSE(m.find_sat(kFalse, assignment));
+  const auto f = m.apply_and(m.apply_not(m.var(0)), m.var(2));
+  ASSERT_TRUE(m.find_sat(f, assignment));
+  EXPECT_TRUE(m.evaluate(f, assignment));
+}
+
+TEST(Bdd, SizeCountsUniqueNodes) {
+  Manager m(3);
+  EXPECT_EQ(m.size(kTrue), 0u);
+  EXPECT_EQ(m.size(m.var(1)), 1u);
+  const auto f = m.apply_and(m.var(0), m.apply_and(m.var(1), m.var(2)));
+  EXPECT_EQ(m.size(f), 3u);
+}
+
+TEST(Bdd, SharedSubgraphs) {
+  // XOR chains grow linearly thanks to sharing.
+  Manager m(10);
+  NodeRef f = kFalse;
+  for (unsigned v = 0; v < 10; ++v) {
+    f = m.apply_xor(f, m.var(v));
+  }
+  EXPECT_EQ(m.size(f), 19u); // 2n - 1 nodes for parity
+  EXPECT_EQ(m.count_sat(f), 512u);
+}
+
+} // namespace
+} // namespace rcgp::bdd
+
+namespace rcgp::cec {
+namespace {
+
+TEST(BddCec, NetlistAgainstSpec) {
+  const auto b = benchmarks::get("decoder_2_4");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto r = core::synthesize(b.spec, opt);
+  const auto res = bdd_check(r.initial, b.spec);
+  EXPECT_TRUE(res.equivalent);
+  EXPECT_GT(res.bdd_nodes, 2u);
+}
+
+TEST(BddCec, DetectsInequivalenceWithCounterexample) {
+  const auto b = benchmarks::get("full_adder");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto r = core::synthesize(b.spec, opt);
+  auto wrong = b.spec;
+  wrong[0].set_bit(3, !wrong[0].bit(3));
+  const auto res = bdd_check(r.initial, wrong);
+  EXPECT_FALSE(res.equivalent);
+  ASSERT_TRUE(res.counterexample.has_value());
+  // The counterexample must be a genuinely differing assignment.
+  const auto good = bdd_check(r.initial, b.spec);
+  EXPECT_TRUE(good.equivalent);
+}
+
+TEST(BddCec, NetlistVsNetlistMatchesSat) {
+  const auto b = benchmarks::get("graycode4");
+  core::FlowOptions opt;
+  opt.evolve.generations = 3000;
+  const auto r = core::synthesize(b.spec, opt);
+  const auto bddr = bdd_check(r.initial, r.optimized);
+  EXPECT_TRUE(bddr.equivalent);
+}
+
+TEST(BddCec, InterfaceMismatchThrows) {
+  rqfp::Netlist a(2);
+  a.add_po(1);
+  rqfp::Netlist b(3);
+  b.add_po(1);
+  EXPECT_THROW(bdd_check(a, b), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rcgp::cec

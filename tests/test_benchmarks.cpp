@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "benchmarks/benchmarks.hpp"
+#include "benchmarks/reciprocal.hpp"
+
+namespace rcgp::benchmarks {
+namespace {
+
+TEST(Benchmarks, RegistryKnowsAllTableNames) {
+  for (const auto& name : all_names()) {
+    const Benchmark b = get(name);
+    EXPECT_EQ(b.name, name);
+    EXPECT_EQ(b.spec.size(), b.num_pos);
+    EXPECT_EQ(b.po_names.size(), b.num_pos);
+    for (const auto& t : b.spec) {
+      EXPECT_EQ(t.num_vars(), b.num_pis);
+    }
+  }
+  EXPECT_THROW(get("nonexistent"), std::invalid_argument);
+}
+
+TEST(Benchmarks, TableSplitsMatchPaper) {
+  EXPECT_EQ(table1_names().size(), 9u);
+  EXPECT_EQ(table2_names().size(), 11u);
+}
+
+TEST(Benchmarks, PaperInterfaceColumns) {
+  // The (n_pi, n_po) columns of Tables 1 and 2.
+  const std::pair<const char*, std::pair<unsigned, unsigned>> expect[] = {
+      {"full_adder", {3, 2}}, {"4gt10", {4, 1}},      {"alu", {5, 1}},
+      {"c17", {5, 2}},        {"decoder_2_4", {2, 4}}, {"decoder_3_8", {3, 8}},
+      {"graycode4", {4, 4}},  {"ham3", {3, 3}},        {"mux4", {6, 1}},
+      {"4_49", {4, 4}},       {"graycode6", {6, 6}},   {"mod5adder", {6, 6}},
+      {"hwb8", {8, 8}},       {"intdiv4", {4, 4}},     {"intdiv10", {10, 10}},
+  };
+  for (const auto& [name, io] : expect) {
+    const auto b = get(name);
+    EXPECT_EQ(b.num_pis, io.first) << name;
+    EXPECT_EQ(b.num_pos, io.second) << name;
+  }
+}
+
+TEST(Benchmarks, FullAdderTruth) {
+  const auto b = full_adder();
+  for (unsigned x = 0; x < 8; ++x) {
+    const unsigned a = x & 1;
+    const unsigned bb = (x >> 1) & 1;
+    const unsigned c = (x >> 2) & 1;
+    EXPECT_EQ(b.spec[0].bit(x), (a ^ bb ^ c) != 0);
+    EXPECT_EQ(b.spec[1].bit(x), a + bb + c >= 2);
+  }
+}
+
+TEST(Benchmarks, Gt10Threshold) {
+  const auto b = gt10_4();
+  for (unsigned x = 0; x < 16; ++x) {
+    EXPECT_EQ(b.spec[0].bit(x), x > 10) << x;
+  }
+}
+
+TEST(Benchmarks, C17KnownVectors) {
+  const auto b = c17();
+  // All-zero input: the inner NANDs are 1, so both output NANDs are 0.
+  EXPECT_FALSE(b.spec[0].bit(0));
+  EXPECT_FALSE(b.spec[1].bit(0));
+  // i1=i3=1 (value 0b00101): n10=0 -> o22=1.
+  EXPECT_TRUE(b.spec[0].bit(0b00101));
+}
+
+TEST(Benchmarks, DecoderIsOneHot) {
+  for (const unsigned bits : {2u, 3u}) {
+    const auto b = decoder(bits);
+    for (std::uint64_t x = 0; x < (1u << bits); ++x) {
+      for (unsigned o = 0; o < b.num_pos; ++o) {
+        EXPECT_EQ(b.spec[o].bit(x), o == x);
+      }
+    }
+  }
+}
+
+TEST(Benchmarks, GraycodeAdjacentValuesDifferByOneBit) {
+  const auto b = graycode(4);
+  auto code_of = [&](std::uint64_t x) {
+    std::uint64_t g = 0;
+    for (unsigned o = 0; o < 4; ++o) {
+      g |= static_cast<std::uint64_t>(b.spec[o].bit(x)) << o;
+    }
+    return g;
+  };
+  for (std::uint64_t x = 0; x + 1 < 16; ++x) {
+    EXPECT_EQ(std::popcount(code_of(x) ^ code_of(x + 1)), 1) << x;
+  }
+  EXPECT_EQ(code_of(0), 0u);
+}
+
+TEST(Benchmarks, Ham3IsPermutation) {
+  const auto b = ham3();
+  std::vector<bool> seen(8, false);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    std::uint64_t y = 0;
+    for (unsigned o = 0; o < 3; ++o) {
+      y |= static_cast<std::uint64_t>(b.spec[o].bit(x)) << o;
+    }
+    EXPECT_FALSE(seen[y]);
+    seen[y] = true;
+  }
+}
+
+TEST(Benchmarks, Perm449IsPermutation) {
+  const auto b = perm_4_49();
+  std::vector<bool> seen(16, false);
+  for (std::uint64_t x = 0; x < 16; ++x) {
+    std::uint64_t y = 0;
+    for (unsigned o = 0; o < 4; ++o) {
+      y |= static_cast<std::uint64_t>(b.spec[o].bit(x)) << o;
+    }
+    EXPECT_FALSE(seen[y]) << "collision at " << x;
+    seen[y] = true;
+  }
+}
+
+TEST(Benchmarks, Mux4Selects) {
+  const auto b = mux4();
+  for (std::uint64_t x = 0; x < 64; ++x) {
+    const unsigned sel =
+        static_cast<unsigned>(((x >> 4) & 1) | (((x >> 5) & 1) << 1));
+    EXPECT_EQ(b.spec[0].bit(x), ((x >> sel) & 1) != 0) << x;
+  }
+}
+
+TEST(Benchmarks, Mod5AdderInRange) {
+  const auto b = mod5adder();
+  for (std::uint64_t a = 0; a < 5; ++a) {
+    for (std::uint64_t bb = 0; bb < 5; ++bb) {
+      const std::uint64_t x = a | (bb << 3);
+      std::uint64_t lo = 0;
+      for (unsigned o = 0; o < 3; ++o) {
+        lo |= static_cast<std::uint64_t>(b.spec[o].bit(x)) << o;
+      }
+      std::uint64_t hi = 0;
+      for (unsigned o = 3; o < 6; ++o) {
+        hi |= static_cast<std::uint64_t>(b.spec[o].bit(x)) << (o - 3);
+      }
+      EXPECT_EQ(lo, (a + bb) % 5) << "a=" << a << " b=" << bb;
+      EXPECT_EQ(hi, a);
+    }
+  }
+}
+
+TEST(Benchmarks, HwbRotatesByWeight) {
+  const auto b = hwb(8);
+  for (std::uint64_t x : {0ull, 1ull, 0xFFull, 0b10110100ull}) {
+    const unsigned w = static_cast<unsigned>(std::popcount(x)) % 8;
+    const std::uint64_t want = ((x << w) | (x >> (8 - w))) & 0xFF;
+    std::uint64_t got = 0;
+    for (unsigned o = 0; o < 8; ++o) {
+      got |= static_cast<std::uint64_t>(b.spec[o].bit(x)) << o;
+    }
+    EXPECT_EQ(got, want) << x;
+  }
+}
+
+class ReciprocalWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReciprocalWidths, MatchesClosedForm) {
+  const unsigned bits = GetParam();
+  const auto b = reciprocal(bits);
+  const std::uint64_t top = (std::uint64_t{1} << bits) - 1;
+  for (std::uint64_t x = 0; x <= top; ++x) {
+    const std::uint64_t want = x == 0 ? 0 : top / x;
+    std::uint64_t got = 0;
+    for (unsigned o = 0; o < bits; ++o) {
+      got |= static_cast<std::uint64_t>(b.spec[o].bit(x)) << o;
+    }
+    ASSERT_EQ(got, want) << "bits=" << bits << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ReciprocalWidths,
+                         ::testing::Values(4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+TEST(Benchmarks, ReciprocalEdgeCases) {
+  const auto b = reciprocal(4);
+  // f(1) = 15, f(15) = 1, f(0) = 0 by convention.
+  EXPECT_TRUE(b.spec[0].bit(1) && b.spec[1].bit(1) && b.spec[2].bit(1) &&
+              b.spec[3].bit(1));
+  EXPECT_TRUE(b.spec[0].bit(15));
+  EXPECT_FALSE(b.spec[1].bit(15));
+  for (unsigned o = 0; o < 4; ++o) {
+    EXPECT_FALSE(b.spec[o].bit(0));
+  }
+  EXPECT_THROW(reciprocal(1), std::invalid_argument);
+  EXPECT_THROW(reciprocal(20), std::invalid_argument);
+}
+
+TEST(Benchmarks, LowerBoundColumn) {
+  // g_lb = max(0, n_pi - n_po) for the paper's Table 1 rows.
+  const auto fa = get("full_adder");
+  EXPECT_EQ(fa.num_pis - fa.num_pos, 1u);
+  const auto dec = get("decoder_2_4");
+  EXPECT_GT(dec.num_pos, dec.num_pis);
+}
+
+} // namespace
+} // namespace rcgp::benchmarks

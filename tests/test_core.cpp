@@ -1,0 +1,544 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig_simulate.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "cec/sim_cec.hpp"
+#include "core/anneal.hpp"
+#include "core/chromosome.hpp"
+#include "core/evolve.hpp"
+#include "core/fitness.hpp"
+#include "core/flow.hpp"
+#include "core/mutation.hpp"
+#include "core/shrink.hpp"
+#include "rqfp/simulate.hpp"
+#include "rqfp/splitter.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::core {
+namespace {
+
+rqfp::Netlist and_netlist() {
+  rqfp::Netlist net(2);
+  const auto g = net.add_gate({1, 2, rqfp::kConstPort},
+                              rqfp::InvConfig::from_rows(5, 6, 4));
+  net.add_po(net.port_of(g, 2));
+  return net;
+}
+
+/// Builds the initialization netlist of a named benchmark.
+rqfp::Netlist init_netlist(const std::string& name) {
+  const auto b = benchmarks::get(name);
+  FlowOptions opt;
+  opt.run_cgp = false;
+  return synthesize(b.spec, opt).initial;
+}
+
+// ---------- Fitness ----------
+
+TEST(Fitness, LexicographicOrder) {
+  Fitness bad;
+  bad.success_rate = 0.9;
+  Fitness good;
+  good.success_rate = 1.0;
+  good.n_r = 10;
+  good.n_g = 5;
+  good.n_b = 3;
+  EXPECT_TRUE(good.better_or_equal(bad));
+  EXPECT_FALSE(bad.better_or_equal(good));
+
+  Fitness fewer_gates = good;
+  fewer_gates.n_r = 9;
+  fewer_gates.n_g = 99; // gates dominate garbage
+  EXPECT_TRUE(fewer_gates.better_or_equal(good));
+  EXPECT_FALSE(good.better_or_equal(fewer_gates));
+
+  Fitness fewer_garbage = good;
+  fewer_garbage.n_g = 4;
+  fewer_garbage.n_b = 99; // garbage dominates buffers
+  EXPECT_TRUE(fewer_garbage.better_or_equal(good));
+
+  Fitness fewer_buffers = good;
+  fewer_buffers.n_b = 2;
+  EXPECT_TRUE(fewer_buffers.better_or_equal(good));
+  EXPECT_TRUE(fewer_buffers.strictly_better(good));
+  EXPECT_TRUE(good.better_or_equal(good)); // reflexive
+  EXPECT_FALSE(good.strictly_better(good));
+}
+
+TEST(Fitness, JjObjectiveOrders) {
+  Fitness a;
+  a.success_rate = 1.0;
+  a.objective = Objective::kJjCount;
+  a.n_r = 5;
+  a.n_b = 0; // 120 JJs
+  Fitness b = a;
+  b.n_r = 4;
+  b.n_b = 7; // 124 JJs
+  // Under the paper order b wins (fewer gates); under JJ order a wins.
+  EXPECT_TRUE(a.better_or_equal(b));
+  EXPECT_FALSE(b.better_or_equal(a));
+  a.objective = Objective::kPaperLexicographic;
+  b.objective = Objective::kPaperLexicographic;
+  EXPECT_TRUE(b.better_or_equal(a));
+  EXPECT_EQ(a.jjs(), 120u);
+  EXPECT_EQ(b.jjs(), 124u);
+}
+
+TEST(Fitness, JjObjectiveFlowStaysCorrect) {
+  const auto b = benchmarks::get("decoder_2_4");
+  FlowOptions opt;
+  opt.evolve.generations = 8000;
+  opt.evolve.fitness.objective = Objective::kJjCount;
+  opt.evolve.seed = 13;
+  const auto r = synthesize(b.spec, opt);
+  EXPECT_TRUE(cec::sim_check(r.optimized, b.spec).all_match);
+  EXPECT_LE(r.optimized_cost.jjs, r.initial_cost.jjs);
+}
+
+TEST(Fitness, EvaluateCorrectNetlist) {
+  const auto net = and_netlist();
+  std::vector<tt::TruthTable> spec{tt::TruthTable::projection(2, 0) &
+                                   tt::TruthTable::projection(2, 1)};
+  const Fitness f = evaluate(net, spec);
+  EXPECT_TRUE(f.functionally_correct());
+  EXPECT_EQ(f.n_r, 1u);
+  EXPECT_EQ(f.n_g, 2u);
+}
+
+TEST(Fitness, EvaluateWrongNetlistSkipsCost) {
+  const auto net = and_netlist();
+  std::vector<tt::TruthTable> spec{tt::TruthTable::projection(2, 0) |
+                                   tt::TruthTable::projection(2, 1)};
+  const Fitness f = evaluate(net, spec);
+  EXPECT_FALSE(f.functionally_correct());
+  EXPECT_LT(f.success_rate, 1.0);
+  EXPECT_EQ(f.n_r, 0u); // untouched
+}
+
+// ---------- Chromosome ----------
+
+TEST(Chromosome, GeneCountAndMapping) {
+  const auto net = and_netlist();
+  EXPECT_EQ(num_genes(net), 5u); // 4 per gate + 1 PO
+  const auto g0 = gene_at(net, 0);
+  EXPECT_EQ(g0.kind, GeneRef::Kind::kGateInput);
+  EXPECT_EQ(g0.slot, 0u);
+  const auto g3 = gene_at(net, 3);
+  EXPECT_EQ(g3.kind, GeneRef::Kind::kGateConfig);
+  const auto g4 = gene_at(net, 4);
+  EXPECT_EQ(g4.kind, GeneRef::Kind::kPrimaryOutput);
+  EXPECT_EQ(g4.po, 0u);
+  EXPECT_THROW(gene_at(net, 5), std::out_of_range);
+}
+
+TEST(Chromosome, GenotypeStringMatchesPaperNotation) {
+  const auto net = and_netlist();
+  const auto s = to_genotype_string(net);
+  EXPECT_NE(s.find("(1, 2, 0, "), std::string::npos);
+  EXPECT_NE(s.find("(5)"), std::string::npos); // PO bound to port 5
+}
+
+// ---------- Mutation ----------
+
+class MutationInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationInvariant, PreservesSingleFanout) {
+  auto net = init_netlist("decoder_2_4");
+  ASSERT_EQ(net.validate(), "");
+  util::Rng rng(GetParam());
+  MutationParams params;
+  params.mu = 1.0;
+  for (int round = 0; round < 50; ++round) {
+    mutate(net, rng, params);
+    ASSERT_EQ(net.validate(), "") << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationInvariant,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Mutation, ChangesGenes) {
+  auto net = init_netlist("graycode4");
+  util::Rng rng(42);
+  MutationParams params;
+  params.mu = 1.0;
+  const auto before = net;
+  MutationStats total;
+  for (int i = 0; i < 10; ++i) {
+    const auto stats = mutate(net, rng, params);
+    total.genes_changed += stats.genes_changed;
+  }
+  EXPECT_GT(total.genes_changed, 0u);
+  EXPECT_FALSE(net == before);
+}
+
+TEST(Mutation, RespectsLowMutationRate) {
+  auto net = init_netlist("decoder_2_4");
+  util::Rng rng(7);
+  MutationParams params;
+  params.mu = 1.0 / num_genes(net); // at most one gene
+  for (int i = 0; i < 20; ++i) {
+    const auto stats = mutate(net, rng, params);
+    EXPECT_LE(stats.genes_changed, 1u);
+  }
+}
+
+TEST(Mutation, GateCountIsStable) {
+  // Point mutation never adds or removes gates (only shrink does).
+  auto net = init_netlist("ham3");
+  const auto gates = net.num_gates();
+  util::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    mutate(net, rng, {});
+    EXPECT_EQ(net.num_gates(), gates);
+  }
+}
+
+// ---------- Deterministic reconnection primitives (§3.2.2 semantics) ----
+
+TEST(Reconnect, DirectAssignToUnconsumedPort) {
+  // Gate 1 reads gate 0's output 2; outputs 0 and 1 of gate 0 are free.
+  rqfp::Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, rqfp::InvConfig::reversible());
+  const auto g1 = net.add_gate({net.port_of(g0, 2), 0, 0},
+                               rqfp::InvConfig::splitter());
+  net.add_po(net.port_of(g1, 0));
+  const auto outcome =
+      reconnect_input(net, g1, 0, net.port_of(g0, 1));
+  EXPECT_EQ(outcome, ReconnectOutcome::kDirect);
+  EXPECT_EQ(net.gate(g1).in[0], net.port_of(g0, 1));
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Reconnect, SwapWithExistingConsumer) {
+  // Both PIs consumed by gate 0; reconnecting slot 0 to PI 2 must swap.
+  rqfp::Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, rqfp::InvConfig::reversible());
+  net.add_po(net.port_of(g0, 2));
+  const auto outcome = reconnect_input(net, g0, 0, 2);
+  EXPECT_EQ(outcome, ReconnectOutcome::kSwapped);
+  EXPECT_EQ(net.gate(g0).in[0], 2u);
+  EXPECT_EQ(net.gate(g0).in[1], 1u);
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Reconnect, ConstTargetAlwaysDirect) {
+  rqfp::Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, rqfp::InvConfig::reversible());
+  net.add_po(net.port_of(g0, 2));
+  EXPECT_EQ(reconnect_input(net, g0, 0, rqfp::kConstPort),
+            ReconnectOutcome::kDirect);
+  // PI 1 is now unconsumed; reconnecting back is a direct assign.
+  EXPECT_EQ(reconnect_input(net, g0, 0, 1), ReconnectOutcome::kDirect);
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Reconnect, NoChangeOnSameTarget) {
+  rqfp::Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, rqfp::InvConfig::reversible());
+  net.add_po(net.port_of(g0, 2));
+  EXPECT_EQ(reconnect_input(net, g0, 0, 1), ReconnectOutcome::kNoChange);
+}
+
+TEST(Reconnect, InfeasibleSwapLeavesNetlistUntouched) {
+  // Gate 0 consumes PI 1. Gate 1's output feeds the PO. Reconnecting the
+  // PO to PI 1 would hand gate 0 the PO's old value — a port produced
+  // after gate 0 — which is infeasible.
+  rqfp::Netlist net(1);
+  const auto g0 = net.add_gate({1, 0, 0}, rqfp::InvConfig::splitter());
+  const auto g1 = net.add_gate({net.port_of(g0, 0), 0, 0},
+                               rqfp::InvConfig::splitter());
+  net.add_po(net.port_of(g1, 0));
+  const auto before = net;
+  EXPECT_EQ(reconnect_input(net, g0, 0, 0), ReconnectOutcome::kDirect);
+  net = before;
+  const auto outcome = reconnect_po(net, 0, 1);
+  EXPECT_EQ(outcome, ReconnectOutcome::kInfeasible);
+  EXPECT_TRUE(net == before);
+}
+
+TEST(Reconnect, PoSwapWithAnotherPo) {
+  rqfp::Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, rqfp::InvConfig::reversible());
+  net.add_po(net.port_of(g0, 0));
+  net.add_po(net.port_of(g0, 2));
+  const auto outcome = reconnect_po(net, 0, net.po_at(1));
+  EXPECT_EQ(outcome, ReconnectOutcome::kSwapped);
+  EXPECT_EQ(net.po_at(0), net.port_of(g0, 2));
+  EXPECT_EQ(net.po_at(1), net.port_of(g0, 0));
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Reconnect, ForwardReferenceThrows) {
+  rqfp::Netlist net(1);
+  const auto g0 = net.add_gate({1, 0, 0}, rqfp::InvConfig::splitter());
+  net.add_po(net.port_of(g0, 0));
+  EXPECT_THROW(reconnect_input(net, g0, 0, net.port_of(g0, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(reconnect_po(net, 0, net.first_free_port()),
+               std::invalid_argument);
+}
+
+// ---------- Shrink ----------
+
+TEST(Shrink, RemovesUselessGatesOnly) {
+  rqfp::Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, rqfp::InvConfig::reversible());
+  net.add_gate({0, 0, 0}, rqfp::InvConfig()); // useless
+  net.add_po(net.port_of(g0, 2));
+  EXPECT_EQ(count_useless_gates(net), 1u);
+  const auto before = rqfp::simulate(net);
+  const auto small = shrink(net);
+  EXPECT_EQ(small.num_gates(), 1u);
+  EXPECT_EQ(count_useless_gates(small), 0u);
+  EXPECT_EQ(rqfp::simulate(small), before);
+}
+
+TEST(Shrink, CascadingDeadChains) {
+  rqfp::Netlist net(1);
+  const auto g0 = net.add_gate({0, 1, 0}, rqfp::InvConfig::splitter());
+  const auto g1 = net.add_gate({0, net.port_of(g0, 0), 0},
+                               rqfp::InvConfig::splitter());
+  net.add_gate({0, net.port_of(g1, 0), 0}, rqfp::InvConfig::splitter());
+  net.add_po(net.port_of(g0, 1));
+  // g2 is dead; g1 only feeds g2 so it dies transitively; g0 remains.
+  const auto small = shrink(net);
+  EXPECT_EQ(small.num_gates(), 1u);
+}
+
+TEST(Shrink, PaperExampleChromosomeLength) {
+  // Fig. 3(b)->(c): removing one useless 4-gene gate shortens the
+  // chromosome by 4 (20 -> 16 for the decoder example).
+  auto net = init_netlist("decoder_2_4");
+  rqfp::Netlist with_dead = net;
+  with_dead.add_gate({0, 0, 0}, rqfp::InvConfig());
+  EXPECT_EQ(num_genes(with_dead), num_genes(net) + 4);
+  EXPECT_EQ(num_genes(shrink(with_dead)), num_genes(net));
+}
+
+// ---------- Evolution ----------
+
+TEST(Evolve, RejectsWrongInitialNetlist) {
+  const auto net = and_netlist();
+  std::vector<tt::TruthTable> wrong{tt::TruthTable::projection(2, 0) ^
+                                    tt::TruthTable::projection(2, 1)};
+  EvolveParams params;
+  params.generations = 10;
+  EXPECT_THROW(evolve(net, wrong, params), std::invalid_argument);
+}
+
+TEST(Evolve, KeepsFunctionalCorrectness) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  EvolveParams params;
+  params.generations = 2000;
+  params.seed = 11;
+  const auto result = evolve(init, b.spec, params);
+  EXPECT_EQ(result.best.validate(), "");
+  const auto sim = cec::sim_check(result.best, b.spec);
+  EXPECT_TRUE(sim.all_match);
+  EXPECT_TRUE(result.best_fitness.functionally_correct());
+}
+
+TEST(Evolve, NeverWorseThanInitialization) {
+  for (const char* name : {"decoder_2_4", "full_adder", "4gt10"}) {
+    const auto b = benchmarks::get(name);
+    const auto init = init_netlist(name);
+    const Fitness init_fit = evaluate(init, b.spec);
+    EvolveParams params;
+    params.generations = 1500;
+    params.seed = 5;
+    const auto result = evolve(init, b.spec, params);
+    EXPECT_TRUE(result.best_fitness.better_or_equal(init_fit)) << name;
+    EXPECT_LE(result.best_fitness.n_r, init_fit.n_r) << name;
+  }
+}
+
+TEST(Evolve, ImprovesDecoderLikeThePaper) {
+  // The paper's headline: CGP sharply reduces gates and garbage vs the
+  // initialization baseline. With a modest budget the decoder must drop
+  // below its 8-gate/10-garbage initialization.
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  EvolveParams params;
+  params.generations = 30000;
+  params.seed = 42;
+  const auto result = evolve(init, b.spec, params);
+  EXPECT_LT(result.best_fitness.n_r, 8u);
+  EXPECT_LT(result.best_fitness.n_g, 10u);
+}
+
+TEST(Evolve, StagnationStopsEarly) {
+  const auto b = benchmarks::get("4gt10");
+  const auto init = init_netlist("4gt10");
+  EvolveParams params;
+  params.generations = 1000000;
+  params.stagnation_limit = 200;
+  params.seed = 3;
+  const auto result = evolve(init, b.spec, params);
+  EXPECT_LT(result.generations_run, params.generations);
+}
+
+TEST(Evolve, TimeLimitStops) {
+  const auto b = benchmarks::get("graycode4");
+  const auto init = init_netlist("graycode4");
+  EvolveParams params;
+  params.generations = 1000000000;
+  params.time_limit_seconds = 0.2;
+  const auto result = evolve(init, b.spec, params);
+  EXPECT_LT(result.seconds, 5.0);
+  EXPECT_LT(result.generations_run, params.generations);
+}
+
+TEST(Evolve, SatVerificationPathAccepts) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  EvolveParams params;
+  params.generations = 3000;
+  params.sat_verify_improvements = true;
+  params.seed = 9;
+  const auto result = evolve(init, b.spec, params);
+  EXPECT_GT(result.sat_confirmations, 0u);
+  EXPECT_TRUE(cec::sim_check(result.best, b.spec).all_match);
+}
+
+TEST(Evolve, ImprovementCallbackFires) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  EvolveParams params;
+  params.generations = 5000;
+  params.seed = 21;
+  int calls = 0;
+  params.on_improvement = [&](std::uint64_t, const Fitness&) { ++calls; };
+  const auto result = evolve(init, b.spec, params);
+  EXPECT_EQ(static_cast<std::uint64_t>(calls), result.improvements);
+}
+
+TEST(EvolveMultistart, ReturnsValidBestOfRuns) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  EvolveParams params;
+  params.generations = 8000;
+  params.seed = 31;
+  const auto single = evolve(init, b.spec, params);
+  const auto multi = evolve_multistart(init, b.spec, params, 4);
+  EXPECT_TRUE(cec::sim_check(multi.best, b.spec).all_match);
+  EXPECT_EQ(multi.best.validate(), "");
+  // Same total budget, bookkeeping accumulated over runs.
+  EXPECT_EQ(multi.generations_run, single.generations_run / 4 * 4);
+  EXPECT_TRUE(multi.best_fitness.functionally_correct());
+}
+
+TEST(EvolveMultistart, ZeroRestartsBehavesAsOne) {
+  const auto b = benchmarks::get("4gt10");
+  const auto init = init_netlist("4gt10");
+  EvolveParams params;
+  params.generations = 500;
+  const auto r = evolve_multistart(init, b.spec, params, 0);
+  EXPECT_TRUE(r.best_fitness.functionally_correct());
+}
+
+// ---------- Simulated annealing (ablation optimizer) ----------
+
+TEST(Anneal, EnergyOrdersStatesLikeTheFitness) {
+  const auto net = and_netlist();
+  std::vector<tt::TruthTable> right{tt::TruthTable::projection(2, 0) &
+                                    tt::TruthTable::projection(2, 1)};
+  std::vector<tt::TruthTable> wrong{tt::TruthTable::projection(2, 0) |
+                                    tt::TruthTable::projection(2, 1)};
+  EXPECT_LT(anneal_energy(net, right), anneal_energy(net, wrong));
+}
+
+TEST(Anneal, ImprovesAndStaysCorrect) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  AnnealParams params;
+  params.steps = 20000;
+  params.seed = 5;
+  params.mutation.mu = 0.2;
+  const auto r = anneal(init, b.spec, params);
+  EXPECT_TRUE(r.best_fitness.functionally_correct());
+  EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
+  EXPECT_EQ(r.best.validate(), "");
+  const Fitness init_fit = evaluate(init, b.spec);
+  EXPECT_TRUE(r.best_fitness.better_or_equal(init_fit));
+  EXPECT_GT(r.accepted, 0u);
+}
+
+TEST(Anneal, AcceptsUphillMovesAtHighTemperature) {
+  const auto b = benchmarks::get("graycode4");
+  const auto init = init_netlist("graycode4");
+  AnnealParams params;
+  params.steps = 3000;
+  params.initial_temperature = 1e6; // essentially a random walk
+  params.final_temperature = 1e5;
+  params.seed = 2;
+  const auto r = anneal(init, b.spec, params);
+  EXPECT_GT(r.uphill_accepted, 0u);
+  // Best-seen tracking still guarantees a correct result.
+  EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
+}
+
+TEST(Anneal, RejectsWrongInitialNetlist) {
+  const auto net = and_netlist();
+  std::vector<tt::TruthTable> wrong{tt::TruthTable::projection(2, 0) ^
+                                    tt::TruthTable::projection(2, 1)};
+  EXPECT_THROW(anneal(net, wrong, {}), std::invalid_argument);
+}
+
+// ---------- Flow ----------
+
+TEST(Flow, AigFromTablesMatchesSpec) {
+  const auto b = benchmarks::get("c17");
+  const auto net = aig_from_tables(b.spec, b.po_names);
+  const auto tts = aig::simulate(net);
+  EXPECT_EQ(tts, b.spec);
+  EXPECT_EQ(net.po_name(0), "y0");
+}
+
+TEST(Flow, InitializationIsLegalAndCorrect) {
+  for (const char* name : {"full_adder", "graycode4", "mux4"}) {
+    const auto b = benchmarks::get(name);
+    FlowOptions opt;
+    opt.run_cgp = false;
+    const auto r = synthesize(b.spec, opt);
+    EXPECT_EQ(r.initial.validate(), "") << name;
+    EXPECT_TRUE(cec::sim_check(r.initial, b.spec).all_match) << name;
+    EXPECT_EQ(r.initial_cost.jjs,
+              24 * r.initial_cost.n_r + 4 * r.initial_cost.n_b)
+        << name;
+  }
+}
+
+TEST(Flow, CgpPhaseImprovesOrMatchesInit) {
+  const auto b = benchmarks::get("ham3");
+  FlowOptions opt;
+  opt.evolve.generations = 5000;
+  opt.evolve.seed = 17;
+  const auto r = synthesize(b.spec, opt);
+  EXPECT_LE(r.optimized_cost.n_r, r.initial_cost.n_r);
+  EXPECT_TRUE(cec::sim_check(r.optimized, b.spec).all_match);
+}
+
+TEST(Flow, FraigPhasePreservesCorrectness) {
+  const auto b = benchmarks::get("graycode4");
+  FlowOptions opt;
+  opt.run_fraig = true;
+  opt.run_cgp = false;
+  const auto r = synthesize(b.spec, opt);
+  EXPECT_TRUE(cec::sim_check(r.initial, b.spec).all_match);
+  EXPECT_EQ(r.initial.validate(), "");
+}
+
+TEST(Flow, OptionalPhasesCanBeDisabled) {
+  const auto b = benchmarks::get("4gt10");
+  FlowOptions opt;
+  opt.run_aig_optimization = false;
+  opt.run_mig_optimization = false;
+  opt.run_cgp = false;
+  const auto r = synthesize(b.spec, opt);
+  EXPECT_TRUE(cec::sim_check(r.initial, b.spec).all_match);
+}
+
+} // namespace
+} // namespace rcgp::core

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/benchmarks.hpp"
+#include "cec/sim_cec.hpp"
+#include "exact/exact_rqfp.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::exact {
+namespace {
+
+std::vector<tt::TruthTable> single(const tt::TruthTable& t) { return {t}; }
+
+TEST(Exact, ZeroGatesForPassThrough) {
+  // The identity function is a PI port: no gates needed.
+  const auto spec = single(tt::TruthTable::projection(2, 0));
+  const auto r = exact_synthesize(spec);
+  ASSERT_EQ(r.status, ExactStatus::kSolved);
+  EXPECT_EQ(r.gates, 0u);
+  EXPECT_TRUE(cec::sim_check(*r.netlist, spec).all_match);
+}
+
+TEST(Exact, ZeroGatesForConstantOne) {
+  const auto spec = single(tt::TruthTable::constant(2, true));
+  const auto r = exact_synthesize(spec);
+  ASSERT_EQ(r.status, ExactStatus::kSolved);
+  EXPECT_EQ(r.gates, 0u);
+}
+
+TEST(Exact, SingleGateForAnd) {
+  const auto spec = single(tt::TruthTable::projection(2, 0) &
+                           tt::TruthTable::projection(2, 1));
+  const auto r = exact_synthesize(spec);
+  ASSERT_EQ(r.status, ExactStatus::kSolved);
+  EXPECT_EQ(r.gates, 1u);
+  EXPECT_TRUE(cec::sim_check(*r.netlist, spec).all_match);
+  EXPECT_EQ(r.netlist->validate(), "");
+}
+
+TEST(Exact, SingleGateForMajority) {
+  const auto spec = single(tt::TruthTable::majority(
+      tt::TruthTable::projection(3, 0), tt::TruthTable::projection(3, 1),
+      tt::TruthTable::projection(3, 2)));
+  const auto r = exact_synthesize(spec);
+  ASSERT_EQ(r.status, ExactStatus::kSolved);
+  EXPECT_EQ(r.gates, 1u);
+}
+
+TEST(Exact, XorNeedsMoreThanOneGate) {
+  // XOR2 is not a single-gate RQFP function (each output is a phased
+  // majority of the inputs).
+  const auto spec = single(tt::TruthTable::projection(2, 0) ^
+                           tt::TruthTable::projection(2, 1));
+  const auto r = exact_synthesize(spec);
+  ASSERT_EQ(r.status, ExactStatus::kSolved);
+  EXPECT_GE(r.gates, 2u);
+  EXPECT_TRUE(cec::sim_check(*r.netlist, spec).all_match);
+}
+
+TEST(Exact, InfeasibleGateCountIsUnsat) {
+  const auto spec = single(tt::TruthTable::projection(2, 0) ^
+                           tt::TruthTable::projection(2, 1));
+  const auto r = exact_try(spec, 1, std::nullopt);
+  EXPECT_EQ(r.status, ExactStatus::kUnsat);
+}
+
+TEST(Exact, GarbageBoundBindsSolution) {
+  // AND with one gate has garbage 2; forbidding any garbage makes the
+  // 1-gate encoding UNSAT.
+  const auto spec = single(tt::TruthTable::projection(2, 0) &
+                           tt::TruthTable::projection(2, 1));
+  const auto unrestricted = exact_try(spec, 1, std::nullopt);
+  ASSERT_EQ(unrestricted.status, ExactStatus::kSolved);
+  EXPECT_EQ(unrestricted.garbage, 2u);
+  const auto bounded = exact_try(spec, 1, 0u);
+  EXPECT_EQ(bounded.status, ExactStatus::kUnsat);
+}
+
+TEST(Exact, MaxGatesExhaustedIsUnsat) {
+  const auto spec = single(tt::TruthTable::projection(2, 0) ^
+                           tt::TruthTable::projection(2, 1));
+  ExactParams params;
+  params.max_gates = 1;
+  const auto r = exact_synthesize(spec, params);
+  EXPECT_EQ(r.status, ExactStatus::kUnsat);
+}
+
+TEST(Exact, BudgetExhaustionReportsTimeout) {
+  const auto b = benchmarks::get("graycode4");
+  ExactParams params;
+  params.max_gates = 7;
+  params.conflicts_per_call = 50; // absurdly small on purpose
+  const auto r = exact_synthesize(b.spec, params);
+  EXPECT_EQ(r.status, ExactStatus::kTimeout);
+}
+
+TEST(Exact, DecoderMatchesPaperOptimum) {
+  // Paper Table 1: decoder_2_4 exact synthesis finds 3 gates, 1 garbage.
+  const auto b = benchmarks::get("decoder_2_4");
+  ExactParams params;
+  params.max_gates = 3;
+  params.time_limit_seconds = 90;
+  const auto r = exact_synthesize(b.spec, params);
+  ASSERT_EQ(r.status, ExactStatus::kSolved);
+  EXPECT_EQ(r.gates, 3u);
+  EXPECT_EQ(r.garbage, 1u);
+  EXPECT_TRUE(cec::sim_check(*r.netlist, b.spec).all_match);
+  EXPECT_EQ(r.netlist->validate(), "");
+}
+
+TEST(Exact, FullAdderMatchesPaperOptimum) {
+  // Paper Table 1: full adder exact synthesis finds 3 gates, 2 garbage.
+  const auto b = benchmarks::get("full_adder");
+  ExactParams params;
+  params.max_gates = 3;
+  params.time_limit_seconds = 90;
+  const auto r = exact_synthesize(b.spec, params);
+  ASSERT_EQ(r.status, ExactStatus::kSolved);
+  EXPECT_EQ(r.gates, 3u);
+  EXPECT_EQ(r.garbage, 2u);
+  EXPECT_TRUE(cec::sim_check(*r.netlist, b.spec).all_match);
+}
+
+/// Every 2-variable function must be exactly synthesizable within 2 gates
+/// (XOR/XNOR need two, everything else at most one).
+class ExactAllTwoVarFunctions : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ExactAllTwoVarFunctions, SolvedAndVerified) {
+  tt::TruthTable t(2);
+  t.set_word(0, GetParam());
+  const std::vector<tt::TruthTable> spec{t};
+  ExactParams params;
+  params.max_gates = 2;
+  params.time_limit_seconds = 30;
+  const auto r = exact_synthesize(spec, params);
+  ASSERT_EQ(r.status, ExactStatus::kSolved) << "function " << GetParam();
+  EXPECT_TRUE(cec::sim_check(*r.netlist, spec).all_match);
+  EXPECT_EQ(r.netlist->validate(), "");
+  // Free (0-gate) functions are the ports themselves: constant 1 and the
+  // two PIs. Complements need an inverter gate; XOR/XNOR need two gates.
+  const bool is_xor = GetParam() == 0b0110 || GetParam() == 0b1001;
+  const bool is_port =
+      GetParam() == 0b1111 || GetParam() == 0b1010 || GetParam() == 0b1100;
+  EXPECT_EQ(r.gates, is_xor ? 2u : is_port ? 0u : 1u)
+      << "function " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, ExactAllTwoVarFunctions,
+                         ::testing::Range(0u, 16u));
+
+TEST(Exact, MultiOutputSharing) {
+  // {AND, OR} of the same inputs fits in one gate (outputs 2 and another
+  // row configured as OR).
+  std::vector<tt::TruthTable> spec{
+      tt::TruthTable::projection(2, 0) & tt::TruthTable::projection(2, 1),
+      tt::TruthTable::projection(2, 0) | tt::TruthTable::projection(2, 1)};
+  const auto r = exact_synthesize(spec);
+  ASSERT_EQ(r.status, ExactStatus::kSolved);
+  EXPECT_EQ(r.gates, 1u);
+  EXPECT_TRUE(cec::sim_check(*r.netlist, spec).all_match);
+}
+
+} // namespace
+} // namespace rcgp::exact

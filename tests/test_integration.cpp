@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "aig/aig_simulate.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "cec/sat_cec.hpp"
+#include "cec/sim_cec.hpp"
+#include "core/flow.hpp"
+#include "exact/exact_rqfp.hpp"
+#include "io/rqfp_writer.hpp"
+#include "io/verilog.hpp"
+#include "rqfp/cost.hpp"
+#include "rqfp/simulate.hpp"
+
+namespace rcgp {
+namespace {
+
+/// End-to-end flow on every small benchmark: the result must be a legal
+/// RQFP netlist, simulation-equivalent and SAT-equivalent to the spec, and
+/// never worse than the initialization baseline.
+class EndToEnd : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EndToEnd, FlowProducesVerifiedImprovedCircuit) {
+  const auto b = benchmarks::get(GetParam());
+  core::FlowOptions opt;
+  opt.evolve.generations = 8000;
+  opt.evolve.seed = 2024;
+  const auto r = core::synthesize(b.spec, opt);
+
+  EXPECT_EQ(r.initial.validate(), "");
+  EXPECT_EQ(r.optimized.validate(), "");
+  EXPECT_TRUE(cec::sim_check(r.initial, b.spec).all_match);
+  EXPECT_TRUE(cec::sim_check(r.optimized, b.spec).all_match);
+  EXPECT_EQ(cec::sat_check(r.optimized, b.spec).verdict,
+            cec::CecVerdict::kEquivalent);
+
+  EXPECT_LE(r.optimized_cost.n_r, r.initial_cost.n_r);
+  EXPECT_LE(r.optimized_cost.n_g, r.initial_cost.n_g);
+  EXPECT_EQ(r.optimized_cost.jjs,
+            24 * r.optimized_cost.n_r + 4 * r.optimized_cost.n_b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table1, EndToEnd,
+    ::testing::Values("full_adder", "4gt10", "c17", "decoder_2_4",
+                      "graycode4", "ham3"));
+
+TEST(Integration, DecoderInitializationMatchesPaperRow) {
+  // Table 1, decoder_2_4 "Initialization": n_r=8, n_d=3, n_g=10.
+  const auto b = benchmarks::get("decoder_2_4");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto r = core::synthesize(b.spec, opt);
+  EXPECT_EQ(r.initial_cost.n_r, 8u);
+  EXPECT_EQ(r.initial_cost.n_d, 3u);
+  EXPECT_EQ(r.initial_cost.n_g, 10u);
+}
+
+TEST(Integration, Gt10InitializationMatchesPaperRow) {
+  // Table 1, 4gt10 "Initialization": n_r=3, n_b=3, JJs=84, n_d=3, n_g=6.
+  const auto b = benchmarks::get("4gt10");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto r = core::synthesize(b.spec, opt);
+  EXPECT_EQ(r.initial_cost.n_r, 3u);
+  EXPECT_EQ(r.initial_cost.n_b, 3u);
+  EXPECT_EQ(r.initial_cost.jjs, 84u);
+  EXPECT_EQ(r.initial_cost.n_d, 3u);
+  EXPECT_EQ(r.initial_cost.n_g, 6u);
+}
+
+TEST(Integration, ExactAndCgpAgreeOnDecoderOptimum) {
+  const auto b = benchmarks::get("decoder_2_4");
+  exact::ExactParams ep;
+  ep.max_gates = 3;
+  ep.time_limit_seconds = 60;
+  const auto ex = exact::exact_synthesize(b.spec, ep);
+  ASSERT_EQ(ex.status, exact::ExactStatus::kSolved);
+
+  core::FlowOptions opt;
+  opt.evolve.generations = 60000;
+  opt.evolve.seed = 7;
+  const auto r = core::synthesize(b.spec, opt);
+  // CGP is near-optimal: within a small factor of the exact optimum, and
+  // both implement the same function.
+  EXPECT_LE(r.optimized_cost.n_r, 2 * ex.gates);
+  EXPECT_EQ(cec::sat_check(*ex.netlist, r.optimized).verdict,
+            cec::CecVerdict::kEquivalent);
+}
+
+TEST(Integration, VerilogToRqfpFlow) {
+  const std::string rtl = R"(
+module fa (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  assign sum = a ^ b ^ cin;
+  assign cout = (a & b) | (a & cin) | (b & cin);
+endmodule
+)";
+  const auto net = io::parse_verilog_string(rtl);
+  core::FlowOptions opt;
+  opt.evolve.generations = 4000;
+  const auto r = core::synthesize(net, opt);
+  EXPECT_EQ(r.optimized.validate(), "");
+  EXPECT_EQ(rqfp::simulate(r.optimized), aig::simulate(net));
+}
+
+TEST(Integration, RqfpFileRoundTripAfterFlow) {
+  const auto b = benchmarks::get("ham3");
+  core::FlowOptions opt;
+  opt.evolve.generations = 2000;
+  const auto r = core::synthesize(b.spec, opt);
+  const auto text = io::write_rqfp_string(r.optimized);
+  const auto back = io::parse_rqfp_string(text);
+  EXPECT_EQ(rqfp::simulate(back), rqfp::simulate(r.optimized));
+  EXPECT_EQ(rqfp::cost_of(back).n_r, r.optimized_cost.n_r);
+}
+
+TEST(Integration, LargeBenchmarkInitializationIsCorrect) {
+  // Table 2-scale circuit through initialization only (CGP budget is the
+  // benches' job; correctness of the big netlist is the test's job).
+  const auto b = benchmarks::get("intdiv6");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const auto r = core::synthesize(b.spec, opt);
+  EXPECT_EQ(r.initial.validate(), "");
+  EXPECT_TRUE(cec::sim_check(r.initial, b.spec).all_match);
+  EXPECT_GT(r.initial_cost.n_r, 20u); // genuinely large
+}
+
+TEST(Integration, LargeBenchmarkShortCgpImproves) {
+  const auto b = benchmarks::get("intdiv4");
+  core::FlowOptions opt;
+  opt.evolve.generations = 3000;
+  opt.evolve.seed = 3;
+  const auto r = core::synthesize(b.spec, opt);
+  EXPECT_TRUE(cec::sim_check(r.optimized, b.spec).all_match);
+  EXPECT_LE(r.optimized_cost.n_r, r.initial_cost.n_r);
+  EXPECT_LE(r.optimized_cost.n_g, r.initial_cost.n_g);
+}
+
+TEST(Integration, GarbageRespectsLowerBound) {
+  for (const char* name : {"full_adder", "4gt10", "mux4"}) {
+    const auto b = benchmarks::get(name);
+    core::FlowOptions opt;
+    opt.evolve.generations = 4000;
+    const auto r = core::synthesize(b.spec, opt);
+    EXPECT_GE(r.optimized_cost.n_g,
+              rqfp::garbage_lower_bound(b.num_pis, b.num_pos))
+        << name;
+  }
+}
+
+TEST(Integration, SeedsAreReproducible) {
+  const auto b = benchmarks::get("decoder_2_4");
+  core::FlowOptions opt;
+  opt.evolve.generations = 3000;
+  opt.evolve.seed = 99;
+  const auto r1 = core::synthesize(b.spec, opt);
+  const auto r2 = core::synthesize(b.spec, opt);
+  EXPECT_EQ(r1.optimized_cost.n_r, r2.optimized_cost.n_r);
+  EXPECT_EQ(r1.optimized_cost.n_g, r2.optimized_cost.n_g);
+  EXPECT_TRUE(r1.optimized == r2.optimized);
+}
+
+} // namespace
+} // namespace rcgp

@@ -1,0 +1,704 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aig/aig_simulate.hpp"
+#include "io/aiger.hpp"
+#include "io/blif.hpp"
+#include "io/pla.hpp"
+#include "io/real.hpp"
+#include "io/rqfp_writer.hpp"
+#include "io/verilog.hpp"
+#include "rqfp/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::io {
+namespace {
+
+aig::Aig random_aig(unsigned num_pis, unsigned num_nodes, unsigned num_pos,
+                    std::uint64_t seed) {
+  util::Rng rng(seed);
+  aig::Aig net;
+  std::vector<aig::Signal> pool{net.const0()};
+  for (unsigned i = 0; i < num_pis; ++i) {
+    pool.push_back(net.create_pi());
+  }
+  for (unsigned i = 0; i < num_nodes; ++i) {
+    const aig::Signal a = pool[rng.below(pool.size())] ^ rng.chance(0.5);
+    const aig::Signal b = pool[rng.below(pool.size())] ^ rng.chance(0.5);
+    pool.push_back(net.create_and(a, b));
+  }
+  for (unsigned i = 0; i < num_pos; ++i) {
+    net.add_po(pool[rng.below(pool.size())] ^ rng.chance(0.5));
+  }
+  return net;
+}
+
+// ---------- BLIF ----------
+
+TEST(Blif, ParseSimpleSop) {
+  const std::string text = R"(
+.model test
+.inputs a b c
+.outputs f
+.names a b w
+11 1
+.names w c f
+1- 1
+-1 1
+.end
+)";
+  const auto net = parse_blif_string(text);
+  EXPECT_EQ(net.num_pis(), 3u);
+  EXPECT_EQ(net.num_pos(), 1u);
+  const auto tts = aig::simulate(net);
+  const auto a = tt::TruthTable::projection(3, 0);
+  const auto b = tt::TruthTable::projection(3, 1);
+  const auto c = tt::TruthTable::projection(3, 2);
+  EXPECT_EQ(tts[0], (a & b) | c);
+}
+
+TEST(Blif, OutOfOrderTables) {
+  const std::string text = R"(
+.model test
+.inputs a b
+.outputs f
+.names w a f
+11 1
+.names a b w
+01 1
+10 1
+.end
+)";
+  const auto net = parse_blif_string(text);
+  const auto tts = aig::simulate(net);
+  const auto a = tt::TruthTable::projection(2, 0);
+  const auto b = tt::TruthTable::projection(2, 1);
+  EXPECT_EQ(tts[0], (a ^ b) & a);
+}
+
+TEST(Blif, ComplementedOutputColumn) {
+  const std::string text = R"(
+.model test
+.inputs a b
+.outputs f
+.names a b f
+11 0
+.end
+)";
+  const auto tts = aig::simulate(parse_blif_string(text));
+  const auto a = tt::TruthTable::projection(2, 0);
+  const auto b = tt::TruthTable::projection(2, 1);
+  EXPECT_EQ(tts[0], ~(a & b));
+}
+
+TEST(Blif, ConstantTables) {
+  const std::string text = R"(
+.model test
+.inputs a
+.outputs one zero
+.names one
+1
+.names zero
+0
+.end
+)";
+  const auto tts = aig::simulate(parse_blif_string(text));
+  EXPECT_TRUE(tts[0].is_constant1());
+  EXPECT_TRUE(tts[1].is_constant0());
+}
+
+TEST(Blif, Malformed) {
+  EXPECT_THROW(parse_blif_string(".model m\n.latch a b\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_blif_string(".model m\n.inputs a\n.outputs f\n.end\n"),
+               std::runtime_error); // undriven output
+  EXPECT_THROW(
+      parse_blif_string(
+          ".model m\n.inputs a\n.outputs f\n.names q f\n1 1\n.end\n"),
+      std::runtime_error); // undefined dependency
+}
+
+class BlifRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BlifRoundTrip, WriteParsePreservesFunction) {
+  const auto net = random_aig(5, 30, 3, GetParam());
+  const auto text = write_blif_string(net);
+  const auto back = parse_blif_string(text);
+  EXPECT_EQ(aig::simulate(net), aig::simulate(back));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BlifRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- AIGER ----------
+
+TEST(Aiger, ParseToyCircuit) {
+  // AND of two inputs.
+  const std::string text = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\ni0 a\ni1 b\no0 f\n";
+  const auto net = parse_aiger_string(text);
+  EXPECT_EQ(net.num_pis(), 2u);
+  EXPECT_EQ(net.pi_name(0), "a");
+  EXPECT_EQ(net.po_name(0), "f");
+  const auto tts = aig::simulate(net);
+  EXPECT_EQ(tts[0], tt::TruthTable::projection(2, 0) &
+                        tt::TruthTable::projection(2, 1));
+}
+
+TEST(Aiger, ComplementedOutput) {
+  const std::string text = "aag 3 2 0 1 1\n2\n4\n7\n6 2 4\n";
+  const auto tts = aig::simulate(parse_aiger_string(text));
+  EXPECT_EQ(tts[0], ~(tt::TruthTable::projection(2, 0) &
+                      tt::TruthTable::projection(2, 1)));
+}
+
+TEST(Aiger, RejectsLatchesAndBadLiterals) {
+  EXPECT_THROW(parse_aiger_string("aag 1 0 1 0 0\n2 3\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_aiger_string("aig 1 1 0 0 0\n2\n"), std::runtime_error);
+  EXPECT_THROW(parse_aiger_string("aag 2 1 0 0 1\n2\n4 6 2\n"),
+               std::runtime_error); // rhs not below lhs
+}
+
+TEST(AigerBinary, RoundTripPreservesFunction) {
+  util::Rng unused(0);
+  for (std::uint64_t seed : {7ull, 21ull, 90ull}) {
+    const auto net = random_aig(6, 50, 4, seed);
+    const auto blob = write_aiger_binary_string(net);
+    std::istringstream in(blob);
+    const auto back = parse_aiger_binary(in);
+    EXPECT_EQ(aig::simulate(back), aig::simulate(net)) << seed;
+    EXPECT_EQ(back.num_pis(), net.num_pis());
+    EXPECT_EQ(back.num_pos(), net.num_pos());
+  }
+}
+
+TEST(AigerBinary, AutoDetectsBothFormats) {
+  const auto net = random_aig(4, 20, 2, 5);
+  {
+    std::istringstream in(write_aiger_binary_string(net));
+    EXPECT_EQ(aig::simulate(parse_aiger_auto(in)), aig::simulate(net));
+  }
+  {
+    std::istringstream in(write_aiger_string(net));
+    EXPECT_EQ(aig::simulate(parse_aiger_auto(in)), aig::simulate(net));
+  }
+}
+
+TEST(AigerBinary, HandlesConstantsAndInverted) {
+  aig::Aig net;
+  const auto a = net.create_pi("a");
+  net.add_po(net.const1(), "one");
+  net.add_po(!a, "na");
+  net.add_po(net.create_and(a, !a), "zero"); // folds to const0
+  const auto blob = write_aiger_binary_string(net);
+  std::istringstream in(blob);
+  const auto back = parse_aiger_binary(in);
+  const auto tts = aig::simulate(back);
+  EXPECT_TRUE(tts[0].is_constant1());
+  EXPECT_EQ(tts[1], ~tt::TruthTable::projection(1, 0));
+  EXPECT_TRUE(tts[2].is_constant0());
+  EXPECT_EQ(back.po_name(0), "one");
+}
+
+TEST(AigerBinary, MalformedInputsThrow) {
+  {
+    std::istringstream in("aig 3 2 0 1 2\n6\n"); // M != I + A
+    EXPECT_THROW(parse_aiger_binary(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("aig 3 2 0 1 1\n6\n"); // truncated deltas
+    EXPECT_THROW(parse_aiger_binary(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("aag 1 1 0 0 0\n2\n");
+    EXPECT_THROW(parse_aiger_binary(in), std::runtime_error); // wrong magic
+  }
+}
+
+class AigerRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AigerRoundTrip, WriteParsePreservesFunction) {
+  const auto net = random_aig(6, 40, 4, GetParam() + 100);
+  const auto text = write_aiger_string(net);
+  const auto back = parse_aiger_string(text);
+  EXPECT_EQ(aig::simulate(net), aig::simulate(back));
+  EXPECT_EQ(back.num_pis(), net.num_pis());
+  EXPECT_EQ(back.num_pos(), net.num_pos());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AigerRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- PLA ----------
+
+TEST(Pla, ParseCubesWithDontCares) {
+  const std::string text = R"(
+.i 3
+.o 2
+.p 2
+1-0 10
+-11 01
+.e
+)";
+  const auto pla = parse_pla_string(text);
+  EXPECT_EQ(pla.num_inputs, 3u);
+  EXPECT_EQ(pla.num_outputs, 2u);
+  const auto a = tt::TruthTable::projection(3, 0);
+  const auto b = tt::TruthTable::projection(3, 1);
+  const auto c = tt::TruthTable::projection(3, 2);
+  EXPECT_EQ(pla.tables[0], a & ~c);
+  EXPECT_EQ(pla.tables[1], b & c);
+}
+
+TEST(Pla, RoundTrip) {
+  util::Rng rng(3);
+  std::vector<tt::TruthTable> tables;
+  for (int i = 0; i < 3; ++i) {
+    tt::TruthTable t(4);
+    t.set_word(0, rng.next());
+    tables.push_back(t);
+  }
+  std::ostringstream out;
+  write_pla(tables, out);
+  const auto back = parse_pla_string(out.str());
+  EXPECT_EQ(back.tables, tables);
+}
+
+TEST(Pla, Malformed) {
+  EXPECT_THROW(parse_pla_string("10 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_pla_string(".i 2\n.o 1\n101 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_pla_string(".i 2\n.o 1\n1x 1\n"), std::runtime_error);
+}
+
+// ---------- RevLib .real ----------
+
+TEST(Real, ToffoliCascade) {
+  // CNOT(a->b); NOT(a): a' = !a, b' = a^b.
+  const std::string text = R"(
+.version 1.0
+.numvars 2
+.variables a b
+.begin
+t2 a b
+t1 a
+.end
+)";
+  const auto circuit = parse_real_string(text);
+  EXPECT_EQ(circuit.num_lines, 2u);
+  EXPECT_EQ(circuit.gates.size(), 2u);
+  const auto tables = circuit.to_tables();
+  const auto a = tt::TruthTable::projection(2, 0);
+  const auto b = tt::TruthTable::projection(2, 1);
+  EXPECT_EQ(tables[0], ~a);
+  EXPECT_EQ(tables[1], a ^ b);
+}
+
+TEST(Real, ToffoliIsReversible) {
+  const std::string text = R"(
+.numvars 3
+.variables a b c
+.begin
+t3 a b c
+.end
+)";
+  const auto circuit = parse_real_string(text);
+  std::vector<bool> seen(8, false);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const auto y = circuit.apply(x);
+    EXPECT_FALSE(seen[y]);
+    seen[y] = true;
+  }
+  // Toffoli is self-inverse.
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(circuit.apply(circuit.apply(x)), x);
+  }
+}
+
+TEST(Real, NegativeControls) {
+  const std::string text = R"(
+.numvars 2
+.variables a b
+.begin
+t2 -a b
+.end
+)";
+  const auto tables = parse_real_string(text).to_tables();
+  const auto a = tt::TruthTable::projection(2, 0);
+  const auto b = tt::TruthTable::projection(2, 1);
+  EXPECT_EQ(tables[1], ~a ^ b);
+}
+
+TEST(Real, FredkinSwapsTargets) {
+  const std::string text = R"(
+.numvars 3
+.variables c x y
+.begin
+f3 c x y
+.end
+)";
+  const auto circuit = parse_real_string(text);
+  // c=1: swap x and y; c=0: identity.
+  EXPECT_EQ(circuit.apply(0b011), 0b101u);
+  EXPECT_EQ(circuit.apply(0b101), 0b011u);
+  EXPECT_EQ(circuit.apply(0b010), 0b010u);
+  EXPECT_EQ(circuit.apply(0b111), 0b111u);
+}
+
+TEST(Real, PeresGate) {
+  const std::string text = R"(
+.numvars 3
+.variables a b c
+.begin
+p3 a b c
+.end
+)";
+  const auto circuit = parse_real_string(text);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    const bool a = x & 1;
+    const bool b = (x >> 1) & 1;
+    const bool c = (x >> 2) & 1;
+    const auto y = circuit.apply(x);
+    EXPECT_EQ(y & 1, static_cast<std::uint64_t>(a));
+    EXPECT_EQ((y >> 1) & 1, static_cast<std::uint64_t>(a ^ b));
+    EXPECT_EQ((y >> 2) & 1, static_cast<std::uint64_t>((a && b) ^ c));
+  }
+}
+
+TEST(Real, ConstantsAndGarbage) {
+  // Line 0 is a constant-0 ancilla; line 1 is garbage at the output.
+  const std::string text = R"(
+.numvars 3
+.variables anc a b
+.constants 0--
+.garbage -1-
+.begin
+t3 a b anc
+.end
+)";
+  const auto circuit = parse_real_string(text);
+  EXPECT_EQ(circuit.num_real_inputs(), 2u);
+  EXPECT_EQ(circuit.num_real_outputs(), 2u);
+  const auto tables = circuit.to_tables();
+  ASSERT_EQ(tables.size(), 2u);
+  // Output 0 is the ancilla line = a&b (Toffoli onto 0); output 1 is b.
+  const auto a = tt::TruthTable::projection(2, 0);
+  const auto b = tt::TruthTable::projection(2, 1);
+  EXPECT_EQ(tables[0], a & b);
+  EXPECT_EQ(tables[1], b);
+}
+
+TEST(Real, WriteParseRoundTrip) {
+  const std::string text = R"(
+.numvars 3
+.variables a b c
+.constants --0
+.garbage 1--
+.begin
+t3 a -b c
+f3 -a b c
+p3 a b c
+q3 a b c
+t1 b
+.end
+)";
+  const auto circuit = parse_real_string(text);
+  const auto back = parse_real_string(write_real_string(circuit));
+  EXPECT_EQ(back.num_lines, circuit.num_lines);
+  EXPECT_EQ(back.gates.size(), circuit.gates.size());
+  EXPECT_EQ(back.constants, circuit.constants);
+  EXPECT_EQ(back.garbage, circuit.garbage);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(back.apply(x), circuit.apply(x)) << x;
+  }
+}
+
+TEST(Real, InversePeresUndoesPeres) {
+  const std::string text = R"(
+.numvars 3
+.variables a b c
+.begin
+p3 a b c
+q3 a b c
+.end
+)";
+  const auto circuit = parse_real_string(text);
+  for (std::uint64_t x = 0; x < 8; ++x) {
+    EXPECT_EQ(circuit.apply(x), x) << x;
+  }
+}
+
+TEST(Real, StructuralAigMatchesTables) {
+  const std::string text = R"(
+.numvars 4
+.variables a b c d
+.constants ---0
+.garbage --1-
+.begin
+t3 a b c
+f3 c a b
+p3 b c d
+t1 a
+t2 -d a
+.end
+)";
+  const auto circuit = parse_real_string(text);
+  const auto net = real_to_aig(circuit);
+  EXPECT_EQ(net.num_pis(), circuit.num_real_inputs());
+  EXPECT_EQ(net.num_pos(), circuit.num_real_outputs());
+  EXPECT_EQ(aig::simulate(net), circuit.to_tables());
+}
+
+TEST(Real, StructuralAigScalesWithoutTabulation) {
+  // A wide shift-register-like cascade: 40 lines, far beyond exhaustive
+  // tabulation, converts structurally in negligible time.
+  std::string text = ".numvars 40\n.variables";
+  for (int i = 0; i < 40; ++i) {
+    text += " l" + std::to_string(i);
+  }
+  text += "\n.begin\n";
+  for (int i = 0; i + 1 < 40; ++i) {
+    text += "t2 l" + std::to_string(i) + " l" + std::to_string(i + 1) + "\n";
+  }
+  text += ".end\n";
+  const auto circuit = parse_real_string(text);
+  const auto net = real_to_aig(circuit);
+  EXPECT_EQ(net.num_pis(), 40u);
+  EXPECT_EQ(net.num_pos(), 40u);
+  EXPECT_GT(net.count_live_ands(), 0u);
+  EXPECT_THROW(circuit.to_tables(), std::runtime_error);
+}
+
+TEST(Real, Malformed) {
+  EXPECT_THROW(parse_real_string(".numvars 2\n.variables a\n.begin\n.end\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      parse_real_string(
+          ".numvars 1\n.variables a\n.begin\nt1 q\n.end\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_real_string(".numvars 1\n.variables a\nt1 a\n.end\n"),
+      std::runtime_error); // gate before .begin
+}
+
+// ---------- Verilog ----------
+
+TEST(Verilog, AssignExpressions) {
+  const std::string text = R"(
+// full adder from expressions
+module fa (a, b, cin, sum, cout);
+  input a, b, cin;
+  output sum, cout;
+  wire t;
+  assign t = a ^ b;
+  assign sum = t ^ cin;
+  assign cout = (a & b) | (t & cin);
+endmodule
+)";
+  const auto net = parse_verilog_string(text);
+  const auto tts = aig::simulate(net);
+  const auto a = tt::TruthTable::projection(3, 0);
+  const auto b = tt::TruthTable::projection(3, 1);
+  const auto c = tt::TruthTable::projection(3, 2);
+  EXPECT_EQ(tts[0], a ^ b ^ c);
+  EXPECT_EQ(tts[1], tt::TruthTable::majority(a, b, c));
+}
+
+TEST(Verilog, GatePrimitivesAndTernary) {
+  const std::string text = R"(
+module m (a, b, s, y, z);
+  input a, b, s;
+  output y, z;
+  wire n;
+  nand g1 (n, a, b);
+  assign y = s ? a : b;
+  assign z = ~n;
+endmodule
+)";
+  const auto tts = aig::simulate(parse_verilog_string(text));
+  const auto a = tt::TruthTable::projection(3, 0);
+  const auto b = tt::TruthTable::projection(3, 1);
+  const auto s = tt::TruthTable::projection(3, 2);
+  EXPECT_EQ(tts[0], tt::TruthTable::ite(s, a, b));
+  EXPECT_EQ(tts[1], a & b);
+}
+
+TEST(Verilog, OutOfOrderAssignsAndConstants) {
+  const std::string text = R"(
+module m (a, y);
+  input a;
+  output y;
+  wire w;
+  assign y = w | 1'b0;
+  assign w = a & 1'b1;
+endmodule
+)";
+  const auto tts = aig::simulate(parse_verilog_string(text));
+  EXPECT_EQ(tts[0], tt::TruthTable::projection(1, 0));
+}
+
+TEST(Verilog, OperatorPrecedence) {
+  // ~a & b | c ^ d  ==  ((~a) & b) | (c ^ d)
+  const std::string text = R"(
+module m (a, b, c, d, y);
+  input a, b, c, d;
+  output y;
+  assign y = ~a & b | c ^ d;
+endmodule
+)";
+  const auto tts = aig::simulate(parse_verilog_string(text));
+  const auto a = tt::TruthTable::projection(4, 0);
+  const auto b = tt::TruthTable::projection(4, 1);
+  const auto c = tt::TruthTable::projection(4, 2);
+  const auto d = tt::TruthTable::projection(4, 3);
+  EXPECT_EQ(tts[0], (~a & b) | (c ^ d));
+}
+
+TEST(Verilog, Malformed) {
+  EXPECT_THROW(parse_verilog_string("module m (a); input a;\n"),
+               std::runtime_error); // missing endmodule
+  EXPECT_THROW(
+      parse_verilog_string(
+          "module m (y); output y; assign y = q; endmodule\n"),
+      std::runtime_error); // undefined name
+  EXPECT_THROW(
+      parse_verilog_string(
+          "module m (y); output y; always @(posedge c) x; endmodule\n"),
+      std::runtime_error); // unsupported construct
+}
+
+class VerilogRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerilogRoundTrip, WriteParsePreservesFunction) {
+  const auto net = random_aig(5, 25, 3, GetParam() + 50);
+  const auto text = write_verilog_string(net);
+  const auto back = parse_verilog_string(text);
+  EXPECT_EQ(aig::simulate(net), aig::simulate(back));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerilogRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- RQFP text format ----------
+
+TEST(RqfpFormat, RoundTrip) {
+  rqfp::Netlist net(2);
+  net.set_pi_names({"a", "b"});
+  const auto g0 =
+      net.add_gate({1, 2, rqfp::kConstPort}, rqfp::InvConfig::from_rows(5, 6, 4));
+  const auto g1 = net.add_gate({0, net.port_of(g0, 2), 0},
+                               rqfp::InvConfig::splitter());
+  net.add_po(net.port_of(g1, 0), "f");
+  const auto text = write_rqfp_string(net);
+  const auto back = parse_rqfp_string(text);
+  EXPECT_EQ(back.num_pis(), 2u);
+  EXPECT_EQ(back.num_gates(), 2u);
+  EXPECT_EQ(back.po_name(0), "f");
+  EXPECT_EQ(rqfp::simulate(back), rqfp::simulate(net));
+  EXPECT_EQ(back.gate(0).config, net.gate(0).config);
+}
+
+TEST(RqfpFormat, MalformedInput) {
+  EXPECT_THROW(parse_rqfp_string("gate 0 0 0 000-000-000\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_rqfp_string(".rqfp 1\ngate 0 0 0 000-000-000\n"),
+               std::runtime_error); // gate before .pis
+  EXPECT_THROW(parse_rqfp_string(".rqfp 1\n.pis 1\nbogus\n"),
+               std::runtime_error);
+}
+
+// ---------- parser robustness fuzzing ----------
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, MutatedInputsNeverCrashOnlyThrow) {
+  // Take valid source texts, randomly corrupt bytes, and require every
+  // parser to either succeed or throw a std:: exception — never crash or
+  // hang.
+  util::Rng rng(GetParam());
+  const std::string valid_rqfp =
+      ".rqfp 1\n.pis 2 a b\n.pos 1\ngate 1 2 0 101-100-000\npo 5 f\n.end\n";
+  const std::string valid_blif =
+      ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n.end\n";
+  const std::string valid_verilog =
+      "module m (a, b, f); input a, b; output f; assign f = a & b; "
+      "endmodule\n";
+  const std::string valid_aiger = "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n";
+  const std::string valid_real =
+      ".numvars 2\n.variables a b\n.begin\nt2 a b\n.end\n";
+  const std::string valid_pla = ".i 2\n.o 1\n11 1\n.e\n";
+
+  auto corrupt = [&](std::string s) {
+    const int edits = 1 + static_cast<int>(rng.below(6));
+    for (int e = 0; e < edits && !s.empty(); ++e) {
+      const std::size_t pos = rng.below(s.size());
+      switch (rng.below(3)) {
+        case 0: s[pos] = static_cast<char>(32 + rng.below(95)); break;
+        case 1: s.erase(pos, 1); break;
+        default: s.insert(pos, 1, static_cast<char>(32 + rng.below(95)));
+      }
+    }
+    return s;
+  };
+
+  for (int round = 0; round < 60; ++round) {
+    try {
+      (void)io::parse_rqfp_string(corrupt(valid_rqfp));
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)io::parse_blif_string(corrupt(valid_blif));
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)io::parse_verilog_string(corrupt(valid_verilog));
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)io::parse_aiger_string(corrupt(valid_aiger));
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)io::parse_real_string(corrupt(valid_real));
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)io::parse_pla_string(corrupt(valid_pla));
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(RqfpFormat, StructuralVerilogListsEveryGate) {
+  rqfp::Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, rqfp::kConstPort},
+                               rqfp::InvConfig::from_rows(5, 6, 4));
+  const auto g1 = net.add_gate({0, net.port_of(g0, 2), 0},
+                               rqfp::InvConfig::splitter());
+  net.add_po(net.port_of(g1, 0), "f");
+  const auto v = write_structural_verilog_string(net, "top");
+  EXPECT_NE(v.find("module rqfp_gate"), std::string::npos);
+  EXPECT_NE(v.find("module top"), std::string::npos);
+  EXPECT_NE(v.find("g0 (.a(x0), .b(x1), .c(const1)"), std::string::npos);
+  EXPECT_NE(v.find("g1 "), std::string::npos);
+  EXPECT_NE(v.find("assign f = "), std::string::npos);
+  // CONFIG for the splitter: rows 100-100-100 -> bits 100100100.
+  EXPECT_NE(v.find("9'b100100100"), std::string::npos);
+}
+
+TEST(RqfpFormat, DotExportMentionsAllGates) {
+  rqfp::Netlist net(1);
+  const auto g0 = net.add_gate({0, 1, 0}, rqfp::InvConfig::splitter());
+  net.add_po(net.port_of(g0, 0), "f");
+  const auto dot = write_dot_string(net);
+  EXPECT_NE(dot.find("g0"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("po0"), std::string::npos);
+}
+
+} // namespace
+} // namespace rcgp::io

@@ -1,0 +1,187 @@
+// Cross-module property sweeps: randomized end-to-end invariants that tie
+// the substrates together (truth tables <-> BDD <-> SAT <-> netlists).
+
+#include <gtest/gtest.h>
+
+#include "aig/aig_simulate.hpp"
+#include "bdd/bdd.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "cec/bdd_cec.hpp"
+#include "cec/sat_cec.hpp"
+#include "cec/sim_cec.hpp"
+#include "core/flow.hpp"
+#include "core/mutation.hpp"
+#include "core/shrink.hpp"
+#include "io/aiger.hpp"
+#include "io/blif.hpp"
+#include "io/verilog.hpp"
+#include "rqfp/simulate.hpp"
+#include "sat/cnf.hpp"
+#include "tt/isop.hpp"
+#include "tt/npn.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp {
+namespace {
+
+tt::TruthTable random_table(unsigned vars, util::Rng& rng) {
+  tt::TruthTable t(vars);
+  for (std::size_t w = 0; w < t.num_words(); ++w) {
+    t.set_word(w, rng.next());
+  }
+  return t;
+}
+
+class CrossEngine : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CrossEngine, TruthTableBddSatAgreeOnRandomFunctions) {
+  util::Rng rng(GetParam());
+  const unsigned nv = 3 + static_cast<unsigned>(rng.below(3)); // 3..5
+  const auto f = random_table(nv, rng);
+
+  // BDD round trip.
+  bdd::Manager manager(nv);
+  const auto node = manager.from_truth_table(f);
+  EXPECT_EQ(manager.to_truth_table(node), f);
+  EXPECT_EQ(manager.count_sat(node), f.count_ones());
+
+  // SAT: the ISOP encoding of f must be satisfiable exactly on the onset.
+  sat::Solver solver;
+  sat::CnfBuilder builder(solver);
+  std::vector<sat::Lit> pis;
+  for (unsigned i = 0; i < nv; ++i) {
+    pis.push_back(builder.new_lit());
+  }
+  const auto lit = cec::encode_table(builder, f, pis);
+  for (std::uint64_t x = 0; x < f.num_bits(); ++x) {
+    std::vector<sat::Lit> assume;
+    for (unsigned i = 0; i < nv; ++i) {
+      assume.push_back((x >> i) & 1 ? pis[i] : ~pis[i]);
+    }
+    ASSERT_EQ(solver.solve(assume), sat::SolveResult::kSat);
+    EXPECT_EQ(solver.model_value(lit), f.bit(x)) << "x=" << x;
+  }
+}
+
+TEST_P(CrossEngine, FactoredAigMatchesIsopCover) {
+  util::Rng rng(GetParam() + 77);
+  const unsigned nv = 2 + static_cast<unsigned>(rng.below(4)); // 2..5
+  const auto f = random_table(nv, rng);
+  const auto cubes = tt::isop(f);
+  EXPECT_EQ(tt::cover_to_table(cubes, nv), f);
+  const auto net = core::aig_from_tables(std::vector<tt::TruthTable>{f});
+  EXPECT_EQ(aig::simulate(net)[0], f);
+}
+
+TEST_P(CrossEngine, NpnClassInvariantUnderRandomWalk) {
+  util::Rng rng(GetParam() + 271);
+  tt::TruthTable f(4);
+  f.set_word(0, rng.next());
+  const auto canon = tt::npn_canonize(f).canon;
+  tt::TruthTable g = f;
+  // Random sequence of flips/swaps/complement keeps the NPN class.
+  for (int step = 0; step < 12; ++step) {
+    switch (rng.below(3)) {
+      case 0: g = g.flip_var(static_cast<unsigned>(rng.below(4))); break;
+      case 1:
+        g = g.swap_vars(static_cast<unsigned>(rng.below(4)),
+                        static_cast<unsigned>(rng.below(4)));
+        break;
+      default: g = ~g; break;
+    }
+  }
+  EXPECT_EQ(tt::npn_canonize(g).canon, canon);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossEngine,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+class SynthesisSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SynthesisSoundness, RandomSpecsSurviveTheWholeFlow) {
+  // Random multi-output specifications through the complete pipeline with
+  // all three equivalence engines agreeing at the end.
+  util::Rng rng(GetParam() * 7919);
+  const unsigned nv = 3 + static_cast<unsigned>(rng.below(2)); // 3..4
+  const unsigned outs = 1 + static_cast<unsigned>(rng.below(3));
+  std::vector<tt::TruthTable> spec;
+  for (unsigned o = 0; o < outs; ++o) {
+    spec.push_back(random_table(nv, rng));
+  }
+  core::FlowOptions opt;
+  opt.evolve.generations = 1500;
+  opt.evolve.seed = GetParam();
+  const auto r = core::synthesize(spec, opt);
+  ASSERT_EQ(r.optimized.validate(), "");
+  EXPECT_TRUE(cec::sim_check(r.optimized, spec).all_match);
+  EXPECT_EQ(cec::sat_check(r.optimized, spec).verdict,
+            cec::CecVerdict::kEquivalent);
+  EXPECT_TRUE(cec::bdd_check(r.optimized, spec).equivalent);
+}
+
+TEST_P(SynthesisSoundness, MutationWalkKeepsLegalityForever) {
+  // Long mutation random walk: the single fan-out invariant and the
+  // feed-forward property must hold after every step, and shrink must
+  // never change PO functions.
+  util::Rng rng(GetParam() * 104729);
+  const auto b = benchmarks::get("graycode4");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  auto net = core::synthesize(b.spec, opt).initial;
+  for (int step = 0; step < 120; ++step) {
+    core::mutate(net, rng, {});
+    ASSERT_EQ(net.validate(), "") << "step " << step;
+    const auto before = rqfp::simulate(net);
+    const auto small = core::shrink(net);
+    ASSERT_EQ(rqfp::simulate(small), before) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesisSoundness,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class FormatBridges : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FormatBridges, VerilogBlifAigerAllDescribeTheSameCircuit) {
+  util::Rng rng(GetParam() + 31);
+  // Random AIG -> each format -> parse back: all four networks equal.
+  aig::Aig net;
+  std::vector<aig::Signal> pool{net.const0()};
+  for (int i = 0; i < 5; ++i) {
+    pool.push_back(net.create_pi());
+  }
+  for (int i = 0; i < 25; ++i) {
+    const auto a = pool[rng.below(pool.size())] ^ rng.chance(0.5);
+    const auto b = pool[rng.below(pool.size())] ^ rng.chance(0.5);
+    pool.push_back(net.create_and(a, b));
+  }
+  for (int i = 0; i < 3; ++i) {
+    net.add_po(pool[rng.below(pool.size())] ^ rng.chance(0.5));
+  }
+  const auto reference = aig::simulate(net);
+  EXPECT_EQ(aig::simulate(io::parse_verilog_string(
+                io::write_verilog_string(net))),
+            reference);
+  EXPECT_EQ(aig::simulate(io::parse_blif_string(io::write_blif_string(net))),
+            reference);
+  EXPECT_EQ(
+      aig::simulate(io::parse_aiger_string(io::write_aiger_string(net))),
+      reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FormatBridges,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Determinism, WholeFlowIsBitReproducible) {
+  const auto b = benchmarks::get("c17");
+  core::FlowOptions opt;
+  opt.evolve.generations = 4000;
+  opt.evolve.seed = 12345;
+  const auto r1 = core::synthesize(b.spec, opt);
+  const auto r2 = core::synthesize(b.spec, opt);
+  EXPECT_TRUE(r1.optimized == r2.optimized);
+  EXPECT_TRUE(r1.initial == r2.initial);
+}
+
+} // namespace
+} // namespace rcgp

@@ -1,0 +1,664 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "aig/aig_simulate.hpp"
+#include "benchmarks/benchmarks.hpp"
+#include "core/flow.hpp"
+#include "mig/mig_from_aig.hpp"
+#include "rqfp/buffer.hpp"
+#include "rqfp/catalog.hpp"
+#include "rqfp/cost.hpp"
+#include "rqfp/reversibility.hpp"
+#include "rqfp/gate.hpp"
+#include "rqfp/map_from_mig.hpp"
+#include "rqfp/netlist.hpp"
+#include "rqfp/simulate.hpp"
+#include "rqfp/splitter.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::rqfp {
+namespace {
+
+TEST(InvConfig, BitLayoutAndRows) {
+  const auto cfg = InvConfig::from_rows(0b001, 0b010, 0b100);
+  EXPECT_TRUE(cfg.inverts(0, 0));
+  EXPECT_FALSE(cfg.inverts(0, 1));
+  EXPECT_TRUE(cfg.inverts(1, 1));
+  EXPECT_TRUE(cfg.inverts(2, 2));
+  EXPECT_EQ(cfg.row(0), 0b001u);
+  EXPECT_EQ(cfg.row(1), 0b010u);
+  EXPECT_EQ(cfg.row(2), 0b100u);
+  EXPECT_EQ(cfg, InvConfig::reversible());
+}
+
+TEST(InvConfig, StringRoundTrip) {
+  const auto cfg = InvConfig::from_rows(0b101, 0b100, 0b000);
+  const std::string s = cfg.to_string();
+  EXPECT_EQ(s.size(), 11u);
+  EXPECT_EQ(InvConfig::parse(s), cfg);
+  EXPECT_THROW(InvConfig::parse("101-1000-00"), std::invalid_argument);
+  EXPECT_THROW(InvConfig::parse("101x100x000"), std::invalid_argument);
+}
+
+TEST(InvConfig, WithFlipTogglesOneSlot) {
+  InvConfig cfg;
+  for (unsigned slot = 0; slot < 9; ++slot) {
+    const auto flipped = cfg.with_flip(slot);
+    EXPECT_TRUE(flipped.inverts(slot / 3, slot % 3));
+    EXPECT_EQ(flipped.with_flip(slot), cfg);
+  }
+}
+
+TEST(Gate, NormalReversibleGateIsBijective) {
+  // The normal RQFP gate R(a,b,c) = {M(!a,b,c), M(a,!b,c), M(a,b,!c)}
+  // must be a bijection on 3 bits (paper §2.1).
+  const auto cfg = InvConfig::reversible();
+  std::vector<bool> seen(8, false);
+  for (unsigned x = 0; x < 8; ++x) {
+    const auto out = eval_gate_words(cfg, (x & 1) ? ~0ull : 0,
+                                     (x & 2) ? ~0ull : 0, (x & 4) ? ~0ull : 0);
+    const unsigned y = (out[0] & 1) | ((out[1] & 1) << 1) |
+                       ((out[2] & 1) << 2);
+    EXPECT_FALSE(seen[y]) << "collision at input " << x;
+    seen[y] = true;
+  }
+}
+
+TEST(Gate, SplitterCopiesItsMiddleInput) {
+  // R(1, a, 0) = {a, a, a} with the splitter configuration.
+  const auto cfg = InvConfig::splitter();
+  for (const std::uint64_t a : {0ull, ~0ull}) {
+    const auto out = eval_gate_words(cfg, ~0ull, a, ~0ull);
+    for (unsigned k = 0; k < 3; ++k) {
+      EXPECT_EQ(out[k], a);
+    }
+  }
+}
+
+TEST(Gate, AndRealizationFromPaper) {
+  // R(a, b, 1) with the normal configuration: output 2 = M(a,b,0) = a&b,
+  // output 0 = !a|b, output 1 = a|!b (paper §3.1 example).
+  const auto cfg = InvConfig::reversible();
+  for (unsigned x = 0; x < 4; ++x) {
+    const std::uint64_t a = (x & 1) ? ~0ull : 0;
+    const std::uint64_t b = (x & 2) ? ~0ull : 0;
+    const auto out = eval_gate_words(cfg, a, b, ~0ull);
+    EXPECT_EQ(out[2] & 1, (a & b) & 1);
+    EXPECT_EQ(out[0] & 1, (~a | b) & 1);
+    EXPECT_EQ(out[1] & 1, (a | ~b) & 1);
+  }
+}
+
+TEST(Gate, TablesMatchWords) {
+  util::Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    const InvConfig cfg(static_cast<std::uint16_t>(rng.below(512)));
+    const auto ta = tt::TruthTable::projection(3, 0);
+    const auto tb = tt::TruthTable::projection(3, 1);
+    const auto tc = tt::TruthTable::projection(3, 2);
+    const auto tables = eval_gate_tables(cfg, ta, tb, tc);
+    for (unsigned x = 0; x < 8; ++x) {
+      const auto words = eval_gate_words(cfg, (x & 1) ? ~0ull : 0,
+                                         (x & 2) ? ~0ull : 0,
+                                         (x & 4) ? ~0ull : 0);
+      for (unsigned k = 0; k < 3; ++k) {
+        EXPECT_EQ(tables[k].bit(x), (words[k] & 1) != 0);
+      }
+    }
+  }
+}
+
+TEST(Gate, AllConfigsRealizeDistinctTriples) {
+  // 512 configurations; each majority has 2^3 phase choices and the output
+  // triple is determined by rows, so all 512 triples must be distinct.
+  std::set<std::string> seen;
+  const auto ta = tt::TruthTable::projection(3, 0);
+  const auto tb = tt::TruthTable::projection(3, 1);
+  const auto tc = tt::TruthTable::projection(3, 2);
+  for (unsigned bits = 0; bits < 512; ++bits) {
+    const auto out = eval_gate_tables(InvConfig(bits), ta, tb, tc);
+    seen.insert(out[0].to_hex() + out[1].to_hex() + out[2].to_hex());
+  }
+  EXPECT_EQ(seen.size(), 512u);
+}
+
+// ---------- Netlist ----------
+
+Netlist single_and_netlist() {
+  // R(a, b, 1) with function on output 2.
+  Netlist net(2);
+  const auto g = net.add_gate({1, 2, kConstPort},
+                              InvConfig::from_rows(5, 6, 4));
+  net.add_po(net.port_of(g, 2), "and");
+  return net;
+}
+
+TEST(Netlist, PortArithmetic) {
+  Netlist net(3);
+  EXPECT_TRUE(net.is_const_port(0));
+  EXPECT_TRUE(net.is_pi_port(2));
+  EXPECT_FALSE(net.is_pi_port(0));
+  EXPECT_FALSE(net.is_pi_port(4));
+  EXPECT_EQ(net.first_free_port(), 4u);
+  const auto g0 = net.add_gate({1, 2, 3}, InvConfig::reversible());
+  EXPECT_EQ(net.port_of(g0, 0), 4u);
+  EXPECT_EQ(net.port_of(g0, 2), 6u);
+  EXPECT_EQ(net.gate_of_port(5), g0);
+  EXPECT_EQ(net.slot_of_port(5), 1u);
+  EXPECT_EQ(net.pi_of_port(2), 1u);
+}
+
+TEST(Netlist, ForwardReferenceRejected) {
+  Netlist net(2);
+  EXPECT_THROW(net.add_gate({1, 2, 3}, InvConfig()), std::invalid_argument);
+  EXPECT_THROW(net.add_po(3), std::invalid_argument);
+}
+
+TEST(Netlist, ValidateDetectsFanoutViolation) {
+  Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, InvConfig::reversible());
+  net.add_gate({net.port_of(g0, 2), 1, 0}, InvConfig::reversible());
+  // PI port 1 is consumed twice.
+  EXPECT_NE(net.validate(), "");
+}
+
+TEST(Netlist, ValidateAcceptsLegalNetlist) {
+  EXPECT_EQ(single_and_netlist().validate(), "");
+}
+
+TEST(Netlist, ConstPortHasUnlimitedFanout) {
+  Netlist net(1);
+  net.add_gate({0, 1, 0}, InvConfig::splitter());
+  net.add_gate({0, net.port_of(0, 0), 0}, InvConfig::splitter());
+  EXPECT_EQ(net.validate(), "");
+}
+
+TEST(Netlist, GarbageCounting) {
+  const auto net = single_and_netlist();
+  // Outputs 0 and 1 are unconsumed.
+  EXPECT_EQ(net.count_garbage_outputs(), 2u);
+}
+
+TEST(Netlist, LevelsAndDepth) {
+  Netlist net(1);
+  const auto s1 = net.add_gate({0, 1, 0}, InvConfig::splitter());
+  const auto s2 =
+      net.add_gate({0, net.port_of(s1, 0), 0}, InvConfig::splitter());
+  net.add_po(net.port_of(s2, 1));
+  const auto levels = net.gate_levels();
+  EXPECT_EQ(levels[s1], 1u);
+  EXPECT_EQ(levels[s2], 2u);
+  EXPECT_EQ(net.depth(), 2u);
+}
+
+TEST(Netlist, RemoveDeadGates) {
+  Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, InvConfig::reversible());
+  net.add_gate({0, 0, 0}, InvConfig());      // dead
+  const auto g2 = net.add_gate({net.port_of(g0, 2), 0, 0},
+                               InvConfig::splitter());
+  net.add_po(net.port_of(g2, 0), "out");
+  const auto before = simulate(net);
+  const Netlist clean = net.remove_dead_gates();
+  EXPECT_EQ(clean.num_gates(), 2u);
+  EXPECT_EQ(simulate(clean), before);
+  EXPECT_EQ(clean.po_name(0), "out");
+}
+
+TEST(Simulate, AndNetlist) {
+  const auto net = single_and_netlist();
+  const auto tts = simulate(net);
+  EXPECT_EQ(tts[0], tt::TruthTable::projection(2, 0) &
+                        tt::TruthTable::projection(2, 1));
+}
+
+TEST(Simulate, EvaluateSingleAssignments) {
+  const auto net = single_and_netlist();
+  EXPECT_FALSE(evaluate(net, 0b00)[0]);
+  EXPECT_FALSE(evaluate(net, 0b01)[0]);
+  EXPECT_FALSE(evaluate(net, 0b10)[0]);
+  EXPECT_TRUE(evaluate(net, 0b11)[0]);
+}
+
+TEST(Simulate, LiveMatchesFull) {
+  Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, InvConfig::reversible());
+  net.add_gate({0, 0, 0}, InvConfig()); // dead gate
+  net.add_po(net.port_of(g0, 2));
+  EXPECT_EQ(simulate(net), simulate_live(net));
+}
+
+TEST(Simulate, PatternsMatchTables) {
+  const auto net = single_and_netlist();
+  std::vector<std::vector<std::uint64_t>> patterns(2);
+  patterns[0] = {tt::TruthTable::projection(2, 0).word(0)};
+  patterns[1] = {tt::TruthTable::projection(2, 1).word(0)};
+  const auto out = simulate_patterns(net, patterns);
+  const auto tts = simulate(net);
+  EXPECT_EQ(out[0][0] & 0xF, tts[0].word(0));
+}
+
+class RandomNetlistProperty : public ::testing::TestWithParam<std::uint64_t> {
+protected:
+  Netlist random_netlist(std::uint64_t seed) {
+    util::Rng rng(seed);
+    const unsigned num_pis = 2 + static_cast<unsigned>(rng.below(4));
+    Netlist net(num_pis);
+    std::vector<Port> avail;
+    for (Port p = 1; p <= num_pis; ++p) {
+      avail.push_back(p);
+    }
+    const unsigned gates = 3 + static_cast<unsigned>(rng.below(10));
+    for (unsigned g = 0; g < gates; ++g) {
+      std::array<Port, 3> in{};
+      for (auto& p : in) {
+        const auto pick = rng.below(avail.size() + 1);
+        p = pick == avail.size() ? kConstPort : avail[pick];
+      }
+      const auto id = net.add_gate(
+          in, InvConfig(static_cast<std::uint16_t>(rng.below(512))));
+      for (unsigned k = 0; k < 3; ++k) {
+        avail.push_back(net.port_of(id, k));
+      }
+    }
+    const unsigned pos = 1 + static_cast<unsigned>(rng.below(3));
+    for (unsigned o = 0; o < pos; ++o) {
+      net.add_po(avail[rng.below(avail.size())]);
+    }
+    return net;
+  }
+};
+
+TEST_P(RandomNetlistProperty, SimulateEvaluatePatternsAgree) {
+  const Netlist net = random_netlist(GetParam());
+  const auto tables = simulate(net);
+  // Single-assignment evaluation agrees with the tables on every input.
+  for (std::uint64_t x = 0; x < (std::uint64_t{1} << net.num_pis()); ++x) {
+    const auto bits = evaluate(net, x);
+    for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
+      ASSERT_EQ(bits[o], tables[o].bit(x)) << "x=" << x << " o=" << o;
+    }
+  }
+  // Word-parallel patterns agree with the tables on projections.
+  std::vector<std::vector<std::uint64_t>> patterns(net.num_pis());
+  for (unsigned i = 0; i < net.num_pis(); ++i) {
+    patterns[i] = {tt::TruthTable::projection(6, i).word(0)};
+  }
+  const auto words = simulate_patterns(net, patterns);
+  const std::uint64_t mask =
+      (std::uint64_t{1} << (std::uint64_t{1} << net.num_pis())) - 1;
+  for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
+    std::uint64_t expect = 0;
+    for (std::uint64_t x = 0; x < tables[o].num_bits(); ++x) {
+      // Projection patterns repeat the exhaustive table cyclically.
+      if (tables[o].bit(x)) {
+        expect |= std::uint64_t{1} << x;
+      }
+    }
+    EXPECT_EQ(words[o][0] & mask, expect) << "o=" << o;
+  }
+}
+
+TEST_P(RandomNetlistProperty, DeadGateRemovalPreservesOutputs) {
+  const Netlist net = random_netlist(GetParam() + 500);
+  const auto before = simulate(net);
+  const Netlist live = net.remove_dead_gates();
+  EXPECT_EQ(simulate(live), before);
+  EXPECT_LE(live.num_gates(), net.num_gates());
+  EXPECT_EQ(live.live_gates(),
+            std::vector<bool>(live.num_gates(), true));
+}
+
+TEST_P(RandomNetlistProperty, SplitterLegalizationPreservesOutputs) {
+  const Netlist net = random_netlist(GetParam() + 900);
+  const auto before = simulate(net);
+  const Netlist legal = insert_splitters(net);
+  EXPECT_EQ(legal.validate(), "");
+  EXPECT_EQ(simulate(legal), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNetlistProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12));
+
+// ---------- splitters ----------
+
+TEST(Splitter, LegalizesMultiFanout) {
+  Netlist raw(1);
+  const auto g0 = raw.add_gate({0, 1, 0}, InvConfig::splitter());
+  // Consume the same port 4 times (illegal).
+  const Port p = raw.port_of(g0, 0);
+  const auto g1 = raw.add_gate({p, p, 0}, InvConfig::triple(0));
+  raw.add_po(raw.port_of(g1, 2));
+  raw.add_po(p);
+  raw.add_po(p);
+  EXPECT_NE(raw.validate(), "");
+  SplitterStats stats;
+  const Netlist legal = insert_splitters(raw, &stats);
+  EXPECT_EQ(legal.validate(), "");
+  EXPECT_GT(stats.splitters_added, 0u);
+  EXPECT_EQ(simulate(legal), simulate(raw));
+}
+
+TEST(Splitter, NoChangesWhenAlreadyLegal) {
+  const auto net = single_and_netlist();
+  SplitterStats stats;
+  const Netlist out = insert_splitters(net, &stats);
+  EXPECT_EQ(stats.splitters_added, 0u);
+  EXPECT_EQ(out.num_gates(), net.num_gates());
+}
+
+TEST(Splitter, PiFanoutFourNeedsTwoSplitters) {
+  // Matches the decoder analysis: fan-out 4 from one PI costs 2 splitters
+  // (1 -> 3 -> 5 copies) with one leftover copy.
+  Netlist raw(1);
+  std::vector<std::uint32_t> gates;
+  for (int i = 0; i < 4; ++i) {
+    gates.push_back(raw.add_gate({1, 0, 0}, InvConfig::triple(0)));
+  }
+  for (const auto g : gates) {
+    raw.add_po(raw.port_of(g, 2));
+  }
+  SplitterStats stats;
+  const Netlist legal = insert_splitters(raw, &stats);
+  EXPECT_EQ(legal.validate(), "");
+  EXPECT_EQ(stats.splitters_added, 2u);
+  EXPECT_EQ(stats.max_fanout_before, 4u);
+}
+
+// ---------- buffers & cost ----------
+
+TEST(Buffer, AlignedInputsNeedNoBuffers) {
+  const auto net = single_and_netlist();
+  EXPECT_EQ(count_buffers(net), 0u);
+}
+
+TEST(Buffer, UnbalancedPathsGetBuffers) {
+  Netlist net(2);
+  const auto s1 = net.add_gate({0, 1, 0}, InvConfig::splitter()); // level 1
+  // Gate at level 2 whose second input is a PI (level 0): 1 buffer.
+  const auto g = net.add_gate({net.port_of(s1, 0), 2, 0},
+                              InvConfig::triple(0));
+  net.add_po(net.port_of(g, 2));
+  const BufferPlan plan = plan_buffers(net);
+  EXPECT_EQ(plan.total, 1u);
+  EXPECT_EQ(plan.gate_edges[g][1], 1u);
+}
+
+TEST(Buffer, PoAlignment) {
+  Netlist net(2);
+  const auto g1 = net.add_gate({1, 0, 0}, InvConfig::triple(0)); // level 1
+  const auto g2 = net.add_gate({net.port_of(g1, 0), 2, 0},
+                               InvConfig::triple(0)); // level 2
+  net.add_po(net.port_of(g1, 1)); // level 1: needs 1 buffer to align
+  net.add_po(net.port_of(g2, 2)); // level 2
+  const BufferPlan plan = plan_buffers(net);
+  EXPECT_EQ(plan.depth, 2u);
+  EXPECT_EQ(plan.po_edges[0], 1u);
+  EXPECT_EQ(plan.po_edges[1], 0u);
+  // The second gate's PI input also needs one buffer (level 0 -> stage 1).
+  EXPECT_EQ(plan.total, 2u);
+}
+
+TEST(Buffer, SchedulesAreConsistentAndBestIsCheapest) {
+  util::Rng rng(9);
+  for (int round = 0; round < 10; ++round) {
+    // Random layered netlist built by hand.
+    Netlist net(3);
+    std::vector<Port> avail{1, 2, 3};
+    for (int g = 0; g < 6; ++g) {
+      std::array<Port, 3> in{};
+      for (auto& p : in) {
+        p = rng.chance(0.3) ? kConstPort
+                            : avail[rng.below(avail.size())];
+      }
+      const auto id = net.add_gate(
+          in, InvConfig(static_cast<std::uint16_t>(rng.below(512))));
+      for (unsigned k = 0; k < 3; ++k) {
+        avail.push_back(net.port_of(id, k));
+      }
+    }
+    net.add_po(avail.back());
+    for (const auto sched :
+         {BufferSchedule::kAsap, BufferSchedule::kAlap}) {
+      const auto plan = plan_buffers(net, sched);
+      // The plan's total must equal the sum of its edges, and both
+      // schedules keep the same overall depth.
+      std::uint32_t sum = 0;
+      for (const auto& edges : plan.gate_edges) {
+        sum += edges[0] + edges[1] + edges[2];
+      }
+      for (const auto b : plan.po_edges) {
+        sum += b;
+      }
+      EXPECT_EQ(sum, plan.total) << round;
+      EXPECT_EQ(plan.depth, net.depth()) << round;
+    }
+    const auto best = count_buffers(net, BufferSchedule::kBest);
+    EXPECT_LE(best, count_buffers(net, BufferSchedule::kAsap)) << round;
+    EXPECT_LE(best, count_buffers(net, BufferSchedule::kAlap)) << round;
+  }
+}
+
+TEST(Buffer, OptimizedNeverWorseThanBest) {
+  util::Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    Netlist net(3);
+    std::vector<Port> avail{1, 2, 3};
+    for (int g = 0; g < 8; ++g) {
+      std::array<Port, 3> in{};
+      for (auto& p : in) {
+        p = rng.chance(0.25) ? kConstPort : avail[rng.below(avail.size())];
+      }
+      const auto id = net.add_gate(
+          in, InvConfig(static_cast<std::uint16_t>(rng.below(512))));
+      for (unsigned k = 0; k < 3; ++k) {
+        avail.push_back(net.port_of(id, k));
+      }
+    }
+    for (int o = 0; o < 2; ++o) {
+      net.add_po(avail[rng.below(avail.size())]);
+    }
+    const auto best = count_buffers(net, BufferSchedule::kBest);
+    const auto opt = plan_buffers(net, BufferSchedule::kOptimized);
+    EXPECT_LE(opt.total, best) << round;
+    EXPECT_EQ(opt.depth, net.depth()) << round;
+    // All per-edge counts are consistent with the total.
+    std::uint32_t sum = 0;
+    for (const auto& e : opt.gate_edges) {
+      sum += e[0] + e[1] + e[2];
+    }
+    for (const auto b : opt.po_edges) {
+      sum += b;
+    }
+    EXPECT_EQ(sum, opt.total) << round;
+  }
+}
+
+TEST(Buffer, OptimizedImprovesOneInputManyLateConsumers) {
+  // A gate with one non-constant input but two consumers far downstream:
+  // sliding it later saves two output-edge buffers per stage and costs
+  // only one input-edge buffer per stage (slope -1).
+  Netlist net(3);
+  const auto a = net.add_gate({1, 0, 0}, InvConfig::triple(0)); // L1
+  // Two depth-3 chains from the other PIs.
+  auto chain = [&](Port pi) {
+    auto g1 = net.add_gate({0, pi, 0}, InvConfig::splitter());
+    auto g2 = net.add_gate({0, net.port_of(g1, 0), 0}, InvConfig::splitter());
+    auto g3 = net.add_gate({0, net.port_of(g2, 0), 0}, InvConfig::splitter());
+    return net.port_of(g3, 0); // level 3
+  };
+  const Port c1_other = chain(2);
+  const Port c2_other = chain(3);
+  const auto c1 = net.add_gate({net.port_of(a, 0), c1_other, 0},
+                               InvConfig::triple(0)); // L4
+  const auto c2 = net.add_gate({net.port_of(a, 1), c2_other, 0},
+                               InvConfig::triple(0)); // L4
+  net.add_po(net.port_of(c1, 0));
+  net.add_po(net.port_of(c2, 0));
+  const auto asap = count_buffers(net, BufferSchedule::kAsap);
+  const auto opt = count_buffers(net, BufferSchedule::kOptimized);
+  EXPECT_LT(opt, asap);
+}
+
+TEST(Cost, JjFormulaAndLowerBound) {
+  const auto net = single_and_netlist();
+  const Cost c = cost_of(net);
+  EXPECT_EQ(c.n_r, 1u);
+  EXPECT_EQ(c.n_b, 0u);
+  EXPECT_EQ(c.jjs, 24u);
+  EXPECT_EQ(c.n_d, 1u);
+  EXPECT_EQ(c.n_g, 2u);
+  EXPECT_EQ(garbage_lower_bound(5, 2), 3u);
+  EXPECT_EQ(garbage_lower_bound(2, 4), 0u);
+}
+
+TEST(Cost, DeadGatesExcluded) {
+  Netlist net(2);
+  const auto g0 = net.add_gate({1, 2, 0}, InvConfig::reversible());
+  net.add_gate({0, 0, 0}, InvConfig()); // dead
+  net.add_po(net.port_of(g0, 2));
+  const Cost c = cost_of(net);
+  EXPECT_EQ(c.n_r, 1u);
+}
+
+// ---------- config catalog ----------
+
+TEST(Catalog, RowFunctionsAreEightPhasedMajorities) {
+  const ConfigCatalog catalog;
+  EXPECT_EQ(catalog.row_functions().size(), 8u);
+  // Every row function has an odd onset of size in {1..7}? Not relevant;
+  // but each must be a majority of phased inputs and self-dual.
+  for (const auto& f : catalog.row_functions()) {
+    // Self-duality: f(!x) == !f(x) — majority is self-dual, phases keep it.
+    tt::TruthTable flipped = f;
+    for (unsigned v = 0; v < 3; ++v) {
+      flipped = flipped.flip_var(v);
+    }
+    EXPECT_EQ(~flipped, f);
+  }
+}
+
+TEST(Catalog, RowForInvertsRowFunction) {
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    const auto f = ConfigCatalog::row_function(bits);
+    const auto back = ConfigCatalog::row_for(f);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(ConfigCatalog::row_function(*back), f);
+  }
+  // AND is not a phased majority (it needs a constant input).
+  const auto and3 = tt::TruthTable::projection(3, 0) &
+                    tt::TruthTable::projection(3, 1) &
+                    tt::TruthTable::projection(3, 2);
+  EXPECT_FALSE(ConfigCatalog::row_for(and3).has_value());
+}
+
+TEST(Catalog, ConfigForAssemblesTriples) {
+  const auto m = ConfigCatalog::row_function(0);
+  const auto cfg = ConfigCatalog::config_for(
+      ConfigCatalog::row_function(1), ConfigCatalog::row_function(2),
+      ConfigCatalog::row_function(4));
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(*cfg, InvConfig::reversible());
+  EXPECT_FALSE(ConfigCatalog::config_for(m, m, ~m & m).has_value());
+  (void)m;
+}
+
+TEST(Catalog, CensusMatchesReversibilityAnalysis) {
+  const ConfigCatalog catalog;
+  EXPECT_EQ(catalog.num_bijective(), count_bijective_configs());
+  EXPECT_EQ(catalog.num_bijective(), 192u); // regression anchor
+  EXPECT_EQ(catalog.num_distinct_triples(), 512u); // all triples distinct
+}
+
+// ---------- MIG -> RQFP mapping ----------
+
+TEST(MapFromMig, MajAndConstantsMapCorrectly) {
+  mig::Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  m.add_po(m.create_maj(a, b, c), "maj");
+  m.add_po(m.create_and(a, b), "and");
+  m.add_po(!m.create_or(b, c), "nor");
+  const Netlist raw = map_from_mig(m);
+  const Netlist net = insert_splitters(raw);
+  EXPECT_EQ(net.validate(), "");
+  const auto tts = simulate(net);
+  EXPECT_EQ(tts, m.simulate());
+}
+
+TEST(MapFromMig, PackingSharesGatesAndPreservesFunction) {
+  // Three majority nodes over the same fanins with different polarities:
+  // with packing they must share one RQFP gate.
+  mig::Mig m;
+  const auto a = m.create_pi();
+  const auto b = m.create_pi();
+  const auto c = m.create_pi();
+  m.add_po(m.create_maj(a, b, c), "m0");
+  m.add_po(m.create_maj(!a, b, c), "m1");
+  m.add_po(m.create_maj(a, !b, c), "m2");
+  MapStats packed_stats;
+  MapOptions pack;
+  pack.pack_shared_fanins = true;
+  const Netlist packed =
+      insert_splitters(map_from_mig(m, &packed_stats, pack));
+  MapStats plain_stats;
+  const Netlist plain = insert_splitters(map_from_mig(m, &plain_stats));
+  EXPECT_EQ(packed_stats.packed_nodes, 2u);
+  EXPECT_LT(packed.num_gates(), plain.num_gates());
+  EXPECT_EQ(packed.validate(), "");
+  EXPECT_EQ(simulate(packed), m.simulate());
+  EXPECT_EQ(simulate(plain), m.simulate());
+}
+
+class PackingEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PackingEquivalence, FlowWithPackingStaysCorrect) {
+  const auto b = benchmarks::get(GetParam());
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  opt.pack_shared_fanins = true;
+  const auto r = core::synthesize(b.spec, opt);
+  EXPECT_EQ(r.initial.validate(), "") << GetParam();
+  EXPECT_EQ(simulate(r.initial), std::vector<tt::TruthTable>(
+                                     b.spec.begin(), b.spec.end()))
+      << GetParam();
+  core::FlowOptions plain = opt;
+  plain.pack_shared_fanins = false;
+  const auto r2 = core::synthesize(b.spec, plain);
+  EXPECT_LE(r.initial_cost.n_r, r2.initial_cost.n_r) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, PackingEquivalence,
+                         ::testing::Values("full_adder", "graycode4",
+                                           "intdiv4", "c17", "mod5adder"));
+
+TEST(MapFromMig, ConstantOutputs) {
+  mig::Mig m;
+  m.create_pi();
+  m.add_po(m.const1(), "one");
+  m.add_po(m.const0(), "zero");
+  const Netlist net = insert_splitters(map_from_mig(m));
+  EXPECT_EQ(net.validate(), "");
+  const auto tts = simulate(net);
+  EXPECT_TRUE(tts[0].is_constant1());
+  EXPECT_TRUE(tts[1].is_constant0());
+}
+
+TEST(MapFromMig, PassThroughAndInvertedPo) {
+  mig::Mig m;
+  const auto a = m.create_pi();
+  m.add_po(a, "buf");
+  m.add_po(!a, "inv");
+  const Netlist net = insert_splitters(map_from_mig(m));
+  EXPECT_EQ(net.validate(), "");
+  const auto tts = simulate(net);
+  EXPECT_EQ(tts[0], tt::TruthTable::projection(1, 0));
+  EXPECT_EQ(tts[1], ~tt::TruthTable::projection(1, 0));
+}
+
+} // namespace
+} // namespace rcgp::rqfp
