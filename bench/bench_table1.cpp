@@ -6,6 +6,7 @@
 //   RCGP_T1_GENERATIONS  CGP generations per circuit   (default 150000)
 //   RCGP_T1_EXACT_TIME   exact-synthesis seconds/case  (default 25)
 //   RCGP_T1_SEED         CGP seed                      (default 2024)
+//   RCGP_METRICS_OUT     path for a metrics-registry JSON dump (optional)
 
 #include <cstdio>
 
@@ -72,5 +73,6 @@ int main() {
   std::printf("(paper, N=5*10^7: gates 50.80%%, JJs 43.53%%, garbage "
               "71.55%%; '\\' = exact method exceeded its budget, as it "
               "exceeded 240000s in the paper)\n");
+  maybe_write_metrics("RCGP_METRICS_OUT");
   return 0;
 }

@@ -10,6 +10,7 @@
 //   RCGP_T2_EXACT_TIME  exact witness budget in seconds (default 5; set 0
 //                       to skip the exact column entirely)
 //   RCGP_T2_SEED        CGP seed (default 2024)
+//   RCGP_METRICS_OUT    path for a metrics-registry JSON dump (optional)
 
 #include <algorithm>
 #include <cstdio>
@@ -76,5 +77,6 @@ int main() {
               "garbage %.2f%%\n",
               gates_vs_init.percent(), garbage_vs_init.percent());
   std::printf("(paper, N=5*10^7: gates 32.38%%, garbage 59.13%%)\n");
+  maybe_write_metrics("RCGP_METRICS_OUT");
   return 0;
 }

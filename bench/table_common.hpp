@@ -12,6 +12,7 @@
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
 #include "core/window.hpp"
+#include "obs/metrics.hpp"
 #include "rqfp/cost.hpp"
 
 namespace rcgp::benchtool {
@@ -100,6 +101,23 @@ inline void print_rcgp_cols(const Row& row) {
   std::printf(" %5u %5u %6u %4u %5u %9.2f %3s\n", row.rcgp.n_r, row.rcgp.n_b,
               row.rcgp.jjs, row.rcgp.n_d, row.rcgp.n_g, row.rcgp_seconds,
               row.rcgp_equivalent ? "yes" : "NO");
+}
+
+/// Dumps the process-wide metrics registry (evolve/sat/cec counters and
+/// per-phase wall times accumulated across every row) as JSON when the
+/// named environment variable points at a path. Lets CI and profiling
+/// runs capture `RCGP_METRICS_OUT=table1.json ./bench_table1` without
+/// per-driver plumbing.
+inline void maybe_write_metrics(const char* env_name) {
+  const char* path = std::getenv(env_name);
+  if (!path || !*path) {
+    return;
+  }
+  if (obs::registry().write_json(path)) {
+    std::printf("wrote metrics to %s\n", path);
+  } else {
+    std::fprintf(stderr, "failed to write metrics to %s\n", path);
+  }
 }
 
 /// Aggregate reduction (paper reports averages of per-row reductions).

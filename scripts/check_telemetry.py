@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validates RCGP telemetry outputs (used by CI and local smoke runs).
+
+Usage:
+    check_telemetry.py --trace trace.jsonl [--metrics metrics.json]
+
+Checks performed:
+  trace.jsonl
+    - every line is a standalone JSON object with `event` and `seq` fields
+    - `seq` is the line index (no dropped or reordered events)
+    - improvement events are monotone in the lexicographic fitness order
+      (success_rate up; then n_r, n_g, n_b down)
+    - the final improvement's fitness matches the run_end fitness
+  metrics.json
+    - parses as JSON with the {"flow": ..., "metrics": ...} shape the CLI
+      emits (or the bare registry shape from the bench drivers)
+    - flow phase wall-times sum to within 10% of flow.seconds_total
+
+Exits non-zero with a message on the first violation.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fitness_tuple(event: dict):
+    """Lexicographic key; lower is better (success_rate negated)."""
+    return (
+        -event["success_rate"],
+        event["n_r"],
+        event["n_g"],
+        event["n_b"],
+    )
+
+
+def check_trace(path: str) -> None:
+    events = []
+    with open(path, "r", encoding="utf-8") as f:
+        for i, line in enumerate(f):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{i + 1}: not valid JSON: {e}")
+            if not isinstance(ev, dict):
+                fail(f"{path}:{i + 1}: line is not a JSON object")
+            if "event" not in ev or "seq" not in ev:
+                fail(f"{path}:{i + 1}: missing 'event' or 'seq'")
+            if ev["seq"] != len(events):
+                fail(
+                    f"{path}:{i + 1}: seq {ev['seq']} != line index "
+                    f"{len(events)} (dropped/reordered events?)"
+                )
+            events.append(ev)
+    if not events:
+        fail(f"{path}: no events")
+
+    improvements = [e for e in events if e["event"] == "improvement"]
+    for prev, cur in zip(improvements, improvements[1:]):
+        if fitness_tuple(cur) >= fitness_tuple(prev):
+            fail(
+                f"{path}: improvement seq {cur['seq']} is not strictly "
+                f"better than seq {prev['seq']}"
+            )
+    run_ends = [e for e in events if e["event"] == "run_end"]
+    if improvements and run_ends:
+        last, end = improvements[-1], run_ends[-1]
+        if fitness_tuple(last) != fitness_tuple(end):
+            fail(
+                f"{path}: final improvement fitness {fitness_tuple(last)} "
+                f"!= run_end fitness {fitness_tuple(end)}"
+            )
+    print(
+        f"check_telemetry: {path}: {len(events)} events, "
+        f"{len(improvements)} improvements: OK"
+    )
+
+
+def check_metrics(path: str) -> None:
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+    if "flow" in doc:
+        flow = doc["flow"]
+        phases = flow.get("phases", {})
+        if not phases:
+            fail(f"{path}: flow.phases is empty")
+        total = flow.get("seconds_total", 0.0)
+        phase_sum = sum(phases.values())
+        if total > 0.01 and abs(phase_sum - total) > 0.10 * total:
+            fail(
+                f"{path}: phase sum {phase_sum:.4f}s deviates more than "
+                f"10% from seconds_total {total:.4f}s"
+            )
+        if "metrics" not in doc:
+            fail(f"{path}: missing 'metrics' registry snapshot")
+        counters = doc["metrics"].get("counters", {})
+    else:
+        # Bare registry dump (bench drivers' RCGP_METRICS_OUT).
+        counters = doc.get("counters", {})
+    if not counters:
+        fail(f"{path}: no counters recorded")
+    print(f"check_telemetry: {path}: {len(counters)} counters: OK")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--trace", help="JSONL evolution trace to validate")
+    ap.add_argument("--metrics", help="metrics JSON to validate")
+    args = ap.parse_args()
+    if not args.trace and not args.metrics:
+        ap.error("nothing to check: pass --trace and/or --metrics")
+    if args.trace:
+        check_trace(args.trace)
+    if args.metrics:
+        check_metrics(args.metrics)
+
+
+if __name__ == "__main__":
+    main()

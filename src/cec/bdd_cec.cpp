@@ -2,7 +2,16 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace rcgp::cec {
+
+namespace {
+void count_bdd_check() {
+  static obs::Counter& c_checks = obs::registry().counter("cec.bdd_checks");
+  c_checks.inc();
+}
+} // namespace
 
 std::vector<bdd::NodeRef> build_bdds(bdd::Manager& manager,
                                      const rqfp::Netlist& net) {
@@ -44,6 +53,7 @@ BddCecResult bdd_check(const rqfp::Netlist& net,
   if (spec.size() != net.num_pos()) {
     throw std::invalid_argument("bdd_check: PO count mismatch");
   }
+  count_bdd_check();
   bdd::Manager manager(net.num_pis());
   const auto lhs = build_bdds(manager, net);
   BddCecResult result;
@@ -67,6 +77,7 @@ BddCecResult bdd_check(const rqfp::Netlist& a, const rqfp::Netlist& b) {
   if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
     throw std::invalid_argument("bdd_check: interface mismatch");
   }
+  count_bdd_check();
   bdd::Manager manager(a.num_pis());
   const auto lhs = build_bdds(manager, a);
   const auto rhs = build_bdds(manager, b);

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "tt/isop.hpp"
 
 namespace rcgp::cec {
@@ -72,6 +73,13 @@ SatCecResult solve_miter(sat::Solver& solver, sat::CnfBuilder& builder,
                          std::span<const sat::Lit> rhs,
                          std::span<const sat::Lit> pi_lits,
                          std::uint64_t max_conflicts) {
+  static obs::Counter& c_checks = obs::registry().counter("cec.sat_checks");
+  static obs::Counter& c_conflicts =
+      obs::registry().counter("cec.sat_conflicts");
+  static obs::Counter& c_undecided =
+      obs::registry().counter("cec.sat_undecided");
+  c_checks.inc();
+
   std::vector<sat::Lit> diffs;
   diffs.reserve(lhs.size());
   for (std::size_t i = 0; i < lhs.size(); ++i) {
@@ -85,6 +93,10 @@ SatCecResult solve_miter(sat::Solver& solver, sat::CnfBuilder& builder,
   const auto res = solver.solve({}, limits);
   SatCecResult out;
   out.conflicts = solver.num_conflicts() - before;
+  c_conflicts.inc(out.conflicts);
+  if (res == sat::SolveResult::kUnknown) {
+    c_undecided.inc();
+  }
   switch (res) {
     case sat::SolveResult::kUnsat:
       out.verdict = CecVerdict::kEquivalent;

@@ -3,6 +3,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "rqfp/simulate.hpp"
 
 namespace rcgp::cec {
@@ -12,6 +13,9 @@ SimResult sim_check(const rqfp::Netlist& net,
   if (spec.size() != net.num_pos()) {
     throw std::invalid_argument("sim_check: PO count mismatch");
   }
+  // This is the CGP fitness hot path: one relaxed atomic inc per check.
+  static obs::Counter& c_checks = obs::registry().counter("cec.sim_checks");
+  c_checks.inc();
   const auto out = rqfp::simulate_live(net);
   SimResult r;
   for (std::size_t i = 0; i < spec.size(); ++i) {
@@ -32,6 +36,9 @@ SimResult sim_check_random(const rqfp::Netlist& a, const rqfp::Netlist& b,
   if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
     throw std::invalid_argument("sim_check_random: interface mismatch");
   }
+  static obs::Counter& c_checks =
+      obs::registry().counter("cec.sim_random_checks");
+  c_checks.inc();
   std::vector<std::vector<std::uint64_t>> patterns(a.num_pis());
   for (auto& row : patterns) {
     row.resize(num_words);

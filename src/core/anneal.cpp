@@ -5,6 +5,7 @@
 
 #include "cec/sim_cec.hpp"
 #include "core/shrink.hpp"
+#include "obs/metrics.hpp"
 #include "rqfp/cost.hpp"
 #include "util/stopwatch.hpp"
 
@@ -27,8 +28,16 @@ AnnealResult anneal(const rqfp::Netlist& initial,
   if (spec.size() != initial.num_pos()) {
     throw std::invalid_argument("anneal: spec/PO count mismatch");
   }
+  static obs::Counter& c_runs = obs::registry().counter("anneal.runs");
+  static obs::Counter& c_steps = obs::registry().counter("anneal.steps");
+  static obs::Counter& c_accepted =
+      obs::registry().counter("anneal.accepted");
+  static obs::Counter& c_uphill =
+      obs::registry().counter("anneal.uphill_accepted");
+
   util::Stopwatch watch;
   util::Rng rng(params.seed);
+  obs::TraceSink* const trace = params.trace;
 
   AnnealResult result;
   rqfp::Netlist current = shrink(initial);
@@ -39,6 +48,20 @@ AnnealResult anneal(const rqfp::Netlist& initial,
   }
   result.best = current;
   result.best_fitness = init_fit;
+  c_runs.inc();
+
+  if (trace) {
+    trace->event("run_start")
+        .field("optimizer", "anneal")
+        .field("steps", params.steps)
+        .field("t0", params.initial_temperature)
+        .field("t1", params.final_temperature)
+        .field("seed", params.seed)
+        .field("success_rate", init_fit.success_rate)
+        .field("n_r", init_fit.n_r)
+        .field("n_g", init_fit.n_g)
+        .field("n_b", init_fit.n_b);
+  }
 
   const double t0 = params.initial_temperature;
   const double t1 = params.final_temperature;
@@ -57,6 +80,16 @@ AnnealResult anneal(const rqfp::Netlist& initial,
     const double delta = candidate_energy - current_energy;
     const bool accept =
         delta <= 0 || rng.uniform01() < std::exp(-delta / (1e3 * temperature));
+    if (trace && params.trace_heartbeat &&
+        (step + 1) % params.trace_heartbeat == 0) {
+      trace->event("heartbeat")
+          .field("step", step)
+          .field("temperature", temperature)
+          .field("energy", current_energy)
+          .field("accepted", result.accepted)
+          .field("uphill_accepted", result.uphill_accepted)
+          .field("elapsed_s", watch.seconds());
+    }
     if (!accept) {
       continue;
     }
@@ -72,9 +105,35 @@ AnnealResult anneal(const rqfp::Netlist& initial,
         fit.strictly_better(result.best_fitness)) {
       result.best = shrink(current);
       result.best_fitness = fit;
+      if (trace) {
+        trace->event("improvement")
+            .field("step", step)
+            .field("energy", current_energy)
+            .field("elapsed_s", watch.seconds())
+            .field("success_rate", fit.success_rate)
+            .field("n_r", fit.n_r)
+            .field("n_g", fit.n_g)
+            .field("n_b", fit.n_b);
+      }
     }
   }
   result.seconds = watch.seconds();
+  c_steps.inc(result.steps_run);
+  c_accepted.inc(result.accepted);
+  c_uphill.inc(result.uphill_accepted);
+  if (trace) {
+    trace->event("run_end")
+        .field("optimizer", "anneal")
+        .field("steps_run", result.steps_run)
+        .field("accepted", result.accepted)
+        .field("uphill_accepted", result.uphill_accepted)
+        .field("elapsed_s", result.seconds)
+        .field("success_rate", result.best_fitness.success_rate)
+        .field("n_r", result.best_fitness.n_r)
+        .field("n_g", result.best_fitness.n_g)
+        .field("n_b", result.best_fitness.n_b);
+    trace->flush();
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 
 #include "core/fitness.hpp"
 #include "core/mutation.hpp"
+#include "obs/trace.hpp"
 #include "rqfp/netlist.hpp"
 #include "tt/truth_table.hpp"
 
@@ -23,6 +24,12 @@ struct AnnealParams {
   MutationParams mutation; // small per-step perturbations work best
   std::uint64_t seed = 1;
   FitnessOptions fitness;
+
+  /// Optional JSONL trace (not owned; nullptr disables). Events:
+  /// run_start, improvement (new best-seen), heartbeat, run_end.
+  obs::TraceSink* trace = nullptr;
+  /// Emit a heartbeat event every this many steps when tracing.
+  std::uint64_t trace_heartbeat = 10000;
 };
 
 struct AnnealResult {

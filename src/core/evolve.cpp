@@ -4,9 +4,36 @@
 
 #include "cec/sat_cec.hpp"
 #include "core/shrink.hpp"
+#include "obs/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rcgp::core {
+
+namespace {
+
+void put_fitness(obs::TraceEvent& ev, const Fitness& f) {
+  ev.field("success_rate", f.success_rate)
+      .field("n_r", f.n_r)
+      .field("n_g", f.n_g)
+      .field("n_b", f.n_b);
+}
+
+void put_mix(obs::TraceEvent& ev, const char* key, const MutationMix& m) {
+  ev.begin(key)
+      .field("mutations", m.mutations)
+      .field("genes_changed", m.genes_changed)
+      .field("swaps", m.swaps)
+      .field("direct_assigns", m.direct_assigns)
+      .field("config_flips", m.config_flips)
+      .field("po_moves", m.po_moves)
+      .field("skipped_infeasible", m.skipped_infeasible)
+      .end();
+}
+
+constexpr double kImprovementGapBounds[] = {1,    10,    100,   1000,
+                                            1e4,  1e5,   1e6};
+
+} // namespace
 
 EvolveResult evolve(const rqfp::Netlist& initial,
                     std::span<const tt::TruthTable> spec,
@@ -14,8 +41,22 @@ EvolveResult evolve(const rqfp::Netlist& initial,
   if (spec.size() != initial.num_pos()) {
     throw std::invalid_argument("evolve: spec/PO count mismatch");
   }
+  // Registered once; afterwards only relaxed atomic adds touch these.
+  static obs::Counter& c_runs = obs::registry().counter("evolve.runs");
+  static obs::Counter& c_generations =
+      obs::registry().counter("evolve.generations");
+  static obs::Counter& c_evaluations =
+      obs::registry().counter("evolve.evaluations");
+  static obs::Counter& c_improvements =
+      obs::registry().counter("evolve.improvements");
+  static obs::Counter& c_sat_confirmations =
+      obs::registry().counter("evolve.sat_confirmations");
+  static obs::Histogram& h_gap = obs::registry().histogram(
+      "evolve.generations_between_improvements", kImprovementGapBounds);
+
   util::Stopwatch watch;
   util::Rng rng(params.seed);
+  obs::TraceSink* const trace = params.trace;
 
   EvolveResult result;
   rqfp::Netlist parent =
@@ -26,22 +67,37 @@ EvolveResult evolve(const rqfp::Netlist& initial,
     throw std::invalid_argument(
         "evolve: initial netlist does not implement the specification");
   }
+  c_runs.inc();
+
+  if (trace) {
+    auto ev = trace->event("run_start");
+    ev.field("optimizer", "evolve")
+        .field("generations", params.generations)
+        .field("lambda", static_cast<std::uint64_t>(params.lambda))
+        .field("mu", params.mutation.mu)
+        .field("seed", params.seed);
+    put_fitness(ev, parent_fit);
+  }
 
   std::uint64_t since_improvement = 0;
+  std::uint64_t last_improvement_gen = 0;
   for (std::uint64_t gen = 0; gen < params.generations; ++gen) {
     ++result.generations_run;
 
     rqfp::Netlist best_child;
     Fitness best_child_fit;
+    MutationStats best_child_stats;
     bool have_child = false;
     for (unsigned k = 0; k < params.lambda; ++k) {
       rqfp::Netlist child = parent;
-      mutate(child, rng, params.mutation);
+      const MutationStats stats = mutate(child, rng, params.mutation);
+      result.mutations_attempted.add(stats);
       const Fitness fit = evaluate(child, spec, params.fitness);
       ++result.evaluations;
       if (!have_child || fit.better_or_equal(best_child_fit)) {
         best_child = std::move(child);
         best_child_fit = fit;
+        best_child_stats = stats;
         have_child = true;
       }
     }
@@ -55,15 +111,27 @@ EvolveResult evolve(const rqfp::Netlist& initial,
         const auto cec =
             cec::sat_check(best_child, spec, params.sat_conflict_budget);
         ++result.sat_confirmations;
+        result.sat_cec_conflicts += cec.conflicts;
         accept = cec.verdict != cec::CecVerdict::kNotEquivalent;
       }
       if (accept) {
         parent = params.disable_shrink ? std::move(best_child)
                                        : shrink(best_child);
         parent_fit = best_child_fit;
+        result.mutations_accepted.add(best_child_stats);
         if (improved) {
           ++result.improvements;
           since_improvement = 0;
+          h_gap.observe(static_cast<double>(gen - last_improvement_gen));
+          last_improvement_gen = gen;
+          if (trace) {
+            auto ev = trace->event("improvement");
+            ev.field("gen", gen)
+                .field("evaluations", result.evaluations)
+                .field("improvements", result.improvements)
+                .field("elapsed_s", watch.seconds());
+            put_fitness(ev, parent_fit);
+          }
           if (params.on_improvement) {
             params.on_improvement(gen, parent_fit);
           }
@@ -75,6 +143,16 @@ EvolveResult evolve(const rqfp::Netlist& initial,
       }
     } else {
       ++since_improvement;
+    }
+
+    if (trace && params.trace_heartbeat &&
+        (gen + 1) % params.trace_heartbeat == 0) {
+      auto ev = trace->event("heartbeat");
+      ev.field("gen", gen)
+          .field("evaluations", result.evaluations)
+          .field("improvements", result.improvements)
+          .field("elapsed_s", watch.seconds());
+      put_fitness(ev, parent_fit);
     }
 
     if (params.stagnation_limit && since_improvement >= params.stagnation_limit) {
@@ -89,6 +167,26 @@ EvolveResult evolve(const rqfp::Netlist& initial,
   result.best = std::move(parent);
   result.best_fitness = parent_fit;
   result.seconds = watch.seconds();
+
+  c_generations.inc(result.generations_run);
+  c_evaluations.inc(result.evaluations);
+  c_improvements.inc(result.improvements);
+  c_sat_confirmations.inc(result.sat_confirmations);
+
+  if (trace) {
+    auto ev = trace->event("run_end");
+    ev.field("optimizer", "evolve")
+        .field("generations_run", result.generations_run)
+        .field("evaluations", result.evaluations)
+        .field("improvements", result.improvements)
+        .field("sat_confirmations", result.sat_confirmations)
+        .field("sat_cec_conflicts", result.sat_cec_conflicts)
+        .field("elapsed_s", result.seconds);
+    put_fitness(ev, result.best_fitness);
+    put_mix(ev, "mutations_attempted", result.mutations_attempted);
+    put_mix(ev, "mutations_accepted", result.mutations_accepted);
+    trace->flush();
+  }
   return result;
 }
 
@@ -110,6 +208,12 @@ EvolveResult evolve_multistart(const rqfp::Netlist& initial,
   bool have_best = false;
   for (unsigned r = 0; r < restarts; ++r) {
     per_run.seed = params.seed + r;
+    if (params.trace) {
+      params.trace->event("restart")
+          .field("index", static_cast<std::uint64_t>(r))
+          .field("of", static_cast<std::uint64_t>(restarts))
+          .field("seed", per_run.seed);
+    }
     EvolveResult run = evolve(initial, spec, per_run);
     const bool better =
         !have_best || run.best_fitness.strictly_better(best.best_fitness);
@@ -122,6 +226,14 @@ EvolveResult evolve_multistart(const rqfp::Netlist& initial,
         (have_best ? best.improvements : 0) + run.improvements;
     const auto confirmations =
         (have_best ? best.sat_confirmations : 0) + run.sat_confirmations;
+    const auto conflicts =
+        (have_best ? best.sat_cec_conflicts : 0) + run.sat_cec_conflicts;
+    MutationMix attempted = have_best ? best.mutations_attempted
+                                      : MutationMix{};
+    MutationMix accepted = have_best ? best.mutations_accepted
+                                     : MutationMix{};
+    attempted += run.mutations_attempted;
+    accepted += run.mutations_accepted;
     if (better) {
       best = std::move(run);
       have_best = true;
@@ -130,6 +242,9 @@ EvolveResult evolve_multistart(const rqfp::Netlist& initial,
     best.evaluations = evaluations;
     best.improvements = improvements;
     best.sat_confirmations = confirmations;
+    best.sat_cec_conflicts = conflicts;
+    best.mutations_attempted = attempted;
+    best.mutations_accepted = accepted;
   }
   best.seconds = watch.seconds();
   return best;

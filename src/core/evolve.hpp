@@ -6,6 +6,7 @@
 
 #include "core/fitness.hpp"
 #include "core/mutation.hpp"
+#include "obs/trace.hpp"
 #include "rqfp/netlist.hpp"
 #include "tt/truth_table.hpp"
 
@@ -40,6 +41,13 @@ struct EvolveParams {
 
   /// Optional per-improvement callback (generation, fitness).
   std::function<void(std::uint64_t, const Fitness&)> on_improvement;
+
+  /// Optional JSONL evolution trace (not owned; nullptr disables tracing
+  /// entirely — the hot loop then takes no trace branches beyond one
+  /// pointer test). Events: run_start, improvement, heartbeat, run_end.
+  obs::TraceSink* trace = nullptr;
+  /// Emit a heartbeat event every this many generations when tracing.
+  std::uint64_t trace_heartbeat = 10000;
 };
 
 struct EvolveResult {
@@ -49,6 +57,13 @@ struct EvolveResult {
   std::uint64_t evaluations = 0;
   std::uint64_t improvements = 0;
   std::uint64_t sat_confirmations = 0;
+  /// SAT conflicts spent confirming improvements (sat_verify_improvements).
+  std::uint64_t sat_cec_conflicts = 0;
+  /// Operator statistics over every offspring mutation...
+  MutationMix mutations_attempted;
+  /// ...and over the mutations of offspring accepted as the new parent —
+  /// the per-kind acceptance picture (accepted/attempted per operator).
+  MutationMix mutations_accepted;
   double seconds = 0.0;
 };
 

@@ -10,11 +10,21 @@
 #include "aig/rewrite.hpp"
 #include "mig/mig_from_aig.hpp"
 #include "mig/mig_rewrite.hpp"
+#include "obs/phase.hpp"
 #include "rqfp/map_from_mig.hpp"
 #include "rqfp/splitter.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rcgp::core {
+
+double FlowResult::phase_seconds(std::string_view name) const {
+  for (const auto& r : phases) {
+    if (r.depth == 0 && r.path == name) {
+      return r.seconds;
+    }
+  }
+  return 0.0;
+}
 
 aig::Aig aig_from_tables(std::span<const tt::TruthTable> spec,
                          std::span<const std::string> po_names) {
@@ -43,28 +53,39 @@ aig::Aig aig_from_tables(std::span<const tt::TruthTable> spec,
 FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
   util::Stopwatch watch;
   FlowResult result;
+  obs::PhaseCollector phases;
 
   // Phase 1: conventional logic synthesis (ABC resyn2 stand-in).
   aig::Aig net = input.cleanup();
   if (options.run_aig_optimization) {
+    obs::PhaseTimer timer("aig-opt");
     net = aig::resyn2(net);
   }
   if (options.run_fraig) {
+    obs::PhaseTimer timer("fraig");
     net = aig::fraig(net);
   }
 
   // Phase 2: AQFP-oriented majority logic (aqfp_resynthesis stand-in).
-  mig::Mig m = mig::mig_from_aig(net);
+  mig::Mig m = [&] {
+    obs::PhaseTimer timer("mig-map");
+    return mig::mig_from_aig(net);
+  }();
   if (options.run_mig_optimization) {
+    obs::PhaseTimer timer("mig-opt");
     m = mig::optimize_mig(m);
   }
 
   // Phase 3: direct RQFP conversion + splitter insertion → the
   // initialization baseline.
-  rqfp::MapOptions map_options;
-  map_options.pack_shared_fanins = options.pack_shared_fanins;
-  rqfp::Netlist raw = rqfp::map_from_mig(m, nullptr, map_options);
-  result.initial = rqfp::insert_splitters(raw);
+  {
+    obs::PhaseTimer timer("rqfp-map");
+    rqfp::MapOptions map_options;
+    map_options.pack_shared_fanins = options.pack_shared_fanins;
+    rqfp::Netlist raw = rqfp::map_from_mig(m, nullptr, map_options);
+    obs::PhaseTimer splitter_timer("splitter");
+    result.initial = rqfp::insert_splitters(raw);
+  }
   const std::string problem = result.initial.validate();
   if (!problem.empty()) {
     throw std::logic_error("flow: initialization produced illegal netlist: " +
@@ -73,8 +94,12 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
   result.initial_cost = rqfp::cost_of(result.initial, options.schedule);
 
   // Phase 4: CGP-based optimization against the exact specification.
-  const auto spec = aig::simulate(net);
+  const auto spec = [&] {
+    obs::PhaseTimer timer("spec-sim");
+    return aig::simulate(net);
+  }();
   if (options.run_cgp) {
+    obs::PhaseTimer timer("cgp");
     EvolveParams ep = options.evolve;
     ep.fitness.schedule = options.schedule;
     result.evolution = evolve(result.initial, spec, ep);
@@ -83,10 +108,39 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
     result.optimized = result.initial;
   }
   if (options.run_exact_polish) {
+    obs::PhaseTimer timer("exact-polish");
     result.optimized = exact_polish(result.optimized);
   }
-  result.optimized_cost = rqfp::cost_of(result.optimized, options.schedule);
+  {
+    obs::PhaseTimer timer("cost");
+    result.optimized_cost = rqfp::cost_of(result.optimized, options.schedule);
+  }
   result.seconds_total = watch.seconds();
+  result.phases = phases.records();
+
+  if (obs::TraceSink* trace = options.evolve.trace) {
+    auto ev = trace->event("flow");
+    ev.field("seconds_total", result.seconds_total);
+    ev.begin("phases");
+    for (const auto& r : result.phases) {
+      if (r.depth == 0) {
+        ev.field(r.path, r.seconds);
+      }
+    }
+    ev.end();
+    ev.begin("initial")
+        .field("n_r", result.initial_cost.n_r)
+        .field("n_g", result.initial_cost.n_g)
+        .field("n_b", result.initial_cost.n_b)
+        .field("jjs", result.initial_cost.jjs)
+        .end();
+    ev.begin("optimized")
+        .field("n_r", result.optimized_cost.n_r)
+        .field("n_g", result.optimized_cost.n_g)
+        .field("n_b", result.optimized_cost.n_b)
+        .field("jjs", result.optimized_cost.jjs)
+        .end();
+  }
   return result;
 }
 

@@ -6,6 +6,7 @@
 
 #include "aig/aig.hpp"
 #include "core/evolve.hpp"
+#include "obs/phase.hpp"
 #include "rqfp/cost.hpp"
 #include "rqfp/netlist.hpp"
 #include "tt/truth_table.hpp"
@@ -44,6 +45,14 @@ struct FlowResult {
 
   EvolveResult evolution;
   double seconds_total = 0.0;
+
+  /// Per-phase wall-clock breakdown (aig-opt / fraig / mig-opt / rqfp-map /
+  /// splitter / spec-sim / cgp / exact-polish / cost). Depth-0 records
+  /// partition seconds_total; nested records (depth > 0) refine them.
+  std::vector<obs::PhaseRecord> phases;
+
+  /// Seconds of the named top-level phase (0.0 when the phase did not run).
+  double phase_seconds(std::string_view name) const;
 };
 
 /// Builds an AIG computing the given per-output truth tables (ISOP-factored

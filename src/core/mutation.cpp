@@ -4,8 +4,30 @@
 #include <stdexcept>
 
 #include "core/chromosome.hpp"
+#include "obs/metrics.hpp"
 
 namespace rcgp::core {
+
+void MutationMix::add(const MutationStats& s) {
+  ++mutations;
+  genes_changed += s.genes_changed;
+  swaps += s.swaps;
+  direct_assigns += s.direct_assigns;
+  config_flips += s.config_flips;
+  po_moves += s.po_moves;
+  skipped_infeasible += s.skipped_infeasible;
+}
+
+MutationMix& MutationMix::operator+=(const MutationMix& o) {
+  mutations += o.mutations;
+  genes_changed += o.genes_changed;
+  swaps += o.swaps;
+  direct_assigns += o.direct_assigns;
+  config_flips += o.config_flips;
+  po_moves += o.po_moves;
+  skipped_infeasible += o.skipped_infeasible;
+  return *this;
+}
 
 namespace {
 
@@ -118,6 +140,12 @@ ReconnectOutcome reconnect_po(rqfp::Netlist& net, std::uint32_t po,
 
 MutationStats mutate(rqfp::Netlist& net, util::Rng& rng,
                      const MutationParams& params) {
+  // Registered once, then relaxed atomic increments only (hot loop).
+  static obs::Counter& c_calls = obs::registry().counter("mutation.calls");
+  static obs::Counter& c_genes =
+      obs::registry().counter("mutation.genes_changed");
+  static obs::Counter& c_infeasible =
+      obs::registry().counter("mutation.skipped_infeasible");
   MutationStats stats;
   const std::uint32_t n_genes = num_genes(net);
   if (n_genes == 0) {
@@ -184,6 +212,9 @@ MutationStats mutate(rqfp::Netlist& net, util::Rng& rng,
       }
     }
   }
+  c_calls.inc();
+  c_genes.inc(stats.genes_changed);
+  c_infeasible.inc(stats.skipped_infeasible);
   return stats;
 }
 

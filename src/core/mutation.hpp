@@ -28,6 +28,23 @@ struct MutationStats {
   std::uint32_t skipped_infeasible = 0;
 };
 
+/// Accumulated mutation-operator statistics over many mutate() calls.
+/// EvolveResult keeps one mix for attempted offspring and one for accepted
+/// offspring, so acceptance rates per operator kind are observable (the
+/// input future adaptive-mutation work needs).
+struct MutationMix {
+  std::uint64_t mutations = 0; // mutate() calls folded in
+  std::uint64_t genes_changed = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t direct_assigns = 0;
+  std::uint64_t config_flips = 0;
+  std::uint64_t po_moves = 0;
+  std::uint64_t skipped_infeasible = 0;
+
+  void add(const MutationStats& s);
+  MutationMix& operator+=(const MutationMix& o);
+};
+
 /// Point mutation per §3.2.2 of the paper: each modified gene is either a
 /// node-input reconnection (with the value-swap rule that preserves the
 /// single fan-out invariant), a primary-output reconnection, or a one-bit

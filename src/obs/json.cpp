@@ -1,0 +1,391 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace rcgp::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (need_comma_) {
+    out_ += ',';
+  }
+  need_comma_ = true;
+}
+
+Writer& Writer::begin_object() {
+  comma();
+  out_ += '{';
+  open_.push_back('{');
+  need_comma_ = false;
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  out_ += '}';
+  if (!open_.empty()) {
+    open_.pop_back();
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  comma();
+  out_ += '[';
+  open_.push_back('[');
+  need_comma_ = false;
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  out_ += ']';
+  if (!open_.empty()) {
+    open_.pop_back();
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  comma();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+Writer& Writer::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Validation (recursive descent over a string_view, no allocation).
+
+namespace {
+
+struct Parser {
+  std::string_view s;
+  std::size_t pos = 0;
+  int depth = 0;
+  static constexpr int kMaxDepth = 256;
+
+  void skip_ws() {
+    while (pos < s.size() &&
+           (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+            s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool eof() const { return pos >= s.size(); }
+  char peek() const { return s[pos]; }
+  bool consume(char c) {
+    if (!eof() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s.substr(pos, lit.size()) != lit) {
+      return false;
+    }
+    pos += lit.size();
+    return true;
+  }
+
+  bool parse_string() {
+    if (!consume('"')) {
+      return false;
+    }
+    while (!eof()) {
+      const char c = s[pos++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false; // raw control character
+      }
+      if (c == '\\') {
+        if (eof()) {
+          return false;
+        }
+        const char e = s[pos++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(s[pos]))) {
+              return false;
+            }
+            ++pos;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      }
+    }
+    return false; // unterminated
+  }
+
+  bool parse_number() {
+    consume('-');
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+      return false;
+    }
+    if (!consume('0')) {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos;
+      }
+    }
+    if (consume('.')) {
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!eof() && (peek() == '+' || peek() == '-')) {
+        ++pos;
+      }
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos;
+      }
+    }
+    return true;
+  }
+
+  bool parse_value() {
+    if (++depth > kMaxDepth) {
+      return false;
+    }
+    skip_ws();
+    if (eof()) {
+      return false;
+    }
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = parse_object(); break;
+      case '[': ok = parse_array(); break;
+      case '"': ok = parse_string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = parse_number(); break;
+    }
+    --depth;
+    return ok;
+  }
+
+  bool parse_object() {
+    consume('{');
+    skip_ws();
+    if (consume('}')) {
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!parse_string()) {
+        return false;
+      }
+      skip_ws();
+      if (!consume(':')) {
+        return false;
+      }
+      if (!parse_value()) {
+        return false;
+      }
+      skip_ws();
+      if (consume('}')) {
+        return true;
+      }
+      if (!consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool parse_array() {
+    consume('[');
+    skip_ws();
+    if (consume(']')) {
+      return true;
+    }
+    while (true) {
+      if (!parse_value()) {
+        return false;
+      }
+      skip_ws();
+      if (consume(']')) {
+        return true;
+      }
+      if (!consume(',')) {
+        return false;
+      }
+    }
+  }
+};
+
+/// Position of `"key"` used as an object key (heuristic: next
+/// non-whitespace after the closing quote is ':').
+std::size_t find_key(std::string_view doc, std::string_view key) {
+  const std::string quoted = '"' + std::string(key) + '"';
+  std::size_t from = 0;
+  while (true) {
+    const auto at = doc.find(quoted, from);
+    if (at == std::string_view::npos) {
+      return std::string_view::npos;
+    }
+    std::size_t after = at + quoted.size();
+    while (after < doc.size() &&
+           std::isspace(static_cast<unsigned char>(doc[after]))) {
+      ++after;
+    }
+    if (after < doc.size() && doc[after] == ':') {
+      return after + 1;
+    }
+    from = at + 1;
+  }
+}
+
+} // namespace
+
+bool validate(std::string_view text) {
+  Parser p{text};
+  if (!p.parse_value()) {
+    return false;
+  }
+  p.skip_ws();
+  return p.eof();
+}
+
+std::optional<double> number_field(std::string_view doc,
+                                   std::string_view key) {
+  auto at = find_key(doc, key);
+  if (at == std::string_view::npos) {
+    return std::nullopt;
+  }
+  while (at < doc.size() &&
+         std::isspace(static_cast<unsigned char>(doc[at]))) {
+    ++at;
+  }
+  char* end = nullptr;
+  const std::string tail(doc.substr(at, 64));
+  const double v = std::strtod(tail.c_str(), &end);
+  if (end == tail.c_str()) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<std::string> string_field(std::string_view doc,
+                                        std::string_view key) {
+  auto at = find_key(doc, key);
+  if (at == std::string_view::npos) {
+    return std::nullopt;
+  }
+  while (at < doc.size() &&
+         std::isspace(static_cast<unsigned char>(doc[at]))) {
+    ++at;
+  }
+  if (at >= doc.size() || doc[at] != '"') {
+    return std::nullopt;
+  }
+  ++at;
+  std::string out;
+  while (at < doc.size() && doc[at] != '"') {
+    char c = doc[at++];
+    if (c == '\\' && at < doc.size()) {
+      const char e = doc[at++];
+      switch (e) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case '"': case '\\': case '/': c = e; break;
+        default: c = e; break;
+      }
+    }
+    out += c;
+  }
+  if (at >= doc.size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+} // namespace rcgp::obs::json

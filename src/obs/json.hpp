@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rcgp::obs::json {
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+std::string escape(std::string_view s);
+
+/// Streaming JSON writer used by the metrics exporter, the trace sink, and
+/// the CLI `--json` modes. Emits compact one-line documents; the caller is
+/// responsible for structural sanity (begin/end pairing), which `str()`
+/// checks in debug builds via the open-scope stack.
+class Writer {
+public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Emits `"k":` inside an object (follow with exactly one value).
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(bool v);
+  Writer& value(double v); // non-finite values are emitted as null
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& null();
+
+  /// Shorthand for key(k).value(v).
+  template <typename T>
+  Writer& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  bool complete() const { return open_.empty() && !out_.empty(); }
+  const std::string& str() const { return out_; }
+
+private:
+  void comma();
+
+  std::string out_;
+  std::vector<char> open_; // '{' or '['
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+/// Validates that `text` is exactly one well-formed JSON value (recursive
+/// descent, no value materialization). Used by tests and trace re-parsing.
+bool validate(std::string_view text);
+
+/// Extracts the first `"key": <number>` pair from a flat scan of a JSON
+/// document. Intended for tests and light trace post-processing; does not
+/// handle keys nested inside strings.
+std::optional<double> number_field(std::string_view doc, std::string_view key);
+
+/// Extracts the first `"key": "<string>"` pair (unescaped content for the
+/// common case; escape sequences are decoded for \" \\ \/ \n \t \r).
+std::optional<std::string> string_field(std::string_view doc,
+                                        std::string_view key);
+
+} // namespace rcgp::obs::json

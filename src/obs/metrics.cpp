@@ -1,0 +1,133 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace rcgp::obs {
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()),
+      buckets_(bounds.size() + 1) {}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) {
+    ++i;
+  }
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  std::lock_guard lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(mu_);
+  json::Writer w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.field(name, c->value());
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.field(name, g->value());
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).begin_object();
+    w.field("count", h->count());
+    w.field("sum", h->sum());
+    w.key("buckets").begin_array();
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      w.begin_object();
+      if (i < h->bounds().size()) {
+        w.field("le", h->bound(i));
+      } else {
+        w.field("le", "inf");
+      }
+      w.field("count", h->bucket_count(i));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+bool Registry::write_json(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) {
+    c->reset();
+  }
+  for (auto& [name, g] : gauges_) {
+    g->reset();
+  }
+  for (auto& [name, h] : histograms_) {
+    h->reset();
+  }
+}
+
+Registry& registry() {
+  static Registry* r = new Registry; // immortal: see header
+  return *r;
+}
+
+} // namespace rcgp::obs

@@ -1,0 +1,50 @@
+#include "obs/phase.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace rcgp::obs {
+
+namespace {
+thread_local PhaseCollector* t_collector = nullptr;
+thread_local PhaseTimer* t_top_timer = nullptr;
+} // namespace
+
+PhaseCollector::PhaseCollector() : prev_(t_collector) { t_collector = this; }
+
+PhaseCollector::~PhaseCollector() { t_collector = prev_; }
+
+PhaseCollector* PhaseCollector::current() { return t_collector; }
+
+double PhaseCollector::top_level_seconds() const {
+  double sum = 0.0;
+  for (const auto& r : records_) {
+    if (r.depth == 0) {
+      sum += r.seconds;
+    }
+  }
+  return sum;
+}
+
+PhaseTimer::PhaseTimer(std::string_view name) : parent_(t_top_timer) {
+  if (parent_) {
+    depth_ = parent_->depth_ + 1;
+    path_ = parent_->path_;
+    path_ += '/';
+    path_ += name;
+  } else {
+    depth_ = 0;
+    path_ = name;
+  }
+  t_top_timer = this;
+}
+
+PhaseTimer::~PhaseTimer() {
+  const double s = watch_.seconds();
+  t_top_timer = parent_;
+  if (t_collector) {
+    t_collector->records_.push_back({path_, s, depth_});
+  }
+  registry().gauge("phase_seconds{" + path_ + "}").add(s);
+}
+
+} // namespace rcgp::obs

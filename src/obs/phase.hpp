@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.hpp"
+
+namespace rcgp::obs {
+
+/// One completed phase measurement. `path` is the '/'-joined nesting path
+/// ("flow/cgp"), `depth` its nesting level (0 = top).
+struct PhaseRecord {
+  std::string path;
+  double seconds = 0.0;
+  int depth = 0;
+};
+
+/// Thread-local collector for phase timings. Installing one (stack
+/// allocation) makes every PhaseTimer on the same thread report into it;
+/// collectors nest, restoring the previous one on destruction. The flow
+/// driver uses this to attach a per-phase breakdown to FlowResult.
+class PhaseCollector {
+public:
+  PhaseCollector();
+  ~PhaseCollector();
+  PhaseCollector(const PhaseCollector&) = delete;
+  PhaseCollector& operator=(const PhaseCollector&) = delete;
+
+  const std::vector<PhaseRecord>& records() const { return records_; }
+
+  /// Sum of seconds over records at nesting depth 0 (the non-overlapping
+  /// wall-clock decomposition).
+  double top_level_seconds() const;
+
+  static PhaseCollector* current();
+
+private:
+  friend class PhaseTimer;
+  std::vector<PhaseRecord> records_;
+  PhaseCollector* prev_;
+};
+
+/// RAII scoped phase timer. Timers nest (a timer constructed while another
+/// is alive on the same thread gets path "outer/inner"). On destruction the
+/// measurement is appended to the active PhaseCollector (if any) and
+/// accumulated into the registry gauge `phase_seconds{<path>}`.
+class PhaseTimer {
+public:
+  explicit PhaseTimer(std::string_view name);
+  ~PhaseTimer();
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  double seconds() const { return watch_.seconds(); }
+  const std::string& path() const { return path_; }
+  int depth() const { return depth_; }
+
+private:
+  std::string path_;
+  util::Stopwatch watch_;
+  int depth_;
+  PhaseTimer* parent_;
+};
+
+} // namespace rcgp::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.hpp"
+
+#include "util/log.hpp"
+
+namespace rcgp::obs {
+
+namespace {
+// The sink currently routing util::log, protected by its own mutex (log
+// calls and sink destruction can race).
+std::mutex g_log_sink_mu;
+TraceSink* g_log_sink = nullptr;
+
+void log_hook(util::LogLevel level, const char* iso8601,
+              const char* message) {
+  std::lock_guard lock(g_log_sink_mu);
+  if (!g_log_sink) {
+    return;
+  }
+  g_log_sink->event("log")
+      .field("ts", iso8601)
+      .field("level", util::log_level_tag(level))
+      .field("message", message);
+}
+} // namespace
+
+TraceEvent::TraceEvent(TraceSink* sink, std::string_view type,
+                       std::uint64_t seq)
+    : sink_(sink) {
+  w_.begin_object();
+  w_.field("event", type);
+  w_.field("seq", seq);
+}
+
+TraceEvent::TraceEvent(TraceEvent&& other) noexcept
+    : sink_(other.sink_), w_(std::move(other.w_)) {
+  other.sink_ = nullptr;
+}
+
+TraceEvent::~TraceEvent() {
+  if (!sink_) {
+    return;
+  }
+  w_.end_object();
+  sink_->write_line(w_.str());
+}
+
+std::unique_ptr<TraceSink> TraceSink::open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    return nullptr;
+  }
+  auto sink = std::unique_ptr<TraceSink>(new TraceSink);
+  sink->file_ = f;
+  return sink;
+}
+
+std::unique_ptr<TraceSink> TraceSink::memory() {
+  return std::unique_ptr<TraceSink>(new TraceSink);
+}
+
+TraceSink::~TraceSink() {
+  {
+    std::lock_guard lock(g_log_sink_mu);
+    if (g_log_sink == this) {
+      g_log_sink = nullptr;
+      util::set_log_hook(nullptr);
+    }
+  }
+  if (file_) {
+    std::fclose(file_);
+  }
+}
+
+TraceEvent TraceSink::event(std::string_view type) {
+  std::uint64_t seq;
+  {
+    std::lock_guard lock(mu_);
+    seq = seq_++;
+  }
+  return TraceEvent(this, type, seq);
+}
+
+void TraceSink::write_line(std::string_view json_line) {
+  std::lock_guard lock(mu_);
+  if (file_) {
+    std::fwrite(json_line.data(), 1, json_line.size(), file_);
+    std::fputc('\n', file_);
+  } else {
+    mem_.append(json_line);
+    mem_ += '\n';
+  }
+  ++lines_;
+}
+
+void TraceSink::flush() {
+  std::lock_guard lock(mu_);
+  if (file_) {
+    std::fflush(file_);
+  }
+}
+
+std::uint64_t TraceSink::lines_written() const {
+  std::lock_guard lock(mu_);
+  return lines_;
+}
+
+std::string TraceSink::buffer() const {
+  std::lock_guard lock(mu_);
+  return mem_;
+}
+
+void TraceSink::attach_to_log() {
+  std::lock_guard lock(g_log_sink_mu);
+  g_log_sink = this;
+  util::set_log_hook(&log_hook);
+}
+
+} // namespace rcgp::obs

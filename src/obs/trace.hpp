@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/json.hpp"
+
+namespace rcgp::obs {
+
+class TraceSink;
+
+/// One event under construction. Writes itself to the sink as a single
+/// JSONL line on destruction. Every event carries `event` (the type), and
+/// `seq` (a per-sink sequence number).
+class TraceEvent {
+public:
+  TraceEvent(TraceEvent&& other) noexcept;
+  ~TraceEvent();
+
+  template <typename T>
+  TraceEvent& field(std::string_view key, T v) {
+    w_.field(key, v);
+    return *this;
+  }
+  /// Opens a nested object field; close it with end().
+  TraceEvent& begin(std::string_view key) {
+    w_.key(key).begin_object();
+    return *this;
+  }
+  TraceEvent& end() {
+    w_.end_object();
+    return *this;
+  }
+
+private:
+  friend class TraceSink;
+  TraceEvent(TraceSink* sink, std::string_view type, std::uint64_t seq);
+
+  TraceSink* sink_;
+  json::Writer w_;
+};
+
+/// Append-only JSONL event stream (one JSON object per line). Thread-safe:
+/// events are serialized locally and appended under a mutex. Sinks are
+/// either file-backed or in-memory (for tests).
+class TraceSink {
+public:
+  /// Opens `path` for writing; returns nullptr on failure.
+  static std::unique_ptr<TraceSink> open(const std::string& path);
+  /// In-memory sink; read back with buffer().
+  static std::unique_ptr<TraceSink> memory();
+
+  ~TraceSink();
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Starts an event of the given type; fields are added fluently and the
+  /// line is committed when the returned object goes out of scope:
+  ///   sink->event("improvement").field("gen", g).field("n_r", r);
+  TraceEvent event(std::string_view type);
+
+  /// Appends one raw line (must be a complete JSON document, no newline).
+  void write_line(std::string_view json_line);
+
+  void flush();
+  std::uint64_t lines_written() const;
+
+  /// Contents of an in-memory sink (empty for file sinks).
+  std::string buffer() const;
+
+  /// Routes util::log through this sink: every message at or above the
+  /// log threshold is also emitted as a {"event":"log",...} line. The
+  /// routing detaches automatically when the sink is destroyed.
+  void attach_to_log();
+
+private:
+  TraceSink() = default;
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string mem_;
+  std::uint64_t lines_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+} // namespace rcgp::obs

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace rcgp::sat {
 
 namespace {
@@ -374,11 +376,57 @@ void Solver::rebuild_order_heap() {
   }
 }
 
+namespace {
+
+/// Flushes per-call solver statistics deltas into the process-wide metrics
+/// registry on every return path (registered once, then atomics only).
+class SolveStatsReporter {
+public:
+  SolveStatsReporter(const std::uint64_t& conflicts,
+                     const std::uint64_t& decisions,
+                     const std::uint64_t& propagations)
+      : conflicts_(conflicts),
+        decisions_(decisions),
+        propagations_(propagations),
+        conflicts0_(conflicts),
+        decisions0_(decisions),
+        propagations0_(propagations) {}
+
+  ~SolveStatsReporter() {
+    static constexpr double kConflictBounds[] = {0,   10,  100, 1000,
+                                                 1e4, 1e5, 1e6};
+    static obs::Counter& c_solves = obs::registry().counter("sat.solves");
+    static obs::Counter& c_conflicts =
+        obs::registry().counter("sat.conflicts");
+    static obs::Counter& c_decisions =
+        obs::registry().counter("sat.decisions");
+    static obs::Counter& c_propagations =
+        obs::registry().counter("sat.propagations");
+    static obs::Histogram& h_conflicts = obs::registry().histogram(
+        "sat.conflicts_per_solve", kConflictBounds);
+    c_solves.inc();
+    c_conflicts.inc(conflicts_ - conflicts0_);
+    c_decisions.inc(decisions_ - decisions0_);
+    c_propagations.inc(propagations_ - propagations0_);
+    h_conflicts.observe(static_cast<double>(conflicts_ - conflicts0_));
+  }
+
+private:
+  const std::uint64_t& conflicts_;
+  const std::uint64_t& decisions_;
+  const std::uint64_t& propagations_;
+  std::uint64_t conflicts0_, decisions0_, propagations0_;
+};
+
+} // namespace
+
 SolveResult Solver::solve(std::span<const Lit> assumptions,
                           const SolveLimits& limits) {
   if (!ok_) {
     return SolveResult::kUnsat;
   }
+  SolveStatsReporter stats_reporter(stats_conflicts_, stats_decisions_,
+                                    stats_propagations_);
   backtrack(0);
   rebuild_order_heap();
 

@@ -5,9 +5,16 @@
 //   rcgp cec <a.rqfp> <b.rqfp>     equivalence check two RQFP netlists
 //   rcgp stats <x.rqfp>            cost metrics of an RQFP netlist
 //   rcgp list                      list built-in benchmark names
+//   rcgp version                   print version information
 //
 // <input> is a file (.v .blif .aag .pla .real .rqfp by extension) or the
 // name of a built-in benchmark (see `rcgp list`).
+//
+// Observability (see docs/OBSERVABILITY.md):
+//   synth --trace-out=t.jsonl    JSONL evolution trace (one event/line)
+//   synth --metrics-out=m.json   metrics registry + per-phase wall times
+//   synth --progress             live improvements on stderr
+//   stats/cec --json             machine-readable records on stdout
 
 #include <cstdio>
 #include <cstring>
@@ -29,10 +36,14 @@
 #include "io/real.hpp"
 #include "io/rqfp_writer.hpp"
 #include "io/verilog.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rqfp/cost.hpp"
 #include "rqfp/energy.hpp"
 #include "rqfp/reversibility.hpp"
 #include "rqfp/simulate.hpp"
+#include "version.hpp"
 
 namespace {
 
@@ -41,6 +52,61 @@ using namespace rcgp;
 std::string extension(const std::string& path) {
   const auto dot = path.rfind('.');
   return dot == std::string::npos ? "" : path.substr(dot);
+}
+
+/// Matches `--name=value` (returns true, sets `value`) for option parsing.
+bool opt_value(const std::string& arg, const char* name, std::string& value) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) == 0) {
+    value = arg.substr(prefix.size());
+    return true;
+  }
+  return false;
+}
+
+/// Writes the synth metrics document: flow timing breakdown + the full
+/// metrics registry snapshot.
+bool write_synth_metrics(const std::string& path,
+                         const core::FlowResult& result) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.key("flow").begin_object();
+  w.field("seconds_total", result.seconds_total);
+  w.key("phases").begin_object();
+  for (const auto& r : result.phases) {
+    if (r.depth == 0) {
+      w.field(r.path, r.seconds);
+    }
+  }
+  w.end_object();
+  w.key("nested_phases").begin_object();
+  for (const auto& r : result.phases) {
+    if (r.depth > 0) {
+      w.field(r.path, r.seconds);
+    }
+  }
+  w.end_object();
+  w.key("evolution").begin_object();
+  w.field("generations_run", result.evolution.generations_run);
+  w.field("evaluations", result.evolution.evaluations);
+  w.field("improvements", result.evolution.improvements);
+  w.field("sat_confirmations", result.evolution.sat_confirmations);
+  w.field("sat_cec_conflicts", result.evolution.sat_cec_conflicts);
+  w.end_object();
+  w.end_object();
+  w.key("metrics");
+  // The registry snapshot is itself a complete JSON object; splice it in.
+  const std::string registry_json = obs::registry().to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    return false;
+  }
+  const std::string head = w.str();
+  std::fwrite(head.data(), 1, head.size(), f);
+  std::fwrite(registry_json.data(), 1, registry_json.size(), f);
+  std::fputs("}\n", f);
+  std::fclose(f);
+  return true;
 }
 
 /// Loads an input as truth tables (works for every supported source).
@@ -82,8 +148,11 @@ int cmd_list() {
 
 int cmd_synth(const std::vector<std::string>& args) {
   if (args.empty()) {
-    std::fprintf(stderr, "usage: rcgp synth <input> [-g N] [-s seed] "
-                         "[-o out.rqfp] [--dot out.dot] [--no-cgp]\n");
+    std::fprintf(stderr,
+                 "usage: rcgp synth <input> [-g N] [-s seed] [-o out.rqfp] "
+                 "[--dot out.dot] [--no-cgp] [--polish] [--pack]\n"
+                 "                 [--trace-out=t.jsonl] "
+                 "[--metrics-out=m.json] [--heartbeat=N] [--progress]\n");
     return 2;
   }
   const std::string input = args[0];
@@ -91,7 +160,11 @@ int cmd_synth(const std::vector<std::string>& args) {
   opt.evolve.generations = 50000;
   std::string out_path;
   std::string dot_path;
+  std::string trace_path;
+  std::string metrics_path;
+  bool progress = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string v;
     if (args[i] == "-g" && i + 1 < args.size()) {
       opt.evolve.generations = std::stoull(args[++i]);
     } else if (args[i] == "-s" && i + 1 < args.size()) {
@@ -106,11 +179,42 @@ int cmd_synth(const std::vector<std::string>& args) {
       opt.run_exact_polish = true;
     } else if (args[i] == "--pack") {
       opt.pack_shared_fanins = true;
+    } else if (opt_value(args[i], "--trace-out", trace_path) ||
+               opt_value(args[i], "--metrics-out", metrics_path)) {
+      // value captured
+    } else if (args[i] == "--trace-out" && i + 1 < args.size()) {
+      trace_path = args[++i];
+    } else if (args[i] == "--metrics-out" && i + 1 < args.size()) {
+      metrics_path = args[++i];
+    } else if (opt_value(args[i], "--heartbeat", v)) {
+      opt.evolve.trace_heartbeat = std::stoull(v);
+    } else if (args[i] == "--progress") {
+      progress = true;
     } else {
       std::fprintf(stderr, "synth: unknown option %s\n", args[i].c_str());
       return 2;
     }
   }
+
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!trace_path.empty()) {
+    trace = obs::TraceSink::open(trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "synth: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace->attach_to_log();
+    opt.evolve.trace = trace.get();
+  }
+  if (progress) {
+    opt.evolve.on_improvement = [](std::uint64_t gen,
+                                   const core::Fitness& fit) {
+      std::fprintf(stderr, "  gen %llu: %s\n",
+                   static_cast<unsigned long long>(gen),
+                   fit.to_string().c_str());
+    };
+  }
+
   const auto spec = load_spec(input);
   const auto r = core::synthesize(spec, opt);
   std::printf("init: %s\n", r.initial_cost.to_string().c_str());
@@ -118,6 +222,17 @@ int cmd_synth(const std::vector<std::string>& args) {
               r.seconds_total);
   const auto check = cec::sim_check(r.optimized, spec);
   std::printf("equivalent: %s\n", check.all_match ? "yes" : "NO");
+  if (!metrics_path.empty()) {
+    if (!write_synth_metrics(metrics_path, r)) {
+      std::fprintf(stderr, "synth: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (trace) {
+    std::printf("wrote %s (%llu events)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(trace->lines_written()));
+  }
   if (!out_path.empty()) {
     io::write_rqfp_file(r.optimized, out_path);
     std::printf("wrote %s\n", out_path.c_str());
@@ -175,15 +290,46 @@ int cmd_exact(const std::vector<std::string>& args) {
 }
 
 int cmd_cec(const std::vector<std::string>& args) {
-  if (args.size() != 2) {
-    std::fprintf(stderr, "usage: rcgp cec <a.rqfp> <b.rqfp>\n");
+  std::vector<std::string> files;
+  bool json = false;
+  for (const auto& a : args) {
+    if (a == "--json") {
+      json = true;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 2) {
+    std::fprintf(stderr, "usage: rcgp cec <a.rqfp> <b.rqfp> [--json]\n");
     return 2;
   }
-  const auto a = io::parse_rqfp_file(args[0]);
-  const auto b = io::parse_rqfp_file(args[1]);
+  const auto a = io::parse_rqfp_file(files[0]);
+  const auto b = io::parse_rqfp_file(files[1]);
   const auto sat = cec::sat_check(a, b);
   const auto bdd = cec::bdd_check(a, b);
   const bool equal = sat.verdict == cec::CecVerdict::kEquivalent;
+  if (json) {
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("a", files[0]);
+    w.field("b", files[1]);
+    w.field("equivalent", equal);
+    w.field("sat_verdict",
+            sat.verdict == cec::CecVerdict::kEquivalent      ? "equivalent"
+            : sat.verdict == cec::CecVerdict::kNotEquivalent ? "not_equivalent"
+                                                             : "undecided");
+    w.field("bdd_equivalent", bdd.equivalent);
+    w.field("sat_conflicts", sat.conflicts);
+    w.key("counterexample");
+    if (sat.counterexample) {
+      w.value(static_cast<std::uint64_t>(*sat.counterexample));
+    } else {
+      w.null();
+    }
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return equal ? 0 : 1;
+  }
   std::printf("SAT: %s, BDD: %s\n",
               equal ? "equivalent" : "NOT equivalent",
               bdd.equivalent ? "equivalent" : "NOT equivalent");
@@ -231,17 +377,67 @@ int cmd_report(const std::vector<std::string>& args) {
 }
 
 int cmd_stats(const std::vector<std::string>& args) {
-  if (args.size() != 1) {
-    std::fprintf(stderr, "usage: rcgp stats <x.rqfp>\n");
+  std::vector<std::string> files;
+  bool json = false;
+  for (const auto& a : args) {
+    if (a == "--json") {
+      json = true;
+    } else {
+      files.push_back(a);
+    }
+  }
+  if (files.size() != 1) {
+    std::fprintf(stderr, "usage: rcgp stats <x.rqfp> [--json]\n");
     return 2;
   }
-  const auto net = io::parse_rqfp_file(args[0]);
+  const auto net = io::parse_rqfp_file(files[0]);
   const auto problem = net.validate();
+  const auto cost = rqfp::cost_of(net);
+  if (json) {
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("file", files[0]);
+    w.field("pis", net.num_pis());
+    w.field("pos", net.num_pos());
+    w.field("gates", net.num_gates());
+    w.key("cost").begin_object();
+    w.field("n_r", cost.n_r);
+    w.field("n_b", cost.n_b);
+    w.field("jjs", cost.jjs);
+    w.field("n_d", cost.n_d);
+    w.field("n_g", cost.n_g);
+    w.end_object();
+    w.field("legal", problem.empty());
+    if (!problem.empty()) {
+      w.field("problem", problem);
+    }
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
   std::printf("pis=%u pos=%u gates=%u\n", net.num_pis(), net.num_pos(),
               net.num_gates());
-  std::printf("%s\n", rqfp::cost_of(net).to_string().c_str());
+  std::printf("%s\n", cost.to_string().c_str());
   std::printf("legal: %s%s\n", problem.empty() ? "yes" : "NO — ",
               problem.c_str());
+  return 0;
+}
+
+int cmd_version(const std::vector<std::string>& args) {
+  const bool json = !args.empty() && args[0] == "--json";
+  if (json) {
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("name", "rcgp");
+    w.field("version", kVersionString);
+    w.field("major", kVersionMajor);
+    w.field("minor", kVersionMinor);
+    w.field("patch", kVersionPatch);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+    return 0;
+  }
+  std::printf("rcgp %s\n", kVersionString);
   return 0;
 }
 
@@ -249,8 +445,9 @@ int cmd_stats(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: rcgp <synth|exact|cec|stats|report|list> [args...]\n");
+    std::fprintf(
+        stderr,
+        "usage: rcgp <synth|exact|cec|stats|report|list|version> [args...]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -273,6 +470,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "report") {
       return cmd_report(args);
+    }
+    if (cmd == "version" || cmd == "--version") {
+      return cmd_version(args);
     }
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;

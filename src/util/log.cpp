@@ -1,13 +1,18 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 
 namespace rcgp::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<LogHook> g_hook{nullptr};
+} // namespace
 
-const char* tag(LogLevel level) {
+const char* log_level_tag(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
     case LogLevel::kInfo: return "INFO";
@@ -17,16 +22,50 @@ const char* tag(LogLevel level) {
   }
   return "?";
 }
-} // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+std::string iso8601_utc_now() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &secs);
+#else
+  gmtime_r(&secs, &tm_utc);
+#endif
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec,
+                static_cast<int>(millis));
+  return buf;
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_hook(LogHook hook) {
+  g_hook.store(hook, std::memory_order_release);
+}
 
 void log(LogLevel level, const std::string& message) {
-  if (level < g_level || g_level == LogLevel::kOff) {
+  const LogLevel threshold = log_level();
+  if (level < threshold || threshold == LogLevel::kOff) {
     return;
   }
-  std::fprintf(stderr, "[rcgp %s] %s\n", tag(level), message.c_str());
+  const std::string ts = iso8601_utc_now();
+  // One formatted write per message keeps concurrent log lines intact
+  // (stdio guarantees the single fprintf is not interleaved).
+  std::fprintf(stderr, "[%s rcgp %s] %s\n", ts.c_str(),
+               log_level_tag(level), message.c_str());
+  if (const LogHook hook = g_hook.load(std::memory_order_acquire)) {
+    hook(level, ts.c_str(), message.c_str());
+  }
 }
 
 } // namespace rcgp::util

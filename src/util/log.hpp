@@ -7,7 +7,9 @@ namespace rcgp::util {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 /// Minimal leveled logger writing to stderr. Global threshold defaults to
-/// kWarn so library code stays quiet unless a tool opts in.
+/// kWarn so library code stays quiet unless a tool opts in. Thread-safe:
+/// each message is emitted with a single fprintf and carries an ISO-8601
+/// UTC timestamp and a level tag.
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
@@ -17,5 +19,18 @@ inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
 inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
 inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
 inline void log_error(const std::string& m) { log(LogLevel::kError, m); }
+
+/// Hook invoked (in addition to the stderr write) for every message that
+/// passes the threshold — the attachment point for the obs trace sink
+/// (obs::TraceSink::attach_to_log). At most one hook is active; nullptr
+/// detaches.
+using LogHook = void (*)(LogLevel level, const char* iso8601_utc,
+                         const char* message);
+void set_log_hook(LogHook hook);
+
+/// Current UTC wall-clock time as "YYYY-MM-DDThh:mm:ss.mmmZ".
+std::string iso8601_utc_now();
+
+const char* log_level_tag(LogLevel level);
 
 } // namespace rcgp::util

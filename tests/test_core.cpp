@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "aig/aig_simulate.hpp"
 #include "benchmarks/benchmarks.hpp"
 #include "cec/sim_cec.hpp"
@@ -10,6 +12,8 @@
 #include "core/flow.hpp"
 #include "core/mutation.hpp"
 #include "core/shrink.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "rqfp/simulate.hpp"
 #include "rqfp/splitter.hpp"
 #include "util/rng.hpp"
@@ -414,6 +418,131 @@ TEST(Evolve, ImprovementCallbackFires) {
   EXPECT_EQ(static_cast<std::uint64_t>(calls), result.improvements);
 }
 
+/// Splits a JSONL buffer into its non-empty lines.
+std::vector<std::string> jsonl_lines(const std::string& buffer) {
+  std::vector<std::string> lines;
+  std::istringstream in(buffer);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+Fitness fitness_of_event(const std::string& line) {
+  Fitness f;
+  f.success_rate = *obs::json::number_field(line, "success_rate");
+  f.n_r = static_cast<std::uint32_t>(*obs::json::number_field(line, "n_r"));
+  f.n_g = static_cast<std::uint32_t>(*obs::json::number_field(line, "n_g"));
+  f.n_b = static_cast<std::uint32_t>(*obs::json::number_field(line, "n_b"));
+  return f;
+}
+
+TEST(Evolve, TraceEventsMatchResultCounters) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  auto sink = obs::TraceSink::memory();
+  EvolveParams params;
+  params.generations = 5000;
+  params.seed = 21;
+  params.trace = sink.get();
+  params.trace_heartbeat = 1000;
+  const auto result = evolve(init, b.spec, params);
+
+  const auto lines = jsonl_lines(sink->buffer());
+  ASSERT_FALSE(lines.empty());
+  std::vector<std::string> improvements;
+  std::uint64_t heartbeats = 0;
+  for (const auto& line : lines) {
+    ASSERT_TRUE(obs::json::validate(line)) << line;
+    const auto type = obs::json::string_field(line, "event");
+    ASSERT_TRUE(type.has_value()) << line;
+    if (*type == "improvement") {
+      improvements.push_back(line);
+    } else if (*type == "heartbeat") {
+      ++heartbeats;
+    }
+  }
+  EXPECT_EQ(obs::json::string_field(lines.front(), "event"), "run_start");
+  EXPECT_EQ(obs::json::string_field(lines.back(), "event"), "run_end");
+  EXPECT_EQ(improvements.size(), result.improvements);
+  EXPECT_EQ(heartbeats, result.generations_run / params.trace_heartbeat);
+
+  // Improvement events are strict improvements: monotone in the
+  // lexicographic fitness order, with the last matching the final result.
+  for (std::size_t i = 1; i < improvements.size(); ++i) {
+    EXPECT_TRUE(fitness_of_event(improvements[i])
+                    .strictly_better(fitness_of_event(improvements[i - 1])))
+        << improvements[i];
+  }
+  ASSERT_FALSE(improvements.empty());
+  const Fitness last = fitness_of_event(improvements.back());
+  EXPECT_EQ(last.n_r, result.best_fitness.n_r);
+  EXPECT_EQ(last.n_g, result.best_fitness.n_g);
+  EXPECT_EQ(last.n_b, result.best_fitness.n_b);
+
+  // run_end restates the result counters.
+  const std::string& end = lines.back();
+  EXPECT_EQ(*obs::json::number_field(end, "generations_run"),
+            static_cast<double>(result.generations_run));
+  EXPECT_EQ(*obs::json::number_field(end, "evaluations"),
+            static_cast<double>(result.evaluations));
+  EXPECT_EQ(*obs::json::number_field(end, "improvements"),
+            static_cast<double>(result.improvements));
+}
+
+TEST(Evolve, MutationMixAccountsForEveryOffspring) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  EvolveParams params;
+  params.generations = 2000;
+  params.seed = 13;
+  const auto result = evolve(init, b.spec, params);
+  // One mutate() call per offspring per generation.
+  EXPECT_EQ(result.mutations_attempted.mutations,
+            result.generations_run * params.lambda);
+  EXPECT_EQ(result.evaluations,
+            result.generations_run * params.lambda + 1); // +1 for the parent
+  // Accepted offspring are a subset of attempted ones, field by field.
+  EXPECT_LE(result.mutations_accepted.mutations,
+            result.mutations_attempted.mutations);
+  EXPECT_LE(result.mutations_accepted.genes_changed,
+            result.mutations_attempted.genes_changed);
+  EXPECT_LE(result.mutations_accepted.swaps,
+            result.mutations_attempted.swaps);
+  EXPECT_LE(result.mutations_accepted.direct_assigns,
+            result.mutations_attempted.direct_assigns);
+  EXPECT_LE(result.mutations_accepted.config_flips,
+            result.mutations_attempted.config_flips);
+  EXPECT_LE(result.mutations_accepted.po_moves,
+            result.mutations_attempted.po_moves);
+  // Acceptances happen (the decoder always improves at this budget), and
+  // each acceptance is one offspring.
+  EXPECT_GE(result.mutations_accepted.mutations, result.improvements);
+}
+
+TEST(EvolveMultistart, TraceEmitsOneRestartPerRun) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  auto sink = obs::TraceSink::memory();
+  EvolveParams params;
+  params.generations = 300;
+  params.seed = 2;
+  params.trace = sink.get();
+  const auto result = evolve_multistart(init, b.spec, params, 3);
+  std::uint64_t restarts = 0;
+  for (const auto& line : jsonl_lines(sink->buffer())) {
+    ASSERT_TRUE(obs::json::validate(line)) << line;
+    if (obs::json::string_field(line, "event") == "restart") {
+      ++restarts;
+    }
+  }
+  EXPECT_EQ(restarts, 3u);
+  EXPECT_TRUE(result.best_fitness.functionally_correct());
+}
+
 TEST(EvolveMultistart, ReturnsValidBestOfRuns) {
   const auto b = benchmarks::get("decoder_2_4");
   const auto init = init_netlist("decoder_2_4");
@@ -538,6 +667,36 @@ TEST(Flow, OptionalPhasesCanBeDisabled) {
   opt.run_cgp = false;
   const auto r = synthesize(b.spec, opt);
   EXPECT_TRUE(cec::sim_check(r.initial, b.spec).all_match);
+}
+
+TEST(Flow, PhaseBreakdownPartitionsWallClock) {
+  const auto b = benchmarks::get("c17");
+  FlowOptions opt;
+  opt.evolve.generations = 2000;
+  opt.evolve.seed = 7;
+  const auto r = synthesize(b.spec, opt);
+  ASSERT_FALSE(r.phases.empty());
+  // The CGP phase exists and dominates this run; the nested splitter timer
+  // shows up as a depth-1 refinement of rqfp-map.
+  EXPECT_GT(r.phase_seconds("cgp"), 0.0);
+  bool saw_nested_splitter = false;
+  double top_sum = 0.0;
+  for (const auto& rec : r.phases) {
+    EXPECT_GE(rec.seconds, 0.0);
+    if (rec.depth == 0) {
+      top_sum += rec.seconds;
+    }
+    if (rec.path == "rqfp-map/splitter") {
+      EXPECT_EQ(rec.depth, 1);
+      saw_nested_splitter = true;
+    }
+  }
+  EXPECT_TRUE(saw_nested_splitter);
+  // Depth-0 phases partition the flow: their sum accounts for (nearly all
+  // of) seconds_total and never exceeds it by more than noise.
+  EXPECT_GT(top_sum, 0.5 * r.seconds_total);
+  EXPECT_LT(top_sum, 1.1 * r.seconds_total);
+  EXPECT_EQ(r.phase_seconds("no-such-phase"), 0.0);
 }
 
 } // namespace

@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
+
+namespace rcgp::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writer / validator
+
+TEST(Json, EscapeSpecials) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json::escape(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(Json, WriterProducesValidDocument) {
+  json::Writer w;
+  w.begin_object()
+      .field("name", "rcgp")
+      .field("count", std::uint64_t{42})
+      .field("rate", 0.5)
+      .field("ok", true)
+      .key("inner")
+      .begin_object()
+      .field("neg", -3)
+      .end_object()
+      .key("list")
+      .begin_array()
+      .value(1)
+      .value(2)
+      .end_array()
+      .key("missing")
+      .null()
+      .end_object();
+  ASSERT_TRUE(w.complete());
+  EXPECT_TRUE(json::validate(w.str()));
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"rcgp\",\"count\":42,\"rate\":0.5,\"ok\":true,"
+            "\"inner\":{\"neg\":-3},\"list\":[1,2],\"missing\":null}");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  json::Writer w;
+  w.begin_object()
+      .field("inf", std::numeric_limits<double>::infinity())
+      .field("nan", std::numeric_limits<double>::quiet_NaN())
+      .end_object();
+  EXPECT_TRUE(json::validate(w.str()));
+  EXPECT_EQ(w.str(), "{\"inf\":null,\"nan\":null}");
+}
+
+TEST(Json, ValidateAcceptsWellFormed) {
+  EXPECT_TRUE(json::validate("{}"));
+  EXPECT_TRUE(json::validate("[]"));
+  EXPECT_TRUE(json::validate("  {\"a\": [1, 2.5, -3e4], \"b\": null} "));
+  EXPECT_TRUE(json::validate("\"just a string\""));
+  EXPECT_TRUE(json::validate("true"));
+  EXPECT_TRUE(json::validate("-0.5"));
+}
+
+TEST(Json, ValidateRejectsMalformed) {
+  EXPECT_FALSE(json::validate(""));
+  EXPECT_FALSE(json::validate("{"));
+  EXPECT_FALSE(json::validate("{\"a\":}"));
+  EXPECT_FALSE(json::validate("{\"a\":1,}"));
+  EXPECT_FALSE(json::validate("[1 2]"));
+  EXPECT_FALSE(json::validate("{} extra"));
+  EXPECT_FALSE(json::validate("{\"unterminated"));
+  EXPECT_FALSE(json::validate("nul"));
+}
+
+TEST(Json, FieldExtractors) {
+  const std::string doc =
+      "{\"event\":\"improvement\",\"gen\":1234,\"rate\":0.75,"
+      "\"msg\":\"a\\\"b\"}";
+  ASSERT_TRUE(json::validate(doc));
+  EXPECT_EQ(json::number_field(doc, "gen"), 1234.0);
+  EXPECT_EQ(json::number_field(doc, "rate"), 0.75);
+  EXPECT_FALSE(json::number_field(doc, "absent").has_value());
+  EXPECT_EQ(json::string_field(doc, "event"), "improvement");
+  EXPECT_EQ(json::string_field(doc, "msg"), "a\"b");
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(Metrics, CounterIncrementsAndSameNameSameObject) {
+  Counter& a = registry().counter("test.obs.counter_a");
+  Counter& b = registry().counter("test.obs.counter_a");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.inc();
+  a.inc(9);
+  EXPECT_EQ(b.value(), 10u);
+}
+
+TEST(Metrics, GaugeSetAddReset) {
+  Gauge& g = registry().gauge("test.obs.gauge_a");
+  g.reset();
+  g.set(1.5);
+  g.add(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketingIncludesBoundaries) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram& h = registry().histogram("test.obs.hist_a", bounds);
+  h.reset();
+  // Bound values are inclusive upper limits: 1.0 lands in the first bucket.
+  h.observe(0.5);
+  h.observe(1.0);
+  h.observe(5.0);
+  h.observe(10.0);
+  h.observe(100.0);
+  h.observe(1e9); // overflow bucket
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 10.0 + 100.0 + 1e9);
+  ASSERT_EQ(h.num_buckets(), 4u); // 3 bounds + inf
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);
+}
+
+TEST(Metrics, HistogramFirstRegistrationBoundsWin) {
+  const double first[] = {1.0, 2.0};
+  const double second[] = {5.0};
+  Histogram& a = registry().histogram("test.obs.hist_b", first);
+  Histogram& b = registry().histogram("test.obs.hist_b", second);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.bounds().size(), 2u);
+}
+
+TEST(Metrics, ToJsonIsValidAndCarriesValues) {
+  registry().counter("test.obs.json_counter").reset();
+  registry().counter("test.obs.json_counter").inc(7);
+  const std::string doc = registry().to_json();
+  ASSERT_TRUE(json::validate(doc));
+  EXPECT_EQ(json::number_field(doc, "test.obs.json_counter"), 7.0);
+}
+
+TEST(Metrics, ResetValuesKeepsAddressesZeroesValues) {
+  Counter& c = registry().counter("test.obs.reset_counter");
+  c.inc(3);
+  registry().reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&c, &registry().counter("test.obs.reset_counter"));
+}
+
+TEST(Metrics, CounterIsThreadSafe) {
+  Counter& c = registry().counter("test.obs.mt_counter");
+  c.reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10000; ++i) {
+        c.inc();
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(c.value(), 40000u);
+}
+
+// ---------------------------------------------------------------------------
+// Phase timers
+
+TEST(Phase, NestedTimersReportPathsAndDepths) {
+  PhaseCollector collector;
+  {
+    PhaseTimer outer("outer");
+    EXPECT_EQ(outer.path(), "outer");
+    EXPECT_EQ(outer.depth(), 0);
+    {
+      PhaseTimer inner("inner");
+      EXPECT_EQ(inner.path(), "outer/inner");
+      EXPECT_EQ(inner.depth(), 1);
+    }
+  }
+  {
+    PhaseTimer second("second");
+    EXPECT_EQ(second.depth(), 0);
+  }
+  const auto& recs = collector.records();
+  ASSERT_EQ(recs.size(), 3u);
+  // Inner destructs first, so records are completion-ordered.
+  EXPECT_EQ(recs[0].path, "outer/inner");
+  EXPECT_EQ(recs[0].depth, 1);
+  EXPECT_EQ(recs[1].path, "outer");
+  EXPECT_EQ(recs[1].depth, 0);
+  EXPECT_EQ(recs[2].path, "second");
+  EXPECT_GE(recs[1].seconds, recs[0].seconds);
+  EXPECT_DOUBLE_EQ(collector.top_level_seconds(),
+                   recs[1].seconds + recs[2].seconds);
+}
+
+TEST(Phase, CollectorsNestAndRestore) {
+  PhaseCollector outer_collector;
+  { PhaseTimer t("before"); }
+  {
+    PhaseCollector inner_collector;
+    { PhaseTimer t("inside"); }
+    ASSERT_EQ(inner_collector.records().size(), 1u);
+    EXPECT_EQ(inner_collector.records()[0].path, "inside");
+  }
+  { PhaseTimer t("after"); }
+  ASSERT_EQ(outer_collector.records().size(), 2u);
+  EXPECT_EQ(outer_collector.records()[0].path, "before");
+  EXPECT_EQ(outer_collector.records()[1].path, "after");
+}
+
+TEST(Phase, TimerFeedsRegistryGauge) {
+  Gauge& g = registry().gauge("phase_seconds{test-phase}");
+  g.reset();
+  { PhaseTimer t("test-phase"); }
+  EXPECT_GT(g.value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Trace sink
+
+std::vector<std::string> lines_of(const std::string& buffer) {
+  std::vector<std::string> lines;
+  std::istringstream in(buffer);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+TEST(Trace, MemorySinkEmitsOneValidJsonPerLine) {
+  auto sink = TraceSink::memory();
+  ASSERT_NE(sink, nullptr);
+  sink->event("alpha").field("x", 1).field("note", "a\"quote");
+  sink->event("beta").field("rate", 0.25);
+  {
+    auto ev = sink->event("gamma");
+    ev.begin("nested").field("inner", 2).end();
+  }
+  EXPECT_EQ(sink->lines_written(), 3u);
+  const auto lines = lines_of(sink->buffer());
+  ASSERT_EQ(lines.size(), 3u);
+  for (const auto& line : lines) {
+    EXPECT_TRUE(json::validate(line)) << line;
+  }
+  EXPECT_EQ(json::string_field(lines[0], "event"), "alpha");
+  EXPECT_EQ(json::number_field(lines[0], "seq"), 0.0);
+  EXPECT_EQ(json::number_field(lines[1], "seq"), 1.0);
+  EXPECT_EQ(json::string_field(lines[0], "note"), "a\"quote");
+  EXPECT_EQ(json::number_field(lines[2], "inner"), 2.0);
+}
+
+TEST(Trace, FileSinkRoundTrips) {
+  const std::string path = ::testing::TempDir() + "rcgp_trace_test.jsonl";
+  {
+    auto sink = TraceSink::open(path);
+    ASSERT_NE(sink, nullptr);
+    sink->event("one").field("v", 1);
+    sink->event("two").field("v", 2);
+    sink->flush();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content(4096, '\0');
+  content.resize(std::fread(content.data(), 1, content.size(), f));
+  std::fclose(f);
+  const auto lines = lines_of(content);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(json::validate(lines[0]));
+  EXPECT_TRUE(json::validate(lines[1]));
+  EXPECT_EQ(json::string_field(lines[1], "event"), "two");
+  std::remove(path.c_str());
+}
+
+TEST(Trace, OpenFailureReturnsNull) {
+  EXPECT_EQ(TraceSink::open("/nonexistent-dir/trace.jsonl"), nullptr);
+}
+
+TEST(Trace, AttachToLogRoutesMessages) {
+  const util::LogLevel saved = util::log_level();
+  {
+    auto sink = TraceSink::memory();
+    sink->attach_to_log();
+    util::set_log_level(util::LogLevel::kInfo);
+    util::log_info("hello from the test");
+    util::log_debug("below threshold, not routed");
+    const auto lines = lines_of(sink->buffer());
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_TRUE(json::validate(lines[0]));
+    EXPECT_EQ(json::string_field(lines[0], "event"), "log");
+    EXPECT_EQ(json::string_field(lines[0], "level"), "INFO");
+    EXPECT_EQ(json::string_field(lines[0], "message"), "hello from the test");
+    const auto ts = json::string_field(lines[0], "ts");
+    ASSERT_TRUE(ts.has_value());
+    EXPECT_EQ(ts->size(), 24u); // 2026-08-05T12:00:00.000Z
+    EXPECT_EQ((*ts)[10], 'T');
+    EXPECT_EQ(ts->back(), 'Z');
+  }
+  // Sink destruction detaches the hook; logging must not crash afterwards.
+  util::log_info("after detach");
+  util::set_log_level(saved);
+}
+
+TEST(Trace, Iso8601TimestampShape) {
+  const std::string ts = util::iso8601_utc_now();
+  ASSERT_EQ(ts.size(), 24u);
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[7], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[13], ':');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts[23], 'Z');
+}
+
+} // namespace
+} // namespace rcgp::obs
