@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Kill/resume smoke test (docs/ROBUSTNESS.md):
+#   1. start a checkpointed synth run and SIGTERM it mid-flight (exit 3;
+#      the final checkpoint is flushed on the way out),
+#   2. resume from the checkpoint to completion (exit 0, equivalent output),
+#   3. assert the resumed fitness is no worse than the checkpointed one
+#      (paper-lexicographic gates / garbage / buffers order),
+#   4. assert the resumed trace ends with run_end reason "resumed-complete".
+#
+# Usage: scripts/kill_resume_test.sh [path-to-rcgp-binary]
+# Tunables: RCGP_KR_BENCH, RCGP_KR_GENERATIONS, RCGP_KR_SEED,
+#           RCGP_KR_KILL_AFTER (seconds before the SIGTERM).
+set -euo pipefail
+
+RCGP="${1:-./build/src/rcgp}"
+BENCH="${RCGP_KR_BENCH:-decoder_2_4}"
+GENS="${RCGP_KR_GENERATIONS:-1000000}"
+SEED="${RCGP_KR_SEED:-11}"
+KILL_AFTER="${RCGP_KR_KILL_AFTER:-2}"
+
+WORKDIR="$(mktemp -d)"
+trap 'rm -rf "$WORKDIR"' EXIT
+CKPT="$WORKDIR/run.ckpt"
+
+echo "== phase 1: checkpointed run, SIGTERM after ${KILL_AFTER}s"
+"$RCGP" synth "$BENCH" -g "$GENS" -s "$SEED" \
+  --checkpoint="$CKPT" --checkpoint-interval=2000 \
+  --trace-out="$WORKDIR/interrupted.jsonl" &
+PID=$!
+sleep "$KILL_AFTER"
+kill -TERM "$PID" 2>/dev/null || true
+set +e
+wait "$PID"
+STATUS=$?
+set -e
+if [ "$STATUS" -eq 3 ]; then
+  echo "   interrupted as expected (exit 3)"
+elif [ "$STATUS" -eq 0 ]; then
+  echo "   run finished before the signal landed — resume becomes a no-op"
+else
+  echo "FAIL: interrupted run exited with $STATUS (expected 3 or 0)" >&2
+  exit 1
+fi
+test -f "$CKPT" || { echo "FAIL: no checkpoint at $CKPT" >&2; exit 1; }
+cp "$CKPT" "$WORKDIR/at_interrupt.ckpt"
+
+echo "== phase 2: resume to completion"
+"$RCGP" synth "$BENCH" -g "$GENS" -s "$SEED" \
+  --checkpoint="$CKPT" --resume \
+  --trace-out="$WORKDIR/resumed.jsonl" | tee "$WORKDIR/resumed.out"
+grep -q "equivalent: yes" "$WORKDIR/resumed.out" \
+  || { echo "FAIL: resumed result not equivalent" >&2; exit 1; }
+
+echo "== phase 3: resumed fitness must be no worse than the checkpointed one"
+# Checkpoint fitness line: "fitness <success-rate> <gates> <garbage> <buffers>"
+fit() { grep '^fitness ' "$1" | awk '{print $3, $4, $5}'; }
+read -r R1 G1 B1 <<<"$(fit "$WORKDIR/at_interrupt.ckpt")"
+read -r R2 G2 B2 <<<"$(fit "$CKPT")"
+echo "   checkpointed: gates=$R1 garbage=$G1 buffers=$B1"
+echo "   resumed:      gates=$R2 garbage=$G2 buffers=$B2"
+worse=$((R2 > R1 || (R2 == R1 && (G2 > G1 || (G2 == G1 && B2 > B1)))))
+if [ "$worse" -ne 0 ]; then
+  echo "FAIL: resumed fitness regressed" >&2
+  exit 1
+fi
+
+echo "== phase 4: trace must end as a resumed completion"
+grep -q '"reason":"resumed-complete"' "$WORKDIR/resumed.jsonl" \
+  || { echo "FAIL: trace lacks run_end reason=resumed-complete" >&2; exit 1; }
+
+echo "PASS: kill/resume smoke test"

@@ -66,6 +66,25 @@ AnnealResult anneal(const rqfp::Netlist& initial,
   const double t0 = params.initial_temperature;
   const double t1 = params.final_temperature;
   for (std::uint64_t step = 0; step < params.steps; ++step) {
+    if (params.budget.stop_requested()) {
+      result.stop_reason = robust::StopReason::kStopRequested;
+      break;
+    }
+    if (params.budget.max_generations &&
+        step >= params.budget.max_generations) {
+      result.stop_reason = robust::StopReason::kGenerationBudget;
+      break;
+    }
+    if (params.budget.max_evaluations &&
+        result.steps_run >= params.budget.max_evaluations) {
+      result.stop_reason = robust::StopReason::kEvaluationBudget;
+      break;
+    }
+    if (params.budget.deadline_seconds > 0.0 &&
+        watch.seconds() > params.budget.deadline_seconds) {
+      result.stop_reason = robust::StopReason::kTimeLimit;
+      break;
+    }
     ++result.steps_run;
     const double progress =
         params.steps > 1
@@ -124,6 +143,7 @@ AnnealResult anneal(const rqfp::Netlist& initial,
   if (trace) {
     trace->event("run_end")
         .field("optimizer", "anneal")
+        .field("reason", std::string_view(to_string(result.stop_reason)))
         .field("steps_run", result.steps_run)
         .field("accepted", result.accepted)
         .field("uphill_accepted", result.uphill_accepted)

@@ -6,6 +6,7 @@
 #include "core/fitness.hpp"
 #include "core/mutation.hpp"
 #include "obs/trace.hpp"
+#include "robust/stop.hpp"
 #include "rqfp/netlist.hpp"
 #include "tt/truth_table.hpp"
 
@@ -25,6 +26,11 @@ struct AnnealParams {
   std::uint64_t seed = 1;
   FitnessOptions fitness;
 
+  /// Cooperative stop / deadline / evaluation budgets, polled every step.
+  /// Tripping any of them exits cleanly with the best-seen netlist;
+  /// max_generations caps steps here.
+  robust::RunBudget budget;
+
   /// Optional JSONL trace (not owned; nullptr disables). Events:
   /// run_start, improvement (new best-seen), heartbeat, run_end.
   obs::TraceSink* trace = nullptr;
@@ -39,6 +45,8 @@ struct AnnealResult {
   std::uint64_t accepted = 0;
   std::uint64_t uphill_accepted = 0;
   double seconds = 0.0;
+  /// Why the loop exited (kCompleted = full step budget consumed).
+  robust::StopReason stop_reason = robust::StopReason::kCompleted;
 };
 
 /// Scalar energy used by the annealer: functional mismatches dominate,

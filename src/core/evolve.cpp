@@ -4,7 +4,9 @@
 
 #include "cec/sat_cec.hpp"
 #include "core/shrink.hpp"
+#include "io/rqfp_writer.hpp"
 #include "obs/metrics.hpp"
+#include "robust/checkpoint.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rcgp::core {
@@ -33,11 +35,23 @@ void put_mix(obs::TraceEvent& ev, const char* key, const MutationMix& m) {
 constexpr double kImprovementGapBounds[] = {1,    10,    100,   1000,
                                             1e4,  1e5,   1e6};
 
-} // namespace
+/// Stable run_end reason string; a resumed run that consumes its full
+/// budget reports "resumed-complete" so the kill/resume smoke test can
+/// assert the whole chain finished.
+std::string run_end_reason(robust::StopReason reason, bool resumed) {
+  if (resumed && reason == robust::StopReason::kCompleted) {
+    return "resumed-complete";
+  }
+  return to_string(reason);
+}
 
-EvolveResult evolve(const rqfp::Netlist& initial,
-                    std::span<const tt::TruthTable> spec,
-                    const EvolveParams& params) {
+/// Shared implementation behind evolve() and evolve_resume(). When
+/// `resume` is non-null the loop continues from the checkpointed state;
+/// all result counters are then cumulative across the resume chain.
+EvolveResult evolve_run(const rqfp::Netlist& initial,
+                        std::span<const tt::TruthTable> spec,
+                        const EvolveParams& params,
+                        const robust::EvolveCheckpoint* resume) {
   if (spec.size() != initial.num_pos()) {
     throw std::invalid_argument("evolve: spec/PO count mismatch");
   }
@@ -55,40 +69,181 @@ EvolveResult evolve(const rqfp::Netlist& initial,
       "evolve.generations_between_improvements", kImprovementGapBounds);
 
   util::Stopwatch watch;
+  // Resumed runs keep counting the checkpointed wall clock, so deadlines
+  // and the reported seconds span the whole resume chain.
+  const double base_seconds = resume ? resume->elapsed_seconds : 0.0;
+  const auto elapsed = [&] { return base_seconds + watch.seconds(); };
+
   util::Rng rng(params.seed);
+  if (resume) {
+    rng.set_state(resume->rng_state);
+  }
   obs::TraceSink* const trace = params.trace;
 
   EvolveResult result;
-  rqfp::Netlist parent =
-      params.disable_shrink ? initial : shrink(initial);
-  Fitness parent_fit = evaluate(parent, spec, params.fitness);
-  ++result.evaluations;
-  if (!parent_fit.functionally_correct()) {
-    throw std::invalid_argument(
-        "evolve: initial netlist does not implement the specification");
+  result.resumed = resume != nullptr;
+  rqfp::Netlist parent;
+  Fitness parent_fit;
+  if (resume) {
+    parent = resume->parent;
+    // Re-evaluating restores Fitness::objective (not serialized) and
+    // cross-checks the checkpointed netlist against the checkpointed
+    // fitness — a corrupted-but-CRC-valid state never continues silently.
+    // Not counted: the checkpoint already accounts for this evaluation.
+    parent_fit = evaluate(parent, spec, params.fitness);
+    if (!parent_fit.functionally_correct()) {
+      throw robust::IntegrityError(
+          robust::IntegrityError::Kind::kFunctional, "evolve:resume",
+          "checkpointed parent does not implement the specification",
+          io::write_rqfp_string(parent));
+    }
+    if (parent_fit.success_rate != resume->fitness.success_rate ||
+        parent_fit.n_r != resume->fitness.n_r ||
+        parent_fit.n_g != resume->fitness.n_g ||
+        parent_fit.n_b != resume->fitness.n_b) {
+      throw robust::IntegrityError(
+          robust::IntegrityError::Kind::kFunctional, "evolve:resume",
+          "checkpointed fitness " + resume->fitness.to_string() +
+              " does not match re-evaluated parent " + parent_fit.to_string(),
+          io::write_rqfp_string(parent));
+    }
+    result.generations_run = resume->generation;
+    result.evaluations = resume->evaluations;
+    result.improvements = resume->improvements;
+    result.sat_confirmations = resume->sat_confirmations;
+    result.sat_cec_conflicts = resume->sat_cec_conflicts;
+    result.mutations_attempted = resume->mutations_attempted;
+    result.mutations_accepted = resume->mutations_accepted;
+  } else {
+    parent = params.disable_shrink ? initial : shrink(initial);
+    parent_fit = evaluate(parent, spec, params.fitness);
+    ++result.evaluations;
+    if (!parent_fit.functionally_correct()) {
+      throw std::invalid_argument(
+          "evolve: initial netlist does not implement the specification");
+    }
   }
   c_runs.inc();
+  if (params.paranoia >= robust::ParanoiaLevel::kBoundaries) {
+    robust::enforce_integrity(parent, spec,
+                              resume ? "evolve:resume" : "evolve:start");
+  }
 
   if (trace) {
+    if (resume) {
+      trace->event("checkpoint_loaded")
+          .field("path", std::string_view(params.checkpoint_path))
+          .field("generation", resume->generation)
+          .field("evaluations", resume->evaluations);
+    }
     auto ev = trace->event("run_start");
     ev.field("optimizer", "evolve")
         .field("generations", params.generations)
         .field("lambda", static_cast<std::uint64_t>(params.lambda))
         .field("mu", params.mutation.mu)
-        .field("seed", params.seed);
+        .field("seed", params.seed)
+        .field("resumed", result.resumed);
     put_fitness(ev, parent_fit);
   }
 
-  std::uint64_t since_improvement = 0;
-  std::uint64_t last_improvement_gen = 0;
-  for (std::uint64_t gen = 0; gen < params.generations; ++gen) {
-    ++result.generations_run;
+  std::uint64_t since_improvement = resume ? resume->since_improvement : 0;
+  std::uint64_t last_improvement_gen =
+      resume ? resume->last_improvement_gen : 0;
+  auto stop_reason = robust::StopReason::kCompleted;
+
+  // Polled between offspring evaluations, so a deadline or a SIGINT is
+  // honored within one evaluation even for SAT-heavy configurations.
+  const auto budget_stop = [&]() -> bool {
+    if (params.budget.stop_requested()) {
+      stop_reason = robust::StopReason::kStopRequested;
+      return true;
+    }
+    if (params.budget.max_evaluations &&
+        result.evaluations >= params.budget.max_evaluations) {
+      stop_reason = robust::StopReason::kEvaluationBudget;
+      return true;
+    }
+    if (params.time_limit_seconds > 0.0 ||
+        params.budget.deadline_seconds > 0.0) {
+      const double t = elapsed();
+      if ((params.time_limit_seconds > 0.0 &&
+           t > params.time_limit_seconds) ||
+          (params.budget.deadline_seconds > 0.0 &&
+           t > params.budget.deadline_seconds)) {
+        stop_reason = robust::StopReason::kTimeLimit;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const bool checkpointing = !params.checkpoint_path.empty();
+  const auto make_checkpoint = [&] {
+    robust::EvolveCheckpoint ck;
+    ck.seed = params.seed;
+    ck.lambda = params.lambda;
+    ck.mu = params.mutation.mu;
+    ck.generations_total = params.generations;
+    ck.generation = result.generations_run;
+    ck.rng_state = rng.state();
+    ck.evaluations = result.evaluations;
+    ck.improvements = result.improvements;
+    ck.sat_confirmations = result.sat_confirmations;
+    ck.sat_cec_conflicts = result.sat_cec_conflicts;
+    ck.since_improvement = since_improvement;
+    ck.last_improvement_gen = last_improvement_gen;
+    ck.elapsed_seconds = elapsed();
+    ck.fitness = parent_fit;
+    ck.mutations_attempted = result.mutations_attempted;
+    ck.mutations_accepted = result.mutations_accepted;
+    ck.parent = parent;
+    return ck;
+  };
+  const auto save_checkpoint_now = [&] {
+    robust::save_checkpoint(make_checkpoint(), params.checkpoint_path);
+    if (trace) {
+      trace->event("checkpoint_saved")
+          .field("path", std::string_view(params.checkpoint_path))
+          .field("generation", result.generations_run)
+          .field("evaluations", result.evaluations);
+    }
+  };
+
+  // Boundary snapshot for mid-generation interruptions: a generation is
+  // atomic w.r.t. resume, so a stop inside the λ loop rolls these back and
+  // the discarded half-generation is re-run identically after resume.
+  struct BoundarySnapshot {
+    std::array<std::uint64_t, 4> rng_state{};
+    std::uint64_t evaluations = 0;
+    MutationMix attempted;
+  };
+
+  const std::uint64_t start_gen = resume ? resume->generation : 0;
+  bool interrupted = false;
+  for (std::uint64_t gen = start_gen; gen < params.generations; ++gen) {
+    if (params.budget.max_generations &&
+        gen >= params.budget.max_generations) {
+      stop_reason = robust::StopReason::kGenerationBudget;
+      break;
+    }
+    if (checkpointing && params.checkpoint_interval && gen > start_gen &&
+        gen % params.checkpoint_interval == 0) {
+      save_checkpoint_now();
+    }
+    BoundarySnapshot snap;
+    snap.rng_state = rng.state();
+    snap.evaluations = result.evaluations;
+    snap.attempted = result.mutations_attempted;
 
     rqfp::Netlist best_child;
     Fitness best_child_fit;
     MutationStats best_child_stats;
     bool have_child = false;
     for (unsigned k = 0; k < params.lambda; ++k) {
+      if (budget_stop()) {
+        interrupted = true;
+        break;
+      }
       rqfp::Netlist child = parent;
       const MutationStats stats = mutate(child, rng, params.mutation);
       result.mutations_attempted.add(stats);
@@ -100,6 +255,12 @@ EvolveResult evolve(const rqfp::Netlist& initial,
         best_child_stats = stats;
         have_child = true;
       }
+    }
+    if (interrupted) {
+      rng.set_state(snap.rng_state);
+      result.evaluations = snap.evaluations;
+      result.mutations_attempted = snap.attempted;
+      break;
     }
 
     if (have_child && best_child_fit.better_or_equal(parent_fit)) {
@@ -119,6 +280,11 @@ EvolveResult evolve(const rqfp::Netlist& initial,
                                        : shrink(best_child);
         parent_fit = best_child_fit;
         result.mutations_accepted.add(best_child_stats);
+        if (params.paranoia == robust::ParanoiaLevel::kEveryAcceptance) {
+          robust::enforce_integrity(
+              parent, spec,
+              "evolve:acceptance:gen=" + std::to_string(gen));
+        }
         if (improved) {
           ++result.improvements;
           since_improvement = 0;
@@ -129,7 +295,7 @@ EvolveResult evolve(const rqfp::Netlist& initial,
             ev.field("gen", gen)
                 .field("evaluations", result.evaluations)
                 .field("improvements", result.improvements)
-                .field("elapsed_s", watch.seconds());
+                .field("elapsed_s", elapsed());
             put_fitness(ev, parent_fit);
           }
           if (params.on_improvement) {
@@ -144,6 +310,7 @@ EvolveResult evolve(const rqfp::Netlist& initial,
     } else {
       ++since_improvement;
     }
+    result.generations_run = gen + 1;
 
     if (trace && params.trace_heartbeat &&
         (gen + 1) % params.trace_heartbeat == 0) {
@@ -151,31 +318,46 @@ EvolveResult evolve(const rqfp::Netlist& initial,
       ev.field("gen", gen)
           .field("evaluations", result.evaluations)
           .field("improvements", result.improvements)
-          .field("elapsed_s", watch.seconds());
+          .field("elapsed_s", elapsed());
       put_fitness(ev, parent_fit);
     }
 
-    if (params.stagnation_limit && since_improvement >= params.stagnation_limit) {
-      break;
-    }
-    if (params.time_limit_seconds > 0.0 && (gen & 63) == 0 &&
-        watch.seconds() > params.time_limit_seconds) {
+    if (params.stagnation_limit &&
+        since_improvement >= params.stagnation_limit) {
+      stop_reason = robust::StopReason::kStagnation;
       break;
     }
   }
 
+  if (params.paranoia >= robust::ParanoiaLevel::kBoundaries) {
+    robust::enforce_integrity(parent, spec, "evolve:end");
+  }
+  if (checkpointing) {
+    // Final boundary checkpoint on every exit path, so an interrupted run
+    // can always be continued and a completed run leaves an auditable
+    // terminal state.
+    save_checkpoint_now();
+  }
+
   result.best = std::move(parent);
   result.best_fitness = parent_fit;
-  result.seconds = watch.seconds();
+  result.seconds = elapsed();
+  result.stop_reason = stop_reason;
 
-  c_generations.inc(result.generations_run);
-  c_evaluations.inc(result.evaluations);
-  c_improvements.inc(result.improvements);
-  c_sat_confirmations.inc(result.sat_confirmations);
+  c_generations.inc(result.generations_run -
+                    (resume ? resume->generation : 0));
+  c_evaluations.inc(result.evaluations -
+                    (resume ? resume->evaluations : 0));
+  c_improvements.inc(result.improvements -
+                     (resume ? resume->improvements : 0));
+  c_sat_confirmations.inc(result.sat_confirmations -
+                          (resume ? resume->sat_confirmations : 0));
 
   if (trace) {
     auto ev = trace->event("run_end");
     ev.field("optimizer", "evolve")
+        .field("reason",
+               std::string_view(run_end_reason(stop_reason, result.resumed)))
         .field("generations_run", result.generations_run)
         .field("evaluations", result.evaluations)
         .field("improvements", result.improvements)
@@ -190,29 +372,81 @@ EvolveResult evolve(const rqfp::Netlist& initial,
   return result;
 }
 
+} // namespace
+
+EvolveResult evolve(const rqfp::Netlist& initial,
+                    std::span<const tt::TruthTable> spec,
+                    const EvolveParams& params) {
+  return evolve_run(initial, spec, params, nullptr);
+}
+
+EvolveResult evolve_resume(const std::string& checkpoint_path,
+                           std::span<const tt::TruthTable> spec,
+                           const EvolveParams& params) {
+  static obs::Counter& c_resumes = obs::registry().counter("evolve.resumes");
+  const robust::EvolveCheckpoint ck = robust::load_checkpoint(checkpoint_path);
+  if (ck.seed != params.seed ||
+      ck.lambda != params.lambda ||
+      ck.mu != params.mutation.mu ||
+      ck.generations_total != params.generations) {
+    throw std::invalid_argument(
+        "evolve_resume: checkpoint was taken under a different run "
+        "configuration (seed/lambda/mu/generations mismatch): " +
+        checkpoint_path);
+  }
+  EvolveParams run_params = params;
+  if (run_params.checkpoint_path.empty()) {
+    run_params.checkpoint_path = checkpoint_path;
+  }
+  c_resumes.inc();
+  return evolve_run(ck.parent, spec, run_params, &ck);
+}
+
 EvolveResult evolve_multistart(const rqfp::Netlist& initial,
                                std::span<const tt::TruthTable> spec,
                                const EvolveParams& params,
                                unsigned restarts) {
   if (restarts == 0) {
-    restarts = 1;
+    throw std::invalid_argument("evolve_multistart: restarts must be >= 1");
   }
   util::Stopwatch watch;
   EvolveParams per_run = params;
-  per_run.generations = std::max<std::uint64_t>(1, params.generations / restarts);
+  // Each restart is an independent run; checkpoints of one restart would
+  // overwrite another's, so checkpointing stays with single evolve() runs.
+  per_run.checkpoint_path.clear();
+  // Split the budget without losing the division remainder: the first
+  // `generations % restarts` runs get one extra generation.
+  const std::uint64_t base = params.generations / restarts;
+  const std::uint64_t rem = params.generations % restarts;
   if (params.time_limit_seconds > 0.0) {
     per_run.time_limit_seconds = params.time_limit_seconds / restarts;
   }
 
   EvolveResult best;
   bool have_best = false;
+  auto stop_reason = robust::StopReason::kCompleted;
   for (unsigned r = 0; r < restarts; ++r) {
+    if (params.budget.stop_requested()) {
+      stop_reason = robust::StopReason::kStopRequested;
+      break;
+    }
+    if (params.budget.deadline_seconds > 0.0) {
+      const double remaining =
+          params.budget.deadline_seconds - watch.seconds();
+      if (remaining <= 0.0) {
+        stop_reason = robust::StopReason::kTimeLimit;
+        break;
+      }
+      per_run.budget.deadline_seconds = remaining;
+    }
+    per_run.generations = base + (r < rem ? 1 : 0);
     per_run.seed = params.seed + r;
     if (params.trace) {
       params.trace->event("restart")
           .field("index", static_cast<std::uint64_t>(r))
           .field("of", static_cast<std::uint64_t>(restarts))
-          .field("seed", per_run.seed);
+          .field("seed", per_run.seed)
+          .field("generations", per_run.generations);
     }
     EvolveResult run = evolve(initial, spec, per_run);
     const bool better =
@@ -234,6 +468,7 @@ EvolveResult evolve_multistart(const rqfp::Netlist& initial,
                                      : MutationMix{};
     attempted += run.mutations_attempted;
     accepted += run.mutations_accepted;
+    const auto run_reason = run.stop_reason;
     if (better) {
       best = std::move(run);
       have_best = true;
@@ -245,8 +480,22 @@ EvolveResult evolve_multistart(const rqfp::Netlist& initial,
     best.sat_cec_conflicts = conflicts;
     best.mutations_attempted = attempted;
     best.mutations_accepted = accepted;
+    // A cooperative stop inside a restart ends the whole schedule; other
+    // per-run exits (stagnation, per-slice time limit) just move on to the
+    // next restart.
+    if (run_reason == robust::StopReason::kStopRequested) {
+      stop_reason = run_reason;
+      break;
+    }
+  }
+  if (!have_best) {
+    // Stopped before any restart ran: still hand back a usable netlist.
+    best.best = initial;
+    best.best_fitness = evaluate(initial, spec, params.fitness);
+    ++best.evaluations;
   }
   best.seconds = watch.seconds();
+  best.stop_reason = stop_reason;
   return best;
 }
 

@@ -3,10 +3,13 @@
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <string>
 
 #include "core/fitness.hpp"
 #include "core/mutation.hpp"
 #include "obs/trace.hpp"
+#include "robust/integrity.hpp"
+#include "robust/stop.hpp"
 #include "rqfp/netlist.hpp"
 #include "tt/truth_table.hpp"
 
@@ -37,6 +40,26 @@ struct EvolveParams {
   /// Stop early after this many generations without improvement (0 = off).
   std::uint64_t stagnation_limit = 0;
 
+  /// Cooperative stop / deadline / evaluation budgets, polled between
+  /// offspring evaluations so even SAT-heavy configs stop promptly. All
+  /// exits are clean: the loop returns the best-so-far netlist and reports
+  /// why it stopped in EvolveResult::stop_reason.
+  robust::RunBudget budget;
+
+  /// Crash safety: when non-empty, the full evolve state (parent netlist,
+  /// fitness, RNG engine words, every counter, elapsed budget) is saved
+  /// atomically to this path every `checkpoint_interval` generations and
+  /// once more on exit. evolve_resume() continues such a run
+  /// bit-identically to one that was never interrupted.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_interval = 1000;
+
+  /// Integrity re-checking level (docs/ROBUSTNESS.md): kBoundaries
+  /// validates + re-simulates the parent at run start/end and on resume;
+  /// kEveryAcceptance additionally checks every accepted offspring.
+  /// Violations raise robust::IntegrityError with a netlist dump.
+  robust::ParanoiaLevel paranoia = robust::ParanoiaLevel::kOff;
+
   FitnessOptions fitness;
 
   /// Optional per-improvement callback (generation, fitness).
@@ -65,6 +88,13 @@ struct EvolveResult {
   /// the per-kind acceptance picture (accepted/attempted per operator).
   MutationMix mutations_accepted;
   double seconds = 0.0;
+  /// Why the loop exited (kCompleted = full generation budget consumed).
+  robust::StopReason stop_reason = robust::StopReason::kCompleted;
+  /// True when this result continues a checkpointed run; all counters and
+  /// `seconds` are then cumulative across the whole resume chain, so a
+  /// resumed run that finishes reports exactly what an uninterrupted run
+  /// would have.
+  bool resumed = false;
 };
 
 /// (1+λ) CGP optimization of an RQFP netlist against a truth-table
@@ -75,11 +105,25 @@ EvolveResult evolve(const rqfp::Netlist& initial,
                     std::span<const tt::TruthTable> spec,
                     const EvolveParams& params = {});
 
+/// Continues a checkpointed evolve() run from `checkpoint_path`. The
+/// checkpoint's run identity (seed, λ, μ, total generations) must match
+/// `params` — a mismatch throws std::invalid_argument so a checkpoint is
+/// never silently continued under a different search configuration. The
+/// checkpointed parent is re-validated against `spec` (corruption raises
+/// robust::IntegrityError). A resumed run is bit-identical to an
+/// uninterrupted one: same best netlist, fitness, and counters.
+EvolveResult evolve_resume(const std::string& checkpoint_path,
+                           std::span<const tt::TruthTable> spec,
+                           const EvolveParams& params = {});
+
 /// Restart extension: runs `restarts` independent (1+λ) searches from the
 /// same initial netlist with decorrelated seeds (params.seed, +1, ...),
-/// each with params.generations / restarts generations, and returns the
-/// fittest result. Escapes the local optima a single neutral walk can get
-/// stuck on; total evaluation budget matches a single evolve() call.
+/// splitting params.generations across the runs (the division remainder
+/// goes to the earliest runs, so no generation of the budget is lost), and
+/// returns the fittest result. Escapes the local optima a single neutral
+/// walk can get stuck on; total evaluation budget matches a single
+/// evolve() call. Stop requests and deadlines cut the whole restart
+/// schedule short. Throws std::invalid_argument when restarts == 0.
 EvolveResult evolve_multistart(const rqfp::Netlist& initial,
                                std::span<const tt::TruthTable> spec,
                                const EvolveParams& params = {},

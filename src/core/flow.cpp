@@ -54,14 +54,18 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
   util::Stopwatch watch;
   FlowResult result;
   obs::PhaseCollector phases;
+  // Checked between phases: a cooperative stop skips the remaining
+  // optional phases but the mandatory mapping still runs, so the caller
+  // always gets a valid (if unoptimized) netlist back.
+  const auto stopped = [&] { return options.evolve.budget.stop_requested(); };
 
   // Phase 1: conventional logic synthesis (ABC resyn2 stand-in).
   aig::Aig net = input.cleanup();
-  if (options.run_aig_optimization) {
+  if (options.run_aig_optimization && !stopped()) {
     obs::PhaseTimer timer("aig-opt");
     net = aig::resyn2(net);
   }
-  if (options.run_fraig) {
+  if (options.run_fraig && !stopped()) {
     obs::PhaseTimer timer("fraig");
     net = aig::fraig(net);
   }
@@ -71,7 +75,7 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
     obs::PhaseTimer timer("mig-map");
     return mig::mig_from_aig(net);
   }();
-  if (options.run_mig_optimization) {
+  if (options.run_mig_optimization && !stopped()) {
     obs::PhaseTimer timer("mig-opt");
     m = mig::optimize_mig(m);
   }
@@ -98,18 +102,34 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
     obs::PhaseTimer timer("spec-sim");
     return aig::simulate(net);
   }();
-  if (options.run_cgp) {
+  if (options.evolve.paranoia >= robust::ParanoiaLevel::kBoundaries) {
+    robust::enforce_integrity(result.initial, spec, "flow:initial");
+  }
+  if (options.run_cgp && !stopped()) {
     obs::PhaseTimer timer("cgp");
     EvolveParams ep = options.evolve;
     ep.fitness.schedule = options.schedule;
-    result.evolution = evolve(result.initial, spec, ep);
+    if (options.resume) {
+      if (ep.checkpoint_path.empty()) {
+        throw std::invalid_argument(
+            "flow: resume requested without a checkpoint path");
+      }
+      result.evolution = evolve_resume(ep.checkpoint_path, spec, ep);
+    } else {
+      result.evolution = evolve(result.initial, spec, ep);
+    }
     result.optimized = result.evolution.best;
   } else {
     result.optimized = result.initial;
   }
-  if (options.run_exact_polish) {
+  if (options.run_exact_polish && !stopped()) {
     obs::PhaseTimer timer("exact-polish");
-    result.optimized = exact_polish(result.optimized);
+    ExactPolishParams polish;
+    polish.budget = options.evolve.budget;
+    result.optimized = exact_polish(result.optimized, polish);
+  }
+  if (options.evolve.paranoia >= robust::ParanoiaLevel::kBoundaries) {
+    robust::enforce_integrity(result.optimized, spec, "flow:optimized");
   }
   {
     obs::PhaseTimer timer("cost");

@@ -29,6 +29,14 @@ struct FlowOptions {
   /// Extension: after CGP, replace small windows with SAT-proven optimal
   /// sub-circuits (closes the gap to the exact optima at laptop budgets).
   bool run_exact_polish = false;
+  /// Continue the CGP phase from evolve.checkpoint_path instead of
+  /// starting fresh (see docs/ROBUSTNESS.md). The checkpoint must stem
+  /// from the same specification and evolve configuration.
+  bool resume = false;
+  /// evolve.budget doubles as the flow-level budget: a cooperative stop
+  /// skips the remaining optional phases (the mapping phases still run so
+  /// the result is always a valid netlist), and evolve.paranoia ≥
+  /// kBoundaries re-validates the netlist at flow phase boundaries.
   EvolveParams evolve;
   rqfp::BufferSchedule schedule = rqfp::BufferSchedule::kAsap;
 };

@@ -6,6 +6,7 @@
 
 #include "exact/exact_rqfp.hpp"
 #include "rqfp/simulate.hpp"
+#include "util/stopwatch.hpp"
 
 namespace rcgp::core {
 
@@ -183,10 +184,21 @@ rqfp::Netlist window_optimize(const rqfp::Netlist& input,
   local.gates_before = net.num_gates();
   const std::uint32_t stride =
       params.stride ? params.stride : params.window_gates;
+  util::Stopwatch watch;
+  const robust::RunBudget& budget = params.evolve.budget;
+  // Checked between windows: a stop or an expired sweep deadline keeps all
+  // improvements spliced so far and returns cleanly.
+  bool stopped = false;
 
-  for (unsigned pass = 0; pass < params.passes; ++pass) {
+  for (unsigned pass = 0; pass < params.passes && !stopped; ++pass) {
     std::uint32_t start = 0;
     while (start < net.num_gates()) {
+      if (budget.stop_requested() ||
+          (budget.deadline_seconds > 0.0 &&
+           watch.seconds() > budget.deadline_seconds)) {
+        stopped = true;
+        break;
+      }
       Window window;
       std::uint32_t count = params.window_gates;
       bool ok = false;
@@ -208,6 +220,11 @@ rqfp::Netlist window_optimize(const rqfp::Netlist& input,
       const auto spec = rqfp::simulate(window.sub);
       EvolveParams ep = params.evolve;
       ep.seed += start; // decorrelate windows
+      ep.checkpoint_path.clear(); // per-window runs are not checkpointed
+      if (budget.deadline_seconds > 0.0) {
+        ep.budget.deadline_seconds =
+            std::max(0.001, budget.deadline_seconds - watch.seconds());
+      }
       const auto result = evolve(window.sub, spec, ep);
       if (result.best.num_gates() < window.sub.num_gates()) {
         ++local.windows_improved;
@@ -231,10 +248,18 @@ rqfp::Netlist exact_polish(const rqfp::Netlist& input,
   WindowStats local;
   rqfp::Netlist net = input.remove_dead_gates();
   local.gates_before = net.num_gates();
+  util::Stopwatch watch;
+  bool stopped = false;
 
-  for (unsigned pass = 0; pass < params.passes; ++pass) {
+  for (unsigned pass = 0; pass < params.passes && !stopped; ++pass) {
     std::uint32_t start = 0;
     while (start < net.num_gates()) {
+      if (params.budget.stop_requested() ||
+          (params.budget.deadline_seconds > 0.0 &&
+           watch.seconds() > params.budget.deadline_seconds)) {
+        stopped = true;
+        break;
+      }
       Window window;
       std::uint32_t count = params.window_gates;
       bool ok = false;

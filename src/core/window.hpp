@@ -25,7 +25,11 @@ struct WindowParams {
   std::uint32_t stride = 0;
   /// Number of full sweeps over the netlist.
   unsigned passes = 1;
-  /// Per-window evolution budget.
+  /// Per-window evolution budget. Its `budget` member doubles as the
+  /// sweep-level budget: the stop token and deadline are checked between
+  /// windows (the deadline spans the whole sweep; each window's evolve
+  /// run gets the remaining time), so interruption never loses the
+  /// already-spliced improvements.
   EvolveParams evolve;
 };
 
@@ -74,6 +78,9 @@ struct ExactPolishParams {
   double seconds_per_window = 5.0;
   std::uint64_t conflicts_per_call = 200000;
   unsigned passes = 1;
+  /// Sweep-level stop token / deadline, checked between windows (a window
+  /// already in the SAT solver is bounded by seconds_per_window).
+  robust::RunBudget budget;
 };
 
 /// Hybrid CGP+exact refinement: sweeps small windows and replaces each

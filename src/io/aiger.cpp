@@ -7,9 +7,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/parse_error.hpp"
+
 namespace rcgp::io {
 
-aig::Aig parse_aiger(std::istream& in) {
+aig::Aig parse_aiger(std::istream& raw, const std::string& source) {
+  LineCountingBuf buf(raw.rdbuf());
+  std::istream in(&buf);
+  auto fail = [&](const std::string& msg) {
+    fail_parse("aiger", source, buf.line(), msg);
+  };
   std::string magic;
   std::size_t m = 0;
   std::size_t i = 0;
@@ -17,13 +24,13 @@ aig::Aig parse_aiger(std::istream& in) {
   std::size_t o = 0;
   std::size_t a = 0;
   if (!(in >> magic >> m >> i >> l >> o >> a) || magic != "aag") {
-    throw std::runtime_error("aiger: expected ASCII header 'aag M I L O A'");
+    fail("expected ASCII header 'aag M I L O A'");
   }
   if (l != 0) {
-    throw std::runtime_error("aiger: latches unsupported (combinational only)");
+    fail("latches unsupported (combinational only)");
   }
   if (m < i + a) {
-    throw std::runtime_error("aiger: inconsistent header counts");
+    fail("inconsistent header counts");
   }
 
   aig::Aig net;
@@ -34,17 +41,17 @@ aig::Aig parse_aiger(std::istream& in) {
   std::vector<std::size_t> input_lits(i);
   for (std::size_t k = 0; k < i; ++k) {
     if (!(in >> input_lits[k])) {
-      throw std::runtime_error("aiger: truncated input section");
+      fail("truncated input section");
     }
     if (input_lits[k] == 0 || input_lits[k] & 1 || input_lits[k] / 2 > m) {
-      throw std::runtime_error("aiger: invalid input literal");
+      fail("invalid input literal " + std::to_string(input_lits[k]));
     }
     var_sig[input_lits[k] / 2] = net.create_pi();
   }
   std::vector<std::size_t> output_lits(o);
   for (std::size_t k = 0; k < o; ++k) {
     if (!(in >> output_lits[k]) || output_lits[k] / 2 > m) {
-      throw std::runtime_error("aiger: truncated/invalid output section");
+      fail("truncated/invalid output section");
     }
   }
   for (std::size_t k = 0; k < a; ++k) {
@@ -52,10 +59,10 @@ aig::Aig parse_aiger(std::istream& in) {
     std::size_t rhs0 = 0;
     std::size_t rhs1 = 0;
     if (!(in >> lhs >> rhs0 >> rhs1)) {
-      throw std::runtime_error("aiger: truncated AND section");
+      fail("truncated AND section");
     }
     if (lhs & 1 || lhs / 2 > m || rhs0 >= lhs || rhs1 >= lhs) {
-      throw std::runtime_error("aiger: AND literals not in DAG order");
+      fail("AND literals not in DAG order");
     }
     const aig::Signal s0 = var_sig[rhs0 / 2] ^ ((rhs0 & 1) != 0);
     const aig::Signal s1 = var_sig[rhs1 / 2] ^ ((rhs1 & 1) != 0);
@@ -102,9 +109,9 @@ aig::Aig parse_aiger_string(const std::string& text) {
 aig::Aig parse_aiger_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("aiger: cannot open " + path);
+    throw ParseError("aiger", path, 0, "cannot open file");
   }
-  return parse_aiger(in);
+  return parse_aiger(in, path);
 }
 
 void write_aiger(const aig::Aig& input, std::ostream& out) {
@@ -167,28 +174,32 @@ void put_delta(std::ostream& out, std::size_t delta) {
   out.put(static_cast<char>(delta));
 }
 
-std::size_t get_delta(std::istream& in) {
-  std::size_t value = 0;
-  unsigned shift = 0;
-  for (;;) {
-    const int byte = in.get();
-    if (byte == EOF) {
-      throw std::runtime_error("aiger: truncated binary delta");
-    }
-    value |= static_cast<std::size_t>(byte & 0x7F) << shift;
-    if (!(byte & 0x80)) {
-      return value;
-    }
-    shift += 7;
-    if (shift > 63) {
-      throw std::runtime_error("aiger: oversized binary delta");
-    }
-  }
-}
-
 } // namespace
 
-aig::Aig parse_aiger_binary(std::istream& in) {
+aig::Aig parse_aiger_binary(std::istream& raw, const std::string& source) {
+  LineCountingBuf buf(raw.rdbuf());
+  std::istream in(&buf);
+  auto fail = [&](const std::string& msg) {
+    fail_parse("aiger", source, buf.line(), msg);
+  };
+  auto get_delta = [&]() {
+    std::size_t value = 0;
+    unsigned shift = 0;
+    for (;;) {
+      const int byte = in.get();
+      if (byte == EOF) {
+        fail("truncated binary delta");
+      }
+      value |= static_cast<std::size_t>(byte & 0x7F) << shift;
+      if (!(byte & 0x80)) {
+        return value;
+      }
+      shift += 7;
+      if (shift > 63) {
+        fail("oversized binary delta");
+      }
+    }
+  };
   std::string magic;
   std::size_t m = 0;
   std::size_t i = 0;
@@ -196,24 +207,24 @@ aig::Aig parse_aiger_binary(std::istream& in) {
   std::size_t o = 0;
   std::size_t a = 0;
   if (!(in >> magic >> m >> i >> l >> o >> a) || magic != "aig") {
-    throw std::runtime_error("aiger: expected binary header 'aig M I L O A'");
+    fail("expected binary header 'aig M I L O A'");
   }
   if (l != 0) {
-    throw std::runtime_error("aiger: latches unsupported (combinational only)");
+    fail("latches unsupported (combinational only)");
   }
   if (m != i + a) {
-    throw std::runtime_error("aiger: binary header requires M = I + A");
+    fail("binary header requires M = I + A");
   }
   // Outputs follow as ASCII lines; then the binary AND section.
   std::vector<std::size_t> output_lits(o);
   for (std::size_t k = 0; k < o; ++k) {
     if (!(in >> output_lits[k]) || output_lits[k] > 2 * m + 1) {
-      throw std::runtime_error("aiger: invalid output literal");
+      fail("invalid output literal");
     }
   }
   // Consume exactly one newline before the binary section.
   if (in.get() != '\n') {
-    throw std::runtime_error("aiger: malformed separator before AND section");
+    fail("malformed separator before AND section");
   }
 
   aig::Aig net;
@@ -226,14 +237,14 @@ aig::Aig parse_aiger_binary(std::istream& in) {
   };
   for (std::size_t k = 0; k < a; ++k) {
     const std::size_t lhs = 2 * (i + 1 + k);
-    const std::size_t delta0 = get_delta(in);
+    const std::size_t delta0 = get_delta();
     if (delta0 >= lhs) {
-      throw std::runtime_error("aiger: AND delta out of range");
+      fail("AND delta out of range");
     }
     const std::size_t rhs0 = lhs - delta0;
-    const std::size_t delta1 = get_delta(in);
+    const std::size_t delta1 = get_delta();
     if (delta1 > rhs0) {
-      throw std::runtime_error("aiger: second AND delta out of range");
+      fail("second AND delta out of range");
     }
     const std::size_t rhs1 = rhs0 - delta1;
     var_sig[lhs >> 1] = net.create_and(signal_of(rhs0), signal_of(rhs1));
@@ -267,24 +278,24 @@ aig::Aig parse_aiger_binary(std::istream& in) {
   return net;
 }
 
-aig::Aig parse_aiger_auto(std::istream& in) {
+aig::Aig parse_aiger_auto(std::istream& in, const std::string& source) {
   // Peek at the magic word without consuming it.
   const auto start = in.tellg();
   std::string magic;
   in >> magic;
   in.seekg(start);
   if (magic == "aig") {
-    return parse_aiger_binary(in);
+    return parse_aiger_binary(in, source);
   }
-  return parse_aiger(in);
+  return parse_aiger(in, source);
 }
 
 aig::Aig parse_aiger_auto_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    throw std::runtime_error("aiger: cannot open " + path);
+    throw ParseError("aiger", path, 0, "cannot open file");
   }
-  return parse_aiger_auto(in);
+  return parse_aiger_auto(in, path);
 }
 
 void write_aiger_binary(const aig::Aig& input, std::ostream& out) {

@@ -9,8 +9,9 @@ namespace rcgp::io {
 
 /// Parses the ASCII AIGER format ("aag M I L O A", combinational only:
 /// L must be 0). Symbol-table entries (iN/oN) are honored.
-/// Throws std::runtime_error on malformed input.
-aig::Aig parse_aiger(std::istream& in);
+/// Throws io::ParseError (a std::runtime_error) on malformed input, with
+/// `source` and the failing line in the message.
+aig::Aig parse_aiger(std::istream& in, const std::string& source = "<aiger>");
 aig::Aig parse_aiger_string(const std::string& text);
 aig::Aig parse_aiger_file(const std::string& path);
 
@@ -22,8 +23,10 @@ std::string write_aiger_string(const aig::Aig& net);
 /// literals, delta-encoded AND gates in LEB128-style 7-bit groups).
 /// Combinational only. Auto-detection: parse_aiger_auto dispatches on the
 /// magic word, accepting both "aag" and "aig" files.
-aig::Aig parse_aiger_binary(std::istream& in);
-aig::Aig parse_aiger_auto(std::istream& in);
+aig::Aig parse_aiger_binary(std::istream& in,
+                            const std::string& source = "<aiger>");
+aig::Aig parse_aiger_auto(std::istream& in,
+                          const std::string& source = "<aiger>");
 aig::Aig parse_aiger_auto_file(const std::string& path);
 
 /// Writes the binary AIGER format (inputs renumbered to 2,4,6,... as the

@@ -8,19 +8,32 @@
 #include <stdexcept>
 #include <vector>
 
+#include "io/parse_error.hpp"
+
 namespace rcgp::io {
 
 namespace {
 
+struct TokenLine {
+  std::vector<std::string> tokens;
+  std::size_t line = 0; // 1-based source line (start of a continuation)
+};
+
 /// Reads logical lines, gluing '\' continuations and skipping comments.
-std::vector<std::vector<std::string>> tokenize(std::istream& in) {
-  std::vector<std::vector<std::string>> lines;
+std::vector<TokenLine> tokenize(std::istream& in) {
+  std::vector<TokenLine> lines;
   std::string line;
   std::string pending;
+  std::size_t lineno = 0;
+  std::size_t pending_start = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
       line.resize(hash);
+    }
+    if (pending.empty()) {
+      pending_start = lineno;
     }
     if (!line.empty() && line.back() == '\\') {
       pending += line.substr(0, line.size() - 1) + " ";
@@ -35,7 +48,7 @@ std::vector<std::vector<std::string>> tokenize(std::istream& in) {
       tokens.push_back(tok);
     }
     if (!tokens.empty()) {
-      lines.push_back(std::move(tokens));
+      lines.push_back({std::move(tokens), pending_start});
     }
   }
   return lines;
@@ -46,18 +59,23 @@ struct NamesTable {
   std::string output;
   std::vector<std::string> cubes; // "01-" style rows
   char out_value = '1';
+  std::size_t line = 0; // source line of the .names directive
 };
 
 } // namespace
 
-aig::Aig parse_blif(std::istream& in) {
+aig::Aig parse_blif(std::istream& in, const std::string& source) {
   const auto lines = tokenize(in);
   std::vector<std::string> input_names;
   std::vector<std::string> output_names;
   std::vector<NamesTable> tables;
   bool in_names = false;
 
-  for (const auto& tokens : lines) {
+  for (const auto& entry : lines) {
+    const auto& tokens = entry.tokens;
+    auto fail = [&](const std::string& msg) {
+      fail_parse("blif", source, entry.line, msg);
+    };
     const std::string& head = tokens[0];
     if (head == ".model") {
       in_names = false;
@@ -76,11 +94,12 @@ aig::Aig parse_blif(std::istream& in) {
     }
     if (head == ".names") {
       if (tokens.size() < 2) {
-        throw std::runtime_error("blif: .names needs at least an output");
+        fail(".names needs at least an output");
       }
       NamesTable t;
       t.inputs.assign(tokens.begin() + 1, tokens.end() - 1);
       t.output = tokens.back();
+      t.line = entry.line;
       tables.push_back(std::move(t));
       in_names = true;
       continue;
@@ -89,29 +108,29 @@ aig::Aig parse_blif(std::istream& in) {
       break;
     }
     if (head[0] == '.') {
-      throw std::runtime_error("blif: unsupported directive " + head);
+      fail("unsupported directive " + head);
     }
     // Cube row of the current .names table.
     if (!in_names || tables.empty()) {
-      throw std::runtime_error("blif: stray table row");
+      fail("stray table row");
     }
     NamesTable& t = tables.back();
     if (t.inputs.empty()) {
       if (tokens.size() != 1 || (tokens[0] != "0" && tokens[0] != "1")) {
-        throw std::runtime_error("blif: constant table row malformed");
+        fail("constant table row malformed");
       }
       t.out_value = tokens[0][0];
       t.cubes.push_back("");
       continue;
     }
     if (tokens.size() != 2 || tokens[0].size() != t.inputs.size()) {
-      throw std::runtime_error("blif: cube row arity mismatch");
+      fail("cube row arity mismatch");
     }
     if (tokens[1] != "0" && tokens[1] != "1") {
-      throw std::runtime_error("blif: cube output must be 0 or 1");
+      fail("cube output must be 0 or 1");
     }
     if (!t.cubes.empty() && t.out_value != tokens[1][0]) {
-      throw std::runtime_error("blif: mixed-polarity tables unsupported");
+      fail("mixed-polarity tables unsupported");
     }
     t.out_value = tokens[1][0];
     t.cubes.push_back(tokens[0]);
@@ -153,7 +172,9 @@ aig::Aig parse_blif(std::istream& in) {
           } else if (cube[v] == '0') {
             prod = net.create_and(prod, !signals[t.inputs[v]]);
           } else if (cube[v] != '-') {
-            throw std::runtime_error("blif: invalid cube character");
+            fail_parse("blif", source, t.line,
+                       std::string("invalid cube character '") + cube[v] +
+                           "' in table for " + t.output);
           }
         }
         sum = net.create_or(sum, prod);
@@ -171,12 +192,18 @@ aig::Aig parse_blif(std::istream& in) {
     }
   }
   if (remaining > 0) {
-    throw std::runtime_error("blif: undefined or cyclic signal dependency");
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      if (!done[i]) {
+        fail_parse("blif", source, tables[i].line,
+                   "undefined or cyclic signal dependency in table for " +
+                       tables[i].output);
+      }
+    }
   }
   for (const auto& name : output_names) {
     const auto it = signals.find(name);
     if (it == signals.end()) {
-      throw std::runtime_error("blif: undriven output " + name);
+      fail_parse("blif", source, 0, "undriven output " + name);
     }
     net.add_po(it->second, name);
   }
@@ -191,9 +218,9 @@ aig::Aig parse_blif_string(const std::string& text) {
 aig::Aig parse_blif_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("blif: cannot open " + path);
+    throw ParseError("blif", path, 0, "cannot open file");
   }
-  return parse_blif(in);
+  return parse_blif(in, path);
 }
 
 void write_blif(const aig::Aig& input, std::ostream& out,

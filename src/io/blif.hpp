@@ -10,8 +10,9 @@ namespace rcgp::io {
 /// Parses a combinational BLIF model (.model/.inputs/.outputs/.names/.end;
 /// single-output SOP tables with '0'/'1'/'-' input columns and a '0' or
 /// '1' output column) into an AIG. Latches and subcircuits are rejected.
-/// Throws std::runtime_error on malformed input.
-aig::Aig parse_blif(std::istream& in);
+/// Throws io::ParseError (a std::runtime_error) on malformed input, with
+/// `source` and the failing line in the message.
+aig::Aig parse_blif(std::istream& in, const std::string& source = "<blif>");
 aig::Aig parse_blif_string(const std::string& text);
 aig::Aig parse_blif_file(const std::string& path);
 

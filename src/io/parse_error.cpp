@@ -1,0 +1,31 @@
+#include "io/parse_error.hpp"
+
+namespace rcgp::io {
+
+namespace {
+
+std::string format_message(const std::string& format,
+                           const std::string& source, std::size_t line,
+                           const std::string& message) {
+  std::string out = format + ":" + source;
+  if (line > 0) {
+    out += ":" + std::to_string(line);
+  }
+  out += ": " + message;
+  return out;
+}
+
+} // namespace
+
+ParseError::ParseError(const std::string& format, const std::string& source,
+                       std::size_t line, const std::string& message)
+    : std::runtime_error(format_message(format, source, line, message)),
+      source_(source),
+      line_(line) {}
+
+void fail_parse(const char* format, const std::string& source,
+                std::size_t line, const std::string& message) {
+  throw ParseError(format, source, line, message);
+}
+
+} // namespace rcgp::io

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <streambuf>
+#include <string>
+
+namespace rcgp::io {
+
+/// Parse failure with source context. what() reads
+/// "<format>:<source>:<line>: <message>" (line omitted when unknown), so a
+/// truncated or corrupt input names the exact file and line instead of a
+/// bare "cube width mismatch". Derives from std::runtime_error, so callers
+/// catching the historical type keep working.
+class ParseError : public std::runtime_error {
+public:
+  ParseError(const std::string& format, const std::string& source,
+             std::size_t line, const std::string& message);
+
+  const std::string& source() const { return source_; }
+  /// 1-based line of the failure; 0 when the format is not line-oriented
+  /// at the failure point (e.g. a file that cannot be opened).
+  std::size_t line() const { return line_; }
+
+private:
+  std::string source_;
+  std::size_t line_;
+};
+
+/// Throws ParseError — the one-liner parsers use as their `fail` helper.
+[[noreturn]] void fail_parse(const char* format, const std::string& source,
+                             std::size_t line, const std::string& message);
+
+/// streambuf shim that counts consumed newlines, giving token-oriented
+/// parsers (AIGER's `in >> x` style) accurate line numbers without
+/// restructuring them around getline. Wrap the original rdbuf and read
+/// through a local istream:
+///   LineCountingBuf buf(raw.rdbuf());
+///   std::istream in(&buf);            // parse from `in`, report buf.line()
+class LineCountingBuf : public std::streambuf {
+public:
+  explicit LineCountingBuf(std::streambuf* src) : src_(src) {}
+
+  /// 1-based line number of the next unconsumed character.
+  std::size_t line() const { return line_; }
+
+protected:
+  int_type underflow() override { return src_->sgetc(); }
+  int_type uflow() override {
+    const int_type c = src_->sbumpc();
+    if (c == '\n') {
+      ++line_;
+    }
+    return c;
+  }
+
+private:
+  std::streambuf* src_;
+  std::size_t line_ = 1;
+};
+
+} // namespace rcgp::io

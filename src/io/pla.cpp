@@ -6,14 +6,31 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/parse_error.hpp"
+
 namespace rcgp::io {
 
-PlaFile parse_pla(std::istream& in) {
+namespace {
+
+struct PlaCube {
+  std::string ins;
+  std::string outs;
+  std::size_t line = 0;
+};
+
+} // namespace
+
+PlaFile parse_pla(std::istream& in, const std::string& source) {
   PlaFile pla;
   bool sized = false;
   std::string line;
-  std::vector<std::pair<std::string, std::string>> cubes;
+  std::size_t lineno = 0;
+  std::vector<PlaCube> cubes;
   while (std::getline(in, line)) {
+    ++lineno;
+    auto fail = [&](const std::string& msg) {
+      fail_parse("pla", source, lineno, msg);
+    };
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
       line.resize(hash);
@@ -42,28 +59,35 @@ PlaFile parse_pla(std::istream& in) {
     } else if (head == ".e" || head == ".end") {
       break;
     } else if (head[0] == '.') {
-      throw std::runtime_error("pla: unsupported directive " + head);
+      fail("unsupported directive " + head);
     } else {
       std::string outs;
       if (!(ls >> outs)) {
-        throw std::runtime_error("pla: cube row missing output part");
+        fail("cube row missing output part");
       }
-      cubes.emplace_back(head, outs);
+      cubes.push_back({head, outs, lineno});
     }
     if (!sized && pla.num_inputs > 0 && pla.num_outputs > 0) {
       if (pla.num_inputs > tt::TruthTable::kMaxVars) {
-        throw std::runtime_error("pla: too many inputs");
+        fail("too many inputs (" + std::to_string(pla.num_inputs) + " > " +
+             std::to_string(tt::TruthTable::kMaxVars) + ")");
       }
       pla.tables.assign(pla.num_outputs, tt::TruthTable(pla.num_inputs));
       sized = true;
     }
   }
   if (!sized) {
-    throw std::runtime_error("pla: missing .i/.o header");
+    fail_parse("pla", source, lineno, "missing .i/.o header");
   }
-  for (const auto& [ins, outs] : cubes) {
+  for (const auto& [ins, outs, cube_line] : cubes) {
+    auto fail = [&, cube_line](const std::string& msg) {
+      fail_parse("pla", source, cube_line, msg);
+    };
     if (ins.size() != pla.num_inputs || outs.size() != pla.num_outputs) {
-      throw std::runtime_error("pla: cube width mismatch");
+      fail("cube width mismatch (" + std::to_string(ins.size()) + "/" +
+           std::to_string(outs.size()) + " vs .i " +
+           std::to_string(pla.num_inputs) + " .o " +
+           std::to_string(pla.num_outputs) + ")");
     }
     // Expand the input cube over its don't-cares.
     std::vector<std::uint64_t> assignments{0};
@@ -77,7 +101,7 @@ PlaFile parse_pla(std::istream& in) {
           assignments.push_back(assignments[k] | (std::uint64_t{1} << v));
         }
       } else if (ins[v] != '0') {
-        throw std::runtime_error("pla: invalid cube character");
+        fail(std::string("invalid cube character '") + ins[v] + "'");
       }
     }
     for (auto& a : assignments) {
@@ -90,7 +114,7 @@ PlaFile parse_pla(std::istream& in) {
         }
       } else if (outs[o] != '0' && outs[o] != '-' && outs[o] != '~' &&
                  outs[o] != '2') {
-        throw std::runtime_error("pla: invalid output character");
+        fail(std::string("invalid output character '") + outs[o] + "'");
       }
     }
   }
@@ -105,9 +129,9 @@ PlaFile parse_pla_string(const std::string& text) {
 PlaFile parse_pla_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("pla: cannot open " + path);
+    throw ParseError("pla", path, 0, "cannot open file");
   }
-  return parse_pla(in);
+  return parse_pla(in, path);
 }
 
 void write_pla(const std::vector<tt::TruthTable>& tables, std::ostream& out) {

@@ -18,9 +18,10 @@ struct PlaFile {
 };
 
 /// Parses Berkeley PLA (.i/.o/.ilb/.ob/.p/.e, cube rows "01-0 1-"),
-/// type F (on-set) semantics. Throws std::runtime_error on malformed
-/// input or more inputs than tt::TruthTable::kMaxVars.
-PlaFile parse_pla(std::istream& in);
+/// type F (on-set) semantics. Throws io::ParseError (a
+/// std::runtime_error) with `source` and the failing line in the message
+/// on malformed input or more inputs than tt::TruthTable::kMaxVars.
+PlaFile parse_pla(std::istream& in, const std::string& source = "<pla>");
 PlaFile parse_pla_string(const std::string& text);
 PlaFile parse_pla_file(const std::string& path);
 

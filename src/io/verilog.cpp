@@ -1,5 +1,6 @@
 #include "io/verilog.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <fstream>
 #include <istream>
@@ -8,6 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "io/parse_error.hpp"
 
 namespace rcgp::io {
 
@@ -21,7 +24,10 @@ struct Token {
 
 class Lexer {
 public:
-  explicit Lexer(std::string text) : text_(std::move(text)) { advance(); }
+  Lexer(std::string text, std::string source)
+      : text_(std::move(text)), source_(std::move(source)) {
+    advance();
+  }
 
   const Token& peek() const { return current_; }
   Token take() {
@@ -38,14 +44,26 @@ public:
   }
   void expect(const std::string& symbol) {
     if (!accept(symbol)) {
-      throw std::runtime_error("verilog: expected '" + symbol + "' near '" +
-                               current_.text + "'");
+      fail("expected '" + symbol + "' near '" + current_.text + "'");
     }
+  }
+
+  /// 1-based source line of the current (peeked) token.
+  std::size_t line() const {
+    const auto end = text_.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         std::min(token_start_, text_.size()));
+    return 1 + static_cast<std::size_t>(std::count(text_.begin(), end, '\n'));
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    fail_parse("verilog", source_, line(), msg);
   }
 
 private:
   void advance() {
     skip_space_and_comments();
+    token_start_ = pos_;
     if (pos_ >= text_.size()) {
       current_ = {Token::Kind::kEnd, ""};
       return;
@@ -115,7 +133,9 @@ private:
   }
 
   std::string text_;
+  std::string source_;
   std::size_t pos_ = 0;
+  std::size_t token_start_ = 0;
   Token current_;
 };
 
@@ -187,7 +207,7 @@ private:
     }
     const Token t = lex_.take();
     if (t.kind != Token::Kind::kIdent) {
-      throw std::runtime_error("verilog: unexpected token '" + t.text + "'");
+      lex_.fail("unexpected token '" + t.text + "'");
     }
     Expr e;
     if (t.text == "1'b0" || t.text == "0") {
@@ -243,16 +263,17 @@ aig::Signal expr_build(const Expr& e, aig::Aig& net,
 
 } // namespace
 
-aig::Aig parse_verilog(std::istream& in) {
+aig::Aig parse_verilog(std::istream& in, const std::string& source) {
   std::ostringstream buf;
   buf << in.rdbuf();
-  Lexer lex(buf.str());
+  Lexer lex(buf.str(), source);
 
   std::vector<std::string> inputs;
   std::vector<std::string> outputs;
   struct Assign {
     std::string lhs;
     Expr rhs;
+    std::size_t line = 0;
   };
   std::vector<Assign> assigns;
 
@@ -260,7 +281,7 @@ aig::Aig parse_verilog(std::istream& in) {
     do {
       const Token t = lex.take();
       if (t.kind != Token::Kind::kIdent) {
-        throw std::runtime_error("verilog: expected identifier");
+        lex.fail("expected identifier");
       }
       if (sink) {
         sink->push_back(t.text);
@@ -274,7 +295,7 @@ aig::Aig parse_verilog(std::istream& in) {
   if (lex.accept("(")) {
     while (!lex.accept(")")) {
       if (lex.peek().kind == Token::Kind::kEnd) {
-        throw std::runtime_error("verilog: unterminated port list");
+        lex.fail("unterminated port list");
       }
       lex.take(); // port names / commas / direction keywords
     }
@@ -284,7 +305,7 @@ aig::Aig parse_verilog(std::istream& in) {
   for (;;) {
     const Token t = lex.peek();
     if (t.kind == Token::Kind::kEnd) {
-      throw std::runtime_error("verilog: missing endmodule");
+      lex.fail("missing endmodule");
     }
     if (t.text == "endmodule") {
       lex.take();
@@ -306,26 +327,27 @@ aig::Aig parse_verilog(std::istream& in) {
       continue;
     }
     if (t.text == "assign") {
+      const std::size_t stmt_line = lex.line();
       lex.take();
       const Token lhs = lex.take();
       if (lhs.kind != Token::Kind::kIdent) {
-        throw std::runtime_error("verilog: assign needs an identifier lhs");
+        lex.fail("assign needs an identifier lhs");
       }
       lex.expect("=");
       ExprParser ep(lex);
       Expr rhs = ep.parse();
       lex.expect(";");
-      assigns.push_back({lhs.text, std::move(rhs)});
+      assigns.push_back({lhs.text, std::move(rhs), stmt_line});
       continue;
     }
     // Gate primitive: kind [name] ( out, in... );
+    const std::size_t stmt_line = lex.line();
     static const std::map<std::string, std::string> kGates = {
         {"and", "&"},  {"or", "|"},   {"xor", "^"},  {"nand", "&!"},
         {"nor", "|!"}, {"xnor", "^!"}, {"not", "~"},  {"buf", "="}};
     const auto git = kGates.find(t.text);
     if (git == kGates.end()) {
-      throw std::runtime_error("verilog: unsupported construct '" + t.text +
-                               "'");
+      lex.fail("unsupported construct '" + t.text + "'");
     }
     lex.take();
     if (lex.peek().kind == Token::Kind::kIdent) {
@@ -336,14 +358,14 @@ aig::Aig parse_verilog(std::istream& in) {
     do {
       const Token c = lex.take();
       if (c.kind != Token::Kind::kIdent) {
-        throw std::runtime_error("verilog: gate connection must be a name");
+        lex.fail("gate connection must be a name");
       }
       conns.push_back(c.text);
     } while (lex.accept(","));
     lex.expect(")");
     lex.expect(";");
     if (conns.size() < 2) {
-      throw std::runtime_error("verilog: gate needs output and input(s)");
+      lex.fail("gate needs output and input(s)");
     }
     // Desugar the primitive to an expression tree.
     Expr rhs;
@@ -356,7 +378,7 @@ aig::Aig parse_verilog(std::istream& in) {
     };
     if (op == "~" || op == "=") {
       if (conns.size() != 2) {
-        throw std::runtime_error("verilog: not/buf take one input");
+        lex.fail("not/buf take one input");
       }
       rhs = name_expr(conns[1]);
       if (op == "~") {
@@ -383,7 +405,7 @@ aig::Aig parse_verilog(std::istream& in) {
         rhs = std::move(n);
       }
     }
-    assigns.push_back({conns[0], std::move(rhs)});
+    assigns.push_back({conns[0], std::move(rhs), stmt_line});
   }
 
   aig::Aig net;
@@ -407,12 +429,17 @@ aig::Aig parse_verilog(std::istream& in) {
     }
   }
   if (remaining > 0) {
-    throw std::runtime_error("verilog: unresolved or cyclic assignments");
+    for (std::size_t i = 0; i < assigns.size(); ++i) {
+      if (!done[i]) {
+        fail_parse("verilog", source, assigns[i].line,
+                   "unresolved or cyclic assignment to " + assigns[i].lhs);
+      }
+    }
   }
   for (const auto& name : outputs) {
     const auto it = signals.find(name);
     if (it == signals.end()) {
-      throw std::runtime_error("verilog: undriven output " + name);
+      fail_parse("verilog", source, 0, "undriven output " + name);
     }
     net.add_po(it->second, name);
   }
@@ -427,9 +454,9 @@ aig::Aig parse_verilog_string(const std::string& text) {
 aig::Aig parse_verilog_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("verilog: cannot open " + path);
+    throw ParseError("verilog", path, 0, "cannot open file");
   }
-  return parse_verilog(in);
+  return parse_verilog(in, path);
 }
 
 void write_verilog(const aig::Aig& input, std::ostream& out,

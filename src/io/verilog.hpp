@@ -13,9 +13,11 @@ namespace rcgp::io {
 ///  * continuous assignments with operators ~ & ^ | ?: and parentheses,
 ///    plus the constants 1'b0 / 1'b1
 ///  * gate primitives: and/or/xor/nand/nor/xnor (2+ inputs), not/buf
-/// Assignments may appear in any order. Throws std::runtime_error on
-/// anything outside the subset.
-aig::Aig parse_verilog(std::istream& in);
+/// Assignments may appear in any order. Throws io::ParseError (a
+/// std::runtime_error) on anything outside the subset, with `source` and
+/// the failing line in the message.
+aig::Aig parse_verilog(std::istream& in,
+                       const std::string& source = "<verilog>");
 aig::Aig parse_verilog_string(const std::string& text);
 aig::Aig parse_verilog_file(const std::string& path);
 

@@ -1,0 +1,69 @@
+#include "robust/fault.hpp"
+
+#include <stdexcept>
+
+#include "rqfp/gate.hpp"
+
+namespace rcgp::robust {
+
+std::string FaultReport::describe() const {
+  switch (kind) {
+    case FaultKind::kWiringBitFlip:
+      return "wiring bit-flip: gate " + std::to_string(location) + ", bit " +
+             std::to_string(bit);
+    case FaultKind::kConfigBitFlip:
+      return "inverter-config bit-flip: gate " + std::to_string(location) +
+             ", slot " + std::to_string(bit);
+    case FaultKind::kByteFlip:
+      return "byte bit-flip: offset " + std::to_string(location) + ", bit " +
+             std::to_string(bit);
+  }
+  return "unknown fault";
+}
+
+FaultReport inject_wiring_fault(rqfp::Netlist& net, util::Rng& rng) {
+  if (net.num_gates() == 0) {
+    throw std::invalid_argument("inject_wiring_fault: netlist has no gates");
+  }
+  FaultReport report;
+  report.kind = FaultKind::kWiringBitFlip;
+  report.location = rng.below(net.num_gates());
+  const unsigned slot = static_cast<unsigned>(rng.below(3));
+  // Port numbers are dense starting at 0, so low bits are the interesting
+  // ones: a flipped low bit lands on a *different existing* port (double
+  // fan-out / function change) rather than an out-of-range value that any
+  // bounds check would catch.
+  report.bit = static_cast<unsigned>(rng.below(4));
+  auto& gate = net.gate(static_cast<std::uint32_t>(report.location));
+  gate.in[slot] ^= rqfp::Port{1} << report.bit;
+  return report;
+}
+
+FaultReport inject_config_fault(rqfp::Netlist& net, util::Rng& rng) {
+  if (net.num_gates() == 0) {
+    throw std::invalid_argument("inject_config_fault: netlist has no gates");
+  }
+  FaultReport report;
+  report.kind = FaultKind::kConfigBitFlip;
+  report.location = rng.below(net.num_gates());
+  report.bit = static_cast<unsigned>(rng.below(9));
+  auto& gate = net.gate(static_cast<std::uint32_t>(report.location));
+  gate.config = gate.config.with_flip(report.bit);
+  return report;
+}
+
+FaultReport inject_byte_fault(std::string& blob, util::Rng& rng,
+                              std::size_t skip) {
+  if (blob.size() <= skip) {
+    throw std::invalid_argument("inject_byte_fault: blob too small");
+  }
+  FaultReport report;
+  report.kind = FaultKind::kByteFlip;
+  report.location = skip + rng.below(blob.size() - skip);
+  report.bit = static_cast<unsigned>(rng.below(8));
+  blob[report.location] =
+      static_cast<char>(blob[report.location] ^ (1u << report.bit));
+  return report;
+}
+
+} // namespace rcgp::robust

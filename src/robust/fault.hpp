@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "rqfp/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::robust {
+
+/// Deterministic fault injector: seeded single-bit corruptions of the three
+/// places long runs can silently rot — gate wiring, inverter configs, and
+/// checkpoint bytes. Tests drive it to prove that Netlist::validate(),
+/// exhaustive re-simulation, and the checkpoint CRC actually catch each
+/// corruption class (an injected fault must surface as IntegrityError,
+/// never as a silently wrong answer).
+enum class FaultKind : std::uint8_t {
+  kWiringBitFlip,   // flip one bit of one gate-input port number
+  kConfigBitFlip,   // flip one of a gate's 9 inverter bits
+  kByteFlip,        // flip one bit of one byte in a serialized blob
+};
+
+struct FaultReport {
+  FaultKind kind = FaultKind::kWiringBitFlip;
+  /// Gate index (netlist faults) or byte offset (blob faults).
+  std::uint64_t location = 0;
+  unsigned bit = 0;
+  std::string describe() const;
+};
+
+/// Flips one seeded bit of one gate-input port. The resulting netlist
+/// usually violates feed-forward order or single fan-out (caught by
+/// validate()); when the flipped port happens to stay legal, exhaustive
+/// re-simulation catches the changed function instead. Requires at least
+/// one gate.
+FaultReport inject_wiring_fault(rqfp::Netlist& net, util::Rng& rng);
+
+/// Flips one seeded inverter-configuration bit of one gate. Structurally
+/// legal by construction — only re-simulation can catch it.
+FaultReport inject_config_fault(rqfp::Netlist& net, util::Rng& rng);
+
+/// Flips one seeded bit of one byte in `blob` (e.g. serialized checkpoint
+/// text). Offsets at or past `skip` bytes only, so tests can keep a file
+/// header intact. Requires blob.size() > skip.
+FaultReport inject_byte_fault(std::string& blob, util::Rng& rng,
+                              std::size_t skip = 0);
+
+} // namespace rcgp::robust

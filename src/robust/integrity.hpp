@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::robust {
+
+/// How aggressively the optimizer loops re-check the RQFP structural
+/// invariants (single fan-out, feed-forward wiring) and re-simulate the
+/// claimed function. Local rewrites — a buggy mutation operator, a bad
+/// splice, memory corruption — can silently violate them; paranoia turns
+/// that silent wrong answer into a structured failure.
+enum class ParanoiaLevel : std::uint8_t {
+  kOff,             // trust the operators (production hot path)
+  kBoundaries,      // validate + re-simulate at phase boundaries
+  kEveryAcceptance, // additionally on every accepted offspring
+};
+
+std::string to_string(ParanoiaLevel level);
+/// Accepts "off", "boundaries", "all" / "every-acceptance"; throws
+/// std::invalid_argument otherwise.
+ParanoiaLevel parse_paranoia(const std::string& text);
+
+/// Structured integrity violation. Distinguishes *what* failed (a wiring
+/// invariant, the circuit function, a checkpoint checksum, a file format)
+/// and carries the offending netlist as a `.rqfp` dump so the failure is
+/// reproducible offline.
+class IntegrityError : public std::runtime_error {
+public:
+  enum class Kind : std::uint8_t {
+    kInvariant,  // Netlist::validate() failed
+    kFunctional, // exhaustive re-simulation mismatched the specification
+    kChecksum,   // checkpoint CRC mismatch (torn write / bit rot)
+    kFormat,     // checkpoint structure unreadable or version unknown
+  };
+
+  IntegrityError(Kind kind, std::string where, std::string detail,
+                 std::string netlist_dump = "");
+
+  Kind kind() const { return kind_; }
+  /// Pipeline location, e.g. "evolve:acceptance:gen=1234".
+  const std::string& where() const { return where_; }
+  const std::string& detail() const { return detail_; }
+  /// `.rqfp` text of the offending netlist (empty when not applicable).
+  const std::string& netlist_dump() const { return netlist_dump_; }
+
+  static const char* kind_name(Kind kind);
+
+private:
+  Kind kind_;
+  std::string where_;
+  std::string detail_;
+  std::string netlist_dump_;
+};
+
+/// Runs Netlist::validate() and (when `spec` is non-empty) exhaustive
+/// re-simulation against the specification. Throws IntegrityError with a
+/// netlist dump on the first violation; increments the
+/// `robust.integrity_checks` / `robust.integrity_failures` counters.
+void enforce_integrity(const rqfp::Netlist& net,
+                       std::span<const tt::TruthTable> spec,
+                       std::string_view where);
+
+} // namespace rcgp::robust

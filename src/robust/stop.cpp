@@ -1,0 +1,43 @@
+#include "robust/stop.hpp"
+
+#include <csignal>
+
+namespace rcgp::robust {
+
+std::string to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kCompleted: return "completed";
+    case StopReason::kStagnation: return "stagnation";
+    case StopReason::kTimeLimit: return "time-limit";
+    case StopReason::kGenerationBudget: return "generation-budget";
+    case StopReason::kEvaluationBudget: return "evaluation-budget";
+    case StopReason::kStopRequested: return "stop-requested";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Signal handlers can only touch lock-free atomics; the token itself is
+// one, so a plain pointer handoff is safe.
+std::atomic<StopToken*> g_signal_token{nullptr};
+
+extern "C" void rcgp_signal_handler(int sig) {
+  if (StopToken* token = g_signal_token.load(std::memory_order_relaxed)) {
+    token->request_stop();
+  }
+  // Second delivery of the same signal kills the process the default way:
+  // an operator double-tapping Ctrl-C must always win over a wedged run.
+  std::signal(sig, SIG_DFL);
+}
+
+} // namespace
+
+StopToken& install_signal_stop(StopToken& token) {
+  g_signal_token.store(&token, std::memory_order_relaxed);
+  std::signal(SIGINT, rcgp_signal_handler);
+  std::signal(SIGTERM, rcgp_signal_handler);
+  return token;
+}
+
+} // namespace rcgp::robust

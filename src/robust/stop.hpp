@@ -1,0 +1,76 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace rcgp::robust {
+
+/// Why an optimizer loop handed control back. Every loop in the framework
+/// (evolve, anneal, multistart, exact polish) exits through one of these
+/// and reports it in its result and in the trace `run_end{reason}` event.
+enum class StopReason : std::uint8_t {
+  kCompleted,        // full configured budget consumed
+  kStagnation,       // stagnation_limit generations without improvement
+  kTimeLimit,        // params.time_limit_seconds / deadline_seconds hit
+  kGenerationBudget, // RunBudget::max_generations hit
+  kEvaluationBudget, // RunBudget::max_evaluations hit
+  kStopRequested,    // cooperative StopToken tripped (SIGINT/SIGTERM, API)
+};
+
+/// Stable string used in traces, logs, and the CLI ("completed",
+/// "stagnation", "time-limit", ...).
+std::string to_string(StopReason reason);
+
+/// Cooperative cancellation flag. Loops poll `stop_requested()` between
+/// offspring evaluations, so a trip is honored within one evaluation — not
+/// one generation — even for SAT-heavy configs. Lock-free and async-signal
+/// safe: `request_stop()` may be called from a signal handler.
+class StopToken {
+public:
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_relaxed);
+  }
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token (e.g. between CLI runs in one process).
+  void reset() noexcept { stop_.store(false, std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> stop_{false};
+};
+
+/// Run budgets threaded through every optimizer loop, combining hard
+/// resource ceilings with a cooperative stop flag. All limits are
+/// best-so-far preserving: tripping any of them exits the loop cleanly
+/// with the current best netlist.
+struct RunBudget {
+  /// Wall-clock ceiling in seconds measured from loop entry (resumed runs
+  /// count the checkpointed elapsed time too). 0 = unlimited.
+  double deadline_seconds = 0.0;
+  /// Ceiling on the generation index — the run stops once this many
+  /// generations have completed, counting generations replayed from a
+  /// checkpoint (0 = unlimited). Lets tests and schedulers slice one
+  /// logical run into resumable chunks.
+  std::uint64_t max_generations = 0;
+  /// Ceiling on fitness evaluations, cumulative across resumes
+  /// (0 = unlimited).
+  std::uint64_t max_evaluations = 0;
+  /// Cooperative stop flag (not owned; nullptr = never stops). The CLI
+  /// points this at the process-wide signal token.
+  StopToken* stop = nullptr;
+
+  bool stop_requested() const {
+    return stop != nullptr && stop->stop_requested();
+  }
+};
+
+/// Installs SIGINT/SIGTERM handlers that trip `token` (first signal) and
+/// restore default disposition (second signal force-kills). Returns the
+/// token so call sites can write
+/// `params.budget.stop = &install_signal_stop(token);`. The token must
+/// outlive every signal delivery; the CLI uses a function-local static.
+StopToken& install_signal_stop(StopToken& token);
+
+} // namespace rcgp::robust

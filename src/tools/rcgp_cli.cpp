@@ -15,6 +15,16 @@
 //   synth --metrics-out=m.json   metrics registry + per-phase wall times
 //   synth --progress             live improvements on stderr
 //   stats/cec --json             machine-readable records on stdout
+//
+// Robustness (see docs/ROBUSTNESS.md):
+//   synth --checkpoint=c.ckpt    crash-safe periodic state snapshots
+//   synth --checkpoint-interval=N  generations between snapshots
+//   synth --resume               continue from --checkpoint bit-identically
+//   synth --deadline=SECONDS     wall-clock budget (clean best-so-far exit)
+//   synth --paranoia=LEVEL       off | boundaries | all invariant checking
+//   SIGINT/SIGTERM stop the run cooperatively: the checkpoint is flushed
+//   and the best-so-far netlist written. Exit codes: 0 ok, 1 error or not
+//   equivalent, 2 usage, 3 interrupted by signal, 4 integrity violation.
 
 #include <cstdio>
 #include <cstring>
@@ -39,6 +49,8 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/integrity.hpp"
+#include "robust/stop.hpp"
 #include "rqfp/cost.hpp"
 #include "rqfp/energy.hpp"
 #include "rqfp/reversibility.hpp"
@@ -152,7 +164,10 @@ int cmd_synth(const std::vector<std::string>& args) {
                  "usage: rcgp synth <input> [-g N] [-s seed] [-o out.rqfp] "
                  "[--dot out.dot] [--no-cgp] [--polish] [--pack]\n"
                  "                 [--trace-out=t.jsonl] "
-                 "[--metrics-out=m.json] [--heartbeat=N] [--progress]\n");
+                 "[--metrics-out=m.json] [--heartbeat=N] [--progress]\n"
+                 "                 [--checkpoint=c.ckpt] "
+                 "[--checkpoint-interval=N] [--resume] [--deadline=SECONDS]\n"
+                 "                 [--paranoia=off|boundaries|all]\n");
     return 2;
   }
   const std::string input = args[0];
@@ -190,11 +205,29 @@ int cmd_synth(const std::vector<std::string>& args) {
       opt.evolve.trace_heartbeat = std::stoull(v);
     } else if (args[i] == "--progress") {
       progress = true;
+    } else if (opt_value(args[i], "--checkpoint", v)) {
+      opt.evolve.checkpoint_path = v;
+    } else if (opt_value(args[i], "--checkpoint-interval", v)) {
+      opt.evolve.checkpoint_interval = std::stoull(v);
+    } else if (args[i] == "--resume") {
+      opt.resume = true;
+    } else if (opt_value(args[i], "--deadline", v)) {
+      opt.evolve.budget.deadline_seconds = std::stod(v);
+    } else if (opt_value(args[i], "--paranoia", v)) {
+      opt.evolve.paranoia = robust::parse_paranoia(v);
     } else {
       std::fprintf(stderr, "synth: unknown option %s\n", args[i].c_str());
       return 2;
     }
   }
+  if (opt.resume && opt.evolve.checkpoint_path.empty()) {
+    std::fprintf(stderr, "synth: --resume requires --checkpoint=PATH\n");
+    return 2;
+  }
+  // First SIGINT/SIGTERM requests a cooperative stop (best-so-far is
+  // written and the checkpoint flushed); a second one force-kills.
+  static robust::StopToken signal_token;
+  opt.evolve.budget.stop = &robust::install_signal_stop(signal_token);
 
   std::unique_ptr<obs::TraceSink> trace;
   if (!trace_path.empty()) {
@@ -222,6 +255,13 @@ int cmd_synth(const std::vector<std::string>& args) {
               r.seconds_total);
   const auto check = cec::sim_check(r.optimized, spec);
   std::printf("equivalent: %s\n", check.all_match ? "yes" : "NO");
+  const bool interrupted = signal_token.stop_requested();
+  if (interrupted) {
+    std::fprintf(stderr, "synth: interrupted by signal — best-so-far kept%s\n",
+                 opt.evolve.checkpoint_path.empty()
+                     ? ""
+                     : ", checkpoint flushed");
+  }
   if (!metrics_path.empty()) {
     if (!write_synth_metrics(metrics_path, r)) {
       std::fprintf(stderr, "synth: cannot write %s\n", metrics_path.c_str());
@@ -248,7 +288,10 @@ int cmd_synth(const std::vector<std::string>& args) {
     std::fclose(f);
     std::printf("wrote %s\n", dot_path.c_str());
   }
-  return check.all_match ? 0 : 1;
+  if (!check.all_match) {
+    return 1;
+  }
+  return interrupted ? 3 : 0;
 }
 
 int cmd_exact(const std::vector<std::string>& args) {
@@ -476,6 +519,13 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
+  } catch (const robust::IntegrityError& e) {
+    std::fprintf(stderr, "integrity error: %s\n", e.what());
+    if (!e.netlist_dump().empty()) {
+      std::fprintf(stderr, "offending netlist:\n%s",
+                   e.netlist_dump().c_str());
+    }
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rcgp::util {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+/// guarding checkpoint files against torn writes and bit rot. Streamable:
+/// feed chunks through successive calls, passing the previous result as
+/// `seed`.
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(std::string_view text, std::uint32_t seed = 0) {
+  return crc32(text.data(), text.size(), seed);
+}
+
+} // namespace rcgp::util

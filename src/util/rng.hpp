@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -42,6 +43,17 @@ public:
 
   /// Bernoulli trial with probability p of returning true.
   bool chance(double p) { return uniform01() < p; }
+
+  /// Engine state snapshot/restore, so long runs can checkpoint and resume
+  /// bit-identically (robust::EvolveCheckpoint serializes these words).
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = s[i];
+    }
+  }
 
 private:
   std::uint64_t state_[4]{};

@@ -381,6 +381,31 @@ TEST(Evolve, StagnationStopsEarly) {
   params.seed = 3;
   const auto result = evolve(init, b.spec, params);
   EXPECT_LT(result.generations_run, params.generations);
+  EXPECT_EQ(result.stop_reason, robust::StopReason::kStagnation);
+}
+
+TEST(Evolve, StagnationCounterResetsOnImprovement) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  EvolveParams params;
+  params.generations = 50000;
+  params.stagnation_limit = 300;
+  params.seed = 21;
+  std::vector<std::uint64_t> improvement_gens;
+  params.on_improvement = [&](std::uint64_t gen, const Fitness&) {
+    improvement_gens.push_back(gen);
+  };
+  const auto r = evolve(init, b.spec, params);
+  ASSERT_EQ(r.stop_reason, robust::StopReason::kStagnation);
+  ASSERT_FALSE(improvement_gens.empty());
+  // The counter reset on every improvement, so the run survived past the
+  // naive limit and stopped exactly `stagnation_limit` generations after
+  // the last improvement (that generation itself included in the count).
+  EXPECT_GT(r.generations_run, params.stagnation_limit);
+  EXPECT_EQ(r.generations_run,
+            improvement_gens.back() + params.stagnation_limit + 1);
+  EXPECT_EQ(static_cast<std::uint64_t>(improvement_gens.size()),
+            r.improvements);
 }
 
 TEST(Evolve, TimeLimitStops) {
@@ -392,6 +417,7 @@ TEST(Evolve, TimeLimitStops) {
   const auto result = evolve(init, b.spec, params);
   EXPECT_LT(result.seconds, 5.0);
   EXPECT_LT(result.generations_run, params.generations);
+  EXPECT_EQ(result.stop_reason, robust::StopReason::kTimeLimit);
 }
 
 TEST(Evolve, SatVerificationPathAccepts) {
@@ -558,13 +584,42 @@ TEST(EvolveMultistart, ReturnsValidBestOfRuns) {
   EXPECT_TRUE(multi.best_fitness.functionally_correct());
 }
 
-TEST(EvolveMultistart, ZeroRestartsBehavesAsOne) {
+TEST(EvolveMultistart, ZeroRestartsIsRejected) {
   const auto b = benchmarks::get("4gt10");
   const auto init = init_netlist("4gt10");
   EvolveParams params;
   params.generations = 500;
-  const auto r = evolve_multistart(init, b.spec, params, 0);
+  // restarts == 0 used to be silently clamped to 1, hiding a caller bug;
+  // it is now a hard usage error.
+  EXPECT_THROW(evolve_multistart(init, b.spec, params, 0),
+               std::invalid_argument);
+}
+
+TEST(EvolveMultistart, DistributesRemainderGenerations) {
+  const auto b = benchmarks::get("4gt10");
+  const auto init = init_netlist("4gt10");
+  EvolveParams params;
+  params.generations = 103; // 103 = 4*25 + 3: remainder must not be lost
+  params.seed = 7;
+  const auto r = evolve_multistart(init, b.spec, params, 4);
+  EXPECT_EQ(r.generations_run, 103u);
   EXPECT_TRUE(r.best_fitness.functionally_correct());
+  EXPECT_EQ(r.stop_reason, robust::StopReason::kCompleted);
+}
+
+TEST(EvolveMultistart, StopTokenCutsRestartScheduleShort) {
+  const auto b = benchmarks::get("4gt10");
+  const auto init = init_netlist("4gt10");
+  robust::StopToken token;
+  token.request_stop();
+  EvolveParams params;
+  params.generations = 4000;
+  params.budget.stop = &token;
+  const auto r = evolve_multistart(init, b.spec, params, 4);
+  EXPECT_EQ(r.stop_reason, robust::StopReason::kStopRequested);
+  EXPECT_EQ(r.generations_run, 0u);
+  // Even a fully pre-empted schedule hands back a usable netlist.
+  EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
 }
 
 // ---------- Simulated annealing (ablation optimizer) ----------

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <sstream>
 
 #include "aig/aig_simulate.hpp"
 #include "io/aiger.hpp"
 #include "io/blif.hpp"
+#include "io/parse_error.hpp"
 #include "io/pla.hpp"
 #include "io/real.hpp"
 #include "io/rqfp_writer.hpp"
@@ -605,6 +607,108 @@ TEST(RqfpFormat, MalformedInput) {
                std::runtime_error); // gate before .pis
   EXPECT_THROW(parse_rqfp_string(".rqfp 1\n.pis 1\nbogus\n"),
                std::runtime_error);
+}
+
+// ---------- error context (ParseError carries source:line) ----------
+
+/// Runs `fn`, which must throw ParseError, and hands the error back for
+/// inspection of its source/line context.
+template <typename Fn>
+ParseError expect_parse_error(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected a ParseError, none was thrown";
+  return ParseError("none", "none", 0, "no error");
+}
+
+TEST(ParseErrorContext, BlifCubeErrorCitesTheOffendingLine) {
+  std::istringstream in(
+      ".model m\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n");
+  const auto e = expect_parse_error([&] { parse_blif(in, "adder.blif"); });
+  EXPECT_EQ(e.source(), "adder.blif");
+  EXPECT_EQ(e.line(), 5u);
+  EXPECT_NE(std::string(e.what()).find("blif:adder.blif:5:"),
+            std::string::npos)
+      << e.what();
+}
+
+TEST(ParseErrorContext, BlifUndefinedDependencyCitesItsNamesLine) {
+  std::istringstream in(
+      ".model m\n.inputs a\n.outputs f\n.names q f\n1 1\n.end\n");
+  const auto e = expect_parse_error([&] { parse_blif(in, "dep.blif"); });
+  EXPECT_EQ(e.source(), "dep.blif");
+  EXPECT_EQ(e.line(), 4u);
+}
+
+TEST(ParseErrorContext, BlifUndrivenOutputOmitsLine) {
+  const auto e = expect_parse_error(
+      [] { parse_blif_string(".model m\n.inputs a\n.outputs f\n.end\n"); });
+  EXPECT_EQ(e.line(), 0u);
+  // Line is unknown: the message reads "blif:<blif>: ..." with no line part.
+  EXPECT_NE(std::string(e.what()).find("blif:<blif>: "), std::string::npos)
+      << e.what();
+}
+
+TEST(ParseErrorContext, PlaCubeErrorsCiteTheCubeLine) {
+  {
+    std::istringstream in(".i 2\n.o 1\n101 1\n.e\n");
+    const auto e = expect_parse_error([&] { parse_pla(in, "wide.pla"); });
+    EXPECT_EQ(e.source(), "wide.pla");
+    EXPECT_EQ(e.line(), 3u);
+  }
+  {
+    std::istringstream in(".i 2\n.o 1\n11 1\n1x 1\n.e\n");
+    const auto e = expect_parse_error([&] { parse_pla(in, "char.pla"); });
+    EXPECT_EQ(e.line(), 4u);
+  }
+}
+
+TEST(ParseErrorContext, AigerTruncationNamesTheSource) {
+  {
+    std::istringstream in("aag 3 2 0 1 1\n2\n4\n"); // output section cut off
+    const auto e = expect_parse_error([&] { parse_aiger(in, "toy.aag"); });
+    EXPECT_EQ(e.source(), "toy.aag");
+    EXPECT_GT(e.line(), 0u);
+    EXPECT_NE(std::string(e.what()).find("aiger:toy.aag:"),
+              std::string::npos)
+        << e.what();
+  }
+  {
+    std::istringstream in("aig 3 2 0 1 1\n6\n"); // binary deltas cut off
+    const auto e =
+        expect_parse_error([&] { parse_aiger_binary(in, "toy.aig"); });
+    EXPECT_EQ(e.source(), "toy.aig");
+  }
+}
+
+TEST(ParseErrorContext, VerilogUnresolvedAssignCitesItsStatement) {
+  std::istringstream in(
+      "module m (y);\noutput y;\nassign y = q;\nendmodule\n");
+  const auto e = expect_parse_error([&] { parse_verilog(in, "bad.v"); });
+  EXPECT_EQ(e.source(), "bad.v");
+  EXPECT_EQ(e.line(), 3u);
+  EXPECT_NE(std::string(e.what()).find("verilog:bad.v:3:"),
+            std::string::npos)
+      << e.what();
+}
+
+TEST(ParseErrorContext, FileOpenFailuresIncludeThePath) {
+  const std::string missing = "/nonexistent/rcgp_test_input.xyz";
+  for (const auto& fn : {
+           std::function<void()>([&] { parse_blif_file(missing); }),
+           std::function<void()>([&] { parse_pla_file(missing); }),
+           std::function<void()>([&] { parse_aiger_file(missing); }),
+           std::function<void()>([&] { parse_verilog_file(missing); }),
+       }) {
+    const auto e = expect_parse_error(fn);
+    EXPECT_EQ(e.source(), missing);
+    EXPECT_EQ(e.line(), 0u);
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+        << e.what();
+  }
 }
 
 // ---------- parser robustness fuzzing ----------
