@@ -6,7 +6,7 @@
 
 #include <cstdio>
 
-#include "core/anneal.hpp"
+#include "core/optimizer.hpp"
 #include "core/window.hpp"
 #include "table_common.hpp"
 
@@ -47,24 +47,33 @@ int main() {
     Acc multi;
     Acc hybrid;
     for (std::uint64_t s = 0; s < num_seeds; ++s) {
-      core::EvolveParams ep;
-      ep.generations = generations;
-      ep.seed = 7000 + s;
-      const auto res_es = core::evolve(init, b.spec, ep);
+      // All four optimizers run through the unified core::Optimizer
+      // facade, which also gives the ES variants λ-parallel evaluation
+      // (RCGP_THREADS env, 0 = hardware concurrency).
+      core::OptimizerOptions eo;
+      eo.evolve.generations = generations;
+      eo.evolve.seed = 7000 + s;
+      eo.evolve.threads =
+          static_cast<unsigned>(env_u64("RCGP_THREADS", 0));
+      const auto res_es = core::Optimizer(eo).run(init, b.spec);
       es.r += res_es.best_fitness.n_r;
       es.g += res_es.best_fitness.n_g;
       es.t += res_es.seconds;
 
-      core::AnnealParams ap;
-      ap.steps = eval_budget;
-      ap.seed = 7000 + s;
-      ap.mutation.mu = 0.2;
-      const auto res_sa = core::anneal(init, b.spec, ap);
+      core::OptimizerOptions so;
+      so.algorithm = core::Algorithm::kAnneal;
+      so.anneal.steps = eval_budget;
+      so.anneal.seed = 7000 + s;
+      so.anneal.mutation.mu = 0.2;
+      const auto res_sa = core::Optimizer(so).run(init, b.spec);
       sa.r += res_sa.best_fitness.n_r;
       sa.g += res_sa.best_fitness.n_g;
       sa.t += res_sa.seconds;
 
-      const auto res_multi = core::evolve_multistart(init, b.spec, ep, 4);
+      core::OptimizerOptions mo = eo;
+      mo.algorithm = core::Algorithm::kMultistart;
+      mo.restarts = 4;
+      const auto res_multi = core::Optimizer(mo).run(init, b.spec);
       multi.r += res_multi.best_fitness.n_r;
       multi.g += res_multi.best_fitness.n_g;
       multi.t += res_multi.seconds;

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "cec/sat_cec.hpp"
+#include "core/optimizer.hpp"
 #include "table_common.hpp"
 #include "util/stopwatch.hpp"
 
@@ -92,10 +93,12 @@ int main() {
       double sum_r = 0;
       double sum_g = 0;
       for (std::uint64_t s = 0; s < num_seeds; ++s) {
-        core::EvolveParams ep;
-        ep.generations = generations * 4;
-        ep.seed = 5000 + s;
-        const auto r = core::evolve_multistart(init, b.spec, ep, restarts);
+        core::OptimizerOptions oo;
+        oo.algorithm = core::Algorithm::kMultistart;
+        oo.restarts = restarts;
+        oo.evolve.generations = generations * 4;
+        oo.evolve.seed = 5000 + s;
+        const auto r = core::Optimizer(oo).run(init, b.spec);
         sum_r += r.best_fitness.n_r;
         sum_g += r.best_fitness.n_g;
       }

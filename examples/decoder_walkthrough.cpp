@@ -6,8 +6,8 @@
 #include "benchmarks/benchmarks.hpp"
 #include "cec/sim_cec.hpp"
 #include "core/chromosome.hpp"
-#include "core/evolve.hpp"
 #include "core/flow.hpp"
+#include "core/optimizer.hpp"
 #include "core/mutation.hpp"
 #include "core/shrink.hpp"
 #include "rqfp/buffer.hpp"
@@ -53,11 +53,13 @@ int main() {
               shrunk.num_gates(), core::num_genes(mutated),
               core::num_genes(shrunk));
 
-  // Run the real optimization to a compact individual.
-  core::EvolveParams ep;
-  ep.generations = 60000;
-  ep.seed = 42;
-  const auto evolved = core::evolve(individual, bench.spec, ep);
+  // Run the real optimization to a compact individual through the
+  // unified Optimizer facade (threads = 0 uses all cores; the result is
+  // bit-identical for any thread count).
+  core::OptimizerOptions oo;
+  oo.evolve.generations = 60000;
+  oo.evolve.seed = 42;
+  const auto evolved = core::Optimizer(oo).run(individual, bench.spec).evolve;
   std::printf("\n    ... evolving %llu generations ...\n",
               static_cast<unsigned long long>(evolved.generations_run));
   std::printf("    best: %s\n",

@@ -9,7 +9,7 @@
 #include "benchmarks/benchmarks.hpp"
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
-#include "core/window.hpp"
+#include "core/optimizer.hpp"
 #include "rqfp/cost.hpp"
 #include "util/stopwatch.hpp"
 
@@ -25,16 +25,18 @@ int main() {
   std::printf("initialization: %s\n",
               flow.initial_cost.to_string().c_str());
 
-  core::WindowParams wp;
-  wp.window_gates = 16;
-  wp.max_window_inputs = 9;
-  wp.passes = 2;
-  wp.evolve.generations = 2500;
-  wp.evolve.seed = 11;
+  core::OptimizerOptions oo;
+  oo.algorithm = core::Algorithm::kWindow;
+  oo.window.window_gates = 16;
+  oo.window.max_window_inputs = 9;
+  oo.window.passes = 2;
+  oo.evolve.generations = 2500;
+  oo.evolve.seed = 11;
 
   util::Stopwatch watch;
-  core::WindowStats stats;
-  const auto optimized = core::window_optimize(flow.initial, wp, &stats);
+  const auto result = core::Optimizer(oo).run(flow.initial, bench.spec);
+  const auto& optimized = result.best;
+  const auto& stats = result.window;
   std::printf("windowed:       %s  (%.1fs)\n",
               rqfp::cost_of(optimized).to_string().c_str(),
               watch.seconds());

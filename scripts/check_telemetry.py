@@ -15,6 +15,9 @@ Checks performed:
     - parses as JSON with the {"flow": ..., "metrics": ...} shape the CLI
       emits (or the bare registry shape from the bench drivers)
     - flow phase wall-times sum to within 10% of flow.seconds_total
+    - when the λ-parallel evaluation pool ran (evolve.pool.* present):
+      thread gauge >= 1, utilization gauge in [0, 1], and the per-worker
+      evaluation counters sum exactly to evolve.pool.tasks
 
 Exits non-zero with a message on the first violation.
 """
@@ -104,13 +107,44 @@ def check_metrics(path: str) -> None:
             )
         if "metrics" not in doc:
             fail(f"{path}: missing 'metrics' registry snapshot")
-        counters = doc["metrics"].get("counters", {})
+        registry = doc["metrics"]
     else:
         # Bare registry dump (bench drivers' RCGP_METRICS_OUT).
-        counters = doc.get("counters", {})
+        registry = doc
+    counters = registry.get("counters", {})
     if not counters:
         fail(f"{path}: no counters recorded")
+    check_pool_metrics(path, counters, registry.get("gauges", {}))
     print(f"check_telemetry: {path}: {len(counters)} counters: OK")
+
+
+def check_pool_metrics(path: str, counters: dict, gauges: dict) -> None:
+    """λ-parallel evaluation pool invariants (docs/PARALLELISM.md)."""
+    tasks = counters.get("evolve.pool.tasks")
+    if tasks is None:
+        return  # run did not use the evaluation pool (e.g. stats command)
+    if tasks <= 0:
+        fail(f"{path}: evolve.pool.tasks is {tasks}, expected > 0")
+    threads = gauges.get("evolve.pool.threads", 0)
+    if threads < 1:
+        fail(f"{path}: evolve.pool.threads gauge is {threads}, expected >= 1")
+    util = gauges.get("evolve.pool.utilization", 0.0)
+    if not 0.0 <= util <= 1.0:
+        fail(f"{path}: evolve.pool.utilization {util} outside [0, 1]")
+    worker_evals = sum(
+        v
+        for name, v in counters.items()
+        if name.startswith("evolve.pool.worker") and name.endswith(".evals")
+    )
+    if worker_evals != tasks:
+        fail(
+            f"{path}: per-worker eval counters sum to {worker_evals} but "
+            f"evolve.pool.tasks is {tasks}"
+        )
+    print(
+        f"check_telemetry: {path}: pool ran {tasks} tasks on "
+        f"{threads:g} thread(s): OK"
+    )
 
 
 def main() -> None:

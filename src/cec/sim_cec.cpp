@@ -31,6 +31,32 @@ SimResult sim_check(const rqfp::Netlist& net,
   return r;
 }
 
+SimResult sim_check_delta(const rqfp::Netlist& base,
+                          const rqfp::Netlist& child,
+                          std::span<const tt::TruthTable> spec,
+                          rqfp::SimCache& cache) {
+  if (spec.size() != child.num_pos()) {
+    throw std::invalid_argument("sim_check_delta: PO count mismatch");
+  }
+  // Same counter as sim_check: this is a simulation equivalence check, so
+  // telemetry invariants hold regardless of which path evaluated it.
+  static obs::Counter& c_checks = obs::registry().counter("cec.sim_checks");
+  c_checks.inc();
+  rqfp::simulate_delta(base, child, cache, cache.po_scratch);
+  SimResult r;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    r.total_bits += spec[i].num_bits();
+    r.mismatching_bits += cache.po_scratch[i].hamming_distance(spec[i]);
+  }
+  r.success_rate =
+      r.total_bits == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(r.mismatching_bits) /
+                      static_cast<double>(r.total_bits);
+  r.all_match = r.mismatching_bits == 0;
+  return r;
+}
+
 SimResult sim_check_random(const rqfp::Netlist& a, const rqfp::Netlist& b,
                            std::size_t num_words, util::Rng& rng) {
   if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
@@ -39,21 +65,23 @@ SimResult sim_check_random(const rqfp::Netlist& a, const rqfp::Netlist& b,
   static obs::Counter& c_checks =
       obs::registry().counter("cec.sim_random_checks");
   c_checks.inc();
-  std::vector<std::vector<std::uint64_t>> patterns(a.num_pis());
-  for (auto& row : patterns) {
-    row.resize(num_words);
-    for (auto& w : row) {
-      w = rng.next();
+  rqfp::SimBatch patterns(a.num_pis(), num_words);
+  for (std::size_t i = 0; i < patterns.rows(); ++i) {
+    for (std::size_t w = 0; w < num_words; ++w) {
+      patterns.at(i, w) = rng.next();
     }
   }
-  const auto va = rqfp::simulate_patterns(a, patterns);
-  const auto vb = rqfp::simulate_patterns(b, patterns);
+  rqfp::SimBatch va;
+  rqfp::SimBatch vb;
+  rqfp::SimBatch scratch;
+  rqfp::simulate_patterns(a, patterns, va, scratch);
+  rqfp::simulate_patterns(b, patterns, vb, scratch);
   SimResult r;
-  for (std::size_t i = 0; i < va.size(); ++i) {
+  for (std::size_t i = 0; i < va.rows(); ++i) {
     for (std::size_t w = 0; w < num_words; ++w) {
       r.total_bits += 64;
-      r.mismatching_bits +=
-          static_cast<std::uint64_t>(std::popcount(va[i][w] ^ vb[i][w]));
+      r.mismatching_bits += static_cast<std::uint64_t>(
+          std::popcount(va.at(i, w) ^ vb.at(i, w)));
     }
   }
   r.success_rate =

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "rqfp/netlist.hpp"
+#include "rqfp/simulate.hpp"
 #include "tt/truth_table.hpp"
 #include "util/rng.hpp"
 
@@ -25,6 +26,15 @@ struct SimResult {
 /// netlist's PIs. Requires spec.size() == net.num_pos().
 SimResult sim_check(const rqfp::Netlist& net,
                     std::span<const tt::TruthTable> spec);
+
+/// Incremental variant of sim_check: bit-identical result for `child`,
+/// but only the dirty cone relative to `base` — whose port values `cache`
+/// holds (rqfp::build_sim_cache) — is re-simulated. The cache is restored
+/// afterwards, so one cache serves all λ offspring of a CGP generation.
+SimResult sim_check_delta(const rqfp::Netlist& base,
+                          const rqfp::Netlist& child,
+                          std::span<const tt::TruthTable> spec,
+                          rqfp::SimCache& cache);
 
 /// Random-pattern check of two netlists with identical PI/PO counts; used
 /// when the PI count makes exhaustive tables impractical.

@@ -22,9 +22,9 @@ double anneal_energy(const rqfp::Netlist& net,
          1e6 * cost.n_r + 1e3 * cost.n_g + cost.n_b;
 }
 
-AnnealResult anneal(const rqfp::Netlist& initial,
-                    std::span<const tt::TruthTable> spec,
-                    const AnnealParams& params) {
+AnnealResult detail::anneal_impl(const rqfp::Netlist& initial,
+                                 std::span<const tt::TruthTable> spec,
+                                 const AnnealParams& params) {
   if (spec.size() != initial.num_pos()) {
     throw std::invalid_argument("anneal: spec/PO count mismatch");
   }
@@ -155,6 +155,12 @@ AnnealResult anneal(const rqfp::Netlist& initial,
     trace->flush();
   }
   return result;
+}
+
+AnnealResult anneal(const rqfp::Netlist& initial,
+                    std::span<const tt::TruthTable> spec,
+                    const AnnealParams& params) {
+  return detail::anneal_impl(initial, spec, params);
 }
 
 } // namespace rcgp::core

@@ -1,0 +1,224 @@
+#include "core/eval_pool.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rcgp::core {
+
+/// Per-worker reusable state. Owned by exactly one thread during a
+/// generation (worker i uses scratch_[i]; the caller thread is worker 0),
+/// so nothing here needs synchronization.
+struct EvalPool::Scratch {
+  /// Base netlist whose port tables `cache` currently holds.
+  rqfp::Netlist base;
+  rqfp::SimCache cache;
+  bool cache_valid = false;
+  double busy_seconds = 0.0;
+  obs::Counter* evals = nullptr;
+};
+
+namespace {
+
+obs::Counter& pool_tasks() {
+  static obs::Counter& c = obs::registry().counter("evolve.pool.tasks");
+  return c;
+}
+obs::Counter& pool_rebuilds() {
+  static obs::Counter& c =
+      obs::registry().counter("evolve.pool.cache_rebuilds");
+  return c;
+}
+obs::Counter& pool_updates() {
+  static obs::Counter& c =
+      obs::registry().counter("evolve.pool.cache_updates");
+  return c;
+}
+
+} // namespace
+
+unsigned EvalPool::resolve_threads(unsigned requested, unsigned lambda) {
+  unsigned t = requested;
+  if (t == 0) {
+    t = std::thread::hardware_concurrency();
+    if (t == 0) {
+      t = 1;
+    }
+  }
+  if (lambda > 0 && t > lambda) {
+    t = lambda;
+  }
+  return t == 0 ? 1 : t;
+}
+
+EvalPool::EvalPool(unsigned threads) : threads_(threads) {
+  if (threads_ == 0) {
+    throw std::invalid_argument("EvalPool: threads must be >= 1");
+  }
+  scratch_.reserve(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    auto s = std::make_unique<Scratch>();
+    s->evals = &obs::registry().counter("evolve.pool.worker" +
+                                        std::to_string(i) + ".evals");
+    scratch_.push_back(std::move(s));
+  }
+  obs::registry().gauge("evolve.pool.threads").set(threads_);
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+EvalPool::~EvalPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+double EvalPool::utilization() const {
+  if (span_seconds_ <= 0.0) {
+    return 0.0;
+  }
+  return busy_seconds_ / (span_seconds_ * threads_);
+}
+
+void EvalPool::worker_main(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const EvalJob* job = nullptr;
+    OffspringResult* out = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_start_.wait(lock, [&] { return shutdown_ || job_id_ != seen; });
+      if (shutdown_) {
+        return;
+      }
+      seen = job_id_;
+      // A retired job (the caller's barrier already opened before this
+      // worker woke) is skipped entirely — job_ points into the caller's
+      // stack frame and must never be read outside the job's lifetime.
+      if (job_ == nullptr) {
+        continue;
+      }
+      job = job_;
+      out = out_;
+      ++active_workers_;
+    }
+    run_tasks(*scratch_[index], *job, out);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_workers_;
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void EvalPool::run_tasks(Scratch& scratch, const EvalJob& job,
+                         OffspringResult* out) {
+  util::Stopwatch watch;
+  const unsigned lambda = job.lambda;
+  for (;;) {
+    const unsigned k = next_task_.fetch_add(1, std::memory_order_relaxed);
+    if (k >= lambda) {
+      break;
+    }
+    if (!aborted_.load(std::memory_order_relaxed)) {
+      if (job.should_abort && job.should_abort()) {
+        aborted_.store(true, std::memory_order_relaxed);
+      } else {
+        evaluate_one(scratch, job, out, k);
+      }
+    }
+    done_tasks_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  scratch.busy_seconds += watch.seconds();
+}
+
+void EvalPool::evaluate_one(Scratch& scratch, const EvalJob& job,
+                            OffspringResult* out, unsigned k) {
+  const rqfp::Netlist& parent = *job.parent;
+
+  // Bring this worker's cache to the current parent: a full build when the
+  // shape changed (shrink on acceptance can drop gates), otherwise an
+  // incremental commit of whatever drifted since this worker last looked.
+  if (!scratch.cache_valid ||
+      scratch.base.num_gates() != parent.num_gates() ||
+      scratch.base.num_pis() != parent.num_pis()) {
+    rqfp::build_sim_cache(parent, scratch.cache);
+    scratch.base = parent;
+    scratch.cache_valid = true;
+    pool_rebuilds().inc();
+  } else if (!(scratch.base == parent)) {
+    rqfp::update_sim_cache(scratch.base, parent, scratch.cache);
+    scratch.base = parent;
+    pool_updates().inc();
+  }
+
+  // Offspring k is a pure function of (seed, generation, k, parent): its
+  // own counter-based RNG stream makes the result independent of which
+  // worker ran it and in what order.
+  OffspringResult& slot = out[k];
+  slot.child = parent;
+  util::Rng rng = util::Rng::stream(job.seed, job.generation, k);
+  slot.stats = mutate(slot.child, rng, job.mutation);
+  slot.fitness = evaluate_delta(scratch.base, scratch.cache, slot.child,
+                                job.spec, job.fitness);
+  scratch.evals->inc();
+  pool_tasks().inc();
+}
+
+bool EvalPool::evaluate_generation(const EvalJob& job,
+                                   std::span<OffspringResult> out) {
+  if (job.lambda == 0) {
+    return true;
+  }
+  if (out.size() < job.lambda) {
+    throw std::invalid_argument("EvalPool: result span too small");
+  }
+  util::Stopwatch watch;
+  next_task_.store(0, std::memory_order_relaxed);
+  done_tasks_.store(0, std::memory_order_relaxed);
+  aborted_.store(false, std::memory_order_relaxed);
+  if (workers_.empty()) {
+    // Inline path: same per-offspring code, no synchronization at all.
+    run_tasks(*scratch_[0], job, out.data());
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      out_ = out.data();
+      ++job_id_;
+    }
+    cv_start_.notify_all();
+    run_tasks(*scratch_[0], job, out.data()); // the caller is worker 0
+    {
+      // The barrier: every task counted AND every woken worker out of
+      // run_tasks. Workers that never woke are harmless — job_ is retired
+      // under the same mutex below, so a late waker skips the stale job.
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_done_.wait(lock, [&] {
+        return done_tasks_.load(std::memory_order_acquire) >= job.lambda &&
+               active_workers_ == 0;
+      });
+      job_ = nullptr;
+      out_ = nullptr;
+    }
+  }
+  span_seconds_ += watch.seconds();
+  busy_seconds_ = 0.0;
+  for (const auto& s : scratch_) {
+    busy_seconds_ += s->busy_seconds;
+  }
+  obs::registry().gauge("evolve.pool.utilization").set(utilization());
+  return !aborted_.load(std::memory_order_relaxed);
+}
+
+} // namespace rcgp::core

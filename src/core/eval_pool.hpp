@@ -1,0 +1,120 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/fitness.hpp"
+#include "core/mutation.hpp"
+#include "rqfp/netlist.hpp"
+#include "rqfp/simulate.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::core {
+
+/// One evaluated offspring (slot k of a generation).
+struct OffspringResult {
+  rqfp::Netlist child;
+  Fitness fitness;
+  MutationStats stats;
+};
+
+/// One generation's worth of work for the pool.
+struct EvalJob {
+  const rqfp::Netlist* parent = nullptr;
+  std::span<const tt::TruthTable> spec;
+  MutationParams mutation;
+  FitnessOptions fitness;
+  std::uint64_t seed = 0;
+  std::uint64_t generation = 0;
+  unsigned lambda = 0;
+  /// Polled between offspring on every worker. Once it returns true the
+  /// remaining offspring are skipped, evaluate_generation returns false,
+  /// and the partially-filled results must be discarded — the abort
+  /// conditions (stop token, deadline) are monotone, so the caller can
+  /// re-derive the reason deterministically at the generation boundary.
+  std::function<bool()> should_abort;
+};
+
+/// Persistent worker pool for deterministic λ-parallel offspring
+/// evaluation (docs/PARALLELISM.md).
+///
+/// Offspring k of generation g is a pure function of (seed, g, k, parent):
+/// it mutates its own parent copy under the counter-based RNG stream
+/// util::Rng::stream(seed, g, k) and evaluates the result. Work is claimed
+/// dynamically (first-free-worker), but since no offspring reads another's
+/// state, the results are bit-identical for every thread count — including
+/// threads == 1, which runs inline on the caller thread through the same
+/// code path and is the reference "sequential loop".
+///
+/// Each worker owns a reusable scratch: a child netlist buffer and a
+/// rqfp::SimCache holding the port tables of the last netlist it fully
+/// simulated. Offspring are evaluated through the dirty-cone incremental
+/// path (core::evaluate_delta), so per-offspring cost scales with the
+/// mutated cone, not the circuit, and steady-state generations allocate
+/// nothing beyond truth-table churn inside the cone.
+class EvalPool {
+public:
+  /// threads must be >= 1; threads - 1 worker threads are spawned once
+  /// and live until destruction (threads == 1 spawns none).
+  explicit EvalPool(unsigned threads);
+  ~EvalPool();
+
+  EvalPool(const EvalPool&) = delete;
+  EvalPool& operator=(const EvalPool&) = delete;
+
+  unsigned threads() const { return threads_; }
+
+  /// Picks the pool width: `requested` (0 = hardware concurrency),
+  /// clamped to [1, lambda] — more workers than offspring never help.
+  static unsigned resolve_threads(unsigned requested, unsigned lambda);
+
+  /// Evaluates offspring 0..job.lambda-1 into out[k]; blocks until every
+  /// slot is done. Returns false when job.should_abort tripped (the
+  /// generation is incomplete and must be discarded by the caller).
+  bool evaluate_generation(const EvalJob& job,
+                           std::span<OffspringResult> out);
+
+  /// Cumulative busy-fraction of the pool since construction:
+  /// sum(per-worker busy seconds) / (generation wall seconds * threads).
+  /// 1.0 means every thread was working the entire time.
+  double utilization() const;
+
+private:
+  struct Scratch;
+
+  void worker_main(unsigned index);
+  void run_tasks(Scratch& scratch, const EvalJob& job, OffspringResult* out);
+  void evaluate_one(Scratch& scratch, const EvalJob& job,
+                    OffspringResult* out, unsigned k);
+
+  unsigned threads_ = 1;
+  std::vector<std::unique_ptr<Scratch>> scratch_;
+  std::vector<std::thread> workers_;
+
+  // Job hand-off: job_/out_/counters are published under mutex_ before
+  // cv_start_ wakes the workers; completion is an atomic count with
+  // release/acquire pairing so the caller sees every out_[k] write.
+  std::mutex mutex_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t job_id_ = 0;
+  bool shutdown_ = false;
+  unsigned active_workers_ = 0;
+  const EvalJob* job_ = nullptr;
+  OffspringResult* out_ = nullptr;
+  std::atomic<unsigned> next_task_{0};
+  std::atomic<unsigned> done_tasks_{0};
+  std::atomic<bool> aborted_{false};
+
+  double busy_seconds_ = 0.0;
+  double span_seconds_ = 0.0;
+};
+
+} // namespace rcgp::core

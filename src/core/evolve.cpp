@@ -1,8 +1,10 @@
 #include "core/evolve.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 #include "cec/sat_cec.hpp"
+#include "core/eval_pool.hpp"
 #include "core/shrink.hpp"
 #include "io/rqfp_writer.hpp"
 #include "obs/metrics.hpp"
@@ -48,6 +50,13 @@ std::string run_end_reason(robust::StopReason reason, bool resumed) {
 /// Shared implementation behind evolve() and evolve_resume(). When
 /// `resume` is non-null the loop continues from the checkpointed state;
 /// all result counters are then cumulative across the resume chain.
+///
+/// Offspring are evaluated λ-parallel through an EvalPool. Every stateful
+/// decision (budget checks, checkpoints, selection, acceptance) happens at
+/// generation boundaries on this thread, and offspring k of generation g
+/// draws from the counter-based stream (seed, g, k), so the run is
+/// bit-identical for every thread count and never needs to persist RNG
+/// engine state.
 EvolveResult evolve_run(const rqfp::Netlist& initial,
                         std::span<const tt::TruthTable> spec,
                         const EvolveParams& params,
@@ -74,10 +83,6 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
   const double base_seconds = resume ? resume->elapsed_seconds : 0.0;
   const auto elapsed = [&] { return base_seconds + watch.seconds(); };
 
-  util::Rng rng(params.seed);
-  if (resume) {
-    rng.set_state(resume->rng_state);
-  }
   obs::TraceSink* const trace = params.trace;
 
   EvolveResult result;
@@ -129,6 +134,9 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
                               resume ? "evolve:resume" : "evolve:start");
   }
 
+  EvalPool pool(EvalPool::resolve_threads(params.threads, params.lambda));
+  std::vector<OffspringResult> offspring(params.lambda);
+
   if (trace) {
     if (resume) {
       trace->event("checkpoint_loaded")
@@ -142,6 +150,7 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
         .field("lambda", static_cast<std::uint64_t>(params.lambda))
         .field("mu", params.mutation.mu)
         .field("seed", params.seed)
+        .field("threads", static_cast<std::uint64_t>(pool.threads()))
         .field("resumed", result.resumed);
     put_fitness(ev, parent_fit);
   }
@@ -151,15 +160,19 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
       resume ? resume->last_improvement_gen : 0;
   auto stop_reason = robust::StopReason::kCompleted;
 
-  // Polled between offspring evaluations, so a deadline or a SIGINT is
-  // honored within one evaluation even for SAT-heavy configurations.
-  const auto budget_stop = [&]() -> bool {
+  // Boundary budget predicate, checked once per generation before the λ
+  // dispatch. The evaluation-budget form `evaluations + λ > max` is
+  // arithmetically identical to the historical per-offspring check with
+  // mid-generation rollback: a generation runs iff it fits the budget
+  // whole. Check order (stop, evaluations, time) matches the historical
+  // predicate so resumed runs report identical stop reasons.
+  const auto boundary_stop = [&]() -> bool {
     if (params.budget.stop_requested()) {
       stop_reason = robust::StopReason::kStopRequested;
       return true;
     }
     if (params.budget.max_evaluations &&
-        result.evaluations >= params.budget.max_evaluations) {
+        result.evaluations + params.lambda > params.budget.max_evaluations) {
       stop_reason = robust::StopReason::kEvaluationBudget;
       return true;
     }
@@ -176,6 +189,28 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
     }
     return false;
   };
+  // Polled between offspring on every worker, so a deadline or a SIGINT is
+  // honored within one evaluation even for SAT-heavy configurations. Only
+  // monotone conditions: once true mid-generation it is still true at the
+  // boundary, where boundary_stop() re-derives the reason after the
+  // partial generation is discarded. The evaluation budget is not polled
+  // here — it is fully decided at the boundary.
+  const auto mid_generation_abort = [&]() -> bool {
+    if (params.budget.stop_requested()) {
+      return true;
+    }
+    if (params.time_limit_seconds > 0.0 ||
+        params.budget.deadline_seconds > 0.0) {
+      const double t = elapsed();
+      if ((params.time_limit_seconds > 0.0 &&
+           t > params.time_limit_seconds) ||
+          (params.budget.deadline_seconds > 0.0 &&
+           t > params.budget.deadline_seconds)) {
+        return true;
+      }
+    }
+    return false;
+  };
 
   const bool checkpointing = !params.checkpoint_path.empty();
   const auto make_checkpoint = [&] {
@@ -185,7 +220,6 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
     ck.mu = params.mutation.mu;
     ck.generations_total = params.generations;
     ck.generation = result.generations_run;
-    ck.rng_state = rng.state();
     ck.evaluations = result.evaluations;
     ck.improvements = result.improvements;
     ck.sat_confirmations = result.sat_confirmations;
@@ -209,17 +243,7 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
     }
   };
 
-  // Boundary snapshot for mid-generation interruptions: a generation is
-  // atomic w.r.t. resume, so a stop inside the λ loop rolls these back and
-  // the discarded half-generation is re-run identically after resume.
-  struct BoundarySnapshot {
-    std::array<std::uint64_t, 4> rng_state{};
-    std::uint64_t evaluations = 0;
-    MutationMix attempted;
-  };
-
   const std::uint64_t start_gen = resume ? resume->generation : 0;
-  bool interrupted = false;
   for (std::uint64_t gen = start_gen; gen < params.generations; ++gen) {
     if (params.budget.max_generations &&
         gen >= params.budget.max_generations) {
@@ -230,40 +254,50 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
         gen % params.checkpoint_interval == 0) {
       save_checkpoint_now();
     }
-    BoundarySnapshot snap;
-    snap.rng_state = rng.state();
-    snap.evaluations = result.evaluations;
-    snap.attempted = result.mutations_attempted;
-
-    rqfp::Netlist best_child;
-    Fitness best_child_fit;
-    MutationStats best_child_stats;
-    bool have_child = false;
-    for (unsigned k = 0; k < params.lambda; ++k) {
-      if (budget_stop()) {
-        interrupted = true;
-        break;
-      }
-      rqfp::Netlist child = parent;
-      const MutationStats stats = mutate(child, rng, params.mutation);
-      result.mutations_attempted.add(stats);
-      const Fitness fit = evaluate(child, spec, params.fitness);
-      ++result.evaluations;
-      if (!have_child || fit.better_or_equal(best_child_fit)) {
-        best_child = std::move(child);
-        best_child_fit = fit;
-        best_child_stats = stats;
-        have_child = true;
-      }
-    }
-    if (interrupted) {
-      rng.set_state(snap.rng_state);
-      result.evaluations = snap.evaluations;
-      result.mutations_attempted = snap.attempted;
+    if (boundary_stop()) {
       break;
     }
 
-    if (have_child && best_child_fit.better_or_equal(parent_fit)) {
+    EvalJob job;
+    job.parent = &parent;
+    job.spec = spec;
+    job.mutation = params.mutation;
+    job.fitness = params.fitness;
+    job.seed = params.seed;
+    job.generation = gen;
+    job.lambda = params.lambda;
+    job.should_abort = mid_generation_abort;
+    if (!pool.evaluate_generation(job, offspring)) {
+      // Aborted mid-generation: the partial generation is discarded (a
+      // generation is atomic w.r.t. both the result and resume) and the
+      // reason is re-derived — the abort conditions are monotone, so
+      // boundary_stop() finds the same verdict the worker saw.
+      if (!boundary_stop()) {
+        stop_reason = robust::StopReason::kStopRequested;
+      }
+      break;
+    }
+    result.evaluations += params.lambda;
+
+    // Selection scan in offspring-index order: a later offspring with
+    // better-or-equal fitness wins the tie, exactly as the historical
+    // sequential loop decided — and independent of which worker finished
+    // first.
+    std::size_t best_k = 0;
+    bool have_child = false;
+    for (unsigned k = 0; k < params.lambda; ++k) {
+      result.mutations_attempted.add(offspring[k].stats);
+      if (!have_child ||
+          offspring[k].fitness.better_or_equal(offspring[best_k].fitness)) {
+        best_k = k;
+        have_child = true;
+      }
+    }
+
+    if (have_child &&
+        offspring[best_k].fitness.better_or_equal(parent_fit)) {
+      rqfp::Netlist& best_child = offspring[best_k].child;
+      const Fitness best_child_fit = offspring[best_k].fitness;
       const bool improved = best_child_fit.strictly_better(parent_fit);
       bool accept = true;
       if (improved && params.sat_verify_improvements) {
@@ -279,7 +313,7 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
         parent = params.disable_shrink ? std::move(best_child)
                                        : shrink(best_child);
         parent_fit = best_child_fit;
-        result.mutations_accepted.add(best_child_stats);
+        result.mutations_accepted.add(offspring[best_k].stats);
         if (params.paranoia == robust::ParanoiaLevel::kEveryAcceptance) {
           robust::enforce_integrity(
               parent, spec,
@@ -374,15 +408,17 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
 
 } // namespace
 
-EvolveResult evolve(const rqfp::Netlist& initial,
-                    std::span<const tt::TruthTable> spec,
-                    const EvolveParams& params) {
+namespace detail {
+
+EvolveResult evolve_impl(const rqfp::Netlist& initial,
+                         std::span<const tt::TruthTable> spec,
+                         const EvolveParams& params) {
   return evolve_run(initial, spec, params, nullptr);
 }
 
-EvolveResult evolve_resume(const std::string& checkpoint_path,
-                           std::span<const tt::TruthTable> spec,
-                           const EvolveParams& params) {
+EvolveResult evolve_resume_impl(const std::string& checkpoint_path,
+                                std::span<const tt::TruthTable> spec,
+                                const EvolveParams& params) {
   static obs::Counter& c_resumes = obs::registry().counter("evolve.resumes");
   const robust::EvolveCheckpoint ck = robust::load_checkpoint(checkpoint_path);
   if (ck.seed != params.seed ||
@@ -402,10 +438,10 @@ EvolveResult evolve_resume(const std::string& checkpoint_path,
   return evolve_run(ck.parent, spec, run_params, &ck);
 }
 
-EvolveResult evolve_multistart(const rqfp::Netlist& initial,
-                               std::span<const tt::TruthTable> spec,
-                               const EvolveParams& params,
-                               unsigned restarts) {
+EvolveResult evolve_multistart_impl(const rqfp::Netlist& initial,
+                                    std::span<const tt::TruthTable> spec,
+                                    const EvolveParams& params,
+                                    unsigned restarts) {
   if (restarts == 0) {
     throw std::invalid_argument("evolve_multistart: restarts must be >= 1");
   }
@@ -448,7 +484,7 @@ EvolveResult evolve_multistart(const rqfp::Netlist& initial,
           .field("seed", per_run.seed)
           .field("generations", per_run.generations);
     }
-    EvolveResult run = evolve(initial, spec, per_run);
+    EvolveResult run = evolve_impl(initial, spec, per_run);
     const bool better =
         !have_best || run.best_fitness.strictly_better(best.best_fitness);
     // Accumulate bookkeeping across runs.
@@ -497,6 +533,27 @@ EvolveResult evolve_multistart(const rqfp::Netlist& initial,
   best.seconds = watch.seconds();
   best.stop_reason = stop_reason;
   return best;
+}
+
+} // namespace detail
+
+EvolveResult evolve(const rqfp::Netlist& initial,
+                    std::span<const tt::TruthTable> spec,
+                    const EvolveParams& params) {
+  return detail::evolve_impl(initial, spec, params);
+}
+
+EvolveResult evolve_resume(const std::string& checkpoint_path,
+                           std::span<const tt::TruthTable> spec,
+                           const EvolveParams& params) {
+  return detail::evolve_resume_impl(checkpoint_path, spec, params);
+}
+
+EvolveResult evolve_multistart(const rqfp::Netlist& initial,
+                               std::span<const tt::TruthTable> spec,
+                               const EvolveParams& params,
+                               unsigned restarts) {
+  return detail::evolve_multistart_impl(initial, spec, params, restarts);
 }
 
 } // namespace rcgp::core

@@ -24,6 +24,13 @@ struct EvolveParams {
   MutationParams mutation;
   std::uint64_t seed = 1;
 
+  /// Worker threads for λ-parallel offspring evaluation (0 = hardware
+  /// concurrency), clamped to [1, λ]. Offspring k of generation g draws
+  /// from its own counter-based RNG stream derived from (seed, g, k), so
+  /// the result is bit-identical for every thread count — `threads` is a
+  /// pure throughput knob (docs/PARALLELISM.md).
+  unsigned threads = 0;
+
   /// Confirm every accepted strict improvement with SAT-based formal
   /// verification (the paper combines circuit simulation with formal
   /// verification). Simulation here is exhaustive, so this is a
@@ -47,10 +54,12 @@ struct EvolveParams {
   robust::RunBudget budget;
 
   /// Crash safety: when non-empty, the full evolve state (parent netlist,
-  /// fitness, RNG engine words, every counter, elapsed budget) is saved
-  /// atomically to this path every `checkpoint_interval` generations and
-  /// once more on exit. evolve_resume() continues such a run
-  /// bit-identically to one that was never interrupted.
+  /// fitness, every counter, elapsed budget) is saved atomically to this
+  /// path every `checkpoint_interval` generations and once more on exit.
+  /// No RNG engine state is stored: offspring streams are re-derived from
+  /// (seed, generation, k), so a checkpoint is also thread-count
+  /// independent. evolve_resume() continues such a run bit-identically to
+  /// one that was never interrupted.
   std::string checkpoint_path;
   std::uint64_t checkpoint_interval = 1000;
 
@@ -97,10 +106,29 @@ struct EvolveResult {
   bool resumed = false;
 };
 
+namespace detail {
+
+/// Implementation entry points shared by the deprecated free functions
+/// below and the core::Optimizer facade (core/optimizer.hpp). Call these
+/// from internal code; external callers should go through Optimizer.
+EvolveResult evolve_impl(const rqfp::Netlist& initial,
+                         std::span<const tt::TruthTable> spec,
+                         const EvolveParams& params);
+EvolveResult evolve_resume_impl(const std::string& checkpoint_path,
+                                std::span<const tt::TruthTable> spec,
+                                const EvolveParams& params);
+EvolveResult evolve_multistart_impl(const rqfp::Netlist& initial,
+                                    std::span<const tt::TruthTable> spec,
+                                    const EvolveParams& params,
+                                    unsigned restarts);
+
+} // namespace detail
+
 /// (1+λ) CGP optimization of an RQFP netlist against a truth-table
 /// specification (Algorithm 1 of the paper). The initial netlist must be
 /// functionally correct w.r.t. `spec`; the result always is (improvements
 /// are only accepted at 100% simulation success, optionally SAT-confirmed).
+[[deprecated("use core::Optimizer (core/optimizer.hpp)")]]
 EvolveResult evolve(const rqfp::Netlist& initial,
                     std::span<const tt::TruthTable> spec,
                     const EvolveParams& params = {});
@@ -124,6 +152,7 @@ EvolveResult evolve_resume(const std::string& checkpoint_path,
 /// walk can get stuck on; total evaluation budget matches a single
 /// evolve() call. Stop requests and deadlines cut the whole restart
 /// schedule short. Throws std::invalid_argument when restarts == 0.
+[[deprecated("use core::Optimizer with Algorithm::kMultistart")]]
 EvolveResult evolve_multistart(const rqfp::Netlist& initial,
                                std::span<const tt::TruthTable> spec,
                                const EvolveParams& params = {},

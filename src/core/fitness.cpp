@@ -33,12 +33,12 @@ std::string Fitness::to_string() const {
          " n_b=" + std::to_string(n_b);
 }
 
-Fitness evaluate(const rqfp::Netlist& net,
-                 std::span<const tt::TruthTable> spec,
+namespace {
+
+Fitness from_sim(const rqfp::Netlist& net, const cec::SimResult& sim,
                  const FitnessOptions& options) {
   Fitness f;
   f.objective = options.objective;
-  const auto sim = cec::sim_check(net, spec);
   f.success_rate = sim.success_rate;
   if (!sim.all_match) {
     return f;
@@ -49,6 +49,22 @@ Fitness evaluate(const rqfp::Netlist& net,
   f.n_g = cost.n_g;
   f.n_b = cost.n_b;
   return f;
+}
+
+} // namespace
+
+Fitness evaluate(const rqfp::Netlist& net,
+                 std::span<const tt::TruthTable> spec,
+                 const FitnessOptions& options) {
+  return from_sim(net, cec::sim_check(net, spec), options);
+}
+
+Fitness evaluate_delta(const rqfp::Netlist& base, rqfp::SimCache& cache,
+                       const rqfp::Netlist& child,
+                       std::span<const tt::TruthTable> spec,
+                       const FitnessOptions& options) {
+  return from_sim(child, cec::sim_check_delta(base, child, spec, cache),
+                  options);
 }
 
 } // namespace rcgp::core

@@ -6,6 +6,7 @@
 
 #include "rqfp/buffer.hpp"
 #include "rqfp/netlist.hpp"
+#include "rqfp/simulate.hpp"
 #include "tt/truth_table.hpp"
 
 namespace rcgp::core {
@@ -57,5 +58,16 @@ struct FitnessOptions {
 Fitness evaluate(const rqfp::Netlist& net,
                  std::span<const tt::TruthTable> spec,
                  const FitnessOptions& options = {});
+
+/// Incremental evaluation: bit-identical Fitness for `child`, but the
+/// simulation phase re-computes only the dirty cone relative to `base`,
+/// whose port values `cache` holds (rqfp::build_sim_cache). `base` and
+/// `child` must share PI and gate counts — exactly what CGP mutation
+/// preserves. The cache is restored before returning, so one per-worker
+/// cache serves every offspring of a generation without allocating.
+Fitness evaluate_delta(const rqfp::Netlist& base, rqfp::SimCache& cache,
+                       const rqfp::Netlist& child,
+                       std::span<const tt::TruthTable> spec,
+                       const FitnessOptions& options = {});
 
 } // namespace rcgp::core

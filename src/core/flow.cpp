@@ -56,8 +56,12 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
   obs::PhaseCollector phases;
   // Checked between phases: a cooperative stop skips the remaining
   // optional phases but the mandatory mapping still runs, so the caller
-  // always gets a valid (if unoptimized) netlist back.
-  const auto stopped = [&] { return options.evolve.budget.stop_requested(); };
+  // always gets a valid (if unoptimized) netlist back. Both the legacy
+  // evolve.budget token and the facade-level limits token are honored.
+  const auto stopped = [&] {
+    return options.evolve.budget.stop_requested() ||
+           options.limits.budget().stop_requested();
+  };
 
   // Phase 1: conventional logic synthesis (ABC resyn2 stand-in).
   aig::Aig net = input.cleanup();
@@ -107,18 +111,28 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
   }
   if (options.run_cgp && !stopped()) {
     obs::PhaseTimer timer("cgp");
-    EvolveParams ep = options.evolve;
-    ep.fitness.schedule = options.schedule;
+    OptimizerOptions oo;
+    oo.algorithm = options.optimizer;
+    oo.evolve = options.evolve;
+    oo.evolve.fitness.schedule = options.schedule;
+    oo.anneal = options.anneal;
+    oo.anneal.fitness.schedule = options.schedule;
+    oo.window = options.window;
+    oo.restarts = options.restarts;
+    oo.limits = options.limits;
+    const Optimizer optimizer(oo);
     if (options.resume) {
-      if (ep.checkpoint_path.empty()) {
+      if (options.evolve.checkpoint_path.empty() &&
+          options.limits.checkpoint_path.empty()) {
         throw std::invalid_argument(
             "flow: resume requested without a checkpoint path");
       }
-      result.evolution = evolve_resume(ep.checkpoint_path, spec, ep);
+      result.optimization = optimizer.resume(spec);
     } else {
-      result.evolution = evolve(result.initial, spec, ep);
+      result.optimization = optimizer.run(result.initial, spec);
     }
-    result.optimized = result.evolution.best;
+    result.evolution = result.optimization.evolve;
+    result.optimized = result.optimization.best;
   } else {
     result.optimized = result.initial;
   }
@@ -126,6 +140,12 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
     obs::PhaseTimer timer("exact-polish");
     ExactPolishParams polish;
     polish.budget = options.evolve.budget;
+    if (options.limits.stop) {
+      polish.budget.stop = options.limits.stop;
+    }
+    if (options.limits.deadline_seconds > 0.0) {
+      polish.budget.deadline_seconds = options.limits.deadline_seconds;
+    }
     result.optimized = exact_polish(result.optimized, polish);
   }
   if (options.evolve.paranoia >= robust::ParanoiaLevel::kBoundaries) {

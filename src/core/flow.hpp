@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "aig/aig.hpp"
-#include "core/evolve.hpp"
+#include "core/optimizer.hpp"
 #include "obs/phase.hpp"
 #include "rqfp/cost.hpp"
 #include "rqfp/netlist.hpp"
@@ -29,15 +29,26 @@ struct FlowOptions {
   /// Extension: after CGP, replace small windows with SAT-proven optimal
   /// sub-circuits (closes the gap to the exact optima at laptop budgets).
   bool run_exact_polish = false;
-  /// Continue the CGP phase from evolve.checkpoint_path instead of
-  /// starting fresh (see docs/ROBUSTNESS.md). The checkpoint must stem
-  /// from the same specification and evolve configuration.
+  /// Continue the CGP phase from the configured checkpoint path instead
+  /// of starting fresh (see docs/ROBUSTNESS.md). The checkpoint must stem
+  /// from the same specification and evolve configuration. Only
+  /// Algorithm::kEvolve supports checkpointing.
   bool resume = false;
+  /// Which optimizer the CGP phase runs (evolve | multistart | anneal |
+  /// window); all of them are configured below and share `limits`.
+  Algorithm optimizer = Algorithm::kEvolve;
   /// evolve.budget doubles as the flow-level budget: a cooperative stop
   /// skips the remaining optional phases (the mapping phases still run so
   /// the result is always a valid netlist), and evolve.paranoia ≥
   /// kBoundaries re-validates the netlist at flow phase boundaries.
   EvolveParams evolve;
+  AnnealParams anneal;           // Algorithm::kAnneal
+  WindowParams window;           // Algorithm::kWindow geometry
+  unsigned restarts = 4;         // Algorithm::kMultistart
+  /// Cross-algorithm limits (deadline, stop token, checkpointing); set
+  /// fields override the per-algorithm params and also bound the
+  /// flow-level phases.
+  RunLimits limits;
   rqfp::BufferSchedule schedule = rqfp::BufferSchedule::kAsap;
 };
 
@@ -51,6 +62,10 @@ struct FlowResult {
   rqfp::Netlist optimized;
   rqfp::Cost optimized_cost;
 
+  /// Full facade result of the CGP phase (whichever algorithm ran).
+  OptimizeResult optimization;
+  /// Evolve-specific detail — alias of optimization.evolve, kept for the
+  /// historical call sites (populated for kEvolve / kMultistart only).
   EvolveResult evolution;
   double seconds_total = 0.0;
 

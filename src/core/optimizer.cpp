@@ -1,0 +1,160 @@
+#include "core/optimizer.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rcgp::core {
+
+std::string_view to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kEvolve: return "evolve";
+    case Algorithm::kMultistart: return "multistart";
+    case Algorithm::kAnneal: return "anneal";
+    case Algorithm::kWindow: return "window";
+  }
+  return "unknown";
+}
+
+Algorithm parse_algorithm(std::string_view name) {
+  if (name == "evolve") return Algorithm::kEvolve;
+  if (name == "multistart") return Algorithm::kMultistart;
+  if (name == "anneal") return Algorithm::kAnneal;
+  if (name == "window") return Algorithm::kWindow;
+  throw std::invalid_argument(
+      "unknown optimizer algorithm '" + std::string(name) +
+      "' (expected evolve|multistart|anneal|window)");
+}
+
+Optimizer::Optimizer(OptimizerOptions options) : options_(std::move(options)) {
+  if (options_.algorithm == Algorithm::kMultistart &&
+      options_.restarts == 0) {
+    throw std::invalid_argument("Optimizer: restarts must be >= 1");
+  }
+}
+
+// The merge rule is additive: a default (zero / empty / null) RunLimits
+// field keeps whatever the per-algorithm params say, a set field wins.
+EvolveParams Optimizer::evolve_params() const {
+  EvolveParams p = options_.evolve;
+  const RunLimits& l = options_.limits;
+  if (l.deadline_seconds > 0.0) {
+    p.budget.deadline_seconds = l.deadline_seconds;
+  }
+  if (l.max_generations) {
+    p.budget.max_generations = l.max_generations;
+  }
+  if (l.max_evaluations) {
+    p.budget.max_evaluations = l.max_evaluations;
+  }
+  if (l.stop) {
+    p.budget.stop = l.stop;
+  }
+  if (!l.checkpoint_path.empty()) {
+    p.checkpoint_path = l.checkpoint_path;
+  }
+  if (l.checkpoint_interval) {
+    p.checkpoint_interval = l.checkpoint_interval;
+  }
+  return p;
+}
+
+AnnealParams Optimizer::anneal_params() const {
+  AnnealParams p = options_.anneal;
+  const RunLimits& l = options_.limits;
+  if (l.deadline_seconds > 0.0) {
+    p.budget.deadline_seconds = l.deadline_seconds;
+  }
+  if (l.max_generations) {
+    p.budget.max_generations = l.max_generations;
+  }
+  if (l.max_evaluations) {
+    p.budget.max_evaluations = l.max_evaluations;
+  }
+  if (l.stop) {
+    p.budget.stop = l.stop;
+  }
+  return p;
+}
+
+OptimizeResult Optimizer::run(const rqfp::Netlist& initial,
+                              std::span<const tt::TruthTable> spec) const {
+  static obs::Counter& c_runs = obs::registry().counter("optimizer.runs");
+  c_runs.inc();
+  OptimizeResult r;
+  switch (options_.algorithm) {
+    case Algorithm::kEvolve: {
+      r.evolve = detail::evolve_impl(initial, spec, evolve_params());
+      r.best = r.evolve.best;
+      r.best_fitness = r.evolve.best_fitness;
+      r.evaluations = r.evolve.evaluations;
+      r.seconds = r.evolve.seconds;
+      r.stop_reason = r.evolve.stop_reason;
+      break;
+    }
+    case Algorithm::kMultistart: {
+      EvolveParams p = evolve_params();
+      // Restart checkpoints would overwrite each other; multistart has
+      // never supported checkpointing (see evolve_multistart_impl).
+      p.checkpoint_path.clear();
+      r.evolve =
+          detail::evolve_multistart_impl(initial, spec, p, options_.restarts);
+      r.best = r.evolve.best;
+      r.best_fitness = r.evolve.best_fitness;
+      r.evaluations = r.evolve.evaluations;
+      r.seconds = r.evolve.seconds;
+      r.stop_reason = r.evolve.stop_reason;
+      break;
+    }
+    case Algorithm::kAnneal: {
+      r.anneal = detail::anneal_impl(initial, spec, anneal_params());
+      r.best = r.anneal.best;
+      r.best_fitness = r.anneal.best_fitness;
+      // Annealing evaluates once per step (plus the best-seen re-check,
+      // already counted in the cec.sim_checks telemetry).
+      r.evaluations = r.anneal.steps_run;
+      r.seconds = r.anneal.seconds;
+      r.stop_reason = r.anneal.stop_reason;
+      break;
+    }
+    case Algorithm::kWindow: {
+      util::Stopwatch watch;
+      WindowParams p = options_.window;
+      p.evolve = evolve_params();
+      p.evolve.checkpoint_path.clear(); // per-window runs never checkpoint
+      r.best = detail::window_optimize_impl(initial, p, &r.window);
+      r.best_fitness = evaluate(r.best, spec, p.evolve.fitness);
+      r.seconds = watch.seconds();
+      r.stop_reason = (p.evolve.budget.stop_requested())
+                          ? robust::StopReason::kStopRequested
+                          : robust::StopReason::kCompleted;
+      break;
+    }
+  }
+  return r;
+}
+
+OptimizeResult Optimizer::resume(std::span<const tt::TruthTable> spec) const {
+  if (options_.algorithm != Algorithm::kEvolve) {
+    throw std::invalid_argument(
+        "Optimizer::resume: only Algorithm::kEvolve supports checkpointed "
+        "resume");
+  }
+  EvolveParams p = evolve_params();
+  if (p.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "Optimizer::resume: no checkpoint path configured (set "
+        "RunLimits::checkpoint_path or EvolveParams::checkpoint_path)");
+  }
+  OptimizeResult r;
+  r.evolve = detail::evolve_resume_impl(p.checkpoint_path, spec, p);
+  r.best = r.evolve.best;
+  r.best_fitness = r.evolve.best_fitness;
+  r.evaluations = r.evolve.evaluations;
+  r.seconds = r.evolve.seconds;
+  r.stop_reason = r.evolve.stop_reason;
+  return r;
+}
+
+} // namespace rcgp::core

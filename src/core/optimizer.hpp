@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "core/anneal.hpp"
+#include "core/evolve.hpp"
+#include "core/window.hpp"
+#include "robust/stop.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::core {
+
+/// Which search algorithm an Optimizer runs. All of them consume the same
+/// genotype, mutation operators, and RunLimits; they differ only in the
+/// outer search strategy.
+enum class Algorithm : std::uint8_t {
+  kEvolve,     ///< single (1+λ) CGP run (the paper's Algorithm 1)
+  kMultistart, ///< `restarts` decorrelated (1+λ) runs, best-of
+  kAnneal,     ///< simulated-annealing ablation over the same operators
+  kWindow,     ///< windowed (1+λ) sweep for large netlists
+};
+
+/// Stable lowercase name ("evolve", "multistart", "anneal", "window").
+std::string_view to_string(Algorithm algorithm);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+Algorithm parse_algorithm(std::string_view name);
+
+/// Cross-algorithm run limits, applied on top of the per-algorithm
+/// parameter structs. A default-constructed field (zero / empty / null)
+/// leaves the corresponding per-algorithm setting untouched, so RunLimits
+/// only ever tightens or adds — callers can configure an algorithm fully
+/// through its params and use RunLimits purely for scheduling concerns
+/// (deadlines, stop tokens, checkpointing).
+struct RunLimits {
+  /// Wall-clock ceiling in seconds (0 = keep per-algorithm setting).
+  double deadline_seconds = 0.0;
+  /// Generation / step ceiling (0 = keep per-algorithm setting).
+  std::uint64_t max_generations = 0;
+  /// Fitness-evaluation ceiling (0 = keep per-algorithm setting).
+  std::uint64_t max_evaluations = 0;
+  /// Cooperative stop flag (not owned; nullptr = keep per-algorithm one).
+  robust::StopToken* stop = nullptr;
+  /// Crash-safe checkpointing (kEvolve only; empty = keep per-algorithm
+  /// path). Checkpoints are thread-count independent.
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_interval = 0; // 0 = keep per-algorithm interval
+
+  /// The limits expressed as the budget struct the loops consume.
+  robust::RunBudget budget() const {
+    robust::RunBudget b;
+    b.deadline_seconds = deadline_seconds;
+    b.max_generations = max_generations;
+    b.max_evaluations = max_evaluations;
+    b.stop = stop;
+    return b;
+  }
+};
+
+struct OptimizerOptions {
+  Algorithm algorithm = Algorithm::kEvolve;
+  /// (1+λ) parameters — used by kEvolve, kMultistart, and (per window)
+  /// kWindow. Includes `threads` for λ-parallel offspring evaluation.
+  EvolveParams evolve;
+  AnnealParams anneal;
+  /// Window geometry for kWindow; its `evolve` member is replaced by the
+  /// `evolve` field above so every algorithm is configured in one place.
+  WindowParams window;
+  /// Independent restarts for kMultistart (must be >= 1).
+  unsigned restarts = 4;
+  RunLimits limits;
+};
+
+/// Uniform result across algorithms. `best`, `best_fitness`, `seconds`,
+/// `stop_reason`, and `evaluations` are always populated; the sub-result
+/// matching the algorithm carries the full per-algorithm detail.
+struct OptimizeResult {
+  rqfp::Netlist best;
+  Fitness best_fitness;
+  std::uint64_t evaluations = 0;
+  double seconds = 0.0;
+  robust::StopReason stop_reason = robust::StopReason::kCompleted;
+
+  EvolveResult evolve; ///< kEvolve / kMultistart
+  AnnealResult anneal; ///< kAnneal
+  WindowStats window;  ///< kWindow
+};
+
+/// Unified entry point over the four optimizer loops (evolve, multistart,
+/// anneal, window). Construct once with options, then run() against any
+/// number of (netlist, spec) pairs; resume() continues a checkpointed
+/// kEvolve run. The historical free functions evolve(), anneal(),
+/// evolve_multistart(), and window_optimize() are deprecated thin wrappers
+/// over the same implementations.
+class Optimizer {
+public:
+  explicit Optimizer(OptimizerOptions options);
+
+  const OptimizerOptions& options() const { return options_; }
+
+  /// Runs the configured algorithm. `initial` must implement `spec`.
+  OptimizeResult run(const rqfp::Netlist& initial,
+                     std::span<const tt::TruthTable> spec) const;
+
+  /// Continues a checkpointed run from limits.checkpoint_path (or, if that
+  /// is empty, evolve.checkpoint_path). Only Algorithm::kEvolve supports
+  /// checkpointing; any other algorithm throws std::invalid_argument, as
+  /// does an empty checkpoint path.
+  OptimizeResult resume(std::span<const tt::TruthTable> spec) const;
+
+private:
+  EvolveParams evolve_params() const;
+  AnnealParams anneal_params() const;
+
+  OptimizerOptions options_;
+};
+
+} // namespace rcgp::core

@@ -176,9 +176,9 @@ rqfp::Netlist splice_window(const rqfp::Netlist& net, const Window& window,
   return out;
 }
 
-rqfp::Netlist window_optimize(const rqfp::Netlist& input,
-                              const WindowParams& params,
-                              WindowStats* stats) {
+rqfp::Netlist detail::window_optimize_impl(const rqfp::Netlist& input,
+                                           const WindowParams& params,
+                                           WindowStats* stats) {
   WindowStats local;
   rqfp::Netlist net = input.remove_dead_gates();
   local.gates_before = net.num_gates();
@@ -225,7 +225,7 @@ rqfp::Netlist window_optimize(const rqfp::Netlist& input,
         ep.budget.deadline_seconds =
             std::max(0.001, budget.deadline_seconds - watch.seconds());
       }
-      const auto result = evolve(window.sub, spec, ep);
+      const auto result = detail::evolve_impl(window.sub, spec, ep);
       if (result.best.num_gates() < window.sub.num_gates()) {
         ++local.windows_improved;
         net = splice_window(net, window, result.best);
@@ -240,6 +240,12 @@ rqfp::Netlist window_optimize(const rqfp::Netlist& input,
     *stats = local;
   }
   return net;
+}
+
+rqfp::Netlist window_optimize(const rqfp::Netlist& input,
+                              const WindowParams& params,
+                              WindowStats* stats) {
+  return detail::window_optimize_impl(input, params, stats);
 }
 
 rqfp::Netlist exact_polish(const rqfp::Netlist& input,

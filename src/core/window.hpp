@@ -64,7 +64,18 @@ bool extract_window(const rqfp::Netlist& net, std::uint32_t first,
 rqfp::Netlist splice_window(const rqfp::Netlist& net, const Window& window,
                             const rqfp::Netlist& replacement);
 
+namespace detail {
+
+/// Implementation behind the deprecated window_optimize() free function
+/// and the core::Optimizer facade (core/optimizer.hpp).
+rqfp::Netlist window_optimize_impl(const rqfp::Netlist& input,
+                                   const WindowParams& params,
+                                   WindowStats* stats);
+
+} // namespace detail
+
 /// Full windowed optimization sweep.
+[[deprecated("use core::Optimizer with Algorithm::kWindow")]]
 rqfp::Netlist window_optimize(const rqfp::Netlist& input,
                               const WindowParams& params = {},
                               WindowStats* stats = nullptr);

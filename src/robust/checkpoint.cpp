@@ -61,8 +61,6 @@ std::string serialize_checkpoint(const EvolveCheckpoint& ck) {
   payload << "mu " << std::hexfloat << ck.mu << std::defaultfloat << '\n';
   payload << "generations_total " << ck.generations_total << '\n';
   payload << "generation " << ck.generation << '\n';
-  payload << "rng " << ck.rng_state[0] << ' ' << ck.rng_state[1] << ' '
-          << ck.rng_state[2] << ' ' << ck.rng_state[3] << '\n';
   payload << "evaluations " << ck.evaluations << '\n';
   payload << "improvements " << ck.improvements << '\n';
   payload << "sat_confirmations " << ck.sat_confirmations << '\n';
@@ -147,9 +145,6 @@ EvolveCheckpoint parse_checkpoint(const std::string& text) {
       ok = static_cast<bool>(ls >> ck.generations_total);
     } else if (key == "generation") {
       ok = static_cast<bool>(ls >> ck.generation);
-    } else if (key == "rng") {
-      ok = static_cast<bool>(ls >> ck.rng_state[0] >> ck.rng_state[1] >>
-                             ck.rng_state[2] >> ck.rng_state[3]);
     } else if (key == "evaluations") {
       ok = static_cast<bool>(ls >> ck.evaluations);
     } else if (key == "improvements") {

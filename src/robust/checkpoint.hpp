@@ -1,6 +1,5 @@
 #pragma once
 
-#include <array>
 #include <cstdint>
 #include <string>
 
@@ -12,8 +11,12 @@ namespace rcgp::robust {
 
 /// Full evolve() state at a generation boundary — everything needed to
 /// continue a (1+λ) run bit-identically to one that was never interrupted:
-/// the parent netlist and fitness, the RNG engine words, every counter the
-/// result reports, and the consumed wall-clock budget.
+/// the parent netlist and fitness, every counter the result reports, and
+/// the consumed wall-clock budget. No RNG engine words: offspring k of
+/// generation g draws from the counter-based stream (seed, g, k)
+/// (util::Rng::stream), so the resume point is fully described by the
+/// generation index and the checkpoint is independent of the thread count
+/// that produced it (version 2 dropped the old `rng` line).
 ///
 /// On-disk format (docs/ROBUSTNESS.md): a one-line header
 /// `rcgp-evolve-checkpoint <version> <crc32-hex>` followed by the payload;
@@ -22,7 +25,7 @@ namespace rcgp::robust {
 /// (write-temp-then-rename), so a crash mid-save leaves the previous
 /// checkpoint intact.
 struct EvolveCheckpoint {
-  static constexpr std::uint32_t kVersion = 1;
+  static constexpr std::uint32_t kVersion = 2;
 
   // Run identity — checked against the resuming params so a checkpoint is
   // never silently continued under a different search configuration.
@@ -35,7 +38,6 @@ struct EvolveCheckpoint {
   /// generation boundary; interrupted partial generations are discarded
   /// and re-run on resume).
   std::uint64_t generation = 0;
-  std::array<std::uint64_t, 4> rng_state{};
 
   std::uint64_t evaluations = 0;
   std::uint64_t improvements = 0;

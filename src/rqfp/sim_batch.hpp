@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rcgp::rqfp {
+
+/// Flat word-major simulation-pattern buffer: `rows` bit-vectors of
+/// `words` 64-bit words each in a single contiguous allocation (row r,
+/// word w lives at index r * words + w).
+///
+/// This replaces the `std::vector<std::vector<std::uint64_t>>` pattern
+/// API of simulate_patterns / sim_check_random: one allocation instead of
+/// rows+1, and resize() reuses capacity, so a batch can be carried across
+/// many simulations without touching the allocator. The word count is an
+/// explicit property of the batch, so a 0-row batch (a netlist with no
+/// PIs) still has a well-defined width.
+class SimBatch {
+public:
+  SimBatch() = default;
+  SimBatch(std::size_t rows, std::size_t words) { resize(rows, words); }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t words() const { return words_; }
+
+  /// Reshapes to rows x words and zero-fills, reusing capacity.
+  void resize(std::size_t rows, std::size_t words) {
+    rows_ = rows;
+    words_ = words;
+    data_.assign(rows * words, 0);
+  }
+
+  std::uint64_t* row(std::size_t r) { return data_.data() + r * words_; }
+  const std::uint64_t* row(std::size_t r) const {
+    return data_.data() + r * words_;
+  }
+  std::span<std::uint64_t> row_span(std::size_t r) {
+    return {row(r), words_};
+  }
+  std::span<const std::uint64_t> row_span(std::size_t r) const {
+    return {row(r), words_};
+  }
+
+  std::uint64_t& at(std::size_t r, std::size_t w) {
+    return data_[r * words_ + w];
+  }
+  std::uint64_t at(std::size_t r, std::size_t w) const {
+    return data_[r * words_ + w];
+  }
+
+  void fill_row(std::size_t r, std::uint64_t value) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      at(r, w) = value;
+    }
+  }
+
+  bool operator==(const SimBatch&) const = default;
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> data_;
+};
+
+} // namespace rcgp::rqfp

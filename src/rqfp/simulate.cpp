@@ -1,6 +1,8 @@
 #include "rqfp/simulate.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace rcgp::rqfp {
 
@@ -67,37 +69,186 @@ std::vector<tt::TruthTable> simulate_live(const Netlist& net) {
   return out;
 }
 
-std::vector<std::vector<std::uint64_t>> simulate_patterns(
-    const Netlist& net,
-    const std::vector<std::vector<std::uint64_t>>& pi_patterns) {
-  if (pi_patterns.size() != net.num_pis()) {
-    throw std::invalid_argument("rqfp::simulate_patterns: PI count mismatch");
+void build_sim_cache(const Netlist& net, SimCache& cache) {
+  const unsigned nv = net.num_pis();
+  if (nv > tt::TruthTable::kMaxVars) {
+    throw std::invalid_argument("rqfp::build_sim_cache: too many PIs");
   }
-  const std::size_t words = pi_patterns.empty() ? 1 : pi_patterns[0].size();
-  std::vector<std::vector<std::uint64_t>> port(
-      net.first_free_port(), std::vector<std::uint64_t>(words, 0));
-  port[kConstPort].assign(words, ~std::uint64_t{0});
-  for (unsigned i = 0; i < net.num_pis(); ++i) {
-    if (pi_patterns[i].size() != words) {
-      throw std::invalid_argument("rqfp::simulate_patterns: ragged patterns");
-    }
-    port[1 + i] = pi_patterns[i];
+  cache.num_pis = nv;
+  cache.num_gates = net.num_gates();
+  const Port n = net.first_free_port();
+  cache.ports.resize(n);
+  cache.dirty.assign(n, 0);
+  cache.undo_size = 0;
+  cache.ports[kConstPort] = tt::TruthTable::constant(nv, true);
+  for (unsigned i = 0; i < nv; ++i) {
+    cache.ports[1 + i] = tt::TruthTable::projection(nv, i);
   }
   for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
     const auto& gate = net.gate(g);
-    for (std::size_t w = 0; w < words; ++w) {
-      const auto out =
-          eval_gate_words(gate.config, port[gate.in[0]][w],
-                          port[gate.in[1]][w], port[gate.in[2]][w]);
-      for (unsigned k = 0; k < 3; ++k) {
-        port[net.port_of(g, k)][w] = out[k];
-      }
+    const auto out =
+        eval_gate_tables(gate.config, cache.ports[gate.in[0]],
+                         cache.ports[gate.in[1]], cache.ports[gate.in[2]]);
+    for (unsigned k = 0; k < 3; ++k) {
+      cache.ports[net.port_of(g, k)] = out[k];
     }
   }
-  std::vector<std::vector<std::uint64_t>> out;
-  out.reserve(net.num_pos());
+}
+
+namespace {
+
+void check_delta_shape(const Netlist& base, const Netlist& child,
+                       const SimCache& cache, const char* who) {
+  if (base.num_pis() != cache.num_pis ||
+      base.num_gates() != cache.num_gates) {
+    throw std::invalid_argument(std::string(who) +
+                                ": cache was built from a different netlist "
+                                "shape");
+  }
+  if (child.num_pis() != base.num_pis() ||
+      child.num_gates() != base.num_gates()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": netlist shapes differ (PI or gate count)");
+  }
+}
+
+/// Re-evaluates `to`'s gates whose genes differ from `from` or whose
+/// inputs are already dirty, saving every displaced port value on the
+/// cache's undo list. A recomputed value equal to the cached one is not a
+/// change — the cone stops there.
+void propagate_dirty(const Netlist& from, const Netlist& to,
+                     SimCache& cache) {
+  cache.undo_size = 0;
+  for (std::uint32_t g = 0; g < to.num_gates(); ++g) {
+    const auto& tg = to.gate(g);
+    const bool gene_changed = !(tg == from.gate(g));
+    const bool input_dirty = cache.dirty[tg.in[0]] != 0 ||
+                             cache.dirty[tg.in[1]] != 0 ||
+                             cache.dirty[tg.in[2]] != 0;
+    if (!gene_changed && !input_dirty) {
+      continue;
+    }
+    auto out =
+        eval_gate_tables(tg.config, cache.ports[tg.in[0]],
+                         cache.ports[tg.in[1]], cache.ports[tg.in[2]]);
+    for (unsigned k = 0; k < 3; ++k) {
+      const Port p = to.port_of(g, k);
+      if (out[k] == cache.ports[p]) {
+        continue;
+      }
+      if (cache.undo_size == cache.undo.size()) {
+        cache.undo.emplace_back();
+      }
+      auto& u = cache.undo[cache.undo_size++];
+      u.port = p;
+      u.value = std::move(cache.ports[p]);
+      cache.ports[p] = std::move(out[k]);
+      cache.dirty[p] = 1;
+    }
+  }
+}
+
+} // namespace
+
+void update_sim_cache(const Netlist& from, const Netlist& to,
+                      SimCache& cache) {
+  check_delta_shape(from, to, cache, "rqfp::update_sim_cache");
+  propagate_dirty(from, to, cache);
+  // Commit: keep the new values, only clear the dirty marks.
+  for (std::size_t i = 0; i < cache.undo_size; ++i) {
+    cache.dirty[cache.undo[i].port] = 0;
+  }
+  cache.undo_size = 0;
+}
+
+void simulate_delta(const Netlist& base, const Netlist& child,
+                    SimCache& cache, std::vector<tt::TruthTable>& po_out) {
+  check_delta_shape(base, child, cache, "rqfp::simulate_delta");
+  propagate_dirty(base, child, cache);
+  po_out.resize(child.num_pos());
+  for (std::uint32_t i = 0; i < child.num_pos(); ++i) {
+    po_out[i] = cache.ports[child.po_at(i)];
+  }
+  // Restore the cache to `base`'s values so it can serve the next sibling.
+  for (std::size_t i = 0; i < cache.undo_size; ++i) {
+    auto& u = cache.undo[i];
+    cache.ports[u.port] = std::move(u.value);
+    cache.dirty[u.port] = 0;
+  }
+  cache.undo_size = 0;
+}
+
+void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po,
+                       SimBatch& scratch) {
+  if (pi.rows() != net.num_pis()) {
+    throw std::invalid_argument(
+        "rqfp::simulate_patterns: netlist has " +
+        std::to_string(net.num_pis()) + " PIs but the batch has " +
+        std::to_string(pi.rows()) + " rows");
+  }
+  const std::size_t words = pi.words();
+  scratch.resize(net.first_free_port(), words);
+  scratch.fill_row(kConstPort, ~std::uint64_t{0});
+  for (unsigned i = 0; i < net.num_pis(); ++i) {
+    std::copy(pi.row(i), pi.row(i) + words, scratch.row(1 + i));
+  }
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    const auto& gate = net.gate(g);
+    const std::uint64_t* a = scratch.row(gate.in[0]);
+    const std::uint64_t* b = scratch.row(gate.in[1]);
+    const std::uint64_t* c = scratch.row(gate.in[2]);
+    std::uint64_t* o0 = scratch.row(net.port_of(g, 0));
+    std::uint64_t* o1 = scratch.row(net.port_of(g, 1));
+    std::uint64_t* o2 = scratch.row(net.port_of(g, 2));
+    for (std::size_t w = 0; w < words; ++w) {
+      const auto out = eval_gate_words(gate.config, a[w], b[w], c[w]);
+      o0[w] = out[0];
+      o1[w] = out[1];
+      o2[w] = out[2];
+    }
+  }
+  po.resize(net.num_pos(), words);
   for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
-    out.push_back(port[net.po_at(i)]);
+    const std::uint64_t* src = scratch.row(net.po_at(i));
+    std::copy(src, src + words, po.row(i));
+  }
+}
+
+void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po) {
+  SimBatch scratch;
+  simulate_patterns(net, pi, po, scratch);
+}
+
+std::vector<std::vector<std::uint64_t>> simulate_patterns(
+    const Netlist& net,
+    const std::vector<std::vector<std::uint64_t>>& pi_patterns) {
+  // Validate the whole batch before touching any buffer, so a ragged row
+  // late in the batch cannot leave half-copied state behind an exception.
+  if (pi_patterns.size() != net.num_pis()) {
+    throw std::invalid_argument(
+        "rqfp::simulate_patterns: netlist has " +
+        std::to_string(net.num_pis()) + " PIs but " +
+        std::to_string(pi_patterns.size()) + " pattern rows were given");
+  }
+  const std::size_t words = pi_patterns.empty() ? 1 : pi_patterns[0].size();
+  for (std::size_t i = 0; i < pi_patterns.size(); ++i) {
+    if (pi_patterns[i].size() != words) {
+      throw std::invalid_argument(
+          "rqfp::simulate_patterns: ragged patterns: row " +
+          std::to_string(i) + " has " +
+          std::to_string(pi_patterns[i].size()) + " words but row 0 has " +
+          std::to_string(words));
+    }
+  }
+  SimBatch pi(pi_patterns.size(), words);
+  for (std::size_t i = 0; i < pi_patterns.size(); ++i) {
+    std::copy(pi_patterns[i].begin(), pi_patterns[i].end(), pi.row(i));
+  }
+  SimBatch po;
+  simulate_patterns(net, pi, po);
+  std::vector<std::vector<std::uint64_t>> out(po.rows());
+  for (std::size_t i = 0; i < po.rows(); ++i) {
+    out[i].assign(po.row(i), po.row(i) + po.words());
   }
   return out;
 }

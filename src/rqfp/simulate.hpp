@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "rqfp/netlist.hpp"
+#include "rqfp/sim_batch.hpp"
 #include "tt/truth_table.hpp"
 
 namespace rcgp::rqfp {
@@ -19,8 +20,70 @@ std::vector<tt::TruthTable> simulate(const Netlist& net);
 /// used inside the CGP fitness loop (dead gates do not affect POs).
 std::vector<tt::TruthTable> simulate_live(const Netlist& net);
 
-/// Word-parallel pattern simulation for wide circuits: one word vector per
-/// PI, returns one per PO.
+/// Reusable exhaustive-simulation state for the dirty-cone incremental
+/// fast path. `ports` holds the truth table of every port of a base
+/// netlist (full simulate_ports semantics — dead gates included, so PO
+/// moves onto currently-dead cones still read correct values); the other
+/// members are scratch reused across simulate_delta calls. One SimCache
+/// per worker thread gives allocation-free offspring evaluation: only the
+/// cone downstream of changed genes is ever re-simulated.
+struct SimCache {
+  std::vector<tt::TruthTable> ports;
+  unsigned num_pis = 0;
+  std::uint32_t num_gates = 0;
+
+  // --- scratch internals (managed by the simulate_* functions) ---
+  struct UndoEntry {
+    Port port = 0;
+    tt::TruthTable value;
+  };
+  std::vector<std::uint8_t> dirty;
+  std::vector<UndoEntry> undo;
+  std::size_t undo_size = 0;
+  std::vector<tt::TruthTable> po_scratch;
+};
+
+/// Fully simulates `net` into `cache` (capacity-reusing). Afterwards
+/// cache.ports[p] is the table of port p and the cache can serve
+/// update_sim_cache / simulate_delta calls for same-shaped netlists.
+void build_sim_cache(const Netlist& net, SimCache& cache);
+
+/// Re-simulates the dirty cone of `to` relative to `from` — whose port
+/// values the cache currently holds — and commits: the cache then holds
+/// `to`'s values. `from` and `to` must agree on PI and gate counts
+/// (CGP mutation preserves both); throws std::invalid_argument otherwise.
+void update_sim_cache(const Netlist& from, const Netlist& to,
+                      SimCache& cache);
+
+/// Dirty-cone incremental simulation: PO tables of `child` given a cache
+/// holding `base`'s port values. Only gates whose genes changed, or whose
+/// cone inputs did, are re-evaluated; a recomputed value equal to the
+/// cached one stops the cone early. The cache is restored to `base`'s
+/// values before returning, so one cache serves all λ siblings of a
+/// generation. Same shape requirements as update_sim_cache.
+/// Bit-identical to simulate(child) / simulate_live(child) PO tables.
+void simulate_delta(const Netlist& base, const Netlist& child,
+                    SimCache& cache, std::vector<tt::TruthTable>& po_out);
+
+/// Word-parallel pattern simulation for wide circuits. `pi` must have one
+/// row per PI (pi.rows() == net.num_pis(), validated up front); the word
+/// count is taken from the batch, so it is explicit even for netlists
+/// without PIs. `po` is reshaped to num_pos() x pi.words() and `scratch`
+/// holds the per-port values — both reuse capacity across calls, so
+/// repeated simulations allocate nothing.
+void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po,
+                       SimBatch& scratch);
+
+/// Convenience overload with an internal scratch buffer.
+void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po);
+
+/// Legacy vector-of-vectors pattern API.
+/// The whole batch is validated before any copying: a PI-count mismatch
+/// or ragged rows throw std::invalid_argument with the offending row and
+/// counts in the message. A netlist without PIs simulates one word wide
+/// (documented historical behaviour — the SimBatch overloads make the
+/// width explicit instead).
+[[deprecated("use the SimBatch overload of simulate_patterns")]]
 std::vector<std::vector<std::uint64_t>> simulate_patterns(
     const Netlist& net,
     const std::vector<std::vector<std::uint64_t>>& pi_patterns);

@@ -16,6 +16,13 @@
 //   synth --progress             live improvements on stderr
 //   stats/cec --json             machine-readable records on stdout
 //
+// Parallelism (see docs/PARALLELISM.md):
+//   synth --threads=N            λ-parallel offspring evaluation (0 = all
+//                                hardware threads, the default). Results
+//                                are bit-identical for every thread count.
+//   synth --optimizer=NAME       evolve | multistart | anneal | window
+//   synth --restarts=N           independent restarts for --optimizer=multistart
+//
 // Robustness (see docs/ROBUSTNESS.md):
 //   synth --checkpoint=c.ckpt    crash-safe periodic state snapshots
 //   synth --checkpoint-interval=N  generations between snapshots
@@ -163,6 +170,9 @@ int cmd_synth(const std::vector<std::string>& args) {
     std::fprintf(stderr,
                  "usage: rcgp synth <input> [-g N] [-s seed] [-o out.rqfp] "
                  "[--dot out.dot] [--no-cgp] [--polish] [--pack]\n"
+                 "                 [--threads=N] "
+                 "[--optimizer=evolve|multistart|anneal|window] "
+                 "[--restarts=N]\n"
                  "                 [--trace-out=t.jsonl] "
                  "[--metrics-out=m.json] [--heartbeat=N] [--progress]\n"
                  "                 [--checkpoint=c.ckpt] "
@@ -205,14 +215,20 @@ int cmd_synth(const std::vector<std::string>& args) {
       opt.evolve.trace_heartbeat = std::stoull(v);
     } else if (args[i] == "--progress") {
       progress = true;
+    } else if (opt_value(args[i], "--threads", v)) {
+      opt.evolve.threads = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--optimizer", v)) {
+      opt.optimizer = core::parse_algorithm(v);
+    } else if (opt_value(args[i], "--restarts", v)) {
+      opt.restarts = static_cast<unsigned>(std::stoul(v));
     } else if (opt_value(args[i], "--checkpoint", v)) {
-      opt.evolve.checkpoint_path = v;
+      opt.limits.checkpoint_path = v;
     } else if (opt_value(args[i], "--checkpoint-interval", v)) {
-      opt.evolve.checkpoint_interval = std::stoull(v);
+      opt.limits.checkpoint_interval = std::stoull(v);
     } else if (args[i] == "--resume") {
       opt.resume = true;
     } else if (opt_value(args[i], "--deadline", v)) {
-      opt.evolve.budget.deadline_seconds = std::stod(v);
+      opt.limits.deadline_seconds = std::stod(v);
     } else if (opt_value(args[i], "--paranoia", v)) {
       opt.evolve.paranoia = robust::parse_paranoia(v);
     } else {
@@ -220,14 +236,14 @@ int cmd_synth(const std::vector<std::string>& args) {
       return 2;
     }
   }
-  if (opt.resume && opt.evolve.checkpoint_path.empty()) {
+  if (opt.resume && opt.limits.checkpoint_path.empty()) {
     std::fprintf(stderr, "synth: --resume requires --checkpoint=PATH\n");
     return 2;
   }
   // First SIGINT/SIGTERM requests a cooperative stop (best-so-far is
   // written and the checkpoint flushed); a second one force-kills.
   static robust::StopToken signal_token;
-  opt.evolve.budget.stop = &robust::install_signal_stop(signal_token);
+  opt.limits.stop = &robust::install_signal_stop(signal_token);
 
   std::unique_ptr<obs::TraceSink> trace;
   if (!trace_path.empty()) {
@@ -258,7 +274,7 @@ int cmd_synth(const std::vector<std::string>& args) {
   const bool interrupted = signal_token.stop_requested();
   if (interrupted) {
     std::fprintf(stderr, "synth: interrupted by signal — best-so-far kept%s\n",
-                 opt.evolve.checkpoint_path.empty()
+                 opt.limits.checkpoint_path.empty()
                      ? ""
                      : ", checkpoint flushed");
   }

@@ -18,6 +18,18 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 } // namespace
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  // Absorb the two stream counters into the seed through full splitmix64
+  // rounds (not a plain xor), so (seed, a, b) and (seed', a', b') triples
+  // with equal xors still land in unrelated streams.
+  std::uint64_t x = seed;
+  x = splitmix64(x) ^ (a + 0x9E3779B97F4A7C15ULL);
+  x = splitmix64(x) ^ (b + 0xBF58476D1CE4E5B9ULL);
+  Rng r;
+  r.reseed(splitmix64(x));
+  return r;
+}
+
 void Rng::reseed(std::uint64_t seed) {
   // xoshiro must not be seeded with an all-zero state; splitmix64 output
   // over distinct counters cannot be all zero for all four words.

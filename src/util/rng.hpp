@@ -44,8 +44,17 @@ public:
   /// Bernoulli trial with probability p of returning true.
   bool chance(double p) { return uniform01() < p; }
 
-  /// Engine state snapshot/restore, so long runs can checkpoint and resume
-  /// bit-identically (robust::EvolveCheckpoint serializes these words).
+  /// Counter-based stream derivation: the returned engine's state is a
+  /// pure function of (seed, a, b), so independent streams can be handed
+  /// out by index without ever advancing a shared generator. The CGP loop
+  /// derives offspring k of generation g from stream(seed, g, k), which is
+  /// what makes λ-parallel evaluation bit-identical for any thread count
+  /// (docs/PARALLELISM.md).
+  static Rng stream(std::uint64_t seed, std::uint64_t a, std::uint64_t b);
+
+  /// Engine state snapshot/restore for callers that want to suspend a
+  /// stream mid-sequence. The CGP loop itself never persists engine state:
+  /// checkpoints re-derive offspring streams from (seed, generation, k).
   std::array<std::uint64_t, 4> state() const {
     return {state_[0], state_[1], state_[2], state_[3]};
   }

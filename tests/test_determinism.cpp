@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "cec/sim_cec.hpp"
+#include "core/flow.hpp"
+#include "core/optimizer.hpp"
+#include "util/rng.hpp"
+
+// Determinism contract of λ-parallel offspring evaluation
+// (docs/PARALLELISM.md): because offspring k of generation g draws from
+// the counter-based stream Rng::stream(seed, g, k) and selection scans
+// offspring in index order, an evolve run is bit-identical for EVERY
+// thread count — including through a checkpoint/resume cycle that
+// changes the thread count mid-run.
+
+namespace rcgp::core {
+namespace {
+
+rqfp::Netlist init_netlist(const std::string& name) {
+  const auto b = benchmarks::get(name);
+  FlowOptions opt;
+  opt.run_cgp = false;
+  return synthesize(b.spec, opt).initial;
+}
+
+EvolveParams small_params(std::uint64_t seed, unsigned threads) {
+  EvolveParams p;
+  p.generations = 400;
+  p.lambda = 4;
+  p.seed = seed;
+  p.threads = threads;
+  return p;
+}
+
+OptimizeResult run_evolve(const rqfp::Netlist& initial,
+                          std::span<const tt::TruthTable> spec,
+                          const EvolveParams& p,
+                          const RunLimits& limits = {}) {
+  OptimizerOptions oo;
+  oo.algorithm = Algorithm::kEvolve;
+  oo.evolve = p;
+  oo.limits = limits;
+  return Optimizer(oo).run(initial, spec);
+}
+
+void expect_mix_eq(const MutationMix& a, const MutationMix& b,
+                   const std::string& what) {
+  EXPECT_EQ(a.mutations, b.mutations) << what;
+  EXPECT_EQ(a.genes_changed, b.genes_changed) << what;
+  EXPECT_EQ(a.swaps, b.swaps) << what;
+  EXPECT_EQ(a.direct_assigns, b.direct_assigns) << what;
+  EXPECT_EQ(a.config_flips, b.config_flips) << what;
+  EXPECT_EQ(a.po_moves, b.po_moves) << what;
+  EXPECT_EQ(a.skipped_infeasible, b.skipped_infeasible) << what;
+}
+
+// Everything except wall-clock `seconds` must match bit for bit.
+void expect_bit_identical(const EvolveResult& a, const EvolveResult& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.best, b.best) << what;
+  EXPECT_EQ(a.best_fitness.success_rate, b.best_fitness.success_rate) << what;
+  EXPECT_EQ(a.best_fitness.n_r, b.best_fitness.n_r) << what;
+  EXPECT_EQ(a.best_fitness.n_g, b.best_fitness.n_g) << what;
+  EXPECT_EQ(a.best_fitness.n_b, b.best_fitness.n_b) << what;
+  EXPECT_EQ(a.generations_run, b.generations_run) << what;
+  EXPECT_EQ(a.evaluations, b.evaluations) << what;
+  EXPECT_EQ(a.improvements, b.improvements) << what;
+  EXPECT_EQ(a.stop_reason, b.stop_reason) << what;
+  expect_mix_eq(a.mutations_attempted, b.mutations_attempted, what);
+  expect_mix_eq(a.mutations_accepted, b.mutations_accepted, what);
+}
+
+TEST(Determinism, RngStreamIsAPureFunctionOfItsCounters) {
+  util::Rng a = util::Rng::stream(42, 7, 3);
+  util::Rng b = util::Rng::stream(42, 7, 3);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  // Neighbouring streams must be decorrelated, not merely distinct.
+  util::Rng k0 = util::Rng::stream(42, 7, 0);
+  util::Rng k1 = util::Rng::stream(42, 7, 1);
+  util::Rng g1 = util::Rng::stream(42, 8, 0);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    const auto x = k0.next();
+    equal += static_cast<int>(x == k1.next());
+    equal += static_cast<int>(x == g1.next());
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Determinism, ThreadCountDoesNotChangeEvolveResult) {
+  const auto initial = init_netlist("graycode4");
+  const auto b = benchmarks::get("graycode4");
+  for (const std::uint64_t seed : {1ULL, 7ULL, 42ULL}) {
+    const auto r1 = run_evolve(initial, b.spec, small_params(seed, 1));
+    const auto r2 = run_evolve(initial, b.spec, small_params(seed, 2));
+    const auto r8 = run_evolve(initial, b.spec, small_params(seed, 8));
+    const std::string what = "seed " + std::to_string(seed);
+    expect_bit_identical(r1.evolve, r2.evolve, what + ", 1 vs 2 threads");
+    expect_bit_identical(r1.evolve, r8.evolve, what + ", 1 vs 8 threads");
+    // The facade-level summary fields must agree too.
+    EXPECT_EQ(r1.best, r8.best) << what;
+    EXPECT_EQ(r1.evaluations, r8.evaluations) << what;
+    EXPECT_EQ(r1.stop_reason, r8.stop_reason) << what;
+    // And the search must still have done real work on a real problem.
+    EXPECT_TRUE(cec::sim_check(r1.best, b.spec).all_match) << what;
+  }
+}
+
+TEST(Determinism, DefaultThreadCountMatchesExplicitSingleThread) {
+  // threads = 0 resolves to hardware concurrency; whatever that resolves
+  // to on this machine, the result must equal the threads = 1 run.
+  const auto initial = init_netlist("decoder_2_4");
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto pinned = run_evolve(initial, b.spec, small_params(11, 1));
+  const auto automatic = run_evolve(initial, b.spec, small_params(11, 0));
+  expect_bit_identical(pinned.evolve, automatic.evolve, "threads 1 vs auto");
+}
+
+TEST(Determinism, MultistartIsThreadCountInvariant) {
+  const auto initial = init_netlist("full_adder");
+  const auto b = benchmarks::get("full_adder");
+  OptimizerOptions oo;
+  oo.algorithm = Algorithm::kMultistart;
+  oo.restarts = 3;
+  oo.evolve = small_params(9, 1);
+  oo.evolve.generations = 300;
+  const auto r1 = Optimizer(oo).run(initial, b.spec);
+  oo.evolve.threads = 8;
+  const auto r8 = Optimizer(oo).run(initial, b.spec);
+  expect_bit_identical(r1.evolve, r8.evolve, "multistart 1 vs 8 threads");
+}
+
+TEST(Determinism, ResumeAtDifferentThreadCountMatchesUninterrupted) {
+  const auto initial = init_netlist("graycode4");
+  const auto b = benchmarks::get("graycode4");
+
+  EvolveParams p = small_params(23, 0);
+  p.generations = 600;
+
+  // Reference: one uninterrupted single-threaded run.
+  EvolveParams ref = p;
+  ref.threads = 1;
+  const auto uninterrupted = run_evolve(initial, b.spec, ref);
+
+  // Interrupted: run the first 250 generations with 2 threads, writing
+  // checkpoints; then resume the remaining 350 with 8 threads. The
+  // checkpoint stores no RNG engine state, so the thread-count switch is
+  // free: streams are re-derived from (seed, generation, k).
+  const std::string path =
+      ::testing::TempDir() + "determinism_resume.ckpt";
+  std::remove(path.c_str());
+
+  EvolveParams chunk = p;
+  chunk.threads = 2;
+  chunk.checkpoint_path = path;
+  chunk.checkpoint_interval = 100;
+  RunLimits first_leg;
+  first_leg.max_generations = 250;
+  const auto partial = run_evolve(initial, b.spec, chunk, first_leg);
+  ASSERT_EQ(partial.stop_reason, robust::StopReason::kGenerationBudget);
+  ASSERT_LT(partial.evolve.generations_run, p.generations);
+
+  OptimizerOptions resume_opts;
+  resume_opts.algorithm = Algorithm::kEvolve;
+  resume_opts.evolve = chunk;
+  resume_opts.evolve.threads = 8;
+  const auto resumed = Optimizer(resume_opts).resume(b.spec);
+
+  EXPECT_TRUE(resumed.evolve.resumed);
+  EvolveResult final = resumed.evolve;
+  final.resumed = false; // the only field allowed to differ
+  expect_bit_identical(uninterrupted.evolve, final,
+                       "resumed(2->8 threads) vs uninterrupted(1 thread)");
+  std::remove(path.c_str());
+}
+
+TEST(Determinism, EvaluationBudgetIsThreadCountInvariant) {
+  // The evaluation budget is decided only at generation boundaries
+  // (evaluations + λ > max_evaluations), so the exact stopping point —
+  // the subtlest thread-count hazard — must not depend on `threads`.
+  const auto initial = init_netlist("decoder_2_4");
+  const auto b = benchmarks::get("decoder_2_4");
+  EvolveParams p = small_params(5, 1);
+  p.generations = 100000;
+  RunLimits limits;
+  limits.max_evaluations = 1604;
+  const auto r1 = run_evolve(initial, b.spec, p, limits);
+  p.threads = 8;
+  const auto r8 = run_evolve(initial, b.spec, p, limits);
+  EXPECT_EQ(r1.stop_reason, robust::StopReason::kEvaluationBudget);
+  EXPECT_EQ(r1.evolve.evaluations, 1601u);
+  EXPECT_EQ(r1.evolve.generations_run, 400u);
+  expect_bit_identical(r1.evolve, r8.evolve, "eval budget 1 vs 8 threads");
+}
+
+} // namespace
+} // namespace rcgp::core

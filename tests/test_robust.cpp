@@ -22,6 +22,11 @@
 #include "util/crc32.hpp"
 #include "util/rng.hpp"
 
+// These tests exercise the historical free-function entry points (evolve,
+// anneal, evolve_resume) on purpose — they remain supported as deprecated
+// wrappers over the core::Optimizer implementations.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace rcgp {
 namespace {
 
@@ -118,8 +123,6 @@ EvolveCheckpoint sample_checkpoint() {
   ck.mu = 0.07;
   ck.generations_total = 12345;
   ck.generation = 678;
-  ck.rng_state = {0x0123456789abcdefULL, 0xfedcba9876543210ULL,
-                  0xdeadbeefcafef00dULL, 0x0f1e2d3c4b5a6978ULL};
   ck.evaluations = 2713;
   ck.improvements = 17;
   ck.sat_confirmations = 3;
@@ -147,7 +150,6 @@ TEST(Checkpoint, SerializeParseRoundTrip) {
   EXPECT_EQ(back.mu, ck.mu); // hexfloat round-trip is exact
   EXPECT_EQ(back.generations_total, ck.generations_total);
   EXPECT_EQ(back.generation, ck.generation);
-  EXPECT_EQ(back.rng_state, ck.rng_state);
   EXPECT_EQ(back.evaluations, ck.evaluations);
   EXPECT_EQ(back.improvements, ck.improvements);
   EXPECT_EQ(back.sat_confirmations, ck.sat_confirmations);
@@ -172,7 +174,7 @@ TEST(Checkpoint, SaveLoadRoundTripsThroughDisk) {
   robust::save_checkpoint(ck, path);
   const EvolveCheckpoint back = robust::load_checkpoint(path);
   EXPECT_EQ(back.generation, ck.generation);
-  EXPECT_EQ(back.rng_state, ck.rng_state);
+  EXPECT_EQ(back.evaluations, ck.evaluations);
   std::remove(path.c_str());
 }
 

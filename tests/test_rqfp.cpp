@@ -232,12 +232,89 @@ TEST(Simulate, LiveMatchesFull) {
 
 TEST(Simulate, PatternsMatchTables) {
   const auto net = single_and_netlist();
-  std::vector<std::vector<std::uint64_t>> patterns(2);
-  patterns[0] = {tt::TruthTable::projection(2, 0).word(0)};
-  patterns[1] = {tt::TruthTable::projection(2, 1).word(0)};
-  const auto out = simulate_patterns(net, patterns);
+  SimBatch patterns(2, 1);
+  patterns.at(0, 0) = tt::TruthTable::projection(2, 0).word(0);
+  patterns.at(1, 0) = tt::TruthTable::projection(2, 1).word(0);
+  SimBatch out;
+  simulate_patterns(net, patterns, out);
   const auto tts = simulate(net);
-  EXPECT_EQ(out[0][0] & 0xF, tts[0].word(0));
+  EXPECT_EQ(out.at(0, 0) & 0xF, tts[0].word(0));
+}
+
+TEST(Simulate, BatchValidatesPiCountWithContext) {
+  const auto net = single_and_netlist(); // 2 PIs
+  SimBatch patterns(3, 1);
+  SimBatch out;
+  try {
+    simulate_patterns(net, patterns, out);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 PIs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3"), std::string::npos) << msg;
+  }
+}
+
+// The legacy vector-of-vectors overload is deprecated but must keep
+// validating the whole batch up front with contextual messages.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Simulate, LegacyPatternsValidateCountUpFront) {
+  const auto net = single_and_netlist(); // 2 PIs
+  std::vector<std::vector<std::uint64_t>> patterns(3,
+                                                   std::vector<std::uint64_t>{
+                                                       0});
+  try {
+    simulate_patterns(net, patterns);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 PIs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("3 pattern rows"), std::string::npos) << msg;
+  }
+}
+
+TEST(Simulate, LegacyPatternsValidateRaggednessUpFront) {
+  const auto net = single_and_netlist();
+  std::vector<std::vector<std::uint64_t>> patterns(2);
+  patterns[0] = {1, 2};
+  patterns[1] = {3}; // ragged: row 1 has 1 word, row 0 has 2
+  try {
+    simulate_patterns(net, patterns);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ragged"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("row 1"), std::string::npos) << msg;
+  }
+}
+#pragma GCC diagnostic pop
+
+TEST(Simulate, DeltaMatchesFullSimulation) {
+  // Mutate one gate's config and check the dirty-cone path reproduces the
+  // full re-simulation bit-for-bit, then restores the cache.
+  Netlist base(3);
+  const auto g0 = base.add_gate({1, 2, 0}, InvConfig::reversible());
+  const auto g1 =
+      base.add_gate({base.port_of(g0, 0), 3, 0}, InvConfig::reversible());
+  base.add_po(base.port_of(g1, 2));
+  base.add_po(base.port_of(g0, 1));
+
+  SimCache cache;
+  build_sim_cache(base, cache);
+  const auto cached_ports = cache.ports;
+
+  Netlist child = base;
+  child.gate(0).config = InvConfig(0x155);
+  std::vector<tt::TruthTable> po_out;
+  simulate_delta(base, child, cache, po_out);
+  EXPECT_EQ(po_out, simulate(child));
+  // Transient evaluation: the cache still describes `base` afterwards.
+  EXPECT_EQ(cache.ports, cached_ports);
+
+  // Committing the drift re-bases the cache onto the child.
+  update_sim_cache(base, child, cache);
+  EXPECT_EQ(cache.ports, simulate_ports(child));
 }
 
 class RandomNetlistProperty : public ::testing::TestWithParam<std::uint64_t> {
@@ -282,11 +359,12 @@ TEST_P(RandomNetlistProperty, SimulateEvaluatePatternsAgree) {
     }
   }
   // Word-parallel patterns agree with the tables on projections.
-  std::vector<std::vector<std::uint64_t>> patterns(net.num_pis());
+  SimBatch patterns(net.num_pis(), 1);
   for (unsigned i = 0; i < net.num_pis(); ++i) {
-    patterns[i] = {tt::TruthTable::projection(6, i).word(0)};
+    patterns.at(i, 0) = tt::TruthTable::projection(6, i).word(0);
   }
-  const auto words = simulate_patterns(net, patterns);
+  SimBatch words;
+  simulate_patterns(net, patterns, words);
   const std::uint64_t mask =
       (std::uint64_t{1} << (std::uint64_t{1} << net.num_pis())) - 1;
   for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
@@ -297,7 +375,7 @@ TEST_P(RandomNetlistProperty, SimulateEvaluatePatternsAgree) {
         expect |= std::uint64_t{1} << x;
       }
     }
-    EXPECT_EQ(words[o][0] & mask, expect) << "o=" << o;
+    EXPECT_EQ(words.at(o, 0) & mask, expect) << "o=" << o;
   }
 }
 
