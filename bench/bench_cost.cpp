@@ -1,0 +1,331 @@
+// Microbenchmark of the incremental cost path (docs/COST_EVAL.md): prices
+// a batch of mutated offspring of each Table-1 circuit's initialization
+// three ways — the pre-CostCache formulation (remove_dead_gates() copy +
+// from-scratch planning, reproduced below), today's cost_of (cache
+// machinery, thread-local scratch), and cost_of_delta against a CostCache
+// built once — and reports per-evaluation times and the median
+// legacy-vs-delta speedup per BufferSchedule. Results are verified equal
+// field-for-field before anything is timed.
+//
+// Budgets (override via environment):
+//   RCGP_COST_OFFSPRING  mutated children per circuit    (default 256)
+//   RCGP_COST_REPS       timing repetitions (median)     (default 5)
+//   RCGP_COST_SEED       mutation RNG seed               (default 2024)
+//   RCGP_METRICS_OUT     path for a metrics-registry JSON dump (optional)
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/mutation.hpp"
+#include "table_common.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace rcgp;
+
+const char* schedule_name(rqfp::BufferSchedule s) {
+  switch (s) {
+  case rqfp::BufferSchedule::kAsap:
+    return "asap";
+  case rqfp::BufferSchedule::kAlap:
+    return "alap";
+  case rqfp::BufferSchedule::kBest:
+    return "best";
+  case rqfp::BufferSchedule::kOptimized:
+    return "optimized";
+  }
+  return "?";
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+// ---------------------------------------------------------------------
+// The cost evaluation this repository shipped before the CostCache,
+// reproduced verbatim as the timing baseline the incremental path is
+// measured against: materialize the dead-gate-free copy (PO-name strings
+// and all), then count garbage and plan buffers on it from scratch —
+// with the historical recursive kBest/kOptimized structure, its repeated
+// gate_levels()/depth() passes, per-call vector allocations,
+// vector-of-vectors consumer lists, and the O(gates x POs) slope scan.
+// ---------------------------------------------------------------------
+namespace legacy {
+
+using namespace rcgp::rqfp;
+
+BufferPlan plan_for_levels(const Netlist& net,
+                           const std::vector<std::uint32_t>& level,
+                           std::uint32_t depth) {
+  BufferPlan plan;
+  plan.depth = depth;
+  plan.gate_edges.assign(net.num_gates(), {0, 0, 0});
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    for (unsigned i = 0; i < 3; ++i) {
+      const Port p = net.gate(g).in[i];
+      if (net.is_const_port(p)) {
+        continue;
+      }
+      const std::uint32_t src =
+          net.is_gate_port(p) ? level[net.gate_of_port(p)] : 0;
+      plan.gate_edges[g][i] = level[g] - 1 - src;
+      plan.total += plan.gate_edges[g][i];
+    }
+  }
+  plan.po_edges.assign(net.num_pos(), 0);
+  for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
+    const Port p = net.po_at(o);
+    if (net.is_const_port(p)) {
+      continue;
+    }
+    const std::uint32_t src =
+        net.is_gate_port(p) ? level[net.gate_of_port(p)] : 0;
+    plan.po_edges[o] = depth - src;
+    plan.total += plan.po_edges[o];
+  }
+  return plan;
+}
+
+BufferPlan plan_optimized(const Netlist& net) {
+  const std::uint32_t n = net.num_gates();
+  std::vector<std::uint32_t> level = net.gate_levels();
+  const std::uint32_t depth = net.depth(); // recomputes gate_levels()
+  if (n == 0) {
+    return plan_for_levels(net, level, depth);
+  }
+  std::vector<std::vector<std::uint32_t>> gate_consumers(n);
+  std::vector<bool> drives_po(n, false);
+  for (std::uint32_t g = 0; g < n; ++g) {
+    for (const Port p : net.gate(g).in) {
+      if (net.is_gate_port(p)) {
+        gate_consumers[net.gate_of_port(p)].push_back(g);
+      }
+    }
+  }
+  for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
+    const Port p = net.po_at(o);
+    if (net.is_gate_port(p)) {
+      drives_po[net.gate_of_port(p)] = true;
+    }
+  }
+  for (unsigned round = 0; round < 16; ++round) {
+    bool changed = false;
+    for (std::uint32_t g = 0; g < n; ++g) {
+      std::uint32_t earliest = 1;
+      int non_const_inputs = 0;
+      for (const Port p : net.gate(g).in) {
+        if (net.is_const_port(p)) {
+          continue;
+        }
+        ++non_const_inputs;
+        const std::uint32_t src =
+            net.is_gate_port(p) ? level[net.gate_of_port(p)] : 0;
+        earliest = std::max(earliest, src + 1);
+      }
+      std::uint32_t latest = drives_po[g] || gate_consumers[g].empty()
+                                 ? depth
+                                 : 0xFFFFFFFFu;
+      for (const auto c : gate_consumers[g]) {
+        latest = std::min(latest, level[c] - 1);
+      }
+      int slope = non_const_inputs;
+      slope -= static_cast<int>(gate_consumers[g].size());
+      if (drives_po[g]) {
+        for (std::uint32_t o = 0; o < net.num_pos(); ++o) {
+          if (net.is_gate_port(net.po_at(o)) &&
+              net.gate_of_port(net.po_at(o)) == g) {
+            --slope;
+          }
+        }
+      }
+      const std::uint32_t target = slope > 0 ? earliest
+                                   : slope < 0 ? latest
+                                               : level[g];
+      if (target != level[g] && target >= earliest && target <= latest) {
+        level[g] = target;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      break;
+    }
+  }
+  return plan_for_levels(net, level, depth);
+}
+
+BufferPlan plan_buffers(const Netlist& net, BufferSchedule schedule) {
+  if (schedule == BufferSchedule::kBest) {
+    BufferPlan asap = legacy::plan_buffers(net, BufferSchedule::kAsap);
+    BufferPlan alap = legacy::plan_buffers(net, BufferSchedule::kAlap);
+    return alap.total < asap.total ? alap : asap;
+  }
+  if (schedule == BufferSchedule::kOptimized) {
+    BufferPlan best = legacy::plan_buffers(net, BufferSchedule::kBest);
+    BufferPlan optimized = legacy::plan_optimized(net);
+    return optimized.total < best.total ? optimized : best;
+  }
+  BufferPlan plan;
+  const std::uint32_t n = net.num_gates();
+  std::vector<std::uint32_t> level = net.gate_levels();
+  plan.depth = net.depth(); // recomputes gate_levels()
+  if (schedule == BufferSchedule::kAlap && n > 0) {
+    std::vector<std::uint32_t> latest(n, 0);
+    std::vector<bool> constrained(n, false);
+    for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+      const Port p = net.po_at(i);
+      if (net.is_gate_port(p)) {
+        const std::uint32_t g = net.gate_of_port(p);
+        latest[g] = constrained[g] ? std::min(latest[g], plan.depth)
+                                   : plan.depth;
+        constrained[g] = true;
+      }
+    }
+    for (std::uint32_t g = n; g-- > 0;) {
+      const std::uint32_t self = constrained[g] ? latest[g] : level[g];
+      for (const Port p : net.gate(g).in) {
+        if (!net.is_gate_port(p)) {
+          continue;
+        }
+        const std::uint32_t src = net.gate_of_port(p);
+        const std::uint32_t bound = self - 1;
+        latest[src] =
+            constrained[src] ? std::min(latest[src], bound) : bound;
+        constrained[src] = true;
+      }
+    }
+    for (std::uint32_t g = 0; g < n; ++g) {
+      if (constrained[g]) {
+        level[g] = std::max(level[g], latest[g]);
+      }
+    }
+  }
+  BufferPlan filled = plan_for_levels(net, level, plan.depth);
+  return filled;
+}
+
+Cost cost_of(const Netlist& net, BufferSchedule schedule) {
+  const Netlist live = net.remove_dead_gates();
+  Cost c;
+  c.n_r = live.num_gates();
+  c.n_g = live.count_garbage_outputs();
+  const BufferPlan plan = legacy::plan_buffers(live, schedule);
+  c.n_b = plan.total;
+  c.n_d = plan.depth;
+  c.jjs = kJjsPerGate * c.n_r + kJjsPerBuffer * c.n_b;
+  return c;
+}
+
+} // namespace legacy
+
+} // namespace
+
+int main() {
+  using namespace rcgp::benchtool;
+
+  const std::uint64_t offspring = env_u64("RCGP_COST_OFFSPRING", 256);
+  const std::uint64_t reps = env_u64("RCGP_COST_REPS", 5);
+  const std::uint64_t seed = env_u64("RCGP_COST_SEED", 2024);
+
+  constexpr rqfp::BufferSchedule kSchedules[] = {
+      rqfp::BufferSchedule::kAsap, rqfp::BufferSchedule::kAlap,
+      rqfp::BufferSchedule::kBest, rqfp::BufferSchedule::kOptimized};
+
+  std::printf("Cost evaluation: cost_of vs cost_of_delta "
+              "(%llu offspring/circuit, median of %llu reps)\n\n",
+              static_cast<unsigned long long>(offspring),
+              static_cast<unsigned long long>(reps));
+  std::printf("%-14s %5s | %-9s | %11s %10s %10s %8s\n", "circuit", "n_r",
+              "schedule", "legacy/eval", "full/eval", "delta/eval",
+              "speedup");
+  std::printf("%.*s\n", 80,
+              "--------------------------------------------------------------"
+              "--------------------");
+
+  std::vector<double> optimized_speedups;
+  for (const auto& name : benchmarks::table1_names()) {
+    const auto b = benchmarks::get(name);
+    core::FlowOptions opt;
+    opt.run_cgp = false;
+    const rqfp::Netlist base = core::synthesize(b.spec, opt).initial;
+
+    // One fixed brood of mutated children per circuit: both paths price
+    // exactly the same netlists.
+    std::vector<rqfp::Netlist> children(offspring, base);
+    for (std::uint64_t k = 0; k < offspring; ++k) {
+      util::Rng rng = util::Rng::stream(seed, 0, k);
+      core::mutate(children[k], rng, {});
+    }
+
+    for (const auto schedule : kSchedules) {
+      rqfp::CostCache cache;
+      rqfp::build_cost_cache(base, schedule, cache);
+      // Correctness first: all three paths must agree on every child.
+      for (const auto& child : children) {
+        const auto before = legacy::cost_of(child, schedule);
+        const auto full = rqfp::cost_of(child, schedule);
+        const auto delta = rqfp::cost_of_delta(base, child, cache);
+        if (!(full == delta) || !(before == delta)) {
+          std::fprintf(stderr,
+                       "bench_cost: MISMATCH on %s/%s: legacy {%s} vs "
+                       "full {%s} vs delta {%s}\n",
+                       name.c_str(), schedule_name(schedule),
+                       before.to_string().c_str(), full.to_string().c_str(),
+                       delta.to_string().c_str());
+          return 1;
+        }
+      }
+
+      std::vector<double> legacy_s;
+      std::vector<double> full_s;
+      std::vector<double> delta_s;
+      volatile std::uint64_t sink = 0; // keep the costs observable
+      for (std::uint64_t r = 0; r < reps; ++r) {
+        util::Stopwatch watch;
+        for (const auto& child : children) {
+          sink += legacy::cost_of(child, schedule).jjs;
+        }
+        legacy_s.push_back(watch.seconds());
+        watch.restart();
+        for (const auto& child : children) {
+          sink += rqfp::cost_of(child, schedule).jjs;
+        }
+        full_s.push_back(watch.seconds());
+        watch.restart();
+        for (const auto& child : children) {
+          sink += rqfp::cost_of_delta(base, child, cache).jjs;
+        }
+        delta_s.push_back(watch.seconds());
+      }
+      (void)sink;
+
+      const double legacy_med = median(legacy_s);
+      const double full_med = median(full_s);
+      const double delta_med = median(delta_s);
+      const double per = 1e9 / static_cast<double>(offspring);
+      const double speedup = delta_med > 0.0 ? legacy_med / delta_med : 0.0;
+      std::printf("%-14s %5u | %-9s | %9.0fns %8.0fns %8.0fns %7.2fx\n",
+                  name.c_str(), base.num_gates(), schedule_name(schedule),
+                  legacy_med * per, full_med * per, delta_med * per, speedup);
+      if (schedule == rqfp::BufferSchedule::kOptimized) {
+        optimized_speedups.push_back(speedup);
+        obs::registry()
+            .gauge("bench.cost." + name + ".optimized_speedup")
+            .set(speedup);
+      }
+    }
+  }
+
+  const double med_speedup = median(optimized_speedups);
+  const double worst_speedup =
+      *std::min_element(optimized_speedups.begin(), optimized_speedups.end());
+  obs::registry().gauge("bench.cost.optimized_median_speedup").set(med_speedup);
+  std::printf("\nkOptimized speedup across Table-1 circuits: "
+              "median %.2fx (target >= 2x), worst %.2fx\n",
+              med_speedup, worst_speedup);
+  maybe_write_metrics("RCGP_METRICS_OUT");
+  return 0;
+}

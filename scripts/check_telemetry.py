@@ -18,6 +18,9 @@ Checks performed:
     - when the λ-parallel evaluation pool ran (evolve.pool.* present):
       thread gauge >= 1, utilization gauge in [0, 1], and the per-worker
       evaluation counters sum exactly to evolve.pool.tasks
+    - when the incremental cost path ran (evolve.cost.* present):
+      full_recomputes >= 1 (every CostCache starts with a full build),
+      delta_updates >= 0, and the scratch_bytes gauge > 0
 
 Exits non-zero with a message on the first violation.
 """
@@ -115,6 +118,7 @@ def check_metrics(path: str) -> None:
     if not counters:
         fail(f"{path}: no counters recorded")
     check_pool_metrics(path, counters, registry.get("gauges", {}))
+    check_cost_metrics(path, counters, registry.get("gauges", {}))
     print(f"check_telemetry: {path}: {len(counters)} counters: OK")
 
 
@@ -144,6 +148,36 @@ def check_pool_metrics(path: str, counters: dict, gauges: dict) -> None:
     print(
         f"check_telemetry: {path}: pool ran {tasks} tasks on "
         f"{threads:g} thread(s): OK"
+    )
+
+
+def check_cost_metrics(path: str, counters: dict, gauges: dict) -> None:
+    """Incremental cost-evaluation invariants (docs/COST_EVAL.md)."""
+    full = counters.get("evolve.cost.full_recomputes")
+    deltas = counters.get("evolve.cost.delta_updates")
+    if full is None and deltas is None:
+        return  # run never priced a netlist
+    if deltas is not None and deltas < 0:
+        fail(f"{path}: evolve.cost.delta_updates is {deltas}, expected >= 0")
+    # Every CostCache trajectory starts with a full build, so delta traffic
+    # without a single full analysis means the counters are wired wrong.
+    if (deltas or 0) > 0 and (full or 0) < 1:
+        fail(
+            f"{path}: evolve.cost.delta_updates is {deltas} but "
+            f"full_recomputes is {full}; a cache cannot be warm before "
+            f"its first full build"
+        )
+    if full is not None and full < 1:
+        fail(f"{path}: evolve.cost.full_recomputes is {full}, expected >= 1")
+    scratch = gauges.get("evolve.cost.scratch_bytes")
+    if scratch is not None and scratch <= 0:
+        fail(
+            f"{path}: evolve.cost.scratch_bytes gauge is {scratch}, "
+            f"expected > 0 once any cost was priced"
+        )
+    print(
+        f"check_telemetry: {path}: cost path did {full or 0} full "
+        f"recomputes, {deltas or 0} delta updates: OK"
     )
 
 

@@ -42,6 +42,11 @@ AnnealResult detail::anneal_impl(const rqfp::Netlist& initial,
   AnnealResult result;
   rqfp::Netlist current = shrink(initial);
   double current_energy = anneal_energy(current, spec, params.fitness);
+  // Mutation preserves the shape, so one cost cache follows the whole
+  // walk: candidates are priced with cost_of_delta against `current` and
+  // committed with update_cost_cache on acceptance.
+  rqfp::CostCache cost_cache;
+  rqfp::build_cost_cache(current, params.fitness.schedule, cost_cache);
   Fitness init_fit = evaluate(current, spec, params.fitness);
   if (!init_fit.functionally_correct()) {
     throw std::invalid_argument("anneal: initial netlist incorrect");
@@ -94,8 +99,11 @@ AnnealResult detail::anneal_impl(const rqfp::Netlist& initial,
 
     rqfp::Netlist candidate = current;
     mutate(candidate, rng, params.mutation);
+    const auto cand_sim = cec::sim_check(candidate, spec);
+    const auto cand_cost = rqfp::cost_of_delta(current, candidate, cost_cache);
     const double candidate_energy =
-        anneal_energy(candidate, spec, params.fitness);
+        1e9 * static_cast<double>(cand_sim.mismatching_bits) +
+        1e6 * cand_cost.n_r + 1e3 * cand_cost.n_g + cand_cost.n_b;
     const double delta = candidate_energy - current_energy;
     const bool accept =
         delta <= 0 || rng.uniform01() < std::exp(-delta / (1e3 * temperature));
@@ -116,6 +124,7 @@ AnnealResult detail::anneal_impl(const rqfp::Netlist& initial,
     if (delta > 0) {
       ++result.uphill_accepted;
     }
+    rqfp::update_cost_cache(current, candidate, cost_cache);
     current = std::move(candidate);
     current_energy = candidate_energy;
 

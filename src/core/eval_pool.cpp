@@ -13,9 +13,11 @@ namespace rcgp::core {
 /// generation (worker i uses scratch_[i]; the caller thread is worker 0),
 /// so nothing here needs synchronization.
 struct EvalPool::Scratch {
-  /// Base netlist whose port tables `cache` currently holds.
+  /// Base netlist whose port tables `cache` and whose liveness/levels
+  /// `cost` currently hold.
   rqfp::Netlist base;
   rqfp::SimCache cache;
+  rqfp::CostCache cost;
   bool cache_valid = false;
   double busy_seconds = 0.0;
   obs::Counter* evals = nullptr;
@@ -146,20 +148,32 @@ void EvalPool::evaluate_one(Scratch& scratch, const EvalJob& job,
                             OffspringResult* out, unsigned k) {
   const rqfp::Netlist& parent = *job.parent;
 
-  // Bring this worker's cache to the current parent: a full build when the
-  // shape changed (shrink on acceptance can drop gates), otherwise an
+  // Bring this worker's caches to the current parent: a full build when
+  // the shape changed (shrink on acceptance can drop gates), otherwise an
   // incremental commit of whatever drifted since this worker last looked.
+  // The cost cache syncs in the same tiers, against the *old* base before
+  // it is overwritten.
   if (!scratch.cache_valid ||
       scratch.base.num_gates() != parent.num_gates() ||
       scratch.base.num_pis() != parent.num_pis()) {
     rqfp::build_sim_cache(parent, scratch.cache);
+    rqfp::build_cost_cache(parent, job.fitness.schedule, scratch.cost);
     scratch.base = parent;
     scratch.cache_valid = true;
     pool_rebuilds().inc();
   } else if (!(scratch.base == parent)) {
     rqfp::update_sim_cache(scratch.base, parent, scratch.cache);
+    if (scratch.cost.valid && scratch.cost.schedule == job.fitness.schedule &&
+        scratch.base.num_pos() == parent.num_pos()) {
+      rqfp::update_cost_cache(scratch.base, parent, scratch.cost);
+    } else {
+      rqfp::build_cost_cache(parent, job.fitness.schedule, scratch.cost);
+    }
     scratch.base = parent;
     pool_updates().inc();
+  } else if (!scratch.cost.valid ||
+             scratch.cost.schedule != job.fitness.schedule) {
+    rqfp::build_cost_cache(parent, job.fitness.schedule, scratch.cost);
   }
 
   // Offspring k is a pure function of (seed, generation, k, parent): its
@@ -169,8 +183,8 @@ void EvalPool::evaluate_one(Scratch& scratch, const EvalJob& job,
   slot.child = parent;
   util::Rng rng = util::Rng::stream(job.seed, job.generation, k);
   slot.stats = mutate(slot.child, rng, job.mutation);
-  slot.fitness = evaluate_delta(scratch.base, scratch.cache, slot.child,
-                                job.spec, job.fitness);
+  slot.fitness = evaluate_delta(scratch.base, scratch.cache, scratch.cost,
+                                slot.child, job.spec, job.fitness);
   scratch.evals->inc();
   pool_tasks().inc();
 }

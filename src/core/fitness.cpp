@@ -67,4 +67,27 @@ Fitness evaluate_delta(const rqfp::Netlist& base, rqfp::SimCache& cache,
                   options);
 }
 
+Fitness evaluate_delta(const rqfp::Netlist& base, rqfp::SimCache& cache,
+                       rqfp::CostCache& cost_cache,
+                       const rqfp::Netlist& child,
+                       std::span<const tt::TruthTable> spec,
+                       const FitnessOptions& options) {
+  const auto sim = cec::sim_check_delta(base, child, spec, cache);
+  Fitness f;
+  f.objective = options.objective;
+  f.success_rate = sim.success_rate;
+  if (!sim.all_match) {
+    return f; // incorrect offspring never reach the cost phase
+  }
+  f.success_rate = 1.0;
+  if (!cost_cache.valid || cost_cache.schedule != options.schedule) {
+    rqfp::build_cost_cache(base, options.schedule, cost_cache);
+  }
+  const auto cost = rqfp::cost_of_delta(base, child, cost_cache);
+  f.n_r = cost.n_r;
+  f.n_g = cost.n_g;
+  f.n_b = cost.n_b;
+  return f;
+}
+
 } // namespace rcgp::core

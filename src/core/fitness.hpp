@@ -5,6 +5,7 @@
 #include <string>
 
 #include "rqfp/buffer.hpp"
+#include "rqfp/cost.hpp"
 #include "rqfp/netlist.hpp"
 #include "rqfp/simulate.hpp"
 #include "tt/truth_table.hpp"
@@ -66,6 +67,20 @@ Fitness evaluate(const rqfp::Netlist& net,
 /// preserves. The cache is restored before returning, so one per-worker
 /// cache serves every offspring of a generation without allocating.
 Fitness evaluate_delta(const rqfp::Netlist& base, rqfp::SimCache& cache,
+                       const rqfp::Netlist& child,
+                       std::span<const tt::TruthTable> spec,
+                       const FitnessOptions& options = {});
+
+/// Fully incremental evaluation: the simulation phase runs through the
+/// dirty-cone SimCache as above, and — when the child is functionally
+/// correct — the cost phase runs through `cost_cache` (rqfp::cost_of_delta)
+/// instead of a from-scratch cost_of. `cost_cache` must describe `base`
+/// under options.schedule (rqfp::build_cost_cache / update_cost_cache);
+/// a cache bound to a different schedule or not yet built is rebuilt for
+/// `base` on the spot. Neither cache is left modified, so one pair serves
+/// every offspring of a generation.
+Fitness evaluate_delta(const rqfp::Netlist& base, rqfp::SimCache& cache,
+                       rqfp::CostCache& cost_cache,
                        const rqfp::Netlist& child,
                        std::span<const tt::TruthTable> spec,
                        const FitnessOptions& options = {});

@@ -225,6 +225,9 @@ rqfp::Netlist detail::window_optimize_impl(const rqfp::Netlist& input,
         ep.budget.deadline_seconds =
             std::max(0.001, budget.deadline_seconds - watch.seconds());
       }
+      // Each per-window run carries its own eval-pool scratch, so the
+      // incremental sim + cost caches (SimCache/CostCache) are rebuilt
+      // once per window and then serve every offspring inside it.
       const auto result = detail::evolve_impl(window.sub, spec, ep);
       if (result.best.num_gates() < window.sub.num_gates()) {
         ++local.windows_improved;

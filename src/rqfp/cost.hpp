@@ -1,7 +1,10 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "rqfp/buffer.hpp"
 #include "rqfp/netlist.hpp"
@@ -17,13 +20,91 @@ struct Cost {
   std::uint32_t n_g = 0;  // garbage outputs
 
   std::string to_string() const;
+
+  bool operator==(const Cost&) const = default;
 };
 
-/// Cost of a netlist. Dead gates are removed before measuring (the CGP
-/// shrink step guarantees none remain in reported circuits, but callers
-/// may pass raw netlists).
+/// Reusable scratch and cached base-netlist analysis for incremental cost
+/// evaluation — the cost-side mirror of rqfp::SimCache. A cache is bound
+/// to one (base netlist, schedule) pair by build_cost_cache; after that,
+/// cost_of_delta prices mutated offspring against the cached liveness
+/// mask and ASAP levels without the remove_dead_gates() copy or any
+/// steady-state allocation, and update_cost_cache commits an accepted
+/// offspring so one cache follows a whole evolutionary trajectory.
+struct CostCache {
+  bool valid = false;
+
+  // ---- shape and identity of the cached base ----
+  unsigned num_pis = 0;
+  std::uint32_t num_gates = 0;
+  unsigned num_pos = 0;
+  BufferSchedule schedule = BufferSchedule::kAsap;
+
+  // ---- cached analysis of the base netlist ----
+  Cost base_cost;
+  std::vector<std::uint8_t> live;    // per-gate liveness mask
+  std::vector<std::uint32_t> level;  // per-gate ASAP levels
+
+  // ---- scratch (managed by the cost_* functions) ----
+  std::vector<std::uint8_t> child_live;
+  std::vector<std::uint32_t> child_level;
+  std::vector<std::uint32_t> stack;   // liveness DFS worklist
+  std::vector<std::uint32_t> fanout;  // per-port consumer counts (n_g)
+  BufferScheduler scheduler;
+
+  /// Bytes of scratch currently held (capacities, including the
+  /// scheduler's work arrays). Constant across steady-state evaluations —
+  /// the property tests use it as a zero-allocation proxy.
+  std::size_t scratch_bytes() const;
+};
+
+/// Cost of a netlist. Dead gates are excluded by an in-place liveness
+/// marking pass (no netlist copy is made; the CGP shrink step guarantees
+/// none remain in reported circuits, but callers may pass raw netlists).
 Cost cost_of(const Netlist& net,
              BufferSchedule schedule = BufferSchedule::kAsap);
+
+/// Full analysis of `net`: liveness, ASAP levels, depth, and the cost
+/// under `schedule`, all recorded into `cache` (scratch is reused, so a
+/// warm cache allocates nothing). Counts toward evolve.cost.full_recomputes.
+Cost build_cost_cache(const Netlist& net, BufferSchedule schedule,
+                      CostCache& cache);
+
+/// Incremental cost of `child`, a mutated copy of `base`, against a cache
+/// built for `base`. Gene diffs are discovered by comparing the two
+/// netlists; the 4-argument overload below skips that scan when the
+/// caller knows which gates were touched. The cache itself is not
+/// modified (one cache serves every offspring of a generation); commit an
+/// accepted child with update_cost_cache.
+///
+/// Incremental structure: inverter-config-only changes cannot move the
+/// cost (it is topology-only), and neither can rewires confined to dead
+/// gates (liveness flows from POs through live consumers only, so the
+/// live subnetwork is untouched — the CGP neutral-drift case); both
+/// return the cached base cost outright. Otherwise liveness is re-marked
+/// in place and the ASAP levels are reused verbatim up to the first gate
+/// whose inputs changed, with only the suffix recomputed. The buffer
+/// schedules are re-run over the live mask (they are global), but
+/// allocation-free.
+///
+/// Throws std::invalid_argument when the cache is not built or the
+/// shapes (PI/gate/PO counts) disagree — the same contract as
+/// rqfp::simulate_delta.
+Cost cost_of_delta(const Netlist& base, const Netlist& child,
+                   CostCache& cache);
+
+/// As above, but trusts `touched_gates` (indices of gates whose genes a
+/// mutation may have rewritten; PO bindings are always re-checked) instead
+/// of scanning every gate for diffs.
+Cost cost_of_delta(const Netlist& base, const Netlist& child,
+                   std::span<const std::uint32_t> touched_gates,
+                   CostCache& cache);
+
+/// Commits `to` (a mutated copy of `from`, which `cache` describes) as the
+/// cache's new base and returns its cost. Used when an offspring is
+/// accepted as the next parent.
+Cost update_cost_cache(const Netlist& from, const Netlist& to,
+                       CostCache& cache);
 
 /// Lower bound on garbage outputs from the paper: g_lb = max(0, n_pi-n_po).
 std::uint32_t garbage_lower_bound(unsigned num_pis, unsigned num_pos);

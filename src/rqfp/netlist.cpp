@@ -135,21 +135,29 @@ Netlist Netlist::remove_dead_gates() const {
 }
 
 std::vector<std::uint32_t> Netlist::gate_levels() const {
-  std::vector<std::uint32_t> level(gates_.size(), 1);
+  std::vector<std::uint32_t> level;
+  gate_levels(level);
+  return level;
+}
+
+void Netlist::gate_levels(std::vector<std::uint32_t>& out) const {
+  out.resize(gates_.size());
   for (std::uint32_t g = 0; g < gates_.size(); ++g) {
     std::uint32_t m = 0;
     for (const Port p : gates_[g].in) {
       if (is_gate_port(p)) {
-        m = std::max(m, level[gate_of_port(p)]);
+        m = std::max(m, out[gate_of_port(p)]);
       }
     }
-    level[g] = m + 1;
+    out[g] = m + 1;
   }
-  return level;
 }
 
 std::uint32_t Netlist::depth() const {
-  const auto level = gate_levels();
+  return depth(gate_levels());
+}
+
+std::uint32_t Netlist::depth(std::span<const std::uint32_t> level) const {
   std::uint32_t d = 0;
   for (const Port p : pos_) {
     if (is_gate_port(p)) {

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,8 +86,14 @@ public:
   /// ASAP clock level of each gate (PIs and constant at level 0; a gate is
   /// one level after its latest input).
   std::vector<std::uint32_t> gate_levels() const;
+  /// Allocation-free variant: writes the levels into `out`, reusing its
+  /// capacity (the cost hot path calls this once per evaluation).
+  void gate_levels(std::vector<std::uint32_t>& out) const;
   /// Circuit depth n_d = latest PO driver level (0 if no gate drives POs).
   std::uint32_t depth() const;
+  /// Depth from precomputed gate levels (as returned by `gate_levels`), so
+  /// callers that already hold the level vector skip the recomputation.
+  std::uint32_t depth(std::span<const std::uint32_t> level) const;
 
   bool operator==(const Netlist&) const = default;
 
