@@ -13,12 +13,9 @@
 #include "aig/aig_simulate.hpp"
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
-#include "io/aiger.hpp"
 #include "io/blif.hpp"
-#include "io/pla.hpp"
-#include "io/real.hpp"
+#include "io/io.hpp"
 #include "io/rqfp_writer.hpp"
-#include "io/verilog.hpp"
 
 namespace {
 
@@ -42,26 +39,13 @@ const char* kDemoBlif = R"(
 
 rcgp::aig::Aig load(const std::string& path) {
   using namespace rcgp;
-  const auto dot = path.rfind('.');
-  const std::string ext = dot == std::string::npos ? "" : path.substr(dot);
-  if (ext == ".v") {
-    return io::parse_verilog_file(path);
+  // The io facade detects the format from the extension (or the file's
+  // leading bytes for unknown extensions) and parses accordingly.
+  const io::Network net = io::read_network(path);
+  if (net.aig) {
+    return *net.aig;
   }
-  if (ext == ".blif") {
-    return io::parse_blif_file(path);
-  }
-  if (ext == ".aag") {
-    return io::parse_aiger_file(path);
-  }
-  if (ext == ".pla") {
-    const auto pla = io::parse_pla_file(path);
-    return core::aig_from_tables(pla.tables, pla.output_names);
-  }
-  if (ext == ".real") {
-    const auto circuit = io::parse_real_file(path);
-    return core::aig_from_tables(circuit.to_tables());
-  }
-  throw std::runtime_error("unsupported input extension: " + ext);
+  return core::aig_from_tables(net.to_tables(), net.po_names);
 }
 
 } // namespace
@@ -96,7 +80,7 @@ int main(int argc, char** argv) {
                                                                : "NO");
 
     const std::string rqfp_path = stem + ".rqfp";
-    io::write_rqfp_file(flow.optimized, rqfp_path);
+    io::write_network(flow.optimized, rqfp_path);
     std::printf("wrote %s\n", rqfp_path.c_str());
     std::printf("DOT preview:\n%s",
                 io::write_dot_string(flow.optimized).c_str());

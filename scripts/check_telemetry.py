@@ -21,6 +21,11 @@ Checks performed:
     - when the incremental cost path ran (evolve.cost.* present):
       full_recomputes >= 1 (every CostCache starts with a full build),
       delta_updates >= 0, and the scratch_bytes gauge > 0
+    - when a batch ran (batch.jobs.* present): settled jobs
+      (done + failed + interrupted) never exceed the queued count, the
+      per-worker job counters sum exactly to the settled count, the worker
+      gauge is >= 1, the running gauge is back to 0, and every per-worker
+      utilization gauge is in [0, 1]
 
 Exits non-zero with a message on the first violation.
 """
@@ -119,6 +124,7 @@ def check_metrics(path: str) -> None:
         fail(f"{path}: no counters recorded")
     check_pool_metrics(path, counters, registry.get("gauges", {}))
     check_cost_metrics(path, counters, registry.get("gauges", {}))
+    check_batch_metrics(path, counters, registry.get("gauges", {}))
     print(f"check_telemetry: {path}: {len(counters)} counters: OK")
 
 
@@ -178,6 +184,50 @@ def check_cost_metrics(path: str, counters: dict, gauges: dict) -> None:
     print(
         f"check_telemetry: {path}: cost path did {full or 0} full "
         f"recomputes, {deltas or 0} delta updates: OK"
+    )
+
+
+def check_batch_metrics(path: str, counters: dict, gauges: dict) -> None:
+    """Batch job-scheduler invariants (docs/BATCH.md)."""
+    queued = counters.get("batch.jobs.queued")
+    if queued is None:
+        return  # run was not a batch
+    settled = (
+        counters.get("batch.jobs.done", 0)
+        + counters.get("batch.jobs.failed", 0)
+        + counters.get("batch.jobs.interrupted", 0)
+    )
+    if settled > queued:
+        fail(
+            f"{path}: {settled} settled batch jobs exceed the "
+            f"{queued} queued"
+        )
+    worker_jobs = sum(
+        v
+        for name, v in counters.items()
+        if name.startswith("batch.worker") and name.endswith(".jobs")
+    )
+    if worker_jobs != settled:
+        fail(
+            f"{path}: per-worker job counters sum to {worker_jobs} but "
+            f"{settled} jobs settled"
+        )
+    workers = gauges.get("batch.workers", 0)
+    if workers < 1:
+        fail(f"{path}: batch.workers gauge is {workers}, expected >= 1")
+    running = gauges.get("batch.jobs.running", 0)
+    if running != 0:
+        fail(
+            f"{path}: batch.jobs.running is {running} after the batch "
+            f"finished, expected 0"
+        )
+    for name, v in gauges.items():
+        if name.startswith("batch.worker") and name.endswith(".utilization"):
+            if not 0.0 <= v <= 1.0:
+                fail(f"{path}: {name} is {v}, outside [0, 1]")
+    print(
+        f"check_telemetry: {path}: batch settled {settled}/{queued} "
+        f"queued jobs on {workers:g} worker(s): OK"
     )
 
 

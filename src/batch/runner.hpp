@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "batch/manifest.hpp"
+#include "batch/results.hpp"
+#include "robust/stop.hpp"
+#include "rqfp/cost.hpp"
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::batch {
+
+/// Scheduling facts handed to the job executor alongside the job itself.
+struct JobContext {
+  unsigned worker = 0;  ///< worker index running this attempt
+  unsigned attempt = 1; ///< 1-based (2+ = integrity retry)
+  /// Per-job crash-safe checkpoint (`<out-dir>/<id>.ckpt`); empty when
+  /// checkpointing is disabled or the algorithm does not support it.
+  std::string checkpoint_path;
+  /// True when the checkpoint exists and the batch runs in resume mode:
+  /// the job continues bit-identically instead of starting over.
+  bool resume_from_checkpoint = false;
+  /// Batch-level cooperative stop (tripped by the batch deadline or an
+  /// external stop token). A job interrupted by it is recorded as
+  /// non-final and re-run by a later `--resume`.
+  robust::StopToken* stop = nullptr;
+};
+
+/// What a job execution produced. The runner turns this into a JobRecord,
+/// writes the netlist, and updates the metrics.
+struct JobExecution {
+  rqfp::Netlist netlist;
+  rqfp::Cost cost;
+  robust::StopReason stop_reason = robust::StopReason::kCompleted;
+  bool verified = false; ///< exhaustive simulation check passed
+};
+
+/// Replaceable job body: the default runs the full synthesis flow
+/// (core::synthesize / synthesize_file); tests substitute deterministic or
+/// fault-injecting executors. Throwing robust::IntegrityError triggers a
+/// retry (fresh attempt, checkpoint discarded); any other exception fails
+/// the job permanently.
+using JobExecutor = std::function<JobExecution(const Job&, const JobContext&)>;
+
+struct BatchOptions {
+  /// Worker threads sharding the job list (0 = hardware concurrency,
+  /// clamped to the job count). Per-job results are bit-identical for
+  /// every worker count.
+  unsigned workers = 1;
+  /// Output directory: results store (`results.jsonl`), per-job netlists
+  /// (`<id>.rqfp`), and per-job checkpoints (`<id>.ckpt`). Created if
+  /// missing.
+  std::string out_dir = "batch_out";
+  /// Re-run only jobs without a final record in the existing results
+  /// store; finished jobs are reported as skipped. Without resume an
+  /// existing store is truncated.
+  bool resume = false;
+  /// Integrity-retry budget per job; a manifest `retries` field overrides.
+  unsigned default_retries = 1;
+  /// Batch-level limits: deadline_seconds and stop are enforced (workers
+  /// stop claiming jobs and running jobs are interrupted cooperatively);
+  /// the generation/evaluation ceilings are per-job concerns and ignored
+  /// here.
+  robust::RunBudget budget;
+  /// Per-job evolve checkpoint interval in generations (0 disables
+  /// checkpointing; only Algorithm::kEvolve jobs checkpoint).
+  std::uint64_t checkpoint_interval = 1000;
+  /// CGP generation budget for jobs without a manifest override.
+  std::uint64_t default_generations = 50000;
+  /// λ-parallel evaluation threads inside each job. Kept at 1 by default:
+  /// batch parallelism comes from sharding jobs, not from splitting one.
+  unsigned threads_per_job = 1;
+  JobExecutor executor;                         ///< test hook
+  std::function<void(const JobRecord&)> on_record; ///< after each append
+};
+
+/// Outcome of a whole batch. `records` holds one entry per manifest job
+/// that has a record — from this run or, for skipped jobs, from the
+/// resumed store — in manifest order.
+struct BatchSummary {
+  std::vector<JobRecord> records;
+  unsigned total = 0;   ///< manifest jobs
+  unsigned done = 0;    ///< final ok (including previously finished)
+  unsigned failed = 0;  ///< final failures (including previous)
+  unsigned skipped = 0; ///< already final in the store (resume)
+  unsigned unrun = 0;   ///< no final record: never claimed or interrupted
+  robust::StopReason stop_reason = robust::StopReason::kCompleted;
+  double seconds = 0.0;
+  std::string results_path;
+
+  bool all_ok() const { return failed == 0 && unrun == 0; }
+};
+
+/// Runs every manifest job across a worker pool. Deterministic contract
+/// (docs/BATCH.md): with fixed manifest and seeds, the deterministic
+/// record fields and written netlists are bit-identical for any worker
+/// count, and a killed batch resumed with `resume = true` completes only
+/// the unfinished jobs with identical results.
+BatchSummary run_batch(const Manifest& manifest, const BatchOptions& options);
+
+} // namespace rcgp::batch

@@ -166,10 +166,4 @@ AnnealResult detail::anneal_impl(const rqfp::Netlist& initial,
   return result;
 }
 
-AnnealResult anneal(const rqfp::Netlist& initial,
-                    std::span<const tt::TruthTable> spec,
-                    const AnnealParams& params) {
-  return detail::anneal_impl(initial, spec, params);
-}
-
 } // namespace rcgp::core

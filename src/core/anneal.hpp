@@ -57,19 +57,13 @@ double anneal_energy(const rqfp::Netlist& net,
 
 namespace detail {
 
-/// Implementation behind the deprecated anneal() free function and the
-/// core::Optimizer facade (core/optimizer.hpp).
+/// Implementation behind the core::Optimizer facade (core/optimizer.hpp).
+/// Runs annealing from a functionally-correct initial netlist; the result
+/// is always functionally correct (tracked as best-seen).
 AnnealResult anneal_impl(const rqfp::Netlist& initial,
                          std::span<const tt::TruthTable> spec,
                          const AnnealParams& params);
 
 } // namespace detail
-
-/// Runs annealing from a functionally-correct initial netlist; the result
-/// is always functionally correct (tracked as best-seen).
-[[deprecated("use core::Optimizer with Algorithm::kAnneal")]]
-AnnealResult anneal(const rqfp::Netlist& initial,
-                    std::span<const tt::TruthTable> spec,
-                    const AnnealParams& params = {});
 
 } // namespace rcgp::core

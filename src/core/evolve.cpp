@@ -537,23 +537,10 @@ EvolveResult evolve_multistart_impl(const rqfp::Netlist& initial,
 
 } // namespace detail
 
-EvolveResult evolve(const rqfp::Netlist& initial,
-                    std::span<const tt::TruthTable> spec,
-                    const EvolveParams& params) {
-  return detail::evolve_impl(initial, spec, params);
-}
-
 EvolveResult evolve_resume(const std::string& checkpoint_path,
                            std::span<const tt::TruthTable> spec,
                            const EvolveParams& params) {
   return detail::evolve_resume_impl(checkpoint_path, spec, params);
-}
-
-EvolveResult evolve_multistart(const rqfp::Netlist& initial,
-                               std::span<const tt::TruthTable> spec,
-                               const EvolveParams& params,
-                               unsigned restarts) {
-  return detail::evolve_multistart_impl(initial, spec, params, restarts);
 }
 
 } // namespace rcgp::core

@@ -108,9 +108,9 @@ struct EvolveResult {
 
 namespace detail {
 
-/// Implementation entry points shared by the deprecated free functions
-/// below and the core::Optimizer facade (core/optimizer.hpp). Call these
-/// from internal code; external callers should go through Optimizer.
+/// Implementation entry points behind the core::Optimizer facade
+/// (core/optimizer.hpp). Call these from internal code; external callers
+/// should go through Optimizer.
 EvolveResult evolve_impl(const rqfp::Netlist& initial,
                          std::span<const tt::TruthTable> spec,
                          const EvolveParams& params);
@@ -124,16 +124,7 @@ EvolveResult evolve_multistart_impl(const rqfp::Netlist& initial,
 
 } // namespace detail
 
-/// (1+λ) CGP optimization of an RQFP netlist against a truth-table
-/// specification (Algorithm 1 of the paper). The initial netlist must be
-/// functionally correct w.r.t. `spec`; the result always is (improvements
-/// are only accepted at 100% simulation success, optionally SAT-confirmed).
-[[deprecated("use core::Optimizer (core/optimizer.hpp)")]]
-EvolveResult evolve(const rqfp::Netlist& initial,
-                    std::span<const tt::TruthTable> spec,
-                    const EvolveParams& params = {});
-
-/// Continues a checkpointed evolve() run from `checkpoint_path`. The
+/// Continues a checkpointed (1+λ) run from `checkpoint_path`. The
 /// checkpoint's run identity (seed, λ, μ, total generations) must match
 /// `params` — a mismatch throws std::invalid_argument so a checkpoint is
 /// never silently continued under a different search configuration. The
@@ -143,19 +134,5 @@ EvolveResult evolve(const rqfp::Netlist& initial,
 EvolveResult evolve_resume(const std::string& checkpoint_path,
                            std::span<const tt::TruthTable> spec,
                            const EvolveParams& params = {});
-
-/// Restart extension: runs `restarts` independent (1+λ) searches from the
-/// same initial netlist with decorrelated seeds (params.seed, +1, ...),
-/// splitting params.generations across the runs (the division remainder
-/// goes to the earliest runs, so no generation of the budget is lost), and
-/// returns the fittest result. Escapes the local optima a single neutral
-/// walk can get stuck on; total evaluation budget matches a single
-/// evolve() call. Stop requests and deadlines cut the whole restart
-/// schedule short. Throws std::invalid_argument when restarts == 0.
-[[deprecated("use core::Optimizer with Algorithm::kMultistart")]]
-EvolveResult evolve_multistart(const rqfp::Netlist& initial,
-                               std::span<const tt::TruthTable> spec,
-                               const EvolveParams& params = {},
-                               unsigned restarts = 4);
 
 } // namespace rcgp::core

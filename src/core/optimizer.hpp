@@ -92,9 +92,8 @@ struct OptimizeResult {
 /// Unified entry point over the four optimizer loops (evolve, multistart,
 /// anneal, window). Construct once with options, then run() against any
 /// number of (netlist, spec) pairs; resume() continues a checkpointed
-/// kEvolve run. The historical free functions evolve(), anneal(),
-/// evolve_multistart(), and window_optimize() are deprecated thin wrappers
-/// over the same implementations.
+/// kEvolve run. This facade is the only public way to launch a search —
+/// the historical free functions (evolve(), anneal(), ...) are gone.
 class Optimizer {
 public:
   explicit Optimizer(OptimizerOptions options);

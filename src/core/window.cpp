@@ -245,12 +245,6 @@ rqfp::Netlist detail::window_optimize_impl(const rqfp::Netlist& input,
   return net;
 }
 
-rqfp::Netlist window_optimize(const rqfp::Netlist& input,
-                              const WindowParams& params,
-                              WindowStats* stats) {
-  return detail::window_optimize_impl(input, params, stats);
-}
-
 rqfp::Netlist exact_polish(const rqfp::Netlist& input,
                            const ExactPolishParams& params,
                            WindowStats* stats) {

@@ -66,19 +66,13 @@ rqfp::Netlist splice_window(const rqfp::Netlist& net, const Window& window,
 
 namespace detail {
 
-/// Implementation behind the deprecated window_optimize() free function
-/// and the core::Optimizer facade (core/optimizer.hpp).
+/// Full windowed optimization sweep — the implementation behind the
+/// core::Optimizer facade (core/optimizer.hpp).
 rqfp::Netlist window_optimize_impl(const rqfp::Netlist& input,
                                    const WindowParams& params,
                                    WindowStats* stats);
 
 } // namespace detail
-
-/// Full windowed optimization sweep.
-[[deprecated("use core::Optimizer with Algorithm::kWindow")]]
-rqfp::Netlist window_optimize(const rqfp::Netlist& input,
-                              const WindowParams& params = {},
-                              WindowStats* stats = nullptr);
 
 struct ExactPolishParams {
   /// Windows of at most this many gates and boundary inputs are handed to

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::io {
+
+/// Every on-disk circuit format the framework reads or writes. kAuto asks
+/// the facade to detect the format from the file extension first and, for
+/// reads with an unknown extension, from the file's leading bytes.
+enum class Format : std::uint8_t {
+  kAuto,    ///< detect from extension / magic
+  kVerilog, ///< .v   — structural/dataflow Verilog subset (AIG)
+  kBlif,    ///< .blif — combinational BLIF (AIG)
+  kAiger,   ///< .aag / .aig — ASCII or binary AIGER (AIG)
+  kPla,     ///< .pla — Berkeley PLA (truth tables)
+  kReal,    ///< .real — RevLib reversible circuit (truth tables)
+  kRqfp,    ///< .rqfp — RQFP netlist interchange
+  kDot,     ///< .dot — Graphviz rendering (write-only)
+};
+
+/// Stable lowercase name ("auto", "verilog", "blif", "aiger", "pla",
+/// "real", "rqfp", "dot").
+std::string_view to_string(Format format);
+
+/// Maps a path's extension to its format; Format::kAuto when the
+/// extension is unknown (the read path then sniffs the file contents).
+Format format_from_extension(const std::string& path);
+
+/// Resolves the concrete format of an input file: extension first, then
+/// content sniffing (AIGER magic, `.model`, `module`, `.rqfp 1`, PLA/REAL
+/// dot-directives). Throws io::ParseError when neither identifies it.
+Format detect_format(const std::string& path);
+
+/// An in-memory circuit read through the facade, in whichever native
+/// representation its format carries: AIG (Verilog/BLIF/AIGER), RQFP
+/// netlist (.rqfp), or plain truth tables (.pla/.real). Exactly one of
+/// the three representations is populated; `to_tables()` provides the
+/// uniform specification view every consumer in the repo understands.
+struct Network {
+  Format format = Format::kAuto; ///< the resolved concrete format
+  std::string source;            ///< path the network was read from
+
+  std::optional<aig::Aig> aig;         ///< kVerilog / kBlif / kAiger
+  std::optional<rqfp::Netlist> rqfp;   ///< kRqfp
+  std::vector<tt::TruthTable> tables;  ///< kPla / kReal
+  std::vector<std::string> po_names;   ///< when the format names outputs
+
+  unsigned num_pis() const;
+  unsigned num_pos() const;
+
+  /// The exhaustive per-output truth tables of the network (simulated for
+  /// AIG / RQFP sources). Throws std::invalid_argument when the network
+  /// has more PIs than tt::TruthTable::kMaxVars.
+  std::vector<tt::TruthTable> to_tables() const;
+};
+
+/// Reads a circuit file in any supported format. With Format::kAuto the
+/// format is resolved by detect_format(); passing a concrete format skips
+/// detection (and overrides the extension). Throws io::ParseError on
+/// unreadable or malformed input, with source:line context.
+Network read_network(const std::string& path, Format format = Format::kAuto);
+
+/// Writes an RQFP netlist: .rqfp interchange, structural Verilog (.v), or
+/// Graphviz (.dot). Throws std::invalid_argument for formats that cannot
+/// represent an RQFP netlist and std::runtime_error when the file cannot
+/// be written.
+void write_network(const rqfp::Netlist& net, const std::string& path,
+                   Format format = Format::kAuto);
+
+/// Writes an AIG: Verilog (.v), BLIF (.blif), ASCII AIGER (.aag), or
+/// binary AIGER (.aig). Throws std::invalid_argument for formats that
+/// cannot represent an AIG and std::runtime_error on write failure.
+void write_network(const aig::Aig& net, const std::string& path,
+                   Format format = Format::kAuto);
+
+} // namespace rcgp::io

@@ -219,40 +219,6 @@ void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po) {
   simulate_patterns(net, pi, po, scratch);
 }
 
-std::vector<std::vector<std::uint64_t>> simulate_patterns(
-    const Netlist& net,
-    const std::vector<std::vector<std::uint64_t>>& pi_patterns) {
-  // Validate the whole batch before touching any buffer, so a ragged row
-  // late in the batch cannot leave half-copied state behind an exception.
-  if (pi_patterns.size() != net.num_pis()) {
-    throw std::invalid_argument(
-        "rqfp::simulate_patterns: netlist has " +
-        std::to_string(net.num_pis()) + " PIs but " +
-        std::to_string(pi_patterns.size()) + " pattern rows were given");
-  }
-  const std::size_t words = pi_patterns.empty() ? 1 : pi_patterns[0].size();
-  for (std::size_t i = 0; i < pi_patterns.size(); ++i) {
-    if (pi_patterns[i].size() != words) {
-      throw std::invalid_argument(
-          "rqfp::simulate_patterns: ragged patterns: row " +
-          std::to_string(i) + " has " +
-          std::to_string(pi_patterns[i].size()) + " words but row 0 has " +
-          std::to_string(words));
-    }
-  }
-  SimBatch pi(pi_patterns.size(), words);
-  for (std::size_t i = 0; i < pi_patterns.size(); ++i) {
-    std::copy(pi_patterns[i].begin(), pi_patterns[i].end(), pi.row(i));
-  }
-  SimBatch po;
-  simulate_patterns(net, pi, po);
-  std::vector<std::vector<std::uint64_t>> out(po.rows());
-  for (std::size_t i = 0; i < po.rows(); ++i) {
-    out[i].assign(po.row(i), po.row(i) + po.words());
-  }
-  return out;
-}
-
 std::vector<bool> evaluate(const Netlist& net, std::uint64_t assignment) {
   std::vector<std::uint64_t> port(net.first_free_port(), 0);
   port[kConstPort] = 1;

@@ -77,17 +77,6 @@ void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po,
 /// Convenience overload with an internal scratch buffer.
 void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po);
 
-/// Legacy vector-of-vectors pattern API.
-/// The whole batch is validated before any copying: a PI-count mismatch
-/// or ragged rows throw std::invalid_argument with the offending row and
-/// counts in the message. A netlist without PIs simulates one word wide
-/// (documented historical behaviour — the SimBatch overloads make the
-/// width explicit instead).
-[[deprecated("use the SimBatch overload of simulate_patterns")]]
-std::vector<std::vector<std::uint64_t>> simulate_patterns(
-    const Netlist& net,
-    const std::vector<std::vector<std::uint64_t>>& pi_patterns);
-
 /// Evaluate on a single input assignment (bit i = PI i); returns PO bits.
 std::vector<bool> evaluate(const Netlist& net, std::uint64_t assignment);
 

@@ -1,6 +1,8 @@
 // rcgp — command-line front-end to the RCGP synthesis framework.
 //
 //   rcgp synth <input> [options]   synthesize an RQFP circuit
+//   rcgp batch <manifest> [options] run a manifest of synthesis jobs
+//                                  across a worker pool (docs/BATCH.md)
 //   rcgp exact <input> [options]   SAT-based exact synthesis (baseline)
 //   rcgp cec <a.rqfp> <b.rqfp>     equivalence check two RQFP netlists
 //   rcgp stats <x.rqfp>            cost metrics of an RQFP netlist
@@ -39,20 +41,17 @@
 #include <string>
 #include <vector>
 
-#include "aig/aig_simulate.hpp"
 #include "aqfp/aqfp.hpp"
+#include "batch/manifest.hpp"
+#include "batch/runner.hpp"
 #include "benchmarks/benchmarks.hpp"
 #include "cec/bdd_cec.hpp"
 #include "cec/sat_cec.hpp"
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
 #include "exact/exact_rqfp.hpp"
-#include "io/aiger.hpp"
-#include "io/blif.hpp"
-#include "io/pla.hpp"
-#include "io/real.hpp"
+#include "io/io.hpp"
 #include "io/rqfp_writer.hpp"
-#include "io/verilog.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -61,17 +60,11 @@
 #include "rqfp/cost.hpp"
 #include "rqfp/energy.hpp"
 #include "rqfp/reversibility.hpp"
-#include "rqfp/simulate.hpp"
 #include "version.hpp"
 
 namespace {
 
 using namespace rcgp;
-
-std::string extension(const std::string& path) {
-  const auto dot = path.rfind('.');
-  return dot == std::string::npos ? "" : path.substr(dot);
-}
 
 /// Matches `--name=value` (returns true, sets `value`) for option parsing.
 bool opt_value(const std::string& arg, const char* name, std::string& value) {
@@ -128,26 +121,11 @@ bool write_synth_metrics(const std::string& path,
   return true;
 }
 
-/// Loads an input as truth tables (works for every supported source).
+/// Loads an input as truth tables: a recognized circuit-file extension
+/// goes through the io facade, anything else is a built-in benchmark name.
 std::vector<tt::TruthTable> load_spec(const std::string& input) {
-  const std::string ext = extension(input);
-  if (ext == ".v") {
-    return aig::simulate(io::parse_verilog_file(input));
-  }
-  if (ext == ".blif") {
-    return aig::simulate(io::parse_blif_file(input));
-  }
-  if (ext == ".aag") {
-    return aig::simulate(io::parse_aiger_file(input));
-  }
-  if (ext == ".pla") {
-    return io::parse_pla_file(input).tables;
-  }
-  if (ext == ".real") {
-    return io::parse_real_file(input).to_tables();
-  }
-  if (ext == ".rqfp") {
-    return rqfp::simulate(io::parse_rqfp_file(input));
+  if (io::format_from_extension(input) != io::Format::kAuto) {
+    return io::read_network(input).to_tables();
   }
   return benchmarks::get(input).spec; // throws with a clear message
 }
@@ -290,24 +268,111 @@ int cmd_synth(const std::vector<std::string>& args) {
                 static_cast<unsigned long long>(trace->lines_written()));
   }
   if (!out_path.empty()) {
-    io::write_rqfp_file(r.optimized, out_path);
+    // Format follows the extension (.rqfp / .v / .dot); an unrecognized
+    // extension keeps the historical default of .rqfp interchange.
+    const io::Format f = io::format_from_extension(out_path);
+    io::write_network(r.optimized, out_path,
+                      f == io::Format::kAuto ? io::Format::kRqfp : f);
     std::printf("wrote %s\n", out_path.c_str());
   }
   if (!dot_path.empty()) {
-    std::FILE* f = std::fopen(dot_path.c_str(), "w");
-    if (!f) {
-      std::fprintf(stderr, "cannot write %s\n", dot_path.c_str());
-      return 1;
-    }
-    const auto dot = io::write_dot_string(r.optimized);
-    std::fwrite(dot.data(), 1, dot.size(), f);
-    std::fclose(f);
+    io::write_network(r.optimized, dot_path, io::Format::kDot);
     std::printf("wrote %s\n", dot_path.c_str());
   }
   if (!check.all_match) {
     return 1;
   }
   return interrupted ? 3 : 0;
+}
+
+int cmd_batch(const std::vector<std::string>& args) {
+  std::string manifest_path;
+  std::string metrics_path;
+  batch::BatchOptions opt;
+  bool usage_error = args.empty();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string v;
+    if (opt_value(args[i], "--manifest", v)) {
+      manifest_path = v;
+    } else if (opt_value(args[i], "--jobs", v)) {
+      opt.workers = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--out-dir", v)) {
+      opt.out_dir = v;
+    } else if (args[i] == "--resume") {
+      opt.resume = true;
+    } else if (opt_value(args[i], "--deadline", v)) {
+      opt.budget.deadline_seconds = std::stod(v);
+    } else if (opt_value(args[i], "--retries", v)) {
+      opt.default_retries = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--checkpoint-interval", v)) {
+      opt.checkpoint_interval = std::stoull(v);
+    } else if (opt_value(args[i], "--generations", v)) {
+      opt.default_generations = std::stoull(v);
+    } else if (opt_value(args[i], "--threads-per-job", v)) {
+      opt.threads_per_job = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--metrics-out", v)) {
+      metrics_path = v;
+    } else if (i == 0 && args[i][0] != '-') {
+      manifest_path = args[i]; // positional manifest
+    } else {
+      std::fprintf(stderr, "batch: unknown option %s\n", args[i].c_str());
+      usage_error = true;
+    }
+  }
+  if (manifest_path.empty()) {
+    usage_error = true;
+  }
+  if (usage_error) {
+    std::fprintf(stderr,
+                 "usage: rcgp batch <manifest.jsonl> [--manifest=FILE] "
+                 "[--jobs=N] [--out-dir=DIR] [--resume]\n"
+                 "                  [--deadline=SECONDS] [--retries=N] "
+                 "[--checkpoint-interval=N]\n"
+                 "                  [--generations=N] [--threads-per-job=N] "
+                 "[--metrics-out=m.json]\n");
+    return 2;
+  }
+  // First SIGINT/SIGTERM interrupts the batch cooperatively (running jobs
+  // checkpoint and are re-run by --resume); a second one force-kills.
+  static robust::StopToken signal_token;
+  opt.budget.stop = &robust::install_signal_stop(signal_token);
+
+  const auto manifest = batch::parse_manifest_file(manifest_path);
+  const unsigned total = static_cast<unsigned>(manifest.jobs.size());
+  opt.on_record = [total](const batch::JobRecord& rec) {
+    std::printf("%s: %s%s (gates=%u garbage=%u jjs=%llu, %.2fs, worker %u)\n",
+                rec.id.c_str(),
+                rec.ok          ? "ok"
+                : rec.final_record ? "FAILED"
+                                   : "interrupted",
+                rec.error.empty() ? "" : (" — " + rec.error).c_str(),
+                rec.n_r, rec.n_g, static_cast<unsigned long long>(rec.jjs),
+                rec.seconds, rec.worker);
+    std::fflush(stdout);
+  };
+  const auto summary = batch::run_batch(manifest, opt);
+
+  std::printf("batch: %u jobs — %u done, %u failed, %u skipped, %u unrun "
+              "(%.2fs)\n",
+              summary.total, summary.done, summary.failed, summary.skipped,
+              summary.unrun, summary.seconds);
+  std::printf("results: %s\n", summary.results_path.c_str());
+  if (summary.stop_reason != robust::StopReason::kCompleted) {
+    std::fprintf(stderr, "batch: stopped early (%s) — rerun with --resume "
+                         "to finish the remaining jobs\n",
+                 robust::to_string(summary.stop_reason).c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (!obs::registry().write_json(metrics_path)) {
+      std::fprintf(stderr, "batch: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (summary.stop_reason != robust::StopReason::kCompleted) {
+    return 3;
+  }
+  return summary.failed == 0 ? 0 : 1;
 }
 
 int cmd_exact(const std::vector<std::string>& args) {
@@ -362,8 +427,8 @@ int cmd_cec(const std::vector<std::string>& args) {
     std::fprintf(stderr, "usage: rcgp cec <a.rqfp> <b.rqfp> [--json]\n");
     return 2;
   }
-  const auto a = io::parse_rqfp_file(files[0]);
-  const auto b = io::parse_rqfp_file(files[1]);
+  const auto a = *io::read_network(files[0], io::Format::kRqfp).rqfp;
+  const auto b = *io::read_network(files[1], io::Format::kRqfp).rqfp;
   const auto sat = cec::sat_check(a, b);
   const auto bdd = cec::bdd_check(a, b);
   const bool equal = sat.verdict == cec::CecVerdict::kEquivalent;
@@ -405,8 +470,8 @@ int cmd_report(const std::vector<std::string>& args) {
     return 2;
   }
   rqfp::Netlist net;
-  if (extension(args[0]) == ".rqfp") {
-    net = io::parse_rqfp_file(args[0]);
+  if (io::format_from_extension(args[0]) == io::Format::kRqfp) {
+    net = *io::read_network(args[0], io::Format::kRqfp).rqfp;
   } else {
     // Synthesize the benchmark's initialization baseline for reporting.
     core::FlowOptions opt;
@@ -449,7 +514,7 @@ int cmd_stats(const std::vector<std::string>& args) {
     std::fprintf(stderr, "usage: rcgp stats <x.rqfp> [--json]\n");
     return 2;
   }
-  const auto net = io::parse_rqfp_file(files[0]);
+  const auto net = *io::read_network(files[0], io::Format::kRqfp).rqfp;
   const auto problem = net.validate();
   const auto cost = rqfp::cost_of(net);
   if (json) {
@@ -506,7 +571,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
-        "usage: rcgp <synth|exact|cec|stats|report|list|version> [args...]\n");
+        "usage: rcgp <synth|batch|exact|cec|stats|report|list|version> "
+        "[args...]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -517,6 +583,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "synth") {
       return cmd_synth(args);
+    }
+    if (cmd == "batch") {
+      return cmd_batch(args);
     }
     if (cmd == "exact") {
       return cmd_exact(args);

@@ -11,17 +11,13 @@
 #include "core/fitness.hpp"
 #include "core/flow.hpp"
 #include "core/mutation.hpp"
+#include "core/optimizer.hpp"
 #include "core/shrink.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "rqfp/simulate.hpp"
 #include "rqfp/splitter.hpp"
 #include "util/rng.hpp"
-
-// These tests exercise the historical free-function entry points on
-// purpose — they remain supported as deprecated wrappers over the
-// core::Optimizer implementations.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace rcgp::core {
 namespace {
@@ -40,6 +36,36 @@ rqfp::Netlist init_netlist(const std::string& name) {
   FlowOptions opt;
   opt.run_cgp = false;
   return synthesize(b.spec, opt).initial;
+}
+
+// The search loops are reached exclusively through the Optimizer facade;
+// these helpers keep the per-algorithm tests below terse.
+
+EvolveResult run_evolve(const rqfp::Netlist& init,
+                        std::span<const tt::TruthTable> spec,
+                        const EvolveParams& params) {
+  OptimizerOptions oo;
+  oo.evolve = params;
+  return Optimizer(oo).run(init, spec).evolve;
+}
+
+EvolveResult run_multistart(const rqfp::Netlist& init,
+                            std::span<const tt::TruthTable> spec,
+                            const EvolveParams& params, unsigned restarts) {
+  OptimizerOptions oo;
+  oo.algorithm = Algorithm::kMultistart;
+  oo.evolve = params;
+  oo.restarts = restarts;
+  return Optimizer(oo).run(init, spec).evolve;
+}
+
+AnnealResult run_anneal(const rqfp::Netlist& init,
+                        std::span<const tt::TruthTable> spec,
+                        const AnnealParams& params) {
+  OptimizerOptions oo;
+  oo.algorithm = Algorithm::kAnneal;
+  oo.anneal = params;
+  return Optimizer(oo).run(init, spec).anneal;
 }
 
 // ---------- Fitness ----------
@@ -333,7 +359,7 @@ TEST(Evolve, RejectsWrongInitialNetlist) {
                                     tt::TruthTable::projection(2, 1)};
   EvolveParams params;
   params.generations = 10;
-  EXPECT_THROW(evolve(net, wrong, params), std::invalid_argument);
+  EXPECT_THROW(run_evolve(net, wrong, params), std::invalid_argument);
 }
 
 TEST(Evolve, KeepsFunctionalCorrectness) {
@@ -342,7 +368,7 @@ TEST(Evolve, KeepsFunctionalCorrectness) {
   EvolveParams params;
   params.generations = 2000;
   params.seed = 11;
-  const auto result = evolve(init, b.spec, params);
+  const auto result = run_evolve(init, b.spec, params);
   EXPECT_EQ(result.best.validate(), "");
   const auto sim = cec::sim_check(result.best, b.spec);
   EXPECT_TRUE(sim.all_match);
@@ -357,7 +383,7 @@ TEST(Evolve, NeverWorseThanInitialization) {
     EvolveParams params;
     params.generations = 1500;
     params.seed = 5;
-    const auto result = evolve(init, b.spec, params);
+    const auto result = run_evolve(init, b.spec, params);
     EXPECT_TRUE(result.best_fitness.better_or_equal(init_fit)) << name;
     EXPECT_LE(result.best_fitness.n_r, init_fit.n_r) << name;
   }
@@ -372,7 +398,7 @@ TEST(Evolve, ImprovesDecoderLikeThePaper) {
   EvolveParams params;
   params.generations = 30000;
   params.seed = 5;
-  const auto result = evolve(init, b.spec, params);
+  const auto result = run_evolve(init, b.spec, params);
   EXPECT_LT(result.best_fitness.n_r, 8u);
   EXPECT_LT(result.best_fitness.n_g, 10u);
 }
@@ -384,7 +410,7 @@ TEST(Evolve, StagnationStopsEarly) {
   params.generations = 1000000;
   params.stagnation_limit = 200;
   params.seed = 3;
-  const auto result = evolve(init, b.spec, params);
+  const auto result = run_evolve(init, b.spec, params);
   EXPECT_LT(result.generations_run, params.generations);
   EXPECT_EQ(result.stop_reason, robust::StopReason::kStagnation);
 }
@@ -400,7 +426,7 @@ TEST(Evolve, StagnationCounterResetsOnImprovement) {
   params.on_improvement = [&](std::uint64_t gen, const Fitness&) {
     improvement_gens.push_back(gen);
   };
-  const auto r = evolve(init, b.spec, params);
+  const auto r = run_evolve(init, b.spec, params);
   ASSERT_EQ(r.stop_reason, robust::StopReason::kStagnation);
   ASSERT_FALSE(improvement_gens.empty());
   // The counter reset on every improvement, so the run survived past the
@@ -419,7 +445,7 @@ TEST(Evolve, TimeLimitStops) {
   EvolveParams params;
   params.generations = 1000000000;
   params.time_limit_seconds = 0.2;
-  const auto result = evolve(init, b.spec, params);
+  const auto result = run_evolve(init, b.spec, params);
   EXPECT_LT(result.seconds, 5.0);
   EXPECT_LT(result.generations_run, params.generations);
   EXPECT_EQ(result.stop_reason, robust::StopReason::kTimeLimit);
@@ -432,7 +458,7 @@ TEST(Evolve, SatVerificationPathAccepts) {
   params.generations = 3000;
   params.sat_verify_improvements = true;
   params.seed = 9;
-  const auto result = evolve(init, b.spec, params);
+  const auto result = run_evolve(init, b.spec, params);
   EXPECT_GT(result.sat_confirmations, 0u);
   EXPECT_TRUE(cec::sim_check(result.best, b.spec).all_match);
 }
@@ -445,7 +471,7 @@ TEST(Evolve, ImprovementCallbackFires) {
   params.seed = 21;
   int calls = 0;
   params.on_improvement = [&](std::uint64_t, const Fitness&) { ++calls; };
-  const auto result = evolve(init, b.spec, params);
+  const auto result = run_evolve(init, b.spec, params);
   EXPECT_EQ(static_cast<std::uint64_t>(calls), result.improvements);
 }
 
@@ -480,7 +506,7 @@ TEST(Evolve, TraceEventsMatchResultCounters) {
   params.seed = 21;
   params.trace = sink.get();
   params.trace_heartbeat = 1000;
-  const auto result = evolve(init, b.spec, params);
+  const auto result = run_evolve(init, b.spec, params);
 
   const auto lines = jsonl_lines(sink->buffer());
   ASSERT_FALSE(lines.empty());
@@ -530,7 +556,7 @@ TEST(Evolve, MutationMixAccountsForEveryOffspring) {
   EvolveParams params;
   params.generations = 2000;
   params.seed = 13;
-  const auto result = evolve(init, b.spec, params);
+  const auto result = run_evolve(init, b.spec, params);
   // One mutate() call per offspring per generation.
   EXPECT_EQ(result.mutations_attempted.mutations,
             result.generations_run * params.lambda);
@@ -562,7 +588,7 @@ TEST(EvolveMultistart, TraceEmitsOneRestartPerRun) {
   params.generations = 300;
   params.seed = 2;
   params.trace = sink.get();
-  const auto result = evolve_multistart(init, b.spec, params, 3);
+  const auto result = run_multistart(init, b.spec, params, 3);
   std::uint64_t restarts = 0;
   for (const auto& line : jsonl_lines(sink->buffer())) {
     ASSERT_TRUE(obs::json::validate(line)) << line;
@@ -580,8 +606,8 @@ TEST(EvolveMultistart, ReturnsValidBestOfRuns) {
   EvolveParams params;
   params.generations = 8000;
   params.seed = 31;
-  const auto single = evolve(init, b.spec, params);
-  const auto multi = evolve_multistart(init, b.spec, params, 4);
+  const auto single = run_evolve(init, b.spec, params);
+  const auto multi = run_multistart(init, b.spec, params, 4);
   EXPECT_TRUE(cec::sim_check(multi.best, b.spec).all_match);
   EXPECT_EQ(multi.best.validate(), "");
   // Same total budget, bookkeeping accumulated over runs.
@@ -596,7 +622,7 @@ TEST(EvolveMultistart, ZeroRestartsIsRejected) {
   params.generations = 500;
   // restarts == 0 used to be silently clamped to 1, hiding a caller bug;
   // it is now a hard usage error.
-  EXPECT_THROW(evolve_multistart(init, b.spec, params, 0),
+  EXPECT_THROW(run_multistart(init, b.spec, params, 0),
                std::invalid_argument);
 }
 
@@ -606,7 +632,7 @@ TEST(EvolveMultistart, DistributesRemainderGenerations) {
   EvolveParams params;
   params.generations = 103; // 103 = 4*25 + 3: remainder must not be lost
   params.seed = 7;
-  const auto r = evolve_multistart(init, b.spec, params, 4);
+  const auto r = run_multistart(init, b.spec, params, 4);
   EXPECT_EQ(r.generations_run, 103u);
   EXPECT_TRUE(r.best_fitness.functionally_correct());
   EXPECT_EQ(r.stop_reason, robust::StopReason::kCompleted);
@@ -620,7 +646,7 @@ TEST(EvolveMultistart, StopTokenCutsRestartScheduleShort) {
   EvolveParams params;
   params.generations = 4000;
   params.budget.stop = &token;
-  const auto r = evolve_multistart(init, b.spec, params, 4);
+  const auto r = run_multistart(init, b.spec, params, 4);
   EXPECT_EQ(r.stop_reason, robust::StopReason::kStopRequested);
   EXPECT_EQ(r.generations_run, 0u);
   // Even a fully pre-empted schedule hands back a usable netlist.
@@ -645,7 +671,7 @@ TEST(Anneal, ImprovesAndStaysCorrect) {
   params.steps = 20000;
   params.seed = 5;
   params.mutation.mu = 0.2;
-  const auto r = anneal(init, b.spec, params);
+  const auto r = run_anneal(init, b.spec, params);
   EXPECT_TRUE(r.best_fitness.functionally_correct());
   EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
   EXPECT_EQ(r.best.validate(), "");
@@ -662,7 +688,7 @@ TEST(Anneal, AcceptsUphillMovesAtHighTemperature) {
   params.initial_temperature = 1e6; // essentially a random walk
   params.final_temperature = 1e5;
   params.seed = 2;
-  const auto r = anneal(init, b.spec, params);
+  const auto r = run_anneal(init, b.spec, params);
   EXPECT_GT(r.uphill_accepted, 0u);
   // Best-seen tracking still guarantees a correct result.
   EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
@@ -672,7 +698,7 @@ TEST(Anneal, RejectsWrongInitialNetlist) {
   const auto net = and_netlist();
   std::vector<tt::TruthTable> wrong{tt::TruthTable::projection(2, 0) ^
                                     tt::TruthTable::projection(2, 1)};
-  EXPECT_THROW(anneal(net, wrong, {}), std::invalid_argument);
+  EXPECT_THROW(run_anneal(net, wrong, {}), std::invalid_argument);
 }
 
 // ---------- Flow ----------

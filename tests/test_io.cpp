@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <sstream>
 
 #include "aig/aig_simulate.hpp"
 #include "io/aiger.hpp"
 #include "io/blif.hpp"
+#include "io/io.hpp"
 #include "io/parse_error.hpp"
 #include "io/pla.hpp"
 #include "io/real.hpp"
@@ -802,6 +805,151 @@ TEST(RqfpFormat, DotExportMentionsAllGates) {
   EXPECT_NE(dot.find("g0"), std::string::npos);
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_NE(dot.find("po0"), std::string::npos);
+}
+
+// ---------- io facade (read_network / write_network, docs/FORMATS.md) ----
+
+std::string facade_path(const std::string& name) {
+  return ::testing::TempDir() + "rcgp_io_facade_" + name;
+}
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << text;
+}
+
+TEST(Facade, FormatFromExtensionCoversEverySupportedSuffix) {
+  EXPECT_EQ(format_from_extension("a/b/c.v"), Format::kVerilog);
+  EXPECT_EQ(format_from_extension("x.blif"), Format::kBlif);
+  EXPECT_EQ(format_from_extension("x.aag"), Format::kAiger);
+  EXPECT_EQ(format_from_extension("x.aig"), Format::kAiger);
+  EXPECT_EQ(format_from_extension("x.pla"), Format::kPla);
+  EXPECT_EQ(format_from_extension("x.real"), Format::kReal);
+  EXPECT_EQ(format_from_extension("x.rqfp"), Format::kRqfp);
+  EXPECT_EQ(format_from_extension("x.dot"), Format::kDot);
+  EXPECT_EQ(format_from_extension("x.txt"), Format::kAuto);
+  // A dot in a directory name is not an extension.
+  EXPECT_EQ(format_from_extension("dir.d/file"), Format::kAuto);
+}
+
+TEST(Facade, ReadDetectsBlifByExtensionAndReturnsAig) {
+  const std::string path = facade_path("voter.blif");
+  write_text(path,
+             ".model and2\n.inputs a b\n.outputs y\n.names a b y\n11 1\n"
+             ".end\n");
+  const Network net = read_network(path);
+  EXPECT_EQ(net.format, Format::kBlif);
+  ASSERT_TRUE(net.aig.has_value());
+  EXPECT_FALSE(net.rqfp.has_value());
+  EXPECT_EQ(net.num_pis(), 2u);
+  EXPECT_EQ(net.num_pos(), 1u);
+  const auto tables = net.to_tables();
+  ASSERT_EQ(tables.size(), 1u);
+  EXPECT_EQ(tables[0], tt::TruthTable::projection(2, 0) &
+                           tt::TruthTable::projection(2, 1));
+  std::remove(path.c_str());
+}
+
+TEST(Facade, SniffsFormatsBehindUnknownExtensions) {
+  struct Case {
+    const char* text;
+    Format expected;
+  };
+  const Case cases[] = {
+      {"aag 1 1 0 1 0\n2\n2\n", Format::kAiger},
+      {".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n",
+       Format::kBlif},
+      {"module m(a, y);\ninput a;\noutput y;\nassign y = a;\nendmodule\n",
+       Format::kVerilog},
+      {".i 1\n.o 1\n1 1\n.e\n", Format::kPla},
+      {"# comment first\n.version 2\n.numvars 1\n.variables a\n.begin\n"
+       "t1 a\n.end\n",
+       Format::kReal},
+      {".rqfp 1\n.pis 1\n.pos 1\ngate 0 1 0 100-100-100\npo 2\n.end\n",
+       Format::kRqfp},
+  };
+  for (const auto& c : cases) {
+    const std::string path = facade_path("sniff.circ");
+    write_text(path, c.text);
+    EXPECT_EQ(detect_format(path), c.expected) << c.text;
+    const Network net = read_network(path);
+    EXPECT_EQ(net.format, c.expected);
+    EXPECT_GE(net.num_pos(), 1u);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Facade, UndetectableContentThrowsParseErrorWithSource) {
+  const std::string path = facade_path("mystery.bin");
+  write_text(path, "this is not a circuit\n");
+  try {
+    (void)read_network(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), path);
+    EXPECT_NE(std::string(e.what()).find("cannot detect"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Facade, MissingFileThrowsParseError) {
+  EXPECT_THROW((void)read_network(facade_path("does_not_exist.blif")),
+               ParseError);
+  EXPECT_THROW((void)read_network(facade_path("does_not_exist.noext")),
+               ParseError);
+}
+
+TEST(Facade, ExplicitFormatOverridesExtension) {
+  const std::string path = facade_path("actually_blif.v");
+  write_text(path,
+             ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n");
+  const Network net = read_network(path, Format::kBlif);
+  EXPECT_EQ(net.format, Format::kBlif);
+  ASSERT_TRUE(net.aig.has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Facade, RqfpRoundTripsThroughWriteAndRead) {
+  rqfp::Netlist net(2);
+  const auto g = net.add_gate({1, 2, rqfp::kConstPort},
+                              rqfp::InvConfig::from_rows(5, 6, 4));
+  net.add_po(net.port_of(g, 2), "y");
+  const std::string path = facade_path("roundtrip.rqfp");
+  write_network(net, path);
+  const Network back = read_network(path);
+  ASSERT_TRUE(back.rqfp.has_value());
+  EXPECT_EQ(write_rqfp_string(*back.rqfp), write_rqfp_string(net));
+  EXPECT_EQ(back.to_tables(), rqfp::simulate(net));
+  std::remove(path.c_str());
+}
+
+TEST(Facade, AigRoundTripsThroughEveryWritableFormat) {
+  const auto net = random_aig(4, 12, 3, 99);
+  const auto ref = aig::simulate(net);
+  for (const char* name :
+       {"rt.v", "rt.blif", "rt.aag", "rt.aig"}) {
+    const std::string path = facade_path(name);
+    write_network(net, path);
+    const Network back = read_network(path);
+    ASSERT_TRUE(back.aig.has_value()) << name;
+    EXPECT_EQ(back.to_tables(), ref) << name;
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Facade, RejectsImpossibleConversions) {
+  rqfp::Netlist net(1);
+  const auto g0 = net.add_gate({0, 1, 0}, rqfp::InvConfig::splitter());
+  net.add_po(net.port_of(g0, 0));
+  EXPECT_THROW(write_network(net, facade_path("x.blif")),
+               std::invalid_argument);
+  const auto a = random_aig(2, 3, 1, 7);
+  EXPECT_THROW(write_network(a, facade_path("x.rqfp")),
+               std::invalid_argument);
+  EXPECT_THROW(write_network(a, facade_path("x.unknown")),
+               std::invalid_argument);
 }
 
 } // namespace

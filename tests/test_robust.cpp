@@ -13,6 +13,7 @@
 #include "core/anneal.hpp"
 #include "core/evolve.hpp"
 #include "core/flow.hpp"
+#include "core/optimizer.hpp"
 #include "io/rqfp_writer.hpp"
 #include "obs/trace.hpp"
 #include "robust/checkpoint.hpp"
@@ -21,11 +22,6 @@
 #include "robust/stop.hpp"
 #include "util/crc32.hpp"
 #include "util/rng.hpp"
-
-// These tests exercise the historical free-function entry points (evolve,
-// anneal, evolve_resume) on purpose — they remain supported as deprecated
-// wrappers over the core::Optimizer implementations.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace rcgp {
 namespace {
@@ -54,6 +50,26 @@ void expect_same_fitness(const Fitness& a, const Fitness& b) {
   EXPECT_EQ(a.n_r, b.n_r);
   EXPECT_EQ(a.n_g, b.n_g);
   EXPECT_EQ(a.n_b, b.n_b);
+}
+
+// Searches are launched through the core::Optimizer facade; these helpers
+// keep the budget/resume tests below at their historical terseness.
+
+core::EvolveResult run_evolve(const rqfp::Netlist& init,
+                              std::span<const tt::TruthTable> spec,
+                              const EvolveParams& params) {
+  core::OptimizerOptions oo;
+  oo.evolve = params;
+  return core::Optimizer(oo).run(init, spec).evolve;
+}
+
+core::AnnealResult run_anneal(const rqfp::Netlist& init,
+                              std::span<const tt::TruthTable> spec,
+                              const core::AnnealParams& params) {
+  core::OptimizerOptions oo;
+  oo.algorithm = core::Algorithm::kAnneal;
+  oo.anneal = params;
+  return core::Optimizer(oo).run(init, spec).anneal;
 }
 
 // ---------- CRC32 / stop primitives ----------
@@ -326,7 +342,7 @@ TEST(EvolveBudget, GenerationBudgetStopsAtBoundary) {
   params.generations = 5000;
   params.seed = 11;
   params.budget.max_generations = 120;
-  const auto r = core::evolve(init, b.spec, params);
+  const auto r = run_evolve(init, b.spec, params);
   EXPECT_EQ(r.stop_reason, StopReason::kGenerationBudget);
   EXPECT_EQ(r.generations_run, 120u);
   EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
@@ -342,7 +358,7 @@ TEST(EvolveBudget, EvaluationBudgetStopsMidGeneration) {
   // 1 initial + 4*30 offspring + 2 into generation 30: the partial
   // generation is discarded, so bookkeeping lands on the boundary.
   params.budget.max_evaluations = 1 + 4 * 30 + 2;
-  const auto r = core::evolve(init, b.spec, params);
+  const auto r = run_evolve(init, b.spec, params);
   EXPECT_EQ(r.stop_reason, StopReason::kEvaluationBudget);
   EXPECT_EQ(r.generations_run, 30u);
   EXPECT_EQ(r.evaluations, 1u + 4u * 30u);
@@ -357,7 +373,7 @@ TEST(EvolveBudget, PreTrippedTokenReturnsInitialImmediately) {
   EvolveParams params;
   params.generations = 100000;
   params.budget.stop = &token;
-  const auto r = core::evolve(init, b.spec, params);
+  const auto r = run_evolve(init, b.spec, params);
   EXPECT_EQ(r.stop_reason, StopReason::kStopRequested);
   EXPECT_EQ(r.generations_run, 0u);
   EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
@@ -369,7 +385,7 @@ TEST(EvolveBudget, DeadlineStopsPromptly) {
   EvolveParams params;
   params.generations = 1000000000;
   params.budget.deadline_seconds = 0.15;
-  const auto r = core::evolve(init, b.spec, params);
+  const auto r = run_evolve(init, b.spec, params);
   EXPECT_EQ(r.stop_reason, StopReason::kTimeLimit);
   EXPECT_LT(r.seconds, 5.0);
 }
@@ -391,7 +407,7 @@ TEST(EvolveBudget, SigtermStopsCooperativelyViaSignalHandler) {
       std::raise(SIGTERM);
     }
   };
-  const auto r = core::evolve(init, b.spec, params);
+  const auto r = run_evolve(init, b.spec, params);
   ASSERT_TRUE(raised) << "run never improved; test premise broken";
   EXPECT_EQ(r.stop_reason, StopReason::kStopRequested);
   EXPECT_LT(r.generations_run, params.generations);
@@ -407,7 +423,7 @@ TEST(AnnealBudget, StopTokenAndDeadlineWork) {
   core::AnnealParams params;
   params.steps = 100000;
   params.budget.stop = &token;
-  const auto r = core::anneal(init, b.spec, params);
+  const auto r = run_anneal(init, b.spec, params);
   EXPECT_EQ(r.stop_reason, StopReason::kStopRequested);
   EXPECT_EQ(r.steps_run, 0u);
   EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
@@ -415,7 +431,7 @@ TEST(AnnealBudget, StopTokenAndDeadlineWork) {
   core::AnnealParams dp;
   dp.steps = 1000000000;
   dp.budget.deadline_seconds = 0.1;
-  const auto d = core::anneal(init, b.spec, dp);
+  const auto d = run_anneal(init, b.spec, dp);
   EXPECT_EQ(d.stop_reason, StopReason::kTimeLimit);
   EXPECT_LT(d.seconds, 5.0);
 }
@@ -430,7 +446,7 @@ TEST(Resume, KillAndResumeIsBitIdentical) {
   base.seed = 17;
 
   // Reference: the same run, never interrupted.
-  const auto ref = core::evolve(init, b.spec, base);
+  const auto ref = run_evolve(init, b.spec, base);
 
   // Part 1: stop at a generation boundary, leaving a checkpoint behind.
   const std::string path = temp_path("resume.ckpt");
@@ -438,7 +454,7 @@ TEST(Resume, KillAndResumeIsBitIdentical) {
   p1.checkpoint_path = path;
   p1.checkpoint_interval = 300;
   p1.budget.max_generations = 700;
-  const auto part1 = core::evolve(init, b.spec, p1);
+  const auto part1 = run_evolve(init, b.spec, p1);
   EXPECT_EQ(part1.stop_reason, StopReason::kGenerationBudget);
   EXPECT_EQ(part1.generations_run, 700u);
 
@@ -469,7 +485,7 @@ TEST(Resume, MidGenerationInterruptIsBitIdentical) {
   base.seed = 23;
   base.lambda = 4;
 
-  const auto ref = core::evolve(init, b.spec, base);
+  const auto ref = run_evolve(init, b.spec, base);
 
   // Interrupt inside generation 400's λ loop; the partial generation is
   // discarded and re-run after resume.
@@ -477,7 +493,7 @@ TEST(Resume, MidGenerationInterruptIsBitIdentical) {
   EvolveParams p1 = base;
   p1.checkpoint_path = path;
   p1.budget.max_evaluations = 1 + 4 * 400 + 3;
-  const auto part1 = core::evolve(init, b.spec, p1);
+  const auto part1 = run_evolve(init, b.spec, p1);
   EXPECT_EQ(part1.stop_reason, StopReason::kEvaluationBudget);
   EXPECT_EQ(part1.generations_run, 400u);
   EXPECT_EQ(part1.evaluations, 1u + 4u * 400u);
@@ -500,13 +516,13 @@ TEST(Resume, ChainOfInterruptionsStillMatches) {
   base.generations = 900;
   base.seed = 5;
 
-  const auto ref = core::evolve(init, b.spec, base);
+  const auto ref = run_evolve(init, b.spec, base);
 
   const std::string path = temp_path("chain.ckpt");
   EvolveParams p1 = base;
   p1.checkpoint_path = path;
   p1.budget.max_generations = 250;
-  (void)core::evolve(init, b.spec, p1);
+  (void)run_evolve(init, b.spec, p1);
 
   EvolveParams p2 = base;
   p2.budget.max_generations = 600;
@@ -529,7 +545,7 @@ TEST(Resume, MismatchedConfigurationIsRejected) {
   p.generations = 200;
   p.seed = 9;
   p.checkpoint_path = path;
-  (void)core::evolve(init, b.spec, p);
+  (void)run_evolve(init, b.spec, p);
 
   EvolveParams other = p;
   other.seed = 10;
@@ -550,7 +566,7 @@ TEST(Resume, CorruptedCheckpointFileNeverResumesSilently) {
   p.generations = 200;
   p.seed = 9;
   p.checkpoint_path = path;
-  (void)core::evolve(init, b.spec, p);
+  (void)run_evolve(init, b.spec, p);
 
   std::string text;
   {
@@ -576,9 +592,9 @@ TEST(Paranoia, EveryAcceptanceDoesNotPerturbTheSearch) {
   EvolveParams params;
   params.generations = 800;
   params.seed = 13;
-  const auto plain = core::evolve(init, b.spec, params);
+  const auto plain = run_evolve(init, b.spec, params);
   params.paranoia = robust::ParanoiaLevel::kEveryAcceptance;
-  const auto checked = core::evolve(init, b.spec, params);
+  const auto checked = run_evolve(init, b.spec, params);
   // Integrity checks draw nothing from the RNG: identical trajectory.
   EXPECT_EQ(checked.evaluations, plain.evaluations);
   EXPECT_EQ(checked.improvements, plain.improvements);

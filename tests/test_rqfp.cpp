@@ -255,41 +255,6 @@ TEST(Simulate, BatchValidatesPiCountWithContext) {
   }
 }
 
-// The legacy vector-of-vectors overload is deprecated but must keep
-// validating the whole batch up front with contextual messages.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Simulate, LegacyPatternsValidateCountUpFront) {
-  const auto net = single_and_netlist(); // 2 PIs
-  std::vector<std::vector<std::uint64_t>> patterns(3,
-                                                   std::vector<std::uint64_t>{
-                                                       0});
-  try {
-    simulate_patterns(net, patterns);
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& e) {
-    const std::string msg = e.what();
-    EXPECT_NE(msg.find("2 PIs"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("3 pattern rows"), std::string::npos) << msg;
-  }
-}
-
-TEST(Simulate, LegacyPatternsValidateRaggednessUpFront) {
-  const auto net = single_and_netlist();
-  std::vector<std::vector<std::uint64_t>> patterns(2);
-  patterns[0] = {1, 2};
-  patterns[1] = {3}; // ragged: row 1 has 1 word, row 0 has 2
-  try {
-    simulate_patterns(net, patterns);
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& e) {
-    const std::string msg = e.what();
-    EXPECT_NE(msg.find("ragged"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("row 1"), std::string::npos) << msg;
-  }
-}
-#pragma GCC diagnostic pop
-
 TEST(Simulate, DeltaMatchesFullSimulation) {
   // Mutate one gate's config and check the dirty-cone path reproduces the
   // full re-simulation bit-for-bit, then restores the cache.

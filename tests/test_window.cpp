@@ -3,13 +3,9 @@
 #include "benchmarks/benchmarks.hpp"
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
+#include "core/optimizer.hpp"
 #include "core/window.hpp"
 #include "rqfp/simulate.hpp"
-
-// window_optimize() is exercised directly on purpose — it remains
-// supported as a deprecated wrapper over the core::Optimizer
-// implementation.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace rcgp::core {
 namespace {
@@ -19,6 +15,22 @@ rqfp::Netlist init_netlist(const std::string& name) {
   FlowOptions opt;
   opt.run_cgp = false;
   return synthesize(b.spec, opt).initial;
+}
+
+/// Windowed sweep through the Optimizer facade (Algorithm::kWindow); the
+/// per-window (1+λ) parameters ride along in `params.evolve`.
+rqfp::Netlist run_window(const rqfp::Netlist& net,
+                         std::span<const tt::TruthTable> spec,
+                         const WindowParams& params, WindowStats* stats) {
+  OptimizerOptions oo;
+  oo.algorithm = Algorithm::kWindow;
+  oo.window = params;
+  oo.evolve = params.evolve;
+  const auto r = Optimizer(oo).run(net, spec);
+  if (stats != nullptr) {
+    *stats = r.window;
+  }
+  return r.best;
 }
 
 TEST(Window, ExtractCoversGatesAndBoundaries) {
@@ -81,7 +93,7 @@ TEST_P(WindowOptimize, PreservesFunctionAndNeverGrows) {
   params.evolve.generations = 1500;
   params.evolve.seed = 5;
   WindowStats stats;
-  const auto optimized = window_optimize(net, params, &stats);
+  const auto optimized = run_window(net, b.spec, params, &stats);
   EXPECT_EQ(optimized.validate(), "");
   EXPECT_TRUE(cec::sim_check(optimized, b.spec).all_match) << GetParam();
   EXPECT_LE(stats.gates_after, stats.gates_before);
@@ -95,6 +107,7 @@ INSTANTIATE_TEST_SUITE_P(Circuits, WindowOptimize,
 TEST(Window, ScalesToCircuitsTooWideForGlobalSimulation) {
   // Windowing never simulates the whole circuit, so it also works when
   // the global PI count would make exhaustive global tables expensive.
+  const auto b = benchmarks::get("hwb8");
   const auto net = init_netlist("hwb8");
   WindowParams params;
   params.window_gates = 10;
@@ -102,9 +115,8 @@ TEST(Window, ScalesToCircuitsTooWideForGlobalSimulation) {
   params.evolve.generations = 300;
   params.evolve.seed = 1;
   WindowStats stats;
-  const auto optimized = window_optimize(net, params, &stats);
+  const auto optimized = run_window(net, b.spec, params, &stats);
   EXPECT_EQ(optimized.validate(), "");
-  const auto b = benchmarks::get("hwb8");
   EXPECT_TRUE(cec::sim_check(optimized, b.spec).all_match);
 }
 
@@ -148,11 +160,11 @@ TEST(Window, MultiplePassesMonotone) {
   one.evolve.generations = 800;
   one.passes = 1;
   WindowStats s1;
-  const auto r1 = window_optimize(net, one, &s1);
+  const auto r1 = run_window(net, b.spec, one, &s1);
   WindowParams two = one;
   two.passes = 2;
   WindowStats s2;
-  const auto r2 = window_optimize(net, two, &s2);
+  const auto r2 = run_window(net, b.spec, two, &s2);
   EXPECT_LE(r2.num_gates(), r1.num_gates());
   EXPECT_TRUE(cec::sim_check(r2, b.spec).all_match);
 }
