@@ -2,7 +2,8 @@
 """Validates RCGP telemetry outputs (used by CI and local smoke runs).
 
 Usage:
-    check_telemetry.py --trace trace.jsonl [--metrics metrics.json]
+    check_telemetry.py [--trace trace.jsonl] [--metrics metrics.json]
+                       [--profile profile.json] [--prom metrics.prom]
 
 Checks performed:
   trace.jsonl
@@ -26,6 +27,19 @@ Checks performed:
       per-worker job counters sum exactly to the settled count, the worker
       gauge is >= 1, the running gauge is back to 0, and every per-worker
       utilization gauge is in [0, 1]
+  profile.json (Chrome trace-event / Perfetto format, from --profile-out)
+    - top level is {"traceEvents": [...]} with at least one event
+    - every event has a `ph` type; X (complete) events have a name and
+      numeric ts/dur >= 0
+    - X events on each tid nest properly: sorted by (ts asc, dur desc),
+      a child span never outlives the enclosing span on its thread
+    - span_id args are unique and span_parent references resolve to a
+      span on the same thread (or 0 for roots)
+  metrics.prom (Prometheus text exposition, from --prom-out)
+    - every non-comment line parses as `name{labels} value`
+    - every sample family is announced by a # TYPE line
+    - histogram buckets are cumulative (monotone in le order), the +Inf
+      bucket equals _count, and _sum/_count are present per histogram
 
 Exits non-zero with a message on the first violation.
 """
@@ -231,17 +245,215 @@ def check_batch_metrics(path: str, counters: dict, gauges: dict) -> None:
     )
 
 
+def check_profile(path: str) -> None:
+    """Chrome trace-event (Perfetto-loadable) span profile invariants."""
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(f"{path}: not valid JSON: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing top-level 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents is empty")
+
+    spans = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or "ph" not in ev:
+            fail(f"{path}: traceEvents[{i}] has no 'ph' event type")
+        if ev["ph"] != "X":
+            continue
+        for key in ("name", "ts", "dur", "tid"):
+            if key not in ev:
+                fail(f"{path}: X event [{i}] missing '{key}'")
+        ts, dur = ev["ts"], ev["dur"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: X event [{i}] ts {ts!r} is not a number >= 0")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            fail(f"{path}: X event [{i}] dur {dur!r} is not a number >= 0")
+        spans.append(ev)
+    if not spans:
+        fail(f"{path}: no X (complete) span events")
+
+    # Span identity: unique ids, parents resolve on the same thread.
+    tid_of = {}
+    for ev in spans:
+        sid = ev.get("args", {}).get("span_id")
+        if sid is not None:
+            if sid in tid_of:
+                fail(f"{path}: duplicate span_id {sid}")
+            tid_of[sid] = ev["tid"]
+    for ev in spans:
+        parent = ev.get("args", {}).get("span_parent", 0)
+        if parent == 0:
+            continue
+        if parent not in tid_of:
+            fail(f"{path}: span_parent {parent} references no exported span")
+        if tid_of[parent] != ev["tid"]:
+            fail(
+                f"{path}: span_parent {parent} is on tid {tid_of[parent]} "
+                f"but the child is on tid {ev['tid']}"
+            )
+
+    # Nesting balance per thread: children must end before their parents.
+    by_tid = {}
+    for ev in spans:
+        by_tid.setdefault(ev["tid"], []).append(ev)
+    for tid, tspans in sorted(by_tid.items()):
+        tspans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for ev in tspans:
+            end = ev["ts"] + ev["dur"]
+            while stack and ev["ts"] >= stack[-1]:
+                stack.pop()
+            if stack and end > stack[-1]:
+                fail(
+                    f"{path}: tid {tid}: span '{ev['name']}' "
+                    f"[{ev['ts']}, {end}) outlives its enclosing span "
+                    f"(ends {stack[-1]})"
+                )
+            stack.append(end)
+    print(
+        f"check_telemetry: {path}: {len(spans)} spans on "
+        f"{len(by_tid)} thread(s): OK"
+    )
+
+
+def check_prom(path: str) -> None:
+    """Prometheus text exposition format invariants."""
+    typed = {}
+    samples = []  # (family, labels-dict, value)
+    with open(path, "r", encoding="utf-8") as f:
+        for i, line in enumerate(f):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4 or parts[3] not in (
+                    "counter",
+                    "gauge",
+                    "histogram",
+                ):
+                    fail(f"{path}:{i + 1}: malformed TYPE line: {line}")
+                typed[parts[2]] = parts[3]
+                continue
+            if line.startswith("#"):
+                continue
+            name, labels, value = parse_prom_sample(path, i + 1, line)
+            samples.append((name, labels, value))
+    if not samples:
+        fail(f"{path}: no samples")
+
+    for name, _, _ in samples:
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                family = name[: -len(suffix)]
+                break
+        if family not in typed:
+            fail(f"{path}: sample '{name}' has no # TYPE announcement")
+
+    check_prom_histograms(path, typed, samples)
+    print(
+        f"check_telemetry: {path}: {len(samples)} samples in "
+        f"{len(typed)} families: OK"
+    )
+
+
+def parse_prom_sample(path: str, lineno: int, line: str):
+    """Parses `name{k="v",...} value` into (name, labels, float)."""
+    rest = line
+    labels = {}
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        if "}" not in rest:
+            fail(f"{path}:{lineno}: unterminated label set: {line}")
+        label_str, rest = rest.split("}", 1)
+        for item in label_str.split(","):
+            if not item:
+                continue
+            if "=" not in item:
+                fail(f"{path}:{lineno}: malformed label '{item}'")
+            k, v = item.split("=", 1)
+            if len(v) < 2 or v[0] != '"' or v[-1] != '"':
+                fail(f"{path}:{lineno}: label value not quoted: {item}")
+            labels[k] = v[1:-1]
+    else:
+        parts = line.split(None, 1)
+        if len(parts) != 2:
+            fail(f"{path}:{lineno}: sample has no value: {line}")
+        name, rest = parts
+    try:
+        value = float(rest.strip())
+    except ValueError:
+        fail(f"{path}:{lineno}: sample value is not a number: {line}")
+    if not name.startswith("rcgp_"):
+        fail(f"{path}:{lineno}: sample '{name}' lacks the rcgp_ prefix")
+    return name, labels, value
+
+
+def check_prom_histograms(path: str, typed: dict, samples: list) -> None:
+    """Cumulative bucket monotonicity and +Inf == _count per histogram."""
+    for family, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = []
+        total = None
+        has_sum = False
+        for name, labels, value in samples:
+            if name == family + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    fail(f"{path}: {family}_bucket sample without 'le' label")
+                bound = float("inf") if le == "+Inf" else float(le)
+                buckets.append((bound, value))
+            elif name == family + "_count":
+                total = value
+            elif name == family + "_sum":
+                has_sum = True
+        if not buckets or total is None or not has_sum:
+            fail(f"{path}: histogram {family} missing bucket/_sum/_count")
+        buckets.sort(key=lambda b: b[0])
+        prev = 0.0
+        for bound, value in buckets:
+            if value < prev:
+                fail(
+                    f"{path}: {family} bucket le={bound} count {value} "
+                    f"is below the previous bucket ({prev}); buckets must "
+                    f"be cumulative"
+                )
+            prev = value
+        if buckets[-1][0] != float("inf"):
+            fail(f"{path}: histogram {family} has no le=\"+Inf\" bucket")
+        if buckets[-1][1] != total:
+            fail(
+                f"{path}: {family} +Inf bucket {buckets[-1][1]} != "
+                f"_count {total}"
+            )
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--trace", help="JSONL evolution trace to validate")
     ap.add_argument("--metrics", help="metrics JSON to validate")
+    ap.add_argument("--profile", help="Chrome trace-event profile to validate")
+    ap.add_argument("--prom", help="Prometheus text exposition to validate")
     args = ap.parse_args()
-    if not args.trace and not args.metrics:
-        ap.error("nothing to check: pass --trace and/or --metrics")
+    if not (args.trace or args.metrics or args.profile or args.prom):
+        ap.error(
+            "nothing to check: pass --trace, --metrics, --profile, "
+            "and/or --prom"
+        )
     if args.trace:
         check_trace(args.trace)
     if args.metrics:
         check_metrics(args.metrics)
+    if args.profile:
+        check_profile(args.profile)
+    if args.prom:
+        check_prom(args.prom)
 
 
 if __name__ == "__main__":

@@ -13,6 +13,8 @@
 #include "core/flow.hpp"
 #include "io/io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
 #include "robust/integrity.hpp"
 
 namespace rcgp::batch {
@@ -72,6 +74,10 @@ JobExecution run_flow_job(const Job& job, const JobContext& ctx,
   exec.verified = cec::sim_check(r.optimized, spec).all_match;
   return exec;
 }
+
+// Per-job wall seconds: sub-second smoke jobs through hour-scale runs.
+constexpr double kJobSecondsBounds[] = {0.01, 0.03, 0.1,   0.3,   1.0,  3.0,
+                                        10.0, 30.0, 100.0, 300.0, 1000.0};
 
 struct BatchMetrics {
   obs::Counter& queued = obs::registry().counter("batch.jobs.queued");
@@ -168,7 +174,11 @@ BatchSummary run_batch(const Manifest& manifest,
   std::vector<char> has_record(queue.size(), 0);
   std::atomic<std::size_t> next{0};
 
+  obs::Histogram& job_seconds =
+      obs::registry().histogram("batch.job.seconds", kJobSecondsBounds);
+
   auto worker_body = [&](unsigned w) {
+    obs::set_thread_name("batch-worker-" + std::to_string(w));
     obs::Counter& worker_jobs = obs::registry().counter(
         "batch.worker" + std::to_string(w) + ".jobs");
     obs::Gauge& worker_busy = obs::registry().gauge(
@@ -179,6 +189,8 @@ BatchSummary run_batch(const Manifest& manifest,
         return;
       }
       const Job& job = *queue[idx];
+      obs::Span job_span("batch.job");
+      job_span.arg("id", job.id).arg("worker", w).arg("circuit", job.circuit);
       const std::string ckpt = options.checkpoint_interval != 0 &&
                                        job.algorithm ==
                                            core::Algorithm::kEvolve
@@ -260,7 +272,21 @@ BatchSummary run_batch(const Manifest& manifest,
       }
       worker_jobs.inc();
       worker_busy.add(rec.seconds);
+      job_seconds.observe(rec.seconds);
       metrics.running.add(-1.0);
+      if (options.trace) {
+        options.trace->event("batch_job")
+            .field("id", rec.id)
+            .field("worker", rec.worker)
+            .field("attempts", rec.attempts)
+            .field("seconds", rec.seconds)
+            .field("ok", rec.ok)
+            .field("final", rec.final_record)
+            .field("stop_reason", rec.stop_reason)
+            .field("n_r", rec.n_r)
+            .field("n_b", rec.n_b)
+            .field("jjs", rec.jjs);
+      }
       produced[idx] = rec;
       has_record[idx] = 1;
       if (options.on_record) {

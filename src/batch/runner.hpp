@@ -11,6 +11,10 @@
 #include "rqfp/cost.hpp"
 #include "rqfp/netlist.hpp"
 
+namespace rcgp::obs {
+class TraceSink;
+}
+
 namespace rcgp::batch {
 
 /// Scheduling facts handed to the job executor alongside the job itself.
@@ -73,6 +77,10 @@ struct BatchOptions {
   /// λ-parallel evaluation threads inside each job. Kept at 1 by default:
   /// batch parallelism comes from sharding jobs, not from splitting one.
   unsigned threads_per_job = 1;
+  /// Optional structured trace: one `batch_job` event per settled job
+  /// (worker/attempt/cost attribution) and a final `batch_end` summary.
+  /// The sink must outlive run_batch. Not owned.
+  obs::TraceSink* trace = nullptr;
   JobExecutor executor;                         ///< test hook
   std::function<void(const JobRecord&)> on_record; ///< after each append
 };

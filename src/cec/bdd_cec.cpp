@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace rcgp::cec {
 
@@ -53,6 +54,8 @@ BddCecResult bdd_check(const rqfp::Netlist& net,
   if (spec.size() != net.num_pos()) {
     throw std::invalid_argument("bdd_check: PO count mismatch");
   }
+  obs::Span span("cec.bdd");
+  span.arg("mode", "spec").arg("gates", net.num_gates());
   count_bdd_check();
   bdd::Manager manager(net.num_pis());
   const auto lhs = build_bdds(manager, net);
@@ -77,6 +80,8 @@ BddCecResult bdd_check(const rqfp::Netlist& a, const rqfp::Netlist& b) {
   if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
     throw std::invalid_argument("bdd_check: interface mismatch");
   }
+  obs::Span span("cec.bdd");
+  span.arg("mode", "miter").arg("gates", a.num_gates() + b.num_gates());
   count_bdd_check();
   bdd::Manager manager(a.num_pis());
   const auto lhs = build_bdds(manager, a);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "tt/isop.hpp"
 
 namespace rcgp::cec {
@@ -127,6 +128,8 @@ SatCecResult sat_check(const rqfp::Netlist& net,
   if (spec.size() != net.num_pos()) {
     throw std::invalid_argument("sat_check: PO count mismatch");
   }
+  obs::Span span("cec.sat");
+  span.arg("mode", "spec").arg("gates", net.num_gates());
   sat::Solver solver;
   sat::CnfBuilder builder(solver);
   std::vector<sat::Lit> pis;
@@ -148,6 +151,8 @@ SatCecResult sat_check(const rqfp::Netlist& a, const rqfp::Netlist& b,
   if (a.num_pis() != b.num_pis() || a.num_pos() != b.num_pos()) {
     throw std::invalid_argument("sat_check: interface mismatch");
   }
+  obs::Span span("cec.sat");
+  span.arg("mode", "miter").arg("gates", a.num_gates() + b.num_gates());
   sat::Solver solver;
   sat::CnfBuilder builder(solver);
   std::vector<sat::Lit> pis;

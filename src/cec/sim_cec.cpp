@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "rqfp/simulate.hpp"
 
 namespace rcgp::cec {
@@ -65,6 +66,10 @@ SimResult sim_check_random(const rqfp::Netlist& a, const rqfp::Netlist& b,
   static obs::Counter& c_checks =
       obs::registry().counter("cec.sim_random_checks");
   c_checks.inc();
+  // sim_check / sim_check_delta are the per-offspring fitness hot path and
+  // stay span-free; this random-vector CEC entry runs per verification.
+  obs::Span span("cec.sim");
+  span.arg("words", static_cast<std::uint64_t>(num_words));
   rqfp::SimBatch patterns(a.num_pis(), num_words);
   for (std::size_t i = 0; i < patterns.rows(); ++i) {
     for (std::size_t w = 0; w < num_words; ++w) {

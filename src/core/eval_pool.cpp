@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 
@@ -20,6 +21,7 @@ struct EvalPool::Scratch {
   rqfp::CostCache cost;
   bool cache_valid = false;
   double busy_seconds = 0.0;
+  unsigned index = 0;
   obs::Counter* evals = nullptr;
 };
 
@@ -39,6 +41,10 @@ obs::Counter& pool_updates() {
       obs::registry().counter("evolve.pool.cache_updates");
   return c;
 }
+
+// λ-generation wall seconds: sub-ms through tens of seconds.
+constexpr double kGenerationSecondsBounds[] = {
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0};
 
 } // namespace
 
@@ -63,6 +69,7 @@ EvalPool::EvalPool(unsigned threads) : threads_(threads) {
   scratch_.reserve(threads_);
   for (unsigned i = 0; i < threads_; ++i) {
     auto s = std::make_unique<Scratch>();
+    s->index = i;
     s->evals = &obs::registry().counter("evolve.pool.worker" +
                                         std::to_string(i) + ".evals");
     scratch_.push_back(std::move(s));
@@ -93,6 +100,7 @@ double EvalPool::utilization() const {
 }
 
 void EvalPool::worker_main(unsigned index) {
+  obs::set_thread_name("eval-worker-" + std::to_string(index));
   std::uint64_t seen = 0;
   for (;;) {
     const EvalJob* job = nullptr;
@@ -125,6 +133,12 @@ void EvalPool::worker_main(unsigned index) {
 
 void EvalPool::run_tasks(Scratch& scratch, const EvalJob& job,
                          OffspringResult* out) {
+  // One span per worker per generation: the Perfetto timeline shows each
+  // worker's busy stretch, which is exactly the utilization picture.
+  obs::Span span("eval.generation");
+  span.arg("worker", scratch.index)
+      .arg("gen", job.generation)
+      .arg("lambda", job.lambda);
   util::Stopwatch watch;
   const unsigned lambda = job.lambda;
   for (;;) {
@@ -226,12 +240,16 @@ bool EvalPool::evaluate_generation(const EvalJob& job,
       out_ = nullptr;
     }
   }
-  span_seconds_ += watch.seconds();
+  const double gen_seconds = watch.seconds();
+  span_seconds_ += gen_seconds;
   busy_seconds_ = 0.0;
   for (const auto& s : scratch_) {
     busy_seconds_ += s->busy_seconds;
   }
   obs::registry().gauge("evolve.pool.utilization").set(utilization());
+  static obs::Histogram& h_generation = obs::registry().histogram(
+      "evolve.generation.seconds", kGenerationSecondsBounds);
+  h_generation.observe(gen_seconds);
   return !aborted_.load(std::memory_order_relaxed);
 }
 

@@ -67,32 +67,32 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
   // Phase 1: conventional logic synthesis (ABC resyn2 stand-in).
   aig::Aig net = input.cleanup();
   if (options.run_aig_optimization && !stopped()) {
-    obs::PhaseTimer timer("aig-opt");
+    obs::PhaseSpan timer("aig-opt");
     net = aig::resyn2(net);
   }
   if (options.run_fraig && !stopped()) {
-    obs::PhaseTimer timer("fraig");
+    obs::PhaseSpan timer("fraig");
     net = aig::fraig(net);
   }
 
   // Phase 2: AQFP-oriented majority logic (aqfp_resynthesis stand-in).
   mig::Mig m = [&] {
-    obs::PhaseTimer timer("mig-map");
+    obs::PhaseSpan timer("mig-map");
     return mig::mig_from_aig(net);
   }();
   if (options.run_mig_optimization && !stopped()) {
-    obs::PhaseTimer timer("mig-opt");
+    obs::PhaseSpan timer("mig-opt");
     m = mig::optimize_mig(m);
   }
 
   // Phase 3: direct RQFP conversion + splitter insertion → the
   // initialization baseline.
   {
-    obs::PhaseTimer timer("rqfp-map");
+    obs::PhaseSpan timer("rqfp-map");
     rqfp::MapOptions map_options;
     map_options.pack_shared_fanins = options.pack_shared_fanins;
     rqfp::Netlist raw = rqfp::map_from_mig(m, nullptr, map_options);
-    obs::PhaseTimer splitter_timer("splitter");
+    obs::PhaseSpan splitter_timer("splitter");
     result.initial = rqfp::insert_splitters(raw);
   }
   const std::string problem = result.initial.validate();
@@ -104,14 +104,14 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
 
   // Phase 4: CGP-based optimization against the exact specification.
   const auto spec = [&] {
-    obs::PhaseTimer timer("spec-sim");
+    obs::PhaseSpan timer("spec-sim");
     return aig::simulate(net);
   }();
   if (options.evolve.paranoia >= robust::ParanoiaLevel::kBoundaries) {
     robust::enforce_integrity(result.initial, spec, "flow:initial");
   }
   if (options.run_cgp && !stopped()) {
-    obs::PhaseTimer timer("cgp");
+    obs::PhaseSpan timer("cgp");
     OptimizerOptions oo;
     oo.algorithm = options.optimizer;
     oo.evolve = options.evolve;
@@ -138,7 +138,7 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
     result.optimized = result.initial;
   }
   if (options.run_exact_polish && !stopped()) {
-    obs::PhaseTimer timer("exact-polish");
+    obs::PhaseSpan timer("exact-polish");
     ExactPolishParams polish;
     polish.budget = options.evolve.budget;
     if (options.limits.stop) {
@@ -153,7 +153,7 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
     robust::enforce_integrity(result.optimized, spec, "flow:optimized");
   }
   {
-    obs::PhaseTimer timer("cost");
+    obs::PhaseSpan timer("cost");
     result.optimized_cost = rqfp::cost_of(result.optimized, options.schedule);
   }
   result.seconds_total = watch.seconds();

@@ -334,6 +334,188 @@ bool validate(std::string_view text) {
   return p.eof();
 }
 
+// ---------------------------------------------------------------------------
+// Materializing parser (piggybacks on Parser for token scanning).
+
+struct ValueParser {
+  Parser p;
+
+  bool value(Value& out) {
+    if (++p.depth > Parser::kMaxDepth) {
+      return false;
+    }
+    p.skip_ws();
+    if (p.eof()) {
+      return false;
+    }
+    bool ok = false;
+    switch (p.peek()) {
+      case '{': ok = object(out); break;
+      case '[': ok = array(out); break;
+      case '"': {
+        out.kind_ = Value::Kind::kString;
+        ok = string(out.string_);
+        break;
+      }
+      case 't':
+        out.kind_ = Value::Kind::kBool;
+        out.bool_ = true;
+        ok = p.literal("true");
+        break;
+      case 'f':
+        out.kind_ = Value::Kind::kBool;
+        out.bool_ = false;
+        ok = p.literal("false");
+        break;
+      case 'n':
+        out.kind_ = Value::Kind::kNull;
+        ok = p.literal("null");
+        break;
+      default: {
+        out.kind_ = Value::Kind::kNumber;
+        const std::size_t start = p.pos;
+        ok = p.parse_number();
+        if (ok) {
+          out.number_ =
+              std::strtod(std::string(p.s.substr(start, p.pos - start)).c_str(),
+                          nullptr);
+        }
+        break;
+      }
+    }
+    --p.depth;
+    return ok;
+  }
+
+  bool string(std::string& out) {
+    const std::size_t start = p.pos;
+    if (!p.parse_string()) {
+      return false;
+    }
+    const std::string_view raw = p.s.substr(start + 1, p.pos - start - 2);
+    out.clear();
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      char c = raw[i];
+      if (c == '\\' && i + 1 < raw.size()) {
+        const char e = raw[++i];
+        switch (e) {
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            // Decode only the Latin-1 subset; anything above U+00FF keeps
+            // a '?' placeholder (report inputs are ASCII in practice).
+            unsigned code = 0;
+            for (int k = 0; k < 4 && i + 1 < raw.size(); ++k) {
+              code = code * 16 +
+                     (std::isdigit(static_cast<unsigned char>(raw[i + 1]))
+                          ? static_cast<unsigned>(raw[i + 1] - '0')
+                          : static_cast<unsigned>(
+                                std::tolower(raw[i + 1]) - 'a' + 10));
+              ++i;
+            }
+            c = code <= 0xFF ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: c = e; break; // '"', '\\', '/'
+        }
+      }
+      out += c;
+    }
+    return true;
+  }
+
+  bool object(Value& out) {
+    out.kind_ = Value::Kind::kObject;
+    p.consume('{');
+    p.skip_ws();
+    if (p.consume('}')) {
+      return true;
+    }
+    while (true) {
+      p.skip_ws();
+      std::string key;
+      if (!string(key)) {
+        return false;
+      }
+      p.skip_ws();
+      if (!p.consume(':')) {
+        return false;
+      }
+      Value member;
+      if (!value(member)) {
+        return false;
+      }
+      out.members_.emplace_back(std::move(key), std::move(member));
+      p.skip_ws();
+      if (p.consume('}')) {
+        return true;
+      }
+      if (!p.consume(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool array(Value& out) {
+    out.kind_ = Value::Kind::kArray;
+    p.consume('[');
+    p.skip_ws();
+    if (p.consume(']')) {
+      return true;
+    }
+    while (true) {
+      Value item;
+      if (!value(item)) {
+        return false;
+      }
+      out.items_.push_back(std::move(item));
+      p.skip_ws();
+      if (p.consume(']')) {
+        return true;
+      }
+      if (!p.consume(',')) {
+        return false;
+      }
+    }
+  }
+};
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+double Value::number_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v && v->is_number() ? v->as_number() : fallback;
+}
+
+std::string Value::string_or(std::string_view key,
+                             std::string fallback) const {
+  const Value* v = find(key);
+  return v && v->is_string() ? v->as_string() : fallback;
+}
+
+std::optional<Value> parse(std::string_view text) {
+  ValueParser vp{Parser{text}};
+  Value out;
+  if (!vp.value(out)) {
+    return std::nullopt;
+  }
+  vp.p.skip_ws();
+  if (!vp.p.eof()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
 std::optional<double> number_field(std::string_view doc,
                                    std::string_view key) {
   auto at = find_key(doc, key);

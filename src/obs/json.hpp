@@ -58,6 +58,50 @@ private:
 /// descent, no value materialization). Used by tests and trace re-parsing.
 bool validate(std::string_view text);
 
+/// Materialized JSON value — the read side of Writer, used by the
+/// `rcgp report` tool to ingest exported traces, profiles, and metrics.
+/// Objects keep member order; lookup is a linear scan (documents here are
+/// small and mostly flat).
+class Value {
+public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Member lookup on an object (nullptr when absent or not an object).
+  const Value* find(std::string_view key) const;
+  /// Convenience accessors with defaults for flat records.
+  double number_or(std::string_view key, double fallback) const;
+  std::string string_or(std::string_view key, std::string fallback) const;
+
+private:
+  friend std::optional<Value> parse(std::string_view text);
+  friend struct ValueParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses exactly one JSON value (nullopt on malformed input). Accepts
+/// the same grammar `validate` accepts.
+std::optional<Value> parse(std::string_view text);
+
 /// Extracts the first `"key": <number>` pair from a flat scan of a JSON
 /// document. Intended for tests and light trace post-processing; does not
 /// handle keys nested inside strings.

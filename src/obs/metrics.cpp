@@ -1,6 +1,8 @@
 #include "obs/metrics.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "obs/json.hpp"
 
@@ -21,6 +23,49 @@ void Histogram::observe(double v) {
   while (!sum_.compare_exchange_weak(cur, cur + v,
                                      std::memory_order_relaxed)) {
   }
+}
+
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> counts,
+                             double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) {
+    total += c;
+  }
+  if (total == 0 || counts.size() != bounds.size() + 1) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cum + in_bucket < rank && i + 1 < counts.size()) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i == bounds.size()) {
+      // Overflow bucket has no finite upper edge; report the largest
+      // finite bound (the Prometheus histogram_quantile convention).
+      return bounds.empty() ? std::numeric_limits<double>::quiet_NaN()
+                            : bounds.back();
+    }
+    const double upper = bounds[i];
+    double lower = i == 0 ? std::min(0.0, upper) : bounds[i - 1];
+    if (in_bucket <= 0.0) {
+      return upper;
+    }
+    return lower + (upper - lower) * (rank - cum) / in_bucket;
+  }
+  return bounds.back();
+}
+
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> counts(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return quantile_from_buckets(bounds_, counts, q);
 }
 
 void Histogram::reset() {
@@ -108,6 +153,121 @@ bool Registry::write_json(const std::string& path) const {
   }
   const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
                   std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  return ok;
+}
+
+namespace {
+
+/// `rcgp_` prefix + every non-alphanumeric character mapped to '_' — the
+/// Prometheus metric-name grammar ([a-zA-Z_:][a-zA-Z0-9_:]*).
+std::string prom_name(std::string_view name) {
+  std::string out = "rcgp_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string prom_label_value(std::string_view v) {
+  std::string out;
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Splits `base{x}` into (base, x); no-brace names return (name, "").
+std::pair<std::string_view, std::string_view> split_label(
+    std::string_view name) {
+  const auto open = name.find('{');
+  if (open == std::string_view::npos || name.back() != '}') {
+    return {name, {}};
+  }
+  return {name.substr(0, open),
+          name.substr(open + 1, name.size() - open - 2)};
+}
+
+void append_prom_value(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+  } else if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+  } else {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+  }
+}
+
+} // namespace
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " counter\n";
+    out += pn + " " + std::to_string(c->value()) + "\n";
+  }
+  // Labeled gauges (`phase_seconds{cgp}`) share one family per base name;
+  // the map's lexicographic order keeps a family's samples contiguous, so
+  // one TYPE line per first-seen base suffices.
+  std::string last_family;
+  for (const auto& [name, g] : gauges_) {
+    const auto [base, label] = split_label(name);
+    const std::string pn = prom_name(base);
+    if (pn != last_family) {
+      out += "# TYPE " + pn + " gauge\n";
+      last_family = pn;
+    }
+    out += pn;
+    if (!label.empty()) {
+      out += "{phase=\"" + prom_label_value(label) + "\"}";
+    }
+    out += ' ';
+    append_prom_value(out, g->value());
+    out += '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pn = prom_name(name);
+    out += "# TYPE " + pn + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      cum += h->bucket_count(i);
+      out += pn + "_bucket{le=\"";
+      if (i < h->bounds().size()) {
+        append_prom_value(out, h->bound(i));
+      } else {
+        out += "+Inf";
+      }
+      out += "\"} " + std::to_string(cum) + "\n";
+    }
+    out += pn + "_sum ";
+    append_prom_value(out, h->sum());
+    out += '\n';
+    // `cum` rather than h->count(): keeps `_count` equal to the +Inf
+    // bucket even when a snapshot races concurrent observations.
+    out += pn + "_count " + std::to_string(cum) + "\n";
+  }
+  return out;
+}
+
+bool Registry::write_prometheus(const std::string& path) const {
+  const std::string doc = to_prometheus();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
   std::fclose(f);
   return ok;
 }

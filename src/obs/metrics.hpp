@@ -51,6 +51,11 @@ public:
 
   void observe(double v);
 
+  /// Estimated q-quantile (q in [0, 1]) with linear interpolation inside
+  /// the bucket the rank falls in (see quantile_from_buckets). NaN while
+  /// the histogram is empty.
+  double quantile(double q) const;
+
   std::size_t num_buckets() const { return buckets_.size(); } // bounds + inf
   double bound(std::size_t i) const { return bounds_[i]; }    // i < bounds
   std::uint64_t bucket_count(std::size_t i) const {
@@ -67,6 +72,18 @@ private:
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
+
+/// Quantile estimate over fixed-bucket histogram data: `bounds` are the
+/// ascending inclusive upper bounds, `counts` the per-bucket observation
+/// counts (`bounds.size() + 1` entries, last = overflow). The rank
+/// `q * total` is located in its bucket and linearly interpolated between
+/// the bucket's edges (the first bucket interpolates from 0 when its bound
+/// is positive, Prometheus-style); a rank in the overflow bucket returns
+/// the largest finite bound. Returns NaN when `counts` sum to zero.
+/// Shared by Histogram::quantile and the `rcgp report` tool, which
+/// re-derives quantiles from exported snapshots.
+double quantile_from_buckets(std::span<const double> bounds,
+                             std::span<const std::uint64_t> counts, double q);
 
 /// Process-wide metrics registry. Registration (first lookup of a name)
 /// takes a mutex; the returned reference is stable for the process
@@ -85,6 +102,16 @@ public:
   /// Writes to_json() (plus a trailing newline) to `path`; false on I/O
   /// failure.
   bool write_json(const std::string& path) const;
+
+  /// Snapshot of every metric in the Prometheus text exposition format
+  /// (one scrapeable document). Names are prefixed `rcgp_` and sanitized
+  /// (non-alphanumerics become '_'); gauge names of the form `base{x}`
+  /// (the flow phase gauges) become `rcgp_base{phase="x"}` label families;
+  /// histogram buckets are emitted cumulatively with the standard
+  /// `_bucket{le=...}` / `_sum` / `_count` series.
+  std::string to_prometheus() const;
+  /// Writes to_prometheus() to `path`; false on I/O failure.
+  bool write_prometheus(const std::string& path) const;
 
   /// Zeroes every metric value. Addresses stay valid (tests and benches
   /// use this between runs; cached references in hot loops survive).

@@ -6,7 +6,7 @@ namespace rcgp::obs {
 
 namespace {
 thread_local PhaseCollector* t_collector = nullptr;
-thread_local PhaseTimer* t_top_timer = nullptr;
+thread_local PhaseSpan* t_top_span = nullptr;
 } // namespace
 
 PhaseCollector::PhaseCollector() : prev_(t_collector) { t_collector = this; }
@@ -25,7 +25,8 @@ double PhaseCollector::top_level_seconds() const {
   return sum;
 }
 
-PhaseTimer::PhaseTimer(std::string_view name) : parent_(t_top_timer) {
+PhaseSpan::PhaseSpan(std::string_view name)
+    : span_(name), parent_(t_top_span) {
   if (parent_) {
     depth_ = parent_->depth_ + 1;
     path_ = parent_->path_;
@@ -35,12 +36,12 @@ PhaseTimer::PhaseTimer(std::string_view name) : parent_(t_top_timer) {
     depth_ = 0;
     path_ = name;
   }
-  t_top_timer = this;
+  t_top_span = this;
 }
 
-PhaseTimer::~PhaseTimer() {
+PhaseSpan::~PhaseSpan() {
   const double s = watch_.seconds();
-  t_top_timer = parent_;
+  t_top_span = parent_;
   if (t_collector) {
     t_collector->records_.push_back({path_, s, depth_});
   }

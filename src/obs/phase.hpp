@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rcgp::obs {
@@ -16,7 +17,7 @@ struct PhaseRecord {
 };
 
 /// Thread-local collector for phase timings. Installing one (stack
-/// allocation) makes every PhaseTimer on the same thread report into it;
+/// allocation) makes every PhaseSpan on the same thread report into it;
 /// collectors nest, restoring the previous one on destruction. The flow
 /// driver uses this to attach a per-phase breakdown to FlowResult.
 class PhaseCollector {
@@ -35,21 +36,24 @@ public:
   static PhaseCollector* current();
 
 private:
-  friend class PhaseTimer;
+  friend class PhaseSpan;
   std::vector<PhaseRecord> records_;
   PhaseCollector* prev_;
 };
 
-/// RAII scoped phase timer. Timers nest (a timer constructed while another
-/// is alive on the same thread gets path "outer/inner"). On destruction the
-/// measurement is appended to the active PhaseCollector (if any) and
-/// accumulated into the registry gauge `phase_seconds{<path>}`.
-class PhaseTimer {
+/// RAII scoped phase span: the flow-phase flavor of obs::Span. Phase spans
+/// nest (one constructed while another is alive on the same thread gets
+/// path "outer/inner"). On destruction the measurement is appended to the
+/// active PhaseCollector (if any) and accumulated into the registry gauge
+/// `phase_seconds{<path>}`; while profiling is enabled the scope is also
+/// recorded as a profiler span (the embedded obs::Span), so flow phases
+/// show up on the Perfetto timeline without separate plumbing.
+class PhaseSpan {
 public:
-  explicit PhaseTimer(std::string_view name);
-  ~PhaseTimer();
-  PhaseTimer(const PhaseTimer&) = delete;
-  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  explicit PhaseSpan(std::string_view name);
+  ~PhaseSpan();
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
 
   double seconds() const { return watch_.seconds(); }
   const std::string& path() const { return path_; }
@@ -57,9 +61,10 @@ public:
 
 private:
   std::string path_;
+  Span span_; // profiler record (inert while profiling is disabled)
   util::Stopwatch watch_;
   int depth_;
-  PhaseTimer* parent_;
+  PhaseSpan* parent_;
 };
 
 } // namespace rcgp::obs

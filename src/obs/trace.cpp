@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include "obs/span.hpp"
 #include "util/log.hpp"
 
 namespace rcgp::obs {
@@ -29,6 +30,7 @@ TraceEvent::TraceEvent(TraceSink* sink, std::string_view type,
   w_.begin_object();
   w_.field("event", type);
   w_.field("seq", seq);
+  w_.field("t_ms", static_cast<double>(profile_now_us()) / 1000.0);
 }
 
 TraceEvent::TraceEvent(TraceEvent&& other) noexcept

@@ -14,8 +14,10 @@ namespace rcgp::obs {
 class TraceSink;
 
 /// One event under construction. Writes itself to the sink as a single
-/// JSONL line on destruction. Every event carries `event` (the type), and
-/// `seq` (a per-sink sequence number).
+/// JSONL line on destruction. Every event carries `event` (the type),
+/// `seq` (a per-sink sequence number), and `t_ms` (milliseconds since the
+/// process-wide steady-clock epoch — the same timebase as the span
+/// profiler, so JSONL traces align with Perfetto profiles).
 class TraceEvent {
 public:
   TraceEvent(TraceEvent&& other) noexcept;

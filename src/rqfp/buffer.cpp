@@ -2,9 +2,25 @@
 
 #include <algorithm>
 
+#include "obs/span.hpp"
+
 namespace rcgp::rqfp {
 
 namespace {
+
+const char* schedule_name(BufferSchedule s) {
+  switch (s) {
+  case BufferSchedule::kAsap:
+    return "asap";
+  case BufferSchedule::kAlap:
+    return "alap";
+  case BufferSchedule::kBest:
+    return "best";
+  case BufferSchedule::kOptimized:
+    return "optimized";
+  }
+  return "?";
+}
 
 /// True when gate g participates in the schedule. A null mask means every
 /// gate does (the historical plan_buffers semantics for raw netlists).
@@ -310,6 +326,9 @@ std::int64_t BufferScheduler::optimized_levels(
 }
 
 BufferPlan BufferScheduler::plan(const Netlist& net, BufferSchedule schedule) {
+  obs::Span span("buffer.plan");
+  span.arg("schedule", schedule_name(schedule))
+      .arg("gates", net.num_gates());
   net.gate_levels(asap_);
   const std::uint32_t depth = net.depth(asap_);
   switch (schedule) {

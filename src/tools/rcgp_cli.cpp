@@ -15,7 +15,18 @@
 // Observability (see docs/OBSERVABILITY.md):
 //   synth --trace-out=t.jsonl    JSONL evolution trace (one event/line)
 //   synth --metrics-out=m.json   metrics registry + per-phase wall times
+//   synth --profile-out=p.json   span profile as Chrome trace-event JSON
+//                                (loadable in ui.perfetto.dev)
+//   synth --prom-out=m.prom      Prometheus text exposition snapshot
+//   synth --metrics-snapshot-every=SECONDS
+//                                periodic atomic re-export of --metrics-out
+//                                and --prom-out while the run is live
 //   synth --progress             live improvements on stderr
+//   batch                        same --trace-out/--metrics-out/--profile-out/
+//                                --prom-out/--metrics-snapshot-every surface
+//   report --profile= --trace= --metrics=
+//                                human-readable run report from any subset
+//                                of the exported artifacts
 //   stats/cec --json             machine-readable records on stdout
 //
 // Parallelism (see docs/PARALLELISM.md):
@@ -37,6 +48,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -54,6 +66,9 @@
 #include "io/rqfp_writer.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "robust/integrity.hpp"
 #include "robust/stop.hpp"
@@ -75,6 +90,75 @@ bool opt_value(const std::string& arg, const char* name, std::string& value) {
   }
   return false;
 }
+
+/// Shared --profile-out / --prom-out / --metrics-snapshot-every surface of
+/// the synth and batch subcommands: span profiling around the run, a
+/// Prometheus text snapshot after it, and an optional periodic snapshot
+/// writer while it is live.
+struct ProfileFlags {
+  std::string profile_path;
+  std::string prom_path;
+  double snapshot_every = 0.0;
+
+  bool parse(const std::string& arg) {
+    std::string v;
+    if (opt_value(arg, "--profile-out", profile_path) ||
+        opt_value(arg, "--prom-out", prom_path)) {
+      return true;
+    }
+    if (opt_value(arg, "--metrics-snapshot-every", v)) {
+      snapshot_every = std::stod(v);
+      return true;
+    }
+    return false;
+  }
+
+  /// Call before the run: turns the span profiler on and starts the
+  /// periodic snapshotter (which re-exports `metrics_path` as a bare
+  /// registry document and `prom_path` as Prometheus text).
+  void begin(const std::string& metrics_path) {
+    if (!profile_path.empty()) {
+      obs::set_thread_name("main");
+      obs::set_profiling_enabled(true);
+    }
+    if (snapshot_every > 0.0 &&
+        (!metrics_path.empty() || !prom_path.empty())) {
+      snapshotter_ = std::make_unique<obs::MetricsSnapshotter>(
+          obs::MetricsSnapshotter::Options{metrics_path, prom_path,
+                                           snapshot_every});
+    }
+  }
+
+  /// Call after the run: stops the snapshotter (one final snapshot — the
+  /// caller's own final metrics write may then overwrite it with a richer
+  /// document) and writes the profile and Prometheus outputs. Returns
+  /// false on an I/O failure, with the message already printed.
+  bool finish(const char* cmd) {
+    snapshotter_.reset();
+    if (!profile_path.empty()) {
+      obs::set_profiling_enabled(false);
+      if (!obs::write_chrome_trace(profile_path)) {
+        std::fprintf(stderr, "%s: cannot write %s\n", cmd,
+                     profile_path.c_str());
+        return false;
+      }
+      std::printf("wrote %s (%zu spans)\n", profile_path.c_str(),
+                  obs::profile_spans().size());
+    }
+    if (!prom_path.empty()) {
+      if (!obs::registry().write_prometheus(prom_path)) {
+        std::fprintf(stderr, "%s: cannot write %s\n", cmd,
+                     prom_path.c_str());
+        return false;
+      }
+      std::printf("wrote %s\n", prom_path.c_str());
+    }
+    return true;
+  }
+
+private:
+  std::unique_ptr<obs::MetricsSnapshotter> snapshotter_;
+};
 
 /// Writes the synth metrics document: flow timing breakdown + the full
 /// metrics registry snapshot.
@@ -153,6 +237,8 @@ int cmd_synth(const std::vector<std::string>& args) {
                  "[--restarts=N]\n"
                  "                 [--trace-out=t.jsonl] "
                  "[--metrics-out=m.json] [--heartbeat=N] [--progress]\n"
+                 "                 [--profile-out=p.json] [--prom-out=m.prom] "
+                 "[--metrics-snapshot-every=SECONDS]\n"
                  "                 [--checkpoint=c.ckpt] "
                  "[--checkpoint-interval=N] [--resume] [--deadline=SECONDS]\n"
                  "                 [--paranoia=off|boundaries|all]\n");
@@ -165,10 +251,13 @@ int cmd_synth(const std::vector<std::string>& args) {
   std::string dot_path;
   std::string trace_path;
   std::string metrics_path;
+  ProfileFlags prof;
   bool progress = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     std::string v;
-    if (args[i] == "-g" && i + 1 < args.size()) {
+    if (prof.parse(args[i])) {
+      // value captured
+    } else if (args[i] == "-g" && i + 1 < args.size()) {
       opt.evolve.generations = std::stoull(args[++i]);
     } else if (args[i] == "-s" && i + 1 < args.size()) {
       opt.evolve.seed = std::stoull(args[++i]);
@@ -243,7 +332,9 @@ int cmd_synth(const std::vector<std::string>& args) {
   }
 
   const auto spec = load_spec(input);
+  prof.begin(metrics_path);
   const auto r = core::synthesize(spec, opt);
+  const bool prof_ok = prof.finish("synth");
   std::printf("init: %s\n", r.initial_cost.to_string().c_str());
   std::printf("rcgp: %s (%.2fs)\n", r.optimized_cost.to_string().c_str(),
               r.seconds_total);
@@ -279,7 +370,7 @@ int cmd_synth(const std::vector<std::string>& args) {
     io::write_network(r.optimized, dot_path, io::Format::kDot);
     std::printf("wrote %s\n", dot_path.c_str());
   }
-  if (!check.all_match) {
+  if (!check.all_match || !prof_ok) {
     return 1;
   }
   return interrupted ? 3 : 0;
@@ -288,11 +379,17 @@ int cmd_synth(const std::vector<std::string>& args) {
 int cmd_batch(const std::vector<std::string>& args) {
   std::string manifest_path;
   std::string metrics_path;
+  std::string trace_path;
+  ProfileFlags prof;
   batch::BatchOptions opt;
   bool usage_error = args.empty();
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string v;
-    if (opt_value(args[i], "--manifest", v)) {
+    if (prof.parse(args[i])) {
+      // value captured
+    } else if (opt_value(args[i], "--trace-out", trace_path)) {
+      // value captured
+    } else if (opt_value(args[i], "--manifest", v)) {
       manifest_path = v;
     } else if (opt_value(args[i], "--jobs", v)) {
       opt.workers = static_cast<unsigned>(std::stoul(v));
@@ -329,13 +426,26 @@ int cmd_batch(const std::vector<std::string>& args) {
                  "                  [--deadline=SECONDS] [--retries=N] "
                  "[--checkpoint-interval=N]\n"
                  "                  [--generations=N] [--threads-per-job=N] "
-                 "[--metrics-out=m.json]\n");
+                 "[--metrics-out=m.json] [--trace-out=t.jsonl]\n"
+                 "                  [--profile-out=p.json] [--prom-out=m.prom] "
+                 "[--metrics-snapshot-every=SECONDS]\n");
     return 2;
   }
   // First SIGINT/SIGTERM interrupts the batch cooperatively (running jobs
   // checkpoint and are re-run by --resume); a second one force-kills.
   static robust::StopToken signal_token;
   opt.budget.stop = &robust::install_signal_stop(signal_token);
+
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!trace_path.empty()) {
+    trace = obs::TraceSink::open(trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "batch: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace->attach_to_log();
+    opt.trace = trace.get();
+  }
 
   const auto manifest = batch::parse_manifest_file(manifest_path);
   const unsigned total = static_cast<unsigned>(manifest.jobs.size());
@@ -350,7 +460,19 @@ int cmd_batch(const std::vector<std::string>& args) {
                 rec.seconds, rec.worker);
     std::fflush(stdout);
   };
+  prof.begin(metrics_path);
   const auto summary = batch::run_batch(manifest, opt);
+  if (trace) {
+    trace->event("batch_end")
+        .field("total", summary.total)
+        .field("done", summary.done)
+        .field("failed", summary.failed)
+        .field("skipped", summary.skipped)
+        .field("unrun", summary.unrun)
+        .field("seconds", summary.seconds)
+        .field("stop_reason", robust::to_string(summary.stop_reason));
+  }
+  const bool prof_ok = prof.finish("batch");
 
   std::printf("batch: %u jobs — %u done, %u failed, %u skipped, %u unrun "
               "(%.2fs)\n",
@@ -369,10 +491,14 @@ int cmd_batch(const std::vector<std::string>& args) {
     }
     std::printf("wrote %s\n", metrics_path.c_str());
   }
+  if (trace) {
+    std::printf("wrote %s (%llu events)\n", trace_path.c_str(),
+                static_cast<unsigned long long>(trace->lines_written()));
+  }
   if (summary.stop_reason != robust::StopReason::kCompleted) {
     return 3;
   }
-  return summary.failed == 0 ? 0 : 1;
+  return summary.failed == 0 && prof_ok ? 0 : 1;
 }
 
 int cmd_exact(const std::vector<std::string>& args) {
@@ -465,18 +591,43 @@ int cmd_cec(const std::vector<std::string>& args) {
 }
 
 int cmd_report(const std::vector<std::string>& args) {
-  if (args.size() != 1) {
-    std::fprintf(stderr, "usage: rcgp report <x.rqfp|benchmark>\n");
+  // Run-report mode: ingest any subset of a run's exported artifacts.
+  obs::RunReportInputs run_inputs;
+  bool run_mode = false;
+  std::vector<std::string> positional;
+  for (const auto& a : args) {
+    if (opt_value(a, "--profile", run_inputs.profile_path) ||
+        opt_value(a, "--trace", run_inputs.trace_path) ||
+        opt_value(a, "--metrics", run_inputs.metrics_path)) {
+      run_mode = true;
+    } else {
+      positional.push_back(a);
+    }
+  }
+  if (run_mode) {
+    if (!positional.empty()) {
+      std::fprintf(stderr, "report: run-report mode takes no netlist\n");
+      return 2;
+    }
+    std::fputs(obs::run_report(run_inputs).c_str(), stdout);
+    return 0;
+  }
+  if (positional.size() != 1) {
+    std::fprintf(stderr,
+                 "usage: rcgp report <x.rqfp|benchmark>\n"
+                 "       rcgp report [--profile=p.json] [--trace=t.jsonl] "
+                 "[--metrics=m.json]\n");
     return 2;
   }
   rqfp::Netlist net;
-  if (io::format_from_extension(args[0]) == io::Format::kRqfp) {
-    net = *io::read_network(args[0], io::Format::kRqfp).rqfp;
+  const std::string& input = positional[0];
+  if (io::format_from_extension(input) == io::Format::kRqfp) {
+    net = *io::read_network(input, io::Format::kRqfp).rqfp;
   } else {
     // Synthesize the benchmark's initialization baseline for reporting.
     core::FlowOptions opt;
     opt.run_cgp = false;
-    net = core::synthesize(load_spec(args[0]), opt).initial;
+    net = core::synthesize(load_spec(input), opt).initial;
   }
   const auto cost = rqfp::cost_of(net);
   std::printf("%s\n", cost.to_string().c_str());

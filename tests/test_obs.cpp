@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -10,6 +14,9 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/phase.hpp"
+#include "obs/report.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
@@ -186,17 +193,17 @@ TEST(Metrics, CounterIsThreadSafe) {
 TEST(Phase, NestedTimersReportPathsAndDepths) {
   PhaseCollector collector;
   {
-    PhaseTimer outer("outer");
+    PhaseSpan outer("outer");
     EXPECT_EQ(outer.path(), "outer");
     EXPECT_EQ(outer.depth(), 0);
     {
-      PhaseTimer inner("inner");
+      PhaseSpan inner("inner");
       EXPECT_EQ(inner.path(), "outer/inner");
       EXPECT_EQ(inner.depth(), 1);
     }
   }
   {
-    PhaseTimer second("second");
+    PhaseSpan second("second");
     EXPECT_EQ(second.depth(), 0);
   }
   const auto& recs = collector.records();
@@ -214,14 +221,14 @@ TEST(Phase, NestedTimersReportPathsAndDepths) {
 
 TEST(Phase, CollectorsNestAndRestore) {
   PhaseCollector outer_collector;
-  { PhaseTimer t("before"); }
+  { PhaseSpan t("before"); }
   {
     PhaseCollector inner_collector;
-    { PhaseTimer t("inside"); }
+    { PhaseSpan t("inside"); }
     ASSERT_EQ(inner_collector.records().size(), 1u);
     EXPECT_EQ(inner_collector.records()[0].path, "inside");
   }
-  { PhaseTimer t("after"); }
+  { PhaseSpan t("after"); }
   ASSERT_EQ(outer_collector.records().size(), 2u);
   EXPECT_EQ(outer_collector.records()[0].path, "before");
   EXPECT_EQ(outer_collector.records()[1].path, "after");
@@ -230,7 +237,7 @@ TEST(Phase, CollectorsNestAndRestore) {
 TEST(Phase, TimerFeedsRegistryGauge) {
   Gauge& g = registry().gauge("phase_seconds{test-phase}");
   g.reset();
-  { PhaseTimer t("test-phase"); }
+  { PhaseSpan t("test-phase"); }
   EXPECT_GT(g.value(), 0.0);
 }
 
@@ -331,6 +338,305 @@ TEST(Trace, Iso8601TimestampShape) {
   EXPECT_EQ(ts[13], ':');
   EXPECT_EQ(ts[19], '.');
   EXPECT_EQ(ts[23], 'Z');
+}
+
+TEST(Trace, EventsCarryMonotonicTms) {
+  auto sink = TraceSink::memory();
+  sink->event("first").field("v", 1);
+  sink->event("second").field("v", 2);
+  const auto lines = lines_of(sink->buffer());
+  ASSERT_EQ(lines.size(), 2u);
+  const auto t0 = json::number_field(lines[0], "t_ms");
+  const auto t1 = json::number_field(lines[1], "t_ms");
+  ASSERT_TRUE(t0.has_value());
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_GE(*t0, 0.0);
+  EXPECT_GE(*t1, *t0);
+  // Same timebase as the span profiler (microseconds vs milliseconds).
+  EXPECT_LE(*t1, static_cast<double>(profile_now_us()) / 1000.0 + 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// JSON value parser (the read side used by `rcgp report`)
+
+TEST(Json, ParseMaterializesValues) {
+  const auto doc = json::parse(
+      "{\"name\":\"x\",\"n\":-2.5,\"ok\":true,\"none\":null,"
+      "\"list\":[1,\"two\",{\"k\":3}]}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->string_or("name", ""), "x");
+  EXPECT_DOUBLE_EQ(doc->number_or("n", 0), -2.5);
+  const json::Value* ok = doc->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->as_bool());
+  EXPECT_EQ(doc->find("none")->kind(), json::Value::Kind::kNull);
+  const json::Value* list = doc->find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_array());
+  ASSERT_EQ(list->items().size(), 3u);
+  EXPECT_DOUBLE_EQ(list->items()[0].as_number(), 1.0);
+  EXPECT_EQ(list->items()[1].as_string(), "two");
+  EXPECT_DOUBLE_EQ(list->items()[2].number_or("k", 0), 3.0);
+  // Defaults when absent or type-mismatched.
+  EXPECT_DOUBLE_EQ(doc->number_or("absent", 9.0), 9.0);
+  EXPECT_EQ(doc->string_or("n", "fallback"), "fallback");
+}
+
+TEST(Json, ParseDecodesEscapes) {
+  const auto doc = json::parse("{\"s\":\"a\\\"b\\\\c\\n\\t\\u0041\"}");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->string_or("s", ""), "a\"b\\c\n\tA");
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_FALSE(json::parse("").has_value());
+  EXPECT_FALSE(json::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(json::parse("[1 2]").has_value());
+  EXPECT_FALSE(json::parse("{} extra").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles
+
+TEST(Metrics, QuantileInterpolatesUniformDistribution) {
+  // 1..100 over decade-wide buckets: 10 observations per bucket, so the
+  // interpolated quantiles land on exact values.
+  const double bounds[] = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  Histogram& h = registry().histogram("test.obs.quantile_uniform", bounds);
+  h.reset();
+  for (int v = 1; v <= 100; ++v) {
+    h.observe(static_cast<double>(v));
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 95.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0); // first bucket starts at 0
+}
+
+TEST(Metrics, QuantileEdgeCases) {
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h = registry().histogram("test.obs.quantile_edges", bounds);
+  h.reset();
+  EXPECT_TRUE(std::isnan(h.quantile(0.5))); // empty
+  h.observe(100.0);                         // overflow bucket only
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);   // clamps to the largest bound
+
+  // The free function, straight from exported bucket data.
+  const double b2[] = {10.0, 20.0};
+  const std::uint64_t counts[] = {4, 4, 0};
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(b2, counts, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_from_buckets(b2, counts, 0.75), 15.0);
+  const std::uint64_t empty[] = {0, 0, 0};
+  EXPECT_TRUE(std::isnan(quantile_from_buckets(b2, empty, 0.5)));
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(Metrics, PrometheusExpositionShape) {
+  registry().counter("test.obs.prom_counter").reset();
+  registry().counter("test.obs.prom_counter").inc(5);
+  registry().gauge("phase_seconds{prom-test}").set(1.25);
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h = registry().histogram("test.obs.prom_hist", bounds);
+  h.reset();
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+
+  const std::string text = registry().to_prometheus();
+  EXPECT_NE(text.find("# TYPE rcgp_test_obs_prom_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rcgp_test_obs_prom_counter 5\n"), std::string::npos);
+  // `base{x}` gauges become labeled families.
+  EXPECT_NE(text.find("rcgp_phase_seconds{phase=\"prom-test\"} 1.25\n"),
+            std::string::npos);
+  // Histogram buckets are cumulative and the +Inf bucket equals _count.
+  EXPECT_NE(text.find("rcgp_test_obs_prom_hist_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rcgp_test_obs_prom_hist_bucket{le=\"2\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rcgp_test_obs_prom_hist_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rcgp_test_obs_prom_hist_count 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE rcgp_test_obs_prom_hist histogram\n"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Span profiler
+
+TEST(Span, DisabledSpansAreInert) {
+  set_profiling_enabled(false);
+  reset_profile();
+  {
+    Span s("inert");
+    EXPECT_FALSE(s.active());
+    s.arg("k", std::uint64_t{1}); // must not crash or record
+  }
+  EXPECT_TRUE(profile_spans().empty());
+  EXPECT_EQ(current_span_id(), 0u);
+}
+
+TEST(Span, RecordsNestingAndParents) {
+  reset_profile();
+  set_profiling_enabled(true);
+  {
+    Span outer("outer-span");
+    EXPECT_TRUE(outer.active());
+    EXPECT_NE(current_span_id(), 0u);
+    {
+      Span inner("inner-span");
+      inner.arg("k", std::uint64_t{7});
+    }
+  }
+  set_profiling_enabled(false);
+  const auto spans = profile_spans();
+  const SpanRecord* outer = nullptr;
+  const SpanRecord* inner = nullptr;
+  for (const auto& s : spans) {
+    if (s.name == "outer-span") {
+      outer = &s;
+    } else if (s.name == "inner-span") {
+      inner = &s;
+    }
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->parent, outer->id);
+  EXPECT_EQ(outer->parent, 0u);
+  EXPECT_EQ(inner->tid, outer->tid);
+  // The child is contained in the parent (same clock, measured inside).
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->dur_us,
+            outer->start_us + outer->dur_us);
+  EXPECT_EQ(inner->args_json, "\"k\":7");
+  reset_profile();
+}
+
+TEST(Span, ChromeTraceJsonIsValidAndCarriesSpans) {
+  reset_profile();
+  set_thread_name("obs-test-thread");
+  set_profiling_enabled(true);
+  {
+    Span s("chrome-span");
+    s.arg("label", "value");
+  }
+  set_profiling_enabled(false);
+  const std::string doc_text = chrome_trace_json();
+  const auto doc = json::parse(doc_text);
+  ASSERT_TRUE(doc.has_value()) << doc_text;
+  const json::Value* events = doc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_span = false;
+  bool saw_thread_name = false;
+  for (const auto& ev : events->items()) {
+    const std::string ph = ev.string_or("ph", "");
+    if (ph == "X" && ev.string_or("name", "") == "chrome-span") {
+      saw_span = true;
+      EXPECT_GE(ev.number_or("ts", -1), 0.0);
+      EXPECT_GE(ev.number_or("dur", -1), 0.0);
+      const json::Value* args = ev.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->string_or("label", ""), "value");
+      EXPECT_GT(args->number_or("span_id", 0), 0.0);
+    }
+    if (ph == "M" && ev.string_or("name", "") == "thread_name" &&
+        ev.find("args")->string_or("name", "") == "obs-test-thread") {
+      saw_thread_name = true;
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_thread_name);
+  reset_profile();
+}
+
+// ---------------------------------------------------------------------------
+// Periodic metrics snapshots
+
+TEST(Snapshot, PeriodicWriterProducesValidSnapshots) {
+  const std::string json_path = ::testing::TempDir() + "rcgp_snap_test.json";
+  const std::string prom_path = ::testing::TempDir() + "rcgp_snap_test.prom";
+  registry().counter("test.obs.snapshot_counter").inc();
+  {
+    MetricsSnapshotter snap({json_path, prom_path, 0.02});
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    EXPECT_GE(snap.snapshots_written(), 1u);
+  } // destructor writes a final snapshot of both paths
+  std::ifstream json_in(json_path);
+  std::stringstream json_buf;
+  json_buf << json_in.rdbuf();
+  EXPECT_TRUE(json::validate(json_buf.str())) << json_buf.str();
+  std::ifstream prom_in(prom_path);
+  std::stringstream prom_buf;
+  prom_buf << prom_in.rdbuf();
+  EXPECT_NE(prom_buf.str().find("# TYPE"), std::string::npos);
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+TEST(Snapshot, DisabledWhenIntervalZero) {
+  MetricsSnapshotter snap({"", "", 0.0});
+  EXPECT_EQ(snap.snapshots_written(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Run report
+
+TEST(Report, RendersAllThreeSections) {
+  const std::string dir = ::testing::TempDir();
+  const std::string profile_path = dir + "rcgp_report_profile.json";
+  const std::string trace_path = dir + "rcgp_report_trace.jsonl";
+  const std::string metrics_path = dir + "rcgp_report_metrics.json";
+
+  reset_profile();
+  set_profiling_enabled(true);
+  {
+    Span outer("report-outer");
+    Span inner("report-inner");
+  }
+  set_profiling_enabled(false);
+  ASSERT_TRUE(write_chrome_trace(profile_path));
+  reset_profile();
+
+  std::ofstream trace(trace_path);
+  trace << "{\"event\":\"run_start\",\"seq\":0,\"t_ms\":0.1}\n"
+        << "{\"event\":\"improvement\",\"seq\":1,\"t_ms\":0.2,\"gen\":10,"
+           "\"n_r\":7,\"n_g\":9,\"n_b\":4}\n"
+        << "{\"event\":\"improvement\",\"seq\":2,\"t_ms\":0.5,\"gen\":500,"
+           "\"n_r\":7,\"n_g\":8,\"n_b\":4}\n"
+        << "{\"event\":\"run_end\",\"seq\":3,\"t_ms\":0.9,\"reason\":"
+           "\"completed\",\"generations_run\":1000,\"evaluations\":4000,"
+           "\"improvements\":2,\"elapsed_s\":0.5}\n";
+  trace.close();
+  ASSERT_TRUE(registry().write_json(metrics_path));
+
+  const std::string report =
+      run_report({profile_path, trace_path, metrics_path});
+  EXPECT_NE(report.find("rcgp run report"), std::string::npos);
+  EXPECT_NE(report.find("report-outer"), std::string::npos);
+  EXPECT_NE(report.find("report-inner"), std::string::npos);
+  EXPECT_NE(report.find("improvement"), std::string::npos);
+  EXPECT_NE(report.find("reason=completed"), std::string::npos);
+  EXPECT_NE(report.find("-- metrics:"), std::string::npos);
+
+  std::remove(profile_path.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(Report, ThrowsOnMissingOrMalformedInput) {
+  EXPECT_THROW(run_report({"/nonexistent/profile.json", "", ""}),
+               std::runtime_error);
+  const std::string bad = ::testing::TempDir() + "rcgp_report_bad.json";
+  std::ofstream(bad) << "this is not json";
+  EXPECT_THROW(run_report({bad, "", ""}), std::runtime_error);
+  std::remove(bad.c_str());
+  EXPECT_THROW(run_report({"", "", ""}), std::invalid_argument);
 }
 
 } // namespace
