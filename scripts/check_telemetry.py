@@ -139,6 +139,7 @@ def check_metrics(path: str) -> None:
     check_pool_metrics(path, counters, registry.get("gauges", {}))
     check_cost_metrics(path, counters, registry.get("gauges", {}))
     check_batch_metrics(path, counters, registry.get("gauges", {}))
+    check_fuzz_metrics(path, counters, registry.get("gauges", {}))
     print(f"check_telemetry: {path}: {len(counters)} counters: OK")
 
 
@@ -242,6 +243,60 @@ def check_batch_metrics(path: str, counters: dict, gauges: dict) -> None:
     print(
         f"check_telemetry: {path}: batch settled {settled}/{queued} "
         f"queued jobs on {workers:g} worker(s): OK"
+    )
+
+
+def check_fuzz_metrics(path: str, counters: dict, gauges: dict) -> None:
+    """Fuzzing harness invariants (docs/FUZZING.md)."""
+    cases = counters.get("fuzz.cases")
+    if cases is None:
+        return  # run was not a fuzz run
+    if cases <= 0:
+        fail(f"{path}: fuzz.cases is {cases}, expected > 0")
+    target_cases = sum(
+        v
+        for name, v in counters.items()
+        if name.startswith("fuzz.")
+        and name.endswith(".cases")
+        and name != "fuzz.cases"
+    )
+    if target_cases != cases:
+        fail(
+            f"{path}: per-target case counters sum to {target_cases} but "
+            f"fuzz.cases is {cases}"
+        )
+    findings = counters.get("fuzz.findings", 0)
+    target_findings = sum(
+        v
+        for name, v in counters.items()
+        if name.startswith("fuzz.")
+        and name.endswith(".findings")
+        and name != "fuzz.findings"
+    )
+    if target_findings != findings:
+        fail(
+            f"{path}: per-target finding counters sum to {target_findings} "
+            f"but fuzz.findings is {findings}"
+        )
+    # Shrinking only ever runs on findings.
+    accepted = counters.get("fuzz.shrink.accepted", 0)
+    attempts = counters.get("fuzz.shrink.attempts", 0)
+    if accepted > attempts:
+        fail(
+            f"{path}: fuzz.shrink.accepted {accepted} exceeds "
+            f"fuzz.shrink.attempts {attempts}"
+        )
+    if attempts > 0 and findings == 0:
+        fail(
+            f"{path}: fuzz.shrink.attempts is {attempts} with zero "
+            f"findings; the shrinker must only run on failures"
+        )
+    seconds = gauges.get("fuzz.seconds")
+    if seconds is None or seconds < 0:
+        fail(f"{path}: fuzz.seconds gauge is {seconds}, expected >= 0")
+    print(
+        f"check_telemetry: {path}: fuzz ran {cases} cases, "
+        f"{findings} findings: OK"
     )
 
 

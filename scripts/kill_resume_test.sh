@@ -5,11 +5,17 @@
 #   2. resume from the checkpoint to completion (exit 0, equivalent output),
 #   3. assert the resumed fitness is no worse than the checkpointed one
 #      (paper-lexicographic gates / garbage / buffers order),
-#   4. assert the resumed trace ends with run_end reason "resumed-complete".
+#   4. assert the resumed trace ends with run_end reason "resumed-complete",
+#   5. repeat the interruption with SIGKILL — no flush-on-exit, so resume
+#      must work from the last interval checkpoint alone,
+#   6. kill an `rcgp batch` run mid-shard (SIGTERM) and resume it, then
+#      diff the deterministic result fields and netlist bytes against an
+#      uninterrupted reference run of the same manifest (docs/BATCH.md).
 #
 # Usage: scripts/kill_resume_test.sh [path-to-rcgp-binary]
 # Tunables: RCGP_KR_BENCH, RCGP_KR_GENERATIONS, RCGP_KR_SEED,
-#           RCGP_KR_KILL_AFTER (seconds before the SIGTERM).
+#           RCGP_KR_KILL_AFTER (seconds before the signal),
+#           RCGP_KR_BATCH_GENERATIONS (per-job budget of the batch phases).
 set -euo pipefail
 
 RCGP="${1:-./build/src/rcgp}"
@@ -17,10 +23,21 @@ BENCH="${RCGP_KR_BENCH:-decoder_2_4}"
 GENS="${RCGP_KR_GENERATIONS:-1000000}"
 SEED="${RCGP_KR_SEED:-11}"
 KILL_AFTER="${RCGP_KR_KILL_AFTER:-2}"
+BATCH_GENS="${RCGP_KR_BATCH_GENERATIONS:-150000}"
 
 WORKDIR="$(mktemp -d)"
 trap 'rm -rf "$WORKDIR"' EXIT
 CKPT="$WORKDIR/run.ckpt"
+
+# Waits on a child PID without tripping set -e; the exit status lands in
+# $STATUS. (Must run in this shell — `wait` cannot adopt a sibling
+# subshell's child, so no command substitution here.)
+wait_status() {
+  set +e
+  wait "$1"
+  STATUS=$?
+  set -e
+}
 
 echo "== phase 1: checkpointed run, SIGTERM after ${KILL_AFTER}s"
 "$RCGP" synth "$BENCH" -g "$GENS" -s "$SEED" \
@@ -29,10 +46,7 @@ echo "== phase 1: checkpointed run, SIGTERM after ${KILL_AFTER}s"
 PID=$!
 sleep "$KILL_AFTER"
 kill -TERM "$PID" 2>/dev/null || true
-set +e
-wait "$PID"
-STATUS=$?
-set -e
+wait_status "$PID"
 if [ "$STATUS" -eq 3 ]; then
   echo "   interrupted as expected (exit 3)"
 elif [ "$STATUS" -eq 0 ]; then
@@ -67,5 +81,92 @@ fi
 echo "== phase 4: trace must end as a resumed completion"
 grep -q '"reason":"resumed-complete"' "$WORKDIR/resumed.jsonl" \
   || { echo "FAIL: trace lacks run_end reason=resumed-complete" >&2; exit 1; }
+
+echo "== phase 5: SIGKILL — resume must survive without the exit flush"
+KCKPT="$WORKDIR/kill9.ckpt"
+"$RCGP" synth "$BENCH" -g "$GENS" -s "$SEED" \
+  --checkpoint="$KCKPT" --checkpoint-interval=2000 >/dev/null &
+PID=$!
+# SIGKILL gives the process no chance to flush a final checkpoint, so wait
+# until an interval checkpoint exists before pulling the plug.
+for _ in $(seq 50); do
+  test -s "$KCKPT" && break
+  sleep 0.1
+done
+sleep "$KILL_AFTER"
+kill -KILL "$PID" 2>/dev/null || true
+wait_status "$PID"
+if [ "$STATUS" -ne 137 ] && [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: SIGKILLed run exited with $STATUS (expected 137 or 0)" >&2
+  exit 1
+fi
+test -s "$KCKPT" \
+  || { echo "FAIL: no interval checkpoint survived SIGKILL" >&2; exit 1; }
+"$RCGP" synth "$BENCH" -g "$GENS" -s "$SEED" \
+  --checkpoint="$KCKPT" --resume | tee "$WORKDIR/kill9.out"
+grep -q "equivalent: yes" "$WORKDIR/kill9.out" \
+  || { echo "FAIL: resume after SIGKILL not equivalent" >&2; exit 1; }
+
+echo "== phase 6: batch kill/resume must match an uninterrupted reference"
+MANIFEST="$WORKDIR/suite.jsonl"
+cat > "$MANIFEST" <<EOF
+{"id":"fa7",  "circuit":"full_adder",  "generations":$BATCH_GENS, "seed":7}
+{"id":"fa8",  "circuit":"full_adder",  "generations":$BATCH_GENS, "seed":8}
+{"id":"dec9", "circuit":"decoder_2_4", "generations":$BATCH_GENS, "seed":9}
+{"id":"gc4",  "circuit":"graycode4",   "generations":$BATCH_GENS, "seed":11}
+EOF
+
+echo "   reference run (uninterrupted)"
+"$RCGP" batch "$MANIFEST" --jobs=2 --out-dir="$WORKDIR/ref_out" >/dev/null
+
+echo "   interrupted run (SIGTERM mid-shard) + resume"
+"$RCGP" batch "$MANIFEST" --jobs=2 --out-dir="$WORKDIR/int_out" >/dev/null &
+PID=$!
+sleep 1.5
+kill -TERM "$PID" 2>/dev/null || true
+wait_status "$PID"
+if [ "$STATUS" -ne 3 ] && [ "$STATUS" -ne 0 ]; then
+  echo "FAIL: interrupted batch exited with $STATUS (expected 3 or 0)" >&2
+  exit 1
+fi
+"$RCGP" batch "$MANIFEST" --jobs=2 --out-dir="$WORKDIR/int_out" --resume \
+  >/dev/null
+
+# Project the deterministic JobRecord fields (docs/BATCH.md): id, ok,
+# final, stop_reason, verified, and the cost components. Scheduling
+# fields (worker, seconds, attempts) legitimately differ run-to-run, and
+# only each job's last record counts after a resume.
+project() {
+  python3 - "$1" <<'PY'
+import json, sys
+last = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # torn final line of a killed run
+        last[rec["id"]] = rec
+for job_id in sorted(last):
+    rec = last[job_id]
+    keep = {k: rec.get(k)
+            for k in ("id", "ok", "final", "stop_reason", "verified", "cost")}
+    print(json.dumps(keep, sort_keys=True))
+PY
+}
+project "$WORKDIR/ref_out/results.jsonl" > "$WORKDIR/ref.proj"
+project "$WORKDIR/int_out/results.jsonl" > "$WORKDIR/int.proj"
+if ! diff -u "$WORKDIR/ref.proj" "$WORKDIR/int.proj"; then
+  echo "FAIL: resumed batch results differ from the reference run" >&2
+  exit 1
+fi
+for id in fa7 fa8 dec9 gc4; do
+  cmp "$WORKDIR/ref_out/$id.rqfp" "$WORKDIR/int_out/$id.rqfp" \
+    || { echo "FAIL: netlist bytes for $id differ after resume" >&2; exit 1; }
+done
+echo "   batch results and netlists are bit-identical after kill/resume"
 
 echo "PASS: kill/resume smoke test"

@@ -1,0 +1,49 @@
+#include "fuzz/findings.hpp"
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace rcgp::fuzz {
+
+std::string to_json(const Finding& finding) {
+  obs::json::Writer w;
+  w.begin_object()
+      .field("target", finding.target)
+      .field("seed", finding.seed)
+      .field("case", finding.case_index)
+      .field("kind", finding.kind)
+      .field("detail", finding.detail);
+  if (!finding.reproducer_path.empty()) {
+    w.field("reproducer", finding.reproducer_path);
+  }
+  if (!finding.reproducer2_path.empty()) {
+    w.field("reproducer2", finding.reproducer2_path);
+  }
+  if (!finding.repro_command.empty()) {
+    w.field("repro", finding.repro_command);
+  }
+  w.end_object();
+  return w.str();
+}
+
+FindingsLog::FindingsLog(const std::string& path) {
+  if (path.empty()) {
+    return;
+  }
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    throw std::runtime_error("fuzz: cannot open findings log: " + path);
+  }
+}
+
+void FindingsLog::append(const Finding& finding) {
+  ++lines_;
+  if (!out_.is_open()) {
+    return;
+  }
+  out_ << to_json(finding) << '\n';
+  out_.flush(); // crash safety: a killed run keeps every prior finding
+}
+
+} // namespace rcgp::fuzz

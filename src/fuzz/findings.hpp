@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace rcgp::fuzz {
+
+/// One fuzzing failure. Findings are value objects: targets fill the
+/// diagnostic fields, the harness adds the reproducer path and repro
+/// command, and the log serializes them. Deliberately no timestamps or
+/// durations — a findings log must be bit-identical across runs of the
+/// same (seed, cases) so CI diffs and dedup work (docs/FUZZING.md).
+struct Finding {
+  std::string target;           ///< target name ("io-roundtrip", ...)
+  std::uint64_t seed = 0;       ///< harness seed
+  std::uint64_t case_index = 0; ///< case within the target's stream
+  std::string kind;             ///< stable failure class, kebab-case
+  std::string detail;           ///< human-readable specifics
+
+  /// Minimized reproducer artifact (file contents + extension with dot).
+  /// Empty content = no artifact (the repro command alone suffices).
+  std::string reproducer;
+  std::string reproducer_ext;
+  /// Secondary artifact for differential findings that need a pair of
+  /// inputs (e.g. base + child netlists).
+  std::string reproducer2;
+  std::string reproducer2_ext;
+
+  // ---- filled by the harness ----
+  std::string reproducer_path;  ///< file name under out_dir (no directory)
+  std::string reproducer2_path;
+  std::string repro_command;    ///< one-line `rcgp fuzz ...` invocation
+};
+
+/// Deterministic single-line JSON record of a finding.
+std::string to_json(const Finding& finding);
+
+/// Crash-safe JSONL findings log: every append is written and flushed
+/// immediately, so a crashing or killed fuzz run loses at most nothing.
+class FindingsLog {
+public:
+  /// Opens (truncates) `path`; empty path = log disabled (append no-ops).
+  explicit FindingsLog(const std::string& path);
+
+  void append(const Finding& finding);
+  std::uint64_t lines_written() const { return lines_; }
+
+private:
+  std::ofstream out_;
+  std::uint64_t lines_ = 0;
+};
+
+} // namespace rcgp::fuzz

@@ -1,0 +1,165 @@
+#include "fuzz/generator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "rqfp/gate.hpp"
+
+namespace rcgp::fuzz {
+
+rqfp::Netlist random_netlist(util::Rng& rng, const NetlistShape& shape) {
+  const unsigned pis =
+      static_cast<unsigned>(rng.between(shape.min_pis, shape.max_pis));
+  rqfp::Netlist net(pis);
+
+  // Pool of ports no gate input or PO has consumed yet. Drawing inputs
+  // from it (and swap-removing on use) keeps the single fan-out invariant
+  // by construction; appending each new gate's outputs keeps feed-forward
+  // order (a gate can only see ports that already exist).
+  std::vector<rqfp::Port> pool;
+  pool.reserve(pis + 3 * shape.max_gates);
+  for (unsigned i = 1; i <= pis; ++i) {
+    pool.push_back(static_cast<rqfp::Port>(i));
+  }
+
+  const unsigned gates =
+      static_cast<unsigned>(rng.between(shape.min_gates, shape.max_gates));
+  for (unsigned g = 0; g < gates; ++g) {
+    std::array<rqfp::Port, 3> in{rqfp::kConstPort, rqfp::kConstPort,
+                                 rqfp::kConstPort};
+    for (unsigned slot = 0; slot < 3; ++slot) {
+      if (pool.empty() || rng.chance(shape.const_bias)) {
+        in[slot] = rqfp::kConstPort;
+        continue;
+      }
+      const std::size_t pick = rng.below(pool.size());
+      in[slot] = pool[pick];
+      pool[pick] = pool.back();
+      pool.pop_back();
+    }
+    const auto config =
+        rqfp::InvConfig(static_cast<std::uint16_t>(rng.below(512)));
+    const std::uint32_t idx = net.add_gate(in, config);
+    for (unsigned k = 0; k < 3; ++k) {
+      pool.push_back(net.port_of(idx, k));
+    }
+  }
+
+  const unsigned pos =
+      static_cast<unsigned>(rng.between(shape.min_pos, shape.max_pos));
+  for (unsigned o = 0; o < pos; ++o) {
+    if (pool.empty()) {
+      net.add_po(rqfp::kConstPort);
+      continue;
+    }
+    const std::size_t pick = rng.below(pool.size());
+    net.add_po(pool[pick]);
+    pool[pick] = pool.back();
+    pool.pop_back();
+  }
+
+  const std::string problem = net.validate();
+  if (!problem.empty()) {
+    throw std::logic_error("fuzz::random_netlist generated invalid netlist: " +
+                           problem);
+  }
+  return net;
+}
+
+aig::Aig random_aig(util::Rng& rng, const AigShape& shape) {
+  aig::Aig a;
+  std::vector<aig::Signal> pool;
+  pool.push_back(a.const0());
+
+  const unsigned pis =
+      static_cast<unsigned>(rng.between(shape.min_pis, shape.max_pis));
+  for (unsigned i = 0; i < pis; ++i) {
+    pool.push_back(a.create_pi());
+  }
+
+  const auto draw = [&]() {
+    aig::Signal s = pool[rng.below(pool.size())];
+    return rng.chance(shape.invert_chance) ? !s : s;
+  };
+
+  const unsigned ands =
+      static_cast<unsigned>(rng.between(shape.min_ands, shape.max_ands));
+  for (unsigned i = 0; i < ands; ++i) {
+    // Structural hashing may fold the AND into an existing signal; the
+    // pool just accumulates whatever comes back.
+    pool.push_back(a.create_and(draw(), draw()));
+  }
+
+  const unsigned pos =
+      static_cast<unsigned>(rng.between(shape.min_pos, shape.max_pos));
+  for (unsigned o = 0; o < pos; ++o) {
+    a.add_po(draw());
+  }
+  return a;
+}
+
+std::vector<tt::TruthTable> random_tables(util::Rng& rng, unsigned vars,
+                                          unsigned count) {
+  std::vector<tt::TruthTable> tables;
+  tables.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    tt::TruthTable t(vars);
+    for (std::size_t w = 0; w < t.num_words(); ++w) {
+      t.set_word(w, rng.next());
+    }
+    tables.push_back(std::move(t));
+  }
+  return tables;
+}
+
+std::string corrupt_bytes(std::string blob, util::Rng& rng,
+                          unsigned max_ops) {
+  const unsigned ops = 1 + static_cast<unsigned>(rng.below(max_ops));
+  for (unsigned i = 0; i < ops; ++i) {
+    switch (rng.below(6)) {
+    case 0: { // flip one bit
+      if (blob.empty()) break;
+      const std::size_t at = rng.below(blob.size());
+      blob[at] = static_cast<char>(blob[at] ^ (1u << rng.below(8)));
+      break;
+    }
+    case 1: { // overwrite one byte with anything (NUL and 0xFF included)
+      if (blob.empty()) break;
+      blob[rng.below(blob.size())] = static_cast<char>(rng.below(256));
+      break;
+    }
+    case 2: { // delete a range
+      if (blob.empty()) break;
+      const std::size_t at = rng.below(blob.size());
+      const std::size_t len = 1 + rng.below(blob.size() - at);
+      blob.erase(at, len);
+      break;
+    }
+    case 3: { // duplicate a range in place
+      if (blob.empty()) break;
+      const std::size_t at = rng.below(blob.size());
+      const std::size_t len =
+          1 + rng.below(std::min<std::size_t>(blob.size() - at, 32));
+      blob.insert(at, blob.substr(at, len));
+      break;
+    }
+    case 4: { // insert random bytes
+      const std::size_t at = blob.empty() ? 0 : rng.below(blob.size() + 1);
+      const std::size_t len = 1 + rng.below(16);
+      std::string junk(len, '\0');
+      for (auto& c : junk) {
+        c = static_cast<char>(rng.below(256));
+      }
+      blob.insert(at, junk);
+      break;
+    }
+    default: { // truncate
+      blob.resize(rng.below(blob.size() + 1));
+      break;
+    }
+    }
+  }
+  return blob;
+}
+
+} // namespace rcgp::fuzz

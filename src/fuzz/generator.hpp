@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aig/aig.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::fuzz {
+
+/// Seed-addressable random-input generators for the fuzzing harness
+/// (docs/FUZZING.md). Every generator draws from a util::Rng the caller
+/// derives with Rng::stream(seed, case_index, salt), so any failing case
+/// reproduces from (seed, case_index) alone — no shared generator state.
+
+/// Size/shape knobs of random_netlist. Defaults keep exhaustive
+/// simulation and all three CEC engines fast (PIs <= 6).
+struct NetlistShape {
+  unsigned min_pis = 2;
+  unsigned max_pis = 5;
+  unsigned min_pos = 1;
+  unsigned max_pos = 4;
+  unsigned min_gates = 1;
+  unsigned max_gates = 24;
+  /// Probability that a gate input reads the constant-1 port even when
+  /// unconsumed ports are available (constant fan-out is unlimited).
+  double const_bias = 0.2;
+};
+
+/// Random RQFP netlist, valid by construction: gate inputs are drawn from
+/// a pool of not-yet-consumed ports (swap-removed on use), so feed-forward
+/// order and the single fan-out invariant hold without rejection sampling.
+/// validate() is asserted before returning.
+rqfp::Netlist random_netlist(util::Rng& rng, const NetlistShape& shape = {});
+
+/// Shape knobs of random_aig.
+struct AigShape {
+  unsigned min_pis = 2;
+  unsigned max_pis = 6;
+  unsigned min_pos = 1;
+  unsigned max_pos = 4;
+  unsigned min_ands = 1;
+  unsigned max_ands = 40;
+  /// Probability a fanin is complemented.
+  double invert_chance = 0.4;
+};
+
+/// Random AIG: fanins are drawn uniformly from {const0, PIs, earlier
+/// ANDs} with random complementation; POs point at random signals.
+aig::Aig random_aig(util::Rng& rng, const AigShape& shape = {});
+
+/// `count` random truth tables over `vars` variables.
+std::vector<tt::TruthTable> random_tables(util::Rng& rng, unsigned vars,
+                                          unsigned count);
+
+/// Byte-mutation operator for the parser-corruption target: applies
+/// 1..max_ops random corruptions (bit flips, byte overwrites, range
+/// deletion/duplication, random insertion, truncation) to `blob`.
+/// May return an empty string (empty files are a corpus case too).
+std::string corrupt_bytes(std::string blob, util::Rng& rng,
+                          unsigned max_ops = 8);
+
+} // namespace rcgp::fuzz

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/findings.hpp"
+#include "fuzz/targets.hpp"
+#include "robust/stop.hpp"
+
+namespace rcgp::fuzz {
+
+/// Configuration of one fuzzing run (`rcgp fuzz`, docs/FUZZING.md).
+struct FuzzOptions {
+  /// Targets to drive, in order (empty = default_targets()).
+  std::vector<Target> targets;
+  std::uint64_t seed = 1;
+  /// Cases per target. Determinism contract: the findings log of a
+  /// (targets, seed, cases) run is bit-identical across invocations.
+  std::uint64_t cases = 100;
+  /// Re-run exactly one case index per target (repro mode); `cases` is
+  /// ignored when set.
+  std::optional<std::uint64_t> only_case;
+  /// Reproducers and scratch files land here (created if missing).
+  std::string out_dir = "fuzz-out";
+  /// Findings JSONL path; empty = `<out_dir>/findings.jsonl`.
+  std::string log_path;
+  /// Minimize failing inputs before reporting (--no-shrink disables).
+  bool shrink = true;
+  /// Wall-clock / stop-token bounds for the whole run. Checked between
+  /// cases, so a deadline overshoots by at most one case.
+  robust::RunBudget budget;
+  /// Observer invoked for every finding after the harness filled in the
+  /// reproducer path and repro command (the CLI prints them live).
+  std::function<void(const Finding&)> on_finding;
+};
+
+struct FuzzSummary {
+  std::uint64_t cases_run = 0;
+  std::uint64_t findings = 0;
+  double seconds = 0.0;
+  robust::StopReason stop_reason = robust::StopReason::kCompleted;
+  std::string log_path;
+};
+
+/// Runs every configured target for the configured number of cases,
+/// writing minimized reproducers and the findings log under out_dir and
+/// reporting fuzz.* metrics/spans through src/obs. Never throws on a
+/// finding — findings are data; only setup errors (unwritable out_dir)
+/// raise.
+FuzzSummary run_fuzz(const FuzzOptions& options);
+
+} // namespace rcgp::fuzz

@@ -1,0 +1,130 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+
+#include "core/shrink.hpp"
+
+namespace rcgp::fuzz {
+
+namespace {
+
+/// Copy of `net` without primary output `po` (the netlist API has no
+/// remove_po, so rebuild). Gate structure and the other POs keep order.
+rqfp::Netlist drop_po(const rqfp::Netlist& net, std::uint32_t po) {
+  rqfp::Netlist out(net.num_pis());
+  for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
+    out.add_gate(net.gate(g).in, net.gate(g).config);
+  }
+  for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+    if (i != po) {
+      out.add_po(net.po_at(i), net.po_name(i));
+    }
+  }
+  return out;
+}
+
+/// Copy of `net` with gate `g` disconnected: every consumer of one of its
+/// output ports reads the constant port instead, then dead gates are
+/// removed. The result is valid (constant fan-out is unlimited).
+rqfp::Netlist disconnect_gate(const rqfp::Netlist& net, std::uint32_t g) {
+  rqfp::Netlist out = net;
+  const auto is_output_of_g = [&](rqfp::Port p) {
+    return net.is_gate_port(p) && net.gate_of_port(p) == g;
+  };
+  for (std::uint32_t h = 0; h < out.num_gates(); ++h) {
+    for (auto& in : out.gate(h).in) {
+      if (is_output_of_g(in)) {
+        in = rqfp::kConstPort;
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < out.num_pos(); ++i) {
+    if (is_output_of_g(out.po_at(i))) {
+      out.set_po(i, rqfp::kConstPort);
+    }
+  }
+  return core::shrink(out);
+}
+
+} // namespace
+
+rqfp::Netlist shrink_netlist(
+    const rqfp::Netlist& failing,
+    const std::function<bool(const rqfp::Netlist&)>& fails,
+    ShrinkStats* stats, std::uint32_t max_attempts) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+
+  rqfp::Netlist best = failing;
+  bool improved = true;
+  while (improved && s.attempts < max_attempts) {
+    improved = false;
+
+    // Try dropping each PO (keep at least one: a PO-less netlist is
+    // degenerate for most predicates and for the evaluation APIs).
+    for (std::uint32_t po = best.num_pos();
+         po-- > 0 && best.num_pos() > 1 && s.attempts < max_attempts;) {
+      rqfp::Netlist candidate = core::shrink(drop_po(best, po));
+      ++s.attempts;
+      if (fails(candidate)) {
+        ++s.accepted;
+        best = std::move(candidate);
+        improved = true;
+      }
+    }
+
+    // Try disconnecting each gate, latest first (later gates tend to feed
+    // POs directly, so removing them simplifies fastest).
+    for (std::uint32_t g = best.num_gates();
+         g-- > 0 && s.attempts < max_attempts;) {
+      if (g >= best.num_gates()) {
+        continue; // earlier acceptance shrank the netlist under us
+      }
+      rqfp::Netlist candidate = disconnect_gate(best, g);
+      if (candidate == best) {
+        continue;
+      }
+      ++s.attempts;
+      if (fails(candidate)) {
+        ++s.accepted;
+        best = std::move(candidate);
+        improved = true;
+      }
+    }
+  }
+  return best;
+}
+
+std::string shrink_bytes(const std::string& failing,
+                         const std::function<bool(const std::string&)>& fails,
+                         ShrinkStats* stats, std::uint32_t max_attempts) {
+  ShrinkStats local;
+  ShrinkStats& s = stats != nullptr ? *stats : local;
+
+  std::string best = failing;
+  std::size_t chunk = std::max<std::size_t>(best.size() / 2, 1);
+  while (chunk >= 1 && s.attempts < max_attempts) {
+    bool improved = false;
+    for (std::size_t at = 0; at < best.size() && s.attempts < max_attempts;) {
+      const std::size_t len = std::min(chunk, best.size() - at);
+      std::string candidate = best;
+      candidate.erase(at, len);
+      ++s.attempts;
+      if (fails(candidate)) {
+        ++s.accepted;
+        best = std::move(candidate);
+        improved = true;
+        // retry the same offset: the next chunk slid into place
+      } else {
+        at += len;
+      }
+    }
+    if (chunk == 1 && !improved) {
+      break;
+    }
+    chunk = improved ? chunk : chunk / 2;
+  }
+  return best;
+}
+
+} // namespace rcgp::fuzz

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "rqfp/netlist.hpp"
+
+namespace rcgp::fuzz {
+
+/// Counters of one shrinking session (reported in fuzz.shrink.* metrics).
+struct ShrinkStats {
+  std::uint32_t attempts = 0; ///< candidate reductions tried
+  std::uint32_t accepted = 0; ///< candidates that still reproduced
+};
+
+/// Greedy netlist minimization: starting from `failing` — on which
+/// `fails` must return true — repeatedly tries to drop primary outputs
+/// and disconnect gates (rewiring their consumers to the constant port,
+/// then dead-gate shrinking), keeping any candidate on which the failure
+/// still reproduces. `fails` must be a pure function of the netlist —
+/// re-deriving any secondary inputs itself — or the minimized reproducer
+/// will not reproduce. Bounded by `max_attempts` predicate calls.
+rqfp::Netlist shrink_netlist(
+    const rqfp::Netlist& failing,
+    const std::function<bool(const rqfp::Netlist&)>& fails,
+    ShrinkStats* stats = nullptr, std::uint32_t max_attempts = 2000);
+
+/// ddmin-style byte-blob minimization for parser findings: tries deleting
+/// chunks at decreasing granularity (halves down to single bytes) while
+/// `fails` keeps returning true. Same purity contract as above.
+std::string shrink_bytes(const std::string& failing,
+                         const std::function<bool(const std::string&)>& fails,
+                         ShrinkStats* stats = nullptr,
+                         std::uint32_t max_attempts = 4000);
+
+} // namespace rcgp::fuzz

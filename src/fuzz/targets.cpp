@@ -1,0 +1,731 @@
+#include "fuzz/targets.hpp"
+
+#include <array>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+#include "aig/aig_simulate.hpp"
+#include "cec/bdd_cec.hpp"
+#include "cec/sat_cec.hpp"
+#include "cec/sim_cec.hpp"
+#include "core/fitness.hpp"
+#include "core/flow.hpp"
+#include "core/mutation.hpp"
+#include "core/optimizer.hpp"
+#include "core/shrink.hpp"
+#include "fuzz/generator.hpp"
+#include "io/aiger.hpp"
+#include "io/blif.hpp"
+#include "io/io.hpp"
+#include "io/parse_error.hpp"
+#include "io/pla.hpp"
+#include "io/rqfp_writer.hpp"
+#include "io/verilog.hpp"
+#include "mig/mig_from_aig.hpp"
+#include "mig/mig_rewrite.hpp"
+#include "robust/fault.hpp"
+#include "robust/integrity.hpp"
+#include "rqfp/cost.hpp"
+#include "rqfp/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::fuzz {
+
+namespace {
+
+/// Stream salt: every independent random draw purpose of a target gets
+/// its own counter-based stream from (seed, case_index, salt), so adding
+/// draws to one purpose never shifts another target's sequence.
+std::uint64_t salt(Target target, unsigned purpose) {
+  return (static_cast<std::uint64_t>(target) << 8) | purpose;
+}
+
+util::Rng case_rng(const CaseContext& ctx, Target target, unsigned purpose) {
+  return util::Rng::stream(ctx.seed, ctx.index, salt(target, purpose));
+}
+
+Finding make_finding(const CaseContext& ctx, Target target,
+                     std::string kind, std::string detail) {
+  Finding f;
+  f.target = std::string(to_string(target));
+  f.seed = ctx.seed;
+  f.case_index = ctx.index;
+  f.kind = std::move(kind);
+  f.detail = std::move(detail);
+  return f;
+}
+
+std::string describe_fitness(const core::Fitness& f) {
+  return f.to_string();
+}
+
+bool fitness_equal(const core::Fitness& a, const core::Fitness& b) {
+  return a.success_rate == b.success_rate && a.n_r == b.n_r &&
+         a.n_g == b.n_g && a.n_b == b.n_b;
+}
+
+// ---------------------------------------------------------------------
+// io-roundtrip
+// ---------------------------------------------------------------------
+
+void check_rqfp_roundtrips(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kIoRoundtrip, 0);
+  const rqfp::Netlist net = random_netlist(rng);
+
+  // In-memory .rqfp round trip: structural identity.
+  const auto text_mismatch = [](const rqfp::Netlist& n) {
+    try {
+      return !(io::parse_rqfp_string(io::write_rqfp_string(n)) == n);
+    } catch (const std::exception&) {
+      return true; // writer output its own parser rejects
+    }
+  };
+  if (text_mismatch(net)) {
+    rqfp::Netlist minimal =
+        ctx.do_shrink
+            ? shrink_netlist(net, text_mismatch, &ctx.shrink_stats)
+            : net;
+    Finding f = make_finding(ctx, Target::kIoRoundtrip, "rqfp-text-roundtrip",
+                             "write_rqfp_string -> parse_rqfp_string is not "
+                             "the identity on this netlist");
+    f.reproducer = io::write_rqfp_string(minimal);
+    f.reproducer_ext = ".rqfp";
+    out.push_back(std::move(f));
+    return;
+  }
+
+  // File facade round trip with format auto-detection.
+  const std::string path = ctx.work_dir + "/roundtrip.rqfp";
+  io::write_network(net, path);
+  const io::Network back = io::read_network(path);
+  if (!back.rqfp.has_value() || !(*back.rqfp == net)) {
+    Finding f = make_finding(ctx, Target::kIoRoundtrip, "rqfp-file-roundtrip",
+                             "write_network -> read_network (.rqfp, auto "
+                             "detection) is not the identity");
+    f.reproducer = io::write_rqfp_string(net);
+    f.reproducer_ext = ".rqfp";
+    out.push_back(std::move(f));
+    return;
+  }
+
+  // Write-only formats must at least serialize without throwing.
+  if (io::write_structural_verilog_string(net).empty() ||
+      io::write_dot_string(net).empty()) {
+    Finding f = make_finding(ctx, Target::kIoRoundtrip, "write-only-empty",
+                             "structural Verilog / DOT writer produced an "
+                             "empty document");
+    f.reproducer = io::write_rqfp_string(net);
+    f.reproducer_ext = ".rqfp";
+    out.push_back(std::move(f));
+  }
+}
+
+void check_aig_roundtrips(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kIoRoundtrip, 1);
+  const aig::Aig net = random_aig(rng);
+  const std::vector<tt::TruthTable> reference = aig::simulate(net);
+
+  const auto report = [&](const std::string& kind, const std::string& detail) {
+    Finding f = make_finding(ctx, Target::kIoRoundtrip, kind, detail);
+    // AIG findings ship the ASCII AIGER dump (no AIG shrinker yet; the
+    // generator shapes are small enough to debug directly).
+    f.reproducer = io::write_aiger_string(net);
+    f.reproducer_ext = ".aag";
+    out.push_back(std::move(f));
+  };
+
+  struct StringTrip {
+    const char* name;
+    std::function<aig::Aig(const aig::Aig&)> trip;
+  };
+  const StringTrip trips[] = {
+      {"verilog",
+       [](const aig::Aig& a) {
+         return io::parse_verilog_string(io::write_verilog_string(a));
+       }},
+      {"blif",
+       [](const aig::Aig& a) {
+         return io::parse_blif_string(io::write_blif_string(a));
+       }},
+      {"aiger-ascii",
+       [](const aig::Aig& a) {
+         return io::parse_aiger_string(io::write_aiger_string(a));
+       }},
+      {"aiger-binary",
+       [](const aig::Aig& a) {
+         std::istringstream in(io::write_aiger_binary_string(a));
+         return io::parse_aiger_binary(in);
+       }},
+  };
+  for (const auto& t : trips) {
+    try {
+      const aig::Aig back = t.trip(net);
+      if (aig::simulate(back) != reference) {
+        report(std::string("aig-roundtrip-") + t.name,
+               "functional mismatch after write/parse round trip");
+        return;
+      }
+    } catch (const std::exception& e) {
+      report(std::string("aig-roundtrip-") + t.name,
+             std::string("round trip threw: ") + e.what());
+      return;
+    }
+  }
+
+  // Substrate round trip: the MIG conversion (and its Ω-rule rewriting)
+  // must preserve every PO function.
+  try {
+    const mig::Mig m = mig::mig_from_aig(net);
+    if (m.simulate() != reference) {
+      report("mig-conversion", "mig_from_aig changed a PO function");
+      return;
+    }
+    if (mig::optimize_mig(m).simulate() != reference) {
+      report("mig-rewrite", "optimize_mig changed a PO function");
+      return;
+    }
+  } catch (const std::exception& e) {
+    report("mig-conversion", std::string("MIG substrate threw: ") + e.what());
+    return;
+  }
+
+  // File facade with auto-detection over every AIG-capable extension.
+  for (const char* ext : {".v", ".blif", ".aag", ".aig"}) {
+    const std::string path = ctx.work_dir + "/roundtrip" + ext;
+    try {
+      io::write_network(net, path);
+      const io::Network back = io::read_network(path);
+      if (!back.aig.has_value() || aig::simulate(*back.aig) != reference) {
+        report(std::string("aig-file-roundtrip-") + (ext + 1),
+               "functional mismatch through write_network/read_network");
+        return;
+      }
+    } catch (const std::exception& e) {
+      report(std::string("aig-file-roundtrip-") + (ext + 1),
+             std::string("facade round trip threw: ") + e.what());
+      return;
+    }
+  }
+}
+
+void run_io_roundtrip(CaseContext& ctx, std::vector<Finding>& out) {
+  check_rqfp_roundtrips(ctx, out);
+  check_aig_roundtrips(ctx, out);
+}
+
+// ---------------------------------------------------------------------
+// parser-corruption
+// ---------------------------------------------------------------------
+
+/// A fixed, valid RevLib cascade (the generators have no .real writer
+/// input; corruption works just as well from a constant seed document).
+constexpr const char* kRealTemplate =
+    ".version 2.0\n"
+    ".numvars 3\n"
+    ".variables a b c\n"
+    ".begin\n"
+    "t3 a b c\n"
+    "t2 a b\n"
+    "t1 a\n"
+    ".end\n";
+
+struct CorpusEntry {
+  std::string content;
+  const char* extension; // the format's own extension
+};
+
+CorpusEntry make_corpus_entry(CaseContext& ctx, util::Rng& rng) {
+  switch (rng.below(7)) {
+    case 0: {
+      util::Rng gen = case_rng(ctx, Target::kParserCorruption, 1);
+      return {io::write_rqfp_string(random_netlist(gen)), ".rqfp"};
+    }
+    case 1: {
+      util::Rng gen = case_rng(ctx, Target::kParserCorruption, 2);
+      return {io::write_verilog_string(random_aig(gen)), ".v"};
+    }
+    case 2: {
+      util::Rng gen = case_rng(ctx, Target::kParserCorruption, 3);
+      return {io::write_blif_string(random_aig(gen)), ".blif"};
+    }
+    case 3: {
+      util::Rng gen = case_rng(ctx, Target::kParserCorruption, 4);
+      return {io::write_aiger_string(random_aig(gen)), ".aag"};
+    }
+    case 4: {
+      util::Rng gen = case_rng(ctx, Target::kParserCorruption, 5);
+      return {io::write_aiger_binary_string(random_aig(gen)), ".aig"};
+    }
+    case 5: {
+      util::Rng gen = case_rng(ctx, Target::kParserCorruption, 6);
+      std::ostringstream pla;
+      io::write_pla(random_tables(gen, 3, 2), pla);
+      return {pla.str(), ".pla"};
+    }
+    default:
+      return {kRealTemplate, ".real"};
+  }
+}
+
+/// The contract under test: read_network either succeeds or throws
+/// io::ParseError. Returns an empty string on contract compliance and a
+/// description of the violation otherwise.
+std::string probe_parser(const std::string& path) {
+  try {
+    (void)io::read_network(path);
+    return "";
+  } catch (const io::ParseError&) {
+    return "";
+  } catch (const std::exception& e) {
+    return std::string("non-ParseError exception escaped read_network: ") +
+           e.what();
+  } catch (...) {
+    return "non-standard exception escaped read_network";
+  }
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void run_parser_corruption(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kParserCorruption, 0);
+  CorpusEntry entry = make_corpus_entry(ctx, rng);
+  const std::string corrupted = corrupt_bytes(std::move(entry.content), rng);
+
+  // Lie about the extension sometimes: auto-detection must cope with
+  // wrong and unknown extensions without misbehaving.
+  const char* extensions[] = {entry.extension, ".rqfp", ".v",   ".blif",
+                              ".aag",          ".aig",  ".pla", ".real",
+                              ".dat"};
+  const char* ext = rng.chance(0.6)
+                        ? entry.extension
+                        : extensions[rng.below(std::size(extensions))];
+
+  const std::string path = ctx.work_dir + "/corrupt" + ext;
+  write_file(path, corrupted);
+  const std::string violation = probe_parser(path);
+  if (violation.empty()) {
+    return;
+  }
+
+  const auto still_fails = [&](const std::string& bytes) {
+    write_file(path, bytes);
+    return !probe_parser(path).empty();
+  };
+  const std::string minimal =
+      ctx.do_shrink ? shrink_bytes(corrupted, still_fails, &ctx.shrink_stats)
+                    : corrupted;
+
+  Finding f = make_finding(ctx, Target::kParserCorruption, "parser-contract",
+                           violation);
+  f.reproducer = minimal;
+  f.reproducer_ext = ext;
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------
+// optimizer-differential
+// ---------------------------------------------------------------------
+
+void check_delta_walk(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kOptimizerDiff, 0);
+
+  NetlistShape shape;
+  shape.max_pis = 4;
+  shape.max_gates = 16;
+  rqfp::Netlist base = random_netlist(rng, shape);
+  const std::vector<tt::TruthTable> spec = rqfp::simulate(base);
+
+  const rqfp::BufferSchedule schedules[] = {
+      rqfp::BufferSchedule::kAsap, rqfp::BufferSchedule::kAlap,
+      rqfp::BufferSchedule::kBest, rqfp::BufferSchedule::kOptimized};
+  core::FitnessOptions fopt;
+  fopt.schedule = schedules[rng.below(4)];
+  fopt.objective = rng.chance(0.5) ? core::Objective::kPaperLexicographic
+                                   : core::Objective::kJjCount;
+
+  rqfp::SimCache sim;
+  rqfp::CostCache cost;
+  rqfp::build_sim_cache(base, sim);
+  rqfp::build_cost_cache(base, fopt.schedule, cost);
+  core::Fitness base_fit = core::evaluate(base, spec, fopt);
+
+  const auto pair_finding = [&](const std::string& kind,
+                                const std::string& detail,
+                                const rqfp::Netlist& parent,
+                                const rqfp::Netlist& child) {
+    // Differential failures depend on the (base, child) pair; shrinking
+    // would have to reduce both in lockstep, so they ship unminimized.
+    Finding f = make_finding(ctx, Target::kOptimizerDiff, kind, detail);
+    f.reproducer = io::write_rqfp_string(parent);
+    f.reproducer_ext = ".rqfp";
+    f.reproducer2 = io::write_rqfp_string(child);
+    f.reproducer2_ext = ".rqfp";
+    out.push_back(std::move(f));
+  };
+
+  const unsigned steps = 10 + static_cast<unsigned>(rng.below(21));
+  for (unsigned step = 0; step < steps; ++step) {
+    rqfp::Netlist child = base;
+    core::mutate(child, rng);
+
+    const core::Fitness full = core::evaluate(child, spec, fopt);
+    const core::Fitness delta =
+        core::evaluate_delta(base, sim, cost, child, spec, fopt);
+    if (!fitness_equal(full, delta)) {
+      pair_finding("delta-vs-full",
+                   "evaluate_delta != evaluate: full=" +
+                       describe_fitness(full) +
+                       " delta=" + describe_fitness(delta),
+                   base, child);
+      return;
+    }
+
+    const rqfp::Cost cost_full = rqfp::cost_of(child, fopt.schedule);
+    const rqfp::Cost cost_delta = rqfp::cost_of_delta(base, child, cost);
+    if (!(cost_full == cost_delta)) {
+      pair_finding("cost-delta-vs-full",
+                   "cost_of_delta != cost_of: full=" + cost_full.to_string() +
+                       " delta=" + cost_delta.to_string(),
+                   base, child);
+      return;
+    }
+
+    if (full.better_or_equal(base_fit)) {
+      rqfp::update_sim_cache(base, child, sim);
+      rqfp::update_cost_cache(base, child, cost);
+      base = std::move(child);
+      base_fit = full;
+    }
+
+    if (rng.chance(0.25)) {
+      // Shrink must never change the function of the live cone.
+      const auto shrink_changes_function = [](const rqfp::Netlist& n) {
+        return rqfp::simulate(core::shrink(n)) != rqfp::simulate(n);
+      };
+      if (shrink_changes_function(base)) {
+        rqfp::Netlist minimal =
+            ctx.do_shrink
+                ? shrink_netlist(base, shrink_changes_function,
+                                 &ctx.shrink_stats)
+                : base;
+        Finding f = make_finding(ctx, Target::kOptimizerDiff,
+                                 "shrink-function-change",
+                                 "core::shrink changed the PO functions");
+        f.reproducer = io::write_rqfp_string(minimal);
+        f.reproducer_ext = ".rqfp";
+        out.push_back(std::move(f));
+        return;
+      }
+      const rqfp::Netlist small = core::shrink(base);
+      if (small.num_gates() != base.num_gates()) {
+        base = small;
+        rqfp::build_sim_cache(base, sim);
+        rqfp::build_cost_cache(base, fopt.schedule, cost);
+        base_fit = core::evaluate(base, spec, fopt);
+      }
+    }
+  }
+}
+
+/// Cross-checks a netlist against its specification with all three CEC
+/// engines; returns a disagreement description ("" when unanimous and
+/// correct, which `net` must be by construction).
+std::string engine_disagreement(const rqfp::Netlist& net,
+                                std::span<const tt::TruthTable> spec) {
+  const bool sim_eq = cec::sim_check(net, spec).all_match;
+  const bool bdd_eq = cec::bdd_check(net, spec).equivalent;
+  const auto sat = cec::sat_check(net, spec);
+  const bool sat_eq = sat.verdict == cec::CecVerdict::kEquivalent;
+  if (sat.verdict == cec::CecVerdict::kUndecided) {
+    return "sat_check returned kUndecided with no conflict budget";
+  }
+  if (sim_eq && bdd_eq && sat_eq) {
+    return "";
+  }
+  std::string desc = std::string("engines disagree on net-vs-spec: sim=") +
+                     (sim_eq ? "eq" : "neq") +
+                     " bdd=" + (bdd_eq ? "eq" : "neq") +
+                     " sat=" + (sat_eq ? "eq" : "neq");
+  const int eq_votes = int(sim_eq) + int(bdd_eq) + int(sat_eq);
+  if (eq_votes == 2) {
+    desc += std::string("; minority engine: ") +
+            (!sim_eq ? "sim" : (!bdd_eq ? "bdd" : "sat"));
+  } else if (eq_votes == 1) {
+    desc += std::string("; minority verdict held by: ") +
+            (sim_eq ? "sim" : (bdd_eq ? "bdd" : "sat"));
+  }
+  return desc;
+}
+
+void check_paranoid_search(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kOptimizerDiff, 1);
+
+  NetlistShape shape;
+  shape.max_pis = 4;
+  shape.max_gates = 12;
+  const rqfp::Netlist start = random_netlist(rng, shape);
+  const std::vector<tt::TruthTable> spec = rqfp::simulate(start);
+
+  core::OptimizerOptions oopt;
+  const core::Algorithm algorithms[] = {core::Algorithm::kEvolve,
+                                        core::Algorithm::kMultistart,
+                                        core::Algorithm::kAnneal};
+  oopt.algorithm = algorithms[rng.below(3)];
+  oopt.evolve.generations = 60;
+  oopt.evolve.lambda = 2;
+  oopt.evolve.threads = 1;
+  oopt.evolve.seed = rng.next();
+  oopt.evolve.paranoia = robust::ParanoiaLevel::kEveryAcceptance;
+  oopt.anneal.steps = 200;
+  oopt.anneal.seed = rng.next();
+  oopt.restarts = 2;
+  oopt.limits.deadline_seconds = 2.0;
+
+  const auto start_finding = [&](const std::string& kind,
+                                 const std::string& detail) {
+    Finding f = make_finding(ctx, Target::kOptimizerDiff, kind, detail);
+    f.reproducer = io::write_rqfp_string(start);
+    f.reproducer_ext = ".rqfp";
+    out.push_back(std::move(f));
+  };
+
+  core::OptimizeResult result;
+  try {
+    result = core::Optimizer(oopt).run(start, spec);
+  } catch (const robust::IntegrityError& e) {
+    start_finding("paranoia-violation",
+                  std::string("paranoid ") +
+                      std::string(core::to_string(oopt.algorithm)) +
+                      " raised IntegrityError: " + e.what());
+    return;
+  }
+
+  const std::string invalid = result.best.validate();
+  if (!invalid.empty()) {
+    start_finding("optimizer-invariant",
+                  "optimizer returned an invalid netlist: " + invalid);
+    return;
+  }
+  const std::string disagree = engine_disagreement(result.best, spec);
+  if (!disagree.empty()) {
+    Finding f = make_finding(ctx, Target::kOptimizerDiff,
+                             "engine-disagreement", disagree);
+    f.reproducer = io::write_rqfp_string(result.best);
+    f.reproducer_ext = ".rqfp";
+    out.push_back(std::move(f));
+  }
+}
+
+void check_exact_polish_flow(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kOptimizerDiff, 2);
+  const std::vector<tt::TruthTable> spec = random_tables(rng, 3, 2);
+
+  core::FlowOptions fopt;
+  fopt.evolve.generations = 300;
+  fopt.evolve.lambda = 2;
+  fopt.evolve.threads = 1;
+  fopt.evolve.seed = rng.next();
+  fopt.evolve.paranoia = robust::ParanoiaLevel::kBoundaries;
+  fopt.run_exact_polish = true;
+  fopt.limits.deadline_seconds = 1.0;
+
+  core::FlowResult result;
+  try {
+    result = core::synthesize(spec, fopt);
+  } catch (const robust::IntegrityError& e) {
+    out.push_back(make_finding(ctx, Target::kOptimizerDiff,
+                               "paranoia-violation",
+                               std::string("exact-polish flow raised "
+                                           "IntegrityError: ") +
+                                   e.what()));
+    return;
+  }
+
+  // The flow may stop before reaching the spec under this deadline; when
+  // its own fitness claims success, the engines must unanimously concur.
+  if (core::evaluate(result.optimized, spec).functionally_correct()) {
+    const std::string disagree = engine_disagreement(result.optimized, spec);
+    if (!disagree.empty()) {
+      Finding f = make_finding(ctx, Target::kOptimizerDiff,
+                               "engine-disagreement",
+                               "after exact polish: " + disagree);
+      f.reproducer = io::write_rqfp_string(result.optimized);
+      f.reproducer_ext = ".rqfp";
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+void run_optimizer_diff(CaseContext& ctx, std::vector<Finding>& out) {
+  check_delta_walk(ctx, out);
+  if (!out.empty()) {
+    return;
+  }
+  check_paranoid_search(ctx, out);
+  // The exact-polish flow is the most expensive probe: sample it.
+  if (out.empty() && ctx.index % 8 == 0) {
+    check_exact_polish_flow(ctx, out);
+  }
+}
+
+// ---------------------------------------------------------------------
+// cec-cross
+// ---------------------------------------------------------------------
+
+void run_cec_cross(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kCecCross, 0);
+
+  NetlistShape shape;
+  shape.max_pis = 5;
+  shape.max_gates = 20;
+  const rqfp::Netlist a = random_netlist(rng, shape);
+
+  // Self-check: every engine must agree that `a` implements its own
+  // simulation tables. This predicate is pure in the netlist → shrinkable.
+  const auto self_check_fails = [](const rqfp::Netlist& n) {
+    const auto tables = rqfp::simulate(n);
+    if (!cec::sim_check(n, tables).all_match) return true;
+    if (!cec::bdd_check(n, tables).equivalent) return true;
+    return cec::sat_check(n, tables).verdict != cec::CecVerdict::kEquivalent;
+  };
+  if (self_check_fails(a)) {
+    rqfp::Netlist minimal =
+        ctx.do_shrink ? shrink_netlist(a, self_check_fails, &ctx.shrink_stats)
+                      : a;
+    const auto tables = rqfp::simulate(minimal);
+    Finding f = make_finding(
+        ctx, Target::kCecCross, "self-equivalence",
+        "an engine denies net == simulate(net): sim=" +
+            std::string(cec::sim_check(minimal, tables).all_match ? "eq"
+                                                                  : "neq") +
+            " bdd=" +
+            (cec::bdd_check(minimal, tables).equivalent ? "eq" : "neq") +
+            " sat=" +
+            (cec::sat_check(minimal, tables).verdict ==
+                     cec::CecVerdict::kEquivalent
+                 ? "eq"
+                 : "neq"));
+    f.reproducer = io::write_rqfp_string(minimal);
+    f.reproducer_ext = ".rqfp";
+    out.push_back(std::move(f));
+    return;
+  }
+
+  // Pairwise check against a derived netlist whose ground-truth
+  // equivalence exhaustive simulation decides.
+  rqfp::Netlist b = a;
+  const unsigned variant = static_cast<unsigned>(rng.below(3));
+  switch (variant) {
+    case 0:
+      b = core::shrink(a); // equivalent by contract
+      break;
+    case 1:
+      core::mutate(b, rng); // usually different, sometimes neutral
+      break;
+    default:
+      if (b.num_gates() > 0) {
+        robust::inject_config_fault(b, rng); // structurally legal flip
+      }
+      break;
+  }
+
+  const bool truly_equal = rqfp::simulate(a) == rqfp::simulate(b);
+  const bool bdd_eq = cec::bdd_check(a, b).equivalent;
+  const auto sat = cec::sat_check(a, b);
+  const bool sat_eq = sat.verdict == cec::CecVerdict::kEquivalent;
+  const bool sat_decided = sat.verdict != cec::CecVerdict::kUndecided;
+
+  if (!sat_decided || bdd_eq != truly_equal || sat_eq != truly_equal) {
+    std::string detail =
+        std::string("pairwise verdicts diverge from exhaustive simulation "
+                    "(variant=") +
+        (variant == 0 ? "shrink" : variant == 1 ? "mutate" : "config-fault") +
+        "): sim=" + (truly_equal ? "eq" : "neq") +
+        " bdd=" + (bdd_eq ? "eq" : "neq") +
+        " sat=" + (!sat_decided ? "undecided" : (sat_eq ? "eq" : "neq"));
+    const int wrong = int(bdd_eq != truly_equal) + int(sat_eq != truly_equal);
+    if (wrong == 1) {
+      detail += std::string("; minority engine: ") +
+                (bdd_eq != truly_equal ? "bdd" : "sat");
+    }
+    Finding f =
+        make_finding(ctx, Target::kCecCross, "engine-disagreement", detail);
+    f.reproducer = io::write_rqfp_string(a);
+    f.reproducer_ext = ".rqfp";
+    f.reproducer2 = io::write_rqfp_string(b);
+    f.reproducer2_ext = ".rqfp";
+    out.push_back(std::move(f));
+  }
+}
+
+// ---------------------------------------------------------------------
+// selftest
+// ---------------------------------------------------------------------
+
+void run_selftest(CaseContext& ctx, std::vector<Finding>& out) {
+  // Deterministically "fails" on every third case so tests can verify the
+  // whole pipeline — findings log determinism, reproducer files, exit
+  // codes — without a real bug in the tree.
+  if (ctx.index % 3 != 0) {
+    return;
+  }
+  util::Rng rng = case_rng(ctx, Target::kSelftest, 0);
+  rqfp::Netlist net = random_netlist(rng);
+  std::string detail = "synthetic finding (selftest target)";
+  if (net.num_gates() > 0) {
+    const auto report = robust::inject_config_fault(net, rng);
+    detail += ": " + report.describe();
+  }
+  Finding f = make_finding(ctx, Target::kSelftest, "selftest-finding", detail);
+  f.reproducer = io::write_rqfp_string(net);
+  f.reproducer_ext = ".rqfp";
+  out.push_back(std::move(f));
+}
+
+} // namespace
+
+std::string_view to_string(Target target) {
+  switch (target) {
+    case Target::kIoRoundtrip: return "io-roundtrip";
+    case Target::kParserCorruption: return "parser-corruption";
+    case Target::kOptimizerDiff: return "optimizer-differential";
+    case Target::kCecCross: return "cec-cross";
+    case Target::kSelftest: return "selftest";
+  }
+  return "unknown";
+}
+
+Target parse_target(std::string_view name) {
+  if (name == "io-roundtrip") return Target::kIoRoundtrip;
+  if (name == "parser-corruption") return Target::kParserCorruption;
+  if (name == "optimizer-differential") return Target::kOptimizerDiff;
+  if (name == "cec-cross") return Target::kCecCross;
+  if (name == "selftest") return Target::kSelftest;
+  throw std::invalid_argument("fuzz: unknown target '" + std::string(name) +
+                              "' (expected io-roundtrip, parser-corruption, "
+                              "optimizer-differential, cec-cross, or "
+                              "selftest)");
+}
+
+std::vector<Target> default_targets() {
+  return {Target::kIoRoundtrip, Target::kParserCorruption,
+          Target::kOptimizerDiff, Target::kCecCross};
+}
+
+void run_case(Target target, CaseContext& ctx, std::vector<Finding>& out) {
+  switch (target) {
+    case Target::kIoRoundtrip: run_io_roundtrip(ctx, out); break;
+    case Target::kParserCorruption: run_parser_corruption(ctx, out); break;
+    case Target::kOptimizerDiff: run_optimizer_diff(ctx, out); break;
+    case Target::kCecCross: run_cec_cross(ctx, out); break;
+    case Target::kSelftest: run_selftest(ctx, out); break;
+  }
+}
+
+} // namespace rcgp::fuzz

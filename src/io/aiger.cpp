@@ -11,6 +11,31 @@
 
 namespace rcgp::io {
 
+namespace {
+
+/// Sanity cap on header counts: a corrupted header like `aag 9e18 0 0 0 0`
+/// must fail fast instead of driving the literal-map allocation.
+constexpr std::size_t kMaxAigerVars = std::size_t{1} << 24;
+
+/// Index of a symbol-table tag ("i3" -> 3), or SIZE_MAX when the digits
+/// are malformed/oversized — std::stoul would throw std::invalid_argument
+/// or std::out_of_range here, which must not escape a parser.
+std::size_t symbol_index(const std::string& tag) {
+  if (tag.size() < 2 || tag.size() > 10) {
+    return static_cast<std::size_t>(-1);
+  }
+  std::size_t index = 0;
+  for (std::size_t k = 1; k < tag.size(); ++k) {
+    if (tag[k] < '0' || tag[k] > '9') {
+      return static_cast<std::size_t>(-1);
+    }
+    index = index * 10 + static_cast<std::size_t>(tag[k] - '0');
+  }
+  return index;
+}
+
+} // namespace
+
 aig::Aig parse_aiger(std::istream& raw, const std::string& source) {
   LineCountingBuf buf(raw.rdbuf());
   std::istream in(&buf);
@@ -31,6 +56,10 @@ aig::Aig parse_aiger(std::istream& raw, const std::string& source) {
   }
   if (m < i + a) {
     fail("inconsistent header counts");
+  }
+  if (m > kMaxAigerVars || o > kMaxAigerVars) {
+    fail("header counts exceed sanity limit (" +
+         std::to_string(kMaxAigerVars) + ")");
   }
 
   aig::Aig net;
@@ -91,7 +120,7 @@ aig::Aig parse_aiger(std::istream& raw, const std::string& source) {
     if (tag.size() < 2 || name.empty()) {
       continue;
     }
-    const std::size_t index = std::stoul(tag.substr(1));
+    const std::size_t index = symbol_index(tag);
     if (tag[0] == 'i' && index < i) {
       net.set_pi_name(static_cast<std::uint32_t>(index), name);
     } else if (tag[0] == 'o' && index < o) {
@@ -179,8 +208,11 @@ void put_delta(std::ostream& out, std::size_t delta) {
 aig::Aig parse_aiger_binary(std::istream& raw, const std::string& source) {
   LineCountingBuf buf(raw.rdbuf());
   std::istream in(&buf);
+  // Binary AIGER is not line-oriented past the header, so errors carry the
+  // byte offset of the failure instead of a line number.
   auto fail = [&](const std::string& msg) {
-    fail_parse("aiger", source, buf.line(), msg);
+    fail_parse("aiger", source, 0,
+               msg + " (byte " + std::to_string(buf.bytes()) + ")");
   };
   auto get_delta = [&]() {
     std::size_t value = 0;
@@ -214,6 +246,10 @@ aig::Aig parse_aiger_binary(std::istream& raw, const std::string& source) {
   }
   if (m != i + a) {
     fail("binary header requires M = I + A");
+  }
+  if (m > kMaxAigerVars || o > kMaxAigerVars) {
+    fail("header counts exceed sanity limit (" +
+         std::to_string(kMaxAigerVars) + ")");
   }
   // Outputs follow as ASCII lines; then the binary AND section.
   std::vector<std::size_t> output_lits(o);
@@ -268,7 +304,7 @@ aig::Aig parse_aiger_binary(std::istream& raw, const std::string& source) {
     if (tag.size() < 2 || name.empty()) {
       continue;
     }
-    const std::size_t index = std::stoul(tag.substr(1));
+    const std::size_t index = symbol_index(tag);
     if (tag[0] == 'i' && index < i) {
       net.set_pi_name(static_cast<std::uint32_t>(index), name);
     } else if (tag[0] == 'o' && index < o) {

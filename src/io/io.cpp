@@ -28,16 +28,33 @@ std::string extension_of(const std::string& path) {
   return path.substr(dot);
 }
 
-/// First whitespace-trimmed, non-empty, non-comment line of the file
-/// (empty when the file has none within the sniff window).
+/// Bounded sniff window: binary garbage must not make detection read (or
+/// allocate) the whole file looking for a newline.
+constexpr std::size_t kSniffBytes = 4096;
+
+/// First whitespace-trimmed, non-empty, non-comment line within the first
+/// kSniffBytes of the file (empty when that window has none). Throws a
+/// contextual ParseError for unopenable and empty files.
 std::string first_content_line(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     fail_parse("auto", path, 0, "cannot open file");
   }
-  std::string line;
-  for (int i = 0; i < 64 && std::getline(in, line); ++i) {
-    std::size_t b = line.find_first_not_of(" \t\r\n");
+  std::string window(kSniffBytes, '\0');
+  in.read(window.data(), static_cast<std::streamsize>(window.size()));
+  window.resize(static_cast<std::size_t>(in.gcount()));
+  if (window.empty()) {
+    fail_parse("auto", path, 0, "file is empty");
+  }
+  std::size_t pos = 0;
+  for (int i = 0; i < 64 && pos < window.size(); ++i) {
+    std::size_t nl = window.find('\n', pos);
+    if (nl == std::string::npos) {
+      nl = window.size(); // last (possibly truncated) line of the window
+    }
+    std::string line = window.substr(pos, nl - pos);
+    pos = nl + 1;
+    const std::size_t b = line.find_first_not_of(" \t\r\n");
     if (b == std::string::npos) {
       continue;
     }
@@ -45,10 +62,32 @@ std::string first_content_line(const std::string& path) {
                            line[b + 1] == '/')) {
       continue; // comment line (BLIF/PLA/.real '#', Verilog '//')
     }
-    std::size_t e = line.find_last_not_of(" \t\r\n");
+    const std::size_t e = line.find_last_not_of(" \t\r\n");
     return line.substr(b, e - b + 1);
   }
   return "";
+}
+
+/// Escapes non-printable bytes (\xNN) so a binary-garbage snippet stays a
+/// one-line, terminal-safe error message.
+std::string printable_snippet(const std::string& s, std::size_t max_len) {
+  std::string out;
+  out.reserve(max_len + 8);
+  for (std::size_t i = 0; i < s.size() && out.size() < max_len; ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c >= 0x20 && c < 0x7F && c != '"' && c != '\\') {
+      out.push_back(static_cast<char>(c));
+    } else {
+      static const char* hex = "0123456789abcdef";
+      out += "\\x";
+      out.push_back(hex[c >> 4]);
+      out.push_back(hex[c & 0xF]);
+    }
+  }
+  if (out.size() >= max_len) {
+    out += "...";
+  }
+  return out;
 }
 
 bool starts_with(const std::string& s, std::string_view prefix) {
@@ -112,7 +151,7 @@ Format detect_format(const std::string& path) {
   fail_parse("auto", path, 0,
              "cannot detect format from extension or content (leading "
              "line: \"" +
-                 head.substr(0, 40) + "\")");
+                 printable_snippet(head, 40) + "\")");
 }
 
 unsigned Network::num_pis() const {
@@ -141,33 +180,45 @@ Network read_network(const std::string& path, Format format) {
   Network net;
   net.source = path;
   net.format = format == Format::kAuto ? detect_format(path) : format;
-  switch (net.format) {
-    case Format::kVerilog:
-      net.aig = parse_verilog_file(path);
-      break;
-    case Format::kBlif:
-      net.aig = parse_blif_file(path);
-      break;
-    case Format::kAiger:
-      net.aig = parse_aiger_auto_file(path); // ASCII and binary
-      break;
-    case Format::kPla: {
-      auto pla = parse_pla_file(path);
-      net.po_names = std::move(pla.output_names);
-      net.tables = std::move(pla.tables);
-      break;
+  // Backstop contract: whatever a parser (or a constructor it feeds, e.g.
+  // Netlist::add_gate or RealCircuit::to_tables) throws at malformed
+  // input, read_network surfaces it as a contextual ParseError — callers
+  // need exactly one exception type to distinguish "bad input file" from
+  // a programming error.
+  try {
+    switch (net.format) {
+      case Format::kVerilog:
+        net.aig = parse_verilog_file(path);
+        break;
+      case Format::kBlif:
+        net.aig = parse_blif_file(path);
+        break;
+      case Format::kAiger:
+        net.aig = parse_aiger_auto_file(path); // ASCII and binary
+        break;
+      case Format::kPla: {
+        auto pla = parse_pla_file(path);
+        net.po_names = std::move(pla.output_names);
+        net.tables = std::move(pla.tables);
+        break;
+      }
+      case Format::kReal:
+        net.tables = parse_real_file(path).to_tables();
+        break;
+      case Format::kRqfp:
+        net.rqfp = parse_rqfp_file(path);
+        break;
+      case Format::kAuto:
+      case Format::kDot:
+        fail_parse("auto", path, 0,
+                   "format '" + std::string(to_string(net.format)) +
+                       "' is not readable");
     }
-    case Format::kReal:
-      net.tables = parse_real_file(path).to_tables();
-      break;
-    case Format::kRqfp:
-      net.rqfp = parse_rqfp_file(path);
-      break;
-    case Format::kAuto:
-    case Format::kDot:
-      fail_parse("auto", path, 0,
-                 "format '" + std::string(to_string(net.format)) +
-                     "' is not readable");
+  } catch (const ParseError&) {
+    throw;
+  } catch (const std::exception& e) {
+    fail_parse(std::string(to_string(net.format)).c_str(), path, 0,
+               e.what());
   }
   if (net.aig) {
     for (unsigned o = 0; o < net.aig->num_pos(); ++o) {

@@ -31,10 +31,11 @@ private:
 [[noreturn]] void fail_parse(const char* format, const std::string& source,
                              std::size_t line, const std::string& message);
 
-/// streambuf shim that counts consumed newlines, giving token-oriented
-/// parsers (AIGER's `in >> x` style) accurate line numbers without
-/// restructuring them around getline. Wrap the original rdbuf and read
-/// through a local istream:
+/// streambuf shim that counts consumed newlines and bytes, giving
+/// token-oriented parsers (AIGER's `in >> x` style) accurate line numbers
+/// — and binary parsers accurate byte offsets — without restructuring
+/// them around getline. Wrap the original rdbuf and read through a local
+/// istream:
 ///   LineCountingBuf buf(raw.rdbuf());
 ///   std::istream in(&buf);            // parse from `in`, report buf.line()
 class LineCountingBuf : public std::streambuf {
@@ -43,6 +44,9 @@ public:
 
   /// 1-based line number of the next unconsumed character.
   std::size_t line() const { return line_; }
+  /// 0-based byte offset of the next unconsumed character (binary AIGER
+  /// errors report this instead of a line).
+  std::size_t bytes() const { return bytes_; }
 
 protected:
   int_type underflow() override { return src_->sgetc(); }
@@ -51,12 +55,16 @@ protected:
     if (c == '\n') {
       ++line_;
     }
+    if (c != traits_type::eof()) {
+      ++bytes_;
+    }
     return c;
   }
 
 private:
   std::streambuf* src_;
   std::size_t line_ = 1;
+  std::size_t bytes_ = 0;
 };
 
 } // namespace rcgp::io

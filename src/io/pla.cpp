@@ -72,6 +72,13 @@ PlaFile parse_pla(std::istream& in, const std::string& source) {
         fail("too many inputs (" + std::to_string(pla.num_inputs) + " > " +
              std::to_string(tt::TruthTable::kMaxVars) + ")");
       }
+      // Cap the output count before the table allocation — a corrupted
+      // `.o 4000000000` must not drive tables.assign.
+      constexpr unsigned kMaxOutputs = 1u << 16;
+      if (pla.num_outputs > kMaxOutputs) {
+        fail("too many outputs (" + std::to_string(pla.num_outputs) +
+             " > " + std::to_string(kMaxOutputs) + ")");
+      }
       pla.tables.assign(pla.num_outputs, tt::TruthTable(pla.num_inputs));
       sized = true;
     }

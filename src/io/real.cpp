@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/parse_error.hpp"
+
 namespace rcgp::io {
 
 unsigned RealCircuit::num_real_inputs() const {
@@ -129,12 +131,17 @@ std::vector<tt::TruthTable> RealCircuit::to_tables() const {
   return tables;
 }
 
-RealCircuit parse_real(std::istream& in) {
+RealCircuit parse_real(std::istream& in, const std::string& source) {
   RealCircuit circuit;
   std::map<std::string, unsigned> line_of;
   std::string line;
+  std::size_t lineno = 0;
   bool in_body = false;
+  const auto fail = [&](const std::string& message) {
+    fail_parse("real", source, lineno, message);
+  };
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
       line.resize(hash);
@@ -148,7 +155,14 @@ RealCircuit parse_real(std::istream& in) {
       continue;
     }
     if (head == ".numvars") {
-      ls >> circuit.num_lines;
+      if (!(ls >> circuit.num_lines)) {
+        fail("malformed .numvars line (expected a line count)");
+      }
+      // Lines are bit positions in the 64-bit assignment words of
+      // RealCircuit::apply; wider cascades would shift out of range.
+      if (circuit.num_lines > 64) {
+        fail(".numvars exceeds the supported maximum of 64 lines");
+      }
       continue;
     }
     if (head == ".variables") {
@@ -178,10 +192,10 @@ RealCircuit parse_real(std::istream& in) {
       break;
     }
     if (head[0] == '.') {
-      throw std::runtime_error("real: unsupported directive " + head);
+      fail("unsupported directive " + head);
     }
     if (!in_body) {
-      throw std::runtime_error("real: gate before .begin");
+      fail("gate before .begin");
     }
     // Gate line: kind = letter + line count, e.g. "t3 a b c", "f3 a b c".
     RealGate gate;
@@ -197,13 +211,13 @@ RealCircuit parse_real(std::istream& in) {
       }
       const auto it = line_of.find(tok);
       if (it == line_of.end()) {
-        throw std::runtime_error("real: unknown line " + tok);
+        fail("unknown line " + tok);
       }
       lines_used.push_back(it->second);
       neg.push_back(negative);
     }
     if (lines_used.empty()) {
-      throw std::runtime_error("real: gate with no lines");
+      fail("gate with no lines");
     }
     switch (kind_char) {
       case 't': { // multiple-control Toffoli: last line is the target
@@ -215,7 +229,7 @@ RealCircuit parse_real(std::istream& in) {
       }
       case 'f': { // multiple-control Fredkin: last two lines swap
         if (lines_used.size() < 2) {
-          throw std::runtime_error("real: fredkin needs two targets");
+          fail("fredkin needs two targets");
         }
         gate.kind = RealGate::Kind::kFredkin;
         gate.targets = {lines_used[lines_used.size() - 2],
@@ -227,7 +241,7 @@ RealCircuit parse_real(std::istream& in) {
       case 'p':
       case 'q': { // Peres / inverse Peres on three lines
         if (lines_used.size() != 3) {
-          throw std::runtime_error("real: peres needs three lines");
+          fail("peres needs three lines");
         }
         gate.kind = kind_char == 'p' ? RealGate::Kind::kPeres
                                      : RealGate::Kind::kInversePeres;
@@ -237,23 +251,27 @@ RealCircuit parse_real(std::istream& in) {
         break;
       }
       default:
-        throw std::runtime_error("real: unsupported gate kind " + head);
+        fail("unsupported gate kind " + head);
     }
     circuit.gates.push_back(std::move(gate));
   }
   if (circuit.num_lines == 0) {
     circuit.num_lines = static_cast<unsigned>(circuit.variable_names.size());
   }
+  if (circuit.num_lines > 64) {
+    fail_parse("real", source, 0,
+               "circuit exceeds the supported maximum of 64 lines");
+  }
   if (circuit.variable_names.size() != circuit.num_lines) {
-    throw std::runtime_error("real: .numvars/.variables mismatch");
+    fail_parse("real", source, 0, ".numvars/.variables mismatch");
   }
   if (!circuit.constants.empty() &&
       circuit.constants.size() != circuit.num_lines) {
-    throw std::runtime_error("real: .constants width mismatch");
+    fail_parse("real", source, 0, ".constants width mismatch");
   }
   if (!circuit.garbage.empty() &&
       circuit.garbage.size() != circuit.num_lines) {
-    throw std::runtime_error("real: .garbage width mismatch");
+    fail_parse("real", source, 0, ".garbage width mismatch");
   }
   return circuit;
 }
@@ -376,9 +394,9 @@ RealCircuit parse_real_string(const std::string& text) {
 RealCircuit parse_real_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("real: cannot open " + path);
+    fail_parse("real", path, 0, "cannot open file");
   }
-  return parse_real(in);
+  return parse_real(in, path);
 }
 
 } // namespace rcgp::io

@@ -46,8 +46,11 @@ struct RealCircuit {
 
 /// Parses RevLib .real (version 1.0/2.0 subsets: .version .numvars
 /// .variables .inputs .outputs .constants .garbage .begin t*/f*/p* gates
-/// .end). Throws std::runtime_error on malformed input.
-RealCircuit parse_real(std::istream& in);
+/// .end). Throws io::ParseError (a std::runtime_error) on malformed
+/// input, with `source` and the failing line in the message. Cascades are
+/// capped at 64 lines (the width of the simulation word).
+RealCircuit parse_real(std::istream& in,
+                       const std::string& source = "<real>");
 RealCircuit parse_real_string(const std::string& text);
 RealCircuit parse_real_file(const std::string& path);
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/parse_error.hpp"
+
 namespace rcgp::io {
 
 void write_rqfp(const rqfp::Netlist& net, std::ostream& out) {
@@ -34,14 +36,19 @@ std::string write_rqfp_string(const rqfp::Netlist& net) {
   return out.str();
 }
 
-rqfp::Netlist parse_rqfp(std::istream& in) {
+rqfp::Netlist parse_rqfp(std::istream& in, const std::string& source) {
   std::string line;
+  std::size_t lineno = 0;
   unsigned num_pis = 0;
   bool have_header = false;
   bool have_pis = false;
   rqfp::Netlist net;
   std::vector<std::string> pi_names;
+  const auto fail = [&](const std::string& message) {
+    fail_parse("rqfp", source, lineno, message);
+  };
   while (std::getline(in, line)) {
+    ++lineno;
     const auto hash = line.find('#');
     if (hash != std::string::npos) {
       line.resize(hash);
@@ -56,10 +63,12 @@ rqfp::Netlist parse_rqfp(std::istream& in) {
       continue;
     }
     if (!have_header) {
-      throw std::runtime_error("rqfp: missing .rqfp header");
+      fail("missing .rqfp header");
     }
     if (head == ".pis") {
-      ls >> num_pis;
+      if (!(ls >> num_pis)) {
+        fail("malformed .pis line (expected a PI count)");
+      }
       std::string name;
       while (ls >> name) {
         pi_names.push_back(name);
@@ -67,7 +76,7 @@ rqfp::Netlist parse_rqfp(std::istream& in) {
       net = rqfp::Netlist(num_pis);
       if (!pi_names.empty()) {
         if (pi_names.size() != num_pis) {
-          throw std::runtime_error("rqfp: PI name count mismatch");
+          fail("PI name count mismatch");
         }
         net.set_pi_names(pi_names);
       }
@@ -81,7 +90,7 @@ rqfp::Netlist parse_rqfp(std::istream& in) {
       break;
     }
     if (!have_pis) {
-      throw std::runtime_error("rqfp: gate before .pis");
+      fail("gate before .pis");
     }
     if (head == "gate") {
       rqfp::Port a = 0;
@@ -89,22 +98,36 @@ rqfp::Netlist parse_rqfp(std::istream& in) {
       rqfp::Port c = 0;
       std::string cfg;
       if (!(ls >> a >> b >> c >> cfg)) {
-        throw std::runtime_error("rqfp: malformed gate line");
+        fail("malformed gate line");
       }
-      net.add_gate({a, b, c}, rqfp::InvConfig::parse(cfg));
+      // InvConfig::parse and Netlist::add_gate throw std::invalid_argument
+      // on bad configs / forward port references — on this path those are
+      // input errors, not programming errors.
+      try {
+        net.add_gate({a, b, c}, rqfp::InvConfig::parse(cfg));
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
       continue;
     }
     if (head == "po") {
       rqfp::Port p = 0;
       std::string name;
       if (!(ls >> p)) {
-        throw std::runtime_error("rqfp: malformed po line");
+        fail("malformed po line");
       }
       ls >> name;
-      net.add_po(p, name);
+      try {
+        net.add_po(p, name);
+      } catch (const std::exception& e) {
+        fail(e.what());
+      }
       continue;
     }
-    throw std::runtime_error("rqfp: unknown line kind " + head);
+    fail("unknown line kind " + head);
+  }
+  if (!have_header) {
+    fail_parse("rqfp", source, 0, "missing .rqfp header (empty input)");
   }
   return net;
 }
@@ -117,9 +140,9 @@ rqfp::Netlist parse_rqfp_string(const std::string& text) {
 rqfp::Netlist parse_rqfp_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
-    throw std::runtime_error("rqfp: cannot open " + path);
+    fail_parse("rqfp", path, 0, "cannot open file");
   }
-  return parse_rqfp(in);
+  return parse_rqfp(in, path);
 }
 
 void write_rqfp_file(const rqfp::Netlist& net, const std::string& path) {

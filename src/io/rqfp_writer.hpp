@@ -22,7 +22,11 @@ void write_rqfp(const rqfp::Netlist& net, std::ostream& out);
 std::string write_rqfp_string(const rqfp::Netlist& net);
 
 /// Parses the `.rqfp` format back into a netlist (round-trip safe).
-rqfp::Netlist parse_rqfp(std::istream& in);
+/// Throws io::ParseError (a std::runtime_error) on malformed input, with
+/// `source` and the failing line in the message; port and inverter-config
+/// validation errors from the netlist constructor surface the same way.
+rqfp::Netlist parse_rqfp(std::istream& in,
+                         const std::string& source = "<rqfp>");
 rqfp::Netlist parse_rqfp_string(const std::string& text);
 rqfp::Netlist parse_rqfp_file(const std::string& path);
 void write_rqfp_file(const rqfp::Netlist& net, const std::string& path);

@@ -47,6 +47,12 @@ MigRewriteStats mig_algebraic_rewrite(Mig& net, unsigned max_rounds) {
     const auto refs = net.compute_refs();
     const auto levels = net.compute_levels();
     const std::uint32_t original_count = net.num_nodes();
+    // refs/levels are snapshots: create_maj below can append nodes this
+    // round, so any node index past the snapshot has an unknown reference
+    // count and must be treated as shared (rewrites require single fanout).
+    const auto single_ref = [&](std::uint32_t node) {
+      return node < refs.size() && refs[node] == 1;
+    };
 
     for (std::uint32_t n = 0; n < original_count; ++n) {
       if (!net.is_maj(n) || net.is_replaced(n)) {
@@ -70,7 +76,7 @@ MigRewriteStats mig_algebraic_rewrite(Mig& net, unsigned max_rounds) {
               f.node() == n || g.node() == n || f.node() == g.node()) {
             continue;
           }
-          if (refs[f.node()] != 1 || refs[g.node()] != 1) {
+          if (!single_ref(f.node()) || !single_ref(g.node())) {
             continue;
           }
           const auto ef = effective_fanins(net, f);
@@ -125,7 +131,7 @@ MigRewriteStats mig_algebraic_rewrite(Mig& net, unsigned max_rounds) {
       for (unsigned si = 0; si < 3 && !applied; ++si) {
         const Signal s = fi[si];
         if (!net.is_maj(s.node()) || s.node() == n ||
-            refs[s.node()] != 1) {
+            !single_ref(s.node())) {
           continue;
         }
         const auto inner = effective_fanins(net, s);
@@ -181,7 +187,7 @@ MigRewriteStats mig_algebraic_rewrite(Mig& net, unsigned max_rounds) {
       //     already exists (pure sharing, never grows the network).
       for (unsigned si = 0; si < 3 && !applied; ++si) {
         const Signal s = fi[si];
-        if (!net.is_maj(s.node()) || s.node() == n || refs[s.node()] != 1) {
+        if (!net.is_maj(s.node()) || s.node() == n || !single_ref(s.node())) {
           continue;
         }
         const auto inner = effective_fanins(net, s);

@@ -3,6 +3,8 @@
 //   rcgp synth <input> [options]   synthesize an RQFP circuit
 //   rcgp batch <manifest> [options] run a manifest of synthesis jobs
 //                                  across a worker pool (docs/BATCH.md)
+//   rcgp fuzz [options]            continuous differential fuzzing of the
+//                                  io/optimizer/CEC layers (docs/FUZZING.md)
 //   rcgp exact <input> [options]   SAT-based exact synthesis (baseline)
 //   rcgp cec <a.rqfp> <b.rqfp>     equivalence check two RQFP netlists
 //   rcgp stats <x.rqfp>            cost metrics of an RQFP netlist
@@ -62,6 +64,7 @@
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
 #include "exact/exact_rqfp.hpp"
+#include "fuzz/harness.hpp"
 #include "io/io.hpp"
 #include "io/rqfp_writer.hpp"
 #include "obs/json.hpp"
@@ -501,6 +504,107 @@ int cmd_batch(const std::vector<std::string>& args) {
   return summary.failed == 0 && prof_ok ? 0 : 1;
 }
 
+int cmd_fuzz(const std::vector<std::string>& args) {
+  fuzz::FuzzOptions opt;
+  std::string metrics_path;
+  ProfileFlags prof;
+  bool usage_error = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string v;
+    if (prof.parse(args[i])) {
+      // value captured
+    } else if (opt_value(args[i], "--targets", v)) {
+      opt.targets.clear();
+      std::size_t start = 0;
+      while (start <= v.size()) {
+        const std::size_t comma = v.find(',', start);
+        const std::string name =
+            v.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+        if (!name.empty()) {
+          opt.targets.push_back(fuzz::parse_target(name));
+        }
+        if (comma == std::string::npos) {
+          break;
+        }
+        start = comma + 1;
+      }
+    } else if (opt_value(args[i], "--seed", v)) {
+      opt.seed = std::stoull(v);
+    } else if (opt_value(args[i], "--cases", v)) {
+      opt.cases = std::stoull(v);
+    } else if (opt_value(args[i], "--case", v)) {
+      opt.only_case = std::stoull(v);
+    } else if (opt_value(args[i], "--out-dir", v)) {
+      opt.out_dir = v;
+    } else if (opt_value(args[i], "--log", v)) {
+      opt.log_path = v;
+    } else if (opt_value(args[i], "--deadline", v)) {
+      opt.budget.deadline_seconds = std::stod(v);
+    } else if (args[i] == "--no-shrink") {
+      opt.shrink = false;
+    } else if (opt_value(args[i], "--metrics-out", v)) {
+      metrics_path = v;
+    } else {
+      std::fprintf(stderr, "fuzz: unknown option %s\n", args[i].c_str());
+      usage_error = true;
+    }
+  }
+  if (usage_error) {
+    std::fprintf(stderr,
+                 "usage: rcgp fuzz [--targets=T1,T2,...] [--seed=S] "
+                 "[--cases=N] [--case=K]\n"
+                 "                 [--out-dir=DIR] [--log=findings.jsonl] "
+                 "[--deadline=SECONDS] [--no-shrink]\n"
+                 "                 [--metrics-out=m.json] "
+                 "[--profile-out=p.json] [--prom-out=m.prom]\n"
+                 "  targets: io-roundtrip parser-corruption "
+                 "optimizer-differential cec-cross selftest\n"
+                 "           (default: all but selftest)\n"
+                 "  Every case is reproducible from (--seed, --case) alone; "
+                 "findings print their exact\n"
+                 "  repro command and ship a minimized reproducer under "
+                 "--out-dir (docs/FUZZING.md).\n");
+    return 2;
+  }
+  static robust::StopToken signal_token;
+  opt.budget.stop = &robust::install_signal_stop(signal_token);
+
+  opt.on_finding = [](const fuzz::Finding& f) {
+    std::printf("FINDING %s case %llu [%s]: %s\n  reproducer: %s\n"
+                "  repro: %s\n",
+                f.target.c_str(),
+                static_cast<unsigned long long>(f.case_index), f.kind.c_str(),
+                f.detail.c_str(),
+                f.reproducer_path.empty() ? "(none)"
+                                          : f.reproducer_path.c_str(),
+                f.repro_command.c_str());
+    std::fflush(stdout);
+  };
+
+  prof.begin(metrics_path);
+  const fuzz::FuzzSummary summary = fuzz::run_fuzz(opt);
+  const bool prof_ok = prof.finish("fuzz");
+
+  std::printf("fuzz: %llu cases, %llu findings (%.2fs, %s)\n",
+              static_cast<unsigned long long>(summary.cases_run),
+              static_cast<unsigned long long>(summary.findings),
+              summary.seconds,
+              robust::to_string(summary.stop_reason).c_str());
+  std::printf("findings log: %s\n", summary.log_path.c_str());
+  if (!metrics_path.empty()) {
+    if (!obs::registry().write_json(metrics_path)) {
+      std::fprintf(stderr, "fuzz: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  if (summary.stop_reason == robust::StopReason::kStopRequested) {
+    return 3;
+  }
+  return (summary.findings == 0 && prof_ok) ? 0 : 1;
+}
+
 int cmd_exact(const std::vector<std::string>& args) {
   if (args.empty()) {
     std::fprintf(stderr,
@@ -722,7 +826,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(
         stderr,
-        "usage: rcgp <synth|batch|exact|cec|stats|report|list|version> "
+        "usage: rcgp <synth|batch|fuzz|exact|cec|stats|report|list|version> "
         "[args...]\n");
     return 2;
   }
@@ -737,6 +841,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "batch") {
       return cmd_batch(args);
+    }
+    if (cmd == "fuzz") {
+      return cmd_fuzz(args);
     }
     if (cmd == "exact") {
       return cmd_exact(args);

@@ -939,6 +939,78 @@ TEST(Facade, AigRoundTripsThroughEveryWritableFormat) {
   }
 }
 
+TEST(Facade, EmptyFilesAreContextualParseErrors) {
+  // Auto-detection and every explicit parser must reject an empty file
+  // with a ParseError naming it — never misdetect or crash.
+  const std::string path = facade_path("empty.circ");
+  write_text(path, "");
+  auto e = expect_parse_error([&] { read_network(path); });
+  EXPECT_EQ(e.source(), path);
+  EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos)
+      << e.what();
+  const std::string empty_rqfp = facade_path("empty.rqfp");
+  write_text(empty_rqfp, "");
+  EXPECT_THROW(read_network(empty_rqfp), ParseError);
+  std::remove(path.c_str());
+  std::remove(empty_rqfp.c_str());
+}
+
+TEST(Facade, BinaryGarbageIsAContextualParseError) {
+  // No recognizable leading token: detection fails with a sanitized
+  // snippet of the content instead of reading the whole blob.
+  std::string blob;
+  util::Rng rng(0xBADF00D);
+  for (int k = 0; k < 4096; ++k) {
+    blob.push_back(static_cast<char>(rng.below(256)));
+  }
+  const std::string path = facade_path("garbage.bin");
+  write_text(path, blob);
+  const auto e = expect_parse_error([&] { read_network(path); });
+  EXPECT_EQ(e.source(), path);
+  std::remove(path.c_str());
+}
+
+TEST(Facade, WrongExtensionContentIsAParseErrorNotUb) {
+  // RQFP text inside a .aag file: the extension wins detection, so the
+  // AIGER parser must fail with a ParseError naming the file.
+  const std::string path = facade_path("lies.aag");
+  write_text(path, ".rqfp 1\n.pis 1\n.pos 1\npo 1 f\n.end\n");
+  const auto e = expect_parse_error([&] { read_network(path); });
+  EXPECT_EQ(e.source(), path);
+  std::remove(path.c_str());
+}
+
+TEST(Facade, CorruptBinaryAigerReportsAByteOffset) {
+  const auto net = random_aig(3, 8, 2, 5);
+  std::string blob = write_aiger_binary_string(net);
+  blob.resize(blob.find('\n') + 3); // truncate inside the binary section
+  const std::string path = facade_path("cut.aig");
+  write_text(path, blob);
+  const auto e = expect_parse_error([&] { read_network(path); });
+  EXPECT_EQ(e.source(), path);
+  EXPECT_NE(std::string(e.what()).find("byte "), std::string::npos)
+      << e.what();
+  std::remove(path.c_str());
+}
+
+TEST(Facade, OversizedAigerHeadersFailFast) {
+  // A corrupted header must not drive the literal-map allocation.
+  EXPECT_THROW(parse_aiger_string("aag 999999999999 0 0 0 0\n"), ParseError);
+  std::istringstream bin("aig 4000000000 4000000000 0 0 0\n");
+  EXPECT_THROW(parse_aiger_binary(bin), ParseError);
+  EXPECT_THROW(parse_pla_string(".i 3\n.o 4000000000\n111 1\n.e\n"),
+               ParseError);
+}
+
+TEST(Facade, MalformedAigerSymbolTagsAreTolerated) {
+  // Non-numeric symbol indices used to escape as std::invalid_argument
+  // from std::stoul; they are skipped now (symbols are optional).
+  const auto net = parse_aiger_string(
+      "aag 3 2 0 1 1\n2\n4\n6\n6 2 4\nix bogus\ni0 a\no99999999999999 x\n");
+  EXPECT_EQ(net.num_pis(), 2u);
+  EXPECT_EQ(net.pi_name(0), "a");
+}
+
 TEST(Facade, RejectsImpossibleConversions) {
   rqfp::Netlist net(1);
   const auto g0 = net.add_gate({0, 1, 0}, rqfp::InvConfig::splitter());

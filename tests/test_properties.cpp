@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "aig/aig_simulate.hpp"
 #include "bdd/bdd.hpp"
 #include "benchmarks/benchmarks.hpp"
@@ -12,8 +14,10 @@
 #include "core/flow.hpp"
 #include "core/mutation.hpp"
 #include "core/shrink.hpp"
+#include "fuzz/generator.hpp"
 #include "io/aiger.hpp"
 #include "io/blif.hpp"
+#include "io/rqfp_writer.hpp"
 #include "io/verilog.hpp"
 #include "rqfp/simulate.hpp"
 #include "sat/cnf.hpp"
@@ -171,6 +175,90 @@ TEST_P(FormatBridges, VerilogBlifAigerAllDescribeTheSameCircuit) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FormatBridges,
                          ::testing::Values(11, 22, 33, 44));
+
+// Bounded versions of the `rcgp fuzz` targets, driven by the same
+// generators (src/fuzz/generator.hpp), so every ctest run covers a slice
+// of the fuzzer's property space. `rcgp fuzz` runs the open-ended version.
+class FuzzProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzProperties, IoRoundTripIdentity) {
+  util::Rng rng(GetParam() * 2654435761u);
+  // RQFP text format: structural identity.
+  const auto net = fuzz::random_netlist(rng);
+  EXPECT_TRUE(io::parse_rqfp_string(io::write_rqfp_string(net)) == net);
+  // AIG formats: functional identity against the simulation reference.
+  const auto g = fuzz::random_aig(rng);
+  const auto ref = aig::simulate(g);
+  EXPECT_EQ(aig::simulate(io::parse_verilog_string(
+                io::write_verilog_string(g))),
+            ref);
+  EXPECT_EQ(aig::simulate(io::parse_blif_string(io::write_blif_string(g))),
+            ref);
+  EXPECT_EQ(aig::simulate(io::parse_aiger_string(io::write_aiger_string(g))),
+            ref);
+  std::istringstream bin(io::write_aiger_binary_string(g));
+  EXPECT_EQ(aig::simulate(io::parse_aiger_binary(bin)), ref);
+}
+
+TEST_P(FuzzProperties, CecEnginesAgreeOnRandomNetlists) {
+  util::Rng rng(GetParam() * 40503u + 11);
+  fuzz::NetlistShape shape;
+  shape.max_pis = 4;
+  shape.max_gates = 14;
+  const auto net = fuzz::random_netlist(rng, shape);
+  const auto spec = rqfp::simulate(net);
+  EXPECT_TRUE(cec::sim_check(net, spec).all_match);
+  EXPECT_TRUE(cec::bdd_check(net, spec).equivalent);
+  EXPECT_EQ(cec::sat_check(net, spec).verdict,
+            cec::CecVerdict::kEquivalent);
+  // A mutated variant: BDD and SAT must agree with exhaustive simulation
+  // whichever way the mutation went.
+  auto variant = net;
+  core::mutate(variant, rng, {});
+  const bool equal = rqfp::simulate(variant) == spec;
+  EXPECT_EQ(cec::bdd_check(variant, net).equivalent, equal);
+  EXPECT_EQ(cec::sat_check(variant, net).verdict,
+            equal ? cec::CecVerdict::kEquivalent
+                  : cec::CecVerdict::kNotEquivalent);
+}
+
+TEST_P(FuzzProperties, DeltaEvaluationMatchesFullRecomputation) {
+  util::Rng rng(GetParam() * 6364136223846793005ull + 1442695040888963407ull);
+  fuzz::NetlistShape shape;
+  shape.max_pis = 4;
+  shape.max_gates = 12;
+  auto base = fuzz::random_netlist(rng, shape);
+  const auto spec = rqfp::simulate(base);
+  core::FitnessOptions fopt;
+  fopt.schedule = rng.chance(0.5) ? rqfp::BufferSchedule::kBest
+                                  : rqfp::BufferSchedule::kAsap;
+  fopt.objective = rng.chance(0.5) ? core::Objective::kJjCount
+                                   : core::Objective::kPaperLexicographic;
+  rqfp::SimCache sim;
+  rqfp::build_sim_cache(base, sim);
+  rqfp::CostCache cost;
+  rqfp::build_cost_cache(base, fopt.schedule, cost);
+  for (int step = 0; step < 12; ++step) {
+    auto child = base;
+    core::mutate(child, rng, {});
+    const auto full = core::evaluate(child, spec, fopt);
+    const auto delta = core::evaluate_delta(base, sim, cost, child, spec,
+                                            fopt);
+    ASSERT_TRUE(full.success_rate == delta.success_rate &&
+                full.n_r == delta.n_r && full.n_g == delta.n_g &&
+                full.n_b == delta.n_b)
+        << "step " << step << ": delta " << delta.to_string() << " vs full "
+        << full.to_string();
+    if (full.better_or_equal(core::evaluate(base, spec, fopt))) {
+      rqfp::update_sim_cache(base, child, sim);
+      rqfp::update_cost_cache(base, child, cost);
+      base = child;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProperties,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
 TEST(Determinism, WholeFlowIsBitReproducible) {
   const auto b = benchmarks::get("c17");
