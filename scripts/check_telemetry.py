@@ -140,6 +140,8 @@ def check_metrics(path: str) -> None:
     check_cost_metrics(path, counters, registry.get("gauges", {}))
     check_batch_metrics(path, counters, registry.get("gauges", {}))
     check_fuzz_metrics(path, counters, registry.get("gauges", {}))
+    check_cache_metrics(path, counters, registry.get("gauges", {}))
+    check_serve_metrics(path, counters, registry.get("gauges", {}))
     print(f"check_telemetry: {path}: {len(counters)} counters: OK")
 
 
@@ -297,6 +299,71 @@ def check_fuzz_metrics(path: str, counters: dict, gauges: dict) -> None:
     print(
         f"check_telemetry: {path}: fuzz ran {cases} cases, "
         f"{findings} findings: OK"
+    )
+
+
+def check_cache_metrics(path: str, counters: dict, gauges: dict) -> None:
+    """Result-cache invariants (docs/SERVICE.md)."""
+    lookups = counters.get("cache.lookups")
+    if lookups is None:
+        return  # run never consulted a result cache
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    if hits + misses != lookups:
+        fail(
+            f"{path}: cache.hits {hits} + cache.misses {misses} != "
+            f"cache.lookups {lookups}"
+        )
+    entries = gauges.get("cache.entries")
+    if entries is None or entries < 0:
+        fail(f"{path}: cache.entries gauge is {entries}, expected >= 0")
+    inserts = counters.get("cache.inserts", 0)
+    if inserts > misses:
+        # Every insert is preceded by the miss that triggered synthesis
+        # (warm-only runs insert without lookups, but then misses == 0 and
+        # lookups is absent, so we never reach this check).
+        fail(
+            f"{path}: cache.inserts {inserts} exceeds cache.misses "
+            f"{misses}; hits must never insert"
+        )
+    failures = counters.get("cache.verify.failures", 0)
+    if failures > 0:
+        fail(
+            f"{path}: cache.verify.failures is {failures}; a healthy "
+            f"store must never serve an entry that fails verification"
+        )
+    print(
+        f"check_telemetry: {path}: cache served {hits}/{lookups} lookups "
+        f"from {entries:g} entries: OK"
+    )
+
+
+def check_serve_metrics(path: str, counters: dict, gauges: dict) -> None:
+    """Synthesis-service invariants (docs/SERVICE.md)."""
+    requests = counters.get("serve.requests")
+    if requests is None:
+        return  # run was not a service
+    ok = counters.get("serve.responses.ok", 0)
+    errors = counters.get("serve.errors", 0)
+    if ok + errors != requests:
+        fail(
+            f"{path}: serve.responses.ok {ok} + serve.errors {errors} != "
+            f"serve.requests {requests}"
+        )
+    if counters.get("serve.connections", 0) < 1:
+        fail(f"{path}: serve.requests > 0 but serve.connections < 1")
+    for name in ("serve.active", "serve.connections.active"):
+        residual = gauges.get(name, 0)
+        if residual != 0:
+            fail(
+                f"{path}: {name} gauge is {residual} after shutdown, "
+                f"expected 0"
+            )
+    if gauges.get("serve.up", 0) != 0:
+        fail(f"{path}: serve.up gauge still set after shutdown")
+    print(
+        f"check_telemetry: {path}: service answered {requests} requests "
+        f"({ok} ok, {errors} errors): OK"
     )
 
 

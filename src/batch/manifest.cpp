@@ -5,10 +5,8 @@
 #include <istream>
 #include <set>
 #include <sstream>
-#include <stdexcept>
 
 #include "io/parse_error.hpp"
-#include "obs/json.hpp"
 
 namespace rcgp::batch {
 namespace {
@@ -18,183 +16,12 @@ namespace {
   io::fail_parse("manifest", source, line, message);
 }
 
-/// One scanned top-level `"key": value` pair of a flat JSON object.
-struct Field {
-  std::string key;
-  std::string raw;     ///< value text (string content unescaped)
-  bool is_string = false;
-};
-
-std::size_t skip_ws(const std::string& s, std::size_t i) {
+std::size_t first_content(const std::string& s) {
+  std::size_t i = 0;
   while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
     ++i;
   }
   return i;
-}
-
-/// Reads a JSON string starting at the opening quote; returns the decoded
-/// content and advances `i` past the closing quote. The line has already
-/// passed obs::json::validate, so escapes are well-formed.
-std::string read_string(const std::string& s, std::size_t& i) {
-  std::string out;
-  ++i; // opening quote
-  while (i < s.size() && s[i] != '"') {
-    if (s[i] == '\\' && i + 1 < s.size()) {
-      const char c = s[i + 1];
-      out += c == 'n' ? '\n' : c == 't' ? '\t' : c == 'r' ? '\r' : c;
-      i += 2;
-    } else {
-      out += s[i++];
-    }
-  }
-  ++i; // closing quote
-  return out;
-}
-
-/// Splits a validated flat JSON object into its top-level fields. Nested
-/// objects and arrays are rejected — manifest lines are flat on purpose so
-/// every key is checkable.
-std::vector<Field> scan_flat_object(const std::string& line,
-                                    const std::string& source,
-                                    std::size_t lineno) {
-  std::vector<Field> fields;
-  std::size_t i = skip_ws(line, 0);
-  if (i >= line.size() || line[i] != '{') {
-    fail(source, lineno, "job line must be a JSON object");
-  }
-  i = skip_ws(line, i + 1);
-  if (i < line.size() && line[i] == '}') {
-    return fields;
-  }
-  while (i < line.size()) {
-    if (line[i] != '"') {
-      fail(source, lineno, "expected a key string");
-    }
-    Field f;
-    f.key = read_string(line, i);
-    i = skip_ws(line, i);
-    if (i >= line.size() || line[i] != ':') {
-      fail(source, lineno, "expected ':' after key \"" + f.key + "\"");
-    }
-    i = skip_ws(line, i + 1);
-    if (i >= line.size()) {
-      fail(source, lineno, "missing value for key \"" + f.key + "\"");
-    }
-    if (line[i] == '"') {
-      f.is_string = true;
-      f.raw = read_string(line, i);
-    } else if (line[i] == '{' || line[i] == '[') {
-      fail(source, lineno,
-           "key \"" + f.key + "\": nested values are not allowed — "
-           "manifest job lines are flat objects");
-    } else {
-      while (i < line.size() && line[i] != ',' && line[i] != '}' &&
-             !std::isspace(static_cast<unsigned char>(line[i]))) {
-        f.raw += line[i++];
-      }
-    }
-    fields.push_back(std::move(f));
-    i = skip_ws(line, i);
-    if (i < line.size() && line[i] == ',') {
-      i = skip_ws(line, i + 1);
-      continue;
-    }
-    if (i < line.size() && line[i] == '}') {
-      return fields;
-    }
-    fail(source, lineno, "expected ',' or '}' in job object");
-  }
-  fail(source, lineno, "unterminated job object");
-}
-
-double number_of(const Field& f, const std::string& source,
-                 std::size_t lineno) {
-  if (f.is_string) {
-    fail(source, lineno, "key \"" + f.key + "\" must be a number");
-  }
-  try {
-    std::size_t used = 0;
-    const double v = std::stod(f.raw, &used);
-    if (used != f.raw.size()) {
-      throw std::invalid_argument(f.raw);
-    }
-    return v;
-  } catch (const std::exception&) {
-    fail(source, lineno,
-         "key \"" + f.key + "\": not a number: \"" + f.raw + "\"");
-  }
-}
-
-std::uint64_t uint_of(const Field& f, const std::string& source,
-                      std::size_t lineno) {
-  const double v = number_of(f, source, lineno);
-  if (v < 0 || v != static_cast<double>(static_cast<std::uint64_t>(v))) {
-    fail(source, lineno,
-         "key \"" + f.key + "\" must be a non-negative integer");
-  }
-  return static_cast<std::uint64_t>(v);
-}
-
-std::string string_of(const Field& f, const std::string& source,
-                      std::size_t lineno) {
-  if (!f.is_string) {
-    fail(source, lineno, "key \"" + f.key + "\" must be a string");
-  }
-  return f.raw;
-}
-
-Job parse_job(const std::string& line, const std::string& source,
-              std::size_t lineno) {
-  if (!obs::json::validate(line)) {
-    fail(source, lineno, "malformed JSON");
-  }
-  Job job;
-  job.line = lineno;
-  for (const auto& f : scan_flat_object(line, source, lineno)) {
-    if (f.key == "id") {
-      job.id = string_of(f, source, lineno);
-    } else if (f.key == "circuit") {
-      job.circuit = string_of(f, source, lineno);
-    } else if (f.key == "algorithm") {
-      try {
-        job.algorithm = core::parse_algorithm(string_of(f, source, lineno));
-      } catch (const std::invalid_argument& e) {
-        fail(source, lineno, e.what());
-      }
-    } else if (f.key == "generations") {
-      job.generations = uint_of(f, source, lineno);
-    } else if (f.key == "seed") {
-      job.seed = uint_of(f, source, lineno);
-    } else if (f.key == "restarts") {
-      job.restarts = static_cast<unsigned>(uint_of(f, source, lineno));
-    } else if (f.key == "deadline_seconds") {
-      job.deadline_seconds = number_of(f, source, lineno);
-      if (job.deadline_seconds < 0) {
-        fail(source, lineno, "key \"deadline_seconds\" must be >= 0");
-      }
-    } else if (f.key == "max_evaluations") {
-      job.max_evaluations = uint_of(f, source, lineno);
-    } else if (f.key == "retries") {
-      job.retries = static_cast<int>(uint_of(f, source, lineno));
-    } else {
-      fail(source, lineno, "unknown key \"" + f.key + "\"");
-    }
-  }
-  if (job.id.empty()) {
-    fail(source, lineno, "missing required key \"id\"");
-  }
-  for (const char c : job.id) {
-    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-          c == '-' || c == '.')) {
-      fail(source, lineno,
-           "id \"" + job.id + "\" must be filesystem-safe "
-           "([A-Za-z0-9._-] only) — it names checkpoint and output files");
-    }
-  }
-  if (job.circuit.empty()) {
-    fail(source, lineno, "missing required key \"circuit\"");
-  }
-  return job;
 }
 
 } // namespace
@@ -207,11 +34,11 @@ Manifest parse_manifest(std::istream& in, const std::string& source) {
   std::size_t lineno = 0;
   while (std::getline(in, line)) {
     ++lineno;
-    const std::size_t first = skip_ws(line, 0);
+    const std::size_t first = first_content(line);
     if (first >= line.size() || line[first] == '#') {
       continue;
     }
-    Job job = parse_job(line, source, lineno);
+    Job job = core::parse_request(line, source, lineno, "manifest");
     if (!seen.insert(job.id).second) {
       fail(source, lineno, "duplicate job id \"" + job.id + "\"");
     }

@@ -1,39 +1,18 @@
 #pragma once
 
-#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
-#include "core/optimizer.hpp"
+#include "core/request.hpp"
 
 namespace rcgp::batch {
 
-/// One synthesis job from a batch manifest. `id` and `circuit` come from
-/// the manifest; every other field is an optional per-job override of the
-/// batch defaults (0 / empty = keep the default).
-struct Job {
-  /// Unique job identifier. Used for the result record, the per-job
-  /// checkpoint (`<out-dir>/<id>.ckpt`), and the output netlist
-  /// (`<out-dir>/<id>.rqfp`), so it must be filesystem-safe.
-  std::string id;
-  /// Circuit to synthesize: a file in any format the io facade reads, or
-  /// the name of a built-in benchmark (`rcgp list`).
-  std::string circuit;
-  core::Algorithm algorithm = core::Algorithm::kEvolve;
-  std::uint64_t generations = 0; ///< CGP generation budget (0 = default)
-  std::uint64_t seed = 0;        ///< RNG seed (0 = default seed 1)
-  unsigned restarts = 0;         ///< kMultistart restarts (0 = default)
-  /// Per-job wall-clock ceiling in seconds (0 = none). Note: this is the
-  /// one per-job knob that is *not* deterministic across machines or
-  /// worker counts — see docs/BATCH.md.
-  double deadline_seconds = 0.0;
-  std::uint64_t max_evaluations = 0; ///< evaluation ceiling (0 = none)
-  /// Retry budget on integrity violations; negative = batch default.
-  int retries = -1;
-  /// 1-based manifest line the job was parsed from (diagnostics).
-  std::size_t line = 0;
-};
+/// A manifest job IS a synthesis request — the batch runner consumes the
+/// same versioned job description as the `rcgp synth` flags and the
+/// `rcgp serve` protocol (core/request.hpp). The alias survives from the
+/// pre-unification Job struct.
+using Job = core::SynthesisRequest;
 
 /// A parsed manifest: jobs in file order with unique ids.
 struct Manifest {
@@ -41,11 +20,13 @@ struct Manifest {
   std::vector<Job> jobs;
 };
 
-/// Parses the JSONL manifest format (docs/BATCH.md): one flat JSON object
-/// per job line — `{"id":"j1","circuit":"full_adder","generations":500}` —
-/// with `#`-comment and blank lines ignored. Unknown keys, wrong value
-/// types, duplicate ids, and malformed JSON all throw io::ParseError with
-/// "manifest:<source>:<line>" context.
+/// Parses the JSONL manifest format (docs/BATCH.md): one JSON object per
+/// job line — `{"id":"j1","circuit":"full_adder","generations":500}` —
+/// with `#`-comment and blank lines ignored. Each line is handed to
+/// core::parse_request, so the full request schema (inline specs, cache
+/// policy, schema version) is available per job. Unknown keys, wrong
+/// value types, duplicate ids, and malformed JSON all throw io::ParseError
+/// with "manifest:<source>:<line>" context.
 Manifest parse_manifest(std::istream& in, const std::string& source);
 Manifest parse_manifest_string(const std::string& text);
 Manifest parse_manifest_file(const std::string& path);

@@ -17,6 +17,12 @@ std::string to_json(const JobRecord& record) {
     w.field("error", record.error);
   }
   w.field("verified", record.verified);
+  if (record.cached) {
+    w.field("cached", true);
+  }
+  if (record.seeded) {
+    w.field("seeded", true);
+  }
   w.key("cost").begin_object();
   w.field("n_r", record.n_r);
   w.field("n_b", record.n_b);
@@ -51,6 +57,8 @@ std::optional<JobRecord> parse_record(const std::string& line) {
   r.ok = line.find("\"ok\":true") != std::string::npos;
   r.final_record = line.find("\"final\":true") != std::string::npos;
   r.verified = line.find("\"verified\":true") != std::string::npos;
+  r.cached = line.find("\"cached\":true") != std::string::npos;
+  r.seeded = line.find("\"seeded\":true") != std::string::npos;
   if (const auto e = obs::json::string_field(line, "error")) {
     r.error = *e;
   }

@@ -27,6 +27,8 @@ struct JobRecord {
   std::string stop_reason = "completed";
   std::string error; ///< failure message; empty when ok
   bool verified = false; ///< exhaustive simulation check passed
+  bool cached = false;   ///< served straight from the result cache
+  bool seeded = false;   ///< evolution was seeded from a cache hit
   /// Cost of the synthesized netlist (all zero on failure).
   std::uint32_t n_r = 0, n_b = 0, n_d = 0, n_g = 0;
   std::uint64_t jjs = 0;

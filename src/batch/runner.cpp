@@ -8,9 +8,8 @@
 #include <stdexcept>
 #include <thread>
 
-#include "benchmarks/benchmarks.hpp"
-#include "cec/sim_cec.hpp"
-#include "core/flow.hpp"
+#include "batch/execute.hpp"
+#include "cache/store.hpp"
 #include "io/io.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -26,53 +25,16 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// The default job body: resolve the circuit (file via the io facade,
-/// otherwise a built-in benchmark), run the full synthesis flow with the
-/// job's overrides, and verify the result exhaustively.
-JobExecution run_flow_job(const Job& job, const JobContext& ctx,
-                          const BatchOptions& options) {
-  core::FlowOptions fo;
-  fo.optimizer = job.algorithm;
-  fo.evolve.generations =
-      job.generations != 0 ? job.generations : options.default_generations;
-  fo.evolve.seed = job.seed != 0 ? job.seed : 1;
-  fo.evolve.threads = options.threads_per_job;
-  fo.anneal.seed = fo.evolve.seed;
-  if (job.generations != 0) {
-    fo.anneal.steps = job.generations; // kAnneal counts steps
-  }
-  if (job.restarts != 0) {
-    fo.restarts = job.restarts;
-  }
-  fo.limits.deadline_seconds = job.deadline_seconds;
-  fo.limits.max_evaluations = job.max_evaluations;
-  fo.limits.stop = ctx.stop;
-  if (!ctx.checkpoint_path.empty()) {
-    fo.limits.checkpoint_path = ctx.checkpoint_path;
-    fo.limits.checkpoint_interval = options.checkpoint_interval;
-    fo.resume = ctx.resume_from_checkpoint;
-  }
-
-  std::vector<tt::TruthTable> spec;
-  core::FlowResult r;
-  if (io::format_from_extension(job.circuit) != io::Format::kAuto) {
-    const io::Network net = io::read_network(job.circuit);
-    spec = net.to_tables();
-    r = net.aig ? core::synthesize(*net.aig, fo)
-                : core::synthesize(core::aig_from_tables(spec, net.po_names),
-                                   fo);
-  } else {
-    const auto b = benchmarks::get(job.circuit);
-    spec = b.spec;
-    r = core::synthesize(b.spec, fo);
-  }
-
-  JobExecution exec;
-  exec.netlist = r.optimized;
-  exec.cost = r.optimized_cost;
-  exec.stop_reason = r.optimization.stop_reason;
-  exec.verified = cec::sim_check(r.optimized, spec).all_match;
-  return exec;
+/// The shared executor configuration the runner's defaults denote.
+ExecuteOptions execute_options_for(const BatchOptions& options) {
+  ExecuteOptions eo;
+  eo.default_generations = options.default_generations;
+  eo.threads_per_job = options.threads_per_job;
+  eo.checkpoint_interval = options.checkpoint_interval;
+  eo.cache = options.cache;
+  // The runner saves the cache once after the batch, not per insert.
+  eo.save_cache_on_insert = false;
+  return eo;
 }
 
 // Per-job wall seconds: sub-second smoke jobs through hour-scale runs.
@@ -163,11 +125,12 @@ BatchSummary run_batch(const Manifest& manifest,
     });
   }
 
+  const ExecuteOptions exec_options = execute_options_for(options);
   const JobExecutor executor =
       options.executor
           ? options.executor
-          : [&options](const Job& job, const JobContext& ctx) {
-              return run_flow_job(job, ctx, options);
+          : [&exec_options](const Job& job, const JobContext& ctx) {
+              return execute_request(job, ctx, exec_options);
             };
 
   std::vector<JobRecord> produced(queue.size());
@@ -220,6 +183,8 @@ BatchSummary run_batch(const Manifest& manifest,
           rec.final_record =
               exec.stop_reason != robust::StopReason::kStopRequested;
           rec.verified = exec.verified;
+          rec.cached = exec.cached;
+          rec.seeded = exec.seeded;
           rec.ok = rec.final_record && exec.verified;
           rec.n_r = exec.cost.n_r;
           rec.n_b = exec.cost.n_b;
@@ -306,6 +271,9 @@ BatchSummary run_batch(const Manifest& manifest,
   workers_done.store(true, std::memory_order_relaxed);
   if (watchdog.joinable()) {
     watchdog.join();
+  }
+  if (options.cache != nullptr) {
+    options.cache->save(); // one atomic write-back for the whole batch
   }
 
   BatchSummary summary;

@@ -15,6 +15,10 @@ namespace rcgp::obs {
 class TraceSink;
 }
 
+namespace rcgp::cache {
+class Store;
+}
+
 namespace rcgp::batch {
 
 /// Scheduling facts handed to the job executor alongside the job itself.
@@ -40,6 +44,8 @@ struct JobExecution {
   rqfp::Cost cost;
   robust::StopReason stop_reason = robust::StopReason::kCompleted;
   bool verified = false; ///< exhaustive simulation check passed
+  bool cached = false;   ///< served straight from the result cache
+  bool seeded = false;   ///< evolution was seeded from a cache hit
 };
 
 /// Replaceable job body: the default runs the full synthesis flow
@@ -81,6 +87,10 @@ struct BatchOptions {
   /// (worker/attempt/cost attribution) and a final `batch_end` summary.
   /// The sink must outlive run_batch. Not owned.
   obs::TraceSink* trace = nullptr;
+  /// Optional shared NPN-canonical result cache (batch/execute.hpp): jobs
+  /// consult it per their CachePolicy and verified results are written
+  /// back; the runner saves it once after the batch. Not owned.
+  cache::Store* cache = nullptr;
   JobExecutor executor;                         ///< test hook
   std::function<void(const JobRecord&)> on_record; ///< after each append
 };

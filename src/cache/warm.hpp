@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/store.hpp"
+#include "exact/exact_rqfp.hpp"
+
+namespace rcgp::cache {
+
+/// Options for the offline cache warmer (`rcgp cache warm`).
+struct WarmOptions {
+  /// Enumerate every NPN class of 1..max_vars inputs (single-output).
+  /// 4 is the full paper-scale sweep (222 classes); the CI smoke runs 2-3.
+  unsigned max_vars = 4;
+  /// Per-class exact-synthesis budget. The defaults keep one class to a
+  /// few seconds; classes that exhaust the budget are counted as timeouts
+  /// and simply not stored (a later warm run can retry with more budget).
+  exact::ExactParams exact;
+  /// Leave entries that already exist alone (a re-run only fills gaps).
+  bool skip_existing = true;
+  /// Save the store after this many new entries (and once at the end);
+  /// 0 saves only at the end.
+  std::uint64_t save_every = 25;
+  /// Optional progress callback: (classes_done, classes_total).
+  std::function<void(std::uint64_t, std::uint64_t)> progress;
+};
+
+struct WarmResult {
+  std::uint64_t classes = 0;  ///< distinct NPN classes enumerated
+  std::uint64_t solved = 0;   ///< classes newly stored
+  std::uint64_t timeouts = 0; ///< classes the exact budget could not crack
+  std::uint64_t skipped = 0;  ///< classes already present (skip_existing)
+  double seconds = 0.0;
+};
+
+/// Fills `store` with exact-synthesis results for every single-output NPN
+/// class of at most `max_vars` inputs: enumerates all 2^2^n functions,
+/// canonicalizes each to find the class representatives, runs
+/// exact::exact_synthesize on each representative, and inserts the optimal
+/// netlists. The store is saved periodically so an interrupted warm run
+/// keeps its progress. Throws std::invalid_argument when max_vars is 0 or
+/// exceeds kMaxJointVars.
+WarmResult warm(Store& store, const WarmOptions& options = {});
+
+} // namespace rcgp::cache

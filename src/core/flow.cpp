@@ -6,7 +6,9 @@
 
 #include "aig/aig_simulate.hpp"
 #include "aig/fraig.hpp"
+#include "cec/sim_cec.hpp"
 #include "io/io.hpp"
+#include "obs/metrics.hpp"
 #include "aig/resyn.hpp"
 #include "aig/rewrite.hpp"
 #include "mig/mig_from_aig.hpp"
@@ -130,7 +132,21 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
       }
       result.optimization = optimizer.resume(spec);
     } else {
-      result.optimization = optimizer.run(result.initial, spec);
+      const rqfp::Netlist* start = &result.initial;
+      if (options.cgp_seed != nullptr) {
+        const bool fits =
+            options.cgp_seed->num_pis() == result.initial.num_pis() &&
+            options.cgp_seed->num_pos() == result.initial.num_pos() &&
+            options.cgp_seed->validate().empty() &&
+            cec::sim_check(*options.cgp_seed, spec).all_match;
+        obs::registry()
+            .counter(fits ? "flow.seed.used" : "flow.seed.rejected")
+            .inc();
+        if (fits) {
+          start = options.cgp_seed;
+        }
+      }
+      result.optimization = optimizer.run(*start, spec);
     }
     result.evolution = result.optimization.evolve;
     result.optimized = result.optimization.best;

@@ -50,6 +50,14 @@ struct FlowOptions {
   /// flow-level phases.
   RunLimits limits;
   rqfp::BufferSchedule schedule = rqfp::BufferSchedule::kAsap;
+  /// Optional CGP starting point (not owned), e.g. a de-canonicalized
+  /// synthesis-cache hit for the same function class. When it is a valid
+  /// netlist over the right PIs/POs that implements the specification, the
+  /// CGP phase evolves from it instead of the freshly mapped baseline;
+  /// otherwise it is ignored (the `flow.seed.used` / `flow.seed.rejected`
+  /// counters record which happened). The mapping phases still run, so
+  /// `initial`/`initial_cost` keep their meaning as the paper's baseline.
+  const rqfp::Netlist* cgp_seed = nullptr;
 };
 
 struct FlowResult {

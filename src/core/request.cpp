@@ -1,0 +1,674 @@
+#include "core/request.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "io/parse_error.hpp"
+#include "obs/json.hpp"
+
+namespace rcgp::core {
+namespace {
+
+[[noreturn]] void fail(const char* format, const std::string& source,
+                       std::size_t line, const std::string& message) {
+  io::fail_parse(format, source, line, message);
+}
+
+// ---- enum name tables shared by the options round-trip ----
+
+std::string_view schedule_name(rqfp::BufferSchedule s) {
+  switch (s) {
+    case rqfp::BufferSchedule::kAsap: return "asap";
+    case rqfp::BufferSchedule::kAlap: return "alap";
+    case rqfp::BufferSchedule::kBest: return "best";
+    case rqfp::BufferSchedule::kOptimized: return "optimized";
+  }
+  return "asap";
+}
+
+rqfp::BufferSchedule schedule_from_name(std::string_view name) {
+  if (name == "asap") return rqfp::BufferSchedule::kAsap;
+  if (name == "alap") return rqfp::BufferSchedule::kAlap;
+  if (name == "best") return rqfp::BufferSchedule::kBest;
+  if (name == "optimized") return rqfp::BufferSchedule::kOptimized;
+  throw std::invalid_argument("unknown buffer schedule: \"" +
+                              std::string(name) + "\"");
+}
+
+std::string_view objective_name(Objective o) {
+  return o == Objective::kJjCount ? "jj-count" : "paper-lexicographic";
+}
+
+Objective objective_from_name(std::string_view name) {
+  if (name == "paper-lexicographic") return Objective::kPaperLexicographic;
+  if (name == "jj-count") return Objective::kJjCount;
+  throw std::invalid_argument("unknown objective: \"" + std::string(name) +
+                              "\"");
+}
+
+// ---- typed member extraction over obs::json::Value ----
+
+std::uint64_t uint_member(const obs::json::Value& v, std::string_view key) {
+  if (!v.is_number()) {
+    throw std::invalid_argument("key \"" + std::string(key) +
+                                "\" must be a number");
+  }
+  const double d = v.as_number();
+  if (d < 0 || d != static_cast<double>(static_cast<std::uint64_t>(d))) {
+    throw std::invalid_argument("key \"" + std::string(key) +
+                                "\" must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+double number_member(const obs::json::Value& v, std::string_view key) {
+  if (!v.is_number()) {
+    throw std::invalid_argument("key \"" + std::string(key) +
+                                "\" must be a number");
+  }
+  return v.as_number();
+}
+
+std::string string_member(const obs::json::Value& v, std::string_view key) {
+  if (!v.is_string()) {
+    throw std::invalid_argument("key \"" + std::string(key) +
+                                "\" must be a string");
+  }
+  return v.as_string();
+}
+
+bool bool_member(const obs::json::Value& v, std::string_view key) {
+  if (v.kind() != obs::json::Value::Kind::kBool) {
+    throw std::invalid_argument("key \"" + std::string(key) +
+                                "\" must be a boolean");
+  }
+  return v.as_bool();
+}
+
+/// Parses `text` as a single JSON object and walks its members through
+/// `on_member`, rejecting duplicates. The member callback throws
+/// std::invalid_argument for bad keys/values; the error is rethrown as a
+/// contextual ParseError.
+template <typename F>
+void scan_object(const std::string& text, const char* format,
+                 const std::string& source, std::size_t lineno,
+                 F&& on_member) {
+  const auto doc = obs::json::parse(text);
+  if (!doc) {
+    fail(format, source, lineno, "malformed JSON");
+  }
+  if (!doc->is_object()) {
+    fail(format, source, lineno, "line must be a JSON object");
+  }
+  std::set<std::string> seen;
+  for (const auto& [key, value] : doc->members()) {
+    if (!seen.insert(key).second) {
+      fail(format, source, lineno, "duplicate key \"" + key + "\"");
+    }
+    try {
+      on_member(key, value);
+    } catch (const std::invalid_argument& e) {
+      fail(format, source, lineno, e.what());
+    }
+  }
+}
+
+void check_schema(const obs::json::Value& v) {
+  const std::uint64_t schema = uint_member(v, "schema");
+  if (schema == 0 || schema > kRequestSchemaVersion) {
+    throw std::invalid_argument(
+        "unsupported schema version " + std::to_string(schema) +
+        " (this build understands <= " +
+        std::to_string(kRequestSchemaVersion) + ")");
+  }
+}
+
+} // namespace
+
+std::string_view to_string(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kOff: return "off";
+    case CachePolicy::kUse: return "use";
+    case CachePolicy::kSeed: return "seed";
+  }
+  return "use";
+}
+
+CachePolicy parse_cache_policy(std::string_view name) {
+  if (name == "off") return CachePolicy::kOff;
+  if (name == "use") return CachePolicy::kUse;
+  if (name == "seed") return CachePolicy::kSeed;
+  throw std::invalid_argument("unknown cache policy: \"" + std::string(name) +
+                              "\" (want off, use, or seed)");
+}
+
+bool SynthesisRequest::operator==(const SynthesisRequest& o) const {
+  return id == o.id && circuit == o.circuit && spec == o.spec &&
+         algorithm == o.algorithm && generations == o.generations &&
+         seed == o.seed && lambda == o.lambda && threads == o.threads &&
+         restarts == o.restarts && deadline_seconds == o.deadline_seconds &&
+         max_generations == o.max_generations &&
+         max_evaluations == o.max_evaluations &&
+         stagnation_limit == o.stagnation_limit && retries == o.retries &&
+         cache == o.cache;
+}
+
+std::string to_json(const SynthesisRequest& r) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.field("schema", kRequestSchemaVersion);
+  w.field("id", r.id);
+  if (!r.circuit.empty()) {
+    w.field("circuit", r.circuit);
+  }
+  if (!r.spec.empty()) {
+    w.field("spec_vars",
+            static_cast<std::uint64_t>(r.spec.front().num_vars()));
+    w.key("spec").begin_array();
+    for (const auto& t : r.spec) {
+      w.value(t.to_hex());
+    }
+    w.end_array();
+  }
+  if (r.algorithm != Algorithm::kEvolve) {
+    w.field("algorithm", to_string(r.algorithm));
+  }
+  if (r.generations != 0) w.field("generations", r.generations);
+  if (r.seed != 0) w.field("seed", r.seed);
+  if (r.lambda != 0) w.field("lambda", r.lambda);
+  if (r.threads != 0) w.field("threads", r.threads);
+  if (r.restarts != 0) w.field("restarts", r.restarts);
+  if (r.deadline_seconds != 0.0) {
+    w.field("deadline_seconds", r.deadline_seconds);
+  }
+  if (r.max_generations != 0) w.field("max_generations", r.max_generations);
+  if (r.max_evaluations != 0) w.field("max_evaluations", r.max_evaluations);
+  if (r.stagnation_limit != 0) {
+    w.field("stagnation_limit", r.stagnation_limit);
+  }
+  if (r.retries >= 0) w.field("retries", r.retries);
+  if (r.cache != CachePolicy::kUse) {
+    w.field("cache", to_string(r.cache));
+  }
+  w.end_object();
+  return w.str();
+}
+
+SynthesisRequest parse_request(const std::string& text,
+                               const std::string& source, std::size_t lineno,
+                               const char* format) {
+  SynthesisRequest r;
+  r.line = lineno;
+  std::vector<std::string> spec_hex;
+  std::uint64_t spec_vars = 0;
+  bool have_spec_vars = false;
+  scan_object(text, format, source, lineno,
+              [&](const std::string& key, const obs::json::Value& v) {
+    if (key == "schema") {
+      check_schema(v);
+    } else if (key == "id") {
+      r.id = string_member(v, key);
+    } else if (key == "circuit") {
+      r.circuit = string_member(v, key);
+    } else if (key == "spec") {
+      if (!v.is_array()) {
+        throw std::invalid_argument(
+            "key \"spec\" must be an array of hex truth tables");
+      }
+      for (const auto& item : v.items()) {
+        spec_hex.push_back(string_member(item, "spec"));
+      }
+      if (spec_hex.empty()) {
+        throw std::invalid_argument("key \"spec\" must not be empty");
+      }
+    } else if (key == "spec_vars") {
+      spec_vars = uint_member(v, key);
+      have_spec_vars = true;
+    } else if (key == "algorithm") {
+      r.algorithm = parse_algorithm(string_member(v, key));
+    } else if (key == "generations") {
+      r.generations = uint_member(v, key);
+    } else if (key == "seed") {
+      r.seed = uint_member(v, key);
+    } else if (key == "lambda") {
+      r.lambda = static_cast<unsigned>(uint_member(v, key));
+    } else if (key == "threads") {
+      r.threads = static_cast<unsigned>(uint_member(v, key));
+    } else if (key == "restarts") {
+      r.restarts = static_cast<unsigned>(uint_member(v, key));
+    } else if (key == "deadline_seconds") {
+      r.deadline_seconds = number_member(v, key);
+      if (r.deadline_seconds < 0 || !std::isfinite(r.deadline_seconds)) {
+        throw std::invalid_argument(
+            "key \"deadline_seconds\" must be finite and >= 0");
+      }
+    } else if (key == "max_generations") {
+      r.max_generations = uint_member(v, key);
+    } else if (key == "max_evaluations") {
+      r.max_evaluations = uint_member(v, key);
+    } else if (key == "stagnation_limit") {
+      r.stagnation_limit = uint_member(v, key);
+    } else if (key == "retries") {
+      r.retries = static_cast<int>(uint_member(v, key));
+    } else if (key == "cache") {
+      r.cache = parse_cache_policy(string_member(v, key));
+    } else {
+      throw std::invalid_argument("unknown key \"" + key + "\"");
+    }
+  });
+  if (!spec_hex.empty()) {
+    if (!have_spec_vars) {
+      fail(format, source, lineno, "key \"spec\" requires \"spec_vars\"");
+    }
+    if (spec_vars < 1 || spec_vars > kMaxRequestSpecVars) {
+      fail(format, source, lineno,
+           "key \"spec_vars\" must be in [1, " +
+               std::to_string(kMaxRequestSpecVars) + "]");
+    }
+    for (const auto& hex : spec_hex) {
+      try {
+        r.spec.push_back(
+            tt::TruthTable::from_hex(static_cast<unsigned>(spec_vars), hex));
+      } catch (const std::invalid_argument& e) {
+        fail(format, source, lineno,
+             "key \"spec\": bad table \"" + hex + "\": " + e.what());
+      }
+    }
+  } else if (have_spec_vars) {
+    fail(format, source, lineno, "key \"spec_vars\" requires \"spec\"");
+  }
+  validate_request(r, source, lineno, format);
+  return r;
+}
+
+void validate_request(const SynthesisRequest& r, const std::string& source,
+                      std::size_t lineno, const char* format) {
+  if (r.id.empty()) {
+    fail(format, source, lineno, "missing required key \"id\"");
+  }
+  for (const char c : r.id) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.')) {
+      fail(format, source, lineno,
+           "id \"" + r.id + "\" must be filesystem-safe "
+           "([A-Za-z0-9._-] only) — it names checkpoint and output files");
+    }
+  }
+  if (r.circuit.empty() && r.spec.empty()) {
+    fail(format, source, lineno,
+         "missing required key \"circuit\" (or an inline \"spec\")");
+  }
+  if (!r.circuit.empty() && !r.spec.empty()) {
+    fail(format, source, lineno,
+         "\"circuit\" and \"spec\" are mutually exclusive");
+  }
+  if (!r.spec.empty()) {
+    if (r.spec.size() > kMaxRequestSpecOutputs) {
+      fail(format, source, lineno,
+           "spec has " + std::to_string(r.spec.size()) +
+               " outputs; the limit is " +
+               std::to_string(kMaxRequestSpecOutputs));
+    }
+    const unsigned vars = r.spec.front().num_vars();
+    if (vars < 1 || vars > kMaxRequestSpecVars) {
+      fail(format, source, lineno,
+           "spec tables must have 1.." +
+               std::to_string(kMaxRequestSpecVars) + " inputs");
+    }
+    for (const auto& t : r.spec) {
+      if (t.num_vars() != vars) {
+        fail(format, source, lineno,
+             "spec tables must share one input count");
+      }
+    }
+  }
+}
+
+OptimizerOptions optimizer_options_for(const SynthesisRequest& r,
+                                       const RequestDefaults& defaults) {
+  OptimizerOptions o;
+  o.algorithm = r.algorithm;
+  o.evolve.generations =
+      r.generations != 0 ? r.generations : defaults.generations;
+  o.evolve.seed = r.seed != 0 ? r.seed : defaults.seed;
+  if (r.lambda != 0) {
+    o.evolve.lambda = r.lambda;
+  }
+  o.evolve.threads = r.threads != 0 ? r.threads : defaults.threads;
+  o.evolve.stagnation_limit = r.stagnation_limit;
+  o.anneal.seed = o.evolve.seed;
+  if (r.generations != 0) {
+    o.anneal.steps = r.generations; // kAnneal counts steps
+  }
+  if (r.restarts != 0) {
+    o.restarts = r.restarts;
+  }
+  o.limits.deadline_seconds = r.deadline_seconds;
+  o.limits.max_generations = r.max_generations;
+  o.limits.max_evaluations = r.max_evaluations;
+  return o;
+}
+
+std::string to_json(const SynthesisResponse& r) {
+  obs::json::Writer w;
+  w.begin_object();
+  w.field("schema", kRequestSchemaVersion);
+  w.field("id", r.id);
+  w.field("ok", r.ok);
+  if (!r.error.empty()) {
+    w.field("error", r.error);
+  }
+  w.field("cached", r.cached);
+  if (r.seeded) {
+    w.field("seeded", r.seeded);
+  }
+  w.field("stop_reason", r.stop_reason);
+  w.field("verified", r.verified);
+  w.field("n_r", r.cost.n_r);
+  w.field("n_b", r.cost.n_b);
+  w.field("jjs", r.cost.jjs);
+  w.field("n_d", r.cost.n_d);
+  w.field("n_g", r.cost.n_g);
+  w.field("seconds", r.seconds);
+  if (!r.netlist.empty()) {
+    w.field("netlist", r.netlist);
+  }
+  w.end_object();
+  return w.str();
+}
+
+SynthesisResponse parse_response(const std::string& text,
+                                 const std::string& source,
+                                 std::size_t lineno) {
+  SynthesisResponse r;
+  bool have_id = false;
+  const auto doc = obs::json::parse(text);
+  if (!doc || !doc->is_object()) {
+    io::fail_parse("response", source, lineno, "malformed JSON object");
+  }
+  std::set<std::string> seen;
+  for (const auto& [key, v] : doc->members()) {
+    if (!seen.insert(key).second) {
+      io::fail_parse("response", source, lineno,
+                     "duplicate key \"" + key + "\"");
+    }
+    try {
+      if (key == "schema") {
+        check_schema(v);
+      } else if (key == "id") {
+        r.id = string_member(v, key);
+        have_id = true;
+      } else if (key == "ok") {
+        r.ok = bool_member(v, key);
+      } else if (key == "error") {
+        r.error = string_member(v, key);
+      } else if (key == "cached") {
+        r.cached = bool_member(v, key);
+      } else if (key == "seeded") {
+        r.seeded = bool_member(v, key);
+      } else if (key == "stop_reason") {
+        r.stop_reason = string_member(v, key);
+      } else if (key == "verified") {
+        r.verified = bool_member(v, key);
+      } else if (key == "n_r") {
+        r.cost.n_r = static_cast<std::uint32_t>(uint_member(v, key));
+      } else if (key == "n_b") {
+        r.cost.n_b = static_cast<std::uint32_t>(uint_member(v, key));
+      } else if (key == "jjs") {
+        r.cost.jjs = static_cast<std::uint32_t>(uint_member(v, key));
+      } else if (key == "n_d") {
+        r.cost.n_d = static_cast<std::uint32_t>(uint_member(v, key));
+      } else if (key == "n_g") {
+        r.cost.n_g = static_cast<std::uint32_t>(uint_member(v, key));
+      } else if (key == "seconds") {
+        r.seconds = number_member(v, key);
+      } else if (key == "netlist") {
+        r.netlist = string_member(v, key);
+      } else {
+        throw std::invalid_argument("unknown key \"" + key + "\"");
+      }
+    } catch (const std::invalid_argument& e) {
+      io::fail_parse("response", source, lineno, e.what());
+    }
+  }
+  if (!have_id) {
+    io::fail_parse("response", source, lineno, "missing required key \"id\"");
+  }
+  return r;
+}
+
+// ---- OptimizerOptions / RunLimits round-trip ----
+
+void write_json(obs::json::Writer& w, const RunLimits& limits) {
+  w.begin_object();
+  w.field("deadline_seconds", limits.deadline_seconds);
+  w.field("max_generations", limits.max_generations);
+  w.field("max_evaluations", limits.max_evaluations);
+  w.field("checkpoint_path", limits.checkpoint_path);
+  w.field("checkpoint_interval", limits.checkpoint_interval);
+  w.end_object();
+}
+
+void write_json(obs::json::Writer& w, const OptimizerOptions& o) {
+  w.begin_object();
+  w.field("algorithm", to_string(o.algorithm));
+  w.field("restarts", o.restarts);
+  w.key("evolve").begin_object();
+  w.field("generations", o.evolve.generations);
+  w.field("lambda", o.evolve.lambda);
+  w.field("mu", o.evolve.mutation.mu);
+  w.field("strict_po_swap", o.evolve.mutation.strict_po_swap);
+  w.field("seed", o.evolve.seed);
+  w.field("threads", o.evolve.threads);
+  w.field("sat_verify_improvements", o.evolve.sat_verify_improvements);
+  w.field("sat_conflict_budget", o.evolve.sat_conflict_budget);
+  w.field("disable_shrink", o.evolve.disable_shrink);
+  w.field("time_limit_seconds", o.evolve.time_limit_seconds);
+  w.field("stagnation_limit", o.evolve.stagnation_limit);
+  w.field("checkpoint_path", o.evolve.checkpoint_path);
+  w.field("checkpoint_interval", o.evolve.checkpoint_interval);
+  w.field("paranoia", robust::to_string(o.evolve.paranoia));
+  w.field("schedule", schedule_name(o.evolve.fitness.schedule));
+  w.field("objective", objective_name(o.evolve.fitness.objective));
+  w.field("trace_heartbeat", o.evolve.trace_heartbeat);
+  w.end_object();
+  w.key("anneal").begin_object();
+  w.field("steps", o.anneal.steps);
+  w.field("initial_temperature", o.anneal.initial_temperature);
+  w.field("final_temperature", o.anneal.final_temperature);
+  w.field("mu", o.anneal.mutation.mu);
+  w.field("strict_po_swap", o.anneal.mutation.strict_po_swap);
+  w.field("seed", o.anneal.seed);
+  w.field("schedule", schedule_name(o.anneal.fitness.schedule));
+  w.field("objective", objective_name(o.anneal.fitness.objective));
+  w.field("trace_heartbeat", o.anneal.trace_heartbeat);
+  w.end_object();
+  w.key("window").begin_object();
+  w.field("window_gates", o.window.window_gates);
+  w.field("max_window_inputs", o.window.max_window_inputs);
+  w.field("stride", o.window.stride);
+  w.field("passes", o.window.passes);
+  w.end_object();
+  w.key("limits");
+  write_json(w, o.limits);
+  w.end_object();
+}
+
+std::string to_json(const RunLimits& limits) {
+  obs::json::Writer w;
+  write_json(w, limits);
+  return w.str();
+}
+
+std::string to_json(const OptimizerOptions& options) {
+  obs::json::Writer w;
+  write_json(w, options);
+  return w.str();
+}
+
+namespace {
+
+void require_object(const obs::json::Value& v, std::string_view what) {
+  if (!v.is_object()) {
+    throw std::invalid_argument("key \"" + std::string(what) +
+                                "\" must be an object");
+  }
+}
+
+template <typename F>
+void each_member(const obs::json::Value& v, F&& f) {
+  std::set<std::string> seen;
+  for (const auto& [key, value] : v.members()) {
+    if (!seen.insert(key).second) {
+      throw std::invalid_argument("duplicate key \"" + key + "\"");
+    }
+    f(key, value);
+  }
+}
+
+} // namespace
+
+RunLimits run_limits_from_json(const obs::json::Value& v) {
+  require_object(v, "limits");
+  RunLimits limits;
+  each_member(v, [&](const std::string& key, const obs::json::Value& m) {
+    if (key == "deadline_seconds") {
+      limits.deadline_seconds = number_member(m, key);
+    } else if (key == "max_generations") {
+      limits.max_generations = uint_member(m, key);
+    } else if (key == "max_evaluations") {
+      limits.max_evaluations = uint_member(m, key);
+    } else if (key == "checkpoint_path") {
+      limits.checkpoint_path = string_member(m, key);
+    } else if (key == "checkpoint_interval") {
+      limits.checkpoint_interval = uint_member(m, key);
+    } else {
+      throw std::invalid_argument("unknown limits key \"" + key + "\"");
+    }
+  });
+  return limits;
+}
+
+OptimizerOptions optimizer_options_from_json(const obs::json::Value& v) {
+  require_object(v, "options");
+  OptimizerOptions o;
+  each_member(v, [&](const std::string& key, const obs::json::Value& m) {
+    if (key == "algorithm") {
+      o.algorithm = parse_algorithm(string_member(m, key));
+    } else if (key == "restarts") {
+      o.restarts = static_cast<unsigned>(uint_member(m, key));
+    } else if (key == "evolve") {
+      require_object(m, key);
+      each_member(m, [&](const std::string& k, const obs::json::Value& e) {
+        if (k == "generations") {
+          o.evolve.generations = uint_member(e, k);
+        } else if (k == "lambda") {
+          o.evolve.lambda = static_cast<unsigned>(uint_member(e, k));
+        } else if (k == "mu") {
+          o.evolve.mutation.mu = number_member(e, k);
+        } else if (k == "strict_po_swap") {
+          o.evolve.mutation.strict_po_swap = bool_member(e, k);
+        } else if (k == "seed") {
+          o.evolve.seed = uint_member(e, k);
+        } else if (k == "threads") {
+          o.evolve.threads = static_cast<unsigned>(uint_member(e, k));
+        } else if (k == "sat_verify_improvements") {
+          o.evolve.sat_verify_improvements = bool_member(e, k);
+        } else if (k == "sat_conflict_budget") {
+          o.evolve.sat_conflict_budget = uint_member(e, k);
+        } else if (k == "disable_shrink") {
+          o.evolve.disable_shrink = bool_member(e, k);
+        } else if (k == "time_limit_seconds") {
+          o.evolve.time_limit_seconds = number_member(e, k);
+        } else if (k == "stagnation_limit") {
+          o.evolve.stagnation_limit = uint_member(e, k);
+        } else if (k == "checkpoint_path") {
+          o.evolve.checkpoint_path = string_member(e, k);
+        } else if (k == "checkpoint_interval") {
+          o.evolve.checkpoint_interval = uint_member(e, k);
+        } else if (k == "paranoia") {
+          o.evolve.paranoia = robust::parse_paranoia(string_member(e, k));
+        } else if (k == "schedule") {
+          o.evolve.fitness.schedule =
+              schedule_from_name(string_member(e, k));
+        } else if (k == "objective") {
+          o.evolve.fitness.objective =
+              objective_from_name(string_member(e, k));
+        } else if (k == "trace_heartbeat") {
+          o.evolve.trace_heartbeat = uint_member(e, k);
+        } else {
+          throw std::invalid_argument("unknown evolve key \"" + k + "\"");
+        }
+      });
+    } else if (key == "anneal") {
+      require_object(m, key);
+      each_member(m, [&](const std::string& k, const obs::json::Value& a) {
+        if (k == "steps") {
+          o.anneal.steps = uint_member(a, k);
+        } else if (k == "initial_temperature") {
+          o.anneal.initial_temperature = number_member(a, k);
+        } else if (k == "final_temperature") {
+          o.anneal.final_temperature = number_member(a, k);
+        } else if (k == "mu") {
+          o.anneal.mutation.mu = number_member(a, k);
+        } else if (k == "strict_po_swap") {
+          o.anneal.mutation.strict_po_swap = bool_member(a, k);
+        } else if (k == "seed") {
+          o.anneal.seed = uint_member(a, k);
+        } else if (k == "schedule") {
+          o.anneal.fitness.schedule =
+              schedule_from_name(string_member(a, k));
+        } else if (k == "objective") {
+          o.anneal.fitness.objective =
+              objective_from_name(string_member(a, k));
+        } else if (k == "trace_heartbeat") {
+          o.anneal.trace_heartbeat = uint_member(a, k);
+        } else {
+          throw std::invalid_argument("unknown anneal key \"" + k + "\"");
+        }
+      });
+    } else if (key == "window") {
+      require_object(m, key);
+      each_member(m, [&](const std::string& k, const obs::json::Value& win) {
+        if (k == "window_gates") {
+          o.window.window_gates =
+              static_cast<std::uint32_t>(uint_member(win, k));
+        } else if (k == "max_window_inputs") {
+          o.window.max_window_inputs =
+              static_cast<unsigned>(uint_member(win, k));
+        } else if (k == "stride") {
+          o.window.stride = static_cast<std::uint32_t>(uint_member(win, k));
+        } else if (k == "passes") {
+          o.window.passes = static_cast<unsigned>(uint_member(win, k));
+        } else {
+          throw std::invalid_argument("unknown window key \"" + k + "\"");
+        }
+      });
+    } else if (key == "limits") {
+      o.limits = run_limits_from_json(m);
+    } else {
+      throw std::invalid_argument("unknown options key \"" + key + "\"");
+    }
+  });
+  return o;
+}
+
+RunLimits parse_run_limits(const std::string& text) {
+  const auto doc = obs::json::parse(text);
+  if (!doc) {
+    throw std::invalid_argument("run limits: malformed JSON");
+  }
+  return run_limits_from_json(*doc);
+}
+
+OptimizerOptions parse_optimizer_options(const std::string& text) {
+  const auto doc = obs::json::parse(text);
+  if (!doc) {
+    throw std::invalid_argument("optimizer options: malformed JSON");
+  }
+  return optimizer_options_from_json(*doc);
+}
+
+} // namespace rcgp::core

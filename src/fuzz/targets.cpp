@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "aig/aig_simulate.hpp"
+#include "batch/manifest.hpp"
+#include "cache/store.hpp"
 #include "cec/bdd_cec.hpp"
 #include "cec/sat_cec.hpp"
 #include "cec/sim_cec.hpp"
@@ -15,6 +17,7 @@
 #include "core/flow.hpp"
 #include "core/mutation.hpp"
 #include "core/optimizer.hpp"
+#include "core/request.hpp"
 #include "core/shrink.hpp"
 #include "fuzz/generator.hpp"
 #include "io/aiger.hpp"
@@ -26,6 +29,7 @@
 #include "io/verilog.hpp"
 #include "mig/mig_from_aig.hpp"
 #include "mig/mig_rewrite.hpp"
+#include "robust/checkpoint.hpp"
 #include "robust/fault.hpp"
 #include "robust/integrity.hpp"
 #include "rqfp/cost.hpp"
@@ -323,6 +327,144 @@ void run_parser_corruption(CaseContext& ctx, std::vector<Finding>& out) {
 
   Finding f = make_finding(ctx, Target::kParserCorruption, "parser-contract",
                            violation);
+  f.reproducer = minimal;
+  f.reproducer_ext = ext;
+  out.push_back(std::move(f));
+}
+
+// ---------------------------------------------------------------------
+// manifest-corruption
+// ---------------------------------------------------------------------
+
+/// The contract the service-state parsers share (docs/FUZZING.md): a
+/// damaged batch manifest, result-cache store, or evolve checkpoint must
+/// either still parse (corruption can land in comments or produce another
+/// valid document) or raise io::ParseError / robust::IntegrityError.
+/// Anything else — a different exception type, or a crash the harness
+/// would never see us return from — is a finding.
+std::string probe_state_parser(
+    const char* parser, const std::function<void(const std::string&)>& parse,
+    const std::string& bytes) {
+  try {
+    parse(bytes);
+    return "";
+  } catch (const io::ParseError&) {
+    return "";
+  } catch (const robust::IntegrityError&) {
+    return "";
+  } catch (const std::exception& e) {
+    return std::string(parser) +
+           " threw a non-contract exception: " + e.what();
+  } catch (...) {
+    return std::string(parser) + " threw a non-standard exception";
+  }
+}
+
+std::string seed_manifest(CaseContext& ctx) {
+  util::Rng rng = case_rng(ctx, Target::kManifestCorruption, 1);
+  std::string text = "# fuzz-generated manifest\n";
+  const unsigned jobs = 1 + static_cast<unsigned>(rng.below(4));
+  for (unsigned j = 0; j < jobs; ++j) {
+    core::SynthesisRequest r;
+    r.id = "job" + std::to_string(j);
+    if (rng.chance(0.5)) {
+      r.circuit = rng.chance(0.5) ? "full_adder" : "circuits/spec.v";
+    } else {
+      r.spec = random_tables(rng, 2 + static_cast<unsigned>(rng.below(3)),
+                             1 + static_cast<unsigned>(rng.below(3)));
+    }
+    if (rng.chance(0.5)) {
+      r.generations = rng.below(100000);
+    }
+    if (rng.chance(0.3)) {
+      r.seed = rng.next();
+    }
+    if (rng.chance(0.3)) {
+      r.cache = rng.chance(0.5) ? core::CachePolicy::kSeed
+                                : core::CachePolicy::kOff;
+    }
+    text += core::to_json(r) + "\n";
+  }
+  return text;
+}
+
+std::string seed_cache_store(CaseContext& ctx) {
+  util::Rng rng = case_rng(ctx, Target::kManifestCorruption, 2);
+  cache::Store store;
+  const unsigned entries = 1 + static_cast<unsigned>(rng.below(3));
+  NetlistShape shape;
+  shape.max_pis = 4;
+  shape.max_gates = 8;
+  for (unsigned j = 0; j < entries; ++j) {
+    const rqfp::Netlist net = random_netlist(rng, shape);
+    store.insert(rqfp::simulate(net), net, "fuzz");
+  }
+  return store.serialize();
+}
+
+std::string seed_checkpoint(CaseContext& ctx) {
+  util::Rng rng = case_rng(ctx, Target::kManifestCorruption, 3);
+  robust::EvolveCheckpoint ck;
+  ck.seed = rng.next();
+  ck.lambda = 1 + static_cast<unsigned>(rng.below(8));
+  ck.mu = 0.1;
+  ck.generations_total = 1 + rng.below(100000);
+  ck.generation = rng.below(ck.generations_total);
+  ck.evaluations = ck.generation * ck.lambda;
+  ck.parent = random_netlist(rng);
+  ck.fitness = core::evaluate(ck.parent, rqfp::simulate(ck.parent));
+  return robust::serialize_checkpoint(ck);
+}
+
+void run_manifest_corruption(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kManifestCorruption, 0);
+
+  std::string content;
+  const char* kind;
+  const char* ext;
+  std::function<void(const std::string&)> parse;
+  switch (rng.below(3)) {
+    case 0:
+      content = seed_manifest(ctx);
+      kind = "manifest";
+      ext = ".jsonl";
+      parse = [](const std::string& b) {
+        (void)batch::parse_manifest_string(b);
+      };
+      break;
+    case 1:
+      content = seed_cache_store(ctx);
+      kind = "cache-store";
+      ext = ".rcc";
+      parse = [](const std::string& b) {
+        (void)cache::Store::parse(b, "fuzz");
+      };
+      break;
+    default:
+      content = seed_checkpoint(ctx);
+      kind = "checkpoint";
+      ext = ".ckpt";
+      parse = [](const std::string& b) {
+        (void)robust::parse_checkpoint(b);
+      };
+      break;
+  }
+
+  const std::string corrupted = corrupt_bytes(std::move(content), rng);
+  const std::string violation = probe_state_parser(kind, parse, corrupted);
+  if (violation.empty()) {
+    return;
+  }
+
+  const auto still_fails = [&](const std::string& bytes) {
+    return !probe_state_parser(kind, parse, bytes).empty();
+  };
+  const std::string minimal =
+      ctx.do_shrink ? shrink_bytes(corrupted, still_fails, &ctx.shrink_stats)
+                    : corrupted;
+
+  Finding f = make_finding(ctx, Target::kManifestCorruption,
+                           std::string(kind) + "-contract", violation);
   f.reproducer = minimal;
   f.reproducer_ext = ext;
   out.push_back(std::move(f));
@@ -694,6 +836,7 @@ std::string_view to_string(Target target) {
   switch (target) {
     case Target::kIoRoundtrip: return "io-roundtrip";
     case Target::kParserCorruption: return "parser-corruption";
+    case Target::kManifestCorruption: return "manifest-corruption";
     case Target::kOptimizerDiff: return "optimizer-differential";
     case Target::kCecCross: return "cec-cross";
     case Target::kSelftest: return "selftest";
@@ -704,24 +847,29 @@ std::string_view to_string(Target target) {
 Target parse_target(std::string_view name) {
   if (name == "io-roundtrip") return Target::kIoRoundtrip;
   if (name == "parser-corruption") return Target::kParserCorruption;
+  if (name == "manifest-corruption") return Target::kManifestCorruption;
   if (name == "optimizer-differential") return Target::kOptimizerDiff;
   if (name == "cec-cross") return Target::kCecCross;
   if (name == "selftest") return Target::kSelftest;
   throw std::invalid_argument("fuzz: unknown target '" + std::string(name) +
                               "' (expected io-roundtrip, parser-corruption, "
-                              "optimizer-differential, cec-cross, or "
-                              "selftest)");
+                              "manifest-corruption, optimizer-differential, "
+                              "cec-cross, or selftest)");
 }
 
 std::vector<Target> default_targets() {
   return {Target::kIoRoundtrip, Target::kParserCorruption,
-          Target::kOptimizerDiff, Target::kCecCross};
+          Target::kManifestCorruption, Target::kOptimizerDiff,
+          Target::kCecCross};
 }
 
 void run_case(Target target, CaseContext& ctx, std::vector<Finding>& out) {
   switch (target) {
     case Target::kIoRoundtrip: run_io_roundtrip(ctx, out); break;
     case Target::kParserCorruption: run_parser_corruption(ctx, out); break;
+    case Target::kManifestCorruption:
+      run_manifest_corruption(ctx, out);
+      break;
     case Target::kOptimizerDiff: run_optimizer_diff(ctx, out); break;
     case Target::kCecCross: run_cec_cross(ctx, out); break;
     case Target::kSelftest: run_selftest(ctx, out); break;

@@ -15,20 +15,23 @@ namespace rcgp::fuzz {
 /// util::Rng::stream(seed, case_index, salt), so any finding reproduces
 /// from the triple (target, seed, case) alone.
 enum class Target : std::uint8_t {
-  kIoRoundtrip,       ///< write/re-read identity through every io:: format
-  kParserCorruption,  ///< corrupted inputs must raise ParseError, nothing else
-  kOptimizerDiff,     ///< delta-eval vs full recomputation, paranoid searches
-  kCecCross,          ///< sim/BDD/SAT engine agreement vs ground truth
-  kSelftest,          ///< always-failing target exercising the pipeline
+  kIoRoundtrip,         ///< write/re-read identity through every io:: format
+  kParserCorruption,    ///< corrupted inputs must raise ParseError, no more
+  kManifestCorruption,  ///< corrupted manifests / cache stores / checkpoints
+                        ///< must raise ParseError or IntegrityError
+  kOptimizerDiff,       ///< delta-eval vs full recomputation, paranoid runs
+  kCecCross,            ///< sim/BDD/SAT engine agreement vs ground truth
+  kSelftest,            ///< always-failing target exercising the pipeline
 };
 
 /// Stable kebab-case name ("io-roundtrip", "parser-corruption",
-/// "optimizer-differential", "cec-cross", "selftest").
+/// "manifest-corruption", "optimizer-differential", "cec-cross",
+/// "selftest").
 std::string_view to_string(Target target);
 /// Inverse of to_string; throws std::invalid_argument on unknown names.
 Target parse_target(std::string_view name);
 
-/// The four production targets (selftest excluded — it always "fails").
+/// The five production targets (selftest excluded — it always "fails").
 std::vector<Target> default_targets();
 
 /// Per-case state handed to a target by the harness.

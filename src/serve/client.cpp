@@ -1,0 +1,26 @@
+#include "serve/client.hpp"
+
+#include <stdexcept>
+
+namespace rcgp::serve {
+
+Client::Client(const std::string& socket_path)
+    : fd_(connect_unix(socket_path)), reader_(fd_.get()) {}
+
+core::SynthesisResponse Client::submit(const core::SynthesisRequest& request) {
+  return submit_line(core::to_json(request));
+}
+
+core::SynthesisResponse Client::submit_line(const std::string& request_json) {
+  if (!write_line(fd_.get(), request_json)) {
+    throw std::runtime_error("serve: connection lost while sending request");
+  }
+  std::string line;
+  if (!reader_.next(line)) {
+    throw std::runtime_error("serve: connection closed before a response");
+  }
+  ++lineno_;
+  return core::parse_response(line, "socket", lineno_);
+}
+
+} // namespace rcgp::serve

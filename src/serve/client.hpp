@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+
+#include "core/request.hpp"
+#include "serve/protocol.hpp"
+
+namespace rcgp::serve {
+
+/// Synchronous client for the `rcgp serve` socket protocol: one request
+/// line out, one response line back, over a persistent connection.
+class Client {
+public:
+  /// Connects immediately; throws std::runtime_error when the daemon is
+  /// not listening at `socket_path`.
+  explicit Client(const std::string& socket_path);
+
+  /// Round-trips one request. Throws std::runtime_error when the
+  /// connection drops and io::ParseError when the response line is not a
+  /// valid response document.
+  core::SynthesisResponse submit(const core::SynthesisRequest& request);
+
+  /// As submit, but ships an already-serialized request line verbatim
+  /// (the `rcgp client` manifest pass-through).
+  core::SynthesisResponse submit_line(const std::string& request_json);
+
+private:
+  Fd fd_;
+  LineReader reader_;
+  std::size_t lineno_ = 0;
+};
+
+} // namespace rcgp::serve

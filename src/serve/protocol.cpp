@@ -1,0 +1,151 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rcgp::serve {
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+namespace {
+
+sockaddr_un address_for(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("serve: socket path empty or longer than " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+[[noreturn]] void fail_errno(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+} // namespace
+
+Fd listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = address_for(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    fail_errno("socket");
+  }
+  ::unlink(path.c_str()); // stale socket from a killed daemon
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    fail_errno("bind " + path);
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    fail_errno("listen " + path);
+  }
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  const sockaddr_un addr = address_for(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    fail_errno("socket");
+  }
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    fail_errno("connect " + path);
+  }
+  return fd;
+}
+
+bool wait_readable(int fd, int timeout_ms) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLIN;
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) {
+      continue;
+    }
+    return r > 0;
+  }
+}
+
+bool write_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool write_line(int fd, std::string_view line) {
+  std::string framed;
+  framed.reserve(line.size() + 1);
+  framed.append(line);
+  framed.push_back('\n');
+  return write_all(fd, framed);
+}
+
+bool LineReader::next(std::string& line) {
+  for (;;) {
+    const auto nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buf_, 0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    if (eof_) {
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      eof_ = true;
+      return false;
+    }
+    if (n == 0) {
+      eof_ = true; // a trailing unterminated line is dropped by design
+      continue;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+} // namespace rcgp::serve

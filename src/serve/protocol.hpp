@@ -1,0 +1,68 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rcgp::serve {
+
+/// RAII Unix file descriptor (sockets here, but any fd works).
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void close();
+
+private:
+  int fd_ = -1;
+};
+
+/// Creates, binds, and listens on a Unix-domain stream socket at `path`,
+/// unlinking a stale socket file first. Throws std::runtime_error on
+/// failure (path too long for sockaddr_un, bind/listen errors).
+Fd listen_unix(const std::string& path, int backlog = 16);
+
+/// Connects to the Unix-domain socket at `path`. Throws
+/// std::runtime_error when the daemon is not there.
+Fd connect_unix(const std::string& path);
+
+/// Waits up to `timeout_ms` for `fd` to become readable. Returns false on
+/// timeout, true when readable (or the peer hung up — the following read
+/// reports that).
+bool wait_readable(int fd, int timeout_ms);
+
+/// Writes the whole buffer, retrying short writes. False on I/O error or
+/// a closed peer (EPIPE surfaces as false, not a signal — the callers
+/// disable SIGPIPE per send).
+bool write_all(int fd, std::string_view data);
+
+/// Appends a newline and writes atomically enough for NDJSON framing
+/// (one write_all call).
+bool write_line(int fd, std::string_view line);
+
+/// Incremental newline-delimited reader over a socket fd. next() returns
+/// false on EOF with no buffered line; lines arriving split across reads
+/// are reassembled.
+class LineReader {
+public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocks until one full line is available (stripping the '\n') or the
+  /// peer closes. Returns false on EOF/error.
+  bool next(std::string& line);
+
+private:
+  int fd_;
+  std::string buf_;
+  bool eof_ = false;
+};
+
+} // namespace rcgp::serve

@@ -1,0 +1,229 @@
+#include "serve/server.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/request.hpp"
+#include "io/parse_error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rcgp::serve {
+
+namespace {
+
+// Sub-millisecond cache hits through minute-scale evolution runs.
+constexpr double kRequestSecondsBounds[] = {1e-4, 1e-3, 1e-2, 0.1,
+                                            1.0,  10.0, 100.0};
+
+bool blank(const std::string& line) {
+  for (const char c : line) {
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+/// Counting synthesis slots shared by every connection; headerless so the
+/// header stays free of <condition_variable>.
+struct ServerSlots {
+  explicit ServerSlots(unsigned n) : free(n) {}
+  void acquire() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return free > 0; });
+    --free;
+  }
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      ++free;
+    }
+    cv.notify_one();
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  unsigned free;
+};
+
+Server::Server(ServeOptions options) : options_(std::move(options)) {
+  if (options_.workers == 0) {
+    options_.workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  slots_ = std::make_unique<ServerSlots>(options_.workers);
+  if (!options_.executor) {
+    options_.executor = [this](const batch::Job& job,
+                               const batch::JobContext& ctx) {
+      return batch::execute_request(job, ctx, options_.execute);
+    };
+  }
+}
+
+Server::~Server() { stop(); }
+
+bool Server::stopping() const {
+  return internal_stop_.stop_requested() ||
+         (options_.stop != nullptr && options_.stop->stop_requested());
+}
+
+void Server::start() {
+  if (running_) {
+    return;
+  }
+  listener_ = listen_unix(options_.socket_path);
+  running_ = true;
+  obs::registry().gauge("serve.up").set(1.0);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::run() {
+  start();
+  while (!stopping()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  stop();
+}
+
+void Server::stop() {
+  if (!running_) {
+    return;
+  }
+  internal_stop_.request_stop();
+  if (acceptor_.joinable()) {
+    acceptor_.join();
+  }
+  listener_.close();
+  std::vector<std::thread> conns;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(connections_);
+    for (const int fd : open_fds_) {
+      ::shutdown(fd, SHUT_RDWR); // unblocks connection reads
+    }
+  }
+  for (auto& t : conns) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  std::remove(options_.socket_path.c_str());
+  obs::registry().gauge("serve.up").set(0.0);
+  running_ = false;
+}
+
+void Server::accept_loop() {
+  obs::set_thread_name("serve-accept");
+  std::uint64_t next_id = 0;
+  while (!stopping()) {
+    if (!wait_readable(listener_.get(), 200)) {
+      continue;
+    }
+    const int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    obs::registry().counter("serve.connections").inc();
+    const std::uint64_t id = next_id++;
+    const std::lock_guard<std::mutex> lock(mu_);
+    open_fds_.push_back(fd);
+    connections_.emplace_back([this, fd, id] { connection(fd, id); });
+  }
+}
+
+void Server::connection(int raw_fd, std::uint64_t id) {
+  Fd fd(raw_fd);
+  obs::set_thread_name("serve-conn-" + std::to_string(id));
+  auto& reg = obs::registry();
+  obs::Histogram& seconds_hist =
+      reg.histogram("serve.request.seconds", kRequestSecondsBounds);
+  reg.gauge("serve.connections.active").add(1.0);
+  ServerSlots& slots = *slots_;
+
+  LineReader reader(fd.get());
+  std::string line;
+  std::size_t lineno = 0;
+  while (!stopping() && reader.next(line)) {
+    ++lineno;
+    if (blank(line)) {
+      continue;
+    }
+    reg.counter("serve.requests").inc();
+    util::Stopwatch watch;
+    core::SynthesisResponse resp;
+    batch::Job job;
+    bool parsed = false;
+    try {
+      job = core::parse_request(line, "socket", lineno, "serve");
+      parsed = true;
+    } catch (const std::exception& e) {
+      resp.ok = false;
+      resp.stop_reason = "error";
+      resp.error = e.what();
+      reg.counter("serve.errors").inc();
+    }
+    if (parsed) {
+      struct SlotGuard {
+        ServerSlots& s;
+        obs::Gauge& active;
+        ~SlotGuard() {
+          active.add(-1.0);
+          s.release();
+        }
+      };
+      try {
+        slots.acquire();
+        reg.gauge("serve.active").add(1.0);
+        const SlotGuard guard{slots, reg.gauge("serve.active")};
+        batch::JobContext ctx;
+        ctx.worker = static_cast<unsigned>(id);
+        ctx.stop = &internal_stop_;
+        const batch::JobExecution exec = options_.executor(job, ctx);
+        resp = batch::response_for(job.id, exec, watch.seconds());
+      } catch (const std::exception& e) {
+        resp = core::SynthesisResponse{};
+        resp.id = job.id;
+        resp.ok = false;
+        resp.stop_reason = "error";
+        resp.error = e.what();
+        reg.counter("serve.errors").inc();
+      }
+    }
+    resp.seconds = watch.seconds();
+    if (resp.ok) {
+      reg.counter("serve.responses.ok").inc();
+    }
+    seconds_hist.observe(resp.seconds);
+    if (options_.trace != nullptr) {
+      options_.trace->event("serve_request")
+          .field("id", resp.id)
+          .field("connection", id)
+          .field("ok", resp.ok)
+          .field("cached", resp.cached)
+          .field("seeded", resp.seeded)
+          .field("seconds", resp.seconds);
+    }
+    if (!write_line(fd.get(), core::to_json(resp))) {
+      break;
+    }
+  }
+  reg.gauge("serve.connections.active").add(-1.0);
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = open_fds_.begin(); it != open_fds_.end(); ++it) {
+    if (*it == raw_fd) {
+      open_fds_.erase(it);
+      break;
+    }
+  }
+}
+
+} // namespace rcgp::serve

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batch/execute.hpp"
+#include "robust/stop.hpp"
+#include "serve/protocol.hpp"
+
+namespace rcgp::obs {
+class TraceSink;
+}
+
+namespace rcgp::serve {
+
+struct ServerSlots;
+
+/// Configuration of the synthesis daemon (`rcgp serve`, docs/SERVICE.md).
+struct ServeOptions {
+  /// Unix-domain socket the daemon listens on.
+  std::string socket_path = "rcgp.sock";
+  /// Concurrent synthesis slots across all connections (0 = hardware
+  /// concurrency). Cache hits hold a slot only for microseconds, so a
+  /// busy pool still drains hit traffic quickly.
+  unsigned workers = 1;
+  /// Shared executor configuration, including the optional result cache.
+  /// The daemon defaults to persisting the cache after every insert so a
+  /// SIGKILL loses at most the in-flight job.
+  batch::ExecuteOptions execute;
+  /// Replaceable request body (tests); defaults to batch::execute_request
+  /// with `execute`.
+  batch::JobExecutor executor;
+  /// External shutdown flag (the CLI points this at the signal token).
+  /// Not owned; may be null when only stop() is used.
+  robust::StopToken* stop = nullptr;
+  /// Optional structured trace: one `serve_request` event per response.
+  obs::TraceSink* trace = nullptr;
+};
+
+/// Newline-delimited-JSON synthesis service over a local Unix socket.
+///
+/// Protocol: each request line is one core::SynthesisRequest JSON object;
+/// the daemon answers with one core::SynthesisResponse line in request
+/// order per connection (connections are independent and concurrent).
+/// Malformed lines get an `ok:false` response carrying the parse error —
+/// the connection survives. Telemetry: serve.connections,
+/// serve.requests, serve.responses.ok, serve.errors, serve.active plus
+/// the serve.request.seconds histogram; cache traffic shows up under the
+/// cache.* metrics of the underlying store.
+class Server {
+public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept loop. Throws
+  /// std::runtime_error when the socket cannot be bound.
+  void start();
+
+  /// Requests shutdown, closes the listener, joins every connection
+  /// thread, and removes the socket file. Idempotent.
+  void stop();
+
+  /// start() + block until the external stop token (or stop()) fires.
+  void run();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+  bool running() const { return running_; }
+
+private:
+  void accept_loop();
+  void connection(int fd, std::uint64_t id);
+  bool stopping() const;
+
+  ServeOptions options_;
+  Fd listener_;
+  robust::StopToken internal_stop_;
+  bool running_ = false;
+  std::thread acceptor_;
+  std::unique_ptr<ServerSlots> slots_;
+  std::mutex mu_; // guards connections_ and open_fds_
+  std::vector<std::thread> connections_;
+  std::vector<int> open_fds_;
+};
+
+} // namespace rcgp::serve

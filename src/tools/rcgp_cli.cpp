@@ -5,6 +5,10 @@
 //                                  across a worker pool (docs/BATCH.md)
 //   rcgp fuzz [options]            continuous differential fuzzing of the
 //                                  io/optimizer/CEC layers (docs/FUZZING.md)
+//   rcgp serve [options]           synthesis daemon on a Unix socket,
+//                                  NDJSON request/response (docs/SERVICE.md)
+//   rcgp client [requests.jsonl]   submit request lines to a running daemon
+//   rcgp cache <warm|stats|verify> manage the NPN-canonical result cache
 //   rcgp exact <input> [options]   SAT-based exact synthesis (baseline)
 //   rcgp cec <a.rqfp> <b.rqfp>     equivalence check two RQFP netlists
 //   rcgp stats <x.rqfp>            cost metrics of an RQFP netlist
@@ -47,22 +51,38 @@
 //   SIGINT/SIGTERM stop the run cooperatively: the checkpoint is flushed
 //   and the best-so-far netlist written. Exit codes: 0 ok, 1 error or not
 //   equivalent, 2 usage, 3 interrupted by signal, 4 integrity violation.
+//
+// Result cache (see docs/SERVICE.md):
+//   synth --cache=FILE           consult/fill the persistent result store
+//   synth --cache-policy=MODE    use (serve hits, write back) | seed (start
+//                                evolution from a hit) | off
+//   batch --cache=FILE           same store shared across the worker pool
+//   serve --socket= --cache=     daemon; every verified result persists
+//   cache warm --store=FILE      exact-synthesize all <=4-input NPN classes
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "aqfp/aqfp.hpp"
+#include "batch/execute.hpp"
 #include "batch/manifest.hpp"
 #include "batch/runner.hpp"
 #include "benchmarks/benchmarks.hpp"
+#include "cache/store.hpp"
+#include "cache/warm.hpp"
 #include "cec/bdd_cec.hpp"
 #include "cec/sat_cec.hpp"
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
+#include "core/request.hpp"
 #include "exact/exact_rqfp.hpp"
 #include "fuzz/harness.hpp"
 #include "io/io.hpp"
@@ -78,6 +98,8 @@
 #include "rqfp/cost.hpp"
 #include "rqfp/energy.hpp"
 #include "rqfp/reversibility.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "version.hpp"
 
 namespace {
@@ -244,7 +266,8 @@ int cmd_synth(const std::vector<std::string>& args) {
                  "[--metrics-snapshot-every=SECONDS]\n"
                  "                 [--checkpoint=c.ckpt] "
                  "[--checkpoint-interval=N] [--resume] [--deadline=SECONDS]\n"
-                 "                 [--paranoia=off|boundaries|all]\n");
+                 "                 [--paranoia=off|boundaries|all] "
+                 "[--cache=store.rcc] [--cache-policy=use|seed|off]\n");
     return 2;
   }
   const std::string input = args[0];
@@ -254,6 +277,8 @@ int cmd_synth(const std::vector<std::string>& args) {
   std::string dot_path;
   std::string trace_path;
   std::string metrics_path;
+  std::string cache_path;
+  core::CachePolicy cache_policy = core::CachePolicy::kUse;
   ProfileFlags prof;
   bool progress = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -301,6 +326,10 @@ int cmd_synth(const std::vector<std::string>& args) {
       opt.limits.deadline_seconds = std::stod(v);
     } else if (opt_value(args[i], "--paranoia", v)) {
       opt.evolve.paranoia = robust::parse_paranoia(v);
+    } else if (opt_value(args[i], "--cache", cache_path)) {
+      // value captured
+    } else if (opt_value(args[i], "--cache-policy", v)) {
+      cache_policy = core::parse_cache_policy(v);
     } else {
       std::fprintf(stderr, "synth: unknown option %s\n", args[i].c_str());
       return 2;
@@ -335,6 +364,38 @@ int cmd_synth(const std::vector<std::string>& args) {
   }
 
   const auto spec = load_spec(input);
+
+  // Result cache: a `use` hit skips synthesis entirely (the netlist was
+  // re-verified by simulation inside lookup); a `seed` hit starts the CGP
+  // phase from the de-canonicalized stored netlist instead.
+  std::optional<cache::Store> store;
+  std::optional<cache::Hit> hit;
+  if (!cache_path.empty() && cache_policy != core::CachePolicy::kOff) {
+    store.emplace(cache_path);
+    hit = store->lookup(spec);
+  }
+  if (hit && cache_policy == core::CachePolicy::kUse) {
+    std::printf("cache: hit %s (origin %s)\n", hit->key.c_str(),
+                hit->origin.c_str());
+    std::printf("rcgp: %s (cached)\n", hit->cost.to_string().c_str());
+    if (!out_path.empty()) {
+      const io::Format f = io::format_from_extension(out_path);
+      io::write_network(hit->netlist, out_path,
+                        f == io::Format::kAuto ? io::Format::kRqfp : f);
+      std::printf("wrote %s\n", out_path.c_str());
+    }
+    if (!dot_path.empty()) {
+      io::write_network(hit->netlist, dot_path, io::Format::kDot);
+      std::printf("wrote %s\n", dot_path.c_str());
+    }
+    return 0;
+  }
+  if (hit) {
+    opt.cgp_seed = &hit->netlist; // --cache-policy=seed
+  } else if (store) {
+    std::printf("cache: miss\n");
+  }
+
   prof.begin(metrics_path);
   const auto r = core::synthesize(spec, opt);
   const bool prof_ok = prof.finish("synth");
@@ -349,6 +410,12 @@ int cmd_synth(const std::vector<std::string>& args) {
                  opt.limits.checkpoint_path.empty()
                      ? ""
                      : ", checkpoint flushed");
+  }
+  if (store && check.all_match && !interrupted) {
+    if (store->insert(spec, r.optimized, "cgp")) {
+      store->save();
+      std::printf("cache: stored %s\n", store->path().c_str());
+    }
   }
   if (!metrics_path.empty()) {
     if (!write_synth_metrics(metrics_path, r)) {
@@ -383,6 +450,7 @@ int cmd_batch(const std::vector<std::string>& args) {
   std::string manifest_path;
   std::string metrics_path;
   std::string trace_path;
+  std::string cache_path;
   ProfileFlags prof;
   batch::BatchOptions opt;
   bool usage_error = args.empty();
@@ -412,6 +480,8 @@ int cmd_batch(const std::vector<std::string>& args) {
       opt.threads_per_job = static_cast<unsigned>(std::stoul(v));
     } else if (opt_value(args[i], "--metrics-out", v)) {
       metrics_path = v;
+    } else if (opt_value(args[i], "--cache", cache_path)) {
+      // value captured
     } else if (i == 0 && args[i][0] != '-') {
       manifest_path = args[i]; // positional manifest
     } else {
@@ -429,7 +499,9 @@ int cmd_batch(const std::vector<std::string>& args) {
                  "                  [--deadline=SECONDS] [--retries=N] "
                  "[--checkpoint-interval=N]\n"
                  "                  [--generations=N] [--threads-per-job=N] "
-                 "[--metrics-out=m.json] [--trace-out=t.jsonl]\n"
+                 "[--cache=store.rcc]\n"
+                 "                  [--metrics-out=m.json] "
+                 "[--trace-out=t.jsonl]\n"
                  "                  [--profile-out=p.json] [--prom-out=m.prom] "
                  "[--metrics-snapshot-every=SECONDS]\n");
     return 2;
@@ -438,6 +510,16 @@ int cmd_batch(const std::vector<std::string>& args) {
   // checkpoint and are re-run by --resume); a second one force-kills.
   static robust::StopToken signal_token;
   opt.budget.stop = &robust::install_signal_stop(signal_token);
+
+  // One shared store across the worker pool; the runner saves it once
+  // after the batch so concurrent jobs never race on the file.
+  std::optional<cache::Store> store;
+  if (!cache_path.empty()) {
+    store.emplace(cache_path);
+    opt.cache = &*store;
+    std::printf("cache: %s (%zu entries)\n", cache_path.c_str(),
+                store->size());
+  }
 
   std::unique_ptr<obs::TraceSink> trace;
   if (!trace_path.empty()) {
@@ -453,11 +535,15 @@ int cmd_batch(const std::vector<std::string>& args) {
   const auto manifest = batch::parse_manifest_file(manifest_path);
   const unsigned total = static_cast<unsigned>(manifest.jobs.size());
   opt.on_record = [total](const batch::JobRecord& rec) {
-    std::printf("%s: %s%s (gates=%u garbage=%u jjs=%llu, %.2fs, worker %u)\n",
+    std::printf("%s: %s%s%s (gates=%u garbage=%u jjs=%llu, %.2fs, "
+                "worker %u)\n",
                 rec.id.c_str(),
                 rec.ok          ? "ok"
                 : rec.final_record ? "FAILED"
                                    : "interrupted",
+                rec.cached   ? " [cached]"
+                : rec.seeded ? " [seeded]"
+                             : "",
                 rec.error.empty() ? "" : (" — " + rec.error).c_str(),
                 rec.n_r, rec.n_g, static_cast<unsigned long long>(rec.jjs),
                 rec.seconds, rec.worker);
@@ -482,6 +568,14 @@ int cmd_batch(const std::vector<std::string>& args) {
               summary.total, summary.done, summary.failed, summary.skipped,
               summary.unrun, summary.seconds);
   std::printf("results: %s\n", summary.results_path.c_str());
+  if (store) {
+    std::printf("cache: %llu hits, %llu misses — %zu entries in %s\n",
+                static_cast<unsigned long long>(
+                    obs::registry().counter("cache.hits").value()),
+                static_cast<unsigned long long>(
+                    obs::registry().counter("cache.misses").value()),
+                store->size(), store->path().c_str());
+  }
   if (summary.stop_reason != robust::StopReason::kCompleted) {
     std::fprintf(stderr, "batch: stopped early (%s) — rerun with --resume "
                          "to finish the remaining jobs\n",
@@ -559,8 +653,8 @@ int cmd_fuzz(const std::vector<std::string>& args) {
                  "                 [--metrics-out=m.json] "
                  "[--profile-out=p.json] [--prom-out=m.prom]\n"
                  "  targets: io-roundtrip parser-corruption "
-                 "optimizer-differential cec-cross selftest\n"
-                 "           (default: all but selftest)\n"
+                 "manifest-corruption optimizer-differential\n"
+                 "           cec-cross selftest (default: all but selftest)\n"
                  "  Every case is reproducible from (--seed, --case) alone; "
                  "findings print their exact\n"
                  "  repro command and ship a minimized reproducer under "
@@ -603,6 +697,287 @@ int cmd_fuzz(const std::vector<std::string>& args) {
     return 3;
   }
   return (summary.findings == 0 && prof_ok) ? 0 : 1;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServeOptions opt;
+  std::string cache_path;
+  std::string trace_path;
+  std::string metrics_path;
+  bool usage_error = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    std::string v;
+    if (opt_value(args[i], "--socket", opt.socket_path) ||
+        opt_value(args[i], "--cache", cache_path) ||
+        opt_value(args[i], "--metrics-out", metrics_path) ||
+        opt_value(args[i], "--trace-out", trace_path)) {
+      // value captured
+    } else if (opt_value(args[i], "--workers", v)) {
+      opt.workers = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--generations", v)) {
+      opt.execute.default_generations = std::stoull(v);
+    } else if (opt_value(args[i], "--threads-per-job", v)) {
+      opt.execute.threads_per_job = static_cast<unsigned>(std::stoul(v));
+    } else {
+      std::fprintf(stderr, "serve: unknown option %s\n", args[i].c_str());
+      usage_error = true;
+    }
+  }
+  if (usage_error) {
+    std::fprintf(stderr,
+                 "usage: rcgp serve [--socket=rcgp.sock] [--cache=store.rcc] "
+                 "[--workers=N]\n"
+                 "                  [--generations=N] [--threads-per-job=N] "
+                 "[--trace-out=t.jsonl]\n"
+                 "                  [--metrics-out=m.json]\n"
+                 "  NDJSON over a Unix socket: one SynthesisRequest line in, "
+                 "one SynthesisResponse\n"
+                 "  line out per connection (docs/SERVICE.md). SIGINT/SIGTERM "
+                 "shut down cleanly.\n");
+    return 2;
+  }
+  // First SIGINT/SIGTERM drains connections and persists the cache; a
+  // second one force-kills (the store survives — saves are atomic).
+  static robust::StopToken signal_token;
+  opt.stop = &robust::install_signal_stop(signal_token);
+
+  std::optional<cache::Store> store;
+  if (!cache_path.empty()) {
+    store.emplace(cache_path);
+    opt.execute.cache = &*store;
+    // Persist after every insert so a SIGKILL loses at most the job that
+    // was in flight.
+    opt.execute.save_cache_on_insert = true;
+  }
+
+  std::unique_ptr<obs::TraceSink> trace;
+  if (!trace_path.empty()) {
+    trace = obs::TraceSink::open(trace_path);
+    if (!trace) {
+      std::fprintf(stderr, "serve: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    trace->attach_to_log();
+    opt.trace = trace.get();
+  }
+
+  serve::Server server(opt);
+  server.start();
+  std::printf("serve: listening on %s", server.socket_path().c_str());
+  if (opt.workers == 0) {
+    std::printf(" (hardware-concurrency worker slots)");
+  } else {
+    std::printf(" (%u worker slot%s)", opt.workers,
+                opt.workers == 1 ? "" : "s");
+  }
+  if (store) {
+    std::printf(", cache %s (%zu entries)", store->path().c_str(),
+                store->size());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+  server.run(); // blocks until SIGINT/SIGTERM
+  if (store) {
+    store->save();
+  }
+  if (!metrics_path.empty()) {
+    if (!obs::registry().write_json(metrics_path)) {
+      std::fprintf(stderr, "serve: cannot write %s\n", metrics_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
+  std::printf("serve: shut down — %llu requests, %llu ok, %llu errors\n",
+              static_cast<unsigned long long>(
+                  obs::registry().counter("serve.requests").value()),
+              static_cast<unsigned long long>(
+                  obs::registry().counter("serve.responses.ok").value()),
+              static_cast<unsigned long long>(
+                  obs::registry().counter("serve.errors").value()));
+  return 0;
+}
+
+int cmd_client(const std::vector<std::string>& args) {
+  std::string socket_path = "rcgp.sock";
+  std::string input_path;
+  bool usage_error = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (opt_value(args[i], "--socket", socket_path)) {
+      // value captured
+    } else if (args[i][0] != '-' && input_path.empty()) {
+      input_path = args[i];
+    } else {
+      std::fprintf(stderr, "client: unknown option %s\n", args[i].c_str());
+      usage_error = true;
+    }
+  }
+  if (usage_error) {
+    std::fprintf(stderr,
+                 "usage: rcgp client [requests.jsonl] [--socket=rcgp.sock]\n"
+                 "  Submits each request line (from the file, or stdin) to a "
+                 "running daemon and\n"
+                 "  prints one response line per request on stdout.\n");
+    return 2;
+  }
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (!input_path.empty()) {
+    file.open(input_path);
+    if (!file) {
+      std::fprintf(stderr, "client: cannot read %s\n", input_path.c_str());
+      return 1;
+    }
+    in = &file;
+  }
+  serve::Client client(socket_path);
+  std::string line;
+  std::uint64_t sent = 0;
+  std::uint64_t failed = 0;
+  while (std::getline(*in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      continue;
+    }
+    const core::SynthesisResponse resp = client.submit_line(line);
+    ++sent;
+    if (!resp.ok) {
+      ++failed;
+    }
+    std::printf("%s\n", core::to_json(resp).c_str());
+    std::fflush(stdout);
+  }
+  std::fprintf(stderr, "client: %llu requests, %llu failed\n",
+               static_cast<unsigned long long>(sent),
+               static_cast<unsigned long long>(failed));
+  return failed == 0 ? 0 : 1;
+}
+
+int cmd_cache(const std::vector<std::string>& args) {
+  const char* usage =
+      "usage: rcgp cache warm   --store=FILE [--max-vars=N] [--max-gates=N]\n"
+      "                         [--time-limit=SECONDS] [--save-every=N] "
+      "[--refresh]\n"
+      "       rcgp cache stats  --store=FILE [--json]\n"
+      "       rcgp cache verify --store=FILE\n"
+      "  warm fills the store with exact-synthesis results for every\n"
+      "  single-output NPN class of <= max-vars inputs (docs/SERVICE.md).\n";
+  if (args.empty()) {
+    std::fputs(usage, stderr);
+    return 2;
+  }
+  const std::string sub = args[0];
+  std::string store_path;
+  cache::WarmOptions wopt;
+  bool json = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::string v;
+    if (opt_value(args[i], "--store", store_path)) {
+      // value captured
+    } else if (opt_value(args[i], "--max-vars", v)) {
+      wopt.max_vars = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--max-gates", v)) {
+      wopt.exact.max_gates = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (opt_value(args[i], "--time-limit", v)) {
+      wopt.exact.time_limit_seconds = std::stod(v);
+    } else if (opt_value(args[i], "--save-every", v)) {
+      wopt.save_every = std::stoull(v);
+    } else if (args[i] == "--refresh") {
+      wopt.skip_existing = false; // re-derive classes that already exist
+    } else if (args[i] == "--json") {
+      json = true;
+    } else {
+      std::fprintf(stderr, "cache: unknown option %s\n", args[i].c_str());
+      return 2;
+    }
+  }
+  if (store_path.empty()) {
+    std::fputs(usage, stderr);
+    return 2;
+  }
+  cache::Store store(store_path);
+
+  if (sub == "warm") {
+    wopt.progress = [](std::uint64_t done, std::uint64_t total) {
+      std::fprintf(stderr, "\rwarm: %llu/%llu classes",
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(total));
+      if (done == total) {
+        std::fputc('\n', stderr);
+      }
+    };
+    const cache::WarmResult r = cache::warm(store, wopt);
+    std::printf("warm: %llu classes — %llu solved, %llu already present, "
+                "%llu over budget (%.2fs)\n",
+                static_cast<unsigned long long>(r.classes),
+                static_cast<unsigned long long>(r.solved),
+                static_cast<unsigned long long>(r.skipped),
+                static_cast<unsigned long long>(r.timeouts), r.seconds);
+    std::printf("store: %zu entries in %s\n", store.size(),
+                store.path().c_str());
+    if (r.timeouts > 0) {
+      std::fprintf(stderr, "warm: rerun with a larger --time-limit/"
+                           "--max-gates to fill the remaining classes\n");
+    }
+    return 0;
+  }
+
+  if (sub == "stats") {
+    const auto entries = store.entries();
+    std::map<std::string, std::uint64_t> by_shape;
+    std::map<std::string, std::uint64_t> by_origin;
+    for (const auto& [key, e] : entries) {
+      const unsigned nv = e.tables.empty() ? 0 : e.tables[0].num_vars();
+      by_shape[std::to_string(nv) + "x" + std::to_string(e.tables.size())]++;
+      by_origin[e.origin]++;
+    }
+    if (json) {
+      obs::json::Writer w;
+      w.begin_object();
+      w.field("path", store.path());
+      w.field("entries", static_cast<std::uint64_t>(entries.size()));
+      w.key("by_shape").begin_object();
+      for (const auto& [k, n] : by_shape) {
+        w.field(k, n);
+      }
+      w.end_object();
+      w.key("by_origin").begin_object();
+      for (const auto& [k, n] : by_origin) {
+        w.field(k, n);
+      }
+      w.end_object();
+      w.end_object();
+      std::printf("%s\n", w.str().c_str());
+      return 0;
+    }
+    std::printf("store: %zu entries in %s\n", entries.size(),
+                store.path().c_str());
+    for (const auto& [k, n] : by_shape) {
+      std::printf("  %s (vars x outputs): %llu\n", k.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+    for (const auto& [k, n] : by_origin) {
+      std::printf("  origin %s: %llu\n", k.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+    return 0;
+  }
+
+  if (sub == "verify") {
+    const auto problems = store.verify();
+    if (problems.empty()) {
+      std::printf("cache: %zu entries verified ok\n", store.size());
+      return 0;
+    }
+    for (const auto& p : problems) {
+      std::fprintf(stderr, "cache: %s\n", p.c_str());
+    }
+    std::fprintf(stderr, "cache: %zu problem%s in %s\n", problems.size(),
+                 problems.size() == 1 ? "" : "s", store.path().c_str());
+    return 4;
+  }
+
+  std::fprintf(stderr, "cache: unknown subcommand %s\n", sub.c_str());
+  std::fputs(usage, stderr);
+  return 2;
 }
 
 int cmd_exact(const std::vector<std::string>& args) {
@@ -824,10 +1199,9 @@ int cmd_version(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(
-        stderr,
-        "usage: rcgp <synth|batch|fuzz|exact|cec|stats|report|list|version> "
-        "[args...]\n");
+    std::fprintf(stderr,
+                 "usage: rcgp <synth|batch|serve|client|cache|fuzz|exact|cec|"
+                 "stats|report|list|version> [args...]\n");
     return 2;
   }
   const std::string cmd = argv[1];
@@ -841,6 +1215,15 @@ int main(int argc, char** argv) {
     }
     if (cmd == "batch") {
       return cmd_batch(args);
+    }
+    if (cmd == "serve") {
+      return cmd_serve(args);
+    }
+    if (cmd == "client") {
+      return cmd_client(args);
+    }
+    if (cmd == "cache") {
+      return cmd_cache(args);
     }
     if (cmd == "fuzz") {
       return cmd_fuzz(args);

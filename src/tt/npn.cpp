@@ -5,23 +5,6 @@
 
 namespace rcgp::tt {
 
-namespace {
-
-// All 24 permutations of {0,1,2,3}; permutations fixing unused variables
-// are still correct for smaller arities because canonization pads to the
-// declared arity of the input table.
-const std::array<std::array<unsigned, 4>, 24> kPerms = [] {
-  std::array<std::array<unsigned, 4>, 24> ps{};
-  std::array<unsigned, 4> p{0, 1, 2, 3};
-  for (auto& slot : ps) {
-    slot = p;
-    std::next_permutation(p.begin(), p.end());
-  }
-  return ps;
-}();
-
-} // namespace
-
 TruthTable npn_apply(const TruthTable& t, const NpnTransform& tr) {
   const unsigned n = t.num_vars();
   // Build the permuted/phased table directly by re-indexing assignments.
@@ -65,25 +48,16 @@ TruthTable npn_unapply(const TruthTable& t, const NpnTransform& tr) {
 
 NpnCanonization npn_canonize(const TruthTable& t) {
   const unsigned n = t.num_vars();
-  if (n > 4) {
-    throw std::invalid_argument("npn_canonize: supports up to 4 variables");
+  if (n > kMaxNpnVars) {
+    throw std::invalid_argument("npn_canonize: supports up to 6 variables");
   }
   NpnCanonization best{t, {}};
   bool first = true;
-  for (const auto& perm : kPerms) {
-    // Skip permutations that move variables beyond the table's arity in a
-    // way that is redundant (identical restriction); correctness is kept by
-    // simply evaluating all — tables are tiny (<= 16 bits).
-    bool valid = true;
-    for (unsigned i = 0; i < n; ++i) {
-      if (perm[i] >= n) {
-        valid = false;
-        break;
-      }
-    }
-    if (!valid) {
-      continue;
-    }
+  // Enumerate the n! permutations of the table's own variables; positions
+  // beyond n keep their identity entries so the transform stays a valid
+  // permutation of [0, kMaxNpnVars).
+  std::array<unsigned, kMaxNpnVars> perm{0, 1, 2, 3, 4, 5};
+  do {
     for (unsigned phase = 0; phase < (1u << n); ++phase) {
       for (unsigned out = 0; out < 2; ++out) {
         NpnTransform tr;
@@ -98,7 +72,7 @@ NpnCanonization npn_canonize(const TruthTable& t) {
         }
       }
     }
-  }
+  } while (std::next_permutation(perm.begin(), perm.begin() + n));
   return best;
 }
 

@@ -7,25 +7,33 @@
 
 namespace rcgp::tt {
 
+/// Largest arity npn_canonize handles exhaustively. 6 variables means
+/// 720 permutations x 64 input phases x 2 output phases = 92160 candidate
+/// transforms over 64-bit tables — milliseconds, fine for offline use
+/// (cache keys, class enumeration); the synthesis hot paths only ever
+/// canonize <= 4 variables.
+inline constexpr unsigned kMaxNpnVars = 6;
+
 /// Record of an NPN transformation: canon = transform(original).
 ///
 /// `perm[i]` gives the original variable placed at canonical position i;
 /// bit i of `input_phase` says the variable feeding canonical position i is
-/// complemented; `output_phase` complements the function output.
+/// complemented; `output_phase` complements the function output. Entries of
+/// `perm` at positions >= the table arity are ignored.
 struct NpnTransform {
-  std::array<unsigned, 4> perm{0, 1, 2, 3};
+  std::array<unsigned, kMaxNpnVars> perm{0, 1, 2, 3, 4, 5};
   unsigned input_phase = 0;
   bool output_phase = false;
 };
 
-/// Result of exact NPN canonization for functions of up to 4 variables.
+/// Result of exact NPN canonization.
 struct NpnCanonization {
   TruthTable canon;
   NpnTransform transform;
 };
 
-/// Exhaustive NPN canonization (minimum table under <) for <= 4 variables.
-/// Throws std::invalid_argument for larger arities.
+/// Exhaustive NPN canonization (minimum table under <) for up to
+/// kMaxNpnVars variables. Throws std::invalid_argument for larger arities.
 NpnCanonization npn_canonize(const TruthTable& t);
 
 /// Applies `transform` to `t` (same operation canonization performed).

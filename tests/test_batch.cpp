@@ -91,7 +91,21 @@ TEST(Manifest, RejectsMalformedLinesWithContext) {
       "duplicate job id \"a\"", 2);
   expect_parse_error(
       "{\"id\":\"a\",\"circuit\":\"c\",\"limits\":{\"g\":1}}\n",
-      "nested values are not allowed", 1);
+      "unknown key \"limits\"", 1);
+  expect_parse_error(
+      "{\"id\":\"a\",\"circuit\":\"c\",\"generations\":{\"g\":1}}\n",
+      "must be a number", 1);
+  expect_parse_error(
+      "{\"id\":\"a\",\"circuit\":\"c\",\"schema\":99}\n",
+      "unsupported schema version", 1);
+  expect_parse_error(
+      "{\"id\":\"a\",\"circuit\":\"c\",\"id\":\"b\"}\n",
+      "duplicate key \"id\"", 1);
+  expect_parse_error(
+      "{\"id\":\"a\",\"circuit\":\"c\",\"spec\":[\"e8\"],\"spec_vars\":3}\n",
+      "mutually exclusive", 1);
+  expect_parse_error("{\"id\":\"a\",\"spec\":[\"e8\"]}\n",
+                     "requires \"spec_vars\"", 1);
   expect_parse_error("{\"circuit\":\"c\"}\n", "missing required key \"id\"",
                      1);
   expect_parse_error("{\"id\":\"a\"}\n", "missing required key \"circuit\"",

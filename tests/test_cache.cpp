@@ -1,0 +1,307 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/key.hpp"
+#include "cache/store.hpp"
+#include "cache/warm.hpp"
+#include "fuzz/generator.hpp"
+#include "obs/metrics.hpp"
+#include "robust/integrity.hpp"
+#include "rqfp/simulate.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace rcgp::cache {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / "rcgp_cache_test";
+  std::filesystem::create_directories(dir);
+  const auto path = dir / name;
+  std::filesystem::remove(path);
+  return path.string();
+}
+
+std::vector<tt::TruthTable> random_spec(util::Rng& rng, unsigned vars,
+                                        unsigned outputs) {
+  return fuzz::random_tables(rng, vars, outputs);
+}
+
+// ---------- canonicalization ----------
+
+TEST(Key, ApplyUnapplyIsTheIdentity) {
+  util::Rng rng(123);
+  for (unsigned vars = 1; vars <= kMaxJointVars; ++vars) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto spec =
+          random_spec(rng, vars, 1 + static_cast<unsigned>(rng.below(4)));
+      const CanonicalSpec canon = canonicalize(spec);
+      EXPECT_EQ(cache::apply(spec, canon.transform), canon.tables);
+      EXPECT_EQ(unapply(canon.tables, canon.transform), spec);
+    }
+  }
+}
+
+TEST(Key, NpnVariantsShareOneKey) {
+  // x0&x1 under every input permutation/complement and output complement
+  // must canonicalize to the same key.
+  const auto key_of = [](const std::string& hex) {
+    const std::vector<tt::TruthTable> spec = {tt::TruthTable::from_hex(2,
+                                                                       hex)};
+    return canonicalize(spec).key;
+  };
+  const std::string base = key_of("8"); // x0 & x1
+  EXPECT_EQ(key_of("4"), base);         // x0 & ~x1
+  EXPECT_EQ(key_of("2"), base);         // ~x0 & x1
+  EXPECT_EQ(key_of("1"), base);         // ~x0 & ~x1
+  EXPECT_EQ(key_of("7"), base);         // ~(x0 & x1)
+  EXPECT_EQ(key_of("e"), base);         // x0 | x1 = ~(~x0 & ~x1)
+  EXPECT_NE(key_of("6"), base);         // xor is a different class
+}
+
+TEST(Key, CanonicalSpecIsAFixpoint) {
+  util::Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto spec = random_spec(
+        rng, 1 + static_cast<unsigned>(rng.below(kMaxJointVars)),
+        1 + static_cast<unsigned>(rng.below(3)));
+    const CanonicalSpec canon = canonicalize(spec);
+    const CanonicalSpec again = canonicalize(canon.tables);
+    EXPECT_EQ(again.tables, canon.tables);
+    EXPECT_EQ(again.key, canon.key);
+    EXPECT_TRUE(again.transform.identity(
+        static_cast<unsigned>(canon.tables[0].num_vars())));
+  }
+}
+
+TEST(Key, WideSpecsGetTheIdentityTransform) {
+  util::Rng rng(5);
+  const auto spec = random_spec(rng, kMaxJointVars + 1, 2);
+  const CanonicalSpec canon = canonicalize(spec);
+  EXPECT_TRUE(canon.transform.identity(kMaxJointVars + 1));
+  EXPECT_EQ(canon.tables, spec);
+}
+
+TEST(Key, NetlistRewriteTracksTheTransform) {
+  // canonicalize_netlist must implement the canonical tables, and
+  // decanonicalize_netlist must take it back to the original spec.
+  util::Rng rng(31337);
+  fuzz::NetlistShape shape;
+  shape.max_pis = kMaxJointVars;
+  shape.max_gates = 10;
+  for (int trial = 0; trial < 40; ++trial) {
+    const rqfp::Netlist net = fuzz::random_netlist(rng, shape);
+    const auto spec = rqfp::simulate(net);
+    const CanonicalSpec canon = canonicalize(spec);
+
+    const rqfp::Netlist canon_net = canonicalize_netlist(net, canon.transform);
+    EXPECT_TRUE(canon_net.validate().empty());
+    EXPECT_EQ(rqfp::simulate(canon_net), canon.tables);
+
+    const rqfp::Netlist back =
+        decanonicalize_netlist(canon_net, canon.transform);
+    EXPECT_TRUE(back.validate().empty());
+    EXPECT_EQ(rqfp::simulate(back), spec);
+  }
+}
+
+// ---------- store ----------
+
+TEST(Store, MissThenInsertThenHit) {
+  util::Rng rng(9);
+  fuzz::NetlistShape shape;
+  shape.max_pis = 3;
+  const rqfp::Netlist net = fuzz::random_netlist(rng, shape);
+  const auto spec = rqfp::simulate(net);
+
+  Store store;
+  EXPECT_FALSE(store.lookup(spec).has_value());
+  EXPECT_TRUE(store.insert(spec, net, "test"));
+  const auto hit = store.lookup(spec);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->origin, "test");
+  EXPECT_EQ(rqfp::simulate(hit->netlist), spec);
+}
+
+TEST(Store, HitsAcrossTheWholeNpnOrbit) {
+  // Store one function once; NPN variants of it (permuted inputs,
+  // complemented inputs and outputs) must hit the same entry, and the
+  // de-canonicalized netlist must implement each variant exactly.
+  util::Rng rng(4);
+  fuzz::NetlistShape shape;
+  shape.min_pis = 3;
+  shape.max_pis = 3;
+  shape.min_pos = 2;
+  const rqfp::Netlist impl = fuzz::random_netlist(rng, shape);
+  const auto spec = rqfp::simulate(impl);
+  Store store;
+  ASSERT_TRUE(store.insert(spec, impl, "test"));
+
+  SpecTransform tr;
+  tr.perm = {2, 0, 1, 3, 4, 5};
+  tr.input_phase = 0b101;
+  tr.output_phase = 0b01;
+  const auto variant = cache::apply(spec, tr);
+  const auto hit = store.lookup(variant);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(rqfp::simulate(hit->netlist), variant);
+  EXPECT_EQ(store.size(), 1u); // one entry serves the whole orbit
+}
+
+TEST(Store, KeepsTheBetterNetlistOnReinsert) {
+  util::Rng rng(21);
+  fuzz::NetlistShape shape;
+  shape.max_pis = 3;
+  rqfp::Netlist small = fuzz::random_netlist(rng, shape);
+  const auto spec = rqfp::simulate(small);
+
+  // A strictly worse implementation of the same function: the same
+  // netlist plus a disconnected pass-through of constants is not easy to
+  // build legally, so re-insert the identical netlist — the store must
+  // report "no change".
+  Store store;
+  EXPECT_TRUE(store.insert(spec, small, "first"));
+  EXPECT_FALSE(store.insert(spec, small, "second"));
+  const auto hit = store.lookup(spec);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->origin, "first");
+}
+
+TEST(Store, RejectsNetlistThatDoesNotImplementTheSpec) {
+  util::Rng rng(2);
+  fuzz::NetlistShape shape;
+  shape.max_pis = 3;
+  const rqfp::Netlist net = fuzz::random_netlist(rng, shape);
+  auto spec = rqfp::simulate(net);
+  spec[0] = ~spec[0];
+  Store store;
+  EXPECT_THROW(store.insert(spec, net, "bad"), std::invalid_argument);
+}
+
+TEST(Store, SaveLoadRoundTrips) {
+  const std::string path = temp_path("roundtrip.rcc");
+  util::Rng rng(55);
+  fuzz::NetlistShape shape;
+  shape.max_pis = 4;
+  Store store(path);
+  std::vector<std::vector<tt::TruthTable>> specs;
+  for (int i = 0; i < 5; ++i) {
+    const rqfp::Netlist net = fuzz::random_netlist(rng, shape);
+    specs.push_back(rqfp::simulate(net));
+    store.insert(specs.back(), net, "test");
+  }
+  store.save();
+
+  Store back(path);
+  EXPECT_EQ(back.size(), store.size());
+  for (const auto& spec : specs) {
+    const auto hit = back.lookup(spec);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(rqfp::simulate(hit->netlist), spec);
+  }
+  EXPECT_TRUE(back.verify().empty());
+}
+
+TEST(Store, CorruptPayloadRaisesChecksumError) {
+  const std::string path = temp_path("corrupt.rcc");
+  util::Rng rng(8);
+  Store store(path);
+  const rqfp::Netlist net = fuzz::random_netlist(rng);
+  store.insert(rqfp::simulate(net), net, "test");
+  store.save();
+
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  text[text.size() / 2] ^= 0x20; // damage the CRC-covered payload
+  try {
+    (void)Store::parse(text, "corrupt.rcc");
+    FAIL() << "expected IntegrityError";
+  } catch (const robust::IntegrityError& e) {
+    EXPECT_EQ(e.kind(), robust::IntegrityError::Kind::kChecksum);
+  }
+}
+
+TEST(Store, MangledHeaderRaisesFormatError) {
+  try {
+    (void)Store::parse("not-a-cache 1 0\n", "mangled");
+    FAIL() << "expected IntegrityError";
+  } catch (const robust::IntegrityError& e) {
+    EXPECT_EQ(e.kind(), robust::IntegrityError::Kind::kFormat);
+  }
+}
+
+TEST(Store, LookupCountsTelemetry) {
+  auto& reg = obs::registry();
+  const std::uint64_t hits0 = reg.counter("cache.hits").value();
+  const std::uint64_t misses0 = reg.counter("cache.misses").value();
+
+  util::Rng rng(91);
+  fuzz::NetlistShape shape;
+  shape.max_pis = 3;
+  const rqfp::Netlist net = fuzz::random_netlist(rng, shape);
+  const auto spec = rqfp::simulate(net);
+  Store store;
+  (void)store.lookup(spec);
+  store.insert(spec, net, "test");
+  (void)store.lookup(spec);
+
+  EXPECT_EQ(reg.counter("cache.misses").value(), misses0 + 1);
+  EXPECT_EQ(reg.counter("cache.hits").value(), hits0 + 1);
+}
+
+// ---------- warmer ----------
+
+TEST(Warm, FillsEveryTwoInputClass) {
+  Store store;
+  WarmOptions opt;
+  opt.max_vars = 2;
+  opt.exact.max_gates = 4;
+  opt.exact.time_limit_seconds = 30;
+  const WarmResult r = warm(store, opt);
+  // 2 classes of 1 input (const, identity) + 4 proper 2-input classes.
+  EXPECT_EQ(r.classes, 6u);
+  EXPECT_EQ(r.solved + r.timeouts + r.skipped, r.classes);
+  EXPECT_EQ(store.size(), r.solved);
+
+  // Every 2-input function must now hit (given all classes solved).
+  if (r.timeouts == 0) {
+    for (unsigned v = 0; v < 16; ++v) {
+      tt::TruthTable t(2);
+      t.set_word(0, v);
+      const std::vector<tt::TruthTable> spec = {t};
+      const auto hit = store.lookup(spec);
+      ASSERT_TRUE(hit.has_value()) << "function " << v;
+      EXPECT_EQ(rqfp::simulate(hit->netlist), spec) << "function " << v;
+    }
+  }
+}
+
+TEST(Warm, SkipsExistingEntriesOnRerun) {
+  Store store;
+  WarmOptions opt;
+  opt.max_vars = 1;
+  opt.exact.max_gates = 3;
+  const WarmResult first = warm(store, opt);
+  EXPECT_EQ(first.classes, 2u);
+  const WarmResult second = warm(store, opt);
+  EXPECT_EQ(second.skipped, first.solved);
+  EXPECT_EQ(second.solved, 0u);
+}
+
+TEST(Warm, RejectsOutOfRangeMaxVars) {
+  Store store;
+  WarmOptions opt;
+  opt.max_vars = kMaxJointVars + 1;
+  EXPECT_THROW(warm(store, opt), std::invalid_argument);
+  opt.max_vars = 0;
+  EXPECT_THROW(warm(store, opt), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rcgp::cache

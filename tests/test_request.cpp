@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/request.hpp"
+#include "io/parse_error.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::core {
+namespace {
+
+// ---------- cache policy names ----------
+
+TEST(CachePolicy, NamesRoundTrip) {
+  for (const CachePolicy p :
+       {CachePolicy::kOff, CachePolicy::kUse, CachePolicy::kSeed}) {
+    EXPECT_EQ(parse_cache_policy(to_string(p)), p);
+  }
+  EXPECT_THROW(parse_cache_policy("bogus"), std::invalid_argument);
+}
+
+// ---------- request JSON round trip ----------
+
+TEST(Request, MinimalCircuitJobRoundTrips) {
+  SynthesisRequest r;
+  r.id = "j1";
+  r.circuit = "full_adder";
+  const std::string json = to_json(r);
+  EXPECT_EQ(parse_request(json), r);
+}
+
+TEST(Request, AllOverridesRoundTrip) {
+  SynthesisRequest r;
+  r.id = "heavy.job-2";
+  r.circuit = "circuits/alu.v";
+  r.algorithm = Algorithm::kAnneal;
+  r.generations = 123456;
+  r.seed = 42;
+  r.lambda = 7;
+  r.threads = 3;
+  r.restarts = 5;
+  r.deadline_seconds = 12.5;
+  r.max_generations = 200000;
+  r.max_evaluations = 1000000;
+  r.stagnation_limit = 5000;
+  r.retries = 2;
+  r.cache = CachePolicy::kSeed;
+  EXPECT_EQ(parse_request(to_json(r)), r);
+}
+
+TEST(Request, InlineSpecRoundTrips) {
+  SynthesisRequest r;
+  r.id = "inline";
+  r.spec = {tt::TruthTable::from_hex(3, "e8"),
+            tt::TruthTable::from_hex(3, "96")};
+  r.cache = CachePolicy::kOff;
+  const SynthesisRequest back = parse_request(to_json(r));
+  EXPECT_EQ(back, r);
+  ASSERT_EQ(back.spec.size(), 2u);
+  EXPECT_EQ(back.spec[0].num_vars(), 3u);
+}
+
+// ---------- request validation ----------
+
+void expect_request_error(const std::string& json,
+                          const std::string& fragment) {
+  try {
+    parse_request(json, "doc", 3, "serve");
+    FAIL() << "expected io::ParseError with: " << fragment;
+  } catch (const io::ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("serve:doc:3:"), std::string::npos) << what;
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+  }
+}
+
+TEST(Request, RejectionsCarryTheEmbeddingFormatContext) {
+  expect_request_error("{\"schema\":1}", "id");
+  expect_request_error("{\"schema\":1,\"id\":\"a b\",\"circuit\":\"c17\"}",
+                       "id");
+  expect_request_error("{\"schema\":99,\"id\":\"j\",\"circuit\":\"c17\"}",
+                       "schema");
+  expect_request_error(
+      "{\"schema\":1,\"id\":\"j\",\"circuit\":\"c17\",\"bogus\":1}", "bogus");
+  expect_request_error("{\"schema\":1,\"id\":\"j\",\"circuit\":\"c17\","
+                       "\"spec\":[\"e8\"],\"spec_vars\":3}",
+                       "circuit");
+  expect_request_error("not json at all", "");
+}
+
+// ---------- executor expansion ----------
+
+TEST(Request, OptimizerOptionsUseDefaultsForZeroFields) {
+  SynthesisRequest r;
+  r.id = "j";
+  r.circuit = "c17";
+  RequestDefaults d;
+  d.generations = 777;
+  d.seed = 9;
+  d.threads = 2;
+  const OptimizerOptions o = optimizer_options_for(r, d);
+  EXPECT_EQ(o.algorithm, Algorithm::kEvolve);
+  EXPECT_EQ(o.evolve.generations, 777u);
+  EXPECT_EQ(o.evolve.seed, 9u);
+  EXPECT_EQ(o.evolve.threads, 2u);
+}
+
+TEST(Request, OptimizerOptionsRequestOverridesWin) {
+  SynthesisRequest r;
+  r.id = "j";
+  r.circuit = "c17";
+  r.algorithm = Algorithm::kMultistart;
+  r.generations = 100;
+  r.seed = 5;
+  r.lambda = 8;
+  r.threads = 4;
+  r.restarts = 6;
+  r.deadline_seconds = 1.5;
+  r.max_generations = 90;
+  r.max_evaluations = 400;
+  const OptimizerOptions o = optimizer_options_for(r);
+  EXPECT_EQ(o.algorithm, Algorithm::kMultistart);
+  EXPECT_EQ(o.evolve.generations, 100u);
+  EXPECT_EQ(o.evolve.seed, 5u);
+  EXPECT_EQ(o.evolve.lambda, 8u);
+  EXPECT_EQ(o.evolve.threads, 4u);
+  EXPECT_EQ(o.restarts, 6u);
+  EXPECT_DOUBLE_EQ(o.limits.deadline_seconds, 1.5);
+  EXPECT_EQ(o.limits.max_generations, 90u);
+  EXPECT_EQ(o.limits.max_evaluations, 400u);
+}
+
+// ---------- response JSON round trip ----------
+
+TEST(Response, SuccessRoundTrips) {
+  SynthesisResponse r;
+  r.id = "j1";
+  r.ok = true;
+  r.verified = true;
+  r.cached = true;
+  r.stop_reason = "completed";
+  r.cost.n_r = 3;
+  r.cost.jjs = 72;
+  r.seconds = 0.25;
+  r.netlist = ".rqfp 1\n.pis 1 a\n.pos 1\npo 1 y\n.end\n";
+  EXPECT_EQ(parse_response(to_json(r)), r);
+}
+
+TEST(Response, FailureRoundTrips) {
+  SynthesisResponse r;
+  r.id = "bad";
+  r.ok = false;
+  r.error = "result failed verification";
+  r.stop_reason = "error";
+  EXPECT_EQ(parse_response(to_json(r)), r);
+}
+
+TEST(Response, ParseRejectsGarbageWithContext) {
+  try {
+    parse_response("{\"nope\":1}", "sock", 7);
+    FAIL() << "expected io::ParseError";
+  } catch (const io::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("response:sock:7:"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------- optimizer configuration round trip ----------
+
+TEST(OptionsJson, RunLimitsRoundTrip) {
+  RunLimits l;
+  l.deadline_seconds = 3.5;
+  l.max_generations = 1000;
+  l.max_evaluations = 5000;
+  l.checkpoint_path = "run.ckpt";
+  l.checkpoint_interval = 250;
+  const RunLimits back = parse_run_limits(to_json(l));
+  EXPECT_DOUBLE_EQ(back.deadline_seconds, l.deadline_seconds);
+  EXPECT_EQ(back.max_generations, l.max_generations);
+  EXPECT_EQ(back.max_evaluations, l.max_evaluations);
+  EXPECT_EQ(back.checkpoint_path, l.checkpoint_path);
+  EXPECT_EQ(back.checkpoint_interval, l.checkpoint_interval);
+  EXPECT_EQ(back.stop, nullptr); // runtime wiring is not serialized
+}
+
+TEST(OptionsJson, OptimizerOptionsRoundTrip) {
+  OptimizerOptions o;
+  o.algorithm = Algorithm::kAnneal;
+  o.evolve.generations = 4321;
+  o.evolve.lambda = 6;
+  o.evolve.seed = 17;
+  o.restarts = 9;
+  o.limits.deadline_seconds = 2.0;
+  const OptimizerOptions back = parse_optimizer_options(to_json(o));
+  EXPECT_EQ(back.algorithm, o.algorithm);
+  EXPECT_EQ(back.evolve.generations, o.evolve.generations);
+  EXPECT_EQ(back.evolve.lambda, o.evolve.lambda);
+  EXPECT_EQ(back.evolve.seed, o.evolve.seed);
+  EXPECT_EQ(back.restarts, o.restarts);
+  EXPECT_DOUBLE_EQ(back.limits.deadline_seconds, o.limits.deadline_seconds);
+}
+
+} // namespace
+} // namespace rcgp::core

@@ -236,7 +236,7 @@ TEST(Npn, CanonizationIsInvariantUnderTransforms) {
     const auto canon_f = npn_canonize(f);
     // Apply a random NPN transform to f; the canon must not change.
     NpnTransform tr;
-    std::array<unsigned, 4> perm{0, 1, 2, 3};
+    std::array<unsigned, kMaxNpnVars> perm{0, 1, 2, 3, 4, 5};
     for (unsigned i = nv; i-- > 1;) {
       std::swap(perm[i], perm[rng.below(i + 1)]);
     }
@@ -261,7 +261,56 @@ TEST(Npn, ApplyUnapplyRoundTrip) {
 }
 
 TEST(Npn, RejectsWideTables) {
-  EXPECT_THROW(npn_canonize(TruthTable(5)), std::invalid_argument);
+  EXPECT_THROW(npn_canonize(TruthTable(7)), std::invalid_argument);
+}
+
+TEST(Npn, RoundTripRecoversOriginalUpToSixVars) {
+  // canonical form + transform -> inverse transform recovers the original,
+  // for every supported arity.
+  util::Rng rng(67);
+  for (unsigned nv = 1; nv <= kMaxNpnVars; ++nv) {
+    for (int round = 0; round < 8; ++round) {
+      TruthTable f(nv);
+      for (std::size_t w = 0; w < f.num_words(); ++w) {
+        f.set_word(w, rng.next());
+      }
+      const auto c = npn_canonize(f);
+      EXPECT_EQ(npn_apply(f, c.transform), c.canon)
+          << "nv=" << nv << " round=" << round;
+      EXPECT_EQ(npn_unapply(c.canon, c.transform), f)
+          << "nv=" << nv << " round=" << round;
+      // The canon is the class minimum, so it cannot exceed f itself.
+      EXPECT_FALSE(f < c.canon) << "nv=" << nv << " round=" << round;
+    }
+  }
+}
+
+TEST(Npn, EqualClassTablesShareBitIdenticalCanon) {
+  // Walk a random table through random class-preserving moves (variable
+  // flips, swaps, output complement); every waypoint must canonize to a
+  // bit-identical table.
+  util::Rng rng(73);
+  for (unsigned nv = 1; nv <= kMaxNpnVars; ++nv) {
+    TruthTable f(nv);
+    for (std::size_t w = 0; w < f.num_words(); ++w) {
+      f.set_word(w, rng.next());
+    }
+    const auto canon = npn_canonize(f).canon;
+    TruthTable g = f;
+    for (int step = 0; step < 10; ++step) {
+      switch (rng.below(3)) {
+        case 0: g = g.flip_var(static_cast<unsigned>(rng.below(nv))); break;
+        case 1:
+          g = g.swap_vars(static_cast<unsigned>(rng.below(nv)),
+                          static_cast<unsigned>(rng.below(nv)));
+          break;
+        default: g = ~g; break;
+      }
+      const auto canon_g = npn_canonize(g).canon;
+      EXPECT_EQ(canon_g, canon) << "nv=" << nv << " step=" << step;
+      EXPECT_EQ(canon_g.to_hex(), canon.to_hex());
+    }
+  }
 }
 
 TEST(Npn, ConstantAndProjectionClasses) {
