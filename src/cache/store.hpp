@@ -100,8 +100,9 @@ public:
   /// Snapshot of the entries (for stats / inspection).
   std::vector<std::pair<std::string, Entry>> entries() const;
 
-  /// Atomic save to the bound path (no-op when unbound). Throws
-  /// std::runtime_error on I/O failure.
+  /// Atomic save to the bound path (no-op when unbound): temp file +
+  /// fsync + rename + directory fsync, with concurrent callers serialized
+  /// on an internal save mutex. Throws std::runtime_error on I/O failure.
   void save() const;
 
   /// Serialization used by save()/Store(path) — exposed for tests and
@@ -114,6 +115,7 @@ private:
 
   std::string path_;
   mutable std::mutex mu_;
+  mutable std::mutex save_mu_; // one save (temp write + rename) at a time
   std::map<std::string, Entry> entries_;
 };
 

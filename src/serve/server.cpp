@@ -103,17 +103,18 @@ void Server::stop() {
     acceptor_.join();
   }
   listener_.close();
-  std::vector<std::thread> conns;
+  std::vector<Connection> conns;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     conns.swap(connections_);
+    finished_.clear();
     for (const int fd : open_fds_) {
       ::shutdown(fd, SHUT_RDWR); // unblocks connection reads
     }
   }
-  for (auto& t : conns) {
-    if (t.joinable()) {
-      t.join();
+  for (auto& c : conns) {
+    if (c.thread.joinable()) {
+      c.thread.join();
     }
   }
   std::remove(options_.socket_path.c_str());
@@ -125,6 +126,7 @@ void Server::accept_loop() {
   obs::set_thread_name("serve-accept");
   std::uint64_t next_id = 0;
   while (!stopping()) {
+    reap_finished();
     if (!wait_readable(listener_.get(), 200)) {
       continue;
     }
@@ -136,7 +138,33 @@ void Server::accept_loop() {
     const std::uint64_t id = next_id++;
     const std::lock_guard<std::mutex> lock(mu_);
     open_fds_.push_back(fd);
-    connections_.emplace_back([this, fd, id] { connection(fd, id); });
+    connections_.push_back(
+        {id, std::thread([this, fd, id] { connection(fd, id); })});
+  }
+}
+
+/// Joins connection threads that announced completion, so a long-running
+/// daemon serving many short-lived connections does not accumulate
+/// finished thread handles until stop().
+void Server::reap_finished() {
+  std::vector<std::thread> done;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const std::uint64_t id : finished_) {
+      for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+        if (it->id == id) {
+          done.push_back(std::move(it->thread));
+          connections_.erase(it);
+          break;
+        }
+      }
+    }
+    finished_.clear();
+  }
+  for (auto& t : done) {
+    if (t.joinable()) {
+      t.join(); // marks done as its last act, so this returns promptly
+    }
   }
 }
 
@@ -172,18 +200,23 @@ void Server::connection(int raw_fd, std::uint64_t id) {
       reg.counter("serve.errors").inc();
     }
     if (parsed) {
+      // Acquires the slot and bumps the gauge in its constructor so there
+      // is no window where a throw leaks a slot or skews the gauge.
       struct SlotGuard {
-        ServerSlots& s;
-        obs::Gauge& active;
+        SlotGuard(ServerSlots& slots, obs::Gauge& gauge)
+            : s(slots), active(gauge) {
+          s.acquire();
+          active.add(1.0);
+        }
         ~SlotGuard() {
           active.add(-1.0);
           s.release();
         }
+        ServerSlots& s;
+        obs::Gauge& active;
       };
       try {
-        slots.acquire();
-        reg.gauge("serve.active").add(1.0);
-        const SlotGuard guard{slots, reg.gauge("serve.active")};
+        const SlotGuard guard(slots, reg.gauge("serve.active"));
         batch::JobContext ctx;
         ctx.worker = static_cast<unsigned>(id);
         ctx.stop = &internal_stop_;
@@ -224,6 +257,7 @@ void Server::connection(int raw_fd, std::uint64_t id) {
       break;
     }
   }
+  finished_.push_back(id); // accept_loop joins us on its next pass
 }
 
 } // namespace rcgp::serve

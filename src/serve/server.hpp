@@ -74,8 +74,14 @@ public:
   bool running() const { return running_; }
 
 private:
+  struct Connection {
+    std::uint64_t id;
+    std::thread thread;
+  };
+
   void accept_loop();
   void connection(int fd, std::uint64_t id);
+  void reap_finished();
   bool stopping() const;
 
   ServeOptions options_;
@@ -84,8 +90,9 @@ private:
   bool running_ = false;
   std::thread acceptor_;
   std::unique_ptr<ServerSlots> slots_;
-  std::mutex mu_; // guards connections_ and open_fds_
-  std::vector<std::thread> connections_;
+  std::mutex mu_; // guards connections_, finished_, and open_fds_
+  std::vector<Connection> connections_;
+  std::vector<std::uint64_t> finished_; // connection ids ready to join
   std::vector<int> open_fds_;
 };
 

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/key.hpp"
@@ -203,6 +204,36 @@ TEST(Store, SaveLoadRoundTrips) {
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(rqfp::simulate(hit->netlist), spec);
   }
+  EXPECT_TRUE(back.verify().empty());
+}
+
+TEST(Store, ConcurrentSavesNeverPublishACorruptFile) {
+  // Regression: serve workers persist after every insert, so save() runs
+  // from many threads at once. Interleaved writes into the shared temp
+  // file used to rename a corrupt store into place.
+  const std::string path = temp_path("concurrent.rcc");
+  util::Rng rng(77);
+  fuzz::NetlistShape shape;
+  shape.max_pis = 4;
+  Store store(path);
+  for (int i = 0; i < 8; ++i) {
+    const rqfp::Netlist net = fuzz::random_netlist(rng, shape);
+    store.insert(rqfp::simulate(net), net, "test");
+  }
+  std::vector<std::thread> savers;
+  for (int t = 0; t < 8; ++t) {
+    savers.emplace_back([&store] {
+      for (int i = 0; i < 25; ++i) {
+        store.save();
+      }
+    });
+  }
+  for (auto& t : savers) {
+    t.join();
+  }
+  // A torn save would fail the CRC check here (IntegrityError).
+  Store back(path);
+  EXPECT_EQ(back.size(), store.size());
   EXPECT_TRUE(back.verify().empty());
 }
 
