@@ -1,0 +1,215 @@
+// Microbenchmark of the SIMD simulation kernels (docs/SIMD.md): for every
+// tier this host can run, first asserts bit-identity against the scalar
+// reference on randomized buffers (including ragged tail lengths), then
+// times the gate3 / maj3 / and2 / xor_popcount kernels and reports
+// words/second per tier plus the speedup over scalar. Identity is checked
+// BEFORE anything is timed; any mismatch prints the offending kernel and
+// exits nonzero, so a broken vector tier can never post a number.
+//
+// Publishes through the metrics registry (RCGP_METRICS_OUT dumps JSON,
+// which CI uploads as BENCH_sim.json):
+//   sim.simd_width            vector width in bits of the best tier
+//   sim.words_per_second      gate3 throughput of the best tier
+//   sim.words_per_second.<tier>  per-tier gate3 throughput
+//
+// Budgets (override via environment):
+//   RCGP_SIM_WORDS  words per operand buffer   (default 1024)
+//   RCGP_SIM_REPS   timing repetitions (best)  (default 7)
+//
+// The default operand is 1024 words — the truth table of a 16-PI spec and
+// comfortably cache-resident, like the hot-path tables the CGP loop
+// simulates. Much larger buffers (say 1 << 16 words) spill L2 and measure
+// memory bandwidth instead of the kernels; that regime is reachable via
+// RCGP_SIM_WORDS when it is the one of interest.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rqfp/simd.hpp"
+#include "table_common.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace rcgp;
+using rqfp::simd::Kernels;
+using rqfp::simd::Tier;
+
+std::vector<std::uint64_t> random_words(util::Rng& rng, std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  for (auto& w : v) {
+    w = rng.next();
+  }
+  return v;
+}
+
+struct Buffers {
+  std::vector<std::uint64_t> a, b, c;
+  std::vector<std::uint64_t> o0, o1, o2;
+  std::vector<std::uint64_t> r0, r1, r2; // scalar reference outputs
+};
+
+/// Every ragged length the block kernels can branch on: empty, sub-block,
+/// one word short of / exactly / past each vector width.
+std::vector<std::size_t> tail_lengths(std::size_t n) {
+  std::vector<std::size_t> lens{0, 1, 3, 4, 7, 8, 9, 15, 16, 17, 31, 33};
+  lens.push_back(n);
+  if (n > 5) {
+    lens.push_back(n - 5);
+  }
+  std::vector<std::size_t> ok;
+  for (const auto l : lens) {
+    if (l <= n) {
+      ok.push_back(l);
+    }
+  }
+  return ok;
+}
+
+bool check_tier(const Kernels& scalar, const Kernels& tier,
+                std::string_view tier_name, Buffers& buf, util::Rng& rng) {
+  const std::size_t n = buf.a.size();
+  bool ok = true;
+  const auto fail = [&](const char* kernel, std::size_t len) {
+    std::printf("IDENTITY FAILURE: %s tier '%.*s' diverges from scalar at "
+                "length %zu\n",
+                kernel, static_cast<int>(tier_name.size()), tier_name.data(),
+                len);
+    ok = false;
+  };
+  for (const std::size_t len : tail_lengths(n)) {
+    for (int rep = 0; rep < 4; ++rep) {
+      const auto config = static_cast<std::uint16_t>(rng.next() & 0x1FF);
+      scalar.gate3(config, buf.a.data(), buf.b.data(), buf.c.data(),
+                   buf.r0.data(), buf.r1.data(), buf.r2.data(), len);
+      tier.gate3(config, buf.a.data(), buf.b.data(), buf.c.data(),
+                 buf.o0.data(), buf.o1.data(), buf.o2.data(), len);
+      if (!std::equal(buf.r0.begin(), buf.r0.begin() + len, buf.o0.begin()) ||
+          !std::equal(buf.r1.begin(), buf.r1.begin() + len, buf.o1.begin()) ||
+          !std::equal(buf.r2.begin(), buf.r2.begin() + len, buf.o2.begin())) {
+        fail("gate3", len);
+      }
+      const std::uint64_t ma = rng.next() & 1 ? ~std::uint64_t{0} : 0;
+      const std::uint64_t mb = rng.next() & 1 ? ~std::uint64_t{0} : 0;
+      const std::uint64_t mc = rng.next() & 1 ? ~std::uint64_t{0} : 0;
+      scalar.maj3(buf.a.data(), ma, buf.b.data(), mb, buf.c.data(), mc,
+                  buf.r0.data(), len);
+      tier.maj3(buf.a.data(), ma, buf.b.data(), mb, buf.c.data(), mc,
+                buf.o0.data(), len);
+      if (!std::equal(buf.r0.begin(), buf.r0.begin() + len, buf.o0.begin())) {
+        fail("maj3", len);
+      }
+      scalar.and2(buf.a.data(), ma, buf.b.data(), mb, buf.r0.data(), len);
+      tier.and2(buf.a.data(), ma, buf.b.data(), mb, buf.o0.data(), len);
+      if (!std::equal(buf.r0.begin(), buf.r0.begin() + len, buf.o0.begin())) {
+        fail("and2", len);
+      }
+      if (scalar.xor_popcount(buf.a.data(), buf.b.data(), len) !=
+          tier.xor_popcount(buf.a.data(), buf.b.data(), len)) {
+        fail("xor_popcount", len);
+      }
+    }
+  }
+  return ok;
+}
+
+/// Best-of-reps seconds for `reps` timed runs of fn().
+template <typename Fn>
+double best_seconds(unsigned reps, Fn&& fn) {
+  double best = 1e300;
+  for (unsigned r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    fn();
+    const double s = watch.seconds();
+    if (s < best) {
+      best = s;
+    }
+  }
+  return best;
+}
+
+} // namespace
+
+int main() {
+  const std::size_t words = benchtool::env_u64("RCGP_SIM_WORDS", 1 << 10);
+  const unsigned reps =
+      static_cast<unsigned>(benchtool::env_u64("RCGP_SIM_REPS", 7));
+  util::Rng rng(7);
+
+  Buffers buf;
+  buf.a = random_words(rng, words);
+  buf.b = random_words(rng, words);
+  buf.c = random_words(rng, words);
+  buf.o0.assign(words, 0);
+  buf.o1.assign(words, 0);
+  buf.o2.assign(words, 0);
+  buf.r0.assign(words, 0);
+  buf.r1.assign(words, 0);
+  buf.r2.assign(words, 0);
+
+  const auto& tiers = rqfp::simd::available_tiers();
+  const Kernels& scalar = rqfp::simd::kernels(Tier::kScalar);
+
+  // 1. Bit-identity gate: every available tier against scalar.
+  bool all_identical = true;
+  for (const Tier t : tiers) {
+    if (!check_tier(scalar, rqfp::simd::kernels(t), rqfp::simd::to_string(t),
+                    buf, rng)) {
+      all_identical = false;
+    }
+  }
+  if (!all_identical) {
+    std::printf("bit-identity FAILED — refusing to time broken kernels\n");
+    return 1;
+  }
+  std::printf("bit-identity: all %zu tier(s) match scalar\n", tiers.size());
+
+  // 2. Throughput per tier. gate3 is the hot kernel (3 outputs per call),
+  // so words/second counts the 3 * n output words it produces.
+  const unsigned inner = 16;
+  double scalar_rate = 0.0;
+  double best_rate = 0.0;
+  Tier best_tier = Tier::kScalar;
+  std::printf("%-8s %8s %16s %9s\n", "tier", "width", "gate3 words/s",
+              "speedup");
+  for (const Tier t : tiers) {
+    const Kernels& k = rqfp::simd::kernels(t);
+    const double secs = best_seconds(reps, [&] {
+      for (unsigned i = 0; i < inner; ++i) {
+        k.gate3(static_cast<std::uint16_t>(0x1A4 + i), buf.a.data(),
+                buf.b.data(), buf.c.data(), buf.o0.data(), buf.o1.data(),
+                buf.o2.data(), words);
+      }
+    });
+    const double rate =
+        secs > 0.0 ? 3.0 * static_cast<double>(words) * inner / secs : 0.0;
+    if (t == Tier::kScalar) {
+      scalar_rate = rate;
+    }
+    if (rate >= best_rate) {
+      best_rate = rate;
+      best_tier = t;
+    }
+    obs::registry()
+        .gauge("sim.words_per_second." +
+               std::string(rqfp::simd::to_string(t)))
+        .set(rate);
+    std::printf("%-8.*s %7ub %16.3e %8.2fx\n",
+                static_cast<int>(rqfp::simd::to_string(t).size()),
+                rqfp::simd::to_string(t).data(), rqfp::simd::width_bits(t),
+                rate, scalar_rate > 0.0 ? rate / scalar_rate : 0.0);
+  }
+  obs::registry().gauge("sim.words_per_second").set(best_rate);
+  obs::registry()
+      .gauge("sim.simd_width")
+      .set(rqfp::simd::width_bits(best_tier));
+  std::printf("best tier: %.*s (%.2fx over scalar)\n",
+              static_cast<int>(rqfp::simd::to_string(best_tier).size()),
+              rqfp::simd::to_string(best_tier).data(),
+              scalar_rate > 0.0 ? best_rate / scalar_rate : 0.0);
+
+  benchtool::maybe_write_metrics("RCGP_METRICS_OUT");
+  return 0;
+}

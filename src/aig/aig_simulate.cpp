@@ -2,7 +2,25 @@
 
 #include <stdexcept>
 
+#include "rqfp/simd.hpp"
+
 namespace rcgp::aig {
+
+namespace {
+
+/// table[v] = (ta ^ ca?) & (tb ^ cb?) through the dispatched and2 kernel.
+/// The output slot never aliases the fanins (a strict topological AIG
+/// reads only earlier nodes), and complement masks can set the unused
+/// high bits of sub-word tables, hence the normalize().
+void and2_into(const tt::TruthTable& ta, bool ca, const tt::TruthTable& tb,
+               bool cb, tt::TruthTable& out) {
+  rqfp::simd::kernels().and2(ta.data(), ca ? ~std::uint64_t{0} : 0,
+                             tb.data(), cb ? ~std::uint64_t{0} : 0,
+                             out.data(), out.num_words());
+  out.normalize();
+}
+
+} // namespace
 
 std::vector<tt::TruthTable> simulate(const Aig& aig) {
   if (aig.has_replacements()) {
@@ -25,11 +43,8 @@ std::vector<tt::TruthTable> simulate(const Aig& aig) {
     }
     const Signal a = aig.fanin0(v);
     const Signal b = aig.fanin1(v);
-    const tt::TruthTable ta =
-        a.complemented() ? ~table[a.node()] : table[a.node()];
-    const tt::TruthTable tb =
-        b.complemented() ? ~table[b.node()] : table[b.node()];
-    table[v] = ta & tb;
+    and2_into(table[a.node()], a.complemented(), table[b.node()],
+              b.complemented(), table[v]);
   }
   std::vector<tt::TruthTable> out;
   out.reserve(aig.num_pos());
@@ -108,11 +123,11 @@ std::vector<std::vector<std::uint64_t>> simulate_patterns(
     const auto& va = value[a.node()];
     const auto& vb = value[b.node()];
     auto& out = value[v];
-    const std::uint64_t ca = a.complemented() ? ~std::uint64_t{0} : 0;
-    const std::uint64_t cb = b.complemented() ? ~std::uint64_t{0} : 0;
-    for (std::size_t w = 0; w < words; ++w) {
-      out[w] = (va[w] ^ ca) & (vb[w] ^ cb);
-    }
+    rqfp::simd::kernels().and2(va.data(),
+                               a.complemented() ? ~std::uint64_t{0} : 0,
+                               vb.data(),
+                               b.complemented() ? ~std::uint64_t{0} : 0,
+                               out.data(), words);
   }
   std::vector<std::vector<std::uint64_t>> out;
   out.reserve(aig.num_pos());

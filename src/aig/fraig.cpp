@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "aig/aig_simulate.hpp"
+#include "rqfp/simd.hpp"
 #include "sat/cnf.hpp"
 #include "util/rng.hpp"
 
@@ -61,11 +62,11 @@ Aig fraig(const Aig& input, const FraigParams& params, FraigStats* stats) {
     }
     const Signal a = net.fanin0(n);
     const Signal b = net.fanin1(n);
-    const std::uint64_t ca = a.complemented() ? ~0ull : 0;
-    const std::uint64_t cb = b.complemented() ? ~0ull : 0;
-    for (std::size_t w = 0; w < params.sim_words; ++w) {
-      sig[n][w] = (sig[a.node()][w] ^ ca) & (sig[b.node()][w] ^ cb);
-    }
+    rqfp::simd::kernels().and2(sig[a.node()].data(),
+                               a.complemented() ? ~0ull : 0,
+                               sig[b.node()].data(),
+                               b.complemented() ? ~0ull : 0, sig[n].data(),
+                               params.sim_words);
   }
 
   // 2. Candidate classes keyed by phase-normalized signature hash.

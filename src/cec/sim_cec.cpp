@@ -1,35 +1,51 @@
 #include "cec/sim_cec.hpp"
 
-#include <bit>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "rqfp/simd.hpp"
 #include "rqfp/simulate.hpp"
 
 namespace rcgp::cec {
 
-SimResult sim_check(const rqfp::Netlist& net,
-                    std::span<const tt::TruthTable> spec) {
-  if (spec.size() != net.num_pos()) {
-    throw std::invalid_argument("sim_check: PO count mismatch");
-  }
-  // This is the CGP fitness hot path: one relaxed atomic inc per check.
-  static obs::Counter& c_checks = obs::registry().counter("cec.sim_checks");
-  c_checks.inc();
-  const auto out = rqfp::simulate_live(net);
-  SimResult r;
-  for (std::size_t i = 0; i < spec.size(); ++i) {
-    r.total_bits += spec[i].num_bits();
-    r.mismatching_bits += out[i].hamming_distance(spec[i]);
-  }
+namespace {
+
+void finish(SimResult& r) {
   r.success_rate =
       r.total_bits == 0
           ? 1.0
           : 1.0 - static_cast<double>(r.mismatching_bits) /
                       static_cast<double>(r.total_bits);
   r.all_match = r.mismatching_bits == 0;
+}
+
+} // namespace
+
+SimResult sim_compare(std::span<const tt::TruthTable> out,
+                      std::span<const tt::TruthTable> spec) {
+  if (out.size() != spec.size()) {
+    throw std::invalid_argument("sim_compare: PO count mismatch");
+  }
+  // This is the CGP fitness hot path: one relaxed atomic inc per check.
+  static obs::Counter& c_checks = obs::registry().counter("cec.sim_checks");
+  c_checks.inc();
+  SimResult r;
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    r.total_bits += spec[i].num_bits();
+    r.mismatching_bits += out[i].hamming_distance(spec[i]);
+  }
+  finish(r);
   return r;
+}
+
+SimResult sim_check(const rqfp::Netlist& net,
+                    std::span<const tt::TruthTable> spec) {
+  if (spec.size() != net.num_pos()) {
+    throw std::invalid_argument("sim_check: PO count mismatch");
+  }
+  const auto out = rqfp::simulate_live(net);
+  return sim_compare(out, spec);
 }
 
 SimResult sim_check_delta(const rqfp::Netlist& base,
@@ -39,23 +55,8 @@ SimResult sim_check_delta(const rqfp::Netlist& base,
   if (spec.size() != child.num_pos()) {
     throw std::invalid_argument("sim_check_delta: PO count mismatch");
   }
-  // Same counter as sim_check: this is a simulation equivalence check, so
-  // telemetry invariants hold regardless of which path evaluated it.
-  static obs::Counter& c_checks = obs::registry().counter("cec.sim_checks");
-  c_checks.inc();
   rqfp::simulate_delta(base, child, cache, cache.po_scratch);
-  SimResult r;
-  for (std::size_t i = 0; i < spec.size(); ++i) {
-    r.total_bits += spec[i].num_bits();
-    r.mismatching_bits += cache.po_scratch[i].hamming_distance(spec[i]);
-  }
-  r.success_rate =
-      r.total_bits == 0
-          ? 1.0
-          : 1.0 - static_cast<double>(r.mismatching_bits) /
-                      static_cast<double>(r.total_bits);
-  r.all_match = r.mismatching_bits == 0;
-  return r;
+  return sim_compare(cache.po_scratch, spec);
 }
 
 SimResult sim_check_random(const rqfp::Netlist& a, const rqfp::Netlist& b,
@@ -81,20 +82,14 @@ SimResult sim_check_random(const rqfp::Netlist& a, const rqfp::Netlist& b,
   rqfp::SimBatch scratch;
   rqfp::simulate_patterns(a, patterns, va, scratch);
   rqfp::simulate_patterns(b, patterns, vb, scratch);
+  const auto& kernels = rqfp::simd::kernels();
   SimResult r;
   for (std::size_t i = 0; i < va.rows(); ++i) {
-    for (std::size_t w = 0; w < num_words; ++w) {
-      r.total_bits += 64;
-      r.mismatching_bits += static_cast<std::uint64_t>(
-          std::popcount(va.at(i, w) ^ vb.at(i, w)));
-    }
+    r.total_bits += 64 * num_words;
+    r.mismatching_bits += kernels.xor_popcount(va.row(i), vb.row(i),
+                                               num_words);
   }
-  r.success_rate =
-      r.total_bits == 0
-          ? 1.0
-          : 1.0 - static_cast<double>(r.mismatching_bits) /
-                      static_cast<double>(r.total_bits);
-  r.all_match = r.mismatching_bits == 0;
+  finish(r);
   return r;
 }
 

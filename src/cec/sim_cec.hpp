@@ -22,6 +22,14 @@ struct SimResult {
   bool all_match = false;
 };
 
+/// Scores already-simulated PO tables against a specification — the shared
+/// tail of every simulation equivalence check (sim_check, sim_check_delta,
+/// and the λ-batched evaluator). Increments the cec.sim_checks counter
+/// once, so telemetry stays one check per offspring regardless of which
+/// path simulated it. Requires out.size() == spec.size() (checked).
+SimResult sim_compare(std::span<const tt::TruthTable> out,
+                      std::span<const tt::TruthTable> spec);
+
 /// Exhaustive check of a netlist against per-output truth tables over the
 /// netlist's PIs. Requires spec.size() == net.num_pos().
 SimResult sim_check(const rqfp::Netlist& net,

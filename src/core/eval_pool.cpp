@@ -1,5 +1,6 @@
 #include "core/eval_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
@@ -20,6 +21,12 @@ struct EvalPool::Scratch {
   rqfp::SimCache cache;
   rqfp::CostCache cost;
   bool cache_valid = false;
+  /// λ-batch scratch: the block's child pointers, their fitness slots, and
+  /// the per-child simulation overlays (allocations persist across
+  /// generations).
+  std::vector<const rqfp::Netlist*> children;
+  std::vector<Fitness> fitness;
+  rqfp::DeltaBatch batch;
   double busy_seconds = 0.0;
   unsigned index = 0;
   obs::Counter* evals = nullptr;
@@ -142,24 +149,30 @@ void EvalPool::run_tasks(Scratch& scratch, const EvalJob& job,
   util::Stopwatch watch;
   const unsigned lambda = job.lambda;
   for (;;) {
-    const unsigned k = next_task_.fetch_add(1, std::memory_order_relaxed);
-    if (k >= lambda) {
+    const unsigned k0 = next_task_.fetch_add(kBlock, std::memory_order_relaxed);
+    if (k0 >= lambda) {
       break;
     }
+    const unsigned k1 = std::min(k0 + kBlock, lambda);
     if (!aborted_.load(std::memory_order_relaxed)) {
+      // One abort poll per block keeps the granularity of the old
+      // task-at-a-time loop without re-checking mid-batch; the abort
+      // conditions are monotone, so a block that started is as valid to
+      // finish as a single offspring was.
       if (job.should_abort && job.should_abort()) {
         aborted_.store(true, std::memory_order_relaxed);
       } else {
-        evaluate_one(scratch, job, out, k);
+        evaluate_block(scratch, job, out, k0, k1);
       }
     }
-    done_tasks_.fetch_add(1, std::memory_order_acq_rel);
+    done_tasks_.fetch_add(k1 - k0, std::memory_order_acq_rel);
   }
   scratch.busy_seconds += watch.seconds();
 }
 
-void EvalPool::evaluate_one(Scratch& scratch, const EvalJob& job,
-                            OffspringResult* out, unsigned k) {
+void EvalPool::evaluate_block(Scratch& scratch, const EvalJob& job,
+                              OffspringResult* out, unsigned k0,
+                              unsigned k1) {
   const rqfp::Netlist& parent = *job.parent;
 
   // Bring this worker's caches to the current parent: a full build when
@@ -192,15 +205,24 @@ void EvalPool::evaluate_one(Scratch& scratch, const EvalJob& job,
 
   // Offspring k is a pure function of (seed, generation, k, parent): its
   // own counter-based RNG stream makes the result independent of which
-  // worker ran it and in what order.
-  OffspringResult& slot = out[k];
-  slot.child = parent;
-  util::Rng rng = util::Rng::stream(job.seed, job.generation, k);
-  slot.stats = mutate(slot.child, rng, job.mutation);
-  slot.fitness = evaluate_delta(scratch.base, scratch.cache, scratch.cost,
-                                slot.child, job.spec, job.fitness);
-  scratch.evals->inc();
-  pool_tasks().inc();
+  // worker ran it, in what order, and how the block boundaries fell.
+  scratch.children.clear();
+  for (unsigned k = k0; k < k1; ++k) {
+    OffspringResult& slot = out[k];
+    slot.child = parent;
+    util::Rng rng = util::Rng::stream(job.seed, job.generation, k);
+    slot.stats = mutate(slot.child, rng, job.mutation);
+    scratch.children.push_back(&slot.child);
+  }
+  scratch.fitness.resize(scratch.children.size());
+  evaluate_delta_batch(scratch.base, scratch.cache, scratch.cost,
+                       scratch.children, job.spec, job.fitness,
+                       scratch.batch, scratch.fitness);
+  for (unsigned k = k0; k < k1; ++k) {
+    out[k].fitness = scratch.fitness[k - k0];
+    scratch.evals->inc();
+    pool_tasks().inc();
+  }
 }
 
 bool EvalPool::evaluate_generation(const EvalJob& job,

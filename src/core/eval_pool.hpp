@@ -53,12 +53,16 @@ struct EvalJob {
 /// threads == 1, which runs inline on the caller thread through the same
 /// code path and is the reference "sequential loop".
 ///
-/// Each worker owns a reusable scratch: a child netlist buffer and a
-/// rqfp::SimCache holding the port tables of the last netlist it fully
-/// simulated. Offspring are evaluated through the dirty-cone incremental
-/// path (core::evaluate_delta), so per-offspring cost scales with the
-/// mutated cone, not the circuit, and steady-state generations allocate
-/// nothing beyond truth-table churn inside the cone.
+/// Workers claim offspring in fixed blocks of kBlock and evaluate each
+/// block through the λ-batched dirty-cone path (core::evaluate_delta_batch):
+/// one gate-major simulation pass over the whole block against the
+/// worker's read-only base SimCache. Per-offspring cost still scales with
+/// the mutated cone, but the base port tables are walked once per gate for
+/// the block instead of once per offspring, and there is no per-sibling
+/// undo/restore. Block partitioning cannot affect results — each offspring
+/// is a pure function of (seed, g, k, parent) and the batched simulation
+/// is bit-identical to the sequential one — so any thread count, block
+/// size, and claim order produce the same generation.
 class EvalPool {
 public:
   /// threads must be >= 1; threads - 1 worker threads are spawned once
@@ -70,6 +74,11 @@ public:
   EvalPool& operator=(const EvalPool&) = delete;
 
   unsigned threads() const { return threads_; }
+
+  /// Offspring claimed per worker grab — the λ-batch width of one
+  /// evaluate_delta_batch call. Small enough that late workers still get
+  /// work at common λ, large enough to amortize the gate-major pass.
+  static constexpr unsigned kBlock = 4;
 
   /// Picks the pool width: `requested` (0 = hardware concurrency),
   /// clamped to [1, lambda] — more workers than offspring never help.
@@ -91,8 +100,8 @@ private:
 
   void worker_main(unsigned index);
   void run_tasks(Scratch& scratch, const EvalJob& job, OffspringResult* out);
-  void evaluate_one(Scratch& scratch, const EvalJob& job,
-                    OffspringResult* out, unsigned k);
+  void evaluate_block(Scratch& scratch, const EvalJob& job,
+                      OffspringResult* out, unsigned k0, unsigned k1);
 
   unsigned threads_ = 1;
   std::vector<std::unique_ptr<Scratch>> scratch_;

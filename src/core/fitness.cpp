@@ -1,5 +1,7 @@
 #include "core/fitness.hpp"
 
+#include <stdexcept>
+
 #include "cec/sim_cec.hpp"
 #include "rqfp/cost.hpp"
 
@@ -88,6 +90,39 @@ Fitness evaluate_delta(const rqfp::Netlist& base, rqfp::SimCache& cache,
   f.n_g = cost.n_g;
   f.n_b = cost.n_b;
   return f;
+}
+
+void evaluate_delta_batch(const rqfp::Netlist& base,
+                          const rqfp::SimCache& cache,
+                          rqfp::CostCache& cost_cache,
+                          const std::vector<const rqfp::Netlist*>& children,
+                          std::span<const tt::TruthTable> spec,
+                          const FitnessOptions& options,
+                          rqfp::DeltaBatch& batch,
+                          std::span<Fitness> out_fitness) {
+  if (out_fitness.size() < children.size()) {
+    throw std::invalid_argument("evaluate_delta_batch: fitness span too "
+                                "small");
+  }
+  rqfp::simulate_delta_batch(base, children, cache, batch);
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    const rqfp::Netlist& child = *children[c];
+    const auto sim = cec::sim_compare(batch.children[c].po, spec);
+    Fitness f;
+    f.objective = options.objective;
+    f.success_rate = sim.success_rate;
+    if (sim.all_match) {
+      f.success_rate = 1.0;
+      if (!cost_cache.valid || cost_cache.schedule != options.schedule) {
+        rqfp::build_cost_cache(base, options.schedule, cost_cache);
+      }
+      const auto cost = rqfp::cost_of_delta(base, child, cost_cache);
+      f.n_r = cost.n_r;
+      f.n_g = cost.n_g;
+      f.n_b = cost.n_b;
+    }
+    out_fitness[c] = f;
+  }
 }
 
 } // namespace rcgp::core

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "rqfp/buffer.hpp"
 #include "rqfp/cost.hpp"
@@ -84,5 +85,21 @@ Fitness evaluate_delta(const rqfp::Netlist& base, rqfp::SimCache& cache,
                        const rqfp::Netlist& child,
                        std::span<const tt::TruthTable> spec,
                        const FitnessOptions& options = {});
+
+/// λ-batched fully incremental evaluation: one gate-major simulation pass
+/// (rqfp::simulate_delta_batch) scores every child of a block against the
+/// shared `cache`, which must hold `base`'s port values and is only read —
+/// no per-sibling undo/restore. Per child the Fitness is bit-identical to
+/// evaluate_delta(base, cache, cost_cache, *children[c], spec, options),
+/// and cec.sim_checks still advances once per child. out_fitness must
+/// provide children.size() slots; `batch` is reusable scratch.
+void evaluate_delta_batch(const rqfp::Netlist& base,
+                          const rqfp::SimCache& cache,
+                          rqfp::CostCache& cost_cache,
+                          const std::vector<const rqfp::Netlist*>& children,
+                          std::span<const tt::TruthTable> spec,
+                          const FitnessOptions& options,
+                          rqfp::DeltaBatch& batch,
+                          std::span<Fitness> out_fitness);
 
 } // namespace rcgp::core

@@ -807,6 +807,155 @@ void run_cec_cross(CaseContext& ctx, std::vector<Finding>& out) {
 }
 
 // ---------------------------------------------------------------------
+// simd-differential
+// ---------------------------------------------------------------------
+
+/// Restores whatever tier was active before the case poked force_tier.
+/// Safe even on exceptions: all tiers are bit-identical, so a case that
+/// died mid-sweep still leaves a correct dispatcher behind.
+struct TierGuard {
+  rqfp::simd::Tier saved = rqfp::simd::active_tier();
+  ~TierGuard() { rqfp::simd::force_tier(saved); }
+};
+
+void run_simd_differential(CaseContext& ctx, std::vector<Finding>& out) {
+  util::Rng rng = case_rng(ctx, Target::kSimdDifferential, 0);
+  const auto& tiers = rqfp::simd::available_tiers();
+  const auto& scalar = rqfp::simd::kernels(rqfp::simd::Tier::kScalar);
+
+  // 1. Raw kernels on random buffers with a ragged length, so every
+  // vector tier exercises both its block loop and its scalar tail.
+  const std::size_t n = 1 + static_cast<std::size_t>(rng.below(41));
+  std::vector<std::uint64_t> a(n), b(n), c(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    a[w] = rng.next();
+    b[w] = rng.next();
+    c[w] = rng.next();
+  }
+  const auto config = static_cast<std::uint16_t>(rng.next() & 0x1FF);
+  const std::uint64_t ma = rng.next() & 1 ? ~std::uint64_t{0} : 0;
+  const std::uint64_t mb = rng.next() & 1 ? ~std::uint64_t{0} : 0;
+  const std::uint64_t mc = rng.next() & 1 ? ~std::uint64_t{0} : 0;
+  std::vector<std::uint64_t> ref0(n), ref1(n), ref2(n);
+  std::vector<std::uint64_t> got0(n), got1(n), got2(n);
+  for (const auto tier : tiers) {
+    if (tier == rqfp::simd::Tier::kScalar) {
+      continue;
+    }
+    const auto& k = rqfp::simd::kernels(tier);
+    const auto report = [&](const char* kernel) {
+      out.push_back(make_finding(
+          ctx, Target::kSimdDifferential, "kernel-divergence",
+          std::string(kernel) + ": tier '" +
+              std::string(rqfp::simd::to_string(tier)) +
+              "' disagrees with scalar at length " + std::to_string(n)));
+    };
+    scalar.gate3(config, a.data(), b.data(), c.data(), ref0.data(),
+                 ref1.data(), ref2.data(), n);
+    k.gate3(config, a.data(), b.data(), c.data(), got0.data(), got1.data(),
+            got2.data(), n);
+    if (ref0 != got0 || ref1 != got1 || ref2 != got2) {
+      report("gate3");
+    }
+    scalar.maj3(a.data(), ma, b.data(), mb, c.data(), mc, ref0.data(), n);
+    k.maj3(a.data(), ma, b.data(), mb, c.data(), mc, got0.data(), n);
+    if (ref0 != got0) {
+      report("maj3");
+    }
+    scalar.and2(a.data(), ma, b.data(), mb, ref0.data(), n);
+    k.and2(a.data(), ma, b.data(), mb, got0.data(), n);
+    if (ref0 != got0) {
+      report("and2");
+    }
+    if (scalar.xor_popcount(a.data(), b.data(), n) !=
+        k.xor_popcount(a.data(), b.data(), n)) {
+      report("xor_popcount");
+    }
+  }
+  if (!out.empty()) {
+    return;
+  }
+
+  // 2. End to end: the full simulation stack under every tier must
+  // reproduce the scalar tier bit-for-bit — exhaustive tables, the
+  // λ-batched delta path against the sequential one, and pattern sweeps.
+  util::Rng net_rng = case_rng(ctx, Target::kSimdDifferential, 1);
+  NetlistShape shape;
+  shape.max_pis = 5;
+  shape.max_gates = 16;
+  const rqfp::Netlist base = random_netlist(net_rng, shape);
+  std::vector<rqfp::Netlist> children;
+  for (unsigned i = 0; i < 4; ++i) {
+    children.push_back(base);
+    core::mutate(children.back(), net_rng);
+  }
+  rqfp::SimBatch patterns(base.num_pis(), 3);
+  for (std::size_t r = 0; r < patterns.rows(); ++r) {
+    for (std::size_t w = 0; w < patterns.words(); ++w) {
+      patterns.at(r, w) = net_rng.next();
+    }
+  }
+
+  TierGuard guard;
+  rqfp::simd::force_tier(rqfp::simd::Tier::kScalar);
+  const auto spec = rqfp::simulate(base);
+  std::vector<std::vector<tt::TruthTable>> child_spec;
+  for (const auto& ch : children) {
+    child_spec.push_back(rqfp::simulate(ch));
+  }
+  rqfp::SimBatch po_spec;
+  rqfp::simulate_patterns(base, patterns, po_spec);
+
+  for (const auto tier : tiers) {
+    rqfp::simd::force_tier(tier);
+    const auto report = [&](const char* what) {
+      Finding f = make_finding(
+          ctx, Target::kSimdDifferential, "tier-divergence",
+          std::string(what) + " under tier '" +
+              std::string(rqfp::simd::to_string(tier)) +
+              "' differs from the scalar tier");
+      f.reproducer = io::write_rqfp_string(base);
+      f.reproducer_ext = ".rqfp";
+      out.push_back(std::move(f));
+    };
+    if (rqfp::simulate(base) != spec) {
+      report("simulate");
+      return;
+    }
+    rqfp::SimCache cache;
+    rqfp::build_sim_cache(base, cache);
+    rqfp::DeltaBatch batch;
+    std::vector<const rqfp::Netlist*> ptrs;
+    for (const auto& ch : children) {
+      ptrs.push_back(&ch);
+    }
+    rqfp::simulate_delta_batch(base, ptrs, cache, batch);
+    std::vector<tt::TruthTable> po_seq;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      rqfp::simulate_delta(base, children[i], cache, po_seq);
+      if (po_seq != batch.children[i].po) {
+        report("simulate_delta_batch vs simulate_delta");
+        return;
+      }
+      std::vector<tt::TruthTable> full;
+      for (std::uint32_t p = 0; p < children[i].num_pos(); ++p) {
+        full.push_back(child_spec[i][p]);
+      }
+      if (po_seq != full) {
+        report("simulate_delta vs scalar simulate");
+        return;
+      }
+    }
+    rqfp::SimBatch po;
+    rqfp::simulate_patterns(base, patterns, po);
+    if (!(po == po_spec)) {
+      report("simulate_patterns");
+      return;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // selftest
 // ---------------------------------------------------------------------
 
@@ -839,6 +988,7 @@ std::string_view to_string(Target target) {
     case Target::kManifestCorruption: return "manifest-corruption";
     case Target::kOptimizerDiff: return "optimizer-differential";
     case Target::kCecCross: return "cec-cross";
+    case Target::kSimdDifferential: return "simd-differential";
     case Target::kSelftest: return "selftest";
   }
   return "unknown";
@@ -850,17 +1000,18 @@ Target parse_target(std::string_view name) {
   if (name == "manifest-corruption") return Target::kManifestCorruption;
   if (name == "optimizer-differential") return Target::kOptimizerDiff;
   if (name == "cec-cross") return Target::kCecCross;
+  if (name == "simd-differential") return Target::kSimdDifferential;
   if (name == "selftest") return Target::kSelftest;
   throw std::invalid_argument("fuzz: unknown target '" + std::string(name) +
                               "' (expected io-roundtrip, parser-corruption, "
                               "manifest-corruption, optimizer-differential, "
-                              "cec-cross, or selftest)");
+                              "cec-cross, simd-differential, or selftest)");
 }
 
 std::vector<Target> default_targets() {
   return {Target::kIoRoundtrip, Target::kParserCorruption,
           Target::kManifestCorruption, Target::kOptimizerDiff,
-          Target::kCecCross};
+          Target::kCecCross, Target::kSimdDifferential};
 }
 
 void run_case(Target target, CaseContext& ctx, std::vector<Finding>& out) {
@@ -872,6 +1023,7 @@ void run_case(Target target, CaseContext& ctx, std::vector<Finding>& out) {
       break;
     case Target::kOptimizerDiff: run_optimizer_diff(ctx, out); break;
     case Target::kCecCross: run_cec_cross(ctx, out); break;
+    case Target::kSimdDifferential: run_simd_differential(ctx, out); break;
     case Target::kSelftest: run_selftest(ctx, out); break;
   }
 }

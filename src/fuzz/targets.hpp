@@ -21,17 +21,18 @@ enum class Target : std::uint8_t {
                         ///< must raise ParseError or IntegrityError
   kOptimizerDiff,       ///< delta-eval vs full recomputation, paranoid runs
   kCecCross,            ///< sim/BDD/SAT engine agreement vs ground truth
+  kSimdDifferential,    ///< every SIMD tier vs scalar, kernels + end-to-end
   kSelftest,            ///< always-failing target exercising the pipeline
 };
 
 /// Stable kebab-case name ("io-roundtrip", "parser-corruption",
 /// "manifest-corruption", "optimizer-differential", "cec-cross",
-/// "selftest").
+/// "simd-differential", "selftest").
 std::string_view to_string(Target target);
 /// Inverse of to_string; throws std::invalid_argument on unknown names.
 Target parse_target(std::string_view name);
 
-/// The five production targets (selftest excluded — it always "fails").
+/// The six production targets (selftest excluded — it always "fails").
 std::vector<Target> default_targets();
 
 /// Per-case state handed to a target by the harness.

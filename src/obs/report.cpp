@@ -349,18 +349,52 @@ void report_metrics(std::string& out, const std::string& path) {
   appendf(out, "-- metrics: %s --\n", path.c_str());
 
   const json::Value* registry = doc->find("metrics");
+  double flow_total = 0.0;
+  double cgp_seconds = 0.0;
   if (const json::Value* flow = doc->find("flow")) {
-    appendf(out, "  flow total %s\n",
-            fmt_seconds(flow->number_or("seconds_total", 0)).c_str());
+    flow_total = flow->number_or("seconds_total", 0);
+    appendf(out, "  flow total %s\n", fmt_seconds(flow_total).c_str());
     if (const json::Value* phases = flow->find("phases")) {
       for (const auto& [name, v] : phases->members()) {
         appendf(out, "    %-14s %10s\n", name.c_str(),
                 fmt_seconds(v.as_number()).c_str());
+        if (name == "cgp") {
+          cgp_seconds = v.as_number();
+        }
       }
     }
   }
   if (!registry) {
     registry = &*doc; // bare registry snapshot
+  }
+
+  // Simulation digest (docs/SIMD.md): which kernel tier ran, how many
+  // words it chewed through, and — when the run carried flow phases —
+  // how much of the wall clock the simulation-dominated CGP phase took.
+  {
+    const json::Value* gauges = registry->find("gauges");
+    const json::Value* counters = registry->find("counters");
+    const double width = gauges ? gauges->number_or("sim.simd_width", 0) : 0;
+    const double wps =
+        gauges ? gauges->number_or("sim.words_per_second", 0) : 0;
+    const double words =
+        counters ? counters->number_or("sim.words", 0) : 0;
+    if (width > 0 || wps > 0 || words > 0) {
+      out += "  simulation:\n";
+      if (width > 0) {
+        appendf(out, "    simd width          %.0f bits\n", width);
+      }
+      if (words > 0) {
+        appendf(out, "    words simulated     %.3g\n", words);
+      }
+      if (wps > 0) {
+        appendf(out, "    kernel throughput   %.3g words/s\n", wps);
+      }
+      if (cgp_seconds > 0 && flow_total > 0) {
+        appendf(out, "    cgp share of flow   %.1f%%\n",
+                100.0 * cgp_seconds / flow_total);
+      }
+    }
   }
 
   if (const json::Value* gauges = registry->find("gauges")) {

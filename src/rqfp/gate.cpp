@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "rqfp/simd.hpp"
+
 namespace rcgp::rqfp {
 
 std::string InvConfig::to_string() const {
@@ -52,19 +54,34 @@ std::array<std::uint64_t, 3> eval_gate_words(InvConfig config,
   return out;
 }
 
+void eval_gate_tables_into(InvConfig config, const tt::TruthTable& a,
+                           const tt::TruthTable& b, const tt::TruthTable& c,
+                           tt::TruthTable& o0, tt::TruthTable& o1,
+                           tt::TruthTable& o2) {
+  if (a.num_vars() != b.num_vars() || a.num_vars() != c.num_vars()) {
+    throw std::invalid_argument("eval_gate_tables: operand arity mismatch");
+  }
+  tt::TruthTable* const out[3] = {&o0, &o1, &o2};
+  for (tt::TruthTable* t : out) {
+    // A moved-from table keeps its arity but loses its words, so check both.
+    if (t->num_vars() != a.num_vars() || t->num_words() != a.num_words()) {
+      *t = tt::TruthTable(a.num_vars());
+    }
+  }
+  simd::kernels().gate3(config.bits(), a.data(), b.data(), c.data(),
+                        o0.data(), o1.data(), o2.data(), a.num_words());
+  for (tt::TruthTable* t : out) {
+    // Inversion masks flip the unused high bits of sub-word tables.
+    t->normalize();
+  }
+}
+
 std::array<tt::TruthTable, 3> eval_gate_tables(InvConfig config,
                                                const tt::TruthTable& a,
                                                const tt::TruthTable& b,
                                                const tt::TruthTable& c) {
   std::array<tt::TruthTable, 3> out;
-  const tt::TruthTable* in[3] = {&a, &b, &c};
-  for (unsigned k = 0; k < 3; ++k) {
-    tt::TruthTable v[3];
-    for (unsigned i = 0; i < 3; ++i) {
-      v[i] = config.inverts(k, i) ? ~*in[i] : *in[i];
-    }
-    out[k] = tt::TruthTable::majority(v[0], v[1], v[2]);
-  }
+  eval_gate_tables_into(config, a, b, c, out[0], out[1], out[2]);
   return out;
 }
 

@@ -73,6 +73,17 @@ std::array<tt::TruthTable, 3> eval_gate_tables(InvConfig config,
                                                const tt::TruthTable& b,
                                                const tt::TruthTable& c);
 
+/// Allocation-reusing variant of eval_gate_tables: writes the three output
+/// tables into o0..o2 (reshaped to the operands' arity when needed) through
+/// the runtime-dispatched SIMD kernels (rqfp/simd.hpp) — one pass over the
+/// input words computes all three majorities, no temporaries. This is the
+/// simulation hot path; the outputs may be moved-from tables from a
+/// previous call, but must not alias the inputs.
+void eval_gate_tables_into(InvConfig config, const tt::TruthTable& a,
+                           const tt::TruthTable& b, const tt::TruthTable& c,
+                           tt::TruthTable& o0, tt::TruthTable& o1,
+                           tt::TruthTable& o2);
+
 /// Per-gate JJ costs of the AQFP realization (paper §4): an RQFP gate is
 /// 3 splitters + 3 majorities = 3*2 + 3*6 = 24 JJs; an RQFP buffer is two
 /// cascaded AQFP buffers = 4 JJs.

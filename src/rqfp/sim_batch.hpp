@@ -1,15 +1,30 @@
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <memory>
+#include <new>
 #include <span>
-#include <vector>
+#include <stdexcept>
+#include <string>
+
+#include "rqfp/simd.hpp"
 
 namespace rcgp::rqfp {
 
 /// Flat word-major simulation-pattern buffer: `rows` bit-vectors of
-/// `words` 64-bit words each in a single contiguous allocation (row r,
-/// word w lives at index r * words + w).
+/// `words` 64-bit words each in a single contiguous allocation.
+///
+/// Storage is laid out for the vector kernels (rqfp/simd.hpp): the buffer
+/// is simd::kAlignment-byte aligned and each row's stride is padded up to
+/// a multiple of simd::kMaxBlockWords, so every row() pointer is itself
+/// aligned to a full AVX-512 lane. Row r, word w lives at index
+/// r * stride() + w; the padding words [words(), stride()) of every row
+/// are kept zero as a class invariant (resize() zero-fills and the
+/// accessors only touch the logical width), so whole-stride word compares
+/// and checksums are safe.
 ///
 /// This replaces the `std::vector<std::vector<std::uint64_t>>` pattern
 /// API of simulate_patterns / sim_check_random: one allocation instead of
@@ -24,17 +39,35 @@ public:
 
   std::size_t rows() const { return rows_; }
   std::size_t words() const { return words_; }
+  /// Allocated words per row: words() rounded up to the vector block.
+  std::size_t stride() const { return stride_; }
 
-  /// Reshapes to rows x words and zero-fills, reusing capacity.
+  /// Reshapes to rows x words and zero-fills (padding included), reusing
+  /// capacity. Throws std::length_error when rows * stride overflows.
   void resize(std::size_t rows, std::size_t words) {
+    const std::size_t stride = padded_words(words);
+    constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max() /
+                                 sizeof(std::uint64_t);
+    if (stride != 0 && rows > kMax / stride) {
+      throw std::length_error("SimBatch::resize: " + std::to_string(rows) +
+                              " rows x " + std::to_string(words) +
+                              " words overflows the address space");
+    }
+    const std::size_t need = rows * stride;
+    if (need > capacity_) {
+      data_.reset(new (std::align_val_t{simd::kAlignment})
+                      std::uint64_t[need]);
+      capacity_ = need;
+    }
     rows_ = rows;
     words_ = words;
-    data_.assign(rows * words, 0);
+    stride_ = stride;
+    std::fill_n(data_.get(), need, std::uint64_t{0});
   }
 
-  std::uint64_t* row(std::size_t r) { return data_.data() + r * words_; }
+  std::uint64_t* row(std::size_t r) { return data_.get() + r * stride_; }
   const std::uint64_t* row(std::size_t r) const {
-    return data_.data() + r * words_;
+    return data_.get() + r * stride_;
   }
   std::span<std::uint64_t> row_span(std::size_t r) {
     return {row(r), words_};
@@ -44,24 +77,78 @@ public:
   }
 
   std::uint64_t& at(std::size_t r, std::size_t w) {
-    return data_[r * words_ + w];
+    return data_[r * stride_ + w];
   }
   std::uint64_t at(std::size_t r, std::size_t w) const {
-    return data_[r * words_ + w];
+    return data_[r * stride_ + w];
   }
 
   void fill_row(std::size_t r, std::uint64_t value) {
-    for (std::size_t w = 0; w < words_; ++w) {
-      at(r, w) = value;
+    std::fill_n(row(r), words_, value);
+  }
+
+  /// Copies `words()` words from an externally produced buffer into row r,
+  /// after validating it (see check_external).
+  void assign_row(std::size_t r, const std::uint64_t* src) {
+    check_external(src, words_, "SimBatch::assign_row");
+    std::copy_n(src, words_, row(r));
+  }
+
+  /// Validates an externally supplied word buffer before the kernels run
+  /// over it: non-null whenever words > 0 and naturally aligned for
+  /// std::uint64_t (the vector kernels use unaligned lane loads, so no
+  /// stricter alignment is required of callers). Throws
+  /// std::invalid_argument with a contextual message otherwise.
+  static void check_external(const std::uint64_t* data, std::size_t words,
+                             const char* who) {
+    if (words == 0) {
+      return;
+    }
+    if (data == nullptr) {
+      throw std::invalid_argument(std::string(who) +
+                                  ": external buffer is null for " +
+                                  std::to_string(words) + " words");
+    }
+    const auto addr = reinterpret_cast<std::uintptr_t>(data);
+    if (addr % alignof(std::uint64_t) != 0) {
+      throw std::invalid_argument(
+          std::string(who) + ": external buffer " + std::to_string(addr) +
+          " is not aligned to " + std::to_string(alignof(std::uint64_t)) +
+          " bytes");
     }
   }
 
-  bool operator==(const SimBatch&) const = default;
+  /// Round a logical word count up to the vector-block stride.
+  static std::size_t padded_words(std::size_t words) {
+    return (words + simd::kMaxBlockWords - 1) / simd::kMaxBlockWords *
+           simd::kMaxBlockWords;
+  }
+
+  /// Logical-content equality (padding never participates).
+  bool operator==(const SimBatch& o) const {
+    if (rows_ != o.rows_ || words_ != o.words_) {
+      return false;
+    }
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (!std::equal(row(r), row(r) + words_, o.row(r))) {
+        return false;
+      }
+    }
+    return true;
+  }
 
 private:
+  struct AlignedDelete {
+    void operator()(std::uint64_t* p) const {
+      ::operator delete[](p, std::align_val_t{simd::kAlignment});
+    }
+  };
+
   std::size_t rows_ = 0;
   std::size_t words_ = 0;
-  std::vector<std::uint64_t> data_;
+  std::size_t stride_ = 0;
+  std::size_t capacity_ = 0;
+  std::unique_ptr<std::uint64_t[], AlignedDelete> data_;
 };
 
 } // namespace rcgp::rqfp

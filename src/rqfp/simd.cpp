@@ -1,0 +1,239 @@
+#include "rqfp/simd.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "rqfp/simd_impl.hpp"
+
+namespace rcgp::rqfp::simd {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Scalar kernels — the reference semantics every vector tier must match
+// bit-for-bit (asserted by bench_sim, test_rqfp, and the
+// simd-differential fuzz target).
+
+void scalar_gate3(std::uint16_t config, const std::uint64_t* a,
+                  const std::uint64_t* b, const std::uint64_t* c,
+                  std::uint64_t* o0, std::uint64_t* o1, std::uint64_t* o2,
+                  std::size_t n) {
+  std::uint64_t mask[9];
+  for (unsigned s = 0; s < 9; ++s) {
+    mask[s] = (config >> s) & 1 ? ~std::uint64_t{0} : 0;
+  }
+  std::uint64_t* const out[3] = {o0, o1, o2};
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::uint64_t in[3] = {a[w], b[w], c[w]};
+    for (unsigned k = 0; k < 3; ++k) {
+      const std::uint64_t x = in[0] ^ mask[3 * k + 0];
+      const std::uint64_t y = in[1] ^ mask[3 * k + 1];
+      const std::uint64_t z = in[2] ^ mask[3 * k + 2];
+      out[k][w] = (x & y) | (x & z) | (y & z);
+    }
+  }
+}
+
+void scalar_maj3(const std::uint64_t* a, std::uint64_t ma,
+                 const std::uint64_t* b, std::uint64_t mb,
+                 const std::uint64_t* c, std::uint64_t mc, std::uint64_t* out,
+                 std::size_t n) {
+  for (std::size_t w = 0; w < n; ++w) {
+    const std::uint64_t x = a[w] ^ ma;
+    const std::uint64_t y = b[w] ^ mb;
+    const std::uint64_t z = c[w] ^ mc;
+    out[w] = (x & y) | (x & z) | (y & z);
+  }
+}
+
+void scalar_and2(const std::uint64_t* a, std::uint64_t ma,
+                 const std::uint64_t* b, std::uint64_t mb, std::uint64_t* out,
+                 std::size_t n) {
+  for (std::size_t w = 0; w < n; ++w) {
+    out[w] = (a[w] ^ ma) & (b[w] ^ mb);
+  }
+}
+
+std::uint64_t scalar_xor_popcount(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n) {
+  std::uint64_t count = 0;
+  for (std::size_t w = 0; w < n; ++w) {
+    count += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------
+// Detection and dispatch
+
+bool cpu_has(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return true;
+    case Tier::kAvx2:
+#if defined(RCGP_SIMD_HAVE_AVX2) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Tier::kAvx512:
+#if defined(RCGP_SIMD_HAVE_AVX512) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::string available_list() {
+  std::string s;
+  for (const Tier t : available_tiers()) {
+    if (!s.empty()) {
+      s += ", ";
+    }
+    s += to_string(t);
+  }
+  return s;
+}
+
+const Kernels* table_of(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar:
+      return &scalar_kernel_table();
+    case Tier::kAvx2:
+#ifdef RCGP_SIMD_HAVE_AVX2
+      return &avx2_kernel_table();
+#else
+      return nullptr;
+#endif
+    case Tier::kAvx512:
+#ifdef RCGP_SIMD_HAVE_AVX512
+      return &avx512_kernel_table();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+void publish_tier(Tier tier) {
+  obs::registry().gauge("sim.simd_width").set(width_bits(tier));
+  obs::registry().gauge("sim.simd_tier").set(static_cast<double>(tier));
+}
+
+/// The active dispatch entry. Resolved lazily on first use; force_tier
+/// swaps it atomically (all tiers agree bit-for-bit, so a racing reader
+/// merely runs a few calls on the previous tier).
+std::atomic<const Kernels*> g_active_kernels{nullptr};
+std::atomic<Tier> g_active_tier{Tier::kScalar};
+std::once_flag g_resolve_once;
+
+void resolve_active() {
+  std::call_once(g_resolve_once, [] {
+    Tier tier = best_tier();
+    if (const char* env = std::getenv("RCGP_SIMD"); env && *env != '\0') {
+      const Tier forced = parse_tier(env); // throws on unknown names
+      if (!cpu_has(forced)) {
+        throw std::runtime_error(
+            "RCGP_SIMD=" + std::string(env) +
+            ": tier not available on this host (available: " +
+            available_list() + ")");
+      }
+      tier = forced;
+    }
+    g_active_tier.store(tier, std::memory_order_relaxed);
+    g_active_kernels.store(table_of(tier), std::memory_order_release);
+    publish_tier(tier);
+  });
+}
+
+} // namespace
+
+const Kernels& scalar_kernel_table() {
+  static constexpr Kernels k{scalar_gate3, scalar_maj3, scalar_and2,
+                             scalar_xor_popcount};
+  return k;
+}
+
+std::string_view to_string(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Tier parse_tier(std::string_view name) {
+  if (name == "scalar") return Tier::kScalar;
+  if (name == "avx2") return Tier::kAvx2;
+  if (name == "avx512") return Tier::kAvx512;
+  throw std::invalid_argument("simd: unknown tier '" + std::string(name) +
+                              "' (expected scalar, avx2, or avx512)");
+}
+
+unsigned width_bits(Tier tier) {
+  switch (tier) {
+    case Tier::kScalar: return 64;
+    case Tier::kAvx2: return 256;
+    case Tier::kAvx512: return 512;
+  }
+  return 64;
+}
+
+const std::vector<Tier>& available_tiers() {
+  static const std::vector<Tier> tiers = [] {
+    std::vector<Tier> t{Tier::kScalar};
+    if (cpu_has(Tier::kAvx2)) {
+      t.push_back(Tier::kAvx2);
+    }
+    if (cpu_has(Tier::kAvx512)) {
+      t.push_back(Tier::kAvx512);
+    }
+    return t;
+  }();
+  return tiers;
+}
+
+Tier best_tier() {
+  return available_tiers().back();
+}
+
+Tier active_tier() {
+  resolve_active();
+  return g_active_tier.load(std::memory_order_relaxed);
+}
+
+const Kernels& kernels() {
+  const Kernels* k = g_active_kernels.load(std::memory_order_acquire);
+  if (k == nullptr) {
+    resolve_active();
+    k = g_active_kernels.load(std::memory_order_acquire);
+  }
+  return *k;
+}
+
+const Kernels& kernels(Tier tier) {
+  if (!cpu_has(tier)) {
+    throw std::invalid_argument(
+        "simd: tier '" + std::string(to_string(tier)) +
+        "' not available on this host (available: " + available_list() + ")");
+  }
+  return *table_of(tier);
+}
+
+void force_tier(Tier tier) {
+  const Kernels& table = kernels(tier); // validates availability
+  resolve_active();                     // keep first-use semantics stable
+  g_active_tier.store(tier, std::memory_order_relaxed);
+  g_active_kernels.store(&table, std::memory_order_release);
+  publish_tier(tier);
+}
+
+} // namespace rcgp::rqfp::simd

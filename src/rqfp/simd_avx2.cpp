@@ -1,0 +1,112 @@
+// AVX2 kernel tier. This TU (and only this TU) is compiled with -mavx2;
+// the dispatcher never hands out this table unless CPUID reports AVX2.
+
+#include "rqfp/simd_impl.hpp"
+#include "rqfp/simd_popcount_x86.hpp"
+
+#include <immintrin.h>
+
+namespace rcgp::rqfp::simd {
+
+namespace {
+
+inline __m256i maj(__m256i a, __m256i b, __m256i c) {
+  return _mm256_or_si256(_mm256_and_si256(a, _mm256_or_si256(b, c)),
+                         _mm256_and_si256(b, c));
+}
+
+void avx2_gate3(std::uint16_t config, const std::uint64_t* a,
+                const std::uint64_t* b, const std::uint64_t* c,
+                std::uint64_t* o0, std::uint64_t* o1, std::uint64_t* o2,
+                std::size_t n) {
+  std::uint64_t mask[9];
+  __m256i vmask[9];
+  for (unsigned s = 0; s < 9; ++s) {
+    mask[s] = (config >> s) & 1 ? ~std::uint64_t{0} : 0;
+    vmask[s] = _mm256_set1_epi64x(static_cast<long long>(mask[s]));
+  }
+  std::uint64_t* const out[3] = {o0, o1, o2};
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + w));
+    for (unsigned k = 0; k < 3; ++k) {
+      const __m256i x = _mm256_xor_si256(va, vmask[3 * k + 0]);
+      const __m256i y = _mm256_xor_si256(vb, vmask[3 * k + 1]);
+      const __m256i z = _mm256_xor_si256(vc, vmask[3 * k + 2]);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out[k] + w),
+                          maj(x, y, z));
+    }
+  }
+  for (; w < n; ++w) {
+    for (unsigned k = 0; k < 3; ++k) {
+      const std::uint64_t x = a[w] ^ mask[3 * k + 0];
+      const std::uint64_t y = b[w] ^ mask[3 * k + 1];
+      const std::uint64_t z = c[w] ^ mask[3 * k + 2];
+      out[k][w] = (x & y) | (x & z) | (y & z);
+    }
+  }
+}
+
+void avx2_maj3(const std::uint64_t* a, std::uint64_t ma,
+               const std::uint64_t* b, std::uint64_t mb,
+               const std::uint64_t* c, std::uint64_t mc, std::uint64_t* out,
+               std::size_t n) {
+  const __m256i va_mask = _mm256_set1_epi64x(static_cast<long long>(ma));
+  const __m256i vb_mask = _mm256_set1_epi64x(static_cast<long long>(mb));
+  const __m256i vc_mask = _mm256_set1_epi64x(static_cast<long long>(mc));
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w)), va_mask);
+    const __m256i y = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w)), vb_mask);
+    const __m256i z = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + w)), vc_mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), maj(x, y, z));
+  }
+  for (; w < n; ++w) {
+    const std::uint64_t x = a[w] ^ ma;
+    const std::uint64_t y = b[w] ^ mb;
+    const std::uint64_t z = c[w] ^ mc;
+    out[w] = (x & y) | (x & z) | (y & z);
+  }
+}
+
+void avx2_and2(const std::uint64_t* a, std::uint64_t ma,
+               const std::uint64_t* b, std::uint64_t mb, std::uint64_t* out,
+               std::size_t n) {
+  const __m256i va_mask = _mm256_set1_epi64x(static_cast<long long>(ma));
+  const __m256i vb_mask = _mm256_set1_epi64x(static_cast<long long>(mb));
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w)), va_mask);
+    const __m256i y = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w)), vb_mask);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w),
+                        _mm256_and_si256(x, y));
+  }
+  for (; w < n; ++w) {
+    out[w] = (a[w] ^ ma) & (b[w] ^ mb);
+  }
+}
+
+std::uint64_t avx2_xor_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t n) {
+  return detail::xor_popcount_avx2(a, b, n);
+}
+
+} // namespace
+
+const Kernels& avx2_kernel_table() {
+  static constexpr Kernels k{avx2_gate3, avx2_maj3, avx2_and2,
+                             avx2_xor_popcount};
+  return k;
+}
+
+} // namespace rcgp::rqfp::simd

@@ -1,0 +1,104 @@
+// AVX-512 kernel tier: 512-bit lanes, with the three-input majority folded
+// into a single VPTERNLOG (imm 0xE8). This TU is compiled with
+// -mavx512f -mavx2; the dispatcher hands it out only when CPUID reports
+// avx512f. Popcount stays on the 256-bit nibble LUT — VPOPCNTDQ is not in
+// the avx512f baseline.
+
+#include "rqfp/simd_impl.hpp"
+#include "rqfp/simd_popcount_x86.hpp"
+
+#include <immintrin.h>
+
+namespace rcgp::rqfp::simd {
+
+namespace {
+
+// imm 0xE8: f(a,b,c) = (a & b) | (a & c) | (b & c).
+constexpr int kMajImm = 0xE8;
+
+void avx512_gate3(std::uint16_t config, const std::uint64_t* a,
+                  const std::uint64_t* b, const std::uint64_t* c,
+                  std::uint64_t* o0, std::uint64_t* o1, std::uint64_t* o2,
+                  std::size_t n) {
+  std::uint64_t mask[9];
+  __m512i vmask[9];
+  for (unsigned s = 0; s < 9; ++s) {
+    mask[s] = (config >> s) & 1 ? ~std::uint64_t{0} : 0;
+    vmask[s] = _mm512_set1_epi64(static_cast<long long>(mask[s]));
+  }
+  std::uint64_t* const out[3] = {o0, o1, o2};
+  std::size_t w = 0;
+  for (; w + 8 <= n; w += 8) {
+    const __m512i va = _mm512_loadu_si512(a + w);
+    const __m512i vb = _mm512_loadu_si512(b + w);
+    const __m512i vc = _mm512_loadu_si512(c + w);
+    for (unsigned k = 0; k < 3; ++k) {
+      const __m512i x = _mm512_xor_si512(va, vmask[3 * k + 0]);
+      const __m512i y = _mm512_xor_si512(vb, vmask[3 * k + 1]);
+      const __m512i z = _mm512_xor_si512(vc, vmask[3 * k + 2]);
+      _mm512_storeu_si512(out[k] + w,
+                          _mm512_ternarylogic_epi64(x, y, z, kMajImm));
+    }
+  }
+  for (; w < n; ++w) {
+    for (unsigned k = 0; k < 3; ++k) {
+      const std::uint64_t x = a[w] ^ mask[3 * k + 0];
+      const std::uint64_t y = b[w] ^ mask[3 * k + 1];
+      const std::uint64_t z = c[w] ^ mask[3 * k + 2];
+      out[k][w] = (x & y) | (x & z) | (y & z);
+    }
+  }
+}
+
+void avx512_maj3(const std::uint64_t* a, std::uint64_t ma,
+                 const std::uint64_t* b, std::uint64_t mb,
+                 const std::uint64_t* c, std::uint64_t mc, std::uint64_t* out,
+                 std::size_t n) {
+  const __m512i va_mask = _mm512_set1_epi64(static_cast<long long>(ma));
+  const __m512i vb_mask = _mm512_set1_epi64(static_cast<long long>(mb));
+  const __m512i vc_mask = _mm512_set1_epi64(static_cast<long long>(mc));
+  std::size_t w = 0;
+  for (; w + 8 <= n; w += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + w), va_mask);
+    const __m512i y = _mm512_xor_si512(_mm512_loadu_si512(b + w), vb_mask);
+    const __m512i z = _mm512_xor_si512(_mm512_loadu_si512(c + w), vc_mask);
+    _mm512_storeu_si512(out + w, _mm512_ternarylogic_epi64(x, y, z, kMajImm));
+  }
+  for (; w < n; ++w) {
+    const std::uint64_t x = a[w] ^ ma;
+    const std::uint64_t y = b[w] ^ mb;
+    const std::uint64_t z = c[w] ^ mc;
+    out[w] = (x & y) | (x & z) | (y & z);
+  }
+}
+
+void avx512_and2(const std::uint64_t* a, std::uint64_t ma,
+                 const std::uint64_t* b, std::uint64_t mb, std::uint64_t* out,
+                 std::size_t n) {
+  const __m512i va_mask = _mm512_set1_epi64(static_cast<long long>(ma));
+  const __m512i vb_mask = _mm512_set1_epi64(static_cast<long long>(mb));
+  std::size_t w = 0;
+  for (; w + 8 <= n; w += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + w), va_mask);
+    const __m512i y = _mm512_xor_si512(_mm512_loadu_si512(b + w), vb_mask);
+    _mm512_storeu_si512(out + w, _mm512_and_si512(x, y));
+  }
+  for (; w < n; ++w) {
+    out[w] = (a[w] ^ ma) & (b[w] ^ mb);
+  }
+}
+
+std::uint64_t avx512_xor_popcount(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t n) {
+  return detail::xor_popcount_avx2(a, b, n);
+}
+
+} // namespace
+
+const Kernels& avx512_kernel_table() {
+  static constexpr Kernels k{avx512_gate3, avx512_maj3, avx512_and2,
+                             avx512_xor_popcount};
+  return k;
+}
+
+} // namespace rcgp::rqfp::simd

@@ -1,0 +1,16 @@
+#pragma once
+
+#include "rqfp/simd.hpp"
+
+namespace rcgp::rqfp::simd {
+
+/// Internal: per-tier kernel tables. The vector tables live in their own
+/// translation units compiled with the matching -m flags (CMake adds them
+/// only when the compiler supports the flag); simd.cpp references them
+/// under the RCGP_SIMD_HAVE_* definitions and never calls one the CPU
+/// cannot execute.
+const Kernels& scalar_kernel_table();
+const Kernels& avx2_kernel_table();
+const Kernels& avx512_kernel_table();
+
+} // namespace rcgp::rqfp::simd

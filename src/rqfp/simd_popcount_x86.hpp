@@ -1,0 +1,48 @@
+#pragma once
+
+// Internal: AVX2 positional-popcount of a XOR stream (the Mula nibble-LUT
+// + VPSADBW reduction), shared by the avx2 and avx512 kernel TUs — both
+// are compiled with AVX2 enabled, and VPOPCNTDQ is not part of the
+// avx512f baseline this project targets.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#ifdef __AVX2__
+#include <immintrin.h>
+
+namespace rcgp::rqfp::simd::detail {
+
+inline std::uint64_t xor_popcount_avx2(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t n) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t w = 0;
+  for (; w + 4 <= n; w += 4) {
+    const __m256i v = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w)));
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                        _mm256_shuffle_epi8(lookup, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, zero));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::uint64_t count = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  for (; w < n; ++w) {
+    count += static_cast<std::uint64_t>(std::popcount(a[w] ^ b[w]));
+  }
+  return count;
+}
+
+} // namespace rcgp::rqfp::simd::detail
+
+#endif // __AVX2__

@@ -3,28 +3,58 @@
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "rqfp/simd.hpp"
 
 namespace rcgp::rqfp {
 
-std::vector<tt::TruthTable> simulate_ports(const Netlist& net) {
+namespace {
+
+/// Shared PI/constant-port initialisation of every exhaustive-simulation
+/// entry point: arity check, one all-zero table per port, constant-1 on
+/// kConstPort and a projection per PI. Returns the number of PIs.
+unsigned init_port_tables(const Netlist& net,
+                          std::vector<tt::TruthTable>& port,
+                          const char* who) {
   const unsigned nv = net.num_pis();
   if (nv > tt::TruthTable::kMaxVars) {
-    throw std::invalid_argument("rqfp::simulate: too many PIs");
+    throw std::invalid_argument(std::string(who) + ": too many PIs");
   }
-  std::vector<tt::TruthTable> port(net.first_free_port(),
-                                   tt::TruthTable::constant(nv, false));
+  port.assign(net.first_free_port(), tt::TruthTable(nv));
   port[kConstPort] = tt::TruthTable::constant(nv, true);
   for (unsigned i = 0; i < nv; ++i) {
     port[1 + i] = tt::TruthTable::projection(nv, i);
   }
+  return nv;
+}
+
+/// Words one truth table over `nv` variables occupies.
+std::size_t table_words(unsigned nv) {
+  return nv >= 6 ? std::size_t{1} << (nv - 6) : 1;
+}
+
+/// Words the last exhaustive pass pushed through the gate kernels —
+/// 3 output tables per evaluated gate (docs/SIMD.md digest).
+void count_sim_words(std::uint64_t gates_evaluated, std::size_t words) {
+  obs::registry().counter("sim.words").inc(3 * gates_evaluated * words);
+}
+
+} // namespace
+
+std::vector<tt::TruthTable> simulate_ports(const Netlist& net) {
+  std::vector<tt::TruthTable> port;
+  init_port_tables(net, port, "rqfp::simulate");
   for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
     const auto& gate = net.gate(g);
-    const auto out = eval_gate_tables(gate.config, port[gate.in[0]],
-                                      port[gate.in[1]], port[gate.in[2]]);
-    for (unsigned k = 0; k < 3; ++k) {
-      port[net.port_of(g, k)] = out[k];
-    }
+    // Gate outputs are always-fresh ports, so writing them in place never
+    // aliases the (earlier) input ports.
+    eval_gate_tables_into(gate.config, port[gate.in[0]], port[gate.in[1]],
+                          port[gate.in[2]], port[net.port_of(g, 0)],
+                          port[net.port_of(g, 1)], port[net.port_of(g, 2)]);
   }
+  count_sim_words(net.num_gates(), table_words(net.num_pis()));
   return port;
 }
 
@@ -39,28 +69,21 @@ std::vector<tt::TruthTable> simulate(const Netlist& net) {
 }
 
 std::vector<tt::TruthTable> simulate_live(const Netlist& net) {
-  const unsigned nv = net.num_pis();
-  if (nv > tt::TruthTable::kMaxVars) {
-    throw std::invalid_argument("rqfp::simulate_live: too many PIs");
-  }
   const auto live = net.live_gates();
-  std::vector<tt::TruthTable> port(net.first_free_port(),
-                                   tt::TruthTable::constant(nv, false));
-  port[kConstPort] = tt::TruthTable::constant(nv, true);
-  for (unsigned i = 0; i < nv; ++i) {
-    port[1 + i] = tt::TruthTable::projection(nv, i);
-  }
+  std::vector<tt::TruthTable> port;
+  init_port_tables(net, port, "rqfp::simulate_live");
+  std::uint64_t evaluated = 0;
   for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
     if (!live[g]) {
       continue;
     }
     const auto& gate = net.gate(g);
-    const auto out = eval_gate_tables(gate.config, port[gate.in[0]],
-                                      port[gate.in[1]], port[gate.in[2]]);
-    for (unsigned k = 0; k < 3; ++k) {
-      port[net.port_of(g, k)] = out[k];
-    }
+    eval_gate_tables_into(gate.config, port[gate.in[0]], port[gate.in[1]],
+                          port[gate.in[2]], port[net.port_of(g, 0)],
+                          port[net.port_of(g, 1)], port[net.port_of(g, 2)]);
+    ++evaluated;
   }
+  count_sim_words(evaluated, table_words(net.num_pis()));
   std::vector<tt::TruthTable> out;
   out.reserve(net.num_pos());
   for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
@@ -70,29 +93,21 @@ std::vector<tt::TruthTable> simulate_live(const Netlist& net) {
 }
 
 void build_sim_cache(const Netlist& net, SimCache& cache) {
-  const unsigned nv = net.num_pis();
-  if (nv > tt::TruthTable::kMaxVars) {
-    throw std::invalid_argument("rqfp::build_sim_cache: too many PIs");
-  }
+  const unsigned nv =
+      init_port_tables(net, cache.ports, "rqfp::build_sim_cache");
   cache.num_pis = nv;
   cache.num_gates = net.num_gates();
-  const Port n = net.first_free_port();
-  cache.ports.resize(n);
-  cache.dirty.assign(n, 0);
+  cache.dirty.assign(net.first_free_port(), 0);
   cache.undo_size = 0;
-  cache.ports[kConstPort] = tt::TruthTable::constant(nv, true);
-  for (unsigned i = 0; i < nv; ++i) {
-    cache.ports[1 + i] = tt::TruthTable::projection(nv, i);
-  }
   for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
     const auto& gate = net.gate(g);
-    const auto out =
-        eval_gate_tables(gate.config, cache.ports[gate.in[0]],
-                         cache.ports[gate.in[1]], cache.ports[gate.in[2]]);
-    for (unsigned k = 0; k < 3; ++k) {
-      cache.ports[net.port_of(g, k)] = out[k];
-    }
+    eval_gate_tables_into(gate.config, cache.ports[gate.in[0]],
+                          cache.ports[gate.in[1]], cache.ports[gate.in[2]],
+                          cache.ports[net.port_of(g, 0)],
+                          cache.ports[net.port_of(g, 1)],
+                          cache.ports[net.port_of(g, 2)]);
   }
+  count_sim_words(net.num_gates(), table_words(nv));
 }
 
 namespace {
@@ -119,6 +134,8 @@ void check_delta_shape(const Netlist& base, const Netlist& child,
 void propagate_dirty(const Netlist& from, const Netlist& to,
                      SimCache& cache) {
   cache.undo_size = 0;
+  auto& out = cache.gate_scratch;
+  std::uint64_t evaluated = 0;
   for (std::uint32_t g = 0; g < to.num_gates(); ++g) {
     const auto& tg = to.gate(g);
     const bool gene_changed = !(tg == from.gate(g));
@@ -128,9 +145,10 @@ void propagate_dirty(const Netlist& from, const Netlist& to,
     if (!gene_changed && !input_dirty) {
       continue;
     }
-    auto out =
-        eval_gate_tables(tg.config, cache.ports[tg.in[0]],
-                         cache.ports[tg.in[1]], cache.ports[tg.in[2]]);
+    eval_gate_tables_into(tg.config, cache.ports[tg.in[0]],
+                          cache.ports[tg.in[1]], cache.ports[tg.in[2]],
+                          out[0], out[1], out[2]);
+    ++evaluated;
     for (unsigned k = 0; k < 3; ++k) {
       const Port p = to.port_of(g, k);
       if (out[k] == cache.ports[p]) {
@@ -141,10 +159,16 @@ void propagate_dirty(const Netlist& from, const Netlist& to,
       }
       auto& u = cache.undo[cache.undo_size++];
       u.port = p;
-      u.value = std::move(cache.ports[p]);
-      cache.ports[p] = std::move(out[k]);
+      // Swaps keep every table's allocation in circulation: the displaced
+      // value parks in the undo slot, the undo slot's stale table becomes
+      // next round's scratch.
+      std::swap(u.value, cache.ports[p]);
+      std::swap(cache.ports[p], out[k]);
       cache.dirty[p] = 1;
     }
+  }
+  if (evaluated != 0) {
+    count_sim_words(evaluated, table_words(cache.num_pis));
   }
 }
 
@@ -172,10 +196,82 @@ void simulate_delta(const Netlist& base, const Netlist& child,
   // Restore the cache to `base`'s values so it can serve the next sibling.
   for (std::size_t i = 0; i < cache.undo_size; ++i) {
     auto& u = cache.undo[i];
-    cache.ports[u.port] = std::move(u.value);
+    std::swap(cache.ports[u.port], u.value);
     cache.dirty[u.port] = 0;
   }
   cache.undo_size = 0;
+}
+
+void simulate_delta_batch(const Netlist& base,
+                          const std::vector<const Netlist*>& children,
+                          const SimCache& cache, DeltaBatch& batch) {
+  const Port num_ports = base.first_free_port();
+  if (batch.children.size() < children.size()) {
+    batch.children.resize(children.size());
+  }
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    check_delta_shape(base, *children[c], cache,
+                      "rqfp::simulate_delta_batch");
+    auto& ch = batch.children[c];
+    ch.dirty.assign(num_ports, 0);
+    ch.slot.assign(num_ports, DeltaBatch::kNoSlot);
+    ch.used = 0;
+    ch.touched.clear();
+  }
+  std::array<tt::TruthTable, 3> scratch;
+  std::uint64_t evaluated = 0;
+  // Gate-major: each gate's base-port rows are touched once for the whole
+  // λ-block. Per child, a port reads its private overlay when dirty and
+  // the shared (read-only) base cache otherwise — exactly the values the
+  // sequential simulate_delta would see, in the same topological order.
+  for (std::uint32_t g = 0; g < base.num_gates(); ++g) {
+    const auto& bg = base.gate(g);
+    for (std::size_t c = 0; c < children.size(); ++c) {
+      auto& ch = batch.children[c];
+      const auto& tg = children[c]->gate(g);
+      const bool gene_changed = !(tg == bg);
+      const bool input_dirty = ch.dirty[tg.in[0]] != 0 ||
+                               ch.dirty[tg.in[1]] != 0 ||
+                               ch.dirty[tg.in[2]] != 0;
+      if (!gene_changed && !input_dirty) {
+        continue;
+      }
+      const auto in = [&](Port p) -> const tt::TruthTable& {
+        return ch.dirty[p] != 0 ? ch.values[ch.slot[p]] : cache.ports[p];
+      };
+      eval_gate_tables_into(tg.config, in(tg.in[0]), in(tg.in[1]),
+                            in(tg.in[2]), scratch[0], scratch[1],
+                            scratch[2]);
+      ++evaluated;
+      for (unsigned k = 0; k < 3; ++k) {
+        const Port p = base.port_of(g, k);
+        // Same cone cut-off as the sequential path: a recomputed value
+        // equal to the base one is not a change.
+        if (scratch[k] == cache.ports[p]) {
+          continue;
+        }
+        if (ch.used == ch.values.size()) {
+          ch.values.emplace_back();
+        }
+        std::swap(ch.values[ch.used], scratch[k]);
+        ch.slot[p] = static_cast<std::uint32_t>(ch.used++);
+        ch.dirty[p] = 1;
+        ch.touched.push_back(p);
+      }
+    }
+  }
+  for (std::size_t c = 0; c < children.size(); ++c) {
+    auto& ch = batch.children[c];
+    const Netlist& net = *children[c];
+    ch.po.resize(net.num_pos());
+    for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
+      const Port p = net.po_at(i);
+      ch.po[i] = ch.dirty[p] != 0 ? ch.values[ch.slot[p]] : cache.ports[p];
+    }
+  }
+  if (evaluated != 0) {
+    count_sim_words(evaluated, table_words(cache.num_pis));
+  }
 }
 
 void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po,
@@ -187,6 +283,7 @@ void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po,
         std::to_string(pi.rows()) + " rows");
   }
   const std::size_t words = pi.words();
+  const auto& kernels = simd::kernels();
   scratch.resize(net.first_free_port(), words);
   scratch.fill_row(kConstPort, ~std::uint64_t{0});
   for (unsigned i = 0; i < net.num_pis(); ++i) {
@@ -194,19 +291,13 @@ void simulate_patterns(const Netlist& net, const SimBatch& pi, SimBatch& po,
   }
   for (std::uint32_t g = 0; g < net.num_gates(); ++g) {
     const auto& gate = net.gate(g);
-    const std::uint64_t* a = scratch.row(gate.in[0]);
-    const std::uint64_t* b = scratch.row(gate.in[1]);
-    const std::uint64_t* c = scratch.row(gate.in[2]);
-    std::uint64_t* o0 = scratch.row(net.port_of(g, 0));
-    std::uint64_t* o1 = scratch.row(net.port_of(g, 1));
-    std::uint64_t* o2 = scratch.row(net.port_of(g, 2));
-    for (std::size_t w = 0; w < words; ++w) {
-      const auto out = eval_gate_words(gate.config, a[w], b[w], c[w]);
-      o0[w] = out[0];
-      o1[w] = out[1];
-      o2[w] = out[2];
-    }
+    kernels.gate3(gate.config.bits(), scratch.row(gate.in[0]),
+                  scratch.row(gate.in[1]), scratch.row(gate.in[2]),
+                  scratch.row(net.port_of(g, 0)),
+                  scratch.row(net.port_of(g, 1)),
+                  scratch.row(net.port_of(g, 2)), words);
   }
+  count_sim_words(net.num_gates(), words);
   po.resize(net.num_pos(), words);
   for (std::uint32_t i = 0; i < net.num_pos(); ++i) {
     const std::uint64_t* src = scratch.row(net.po_at(i));

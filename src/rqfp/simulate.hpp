@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -41,6 +42,7 @@ struct SimCache {
   std::vector<UndoEntry> undo;
   std::size_t undo_size = 0;
   std::vector<tt::TruthTable> po_scratch;
+  std::array<tt::TruthTable, 3> gate_scratch;
 };
 
 /// Fully simulates `net` into `cache` (capacity-reusing). Afterwards
@@ -64,6 +66,40 @@ void update_sim_cache(const Netlist& from, const Netlist& to,
 /// Bit-identical to simulate(child) / simulate_live(child) PO tables.
 void simulate_delta(const Netlist& base, const Netlist& child,
                     SimCache& cache, std::vector<tt::TruthTable>& po_out);
+
+/// Reusable scratch for simulate_delta_batch: one overlay per offspring of
+/// a λ-block. All members are managed by simulate_delta_batch and carry
+/// their allocations across generations; `po` of child c holds its PO
+/// tables after the call.
+struct DeltaBatch {
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
+  struct Child {
+    std::vector<tt::TruthTable> po;
+    // --- scratch internals ---
+    std::vector<std::uint8_t> dirty;    // per-port: overlay holds this port
+    std::vector<std::uint32_t> slot;    // per-port index into values
+    std::vector<tt::TruthTable> values; // overlay pool (used prefix live)
+    std::size_t used = 0;
+    std::vector<Port> touched;
+  };
+  std::vector<Child> children;
+};
+
+/// λ-batched dirty-cone simulation: evaluates every child of one
+/// generation in a single gate-major pass against a read-only base cache.
+/// For each gate, each child whose genes changed there — or whose cone is
+/// already dirty — re-evaluates it into a private sparse overlay; all
+/// other reads hit the shared base port tables, which are never written,
+/// so there is no per-sibling undo/restore churn and each gate's base rows
+/// stay cache-hot across the whole block. Per child this visits the same
+/// gates in the same order with the same operand values as
+/// simulate_delta(base, child, ...), so the PO tables (batch.children[c].po)
+/// are bit-identical to the sequential path. The cache must currently hold
+/// `base`'s values (i.e. not be mid-delta); shape requirements are as in
+/// update_sim_cache, checked per child.
+void simulate_delta_batch(const Netlist& base,
+                          const std::vector<const Netlist*>& children,
+                          const SimCache& cache, DeltaBatch& batch);
 
 /// Word-parallel pattern simulation for wide circuits. `pi` must have one
 /// row per PI (pi.rows() == net.num_pis(), validated up front); the word

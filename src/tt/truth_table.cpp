@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "rqfp/simd.hpp"
+
 namespace rcgp::tt {
 
 namespace {
@@ -59,12 +61,9 @@ TruthTable TruthTable::majority(const TruthTable& a, const TruthTable& b,
   a.check_same_arity(b);
   a.check_same_arity(c);
   TruthTable r(a.num_vars_);
-  for (std::size_t i = 0; i < r.words_.size(); ++i) {
-    const std::uint64_t x = a.words_[i];
-    const std::uint64_t y = b.words_[i];
-    const std::uint64_t z = c.words_[i];
-    r.words_[i] = (x & y) | (x & z) | (y & z);
-  }
+  rqfp::simd::kernels().maj3(a.words_.data(), 0, b.words_.data(), 0,
+                             c.words_.data(), 0, r.words_.data(),
+                             r.words_.size());
   return r;
 }
 
@@ -163,11 +162,9 @@ bool TruthTable::is_constant1() const {
 
 std::uint64_t TruthTable::hamming_distance(const TruthTable& other) const {
   check_same_arity(other);
-  std::uint64_t n = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    n += static_cast<std::uint64_t>(std::popcount(words_[i] ^ other.words_[i]));
-  }
-  return n;
+  return rqfp::simd::kernels().xor_popcount(words_.data(),
+                                            other.words_.data(),
+                                            words_.size());
 }
 
 bool TruthTable::depends_on(unsigned var) const {

@@ -53,6 +53,13 @@ public:
   std::uint64_t word(std::size_t i) const { return words_[i]; }
   void set_word(std::size_t i, std::uint64_t w);
 
+  /// Raw word storage for the bulk simulation kernels (rqfp/simd.hpp).
+  /// After writing through the mutable pointer, call normalize() to
+  /// restore the unused-high-bits-zero invariant of sub-word tables.
+  const std::uint64_t* data() const { return words_.data(); }
+  std::uint64_t* data() { return words_.data(); }
+  void normalize() { mask_top_word(); }
+
   bool bit(std::uint64_t index) const {
     return (words_[index >> 6] >> (index & 63)) & 1;
   }

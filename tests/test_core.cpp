@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "aig/aig_simulate.hpp"
 #include "benchmarks/benchmarks.hpp"
@@ -15,6 +20,8 @@
 #include "core/shrink.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "rqfp/sim_batch.hpp"
+#include "rqfp/simd.hpp"
 #include "rqfp/simulate.hpp"
 #include "rqfp/splitter.hpp"
 #include "util/rng.hpp"
@@ -783,6 +790,161 @@ TEST(Flow, PhaseBreakdownPartitionsWallClock) {
   EXPECT_GT(top_sum, 0.5 * r.seconds_total);
   EXPECT_LT(top_sum, 1.1 * r.seconds_total);
   EXPECT_EQ(r.phase_seconds("no-such-phase"), 0.0);
+}
+
+// SimBatch invariants (docs/SIMD.md): rows are vector-aligned, strides are
+// padded to the widest kernel block, padding words stay zero through every
+// mutation path, and externally produced buffers are validated with
+// contextual error messages before the kernels ever touch them.
+
+TEST(SimBatch, RowsAreVectorAlignedAndStrideIsPadded) {
+  rqfp::SimBatch b(3, 5);
+  EXPECT_EQ(b.rows(), 3u);
+  EXPECT_EQ(b.words(), 5u);
+  EXPECT_EQ(b.stride(), rqfp::simd::kMaxBlockWords);
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(b.row(r));
+    EXPECT_EQ(addr % rqfp::simd::kAlignment, 0u) << "row " << r;
+  }
+  // Odd word counts round up to the next full block; exact multiples and
+  // the empty width are left alone.
+  b.resize(2, 9);
+  EXPECT_EQ(b.stride(), 2 * rqfp::simd::kMaxBlockWords);
+  b.resize(1, 2 * rqfp::simd::kMaxBlockWords);
+  EXPECT_EQ(b.stride(), 2 * rqfp::simd::kMaxBlockWords);
+  b.resize(4, 0);
+  EXPECT_EQ(b.stride(), 0u);
+  EXPECT_EQ(rqfp::SimBatch::padded_words(1), rqfp::simd::kMaxBlockWords);
+}
+
+TEST(SimBatch, PaddedTailStaysZeroThroughRowWrites) {
+  rqfp::SimBatch b(2, 5);
+  b.fill_row(0, ~std::uint64_t{0});
+  const std::vector<std::uint64_t> src(5, 0xDEADBEEFDEADBEEFull);
+  b.assign_row(1, src.data());
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    for (std::size_t w = b.words(); w < b.stride(); ++w) {
+      EXPECT_EQ(b.row(r)[w], 0u) << "row " << r << " pad word " << w;
+    }
+  }
+  for (std::size_t w = 0; w < b.words(); ++w) {
+    EXPECT_EQ(b.at(0, w), ~std::uint64_t{0});
+    EXPECT_EQ(b.at(1, w), 0xDEADBEEFDEADBEEFull);
+  }
+}
+
+TEST(SimBatch, ResizeReusesCapacityAndZeroFills) {
+  rqfp::SimBatch b(4, 7);
+  for (std::size_t r = 0; r < b.rows(); ++r) {
+    b.fill_row(r, ~std::uint64_t{0});
+  }
+  const std::uint64_t* storage = b.row(0);
+  b.resize(2, 3); // shrinking must reuse the allocation...
+  EXPECT_EQ(b.row(0), storage);
+  for (std::size_t r = 0; r < b.rows(); ++r) { // ...and re-zero everything
+    for (std::size_t w = 0; w < b.stride(); ++w) {
+      EXPECT_EQ(b.row(r)[w], 0u) << "row " << r << " word " << w;
+    }
+  }
+}
+
+TEST(SimBatch, ResizeOverflowThrowsLengthError) {
+  rqfp::SimBatch b;
+  EXPECT_THROW(
+      b.resize(std::numeric_limits<std::size_t>::max() / 2,
+               rqfp::simd::kMaxBlockWords),
+      std::length_error);
+  // The failed resize must leave the batch untouched.
+  EXPECT_EQ(b.rows(), 0u);
+  EXPECT_EQ(b.words(), 0u);
+}
+
+TEST(SimBatch, ExternalBufferValidationIsContextual) {
+  // Zero words: nothing will be read, so even null passes.
+  rqfp::SimBatch::check_external(nullptr, 0, "zero-width");
+  try {
+    rqfp::SimBatch::check_external(nullptr, 4, "null-caller");
+    FAIL() << "null external buffer accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("null-caller"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("null"), std::string::npos) << msg;
+  }
+  alignas(8) unsigned char raw[32] = {};
+  const auto* skewed = reinterpret_cast<const std::uint64_t*>(raw + 1);
+  try {
+    rqfp::SimBatch::check_external(skewed, 2, "skew-caller");
+    FAIL() << "misaligned external buffer accepted";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("skew-caller"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("aligned"), std::string::npos) << msg;
+  }
+  rqfp::SimBatch b(1, 2);
+  EXPECT_THROW(b.assign_row(0, nullptr), std::invalid_argument);
+}
+
+TEST(SimBatch, EqualityComparesLogicalContentOnly) {
+  rqfp::SimBatch a(2, 5);
+  rqfp::SimBatch b(2, 5);
+  a.fill_row(0, 3);
+  b.fill_row(0, 3);
+  // Deliberately corrupt a padding word: logical equality must not see it.
+  a.row(0)[a.words()] = 0x123;
+  EXPECT_TRUE(a == b);
+  b.at(1, 4) = 1;
+  EXPECT_FALSE(a == b);
+  rqfp::SimBatch narrower(2, 4);
+  EXPECT_FALSE(a == narrower);
+}
+
+// λ-batched incremental evaluation: one gate-major pass over a block of
+// offspring must reproduce the sequential evaluate_delta fitness — and the
+// batched PO tables must equal a from-scratch simulation of each child.
+
+TEST(Fitness, EvaluateDeltaBatchMatchesSequentialDelta) {
+  const auto b = benchmarks::get("full_adder");
+  const auto base = init_netlist("full_adder");
+  rqfp::SimCache cache;
+  rqfp::build_sim_cache(base, cache);
+  rqfp::CostCache cost_batch;
+  rqfp::CostCache cost_seq;
+  const FitnessOptions fo;
+
+  constexpr unsigned kLambda = 6;
+  std::vector<rqfp::Netlist> children(kLambda, base);
+  std::vector<const rqfp::Netlist*> ptrs;
+  for (unsigned k = 0; k < kLambda; ++k) {
+    auto rng = util::Rng::stream(99, 1, k);
+    mutate(children[k], rng);
+    ptrs.push_back(&children[k]);
+  }
+
+  rqfp::DeltaBatch batch;
+  std::vector<Fitness> got(kLambda);
+  evaluate_delta_batch(base, cache, cost_batch, ptrs, b.spec, fo, batch,
+                       got);
+
+  for (unsigned k = 0; k < kLambda; ++k) {
+    const Fitness want =
+        evaluate_delta(base, cache, cost_seq, children[k], b.spec, fo);
+    const std::string what = "child " + std::to_string(k);
+    EXPECT_EQ(got[k].success_rate, want.success_rate) << what;
+    EXPECT_EQ(got[k].n_r, want.n_r) << what;
+    EXPECT_EQ(got[k].n_g, want.n_g) << what;
+    EXPECT_EQ(got[k].n_b, want.n_b) << what;
+    const auto po = rqfp::simulate(children[k]);
+    ASSERT_EQ(batch.children[k].po.size(), po.size()) << what;
+    for (std::size_t i = 0; i < po.size(); ++i) {
+      EXPECT_EQ(batch.children[k].po[i], po[i]) << what << " PO " << i;
+    }
+  }
+
+  // An undersized fitness span is rejected up front.
+  std::vector<Fitness> short_span(kLambda - 1);
+  EXPECT_THROW(evaluate_delta_batch(base, cache, cost_batch, ptrs, b.spec,
+                                    fo, batch, short_span),
+               std::invalid_argument);
 }
 
 } // namespace

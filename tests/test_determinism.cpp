@@ -9,6 +9,7 @@
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
 #include "core/optimizer.hpp"
+#include "rqfp/simd.hpp"
 #include "util/rng.hpp"
 
 // Determinism contract of λ-parallel offspring evaluation
@@ -179,6 +180,30 @@ TEST(Determinism, ResumeAtDifferentThreadCountMatchesUninterrupted) {
   expect_bit_identical(uninterrupted.evolve, final,
                        "resumed(2->8 threads) vs uninterrupted(1 thread)");
   std::remove(path.c_str());
+}
+
+TEST(Determinism, SimdTierDoesNotChangeEvolveResult) {
+  // All kernel tiers are bit-identical by construction (docs/SIMD.md), so
+  // forcing any available tier — across thread counts — must reproduce the
+  // scalar single-threaded run exactly.
+  struct TierGuard {
+    rqfp::simd::Tier saved = rqfp::simd::active_tier();
+    ~TierGuard() { rqfp::simd::force_tier(saved); }
+  } guard;
+  const auto initial = init_netlist("graycode4");
+  const auto b = benchmarks::get("graycode4");
+
+  rqfp::simd::force_tier(rqfp::simd::Tier::kScalar);
+  const auto ref = run_evolve(initial, b.spec, small_params(17, 1));
+  for (const rqfp::simd::Tier tier : rqfp::simd::available_tiers()) {
+    rqfp::simd::force_tier(tier);
+    const std::string what =
+        std::string("tier ") + std::string(rqfp::simd::to_string(tier));
+    const auto r1 = run_evolve(initial, b.spec, small_params(17, 1));
+    const auto r4 = run_evolve(initial, b.spec, small_params(17, 4));
+    expect_bit_identical(ref.evolve, r1.evolve, what + ", 1 thread");
+    expect_bit_identical(ref.evolve, r4.evolve, what + ", 4 threads");
+  }
 }
 
 TEST(Determinism, EvaluationBudgetIsThreadCountInvariant) {

@@ -14,6 +14,7 @@
 #include "rqfp/gate.hpp"
 #include "rqfp/map_from_mig.hpp"
 #include "rqfp/netlist.hpp"
+#include "rqfp/simd.hpp"
 #include "rqfp/simulate.hpp"
 #include "rqfp/splitter.hpp"
 #include "util/rng.hpp"
@@ -701,6 +702,94 @@ TEST(MapFromMig, PassThroughAndInvertedPo) {
   const auto tts = simulate(net);
   EXPECT_EQ(tts[0], tt::TruthTable::projection(1, 0));
   EXPECT_EQ(tts[1], ~tt::TruthTable::projection(1, 0));
+}
+
+// SIMD kernel contract (docs/SIMD.md): every tier this host can run must
+// be bit-identical to the scalar gate semantics, and the table-level entry
+// points must preserve the TruthTable normalization invariant (unused high
+// bits of the top word stay zero) even for inverting configurations.
+
+/// Restores whatever tier was active when the test started.
+struct TierGuard {
+  simd::Tier saved = simd::active_tier();
+  ~TierGuard() { simd::force_tier(saved); }
+};
+
+TEST(Simd, EveryTierMatchesEvalGateWords) {
+  util::Rng rng(2026);
+  for (const simd::Tier tier : simd::available_tiers()) {
+    const auto& k = simd::kernels(tier);
+    for (int rep = 0; rep < 64; ++rep) {
+      const auto cfg = InvConfig::from_rows(
+          static_cast<unsigned>(rng.next() & 7),
+          static_cast<unsigned>(rng.next() & 7),
+          static_cast<unsigned>(rng.next() & 7));
+      const std::uint64_t a = rng.next();
+      const std::uint64_t b = rng.next();
+      const std::uint64_t c = rng.next();
+      const auto want = eval_gate_words(cfg, a, b, c);
+      std::uint64_t o0 = 0;
+      std::uint64_t o1 = 0;
+      std::uint64_t o2 = 0;
+      k.gate3(cfg.bits(), &a, &b, &c, &o0, &o1, &o2, 1);
+      const std::string what =
+          std::string(simd::to_string(tier)) + " config " + cfg.to_string();
+      EXPECT_EQ(o0, want[0]) << what;
+      EXPECT_EQ(o1, want[1]) << what;
+      EXPECT_EQ(o2, want[2]) << what;
+    }
+  }
+}
+
+TEST(Simd, EvalGateTablesIntoNormalizesSubWordTables) {
+  TierGuard guard;
+  util::Rng rng(11);
+  for (const simd::Tier tier : simd::available_tiers()) {
+    simd::force_tier(tier);
+    // 2-var tables occupy 4 bits of one word; the all-inverting config
+    // must not leak set bits above them.
+    tt::TruthTable a(2);
+    tt::TruthTable b(2);
+    tt::TruthTable c(2);
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      a.set_bit(i, rng.next() & 1);
+      b.set_bit(i, rng.next() & 1);
+      c.set_bit(i, rng.next() & 1);
+    }
+    const auto cfg = InvConfig::from_rows(7, 7, 7);
+    const auto want = eval_gate_tables(cfg, a, b, c);
+    tt::TruthTable o0;
+    tt::TruthTable o1;
+    tt::TruthTable o2;
+    eval_gate_tables_into(cfg, a, b, c, o0, o1, o2);
+    const std::string what(simd::to_string(tier));
+    EXPECT_EQ(o0, want[0]) << what;
+    EXPECT_EQ(o1, want[1]) << what;
+    EXPECT_EQ(o2, want[2]) << what;
+    EXPECT_EQ(o0.data()[0] >> 4, 0u) << what; // normalized high bits
+    EXPECT_EQ(o1.data()[0] >> 4, 0u) << what;
+    EXPECT_EQ(o2.data()[0] >> 4, 0u) << what;
+  }
+}
+
+TEST(Simd, SimulationIsBitIdenticalAcrossTiers) {
+  TierGuard guard;
+  const auto bench = benchmarks::get("full_adder");
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  const Netlist net = core::synthesize(bench.spec, opt).initial;
+
+  simd::force_tier(simd::Tier::kScalar);
+  const auto ref = simulate(net);
+  for (const simd::Tier tier : simd::available_tiers()) {
+    simd::force_tier(tier);
+    const auto got = simulate(net);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i], ref[i])
+          << simd::to_string(tier) << " PO " << i;
+    }
+  }
 }
 
 } // namespace
