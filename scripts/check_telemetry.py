@@ -22,6 +22,9 @@ Checks performed:
     - when the incremental cost path ran (evolve.cost.* present):
       full_recomputes >= 1 (every CostCache starts with a full build),
       delta_updates >= 0, and the scratch_bytes gauge > 0
+    - when an island fleet ran (island.fleets present): migration offers
+      split exactly into accepted + rejected, the per-island immigrant
+      counters sum to the accepted count, and the islands gauge is >= 1
     - when a batch ran (batch.jobs.* present): settled jobs
       (done + failed + interrupted) never exceed the queued count, the
       per-worker job counters sum exactly to the settled count, the worker
@@ -142,6 +145,7 @@ def check_metrics(path: str) -> None:
     check_fuzz_metrics(path, counters, registry.get("gauges", {}))
     check_cache_metrics(path, counters, registry.get("gauges", {}))
     check_serve_metrics(path, counters, registry.get("gauges", {}))
+    check_island_metrics(path, counters, registry.get("gauges", {}))
     print(f"check_telemetry: {path}: {len(counters)} counters: OK")
 
 
@@ -364,6 +368,40 @@ def check_serve_metrics(path: str, counters: dict, gauges: dict) -> None:
     print(
         f"check_telemetry: {path}: service answered {requests} requests "
         f"({ok} ok, {errors} errors): OK"
+    )
+
+
+def check_island_metrics(path: str, counters: dict, gauges: dict) -> None:
+    """Island-model fleet invariants (docs/ISLANDS.md)."""
+    fleets = counters.get("island.fleets")
+    if fleets is None:
+        return  # run did not drive an island fleet
+    if fleets < 1:
+        fail(f"{path}: island.fleets is {fleets}, expected >= 1")
+    offered = counters.get("island.migrations.offered", 0)
+    accepted = counters.get("island.migrations.accepted", 0)
+    rejected = counters.get("island.migrations.rejected", 0)
+    if accepted + rejected != offered:
+        fail(
+            f"{path}: island.migrations.accepted {accepted} + rejected "
+            f"{rejected} != offered {offered}"
+        )
+    immigrants = sum(
+        v
+        for name, v in counters.items()
+        if name.startswith("island.island") and name.endswith(".immigrants")
+    )
+    if immigrants != accepted:
+        fail(
+            f"{path}: per-island immigrant counters sum to {immigrants} "
+            f"but island.migrations.accepted is {accepted}"
+        )
+    islands = gauges.get("island.islands", 0)
+    if islands < 1:
+        fail(f"{path}: island.islands gauge is {islands}, expected >= 1")
+    print(
+        f"check_telemetry: {path}: {fleets} fleet(s) of {islands:g} "
+        f"island(s) accepted {accepted}/{offered} migrations: OK"
     )
 
 

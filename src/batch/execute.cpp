@@ -1,10 +1,13 @@
 #include "batch/execute.hpp"
 
+#include <optional>
+
 #include "benchmarks/benchmarks.hpp"
 #include "cec/sim_cec.hpp"
 #include "core/flow.hpp"
 #include "io/io.hpp"
 #include "io/rqfp_writer.hpp"
+#include "island/island.hpp"
 
 namespace rcgp::batch {
 
@@ -41,12 +44,24 @@ JobExecution execute_request(const core::SynthesisRequest& job,
   fo.anneal = oo.anneal;
   fo.window = oo.window;
   fo.restarts = oo.restarts;
+  fo.island = oo.island;
   fo.limits = oo.limits;
   fo.limits.stop = ctx.stop;
   if (!ctx.checkpoint_path.empty()) {
     fo.limits.checkpoint_path = ctx.checkpoint_path;
     fo.limits.checkpoint_interval = options.checkpoint_interval;
     fo.resume = ctx.resume_from_checkpoint;
+    if (fo.island.islands > 1) {
+      // Island fleets keep per-island checkpoints plus a manifest in a
+      // sibling directory of the job's checkpoint path; the flow's
+      // fleet-resume path restores from it.
+      fo.island.state_dir = ctx.checkpoint_path + ".islands";
+    }
+  }
+  std::optional<island::RemoteSliceExecutor> remote;
+  if (fo.island.islands > 1 && !options.island_endpoints.empty()) {
+    remote.emplace(options.island_endpoints);
+    fo.island.executor = &*remote;
   }
 
   // Resolve the circuit: inline spec, file via the io facade, or a

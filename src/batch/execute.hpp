@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "batch/runner.hpp"
@@ -29,6 +30,13 @@ struct ExecuteOptions {
   /// Persist the cache right after every insert that changed it (the serve
   /// daemon's mode; the batch CLI saves once at the end instead).
   bool save_cache_on_insert = false;
+  /// `rcgp serve` endpoints (Unix socket paths or TCP host:port) that
+  /// island slices of multi-island evolve jobs are farmed out to — island
+  /// i talks to endpoints[i % size]. Empty = islands run in-process.
+  /// Requires a checkpointing context (the fleet must be file-backed) and
+  /// daemons started with --checkpoint-dir on the shared state directory
+  /// (docs/ISLANDS.md).
+  std::vector<std::string> island_endpoints;
 };
 
 /// Resolves the function a request describes: the inline spec when

@@ -34,6 +34,7 @@ ExecuteOptions execute_options_for(const BatchOptions& options) {
   eo.cache = options.cache;
   // The runner saves the cache once after the batch, not per insert.
   eo.save_cache_on_insert = false;
+  eo.island_endpoints = options.island_endpoints;
   return eo;
 }
 
@@ -173,9 +174,12 @@ BatchSummary run_batch(const Manifest& manifest,
         ctx.attempt = attempt;
         ctx.stop = &internal_stop;
         ctx.checkpoint_path = ckpt;
-        ctx.resume_from_checkpoint = options.resume && attempt == 1 &&
-                                     !ckpt.empty() &&
-                                     std::filesystem::exists(ckpt);
+        // Island fleets persist a manifest under <ckpt>.islands instead of
+        // the single checkpoint file — either artifact means "continue".
+        ctx.resume_from_checkpoint =
+            options.resume && attempt == 1 && !ckpt.empty() &&
+            (std::filesystem::exists(ckpt) ||
+             std::filesystem::exists(ckpt + ".islands/fleet.json"));
         try {
           const JobExecution exec = executor(job, ctx);
           rec.attempts = attempt;
@@ -203,6 +207,8 @@ BatchSummary run_batch(const Manifest& manifest,
           metrics.retried.inc();
           if (!ckpt.empty()) {
             std::remove(ckpt.c_str()); // never resume from suspect state
+            std::error_code ec;
+            std::filesystem::remove_all(ckpt + ".islands", ec);
           }
           if (attempt <= retries) {
             continue;
@@ -226,6 +232,8 @@ BatchSummary run_batch(const Manifest& manifest,
       // interrupted one keeps it so resume continues bit-identically.
       if (rec.final_record && !ckpt.empty()) {
         std::remove(ckpt.c_str());
+        std::error_code ec;
+        std::filesystem::remove_all(ckpt + ".islands", ec);
       }
       store.append(rec);
       if (!rec.final_record) {

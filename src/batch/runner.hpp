@@ -91,6 +91,9 @@ struct BatchOptions {
   /// consult it per their CachePolicy and verified results are written
   /// back; the runner saves it once after the batch. Not owned.
   cache::Store* cache = nullptr;
+  /// `rcgp serve` endpoints that multi-island evolve jobs farm their
+  /// slices out to (docs/ISLANDS.md); empty = islands run in-process.
+  std::vector<std::string> island_endpoints;
   JobExecutor executor;                         ///< test hook
   std::function<void(const JobRecord&)> on_record; ///< after each append
 };

@@ -377,6 +377,8 @@ EvolveResult evolve_run(const rqfp::Netlist& initial,
   result.best_fitness = parent_fit;
   result.seconds = elapsed();
   result.stop_reason = stop_reason;
+  result.since_improvement = since_improvement;
+  result.last_improvement_gen = last_improvement_gen;
 
   c_generations.inc(result.generations_run -
                     (resume ? resume->generation : 0));
@@ -421,118 +423,26 @@ EvolveResult evolve_resume_impl(const std::string& checkpoint_path,
                                 const EvolveParams& params) {
   static obs::Counter& c_resumes = obs::registry().counter("evolve.resumes");
   const robust::EvolveCheckpoint ck = robust::load_checkpoint(checkpoint_path);
-  if (ck.seed != params.seed ||
-      ck.lambda != params.lambda ||
-      ck.mu != params.mutation.mu ||
-      ck.generations_total != params.generations) {
-    throw std::invalid_argument(
-        "evolve_resume: checkpoint was taken under a different run "
-        "configuration (seed/lambda/mu/generations mismatch): " +
-        checkpoint_path);
-  }
   EvolveParams run_params = params;
   if (run_params.checkpoint_path.empty()) {
     run_params.checkpoint_path = checkpoint_path;
   }
   c_resumes.inc();
-  return evolve_run(ck.parent, spec, run_params, &ck);
+  return evolve_continue_impl(ck, spec, run_params);
 }
 
-EvolveResult evolve_multistart_impl(const rqfp::Netlist& initial,
-                                    std::span<const tt::TruthTable> spec,
-                                    const EvolveParams& params,
-                                    unsigned restarts) {
-  if (restarts == 0) {
-    throw std::invalid_argument("evolve_multistart: restarts must be >= 1");
+EvolveResult evolve_continue_impl(const robust::EvolveCheckpoint& state,
+                                  std::span<const tt::TruthTable> spec,
+                                  const EvolveParams& params) {
+  if (state.seed != params.seed ||
+      state.lambda != params.lambda ||
+      state.mu != params.mutation.mu ||
+      state.generations_total != params.generations) {
+    throw std::invalid_argument(
+        "evolve_resume: checkpoint was taken under a different run "
+        "configuration (seed/lambda/mu/generations mismatch)");
   }
-  util::Stopwatch watch;
-  EvolveParams per_run = params;
-  // Each restart is an independent run; checkpoints of one restart would
-  // overwrite another's, so checkpointing stays with single evolve() runs.
-  per_run.checkpoint_path.clear();
-  // Split the budget without losing the division remainder: the first
-  // `generations % restarts` runs get one extra generation.
-  const std::uint64_t base = params.generations / restarts;
-  const std::uint64_t rem = params.generations % restarts;
-  if (params.time_limit_seconds > 0.0) {
-    per_run.time_limit_seconds = params.time_limit_seconds / restarts;
-  }
-
-  EvolveResult best;
-  bool have_best = false;
-  auto stop_reason = robust::StopReason::kCompleted;
-  for (unsigned r = 0; r < restarts; ++r) {
-    if (params.budget.stop_requested()) {
-      stop_reason = robust::StopReason::kStopRequested;
-      break;
-    }
-    if (params.budget.deadline_seconds > 0.0) {
-      const double remaining =
-          params.budget.deadline_seconds - watch.seconds();
-      if (remaining <= 0.0) {
-        stop_reason = robust::StopReason::kTimeLimit;
-        break;
-      }
-      per_run.budget.deadline_seconds = remaining;
-    }
-    per_run.generations = base + (r < rem ? 1 : 0);
-    per_run.seed = params.seed + r;
-    if (params.trace) {
-      params.trace->event("restart")
-          .field("index", static_cast<std::uint64_t>(r))
-          .field("of", static_cast<std::uint64_t>(restarts))
-          .field("seed", per_run.seed)
-          .field("generations", per_run.generations);
-    }
-    EvolveResult run = evolve_impl(initial, spec, per_run);
-    const bool better =
-        !have_best || run.best_fitness.strictly_better(best.best_fitness);
-    // Accumulate bookkeeping across runs.
-    const auto generations = (have_best ? best.generations_run : 0) +
-                             run.generations_run;
-    const auto evaluations =
-        (have_best ? best.evaluations : 0) + run.evaluations;
-    const auto improvements =
-        (have_best ? best.improvements : 0) + run.improvements;
-    const auto confirmations =
-        (have_best ? best.sat_confirmations : 0) + run.sat_confirmations;
-    const auto conflicts =
-        (have_best ? best.sat_cec_conflicts : 0) + run.sat_cec_conflicts;
-    MutationMix attempted = have_best ? best.mutations_attempted
-                                      : MutationMix{};
-    MutationMix accepted = have_best ? best.mutations_accepted
-                                     : MutationMix{};
-    attempted += run.mutations_attempted;
-    accepted += run.mutations_accepted;
-    const auto run_reason = run.stop_reason;
-    if (better) {
-      best = std::move(run);
-      have_best = true;
-    }
-    best.generations_run = generations;
-    best.evaluations = evaluations;
-    best.improvements = improvements;
-    best.sat_confirmations = confirmations;
-    best.sat_cec_conflicts = conflicts;
-    best.mutations_attempted = attempted;
-    best.mutations_accepted = accepted;
-    // A cooperative stop inside a restart ends the whole schedule; other
-    // per-run exits (stagnation, per-slice time limit) just move on to the
-    // next restart.
-    if (run_reason == robust::StopReason::kStopRequested) {
-      stop_reason = run_reason;
-      break;
-    }
-  }
-  if (!have_best) {
-    // Stopped before any restart ran: still hand back a usable netlist.
-    best.best = initial;
-    best.best_fitness = evaluate(initial, spec, params.fitness);
-    ++best.evaluations;
-  }
-  best.seconds = watch.seconds();
-  best.stop_reason = stop_reason;
-  return best;
+  return evolve_run(state.parent, spec, params, &state);
 }
 
 } // namespace detail

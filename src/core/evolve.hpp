@@ -13,6 +13,10 @@
 #include "rqfp/netlist.hpp"
 #include "tt/truth_table.hpp"
 
+namespace rcgp::robust {
+struct EvolveCheckpoint;
+} // namespace rcgp::robust
+
 namespace rcgp::core {
 
 struct EvolveParams {
@@ -104,6 +108,13 @@ struct EvolveResult {
   /// resumed run that finishes reports exactly what an uninterrupted run
   /// would have.
   bool resumed = false;
+  /// Stagnation counter / last improving generation at exit. Together with
+  /// the counters above they are exactly the state a
+  /// robust::EvolveCheckpoint captures, so a caller slicing one logical
+  /// run into resumable chunks (the island runner) can rebuild the
+  /// checkpoint in memory without a file round-trip.
+  std::uint64_t since_improvement = 0;
+  std::uint64_t last_improvement_gen = 0;
 };
 
 namespace detail {
@@ -117,10 +128,13 @@ EvolveResult evolve_impl(const rqfp::Netlist& initial,
 EvolveResult evolve_resume_impl(const std::string& checkpoint_path,
                                 std::span<const tt::TruthTable> spec,
                                 const EvolveParams& params);
-EvolveResult evolve_multistart_impl(const rqfp::Netlist& initial,
-                                    std::span<const tt::TruthTable> spec,
-                                    const EvolveParams& params,
-                                    unsigned restarts);
+/// Continues from an in-memory checkpoint without touching the
+/// filesystem. Identity rules are the same as evolve_resume(); the island
+/// runner (src/island) uses this to run one slice of an island between
+/// two migration boundaries.
+EvolveResult evolve_continue_impl(const robust::EvolveCheckpoint& state,
+                                  std::span<const tt::TruthTable> spec,
+                                  const EvolveParams& params);
 
 } // namespace detail
 

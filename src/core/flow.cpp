@@ -122,9 +122,17 @@ FlowResult synthesize(const aig::Aig& input, const FlowOptions& options) {
     oo.anneal.fitness.schedule = options.schedule;
     oo.window = options.window;
     oo.restarts = options.restarts;
+    oo.island = options.island;
     oo.limits = options.limits;
+    // A fleet resume restores from state_dir through run() — never-started
+    // islands still need the mapped baseline as their starting netlist.
+    const bool fleet_resume =
+        options.resume && !options.island.state_dir.empty();
+    if (fleet_resume) {
+      oo.island.resume = true;
+    }
     const Optimizer optimizer(oo);
-    if (options.resume) {
+    if (options.resume && !fleet_resume) {
       if (options.evolve.checkpoint_path.empty() &&
           options.limits.checkpoint_path.empty()) {
         throw std::invalid_argument(

@@ -45,6 +45,11 @@ struct FlowOptions {
   AnnealParams anneal;           // Algorithm::kAnneal
   WindowParams window;           // Algorithm::kWindow geometry
   unsigned restarts = 4;         // Algorithm::kMultistart
+  /// Island-model scale-out for the CGP phase (docs/ISLANDS.md). With
+  /// islands > 1 and Algorithm::kEvolve, the phase runs an island fleet;
+  /// `resume` above then restores the fleet from island.state_dir instead
+  /// of from a single checkpoint file.
+  IslandSettings island;
   /// Cross-algorithm limits (deadline, stop token, checkpointing); set
   /// fields override the per-algorithm params and also bound the
   /// flow-level phases.

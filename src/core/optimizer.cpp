@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "island/island.hpp"
 #include "obs/metrics.hpp"
 #include "util/stopwatch.hpp"
 
@@ -27,10 +28,39 @@ Algorithm parse_algorithm(std::string_view name) {
       "' (expected evolve|multistart|anneal|window)");
 }
 
+std::string_view to_string(Topology topology) {
+  switch (topology) {
+    case Topology::kNone: return "none";
+    case Topology::kRing: return "ring";
+    case Topology::kStar: return "star";
+    case Topology::kFull: return "full";
+  }
+  return "unknown";
+}
+
+Topology parse_topology(std::string_view name) {
+  if (name == "none") return Topology::kNone;
+  if (name == "ring") return Topology::kRing;
+  if (name == "star") return Topology::kStar;
+  if (name == "full") return Topology::kFull;
+  throw std::invalid_argument("unknown island topology '" +
+                              std::string(name) +
+                              "' (expected none|ring|star|full)");
+}
+
 Optimizer::Optimizer(OptimizerOptions options) : options_(std::move(options)) {
   if (options_.algorithm == Algorithm::kMultistart &&
       options_.restarts == 0) {
     throw std::invalid_argument("Optimizer: restarts must be >= 1");
+  }
+  if (options_.island.islands == 0) {
+    throw std::invalid_argument("Optimizer: islands must be >= 1");
+  }
+  if (options_.island.islands > 1 &&
+      options_.algorithm != Algorithm::kEvolve &&
+      options_.algorithm != Algorithm::kMultistart) {
+    throw std::invalid_argument(
+        "Optimizer: islands > 1 requires Algorithm::kEvolve");
   }
 }
 
@@ -85,7 +115,21 @@ OptimizeResult Optimizer::run(const rqfp::Netlist& initial,
   OptimizeResult r;
   switch (options_.algorithm) {
     case Algorithm::kEvolve: {
-      r.evolve = detail::evolve_impl(initial, spec, evolve_params());
+      const IslandSettings& is = options_.island;
+      if (is.islands > 1 || is.resume || is.executor != nullptr) {
+        island::FleetOptions fo;
+        fo.islands = is.islands;
+        fo.topology = is.topology;
+        fo.migration_interval = is.migration_interval;
+        fo.migration_size = is.migration_size;
+        fo.state_dir = is.state_dir;
+        fo.resume = is.resume;
+        fo.executor = is.executor;
+        fo.parallelism = is.parallelism;
+        r.evolve = island::run_fleet(initial, spec, evolve_params(), fo);
+      } else {
+        r.evolve = detail::evolve_impl(initial, spec, evolve_params());
+      }
       r.best = r.evolve.best;
       r.best_fitness = r.evolve.best_fitness;
       r.evaluations = r.evolve.evaluations;
@@ -94,12 +138,18 @@ OptimizeResult Optimizer::run(const rqfp::Netlist& initial,
       break;
     }
     case Algorithm::kMultistart: {
+      // A thin alias over the island runner: `restarts` islands with
+      // Topology::kNone reproduce the historical sequential multistart
+      // trajectories bit-identically (docs/ISLANDS.md).
       EvolveParams p = evolve_params();
-      // Restart checkpoints would overwrite each other; multistart has
-      // never supported checkpointing (see evolve_multistart_impl).
       p.checkpoint_path.clear();
-      r.evolve =
-          detail::evolve_multistart_impl(initial, spec, p, options_.restarts);
+      island::FleetOptions fo;
+      fo.islands = options_.restarts;
+      fo.topology = Topology::kNone;
+      fo.state_dir = options_.island.state_dir;
+      fo.resume = options_.island.resume;
+      fo.executor = options_.island.executor;
+      r.evolve = island::run_fleet(initial, spec, p, fo);
       r.best = r.evolve.best;
       r.best_fitness = r.evolve.best_fitness;
       r.evaluations = r.evolve.evaluations;

@@ -12,6 +12,10 @@
 #include "rqfp/netlist.hpp"
 #include "tt/truth_table.hpp"
 
+namespace rcgp::island {
+class SliceExecutor;
+} // namespace rcgp::island
+
 namespace rcgp::core {
 
 /// Which search algorithm an Optimizer runs. All of them consume the same
@@ -28,6 +32,52 @@ enum class Algorithm : std::uint8_t {
 std::string_view to_string(Algorithm algorithm);
 /// Inverse of to_string; throws std::invalid_argument on unknown names.
 Algorithm parse_algorithm(std::string_view name);
+
+/// Migration topology of an island fleet (docs/ISLANDS.md). The donor
+/// schedule is a pure function of (topology, island index, island count),
+/// so the elite exchange is deterministic given (seed, topology,
+/// migration interval) — regardless of where the islands actually run.
+enum class Topology : std::uint8_t {
+  kNone, ///< no migration; islands split the budget (multistart semantics)
+  kRing, ///< island i receives from island (i-1+N)%N
+  kStar, ///< island 0 is the hub: it receives from every leaf, leaves from 0
+  kFull, ///< every island receives from every other island
+};
+
+/// Stable lowercase name ("none", "ring", "star", "full").
+std::string_view to_string(Topology topology);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+Topology parse_topology(std::string_view name);
+
+/// Island-model settings (docs/ISLANDS.md). With `islands` == 1 the
+/// Optimizer behaves exactly as before; with more, kEvolve runs an island
+/// fleet: N decorrelated (1+λ) lineages (seed, seed+1, ...) exchanging
+/// elites every `migration_interval` generations. Results are
+/// bit-identical for any worker placement — in-process threads or remote
+/// `rcgp serve` daemons — given (seed, topology, migration_interval).
+struct IslandSettings {
+  /// Number of islands (1 = plain single-lineage evolve).
+  unsigned islands = 1;
+  Topology topology = Topology::kRing;
+  /// Exchange elites every this many generations (0 = never migrate; the
+  /// islands then run as fully independent lineages).
+  std::uint64_t migration_interval = 0;
+  /// How many donor elites each island considers per exchange (the best
+  /// strictly-better one is adopted).
+  unsigned migration_size = 1;
+  /// Directory for per-island robust checkpoints + the fleet manifest.
+  /// Empty = in-memory only (no crash safety, no remote workers).
+  std::string state_dir;
+  /// Continue a fleet previously interrupted in `state_dir`.
+  bool resume = false;
+  /// Where slices run (not owned; nullptr = in-process threads). Point it
+  /// at an island::RemoteSliceExecutor to farm slices out to `rcgp serve`
+  /// daemons.
+  island::SliceExecutor* executor = nullptr;
+  /// Concurrent slices per epoch (0 = one thread per island). Purely a
+  /// throughput knob: results are bit-identical for any value.
+  unsigned parallelism = 0;
+};
 
 /// Cross-algorithm run limits, applied on top of the per-algorithm
 /// parameter structs. A default-constructed field (zero / empty / null)
@@ -69,8 +119,12 @@ struct OptimizerOptions {
   /// Window geometry for kWindow; its `evolve` member is replaced by the
   /// `evolve` field above so every algorithm is configured in one place.
   WindowParams window;
-  /// Independent restarts for kMultistart (must be >= 1).
+  /// Independent restarts for kMultistart (must be >= 1). kMultistart is
+  /// a thin alias for an island fleet with `restarts` islands and
+  /// Topology::kNone (docs/ISLANDS.md).
   unsigned restarts = 4;
+  /// Island-model scale-out for kEvolve (ignored by kAnneal / kWindow).
+  IslandSettings island;
   RunLimits limits;
 };
 
@@ -107,7 +161,9 @@ public:
   /// Continues a checkpointed run from limits.checkpoint_path (or, if that
   /// is empty, evolve.checkpoint_path). Only Algorithm::kEvolve supports
   /// checkpointing; any other algorithm throws std::invalid_argument, as
-  /// does an empty checkpoint path.
+  /// does an empty checkpoint path. Island fleets (islands > 1) resume
+  /// through run() with IslandSettings::resume set instead — they restore
+  /// from state_dir, not from a single checkpoint file.
   OptimizeResult resume(std::span<const tt::TruthTable> spec) const;
 
 private:

@@ -148,7 +148,11 @@ bool SynthesisRequest::operator==(const SynthesisRequest& o) const {
   return id == o.id && circuit == o.circuit && spec == o.spec &&
          algorithm == o.algorithm && generations == o.generations &&
          seed == o.seed && lambda == o.lambda && threads == o.threads &&
-         restarts == o.restarts && deadline_seconds == o.deadline_seconds &&
+         restarts == o.restarts && islands == o.islands &&
+         topology == o.topology &&
+         migration_interval == o.migration_interval &&
+         migration_size == o.migration_size &&
+         deadline_seconds == o.deadline_seconds &&
          max_generations == o.max_generations &&
          max_evaluations == o.max_evaluations &&
          stagnation_limit == o.stagnation_limit && retries == o.retries &&
@@ -158,7 +162,12 @@ bool SynthesisRequest::operator==(const SynthesisRequest& o) const {
 std::string to_json(const SynthesisRequest& r) {
   obs::json::Writer w;
   w.begin_object();
-  w.field("schema", kRequestSchemaVersion);
+  // Island-free requests are stamped schema 1 so they keep round-tripping
+  // through schema-1 binaries; only requests that actually use the island
+  // fields need a schema-2 reader.
+  const bool needs_v2 = r.islands != 0 || r.topology != Topology::kRing ||
+                        r.migration_interval != 0 || r.migration_size != 0;
+  w.field("schema", needs_v2 ? kRequestSchemaVersion : std::uint64_t{1});
   w.field("id", r.id);
   if (!r.circuit.empty()) {
     w.field("circuit", r.circuit);
@@ -180,6 +189,14 @@ std::string to_json(const SynthesisRequest& r) {
   if (r.lambda != 0) w.field("lambda", r.lambda);
   if (r.threads != 0) w.field("threads", r.threads);
   if (r.restarts != 0) w.field("restarts", r.restarts);
+  if (r.islands != 0) w.field("islands", r.islands);
+  if (r.topology != Topology::kRing) {
+    w.field("topology", to_string(r.topology));
+  }
+  if (r.migration_interval != 0) {
+    w.field("migration_interval", r.migration_interval);
+  }
+  if (r.migration_size != 0) w.field("migration_size", r.migration_size);
   if (r.deadline_seconds != 0.0) {
     w.field("deadline_seconds", r.deadline_seconds);
   }
@@ -238,6 +255,14 @@ SynthesisRequest parse_request(const std::string& text,
       r.threads = static_cast<unsigned>(uint_member(v, key));
     } else if (key == "restarts") {
       r.restarts = static_cast<unsigned>(uint_member(v, key));
+    } else if (key == "islands") {
+      r.islands = static_cast<unsigned>(uint_member(v, key));
+    } else if (key == "topology") {
+      r.topology = parse_topology(string_member(v, key));
+    } else if (key == "migration_interval") {
+      r.migration_interval = uint_member(v, key);
+    } else if (key == "migration_size") {
+      r.migration_size = static_cast<unsigned>(uint_member(v, key));
     } else if (key == "deadline_seconds") {
       r.deadline_seconds = number_member(v, key);
       if (r.deadline_seconds < 0 || !std::isfinite(r.deadline_seconds)) {
@@ -304,6 +329,16 @@ void validate_request(const SynthesisRequest& r, const std::string& source,
     fail(format, source, lineno,
          "\"circuit\" and \"spec\" are mutually exclusive");
   }
+  if (r.islands > 1 && r.algorithm != Algorithm::kEvolve) {
+    fail(format, source, lineno,
+         "\"islands\" > 1 requires \"algorithm\": \"evolve\" — the island "
+         "model distributes the (1+lambda) evolution loop");
+  }
+  if ((r.migration_interval != 0 || r.migration_size != 0) && r.islands <= 1) {
+    fail(format, source, lineno,
+         "\"migration_interval\"/\"migration_size\" need \"islands\" >= 2 — "
+         "a single island has nothing to exchange elites with");
+  }
   if (!r.spec.empty()) {
     if (r.spec.size() > kMaxRequestSpecOutputs) {
       fail(format, source, lineno,
@@ -345,6 +380,14 @@ OptimizerOptions optimizer_options_for(const SynthesisRequest& r,
   if (r.restarts != 0) {
     o.restarts = r.restarts;
   }
+  if (r.islands != 0) {
+    o.island.islands = r.islands;
+  }
+  o.island.topology = r.topology;
+  o.island.migration_interval = r.migration_interval;
+  if (r.migration_size != 0) {
+    o.island.migration_size = r.migration_size;
+  }
   o.limits.deadline_seconds = r.deadline_seconds;
   o.limits.max_generations = r.max_generations;
   o.limits.max_evaluations = r.max_evaluations;
@@ -354,7 +397,9 @@ OptimizerOptions optimizer_options_for(const SynthesisRequest& r,
 std::string to_json(const SynthesisResponse& r) {
   obs::json::Writer w;
   w.begin_object();
-  w.field("schema", kRequestSchemaVersion);
+  // Responses gained no fields in schema 2, so they stay stamped 1 and
+  // remain readable by schema-1 clients regardless of the request schema.
+  w.field("schema", std::uint64_t{1});
   w.field("id", r.id);
   w.field("ok", r.ok);
   if (!r.error.empty()) {
@@ -490,6 +535,14 @@ void write_json(obs::json::Writer& w, const OptimizerOptions& o) {
   w.field("max_window_inputs", o.window.max_window_inputs);
   w.field("stride", o.window.stride);
   w.field("passes", o.window.passes);
+  w.end_object();
+  w.key("island").begin_object();
+  w.field("islands", o.island.islands);
+  w.field("topology", to_string(o.island.topology));
+  w.field("migration_interval", o.island.migration_interval);
+  w.field("migration_size", o.island.migration_size);
+  w.field("state_dir", o.island.state_dir);
+  w.field("parallelism", o.island.parallelism);
   w.end_object();
   w.key("limits");
   write_json(w, o.limits);
@@ -644,6 +697,26 @@ OptimizerOptions optimizer_options_from_json(const obs::json::Value& v) {
           o.window.passes = static_cast<unsigned>(uint_member(win, k));
         } else {
           throw std::invalid_argument("unknown window key \"" + k + "\"");
+        }
+      });
+    } else if (key == "island") {
+      require_object(m, key);
+      each_member(m, [&](const std::string& k, const obs::json::Value& is) {
+        if (k == "islands") {
+          o.island.islands = static_cast<unsigned>(uint_member(is, k));
+        } else if (k == "topology") {
+          o.island.topology = parse_topology(string_member(is, k));
+        } else if (k == "migration_interval") {
+          o.island.migration_interval = uint_member(is, k);
+        } else if (k == "migration_size") {
+          o.island.migration_size =
+              static_cast<unsigned>(uint_member(is, k));
+        } else if (k == "state_dir") {
+          o.island.state_dir = string_member(is, k);
+        } else if (k == "parallelism") {
+          o.island.parallelism = static_cast<unsigned>(uint_member(is, k));
+        } else {
+          throw std::invalid_argument("unknown island key \"" + k + "\"");
         }
       });
     } else if (key == "limits") {

@@ -19,7 +19,14 @@ namespace rcgp::core {
 /// Schema version stamped into every serialized request/response. Bump it
 /// when a field changes meaning; parsers reject documents from the future
 /// so stale binaries fail loudly instead of misreading jobs.
-inline constexpr std::uint64_t kRequestSchemaVersion = 1;
+///
+/// History: schema 2 added the island-model fields (`islands`,
+/// `topology`, `migration_interval`, `migration_size`). Serialization is
+/// backward-compatible: a request that leaves every island field at its
+/// default is stamped schema 1, so island-free jobs keep round-tripping
+/// through schema-1 binaries; schema-1 documents parse unchanged (they
+/// simply have no island fields, meaning one island).
+inline constexpr std::uint64_t kRequestSchemaVersion = 2;
 
 /// How a request interacts with the synthesis result cache (src/cache).
 enum class CachePolicy : std::uint8_t {
@@ -57,6 +64,14 @@ struct SynthesisRequest {
   unsigned lambda = 0;           ///< (1+λ) offspring count (0 = default)
   unsigned threads = 0;          ///< λ-parallel eval threads (0 = default)
   unsigned restarts = 0;         ///< kMultistart restarts (0 = default)
+  /// Island-model scale-out (schema 2, docs/ISLANDS.md): decorrelated
+  /// (1+λ) lineages exchanging elites every `migration_interval`
+  /// generations. 0 islands = not set (one island, plain evolve); more
+  /// than one requires `algorithm: "evolve"`.
+  unsigned islands = 0;
+  Topology topology = Topology::kRing;
+  std::uint64_t migration_interval = 0; ///< generations per epoch (0 = never)
+  unsigned migration_size = 0;          ///< donor channel capacity (0 = 1)
   /// Per-job wall-clock ceiling in seconds (0 = none). The one knob that
   /// is not deterministic across machines — see docs/BATCH.md.
   double deadline_seconds = 0.0;

@@ -1,0 +1,869 @@
+#include "island/island.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "core/request.hpp"
+#include "core/shrink.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rcgp::island {
+
+namespace {
+
+using robust::StopReason;
+
+/// Static per-island run configuration. Island i evolves under seed
+/// `base_seed + i`; with Topology::kNone the fleet splits the generation
+/// budget (base + remainder, exactly like the retired multistart), with
+/// every other topology each island runs the full budget. `cap` folds in
+/// the caller's RunBudget::max_generations ceiling.
+struct IslandPlan {
+  std::uint64_t seed = 0;
+  std::uint64_t total = 0;
+  std::uint64_t cap = 0;
+};
+
+/// Deterministic "this island can make no further progress" predicate,
+/// computed from the checkpoint state alone so a resumed fleet classifies
+/// its islands exactly as the uninterrupted run did. The order mirrors the
+/// evolve loop's exit order; stagnation must come first because evolve
+/// checks it at the loop bottom — re-running a stagnated state would
+/// execute one extra generation, the only non-idempotent exit.
+std::optional<StopReason> settled_reason(const robust::EvolveCheckpoint& st,
+                                         const IslandPlan& plan,
+                                         const core::EvolveParams& params,
+                                         double time_limit) {
+  if (params.stagnation_limit != 0 &&
+      st.since_improvement >= params.stagnation_limit) {
+    return StopReason::kStagnation;
+  }
+  if (st.generation >= plan.total) return StopReason::kCompleted;
+  if (plan.cap < plan.total && st.generation >= plan.cap) {
+    return StopReason::kGenerationBudget;
+  }
+  if (params.budget.max_evaluations != 0 &&
+      st.evaluations + params.lambda > params.budget.max_evaluations) {
+    return StopReason::kEvaluationBudget;
+  }
+  if (time_limit > 0.0 && st.elapsed_seconds > time_limit) {
+    return StopReason::kTimeLimit;
+  }
+  return std::nullopt;
+}
+
+/// Fleet manifest (fleet.json) contents we read back on resume.
+struct ManifestData {
+  std::uint64_t seed = 0;
+  unsigned lambda = 0;
+  double mu = 0.0;
+  std::uint64_t generations = 0;
+  unsigned islands = 0;
+  std::string topology;
+  std::uint64_t migration_interval = 0;
+  unsigned migration_size = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::vector<unsigned> pending;
+  std::vector<std::uint64_t> immigrants;
+};
+
+ManifestData load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("island: cannot read fleet manifest " + path);
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::optional<obs::json::Value> v = obs::json::parse(ss.str());
+  if (!v || !v->is_object()) {
+    throw std::runtime_error("island: malformed fleet manifest " + path);
+  }
+  ManifestData m;
+  m.seed = static_cast<std::uint64_t>(v->number_or("seed", 0));
+  m.lambda = static_cast<unsigned>(v->number_or("lambda", 0));
+  m.mu = v->number_or("mu", 0.0);
+  m.generations = static_cast<std::uint64_t>(v->number_or("generations", 0));
+  m.islands = static_cast<unsigned>(v->number_or("islands", 0));
+  m.topology = v->string_or("topology", "");
+  m.migration_interval =
+      static_cast<std::uint64_t>(v->number_or("migration_interval", 0));
+  m.migration_size = static_cast<unsigned>(v->number_or("migration_size", 0));
+  m.epoch = static_cast<std::uint64_t>(v->number_or("epoch", 0));
+  m.offered = static_cast<std::uint64_t>(v->number_or("migrations_offered", 0));
+  m.accepted =
+      static_cast<std::uint64_t>(v->number_or("migrations_accepted", 0));
+  m.rejected =
+      static_cast<std::uint64_t>(v->number_or("migrations_rejected", 0));
+  if (const obs::json::Value* p = v->find("pending"); p && p->is_array()) {
+    for (const obs::json::Value& it : p->items()) {
+      m.pending.push_back(static_cast<unsigned>(it.as_number()));
+    }
+  }
+  if (const obs::json::Value* arr = v->find("islands_state");
+      arr && arr->is_array()) {
+    for (const obs::json::Value& it : arr->items()) {
+      m.immigrants.push_back(
+          static_cast<std::uint64_t>(it.number_or("immigrants", 0)));
+    }
+  }
+  return m;
+}
+
+void write_text_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << text << '\n';
+    out.flush();
+    if (!out.good()) {
+      throw std::runtime_error("island: cannot write " + tmp);
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+obs::Counter& island_immigrant_counter(unsigned island) {
+  return obs::registry().counter("island.island" + std::to_string(island) +
+                                 ".immigrants");
+}
+
+obs::Gauge& island_best_gauge(unsigned island) {
+  return obs::registry().gauge("island.island" + std::to_string(island) +
+                               ".best_n_r");
+}
+
+} // namespace
+
+std::vector<unsigned> donors_for(core::Topology topology, unsigned island,
+                                 unsigned islands) {
+  std::vector<unsigned> donors;
+  if (islands < 2) return donors;
+  switch (topology) {
+    case core::Topology::kNone:
+      break;
+    case core::Topology::kRing:
+      donors.push_back((island + islands - 1) % islands);
+      break;
+    case core::Topology::kStar:
+      if (island == 0) {
+        for (unsigned j = 1; j < islands; ++j) donors.push_back(j);
+      } else {
+        donors.push_back(0);
+      }
+      break;
+    case core::Topology::kFull:
+      for (unsigned j = 0; j < islands; ++j) {
+        if (j != island) donors.push_back(j);
+      }
+      break;
+  }
+  return donors;
+}
+
+std::string island_state_path(const std::string& state_dir, unsigned island) {
+  return state_dir + "/island-" + std::to_string(island) + ".ckpt";
+}
+
+std::string fleet_manifest_path(const std::string& state_dir) {
+  return state_dir + "/fleet.json";
+}
+
+SliceResult LocalSliceExecutor::run(const Slice& slice,
+                                    std::span<const tt::TruthTable> spec,
+                                    const core::EvolveParams& params,
+                                    const robust::EvolveCheckpoint& state) {
+  (void)slice; // params.checkpoint_path already names the state file
+  core::EvolveResult r = core::detail::evolve_continue_impl(state, spec,
+                                                            params);
+  SliceResult out;
+  out.stop_reason = r.stop_reason;
+  out.state.seed = params.seed;
+  out.state.lambda = params.lambda;
+  out.state.mu = params.mutation.mu;
+  out.state.generations_total = params.generations;
+  out.state.generation = r.generations_run;
+  out.state.evaluations = r.evaluations;
+  out.state.improvements = r.improvements;
+  out.state.sat_confirmations = r.sat_confirmations;
+  out.state.sat_cec_conflicts = r.sat_cec_conflicts;
+  out.state.since_improvement = r.since_improvement;
+  out.state.last_improvement_gen = r.last_improvement_gen;
+  out.state.elapsed_seconds = r.seconds;
+  out.state.fitness = r.best_fitness;
+  out.state.mutations_attempted = r.mutations_attempted;
+  out.state.mutations_accepted = r.mutations_accepted;
+  out.state.parent = std::move(r.best);
+  return out;
+}
+
+RemoteSliceExecutor::RemoteSliceExecutor(std::vector<std::string> endpoints)
+    : endpoints_(std::move(endpoints)) {
+  if (endpoints_.empty()) {
+    throw std::invalid_argument(
+        "island: remote executor needs at least one endpoint");
+  }
+}
+
+SliceResult RemoteSliceExecutor::run(const Slice& slice,
+                                     std::span<const tt::TruthTable> spec,
+                                     const core::EvolveParams& params,
+                                     const robust::EvolveCheckpoint& state) {
+  if (slice.checkpoint_path.empty()) {
+    throw std::invalid_argument(
+        "island: remote islands need a file-backed fleet (set state_dir)");
+  }
+  const core::EvolveParams defaults;
+  if (params.mutation.mu != defaults.mutation.mu ||
+      params.sat_verify_improvements || params.disable_shrink) {
+    throw std::invalid_argument(
+        "island: remote islands run with daemon-default evolve parameters; "
+        "custom mutation/SAT/shrink settings are local-only");
+  }
+  if (spec.size() > core::kMaxRequestSpecOutputs ||
+      (!spec.empty() && spec.front().num_vars() > core::kMaxRequestSpecVars)) {
+    throw std::invalid_argument(
+        "island: spec too wide for an inline serve request");
+  }
+  (void)state; // the coordinator saved it at slice.checkpoint_path already
+
+  core::SynthesisRequest r;
+  r.id = "island-" + std::to_string(slice.island);
+  r.spec.assign(spec.begin(), spec.end());
+  r.algorithm = core::Algorithm::kEvolve;
+  r.generations = params.generations;
+  r.seed = params.seed;
+  r.lambda = params.lambda;
+  r.threads = params.threads;
+  r.max_generations = params.budget.max_generations;
+  r.max_evaluations = params.budget.max_evaluations;
+  r.stagnation_limit = params.stagnation_limit;
+  r.deadline_seconds = params.time_limit_seconds > 0.0
+                           ? params.time_limit_seconds
+                           : params.budget.deadline_seconds;
+  // A cache hit would skip the evolution slice entirely — forbid it.
+  r.cache = core::CachePolicy::kOff;
+
+  const std::string& address = endpoints_[slice.island % endpoints_.size()];
+  // One connection per slice: Client is not thread-safe and slices of
+  // different islands run concurrently.
+  serve::Client client(address);
+  const core::SynthesisResponse resp = client.submit(r);
+
+  SliceResult out;
+  out.state = robust::load_checkpoint(slice.checkpoint_path);
+  if (out.state.seed != params.seed || out.state.lambda != params.lambda ||
+      out.state.generations_total != params.generations) {
+    throw std::runtime_error(
+        "island: daemon at " + address + " did not advance " + r.id +
+        " (is its --checkpoint-dir pointing at the fleet state_dir?)");
+  }
+  if (!resp.ok && resp.stop_reason != "stop-requested") {
+    throw std::runtime_error("island: remote slice " + r.id + " failed at " +
+                             address + ": " + resp.error);
+  }
+  out.stop_reason = robust::parse_stop_reason(resp.stop_reason);
+  return out;
+}
+
+core::EvolveResult run_fleet(const rqfp::Netlist& initial,
+                             std::span<const tt::TruthTable> spec,
+                             const core::EvolveParams& params,
+                             const FleetOptions& options) {
+  if (options.islands == 0) {
+    throw std::invalid_argument("island: islands must be >= 1");
+  }
+  if (options.resume && options.state_dir.empty()) {
+    throw std::invalid_argument("island: resume requires a state_dir");
+  }
+
+  static obs::Counter& c_fleets = obs::registry().counter("island.fleets");
+  static obs::Counter& c_epochs = obs::registry().counter("island.epochs");
+  static obs::Counter& c_offered =
+      obs::registry().counter("island.migrations.offered");
+  static obs::Counter& c_accepted =
+      obs::registry().counter("island.migrations.accepted");
+  static obs::Counter& c_rejected =
+      obs::registry().counter("island.migrations.rejected");
+  static obs::Counter& c_evals =
+      obs::registry().counter("evolve.evaluations");
+  static obs::Gauge& g_islands = obs::registry().gauge("island.islands");
+
+  util::Stopwatch watch;
+  c_fleets.inc();
+  g_islands.set(static_cast<double>(options.islands));
+
+  const unsigned N = options.islands;
+  const core::Topology topo = options.topology;
+  const bool multistart = topo == core::Topology::kNone;
+  const std::uint64_t interval = multistart ? 0 : options.migration_interval;
+  const unsigned channel =
+      options.migration_size == 0 ? 1 : options.migration_size;
+  const bool files = !options.state_dir.empty();
+  LocalSliceExecutor local;
+  SliceExecutor* executor =
+      options.executor != nullptr ? options.executor : &local;
+
+  const std::uint64_t user_max = params.budget.max_generations;
+  std::vector<IslandPlan> plan(N);
+  const std::uint64_t base = params.generations / N;
+  const std::uint64_t rem = params.generations % N;
+  for (unsigned i = 0; i < N; ++i) {
+    plan[i].seed = params.seed + i;
+    plan[i].total =
+        multistart ? base + (i < rem ? 1 : 0) : params.generations;
+    plan[i].cap = user_max != 0 ? std::min(user_max, plan[i].total)
+                                : plan[i].total;
+  }
+  // Multistart historically split the wall-clock limit across restarts.
+  const double time_limit = (multistart && params.time_limit_seconds > 0.0)
+                                ? params.time_limit_seconds / N
+                                : params.time_limit_seconds;
+
+  // Slice parameter template. Traces and improvement callbacks stay with
+  // the coordinator: per-island improvement streams interleave
+  // non-monotonically fleet-wide, so slices run silent and the coordinator
+  // emits island_* events at epoch boundaries instead.
+  core::EvolveParams sp = params;
+  sp.trace = nullptr;
+  sp.on_improvement = nullptr;
+  sp.checkpoint_path.clear();
+  sp.time_limit_seconds = time_limit;
+
+  std::vector<std::optional<robust::EvolveCheckpoint>> state(N);
+  std::vector<std::uint8_t> done(N, 0);
+  std::vector<StopReason> reason(N, StopReason::kCompleted);
+  std::uint64_t epoch = 0;
+  std::uint64_t offered = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::vector<std::uint64_t> immigrants(N, 0);
+
+  const auto state_path = [&](unsigned i) {
+    return files ? island_state_path(options.state_dir, i) : std::string();
+  };
+
+  const auto save_manifest = [&](const std::vector<unsigned>& pending) {
+    if (!files) return;
+    obs::json::Writer w;
+    w.begin_object();
+    w.field("schema", std::uint64_t{1});
+    w.field("seed", params.seed);
+    w.field("lambda", params.lambda);
+    w.field("mu", params.mutation.mu);
+    w.field("generations", params.generations);
+    w.field("islands", N);
+    w.field("topology", core::to_string(topo));
+    w.field("migration_interval", interval);
+    w.field("migration_size", channel);
+    w.field("epoch", epoch);
+    w.field("migrations_offered", offered);
+    w.field("migrations_accepted", accepted);
+    w.field("migrations_rejected", rejected);
+    w.key("pending").begin_array();
+    for (unsigned i : pending) w.value(i);
+    w.end_array();
+    w.key("islands_state").begin_array();
+    for (unsigned i = 0; i < N; ++i) {
+      w.begin_object();
+      w.field("island", i);
+      w.field("started", state[i].has_value());
+      w.field("done", done[i] != 0);
+      w.field("reason", std::string_view(robust::to_string(reason[i])));
+      w.field("generation", state[i] ? state[i]->generation : 0);
+      w.field("evaluations", state[i] ? state[i]->evaluations : 0);
+      w.field("immigrants", immigrants[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    write_text_atomic(fleet_manifest_path(options.state_dir), w.str());
+  };
+
+  // --- On-disk state: resume continues a fleet, fresh wipes leftovers. ---
+  if (files) {
+    std::filesystem::create_directories(options.state_dir);
+    const std::string manifest = fleet_manifest_path(options.state_dir);
+    if (options.resume) {
+      if (std::filesystem::exists(manifest)) {
+        const ManifestData m = load_manifest(manifest);
+        if (m.seed != params.seed || m.lambda != params.lambda ||
+            m.mu != params.mutation.mu ||
+            m.generations != params.generations || m.islands != N ||
+            m.topology != core::to_string(topo) ||
+            m.migration_interval != interval || m.migration_size != channel) {
+          throw std::invalid_argument(
+              "island: fleet manifest " + manifest +
+              " was written under a different fleet configuration "
+              "(seed/islands/topology/migration/generations/lambda/mu "
+              "mismatch)");
+        }
+        epoch = m.epoch;
+        offered = m.offered;
+        accepted = m.accepted;
+        rejected = m.rejected;
+        for (unsigned i = 0; i < N && i < m.immigrants.size(); ++i) {
+          immigrants[i] = m.immigrants[i];
+        }
+        // Finish the committed migration: `pending` renames are re-applied;
+        // every other leftover .next is an uncommitted pre-computation from
+        // a crash before the commit point — discard it so the exchange is
+        // recomputed from the intact pre-migration states.
+        for (unsigned i : m.pending) {
+          const std::string next = state_path(i) + ".next";
+          if (i < N && std::filesystem::exists(next)) {
+            std::filesystem::rename(next, state_path(i));
+          }
+        }
+      }
+      std::error_code ec;
+      for (unsigned i = 0; i < N; ++i) {
+        std::filesystem::remove(state_path(i) + ".next", ec);
+      }
+      for (unsigned i = 0; i < N; ++i) {
+        if (!std::filesystem::exists(state_path(i))) continue;
+        robust::EvolveCheckpoint ck = robust::load_checkpoint(state_path(i));
+        if (ck.seed != plan[i].seed || ck.lambda != params.lambda ||
+            ck.mu != params.mutation.mu ||
+            ck.generations_total != plan[i].total) {
+          throw std::invalid_argument(
+              "island: checkpoint " + state_path(i) +
+              " was taken under a different fleet configuration");
+        }
+        state[i] = std::move(ck);
+      }
+    } else {
+      // Fresh fleet: clear every island file a previous run left here
+      // (including ones beyond this fleet's island count).
+      std::vector<std::filesystem::path> stale;
+      std::error_code ec;
+      for (const auto& entry :
+           std::filesystem::directory_iterator(options.state_dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name == "fleet.json" || name == "fleet.json.tmp" ||
+            name.rfind("island-", 0) == 0) {
+          stale.push_back(entry.path());
+        }
+      }
+      for (const auto& p : stale) std::filesystem::remove(p, ec);
+    }
+  }
+
+  // Classify islands whose restored state is already terminal.
+  for (unsigned i = 0; i < N; ++i) {
+    if (!state[i]) continue;
+    if (const auto r = settled_reason(*state[i], plan[i], params, time_limit)) {
+      done[i] = 1;
+      reason[i] = *r;
+    }
+  }
+
+  save_manifest({});
+
+  if (params.trace != nullptr) {
+    params.trace->event("island_fleet_start")
+        .field("islands", N)
+        .field("topology", core::to_string(topo))
+        .field("migration_interval", interval)
+        .field("migration_size", channel)
+        .field("generations", params.generations)
+        .field("seed", params.seed)
+        .field("epoch", epoch)
+        .field("resumed", options.resume);
+  }
+
+  // The synthetic generation-0 state: exactly what a fresh evolve run
+  // computes before its first generation (shrunk parent, one counted
+  // evaluation), so "continue this checkpoint" is the only slice operation
+  // and a fresh island is indistinguishable from a resumed one — the key
+  // to placement-independent bit-identity.
+  const auto make_initial_state = [&](unsigned i) {
+    robust::EvolveCheckpoint ck;
+    ck.seed = plan[i].seed;
+    ck.lambda = params.lambda;
+    ck.mu = params.mutation.mu;
+    ck.generations_total = plan[i].total;
+    ck.parent = params.disable_shrink ? initial : core::shrink(initial);
+    ck.fitness = core::evaluate(ck.parent, spec, params.fitness);
+    ck.evaluations = 1;
+    c_evals.inc();
+    if (!ck.fitness.functionally_correct()) {
+      throw std::invalid_argument(
+          "evolve: initial netlist does not implement the specification");
+    }
+    return ck;
+  };
+
+  const auto boundary_for = [&](unsigned i) {
+    return interval != 0 ? std::min((epoch + 1) * interval, plan[i].cap)
+                         : plan[i].cap;
+  };
+
+  enum class SliceState : std::uint8_t { kActive, kDone, kInterrupted };
+  struct SliceLog {
+    bool ran = false;
+    std::uint64_t from = 0;
+    std::uint64_t to = 0;
+    StopReason reason = StopReason::kCompleted;
+  };
+
+  const auto run_slice = [&](unsigned i, SliceLog& log) -> SliceState {
+    if (!state[i]) {
+      state[i] = make_initial_state(i);
+      if (files) robust::save_checkpoint(*state[i], state_path(i));
+    }
+    if (const auto r =
+            settled_reason(*state[i], plan[i], params, time_limit)) {
+      done[i] = 1;
+      reason[i] = *r;
+      return SliceState::kDone;
+    }
+    const std::uint64_t b = boundary_for(i);
+    if (state[i]->generation >= b) {
+      // Mid-commit resume replay: the slice already reached this boundary.
+      return SliceState::kActive;
+    }
+    core::EvolveParams p = sp;
+    p.seed = plan[i].seed;
+    p.generations = plan[i].total;
+    p.budget.max_generations = b < plan[i].total ? b : user_max;
+    p.checkpoint_path = state_path(i);
+    Slice s;
+    s.island = i;
+    s.epoch = epoch;
+    s.checkpoint_path = p.checkpoint_path;
+    log.ran = true;
+    log.from = state[i]->generation;
+    SliceResult r = executor->run(s, spec, p, *state[i]);
+    state[i] = std::move(r.state);
+    log.to = state[i]->generation;
+    log.reason = r.stop_reason;
+    if (r.stop_reason == StopReason::kStopRequested) {
+      return SliceState::kInterrupted;
+    }
+    if (r.stop_reason == StopReason::kTimeLimit &&
+        !(time_limit > 0.0 && state[i]->elapsed_seconds > time_limit)) {
+      // The fleet deadline tripped, not the island's own time limit:
+      // resumable interruption, not a terminal island state.
+      return SliceState::kInterrupted;
+    }
+    const auto s2 = settled_reason(*state[i], plan[i], params, time_limit);
+    if (r.stop_reason == StopReason::kGenerationBudget &&
+        state[i]->generation >= b && b < plan[i].cap && !s2) {
+      return SliceState::kActive; // parked at the migration boundary
+    }
+    done[i] = 1;
+    reason[i] =
+        (r.stop_reason == StopReason::kGenerationBudget && s2) ? *s2
+                                                               : r.stop_reason;
+    return SliceState::kDone;
+  };
+
+  const auto trace_slice = [&](unsigned i, const SliceLog& log) {
+    if (params.trace == nullptr || !log.ran) return;
+    params.trace->event("island_slice")
+        .field("island", i)
+        .field("epoch", epoch)
+        .field("from", log.from)
+        .field("to", log.to)
+        .field("reason", std::string_view(robust::to_string(log.reason)))
+        .field("n_r", state[i]->fitness.n_r);
+  };
+
+  StopReason fleet_reason = StopReason::kCompleted;
+  bool finished_all = false;
+
+  if (multistart) {
+    // Sequential, with the retired evolve_multistart's exact scheduling
+    // semantics: stop check, then remaining-deadline check, then the run.
+    for (unsigned i = 0; i < N; ++i) {
+      if (done[i]) continue;
+      if (params.budget.stop_requested()) {
+        fleet_reason = StopReason::kStopRequested;
+        break;
+      }
+      if (params.budget.deadline_seconds > 0.0) {
+        const double remaining =
+            params.budget.deadline_seconds - watch.seconds();
+        if (remaining <= 0.0) {
+          fleet_reason = StopReason::kTimeLimit;
+          break;
+        }
+        sp.budget.deadline_seconds = remaining;
+      }
+      if (params.trace != nullptr) {
+        // Legacy multistart observability contract: one `restart` event per
+        // run, kept so traces of `algorithm=multistart` read as before.
+        params.trace->event("restart")
+            .field("index", static_cast<std::uint64_t>(i))
+            .field("of", static_cast<std::uint64_t>(N))
+            .field("seed", plan[i].seed)
+            .field("generations", plan[i].total);
+      }
+      SliceLog log;
+      const SliceState s = run_slice(i, log);
+      trace_slice(i, log);
+      if (s == SliceState::kInterrupted) {
+        fleet_reason = log.reason == StopReason::kStopRequested
+                           ? StopReason::kStopRequested
+                           : StopReason::kTimeLimit;
+        break;
+      }
+    }
+    save_manifest({});
+  } else {
+    std::uint64_t epochs_this_call = 0;
+    while (true) {
+      std::vector<unsigned> active;
+      for (unsigned i = 0; i < N; ++i) {
+        if (!done[i]) active.push_back(i);
+      }
+      if (active.empty()) {
+        finished_all = true;
+        break;
+      }
+      if (params.budget.stop_requested()) {
+        fleet_reason = StopReason::kStopRequested;
+        break;
+      }
+      if (params.budget.deadline_seconds > 0.0 &&
+          watch.seconds() >= params.budget.deadline_seconds) {
+        fleet_reason = StopReason::kTimeLimit;
+        break;
+      }
+      if (options.max_epochs != 0 && epochs_this_call >= options.max_epochs) {
+        fleet_reason = StopReason::kGenerationBudget;
+        break;
+      }
+
+      // Run this epoch's slices. Concurrency is a pure throughput knob:
+      // slices touch disjoint islands and the exchange below happens only
+      // after every slice joined.
+      std::vector<SliceLog> logs(active.size());
+      std::vector<SliceState> outcome(active.size(), SliceState::kActive);
+      std::vector<std::exception_ptr> errors(active.size());
+      {
+        const unsigned par =
+            options.parallelism != 0
+                ? static_cast<unsigned>(std::min<std::size_t>(
+                      options.parallelism, active.size()))
+                : static_cast<unsigned>(active.size());
+        std::atomic<std::size_t> next{0};
+        const auto worker = [&] {
+          for (std::size_t k = next.fetch_add(1); k < active.size();
+               k = next.fetch_add(1)) {
+            try {
+              outcome[k] = run_slice(active[k], logs[k]);
+            } catch (...) {
+              errors[k] = std::current_exception();
+            }
+          }
+        };
+        if (par <= 1) {
+          worker();
+        } else {
+          std::vector<std::thread> threads;
+          threads.reserve(par);
+          for (unsigned t = 0; t < par; ++t) threads.emplace_back(worker);
+          for (std::thread& t : threads) t.join();
+        }
+      }
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        if (errors[k]) {
+          // Every island that finished its slice is already checkpointed
+          // (file-backed fleets), so the fleet stays resumable after the
+          // cause — e.g. a killed worker daemon — is fixed.
+          std::rethrow_exception(errors[k]);
+        }
+      }
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        trace_slice(active[k], logs[k]);
+      }
+
+      bool interrupted = false;
+      bool stop_requested = false;
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        if (outcome[k] == SliceState::kInterrupted) {
+          interrupted = true;
+          stop_requested |= logs[k].reason == StopReason::kStopRequested;
+        }
+      }
+      if (interrupted) {
+        fleet_reason = stop_requested ? StopReason::kStopRequested
+                                      : StopReason::kTimeLimit;
+        save_manifest({});
+        break;
+      }
+
+      // Deterministic elite exchange at the epoch boundary, computed from
+      // the pre-migration snapshot so adoption order cannot matter. Done
+      // islands still donate; only active islands accept.
+      struct Adoption {
+        unsigned to = 0;
+        unsigned from = 0;
+      };
+      std::vector<Adoption> adoptions;
+      std::uint64_t offered_now = 0;
+      if (interval != 0 && N > 1) {
+        for (unsigned i = 0; i < N; ++i) {
+          if (done[i] || !state[i]) continue;
+          const std::vector<unsigned> donors = donors_for(topo, i, N);
+          const std::size_t considered =
+              std::min<std::size_t>(channel, donors.size());
+          int best = -1;
+          for (std::size_t d = 0; d < considered; ++d) {
+            const unsigned j = donors[d];
+            if (!state[j]) continue;
+            const core::Fitness& against =
+                best < 0 ? state[i]->fitness : state[best]->fitness;
+            if (state[j]->fitness.strictly_better(against)) {
+              best = static_cast<int>(j);
+            }
+          }
+          offered += considered;
+          offered_now += considered;
+          c_offered.inc(considered);
+          if (best >= 0) {
+            adoptions.push_back({i, static_cast<unsigned>(best)});
+            ++accepted;
+            rejected += considered - 1;
+            c_accepted.inc();
+            c_rejected.inc(considered - 1);
+          } else {
+            rejected += considered;
+            c_rejected.inc(considered);
+          }
+        }
+      }
+
+      // Apply adoptions: the immigrant elite replaces the parent and the
+      // stagnation clock restarts. Two-phase commit for file-backed
+      // fleets: .next states first, the manifest epoch bump is the commit
+      // point, then the renames — a kill anywhere leaves a resumable,
+      // bit-identical fleet.
+      std::vector<robust::EvolveCheckpoint> next_states;
+      next_states.reserve(adoptions.size());
+      std::vector<unsigned> pending;
+      pending.reserve(adoptions.size());
+      for (const Adoption& a : adoptions) {
+        robust::EvolveCheckpoint ns = *state[a.to];
+        ns.parent = state[a.from]->parent;
+        ns.fitness = state[a.from]->fitness;
+        ns.since_improvement = 0;
+        ns.last_improvement_gen = ns.generation;
+        next_states.push_back(std::move(ns));
+        pending.push_back(a.to);
+      }
+      if (files) {
+        for (std::size_t k = 0; k < adoptions.size(); ++k) {
+          robust::save_checkpoint(next_states[k],
+                                  state_path(adoptions[k].to) + ".next");
+        }
+      }
+      ++epoch;
+      ++epochs_this_call;
+      c_epochs.inc();
+      save_manifest(pending); // commit point
+      for (std::size_t k = 0; k < adoptions.size(); ++k) {
+        const unsigned to = adoptions[k].to;
+        state[to] = std::move(next_states[k]);
+        ++immigrants[to];
+        island_immigrant_counter(to).inc();
+        if (files) {
+          std::filesystem::rename(state_path(to) + ".next", state_path(to));
+        }
+        if (params.trace != nullptr) {
+          params.trace->event("island_migration")
+              .field("epoch", epoch)
+              .field("to", to)
+              .field("from", adoptions[k].from)
+              .field("n_r", state[to]->fitness.n_r);
+        }
+      }
+      if (params.trace != nullptr) {
+        params.trace->event("island_epoch")
+            .field("epoch", epoch)
+            .field("active", static_cast<std::uint64_t>(active.size()))
+            .field("offered", offered_now)
+            .field("accepted", static_cast<std::uint64_t>(adoptions.size()));
+      }
+    }
+
+    if (finished_all) {
+      // All islands ran to a terminal state: report their shared reason,
+      // or kCompleted for a mixed fleet.
+      fleet_reason = reason[0];
+      for (unsigned i = 1; i < N; ++i) {
+        if (reason[i] != fleet_reason) {
+          fleet_reason = StopReason::kCompleted;
+          break;
+        }
+      }
+      save_manifest({});
+    }
+  }
+
+  // --- Aggregate the islands into one EvolveResult. ---
+  core::EvolveResult out;
+  out.resumed = options.resume;
+  int best = -1;
+  for (unsigned i = 0; i < N; ++i) {
+    if (!state[i]) continue;
+    out.generations_run += state[i]->generation;
+    out.evaluations += state[i]->evaluations;
+    out.improvements += state[i]->improvements;
+    out.sat_confirmations += state[i]->sat_confirmations;
+    out.sat_cec_conflicts += state[i]->sat_cec_conflicts;
+    out.mutations_attempted += state[i]->mutations_attempted;
+    out.mutations_accepted += state[i]->mutations_accepted;
+    island_best_gauge(i).set(state[i]->fitness.n_r);
+    if (best < 0 || state[i]->fitness.strictly_better(state[best]->fitness)) {
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) {
+    // No island ran at all (deadline elapsed before the first one): fall
+    // back to the unmodified input, exactly like the retired multistart.
+    out.best = initial;
+    out.best_fitness = core::evaluate(initial, spec, params.fitness);
+    ++out.evaluations;
+  } else {
+    out.best = state[best]->parent;
+    // Re-derives Fitness::objective, which checkpoints do not carry. The
+    // evaluation is pure and deliberately uncounted: an uninterrupted
+    // single run reports the same evaluation total.
+    out.best_fitness = core::evaluate(out.best, spec, params.fitness);
+    out.since_improvement = state[best]->since_improvement;
+    out.last_improvement_gen = state[best]->last_improvement_gen;
+  }
+  out.seconds = watch.seconds();
+  out.stop_reason = fleet_reason;
+
+  if (params.trace != nullptr) {
+    params.trace->event("island_fleet_end")
+        .field("reason", std::string_view(robust::to_string(fleet_reason)))
+        .field("epoch", epoch)
+        .field("offered", offered)
+        .field("accepted", accepted)
+        .field("rejected", rejected)
+        .field("best_island",
+               best < 0 ? std::int64_t{-1} : std::int64_t{best})
+        .field("n_r", out.best_fitness.n_r);
+  }
+  return out;
+}
+
+} // namespace rcgp::island

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/evolve.hpp"
+#include "core/optimizer.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/stop.hpp"
+#include "rqfp/netlist.hpp"
+#include "tt/truth_table.hpp"
+
+namespace rcgp::island {
+
+/// Island-model evolution (docs/ISLANDS.md): N decorrelated (1+λ)
+/// lineages — island i runs seed `base_seed + i` — advance in synchronous
+/// epochs of `migration_interval` generations and exchange elites at the
+/// epoch boundaries. The whole fleet state lives in per-island
+/// robust::EvolveCheckpoint values, so a slice of island work is "continue
+/// this checkpoint to the next boundary": the same unit of work whether it
+/// runs on an in-process thread or on a remote `rcgp serve` daemon, which
+/// is what makes results bit-identical for any worker placement given
+/// (seed, topology, migration_interval).
+
+/// One unit of island work handed to a SliceExecutor.
+struct Slice {
+  unsigned island = 0;
+  std::uint64_t epoch = 0;
+  /// Island state file ("" = in-memory fleet). When set, the executor must
+  /// leave the post-slice state saved there (the local executor lets the
+  /// evolve loop checkpoint into it; the remote executor shares it with
+  /// the daemon through the daemon's --checkpoint-dir).
+  std::string checkpoint_path;
+};
+
+struct SliceResult {
+  robust::EvolveCheckpoint state;
+  robust::StopReason stop_reason = robust::StopReason::kCompleted;
+};
+
+/// Where slices run. Implementations must behave exactly like
+/// core::detail::evolve_continue_impl under the slice-specialized params
+/// (seed, generations, budget.max_generations are pre-set; trace and
+/// callbacks stripped): same trajectory, same counters. The returned state
+/// is the run state at the slice's exit boundary.
+class SliceExecutor {
+public:
+  virtual ~SliceExecutor() = default;
+  virtual SliceResult run(const Slice& slice,
+                          std::span<const tt::TruthTable> spec,
+                          const core::EvolveParams& params,
+                          const robust::EvolveCheckpoint& state) = 0;
+};
+
+/// Runs slices in-process (the default).
+class LocalSliceExecutor : public SliceExecutor {
+public:
+  SliceResult run(const Slice& slice, std::span<const tt::TruthTable> spec,
+                  const core::EvolveParams& params,
+                  const robust::EvolveCheckpoint& state) override;
+};
+
+/// Farms slices out to `rcgp serve` daemons: island i talks to
+/// `endpoints[i % endpoints.size()]` (a Unix socket path or a TCP
+/// host:port — serve::Transport::for_address decides). Each slice becomes
+/// one schema-2 SynthesisRequest with id "island-<i>" and cache=off; the
+/// daemon resumes the island from its shared checkpoint file, so the
+/// daemons must run with --checkpoint-dir pointing at the fleet's
+/// state_dir (same filesystem as the coordinator). Requires the fleet to
+/// be file-backed and the evolve params to stay at daemon defaults for
+/// everything a request cannot carry (mutation rates, SAT confirmation,
+/// fitness schedule) — violations throw std::invalid_argument.
+class RemoteSliceExecutor : public SliceExecutor {
+public:
+  explicit RemoteSliceExecutor(std::vector<std::string> endpoints);
+  SliceResult run(const Slice& slice, std::span<const tt::TruthTable> spec,
+                  const core::EvolveParams& params,
+                  const robust::EvolveCheckpoint& state) override;
+
+private:
+  std::vector<std::string> endpoints_;
+};
+
+struct FleetOptions {
+  unsigned islands = 1;
+  core::Topology topology = core::Topology::kRing;
+  /// Epoch length in generations (0 = no migration: one epoch per island).
+  std::uint64_t migration_interval = 0;
+  /// Donor-channel capacity: each island pulls from the first
+  /// `migration_size` donors of its topology donor order.
+  unsigned migration_size = 1;
+  /// Directory for island-<i>.ckpt files + fleet.json (empty = in-memory
+  /// only; required for resume and for RemoteSliceExecutor).
+  std::string state_dir;
+  /// Continue an interrupted fleet from state_dir: islands restart from
+  /// their last checkpoints (mid-slice ones included) and the run finishes
+  /// bit-identical to one that was never killed.
+  bool resume = false;
+  /// Not owned; nullptr = LocalSliceExecutor.
+  SliceExecutor* executor = nullptr;
+  /// Concurrent slices per epoch (0 = one thread per island). Ignored for
+  /// Topology::kNone, which runs islands sequentially to reproduce the
+  /// historical multistart semantics exactly.
+  unsigned parallelism = 0;
+  /// Run at most this many epochs in this call (0 = until done). An early
+  /// exit reports StopReason::kGenerationBudget and leaves the fleet
+  /// resumable — the epoch-stepping hook used by tests and schedulers.
+  std::uint64_t max_epochs = 0;
+};
+
+/// Donor islands of `island` under `topology` (deterministic, in fixed
+/// donor order): ring = the left neighbor, star = every leaf for the hub
+/// (island 0) and the hub for every leaf, full = everyone else ascending,
+/// none = nobody.
+std::vector<unsigned> donors_for(core::Topology topology, unsigned island,
+                                 unsigned islands);
+
+/// Paths of the fleet's on-disk state inside `state_dir`.
+std::string island_state_path(const std::string& state_dir, unsigned island);
+std::string fleet_manifest_path(const std::string& state_dir);
+
+/// Runs an island fleet to completion (or interruption) and aggregates the
+/// islands into one EvolveResult: best netlist by index-order
+/// strictly-better scan, counters summed across islands. With
+/// Topology::kNone the generation budget is split across islands
+/// (base + remainder) and the run reproduces the retired
+/// evolve_multistart bit-identically; with any other topology every
+/// island runs the full `params.generations` budget.
+core::EvolveResult run_fleet(const rqfp::Netlist& initial,
+                             std::span<const tt::TruthTable> spec,
+                             const core::EvolveParams& params,
+                             const FleetOptions& options);
+
+} // namespace rcgp::island

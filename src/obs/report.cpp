@@ -397,6 +397,43 @@ void report_metrics(std::string& out, const std::string& path) {
     }
   }
 
+  // Island digest (docs/ISLANDS.md): fleet shape, migration traffic, and
+  // the per-island best costs and immigrant tallies.
+  {
+    const json::Value* gauges = registry->find("gauges");
+    const json::Value* counters = registry->find("counters");
+    const double fleets =
+        counters ? counters->number_or("island.fleets", 0) : 0;
+    if (fleets > 0) {
+      const double offered =
+          counters->number_or("island.migrations.offered", 0);
+      const double accepted =
+          counters->number_or("island.migrations.accepted", 0);
+      out += "  islands:\n";
+      appendf(out, "    fleets              %.0f (%.0f islands last)\n",
+              fleets, gauges ? gauges->number_or("island.islands", 0) : 0);
+      appendf(out, "    epochs              %.0f\n",
+              counters->number_or("island.epochs", 0));
+      appendf(out, "    migrations          %.0f offered, %.0f accepted "
+                   "(%.1f%%), %.0f rejected\n",
+              offered, accepted,
+              offered > 0 ? 100.0 * accepted / offered : 0.0,
+              counters->number_or("island.migrations.rejected", 0));
+      for (unsigned i = 0;; ++i) {
+        const std::string prefix = "island.island" + std::to_string(i);
+        const json::Value* best =
+            gauges ? gauges->find(prefix + ".best_n_r") : nullptr;
+        if (best == nullptr) {
+          break;
+        }
+        appendf(out, "    island %-3u          best n_r %-6.0f "
+                     "immigrants %.0f\n",
+                i, best->as_number(),
+                counters->number_or(prefix + ".immigrants", 0));
+      }
+    }
+  }
+
   if (const json::Value* gauges = registry->find("gauges")) {
     bool header = false;
     for (const auto& [name, v] : gauges->members()) {

@@ -1,6 +1,7 @@
 #include "robust/stop.hpp"
 
 #include <csignal>
+#include <stdexcept>
 
 namespace rcgp::robust {
 
@@ -14,6 +15,18 @@ std::string to_string(StopReason reason) {
     case StopReason::kStopRequested: return "stop-requested";
   }
   return "unknown";
+}
+
+StopReason parse_stop_reason(const std::string& name) {
+  if (name == "completed" || name == "resumed-complete") {
+    return StopReason::kCompleted;
+  }
+  if (name == "stagnation") return StopReason::kStagnation;
+  if (name == "time-limit") return StopReason::kTimeLimit;
+  if (name == "generation-budget") return StopReason::kGenerationBudget;
+  if (name == "evaluation-budget") return StopReason::kEvaluationBudget;
+  if (name == "stop-requested") return StopReason::kStopRequested;
+  throw std::invalid_argument("unknown stop reason '" + name + "'");
 }
 
 namespace {

@@ -21,6 +21,9 @@ enum class StopReason : std::uint8_t {
 /// Stable string used in traces, logs, and the CLI ("completed",
 /// "stagnation", "time-limit", ...).
 std::string to_string(StopReason reason);
+/// Inverse of to_string ("resumed-complete" also maps to kCompleted);
+/// throws std::invalid_argument on unknown names.
+StopReason parse_stop_reason(const std::string& name);
 
 /// Cooperative cancellation flag. Loops poll `stop_requested()` between
 /// offspring evaluations, so a trip is honored within one evaluation — not

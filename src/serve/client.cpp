@@ -4,8 +4,8 @@
 
 namespace rcgp::serve {
 
-Client::Client(const std::string& socket_path)
-    : fd_(connect_unix(socket_path)), reader_(fd_.get()) {}
+Client::Client(const std::string& address)
+    : fd_(Transport::for_address(address)->connect()), reader_(fd_.get()) {}
 
 core::SynthesisResponse Client::submit(const core::SynthesisRequest& request) {
   return submit_line(core::to_json(request));

@@ -12,8 +12,9 @@ namespace rcgp::serve {
 class Client {
 public:
   /// Connects immediately; throws std::runtime_error when the daemon is
-  /// not listening at `socket_path`.
-  explicit Client(const std::string& socket_path);
+  /// not listening at `address` — a Unix socket path or a TCP "host:port"
+  /// (Transport::for_address decides).
+  explicit Client(const std::string& address);
 
   /// Round-trips one request. Throws std::runtime_error when the
   /// connection drops and io::ParseError when the response line is not a

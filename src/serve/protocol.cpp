@@ -1,9 +1,13 @@
 #include "serve/protocol.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -81,6 +85,174 @@ Fd connect_unix(const std::string& path) {
     fail_errno("connect " + path);
   }
   return fd;
+}
+
+namespace {
+
+/// Resolved addresses for `host:port` (AF_UNSPEC: v4 and v6). Throws on
+/// resolution failure; the caller frees with freeaddrinfo.
+addrinfo* resolve_tcp(const std::string& host, std::uint16_t port,
+                      bool passive) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = passive ? AI_PASSIVE : 0;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               service.c_str(), &hints, &res);
+  if (rc != 0) {
+    throw std::runtime_error("serve: cannot resolve " +
+                             (host.empty() ? std::string("*") : host) + ":" +
+                             service + ": " + ::gai_strerror(rc));
+  }
+  return res;
+}
+
+} // namespace
+
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  addrinfo* res = resolve_tcp(host, port, /*passive=*/true);
+  std::string last_error = "no addresses resolved";
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd.get(), backlog) != 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    ::freeaddrinfo(res);
+    return fd;
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("serve: cannot listen on " +
+                           (host.empty() ? std::string("*") : host) + ":" +
+                           std::to_string(port) + ": " + last_error);
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  addrinfo* res = resolve_tcp(host, port, /*passive=*/false);
+  std::string last_error = "no addresses resolved";
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    ::freeaddrinfo(res);
+    return fd;
+  }
+  ::freeaddrinfo(res);
+  throw std::runtime_error("serve: connect " + host + ":" +
+                           std::to_string(port) + ": " + last_error);
+}
+
+std::string local_address(int fd) {
+  sockaddr_storage ss{};
+  socklen_t len = sizeof(ss);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0) {
+    fail_errno("getsockname");
+  }
+  char host[INET6_ADDRSTRLEN] = {};
+  if (ss.ss_family == AF_INET) {
+    const auto* in = reinterpret_cast<const sockaddr_in*>(&ss);
+    ::inet_ntop(AF_INET, &in->sin_addr, host, sizeof(host));
+    return std::string(host) + ":" + std::to_string(ntohs(in->sin_port));
+  }
+  if (ss.ss_family == AF_INET6) {
+    const auto* in6 = reinterpret_cast<const sockaddr_in6*>(&ss);
+    ::inet_ntop(AF_INET6, &in6->sin6_addr, host, sizeof(host));
+    return "[" + std::string(host) +
+           "]:" + std::to_string(ntohs(in6->sin6_port));
+  }
+  if (ss.ss_family == AF_UNIX) {
+    const auto* un = reinterpret_cast<const sockaddr_un*>(&ss);
+    return std::string(un->sun_path);
+  }
+  return "?";
+}
+
+namespace {
+
+class UnixTransport final : public Transport {
+public:
+  explicit UnixTransport(std::string path) : path_(std::move(path)) {}
+  Fd listen(int backlog) override { return listen_unix(path_, backlog); }
+  Fd connect() override { return connect_unix(path_); }
+  std::string describe() const override { return path_; }
+  void cleanup() override { ::unlink(path_.c_str()); }
+
+private:
+  std::string path_;
+};
+
+class TcpTransport final : public Transport {
+public:
+  TcpTransport(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+  Fd listen(int backlog) override { return listen_tcp(host_, port_, backlog); }
+  Fd connect() override { return connect_tcp(host_, port_); }
+  std::string describe() const override {
+    return host_ + ":" + std::to_string(port_);
+  }
+  void cleanup() override {} // nothing lives on disk
+
+private:
+  std::string host_;
+  std::uint16_t port_;
+};
+
+} // namespace
+
+std::unique_ptr<Transport> Transport::unix_socket(std::string path) {
+  return std::make_unique<UnixTransport>(std::move(path));
+}
+
+std::unique_ptr<Transport> Transport::tcp(std::string host,
+                                          std::uint16_t port) {
+  return std::make_unique<TcpTransport>(std::move(host), port);
+}
+
+std::unique_ptr<Transport> Transport::for_address(const std::string& address) {
+  if (address.empty()) {
+    throw std::invalid_argument("serve: empty address");
+  }
+  const std::size_t colon = address.rfind(':');
+  if (colon != std::string::npos && colon + 1 < address.size() &&
+      colon > 0) {
+    const std::string port_str = address.substr(colon + 1);
+    bool numeric = true;
+    for (const char c : port_str) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+    }
+    if (numeric) {
+      const unsigned long port = std::stoul(port_str);
+      if (port > 65535) {
+        throw std::invalid_argument("serve: TCP port out of range in \"" +
+                                    address + "\"");
+      }
+      std::string host = address.substr(0, colon);
+      // Strip IPv6 brackets ("[::1]:7000").
+      if (host.size() >= 2 && host.front() == '[' && host.back() == ']') {
+        host = host.substr(1, host.size() - 2);
+      }
+      return tcp(std::move(host), static_cast<std::uint16_t>(port));
+    }
+  }
+  return unix_socket(address);
 }
 
 bool wait_readable(int fd, int timeout_ms) {

@@ -3,7 +3,7 @@
 #include <cctype>
 #include <chrono>
 #include <condition_variable>
-#include <cstdio>
+#include <filesystem>
 #include <thread>
 
 #include <sys/socket.h>
@@ -80,7 +80,15 @@ void Server::start() {
   if (running_) {
     return;
   }
-  listener_ = listen_unix(options_.socket_path);
+  transport_ = options_.listen.empty()
+                   ? Transport::unix_socket(options_.socket_path)
+                   : Transport::for_address(options_.listen);
+  listener_ = transport_->listen();
+  // The kernel-resolved endpoint (an ephemeral TCP port 0 becomes the
+  // real one); Unix sockets just report their path.
+  bound_address_ =
+      options_.listen.empty() ? options_.socket_path
+                              : local_address(listener_.get());
   running_ = true;
   obs::registry().gauge("serve.up").set(1.0);
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -117,7 +125,9 @@ void Server::stop() {
       c.thread.join();
     }
   }
-  std::remove(options_.socket_path.c_str());
+  if (transport_ != nullptr) {
+    transport_->cleanup(); // unlinks the socket file; no-op for TCP
+  }
   obs::registry().gauge("serve.up").set(0.0);
   running_ = false;
 }
@@ -220,6 +230,17 @@ void Server::connection(int raw_fd, std::uint64_t id) {
         batch::JobContext ctx;
         ctx.worker = static_cast<unsigned>(id);
         ctx.stop = &internal_stop_;
+        if (!options_.checkpoint_dir.empty() &&
+            job.algorithm == core::Algorithm::kEvolve) {
+          // Shared-checkpoint contract (docs/ISLANDS.md): the job's state
+          // lives at <dir>/<id>.ckpt and an existing file means "continue
+          // it" — an island coordinator pointing its state_dir here makes
+          // every daemon slice a bit-identical resume.
+          ctx.checkpoint_path =
+              options_.checkpoint_dir + "/" + job.id + ".ckpt";
+          ctx.resume_from_checkpoint =
+              std::filesystem::exists(ctx.checkpoint_path);
+        }
         const batch::JobExecution exec = options_.executor(job, ctx);
         resp = batch::response_for(job.id, exec, watch.seconds());
       } catch (const std::exception& e) {

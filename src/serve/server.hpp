@@ -21,8 +21,18 @@ struct ServerSlots;
 
 /// Configuration of the synthesis daemon (`rcgp serve`, docs/SERVICE.md).
 struct ServeOptions {
-  /// Unix-domain socket the daemon listens on.
+  /// Unix-domain socket the daemon listens on (the default transport).
   std::string socket_path = "rcgp.sock";
+  /// TCP endpoint "host:port" (`rcgp serve --listen`). When non-empty it
+  /// wins over socket_path; port 0 binds an ephemeral port — read the
+  /// actual endpoint back with Server::bound_address(). Same NDJSON
+  /// protocol and slot semantics as the Unix transport.
+  std::string listen;
+  /// Directory for per-job evolve checkpoints: every kEvolve job gets
+  /// `<dir>/<id>.ckpt` and automatically resumes from it when it already
+  /// exists — this is how an island coordinator shares slice state with
+  /// the daemon (docs/ISLANDS.md). Empty = no daemon-side checkpointing.
+  std::string checkpoint_dir;
   /// Concurrent synthesis slots across all connections (0 = hardware
   /// concurrency). Cache hits hold a slot only for microseconds, so a
   /// busy pool still drains hit traffic quickly.
@@ -64,13 +74,17 @@ public:
   void start();
 
   /// Requests shutdown, closes the listener, joins every connection
-  /// thread, and removes the socket file. Idempotent.
+  /// thread, and removes the socket file (Unix transport). Idempotent.
   void stop();
 
   /// start() + block until the external stop token (or stop()) fires.
   void run();
 
   const std::string& socket_path() const { return options_.socket_path; }
+  /// The endpoint the daemon actually listens on, valid after start():
+  /// the socket path, or "host:port" with an ephemeral port resolved.
+  /// Feed it to serve::Client or island endpoint lists as-is.
+  const std::string& bound_address() const { return bound_address_; }
   bool running() const { return running_; }
 
 private:
@@ -85,6 +99,8 @@ private:
   bool stopping() const;
 
   ServeOptions options_;
+  std::unique_ptr<Transport> transport_;
+  std::string bound_address_;
   Fd listener_;
   robust::StopToken internal_stop_;
   bool running_ = false;

@@ -42,6 +42,21 @@
 //   synth --optimizer=NAME       evolve | multistart | anneal | window
 //   synth --restarts=N           independent restarts for --optimizer=multistart
 //
+// Island model (see docs/ISLANDS.md):
+//   synth --islands=N            N decorrelated (1+λ) lineages exchanging
+//                                elites; bit-identical for any placement
+//   synth --topology=NAME        none | ring | star | full
+//   synth --migration-interval=E elite exchange every E generations
+//   synth --migration-size=K     donors considered per exchange
+//   synth --island-state=DIR     per-island checkpoints + fleet manifest
+//                                (with --resume: continue a killed fleet)
+//   synth --island-endpoints=A,B farm slices out to `rcgp serve` daemons
+//                                (Unix socket paths or TCP host:port)
+//   serve --listen=HOST:PORT     TCP transport instead of the Unix socket
+//   serve --checkpoint-dir=DIR   per-job evolve checkpoints (island workers)
+//   client --connect=ADDR        socket path or host:port
+//   batch --island-endpoints=A,B island workers for multi-island jobs
+//
 // Robustness (see docs/ROBUSTNESS.md):
 //   synth --checkpoint=c.ckpt    crash-safe periodic state snapshots
 //   synth --checkpoint-interval=N  generations between snapshots
@@ -87,6 +102,7 @@
 #include "fuzz/harness.hpp"
 #include "io/io.hpp"
 #include "io/rqfp_writer.hpp"
+#include "island/island.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
@@ -114,6 +130,26 @@ bool opt_value(const std::string& arg, const char* name, std::string& value) {
     return true;
   }
   return false;
+}
+
+/// "a,b,c" → {"a", "b", "c"} (empty pieces dropped).
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::string piece =
+        value.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+    if (!piece.empty()) {
+      out.push_back(piece);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
 }
 
 /// Shared --profile-out / --prom-out / --metrics-snapshot-every surface of
@@ -260,6 +296,11 @@ int cmd_synth(const std::vector<std::string>& args) {
                  "                 [--threads=N] "
                  "[--optimizer=evolve|multistart|anneal|window] "
                  "[--restarts=N]\n"
+                 "                 [--islands=N] "
+                 "[--topology=none|ring|star|full] [--migration-interval=E] "
+                 "[--migration-size=K]\n"
+                 "                 [--island-state=DIR] "
+                 "[--island-endpoints=ADDR,ADDR,...]\n"
                  "                 [--trace-out=t.jsonl] "
                  "[--metrics-out=m.json] [--heartbeat=N] [--progress]\n"
                  "                 [--profile-out=p.json] [--prom-out=m.prom] "
@@ -279,6 +320,7 @@ int cmd_synth(const std::vector<std::string>& args) {
   std::string metrics_path;
   std::string cache_path;
   core::CachePolicy cache_policy = core::CachePolicy::kUse;
+  std::vector<std::string> island_endpoints;
   ProfileFlags prof;
   bool progress = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
@@ -316,6 +358,18 @@ int cmd_synth(const std::vector<std::string>& args) {
       opt.optimizer = core::parse_algorithm(v);
     } else if (opt_value(args[i], "--restarts", v)) {
       opt.restarts = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--islands", v)) {
+      opt.island.islands = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--topology", v)) {
+      opt.island.topology = core::parse_topology(v);
+    } else if (opt_value(args[i], "--migration-interval", v)) {
+      opt.island.migration_interval = std::stoull(v);
+    } else if (opt_value(args[i], "--migration-size", v)) {
+      opt.island.migration_size = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--island-state", v)) {
+      opt.island.state_dir = v;
+    } else if (opt_value(args[i], "--island-endpoints", v)) {
+      island_endpoints = split_csv(v);
     } else if (opt_value(args[i], "--checkpoint", v)) {
       opt.limits.checkpoint_path = v;
     } else if (opt_value(args[i], "--checkpoint-interval", v)) {
@@ -335,9 +389,22 @@ int cmd_synth(const std::vector<std::string>& args) {
       return 2;
     }
   }
-  if (opt.resume && opt.limits.checkpoint_path.empty()) {
-    std::fprintf(stderr, "synth: --resume requires --checkpoint=PATH\n");
+  if (opt.resume && opt.limits.checkpoint_path.empty() &&
+      opt.island.state_dir.empty()) {
+    std::fprintf(stderr, "synth: --resume requires --checkpoint=PATH "
+                         "(or --island-state=DIR for island fleets)\n");
     return 2;
+  }
+  if (!island_endpoints.empty() && opt.island.state_dir.empty()) {
+    std::fprintf(stderr, "synth: --island-endpoints requires "
+                         "--island-state=DIR on a filesystem the daemons "
+                         "share (their --checkpoint-dir)\n");
+    return 2;
+  }
+  std::optional<island::RemoteSliceExecutor> remote;
+  if (!island_endpoints.empty()) {
+    remote.emplace(island_endpoints);
+    opt.island.executor = &*remote;
   }
   // First SIGINT/SIGTERM requests a cooperative stop (best-so-far is
   // written and the checkpoint flushed); a second one force-kills.
@@ -478,6 +545,8 @@ int cmd_batch(const std::vector<std::string>& args) {
       opt.default_generations = std::stoull(v);
     } else if (opt_value(args[i], "--threads-per-job", v)) {
       opt.threads_per_job = static_cast<unsigned>(std::stoul(v));
+    } else if (opt_value(args[i], "--island-endpoints", v)) {
+      opt.island_endpoints = split_csv(v);
     } else if (opt_value(args[i], "--metrics-out", v)) {
       metrics_path = v;
     } else if (opt_value(args[i], "--cache", cache_path)) {
@@ -500,6 +569,7 @@ int cmd_batch(const std::vector<std::string>& args) {
                  "[--checkpoint-interval=N]\n"
                  "                  [--generations=N] [--threads-per-job=N] "
                  "[--cache=store.rcc]\n"
+                 "                  [--island-endpoints=ADDR,ADDR,...]\n"
                  "                  [--metrics-out=m.json] "
                  "[--trace-out=t.jsonl]\n"
                  "                  [--profile-out=p.json] [--prom-out=m.prom] "
@@ -709,6 +779,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     std::string v;
     if (opt_value(args[i], "--socket", opt.socket_path) ||
+        opt_value(args[i], "--listen", opt.listen) ||
+        opt_value(args[i], "--checkpoint-dir", opt.checkpoint_dir) ||
         opt_value(args[i], "--cache", cache_path) ||
         opt_value(args[i], "--metrics-out", metrics_path) ||
         opt_value(args[i], "--trace-out", trace_path)) {
@@ -726,15 +798,21 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
   if (usage_error) {
     std::fprintf(stderr,
-                 "usage: rcgp serve [--socket=rcgp.sock] [--cache=store.rcc] "
-                 "[--workers=N]\n"
-                 "                  [--generations=N] [--threads-per-job=N] "
-                 "[--trace-out=t.jsonl]\n"
-                 "                  [--metrics-out=m.json]\n"
-                 "  NDJSON over a Unix socket: one SynthesisRequest line in, "
-                 "one SynthesisResponse\n"
-                 "  line out per connection (docs/SERVICE.md). SIGINT/SIGTERM "
-                 "shut down cleanly.\n");
+                 "usage: rcgp serve [--socket=rcgp.sock] "
+                 "[--listen=HOST:PORT] [--cache=store.rcc] [--workers=N]\n"
+                 "                  [--checkpoint-dir=DIR] [--generations=N] "
+                 "[--threads-per-job=N]\n"
+                 "                  [--trace-out=t.jsonl] "
+                 "[--metrics-out=m.json]\n"
+                 "  NDJSON over a Unix socket (or TCP with --listen; port 0 "
+                 "binds an ephemeral\n"
+                 "  port and prints it): one SynthesisRequest line in, one "
+                 "SynthesisResponse line\n"
+                 "  out per connection (docs/SERVICE.md). --checkpoint-dir "
+                 "gives every evolve job\n"
+                 "  a resumable <dir>/<id>.ckpt — the island-worker contract "
+                 "(docs/ISLANDS.md).\n"
+                 "  SIGINT/SIGTERM shut down cleanly.\n");
     return 2;
   }
   // First SIGINT/SIGTERM drains connections and persists the cache; a
@@ -764,7 +842,8 @@ int cmd_serve(const std::vector<std::string>& args) {
 
   serve::Server server(opt);
   server.start();
-  std::printf("serve: listening on %s", server.socket_path().c_str());
+  // bound_address() resolves an ephemeral --listen port to the real one.
+  std::printf("serve: listening on %s", server.bound_address().c_str());
   if (opt.workers == 0) {
     std::printf(" (hardware-concurrency worker slots)");
   } else {
@@ -799,12 +878,13 @@ int cmd_serve(const std::vector<std::string>& args) {
 }
 
 int cmd_client(const std::vector<std::string>& args) {
-  std::string socket_path = "rcgp.sock";
+  std::string address = "rcgp.sock";
   std::string input_path;
   bool usage_error = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
-    if (opt_value(args[i], "--socket", socket_path)) {
-      // value captured
+    if (opt_value(args[i], "--socket", address) ||
+        opt_value(args[i], "--connect", address)) {
+      // value captured (--connect accepts host:port or a socket path)
     } else if (args[i][0] != '-' && input_path.empty()) {
       input_path = args[i];
     } else {
@@ -814,10 +894,13 @@ int cmd_client(const std::vector<std::string>& args) {
   }
   if (usage_error) {
     std::fprintf(stderr,
-                 "usage: rcgp client [requests.jsonl] [--socket=rcgp.sock]\n"
+                 "usage: rcgp client [requests.jsonl] [--socket=rcgp.sock] "
+                 "[--connect=HOST:PORT]\n"
                  "  Submits each request line (from the file, or stdin) to a "
                  "running daemon and\n"
-                 "  prints one response line per request on stdout.\n");
+                 "  prints one response line per request on stdout. --connect "
+                 "takes a TCP\n"
+                 "  endpoint or a Unix socket path interchangeably.\n");
     return 2;
   }
   std::ifstream file;
@@ -830,7 +913,7 @@ int cmd_client(const std::vector<std::string>& args) {
     }
     in = &file;
   }
-  serve::Client client(socket_path);
+  serve::Client client(address);
   std::string line;
   std::uint64_t sent = 0;
   std::uint64_t failed = 0;

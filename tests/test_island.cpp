@@ -1,0 +1,341 @@
+// Tests for the island-model evolution layer (docs/ISLANDS.md): topology
+// donor schedules, placement/parallelism bit-identity, the multistart
+// alias, and crash-safe epoch-wise resume of a file-backed fleet.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchmarks/benchmarks.hpp"
+#include "cec/sim_cec.hpp"
+#include "core/flow.hpp"
+#include "core/optimizer.hpp"
+#include "io/rqfp_writer.hpp"
+#include "island/island.hpp"
+#include "robust/stop.hpp"
+#include "serve/server.hpp"
+
+namespace rcgp {
+namespace {
+
+using core::EvolveParams;
+using core::EvolveResult;
+using core::Topology;
+using island::FleetOptions;
+
+/// Builds the initialization netlist of a named benchmark.
+rqfp::Netlist init_netlist(const std::string& name) {
+  const auto b = benchmarks::get(name);
+  core::FlowOptions opt;
+  opt.run_cgp = false;
+  return core::synthesize(b.spec, opt).initial;
+}
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "rcgp_island_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void expect_same_result(const EvolveResult& a, const EvolveResult& b) {
+  EXPECT_EQ(io::write_rqfp_string(a.best), io::write_rqfp_string(b.best));
+  EXPECT_EQ(a.best_fitness.n_r, b.best_fitness.n_r);
+  EXPECT_EQ(a.best_fitness.n_g, b.best_fitness.n_g);
+  EXPECT_EQ(a.best_fitness.n_b, b.best_fitness.n_b);
+  EXPECT_EQ(a.generations_run, b.generations_run);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.improvements, b.improvements);
+}
+
+EvolveParams small_params(std::uint64_t generations = 600,
+                          std::uint64_t seed = 17) {
+  EvolveParams p;
+  p.generations = generations;
+  p.seed = seed;
+  return p;
+}
+
+// ---------- Topology donor schedules ----------
+
+TEST(IslandTopology, RingDonatesFromLeftNeighbor) {
+  EXPECT_EQ(island::donors_for(Topology::kRing, 0, 4),
+            (std::vector<unsigned>{3}));
+  EXPECT_EQ(island::donors_for(Topology::kRing, 1, 4),
+            (std::vector<unsigned>{0}));
+  EXPECT_EQ(island::donors_for(Topology::kRing, 3, 4),
+            (std::vector<unsigned>{2}));
+}
+
+TEST(IslandTopology, StarRoutesThroughHub) {
+  EXPECT_EQ(island::donors_for(Topology::kStar, 0, 4),
+            (std::vector<unsigned>{1, 2, 3}));
+  EXPECT_EQ(island::donors_for(Topology::kStar, 2, 4),
+            (std::vector<unsigned>{0}));
+}
+
+TEST(IslandTopology, FullConnectsEveryPair) {
+  EXPECT_EQ(island::donors_for(Topology::kFull, 1, 4),
+            (std::vector<unsigned>{0, 2, 3}));
+  EXPECT_EQ(island::donors_for(Topology::kFull, 0, 3),
+            (std::vector<unsigned>{1, 2}));
+}
+
+TEST(IslandTopology, NoneAndSingletonHaveNoDonors) {
+  EXPECT_TRUE(island::donors_for(Topology::kNone, 1, 4).empty());
+  EXPECT_TRUE(island::donors_for(Topology::kRing, 0, 1).empty());
+}
+
+// ---------- Single-island and multistart equivalence ----------
+
+TEST(IslandFleet, OneIslandMatchesPlainEvolve) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params();
+
+  core::OptimizerOptions oo;
+  oo.evolve = p;
+  const EvolveResult plain = core::Optimizer(oo).run(init, b.spec).evolve;
+
+  FleetOptions fleet;
+  fleet.islands = 1;
+  fleet.migration_interval = 100;
+  const EvolveResult one = island::run_fleet(init, b.spec, p, fleet);
+  expect_same_result(plain, one);
+}
+
+TEST(IslandFleet, TopologyNoneMatchesMultistartAlias) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params(403); // 403 = 3*134 + 1: remainder split
+
+  core::OptimizerOptions oo;
+  oo.algorithm = core::Algorithm::kMultistart;
+  oo.evolve = p;
+  oo.restarts = 3;
+  const EvolveResult alias = core::Optimizer(oo).run(init, b.spec).evolve;
+
+  FleetOptions fleet;
+  fleet.islands = 3;
+  fleet.topology = Topology::kNone;
+  const EvolveResult direct = island::run_fleet(init, b.spec, p, fleet);
+  expect_same_result(alias, direct);
+}
+
+// ---------- Placement / parallelism bit-identity ----------
+
+TEST(IslandFleet, ParallelismDoesNotChangeResults) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  const EvolveParams p = small_params(500, 29);
+
+  FleetOptions fleet;
+  fleet.islands = 3;
+  fleet.topology = Topology::kRing;
+  fleet.migration_interval = 100;
+  fleet.parallelism = 1;
+  const EvolveResult serial = island::run_fleet(init, b.spec, p, fleet);
+  fleet.parallelism = 4;
+  const EvolveResult wide = island::run_fleet(init, b.spec, p, fleet);
+  expect_same_result(serial, wide);
+}
+
+TEST(IslandFleet, FileBackedMatchesInMemory) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params(400, 5);
+
+  FleetOptions fleet;
+  fleet.islands = 2;
+  fleet.topology = Topology::kRing;
+  fleet.migration_interval = 100;
+  const EvolveResult memory = island::run_fleet(init, b.spec, p, fleet);
+
+  fleet.state_dir = temp_dir("filebacked");
+  const EvolveResult disk = island::run_fleet(init, b.spec, p, fleet);
+  expect_same_result(memory, disk);
+  std::filesystem::remove_all(fleet.state_dir);
+}
+
+TEST(IslandFleet, TopologiesDivergeButAreDeterministic) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  const EvolveParams p = small_params(500, 29);
+
+  FleetOptions fleet;
+  fleet.islands = 4;
+  fleet.migration_interval = 50;
+  for (const Topology t :
+       {Topology::kRing, Topology::kStar, Topology::kFull}) {
+    fleet.topology = t;
+    const EvolveResult a = island::run_fleet(init, b.spec, p, fleet);
+    const EvolveResult c = island::run_fleet(init, b.spec, p, fleet);
+    expect_same_result(a, c);
+  }
+}
+
+// ---------- Epoch-wise resume ----------
+
+TEST(IslandFleet, EpochSteppingResumeIsBitIdentical) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params(600, 13);
+
+  FleetOptions fleet;
+  fleet.islands = 3;
+  fleet.topology = Topology::kRing;
+  fleet.migration_interval = 100;
+  const EvolveResult whole = island::run_fleet(init, b.spec, p, fleet);
+
+  // Same run, but interrupted after every epoch and resumed from disk —
+  // the killed-fleet recovery path, without the SIGKILL.
+  fleet.state_dir = temp_dir("stepping");
+  fleet.max_epochs = 1;
+  EvolveResult stepped;
+  for (int step = 0; step < 64; ++step) {
+    stepped = island::run_fleet(init, b.spec, p, fleet);
+    fleet.resume = true;
+    if (stepped.stop_reason == robust::StopReason::kCompleted) {
+      break;
+    }
+  }
+  EXPECT_EQ(stepped.stop_reason, robust::StopReason::kCompleted);
+  EXPECT_TRUE(stepped.resumed);
+  EXPECT_EQ(io::write_rqfp_string(whole.best),
+            io::write_rqfp_string(stepped.best));
+  EXPECT_EQ(whole.generations_run, stepped.generations_run);
+  EXPECT_EQ(whole.evaluations, stepped.evaluations);
+  EXPECT_EQ(whole.improvements, stepped.improvements);
+  std::filesystem::remove_all(fleet.state_dir);
+}
+
+TEST(IslandFleet, ResumeOfFinishedFleetReturnsSameResult) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params(300, 23);
+
+  FleetOptions fleet;
+  fleet.islands = 2;
+  fleet.migration_interval = 100;
+  fleet.state_dir = temp_dir("finished");
+  const EvolveResult first = island::run_fleet(init, b.spec, p, fleet);
+  fleet.resume = true;
+  const EvolveResult again = island::run_fleet(init, b.spec, p, fleet);
+  expect_same_result(first, again);
+  std::filesystem::remove_all(fleet.state_dir);
+}
+
+TEST(IslandFleet, ResumeRejectsMismatchedConfiguration) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  EvolveParams p = small_params(200, 3);
+
+  FleetOptions fleet;
+  fleet.islands = 2;
+  fleet.migration_interval = 50;
+  fleet.state_dir = temp_dir("mismatch");
+  fleet.max_epochs = 1;
+  (void)island::run_fleet(init, b.spec, p, fleet);
+
+  fleet.resume = true;
+  p.seed = 4; // different lineage seeds than the manifest records
+  EXPECT_THROW(island::run_fleet(init, b.spec, p, fleet),
+               std::invalid_argument);
+  std::filesystem::remove_all(fleet.state_dir);
+}
+
+TEST(IslandFleet, ResultsAreFunctionallyCorrect) {
+  const auto b = benchmarks::get("decoder_2_4");
+  const auto init = init_netlist("decoder_2_4");
+  FleetOptions fleet;
+  fleet.islands = 3;
+  fleet.topology = Topology::kFull;
+  fleet.migration_interval = 100;
+  const EvolveResult r =
+      island::run_fleet(init, b.spec, small_params(400, 41), fleet);
+  EXPECT_TRUE(cec::sim_check(r.best, b.spec).all_match);
+  EXPECT_EQ(r.stop_reason, robust::StopReason::kCompleted);
+}
+
+// ---------- Optimizer facade routing ----------
+
+TEST(IslandFleet, OptimizerFacadeRunsFleets) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params(400, 19);
+
+  FleetOptions fleet;
+  fleet.islands = 2;
+  fleet.topology = Topology::kRing;
+  fleet.migration_interval = 100;
+  const EvolveResult direct = island::run_fleet(init, b.spec, p, fleet);
+
+  core::OptimizerOptions oo;
+  oo.evolve = p;
+  oo.island.islands = 2;
+  oo.island.topology = Topology::kRing;
+  oo.island.migration_interval = 100;
+  const EvolveResult facade = core::Optimizer(oo).run(init, b.spec).evolve;
+  expect_same_result(direct, facade);
+}
+
+// ---------- Remote executor preconditions ----------
+
+TEST(IslandRemote, RejectsEmptyEndpointList) {
+  EXPECT_THROW(island::RemoteSliceExecutor({}), std::invalid_argument);
+}
+
+TEST(IslandRemote, RemotePlacementIsBitIdenticalToLocal) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params(400, 7);
+
+  FleetOptions fleet;
+  fleet.islands = 2;
+  fleet.topology = Topology::kRing;
+  fleet.migration_interval = 100;
+  fleet.state_dir = temp_dir("placement_local");
+  const EvolveResult local = island::run_fleet(init, b.spec, p, fleet);
+  std::filesystem::remove_all(fleet.state_dir);
+
+  // Same fleet, but every slice runs on one of two real daemons over TCP,
+  // sharing the fleet's state directory as their --checkpoint-dir.
+  fleet.state_dir = temp_dir("placement_remote");
+  std::filesystem::create_directories(fleet.state_dir);
+  std::vector<std::unique_ptr<serve::Server>> daemons;
+  std::vector<std::string> endpoints;
+  for (int d = 0; d < 2; ++d) {
+    serve::ServeOptions so;
+    so.listen = "127.0.0.1:0";
+    so.checkpoint_dir = fleet.state_dir;
+    so.workers = 1;
+    daemons.push_back(std::make_unique<serve::Server>(std::move(so)));
+    daemons.back()->start();
+    endpoints.push_back(daemons.back()->bound_address());
+  }
+  island::RemoteSliceExecutor remote(endpoints);
+  fleet.executor = &remote;
+  const EvolveResult distributed = island::run_fleet(init, b.spec, p, fleet);
+  for (auto& d : daemons) {
+    d->stop();
+  }
+  expect_same_result(local, distributed);
+  std::filesystem::remove_all(fleet.state_dir);
+}
+
+TEST(IslandRemote, RequiresFileBackedFleet) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  island::RemoteSliceExecutor remote({"/tmp/nonexistent-rcgp.sock"});
+  FleetOptions fleet;
+  fleet.islands = 2;
+  fleet.migration_interval = 50;
+  fleet.executor = &remote; // no state_dir: the daemons have no shared state
+  EXPECT_THROW(island::run_fleet(init, b.spec, small_params(100, 1), fleet),
+               std::invalid_argument);
+}
+
+} // namespace
+} // namespace rcgp

@@ -89,6 +89,79 @@ TEST(Request, RejectionsCarryTheEmbeddingFormatContext) {
   expect_request_error("not json at all", "");
 }
 
+// ---------- schema 1 / schema 2 compatibility matrix ----------
+
+TEST(RequestSchema, IslandFreeRequestsStillStampSchemaOne) {
+  SynthesisRequest r;
+  r.id = "legacy";
+  r.circuit = "c17";
+  r.generations = 1000;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"schema\":1"), std::string::npos) << json;
+  EXPECT_EQ(json.find("islands"), std::string::npos) << json;
+  EXPECT_EQ(parse_request(json), r);
+}
+
+TEST(RequestSchema, SchemaOneDocumentsParseUnchanged) {
+  const SynthesisRequest r = parse_request(
+      "{\"schema\":1,\"id\":\"j\",\"circuit\":\"c17\",\"generations\":500}");
+  EXPECT_EQ(r.islands, 0u);
+  EXPECT_EQ(r.topology, Topology::kRing);
+  EXPECT_EQ(r.migration_interval, 0u);
+  EXPECT_EQ(r.migration_size, 0u);
+}
+
+TEST(RequestSchema, IslandFieldsStampSchemaTwoAndRoundTrip) {
+  SynthesisRequest r;
+  r.id = "fleet";
+  r.circuit = "c17";
+  r.islands = 4;
+  r.topology = Topology::kStar;
+  r.migration_interval = 500;
+  r.migration_size = 2;
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"schema\":2"), std::string::npos) << json;
+  EXPECT_EQ(parse_request(json), r);
+}
+
+TEST(RequestSchema, SchemaTwoDocumentsParseExplicitly) {
+  const SynthesisRequest r = parse_request(
+      "{\"schema\":2,\"id\":\"j\",\"circuit\":\"c17\",\"islands\":3,"
+      "\"topology\":\"full\",\"migration_interval\":200,"
+      "\"migration_size\":1}");
+  EXPECT_EQ(r.islands, 3u);
+  EXPECT_EQ(r.topology, Topology::kFull);
+  EXPECT_EQ(r.migration_interval, 200u);
+  EXPECT_EQ(r.migration_size, 1u);
+}
+
+TEST(RequestSchema, IslandValidationErrors) {
+  expect_request_error("{\"schema\":2,\"id\":\"j\",\"circuit\":\"c17\","
+                       "\"algorithm\":\"anneal\",\"islands\":4}",
+                       "islands");
+  expect_request_error("{\"schema\":2,\"id\":\"j\",\"circuit\":\"c17\","
+                       "\"migration_interval\":100}",
+                       "migration_interval");
+  expect_request_error("{\"schema\":2,\"id\":\"j\",\"circuit\":\"c17\","
+                       "\"topology\":\"pentagram\",\"islands\":2}",
+                       "topology");
+}
+
+TEST(RequestSchema, OptimizerOptionsCarryIslandSettings) {
+  SynthesisRequest r;
+  r.id = "j";
+  r.circuit = "c17";
+  r.islands = 3;
+  r.topology = Topology::kFull;
+  r.migration_interval = 250;
+  r.migration_size = 2;
+  const OptimizerOptions o = optimizer_options_for(r);
+  EXPECT_EQ(o.island.islands, 3u);
+  EXPECT_EQ(o.island.topology, Topology::kFull);
+  EXPECT_EQ(o.island.migration_interval, 250u);
+  EXPECT_EQ(o.island.migration_size, 2u);
+}
+
 // ---------- executor expansion ----------
 
 TEST(Request, OptimizerOptionsUseDefaultsForZeroFields) {

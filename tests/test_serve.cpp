@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "batch/execute.hpp"
@@ -188,6 +190,90 @@ TEST(Server, ServesConcurrentConnections) {
     EXPECT_EQ(n, 10);
   }
   server.stop();
+}
+
+// ---------- TCP transport ----------
+
+TEST(Transport, ForAddressClassifiesEndpoints) {
+  EXPECT_EQ(Transport::for_address("127.0.0.1:7000")->describe(),
+            "127.0.0.1:7000");
+  EXPECT_EQ(Transport::for_address("[::1]:7000")->describe(), "::1:7000");
+  // No numeric port suffix → a Unix socket path, colons and all.
+  EXPECT_EQ(Transport::for_address("/tmp/rcgp.sock")->describe(),
+            "/tmp/rcgp.sock");
+  EXPECT_EQ(Transport::for_address("dir/with:colon")->describe(),
+            "dir/with:colon");
+  EXPECT_THROW(Transport::for_address(""), std::invalid_argument);
+  EXPECT_THROW(Transport::for_address("host:99999"), std::invalid_argument);
+}
+
+TEST(Transport, TcpServesTheSameProtocol) {
+  ServeOptions opt;
+  opt.listen = "127.0.0.1:0"; // ephemeral port
+  opt.workers = 2;
+  Server server(std::move(opt));
+  server.start();
+  const std::string address = server.bound_address();
+  // The kernel resolved the ephemeral port to a real one.
+  EXPECT_EQ(address.rfind("127.0.0.1:", 0), 0u) << address;
+  EXPECT_NE(address, "127.0.0.1:0");
+
+  Client client(address);
+  const core::SynthesisRequest req = small_request("tcp-and2");
+  const core::SynthesisResponse resp = client.submit(req);
+  EXPECT_EQ(resp.id, "tcp-and2");
+  EXPECT_TRUE(resp.ok);
+  EXPECT_TRUE(resp.verified);
+  const rqfp::Netlist net = io::parse_rqfp_string(resp.netlist);
+  EXPECT_EQ(rqfp::simulate(net), req.spec);
+  server.stop();
+}
+
+TEST(Transport, TcpConnectToNothingThrows) {
+  // Port 1 on localhost: virtually never listening, and connect fails fast.
+  EXPECT_THROW(connect_tcp("127.0.0.1", 1), std::runtime_error);
+}
+
+// ---------- daemon-side evolve checkpoints (island worker contract) ----------
+
+TEST(Server, CheckpointDirMakesEvolveJobsResumable) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "rcgp_serve_ckptdir";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+
+  std::vector<std::pair<std::string, bool>> seen; // (checkpoint_path, resume)
+  ServeOptions opt;
+  opt.socket_path = temp_socket("ckptdir.sock");
+  opt.checkpoint_dir = dir.string();
+  opt.executor = [&](const batch::Job& job, const batch::JobContext& ctx) {
+    seen.emplace_back(ctx.checkpoint_path, ctx.resume_from_checkpoint);
+    if (!ctx.checkpoint_path.empty() && seen.size() == 1) {
+      std::ofstream(ctx.checkpoint_path) << "stub"; // simulate a saved slice
+    }
+    batch::JobExecution exec;
+    exec.verified = true;
+    (void)job;
+    return exec;
+  };
+  Server server(std::move(opt));
+  server.start();
+
+  Client client(server.socket_path());
+  (void)client.submit(small_request("island-0"));
+  (void)client.submit(small_request("island-0")); // same id → resume
+  core::SynthesisRequest anneal = small_request("no-ckpt");
+  anneal.algorithm = core::Algorithm::kAnneal;
+  (void)client.submit(anneal);
+  server.stop();
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0].first, (dir / "island-0.ckpt").string());
+  EXPECT_FALSE(seen[0].second); // no file yet: fresh
+  EXPECT_EQ(seen[1].first, (dir / "island-0.ckpt").string());
+  EXPECT_TRUE(seen[1].second); // the stub file exists now: resume
+  EXPECT_TRUE(seen[2].first.empty()); // kAnneal jobs never checkpoint
+  std::filesystem::remove_all(dir);
 }
 
 TEST(Server, StopIsIdempotentAndRestartable) {
