@@ -263,19 +263,43 @@ SliceResult RemoteSliceExecutor::run(const Slice& slice,
   serve::Client client(address);
   const core::SynthesisResponse resp = client.submit(r);
 
-  SliceResult out;
-  out.state = robust::load_checkpoint(slice.checkpoint_path);
-  if (out.state.seed != params.seed || out.state.lambda != params.lambda ||
-      out.state.generations_total != params.generations) {
-    throw std::runtime_error(
-        "island: daemon at " + address + " did not advance " + r.id +
-        " (is its --checkpoint-dir pointing at the fleet state_dir?)");
-  }
   if (!resp.ok && resp.stop_reason != "stop-requested") {
     throw std::runtime_error("island: remote slice " + r.id + " failed at " +
                              address + ": " + resp.error);
   }
+  SliceResult out;
+  out.state = robust::load_checkpoint(slice.checkpoint_path);
+  if (out.state.seed != params.seed || out.state.lambda != params.lambda ||
+      out.state.generations_total != params.generations) {
+    throw std::runtime_error("island: checkpoint " + slice.checkpoint_path +
+                             " no longer matches " + r.id +
+                             " after the slice at " + address);
+  }
   out.stop_reason = robust::parse_stop_reason(resp.stop_reason);
+  // Progress guard. Identity proves nothing — the coordinator wrote this
+  // checkpoint itself, so a daemon that never opened it (started without
+  // --checkpoint-dir, or pointing at the wrong directory) still reloads
+  // bit-identical. A slice only launches on an unsettled state below its
+  // boundary, so a daemon that really ran it must leave the state at the
+  // slice boundary or a terminal stop, or report an interruption.
+  const robust::EvolveCheckpoint& st = out.state;
+  const bool interrupted = out.stop_reason == StopReason::kStopRequested ||
+                           out.stop_reason == StopReason::kTimeLimit;
+  const std::uint64_t boundary = params.budget.max_generations;
+  const bool at_boundary = boundary != 0 && st.generation >= boundary;
+  const bool terminal =
+      st.generation >= st.generations_total ||
+      (params.stagnation_limit != 0 &&
+       st.since_improvement >= params.stagnation_limit) ||
+      (params.budget.max_evaluations != 0 &&
+       st.evaluations + params.lambda > params.budget.max_evaluations) ||
+      (params.time_limit_seconds > 0.0 &&
+       st.elapsed_seconds > params.time_limit_seconds);
+  if (!interrupted && !at_boundary && !terminal) {
+    throw std::runtime_error(
+        "island: daemon at " + address + " did not advance " + r.id +
+        " (is its --checkpoint-dir pointing at the fleet state_dir?)");
+  }
   return out;
 }
 
@@ -792,6 +816,14 @@ core::EvolveResult run_fleet(const rqfp::Netlist& initial,
               .field("from", adoptions[k].from)
               .field("n_r", state[to]->fitness.n_r);
         }
+      }
+      if (files && !pending.empty()) {
+        // Retire the committed pending list now that every rename landed.
+        // Left in place it would sit in fleet.json through all of the next
+        // epoch, and a kill after that epoch writes its .next files (but
+        // before its commit) would make resume rename those *uncommitted*
+        // states over any island both epochs adopted into.
+        save_manifest({});
       }
       if (params.trace != nullptr) {
         params.trace->event("island_epoch")

@@ -239,10 +239,16 @@ std::unique_ptr<Transport> Transport::for_address(const std::string& address) {
       }
     }
     if (numeric) {
-      const unsigned long port = std::stoul(port_str);
-      if (port > 65535) {
-        throw std::invalid_argument("serve: TCP port out of range in \"" +
-                                    address + "\"");
+      // Accumulate with an early bail instead of std::stoul: a digit run
+      // long enough to overflow unsigned long must still be the port-out-
+      // of-range error, not std::out_of_range.
+      unsigned long port = 0;
+      for (const char c : port_str) {
+        port = port * 10 + static_cast<unsigned long>(c - '0');
+        if (port > 65535) {
+          throw std::invalid_argument("serve: TCP port out of range in \"" +
+                                      address + "\"");
+        }
       }
       std::string host = address.substr(0, colon);
       // Strip IPv6 brackets ("[::1]:7000").

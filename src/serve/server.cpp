@@ -238,8 +238,13 @@ void Server::connection(int raw_fd, std::uint64_t id) {
           // every daemon slice a bit-identical resume.
           ctx.checkpoint_path =
               options_.checkpoint_dir + "/" + job.id + ".ckpt";
+          // Multi-island jobs persist a fleet manifest under
+          // <ckpt>.islands instead of the single checkpoint file — either
+          // artifact means "continue" (mirrors batch::run_batch).
           ctx.resume_from_checkpoint =
-              std::filesystem::exists(ctx.checkpoint_path);
+              std::filesystem::exists(ctx.checkpoint_path) ||
+              std::filesystem::exists(ctx.checkpoint_path +
+                                      ".islands/fleet.json");
         }
         const batch::JobExecution exec = options_.executor(job, ctx);
         resp = batch::response_for(job.id, exec, watch.seconds());

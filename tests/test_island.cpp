@@ -211,6 +211,54 @@ TEST(IslandFleet, EpochSteppingResumeIsBitIdentical) {
   std::filesystem::remove_all(fleet.state_dir);
 }
 
+TEST(IslandFleet, StaleNextFilesFromAnUncommittedEpochAreDiscarded) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params(600, 13);
+
+  FleetOptions fleet;
+  fleet.islands = 3;
+  fleet.topology = Topology::kRing;
+  fleet.migration_interval = 100;
+  const EvolveResult whole = island::run_fleet(init, b.spec, p, fleet);
+
+  // Step the fleet epoch by epoch; before every resume, plant a bogus
+  // island-i.ckpt.next for each island — the disk state a SIGKILL leaves
+  // when it lands after an epoch precomputed its migrations but before
+  // the manifest committed them. Resume must discard all of them: the
+  // committed manifest's pending list was retired right after the
+  // previous epoch's renames, so these are uncommitted precomputations.
+  // (A stale pending list would rename one over a real checkpoint and
+  // either diverge or trip the configuration check.)
+  fleet.state_dir = temp_dir("stale_next");
+  fleet.max_epochs = 1;
+  EvolveResult stepped;
+  for (int step = 0; step < 64; ++step) {
+    stepped = island::run_fleet(init, b.spec, p, fleet);
+    if (stepped.stop_reason == robust::StopReason::kCompleted) {
+      break;
+    }
+    fleet.resume = true;
+    for (unsigned i = 0; i < fleet.islands; ++i) {
+      const std::string own = island::island_state_path(fleet.state_dir, i);
+      const std::string donor = island::island_state_path(
+          fleet.state_dir, (i + 1) % fleet.islands);
+      if (std::filesystem::exists(donor)) {
+        std::filesystem::copy_file(
+            donor, own + ".next",
+            std::filesystem::copy_options::overwrite_existing);
+      }
+    }
+  }
+  EXPECT_EQ(stepped.stop_reason, robust::StopReason::kCompleted);
+  EXPECT_EQ(io::write_rqfp_string(whole.best),
+            io::write_rqfp_string(stepped.best));
+  EXPECT_EQ(whole.generations_run, stepped.generations_run);
+  EXPECT_EQ(whole.evaluations, stepped.evaluations);
+  EXPECT_EQ(whole.improvements, stepped.improvements);
+  std::filesystem::remove_all(fleet.state_dir);
+}
+
 TEST(IslandFleet, ResumeOfFinishedFleetReturnsSameResult) {
   const auto b = benchmarks::get("full_adder");
   const auto init = init_netlist("full_adder");
@@ -322,6 +370,35 @@ TEST(IslandRemote, RemotePlacementIsBitIdenticalToLocal) {
     d->stop();
   }
   expect_same_result(local, distributed);
+  std::filesystem::remove_all(fleet.state_dir);
+}
+
+TEST(IslandRemote, DaemonWithoutCheckpointDirIsDetected) {
+  const auto b = benchmarks::get("full_adder");
+  const auto init = init_netlist("full_adder");
+  const EvolveParams p = small_params(200, 7);
+
+  FleetOptions fleet;
+  fleet.islands = 2;
+  fleet.topology = Topology::kRing;
+  fleet.migration_interval = 100;
+  fleet.state_dir = temp_dir("no_ckpt_daemon");
+  std::filesystem::create_directories(fleet.state_dir);
+
+  // A daemon started without --checkpoint-dir evolves from scratch
+  // in-memory and never opens the fleet's state files. The coordinator's
+  // progress guard must surface that as an error, not a silently
+  // "completed" fleet stuck at its pre-slice generations.
+  serve::ServeOptions so;
+  so.listen = "127.0.0.1:0";
+  so.workers = 1;
+  serve::Server daemon(std::move(so));
+  daemon.start();
+  island::RemoteSliceExecutor remote({daemon.bound_address()});
+  fleet.executor = &remote;
+  EXPECT_THROW(island::run_fleet(init, b.spec, p, fleet),
+               std::runtime_error);
+  daemon.stop();
   std::filesystem::remove_all(fleet.state_dir);
 }
 

@@ -205,6 +205,10 @@ TEST(Transport, ForAddressClassifiesEndpoints) {
             "dir/with:colon");
   EXPECT_THROW(Transport::for_address(""), std::invalid_argument);
   EXPECT_THROW(Transport::for_address("host:99999"), std::invalid_argument);
+  // A digit run long enough to overflow unsigned long is still the
+  // port-out-of-range error, not std::out_of_range from the converter.
+  EXPECT_THROW(Transport::for_address("host:99999999999999999999"),
+               std::invalid_argument);
 }
 
 TEST(Transport, TcpServesTheSameProtocol) {
@@ -248,12 +252,18 @@ TEST(Server, CheckpointDirMakesEvolveJobsResumable) {
   opt.checkpoint_dir = dir.string();
   opt.executor = [&](const batch::Job& job, const batch::JobContext& ctx) {
     seen.emplace_back(ctx.checkpoint_path, ctx.resume_from_checkpoint);
-    if (!ctx.checkpoint_path.empty() && seen.size() == 1) {
-      std::ofstream(ctx.checkpoint_path) << "stub"; // simulate a saved slice
+    if (!ctx.checkpoint_path.empty() && !ctx.resume_from_checkpoint) {
+      if (job.id == "island-0") {
+        std::ofstream(ctx.checkpoint_path) << "stub"; // simulate a slice
+      } else if (job.id == "fleet-0") {
+        // A multi-island run persists only a fleet manifest in a sibling
+        // directory, never the single checkpoint file.
+        std::filesystem::create_directories(ctx.checkpoint_path + ".islands");
+        std::ofstream(ctx.checkpoint_path + ".islands/fleet.json") << "{}";
+      }
     }
     batch::JobExecution exec;
     exec.verified = true;
-    (void)job;
     return exec;
   };
   Server server(std::move(opt));
@@ -265,14 +275,18 @@ TEST(Server, CheckpointDirMakesEvolveJobsResumable) {
   core::SynthesisRequest anneal = small_request("no-ckpt");
   anneal.algorithm = core::Algorithm::kAnneal;
   (void)client.submit(anneal);
+  (void)client.submit(small_request("fleet-0"));
+  (void)client.submit(small_request("fleet-0")); // manifest exists → resume
   server.stop();
 
-  ASSERT_EQ(seen.size(), 3u);
+  ASSERT_EQ(seen.size(), 5u);
   EXPECT_EQ(seen[0].first, (dir / "island-0.ckpt").string());
   EXPECT_FALSE(seen[0].second); // no file yet: fresh
   EXPECT_EQ(seen[1].first, (dir / "island-0.ckpt").string());
   EXPECT_TRUE(seen[1].second); // the stub file exists now: resume
   EXPECT_TRUE(seen[2].first.empty()); // kAnneal jobs never checkpoint
+  EXPECT_FALSE(seen[3].second); // neither artifact yet: fresh
+  EXPECT_TRUE(seen[4].second); // fleet manifest alone triggers resume
   std::filesystem::remove_all(dir);
 }
 
